@@ -1,0 +1,24 @@
+//! Ablation beyond the paper: algorithm (TD3 / DDPG) × replay (uniform /
+//! TD-error PER / RDPER) matrix on TeraSort-D1, Twin-Q disabled — how much
+//! of DeepCAT's win comes from each ingredient.
+
+fn main() {
+    let cfg = bench::profile();
+    let cells = deepcat::experiments::ablation_matrix(&cfg);
+    println!("\n=== Ablation: algorithm x replay (TS-D1, no Twin-Q) ===");
+    bench::print_table(
+        &["Algorithm", "Replay", "Best exec (s)", "Total cost (s)"],
+        &cells
+            .iter()
+            .map(|c| {
+                vec![
+                    c.algorithm.clone(),
+                    c.replay.clone(),
+                    bench::secs(c.best_s),
+                    bench::secs(c.total_cost_s),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    bench::save_json("ablation_matrix", &cells);
+}

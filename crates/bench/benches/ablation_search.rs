@@ -1,0 +1,24 @@
+//! Ablation beyond the paper: search-based tuning (BestConfig, random
+//! search) vs DeepCAT — how many evaluations search needs to match a
+//! 5-step DRL session (the paper's stated reason for excluding them).
+
+fn main() {
+    let cfg = bench::profile();
+    let rows = deepcat::experiments::search_comparison(&cfg);
+    println!("\n=== Ablation: search-based baselines vs DeepCAT (TS-D1) ===");
+    bench::print_table(
+        &["Tuner", "Evaluations", "Best exec (s)", "Total cost (s)"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.tuner.clone(),
+                    r.steps.to_string(),
+                    bench::secs(r.best_s),
+                    bench::secs(r.total_cost_s),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    bench::save_json("ablation_search", &rows);
+}

@@ -1,0 +1,97 @@
+//! Ablation of the OtterTune substrate: kernel (RBF / Matérn-5/2 / ARD) ×
+//! acquisition (EI / LCB) on a 20-evaluation Bayesian-optimization run
+//! against TeraSort-D1 — which surrogate choices matter for configuration
+//! tuning.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spark_sim::{Cluster, InputSize, SparkEnv, Workload, WorkloadKind};
+use surrogate::{
+    maximize_ei, minimize_lcb, ArdGp, GaussianProcess, KernelKind, Lasso, RbfKernel,
+};
+
+const WARMUP: usize = 10;
+const BO_STEPS: usize = 20;
+
+fn bo_run(variant: &str, seed: u64) -> f64 {
+    let w = Workload::new(WorkloadKind::TeraSort, InputSize::D1);
+    let mut env = SparkEnv::new(Cluster::cluster_a(), w, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xB0);
+    let mut xs: Vec<Vec<f64>> = Vec::new();
+    let mut ys: Vec<f64> = Vec::new();
+    for _ in 0..WARMUP {
+        let a = env.space().random_action(&mut rng);
+        let t = env.evaluate_action(&a).exec_time_s;
+        xs.push(a);
+        ys.push(t.ln());
+    }
+    for _ in 0..BO_STEPS {
+        let best = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let action = match variant {
+            "rbf-ei" | "rbf-lcb" | "matern-ei" => {
+                let kind = if variant.starts_with("matern") {
+                    KernelKind::Matern52
+                } else {
+                    KernelKind::Rbf
+                };
+                let y_var = variance(&ys);
+                let kernel = RbfKernel {
+                    signal_variance: y_var,
+                    length_scale: 2.0,
+                    noise: 0.01 * y_var,
+                    kind,
+                };
+                let gp = GaussianProcess::fit(xs.clone(), &ys, kernel).expect("fit");
+                if variant.ends_with("lcb") {
+                    minimize_lcb(&gp, 32, 2.0, 1500, &mut rng)
+                } else {
+                    maximize_ei(&gp, 32, best, 1500, &mut rng)
+                }
+            }
+            "ard-ei" => {
+                let lasso = Lasso::fit(&xs, &ys, 0.02, 80);
+                match ArdGp::fit_with_lasso_relevance(xs.clone(), &ys, &lasso, 2.0, 0.01) {
+                    Some(gp) => {
+                        // EI over the ARD posterior by random search.
+                        let mut best_x = env.space().random_action(&mut rng);
+                        let mut best_v = f64::INFINITY;
+                        for _ in 0..1500 {
+                            let x = env.space().random_action(&mut rng);
+                            let (mu, var) = gp.predict(&x);
+                            let v = mu - 2.0 * var.sqrt();
+                            if v < best_v {
+                                best_v = v;
+                                best_x = x;
+                            }
+                        }
+                        best_x
+                    }
+                    None => env.space().random_action(&mut rng),
+                }
+            }
+            _ => unreachable!(),
+        };
+        let t = env.evaluate_action(&action).exec_time_s;
+        xs.push(action);
+        ys.push(t.ln());
+    }
+    ys.iter().cloned().fold(f64::INFINITY, f64::min).exp()
+}
+
+fn variance(v: &[f64]) -> f64 {
+    let m = v.iter().sum::<f64>() / v.len() as f64;
+    (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64).max(1e-6)
+}
+
+fn main() {
+    println!("\n=== Ablation: surrogate kernel x acquisition (TS-D1, {WARMUP}+{BO_STEPS} evals) ===");
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for variant in ["rbf-ei", "rbf-lcb", "matern-ei", "ard-ei"] {
+        let best: f64 = (0..3).map(|s| bo_run(variant, 500 + s)).sum::<f64>() / 3.0;
+        rows.push(vec![variant.to_string(), bench::secs(best)]);
+        results.push((variant.to_string(), best));
+    }
+    bench::print_table(&["Variant", "Best exec (s, mean of 3 seeds)"], &rows);
+    bench::save_json("ablation_surrogate", &results);
+}

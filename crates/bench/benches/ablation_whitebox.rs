@@ -1,0 +1,58 @@
+//! Ablation implementing the paper's future work (§7): white-box
+//! bottleneck analysis focusing the Twin-Q Optimizer's search. Compares
+//! plain DeepCAT, DeepCAT with the white-box optimizer, and no optimizer.
+
+use deepcat::experiments::SWEEP_SEEDS;
+use deepcat::{
+    online_tune_td3, online_tune_whitebox, train_td3, AgentConfig, OfflineConfig, OnlineConfig,
+    TuningEnv,
+};
+use spark_sim::{Cluster, InputSize, Workload, WorkloadKind};
+
+fn main() {
+    let cfg = bench::profile();
+    let mut results = Vec::new();
+    for kind in [WorkloadKind::TeraSort, WorkloadKind::KMeans] {
+        let w = Workload::new(kind, InputSize::D1);
+        let mut env = TuningEnv::for_workload(Cluster::cluster_a(), w, cfg.seed);
+        let ac = AgentConfig::for_dims(env.state_dim(), env.action_dim());
+        let (agent, _, _) = train_td3(
+            &mut env,
+            ac,
+            &OfflineConfig::deepcat(cfg.offline_iterations, cfg.seed),
+            &[],
+        );
+        let live = Cluster::cluster_a().with_background_load(0.15);
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for variant in ["no-optimizer", "twin-q", "twin-q+whitebox"] {
+            let n = SWEEP_SEEDS as f64;
+            let (mut best, mut cost) = (0.0, 0.0);
+            for session in 0..SWEEP_SEEDS {
+                let mut a = agent.clone();
+                let mut oenv = TuningEnv::for_workload(
+                    live.clone(),
+                    w,
+                    cfg.seed ^ 0xF00D ^ (session << 16),
+                );
+                let oc = OnlineConfig {
+                    steps: cfg.online_steps,
+                    use_twinq: variant != "no-optimizer",
+                    seed: cfg.seed ^ session,
+                    ..OnlineConfig::deepcat(cfg.seed)
+                };
+                let r = if variant == "twin-q+whitebox" {
+                    online_tune_whitebox(&mut a, &mut oenv, &oc).0
+                } else {
+                    online_tune_td3(&mut a, &mut oenv, &oc, "DeepCAT")
+                };
+                best += r.best_exec_time_s / n;
+                cost += r.total_cost_s() / n;
+            }
+            rows.push(vec![variant.to_string(), bench::secs(best), bench::secs(cost)]);
+            results.push((w.to_string(), variant.to_string(), best, cost));
+        }
+        println!("\n=== Ablation: white-box bottleneck focus ({w}) ===");
+        bench::print_table(&["Variant", "Best exec (s)", "Total cost (s)"], &rows);
+    }
+    bench::save_json("ablation_whitebox", &results);
+}

@@ -1,0 +1,23 @@
+//! Fig. 10 — adaptability to hardware change: models trained on Cluster-A
+//! tune WordCount/PageRank on the VM Cluster-B.
+
+fn main() {
+    let cfg = bench::profile();
+    let rows = deepcat::experiments::fig10(&cfg);
+    println!("\n=== Figure 10: hardware adaptability (Cluster-A -> Cluster-B) ===");
+    bench::print_table(
+        &["Workload", "Tuner", "Speedup over default", "Total cost (s)"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.workload.clone(),
+                    r.tuner.clone(),
+                    bench::ratio(r.speedup_over_default_b),
+                    bench::secs(r.total_cost_s),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    bench::save_json("fig10", &rows);
+}

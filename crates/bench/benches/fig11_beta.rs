@@ -1,0 +1,15 @@
+//! Fig. 11 — DeepCAT performance under different RDPER high-reward ratios β.
+
+fn main() {
+    let cfg = bench::profile();
+    let rows = deepcat::experiments::fig11(&cfg);
+    println!("\n=== Figure 11: RDPER ratio beta sweep (TS-D1) ===");
+    bench::print_table(
+        &["beta", "Best exec (s)", "Total tuning cost (s)"],
+        &rows
+            .iter()
+            .map(|r| vec![format!("{:.1}", r.beta), bench::secs(r.best_s), bench::secs(r.total_cost_s)])
+            .collect::<Vec<_>>(),
+    );
+    bench::save_json("fig11", &rows);
+}

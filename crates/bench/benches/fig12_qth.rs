@@ -1,0 +1,15 @@
+//! Fig. 12 — DeepCAT performance under different Twin-Q thresholds Q_th.
+
+fn main() {
+    let cfg = bench::profile();
+    let rows = deepcat::experiments::fig12(&cfg);
+    println!("\n=== Figure 12: Twin-Q threshold Q_th sweep (TS-D1) ===");
+    bench::print_table(
+        &["Q_th", "Best exec (s)", "Total tuning cost (s)"],
+        &rows
+            .iter()
+            .map(|r| vec![format!("{:.1}", r.q_th), bench::secs(r.best_s), bench::secs(r.total_cost_s)])
+            .collect::<Vec<_>>(),
+    );
+    bench::save_json("fig12", &rows);
+}

@@ -1,0 +1,28 @@
+//! Fig. 2 — CDF of 200 random configurations for TeraSort-D1, relative to
+//! the found-optimal configuration.
+
+fn main() {
+    let cfg = bench::profile();
+    let result = deepcat::experiments::fig2(&cfg);
+    println!("\n=== Figure 2: CDF of 200 random configurations (TS-D1) ===");
+    println!("default exec = {:.1}s, found-optimal = {:.1}s", result.default_exec_s, result.best_exec_s);
+    println!(
+        "better than default: {:.1}%   within 10% of optimal: {:.1}%",
+        100.0 * result.frac_better_than_default,
+        100.0 * result.frac_within_10pct_of_best
+    );
+    // Print the CDF at decile resolution.
+    let rows: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .step_by(result.rows.len() / 20)
+        .map(|r| {
+            vec![
+                format!("{:.3}", r.relative_performance),
+                format!("{:.2}", r.cumulative_probability),
+            ]
+        })
+        .collect();
+    bench::print_table(&["rel. performance", "cum. probability"], &rows);
+    bench::save_json("fig2", &result);
+}

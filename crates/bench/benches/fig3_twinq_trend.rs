@@ -1,0 +1,29 @@
+//! Fig. 3 — trend of the smaller twin-Q value versus the real reward
+//! during offline training.
+
+fn main() {
+    let cfg = bench::profile();
+    let rows = deepcat::experiments::fig3(&cfg);
+    println!("\n=== Figure 3: min twin-Q vs real reward (offline training, TS-D1) ===");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .step_by((rows.len() / 25).max(1))
+        .map(|r| {
+            vec![
+                r.iteration.to_string(),
+                format!("{:.3}", r.reward_smoothed),
+                format!("{:.3}", r.min_q_smoothed),
+            ]
+        })
+        .collect();
+    bench::print_table(&["iteration", "reward (smoothed)", "min twin-Q (smoothed)"], &table);
+    // Correlation between the two series — the figure's point.
+    let n = rows.len() as f64;
+    let mr = rows.iter().map(|r| r.reward_smoothed).sum::<f64>() / n;
+    let mq = rows.iter().map(|r| r.min_q_smoothed).sum::<f64>() / n;
+    let cov: f64 = rows.iter().map(|r| (r.reward_smoothed - mr) * (r.min_q_smoothed - mq)).sum();
+    let vr: f64 = rows.iter().map(|r| (r.reward_smoothed - mr).powi(2)).sum();
+    let vq: f64 = rows.iter().map(|r| (r.min_q_smoothed - mq).powi(2)).sum();
+    println!("Pearson correlation(reward, minQ) = {:.3}", cov / (vr * vq).sqrt());
+    bench::save_json("fig3", &rows);
+}

@@ -1,0 +1,27 @@
+//! Fig. 4 — best online execution time from TD3 vs TD3+RDPER models
+//! trained for increasing numbers of offline iterations.
+
+fn main() {
+    let cfg = bench::profile();
+    let checkpoints: Vec<usize> = if cfg.offline_iterations <= 1000 {
+        vec![200, 400, 600, 800, 1000]
+    } else {
+        vec![400, 800, 1200, 1600, 2000, 2400, 2800, 3200, 3600]
+    };
+    let rows = deepcat::experiments::fig4(&cfg, &checkpoints);
+    println!("\n=== Figure 4: TD3 vs TD3+RDPER over offline iterations (TS-D1) ===");
+    bench::print_table(
+        &["iterations", "TD3 best (s)", "TD3+RDPER best (s)"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.iterations.to_string(),
+                    bench::secs(r.td3_best_s),
+                    bench::secs(r.td3_rdper_best_s),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    bench::save_json("fig4", &rows);
+}

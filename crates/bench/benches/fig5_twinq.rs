@@ -1,0 +1,31 @@
+//! Fig. 5 — per-step execution times of DeepCAT with and without the
+//! Twin-Q Optimizer, from the same offline model.
+
+fn main() {
+    let cfg = bench::profile();
+    let r = deepcat::experiments::fig5(&cfg);
+    println!("\n=== Figure 5: Twin-Q Optimizer ablation (TS-D1, 5 online steps) ===");
+    let rows: Vec<Vec<String>> = (0..r.with_twinq_step_s.len())
+        .map(|i| {
+            vec![
+                format!("{}", i + 1),
+                bench::secs(r.with_twinq_step_s[i]),
+                bench::secs(r.without_twinq_step_s[i]),
+            ]
+        })
+        .collect();
+    bench::print_table(&["step", "with Twin-Q (s)", "without Twin-Q (s)"], &rows);
+    println!(
+        "total: {:.1}s vs {:.1}s  ({:.1}% less with Twin-Q)",
+        r.with_total_s,
+        r.without_total_s,
+        100.0 * (r.without_total_s - r.with_total_s) / r.without_total_s
+    );
+    println!(
+        "best config: {:.1}s vs {:.1}s  ({:.1}% better with Twin-Q)",
+        r.with_best_s,
+        r.without_best_s,
+        100.0 * (r.without_best_s - r.with_best_s) / r.without_best_s
+    );
+    bench::save_json("fig5", &r);
+}

@@ -1,0 +1,28 @@
+//! Fig. 6 — speedup of best recommended configurations over the default,
+//! for all 12 workload-input pairs and all three tuners.
+
+fn main() {
+    let cfg = bench::profile();
+    let rows = deepcat::experiments::comparison(&cfg);
+    println!("\n=== Figure 6: speedup over default configuration ===");
+    bench::print_table(
+        &["Workload", "Tuner", "Default (s)", "Best (s)", "Speedup"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.workload.clone(),
+                    r.tuner.clone(),
+                    bench::secs(r.default_s),
+                    bench::secs(r.best_s),
+                    bench::ratio(r.speedup),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("\nMean speedups:");
+    for (tuner, s) in deepcat::experiments::mean_speedups(&rows) {
+        println!("  {tuner:10} {s:.2}x");
+    }
+    bench::save_json("fig6", &rows);
+}

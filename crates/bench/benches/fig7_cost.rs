@@ -1,0 +1,40 @@
+//! Fig. 7 — total online tuning cost (evaluation + recommendation time)
+//! per workload-input pair and tuner, with the recommendation-time
+//! breakdown the paper marks in black.
+
+fn main() {
+    let cfg = bench::profile();
+    let rows = deepcat::experiments::comparison(&cfg);
+    println!("\n=== Figure 7: total online tuning cost ===");
+    bench::print_table(
+        &["Workload", "Tuner", "Eval (s)", "Recommend (s)", "Total (s)"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.workload.clone(),
+                    r.tuner.clone(),
+                    bench::secs(r.total_eval_s),
+                    format!("{:.3}", r.total_rec_s),
+                    bench::secs(r.total_eval_s + r.total_rec_s),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    let total = |t: &str| -> (f64, f64) {
+        rows.iter()
+            .filter(|r| r.tuner == t)
+            .fold((0.0, 0.0), |(e, c), r| (e + r.total_eval_s + r.total_rec_s, c + r.total_rec_s))
+    };
+    let (d, dr) = total("DeepCAT");
+    let (c, cr) = total("CDBTune");
+    let (o, or_) = total("OtterTune");
+    println!("\nTotals — DeepCAT {d:.0}s, CDBTune {c:.0}s, OtterTune {o:.0}s");
+    println!(
+        "DeepCAT saves {:.1}% vs CDBTune and {:.1}% vs OtterTune",
+        100.0 * (c - d) / c,
+        100.0 * (o - d) / o
+    );
+    println!("Recommendation time totals: DeepCAT {dr:.3}s, CDBTune {cr:.3}s, OtterTune {or_:.3}s");
+    bench::save_json("fig7", &rows);
+}

@@ -1,0 +1,27 @@
+//! Fig. 8 — best-so-far execution time and accumulated tuning cost along
+//! the 5 online tuning steps, per workload (D1 inputs) and tuner.
+
+use spark_sim::{Cluster, InputSize, Workload, WorkloadKind};
+
+fn main() {
+    let cfg = bench::profile();
+    let cluster = Cluster::cluster_a();
+    println!("\n=== Figure 8: best-so-far exec time / accumulated cost per step ===");
+    let mut all = Vec::new();
+    for kind in WorkloadKind::all() {
+        let w = Workload::new(kind, InputSize::D1);
+        let rows = deepcat::experiments::compare_on(w, &cluster, &cfg);
+        for r in &rows {
+            let series: Vec<String> = r
+                .best_so_far_s
+                .iter()
+                .zip(&r.accumulated_cost_s)
+                .map(|(b, c)| format!("{b:.0}s@{c:.0}s"))
+                .collect();
+            println!("{:6} {:10} {}", r.workload, r.tuner, series.join("  "));
+        }
+        all.extend(rows);
+    }
+    println!("(format: best-so-far @ accumulated-cost, one entry per online step)");
+    bench::save_json("fig8", &all);
+}

@@ -1,0 +1,16 @@
+//! Fig. 9 — adaptability to workload change: DeepCAT models trained on
+//! other workloads tune PageRank, versus baselines trained on PageRank.
+
+fn main() {
+    let cfg = bench::profile();
+    let rows = deepcat::experiments::fig9(&cfg);
+    println!("\n=== Figure 9: workload adaptability (target: PageRank-D1) ===");
+    bench::print_table(
+        &["Model", "Best exec (s)", "Total tuning cost (s)"],
+        &rows
+            .iter()
+            .map(|r| vec![r.model.clone(), bench::secs(r.best_s), bench::secs(r.total_cost_s)])
+            .collect::<Vec<_>>(),
+    );
+    bench::save_json("fig9", &rows);
+}

@@ -1,0 +1,112 @@
+//! Criterion micro-benchmarks of the substrates: simulator evaluation
+//! throughput, neural-network training steps, replay-memory sampling and
+//! GP fitting — the per-operation costs behind the paper-scale experiments.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use deepcat::{AgentConfig, Td3Agent};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl::{Batch, PrioritizedReplay, RdPer, ReplayMemory, Transition, UniformReplay};
+use spark_sim::{Cluster, InputSize, SparkEnv, Workload, WorkloadKind};
+use surrogate::{GaussianProcess, RbfKernel};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spark-sim");
+    for kind in WorkloadKind::all() {
+        let w = Workload::new(kind, InputSize::D1);
+        let mut env = SparkEnv::new(Cluster::cluster_a(), w, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        group.bench_function(format!("evaluate-{kind}"), |b| {
+            b.iter(|| {
+                let a = env.space().random_action(&mut rng);
+                std::hint::black_box(env.evaluate_action(&a).exec_time_s)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn random_transition(rng: &mut StdRng) -> Transition {
+    use rand::Rng;
+    Transition::new(
+        (0..9).map(|_| rng.gen()).collect(),
+        (0..32).map(|_| rng.gen()).collect(),
+        rng.gen::<f64>() * 2.0 - 1.0,
+        (0..9).map(|_| rng.gen()).collect(),
+        rng.gen_bool(0.2),
+    )
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replay");
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut uniform = UniformReplay::new(100_000);
+    let mut per = PrioritizedReplay::new(100_000);
+    let mut rdper = RdPer::with_paper_defaults(100_000);
+    for _ in 0..50_000 {
+        let t = random_transition(&mut rng);
+        uniform.push(t.clone());
+        per.push(t.clone());
+        rdper.push(t);
+    }
+    group.bench_function("uniform-sample-64", |b| {
+        b.iter(|| std::hint::black_box(uniform.sample(64, &mut rng)))
+    });
+    group.bench_function("td-per-sample-64", |b| {
+        b.iter(|| std::hint::black_box(per.sample(64, &mut rng)))
+    });
+    group.bench_function("rdper-sample-64", |b| {
+        b.iter(|| std::hint::black_box(rdper.sample(64, &mut rng)))
+    });
+    group.bench_function("push", |b| {
+        b.iter_batched(
+            || random_transition(&mut rng),
+            |t| uniform.push(t),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_agent(c: &mut Criterion) {
+    let mut group = c.benchmark_group("td3");
+    let mut agent = Td3Agent::new(AgentConfig::for_dims(9, 32), 4);
+    let mut rng = StdRng::seed_from_u64(5);
+    let transitions: Vec<Transition> = (0..64).map(|_| random_transition(&mut rng)).collect();
+    let batch = Batch {
+        weights: vec![1.0; transitions.len()],
+        indices: vec![0; transitions.len()],
+        transitions,
+    };
+    let state = vec![0.3; 9];
+    group.bench_function("select-action", |b| {
+        b.iter(|| std::hint::black_box(agent.select_action(&state)))
+    });
+    group.bench_function("train-step-batch64", |b| {
+        b.iter(|| std::hint::black_box(agent.train_step(&batch)))
+    });
+    group.finish();
+}
+
+fn bench_gp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(6);
+    use rand::Rng;
+    let x: Vec<Vec<f64>> = (0..250).map(|_| (0..32).map(|_| rng.gen()).collect()).collect();
+    let y: Vec<f64> = x.iter().map(|r| r.iter().sum::<f64>()).collect();
+    group.bench_function("fit-250x32", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                GaussianProcess::fit(x.clone(), &y, RbfKernel::default()).unwrap(),
+            )
+        })
+    });
+    let gp = GaussianProcess::fit(x.clone(), &y, RbfKernel::default()).unwrap();
+    let q = vec![0.5; 32];
+    group.bench_function("predict", |b| b.iter(|| std::hint::black_box(gp.predict(&q))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_replay, bench_agent, bench_gp);
+criterion_main!(benches);

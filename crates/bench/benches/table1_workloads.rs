@@ -1,0 +1,22 @@
+//! Table 1 — workload characteristics.
+
+fn main() {
+    let rows = deepcat::experiments::table1();
+    println!("\n=== Table 1: Workload characteristics ===");
+    bench::print_table(
+        &["Workload", "Category", "D1", "D2", "D3"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.workload.clone(),
+                    r.category.clone(),
+                    r.inputs[0].clone(),
+                    r.inputs[1].clone(),
+                    r.inputs[2].clone(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    bench::save_json("table1", &rows);
+}

@@ -1,0 +1,16 @@
+//! Table 2 — number of tuned parameters in the pipeline.
+
+fn main() {
+    let rows = deepcat::experiments::table2();
+    println!("\n=== Table 2: Number of tuned parameters ===");
+    bench::print_table(
+        &["Component", "Parameters"],
+        &rows
+            .iter()
+            .map(|r| vec![r.component.clone(), r.parameters.to_string()])
+            .collect::<Vec<_>>(),
+    );
+    let total: usize = rows.iter().map(|r| r.parameters).sum();
+    println!("Total: {total}");
+    bench::save_json("table2", &rows);
+}

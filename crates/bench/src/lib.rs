@@ -1,0 +1,100 @@
+//! Shared plumbing for the paper-reproduction bench targets: text-table
+//! rendering, JSON result persistence, and the experiment profile.
+//!
+//! Every table and figure of the paper has its own bench target under
+//! `benches/` (run them all with `cargo bench`, or one with
+//! `cargo bench --bench fig6_speedup`). Each prints the rows/series the
+//! paper reports and writes a machine-readable copy under
+//! `target/paper-results/`.
+
+use deepcat::experiments::ExperimentConfig;
+use serde::Serialize;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Resolve the experiment profile from `DEEPCAT_BENCH_PROFILE`
+/// (`quick` | `full`, default `full`).
+pub fn profile() -> ExperimentConfig {
+    match std::env::var("DEEPCAT_BENCH_PROFILE").as_deref() {
+        Ok("quick") => ExperimentConfig::quick(),
+        _ => ExperimentConfig::default(),
+    }
+}
+
+/// Directory where bench targets persist their JSON results.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/paper-results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Persist a serializable result next to the printed table.
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    let mut f = std::fs::File::create(&path).expect("create result file");
+    let body = serde_json::to_string_pretty(value).expect("serialize result");
+    f.write_all(body.as_bytes()).expect("write result");
+    println!("[saved {}]", path.display());
+}
+
+/// Render an aligned text table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (w, cell) in widths.iter().zip(cells) {
+            s.push_str(&format!("{cell:>w$}  ", w = w));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Format seconds with one decimal.
+pub fn secs(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Format a ratio with two decimals and a trailing ×.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_default_is_full() {
+        if std::env::var("DEEPCAT_BENCH_PROFILE").is_err() {
+            assert_eq!(
+                profile().offline_iterations,
+                ExperimentConfig::default().offline_iterations
+            );
+        }
+    }
+
+    #[test]
+    fn save_json_writes_file() {
+        save_json("selftest", &vec![1, 2, 3]);
+        let p = results_dir().join("selftest.json");
+        assert!(p.exists());
+        let body = std::fs::read_to_string(p).unwrap();
+        assert!(body.contains('1'));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(1.25), "1.2");
+        assert_eq!(ratio(4.656), "4.66x");
+    }
+}

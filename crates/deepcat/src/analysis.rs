@@ -1,0 +1,220 @@
+//! Analysis utilities over tuning reports: aggregate repeated sessions
+//! into summary statistics, compare tuners, and render markdown — the
+//! post-processing layer an operator uses to decide which tuner to deploy.
+
+use crate::online::TuningReport;
+use serde::{Deserialize, Serialize};
+
+/// Mean / standard deviation / extremes of one metric across sessions.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Stat {
+    pub mean: f64,
+    pub std: f64,
+    pub min: f64,
+    pub max: f64,
+    pub n: usize,
+}
+
+impl Stat {
+    /// Compute over a sample (population std of the observed sessions).
+    pub fn of(values: &[f64]) -> Stat {
+        assert!(!values.is_empty(), "need at least one value");
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        Stat {
+            mean,
+            std: var.sqrt(),
+            min: values.iter().cloned().fold(f64::INFINITY, f64::min),
+            max: values.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            n,
+        }
+    }
+
+    /// Half-width of the ~95% normal confidence interval of the mean.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            return f64::INFINITY;
+        }
+        1.96 * self.std / ((self.n - 1) as f64).sqrt()
+    }
+}
+
+/// Aggregated view of repeated tuning sessions by one tuner on one target.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SessionSummary {
+    pub tuner: String,
+    pub workload: String,
+    pub sessions: usize,
+    pub best_exec_s: Stat,
+    pub speedup: Stat,
+    pub total_cost_s: Stat,
+    pub recommendation_s: Stat,
+    /// Fraction of online steps that failed (OOM / infeasible).
+    pub failure_rate: f64,
+}
+
+/// Summarize repeated sessions. All reports must come from the same tuner
+/// and workload (panics otherwise — mixing them is an analysis bug).
+pub fn summarize(reports: &[TuningReport]) -> SessionSummary {
+    assert!(!reports.is_empty(), "no sessions to summarize");
+    let tuner = reports[0].tuner.clone();
+    let workload = reports[0].workload.clone();
+    for r in reports {
+        assert_eq!(r.tuner, tuner, "mixed tuners in one summary");
+        assert_eq!(r.workload, workload, "mixed workloads in one summary");
+    }
+    let best: Vec<f64> = reports.iter().map(|r| r.best_exec_time_s).collect();
+    let speedup: Vec<f64> = reports.iter().map(|r| r.speedup()).collect();
+    let cost: Vec<f64> = reports.iter().map(|r| r.total_cost_s()).collect();
+    let rec: Vec<f64> = reports.iter().map(|r| r.total_rec_s).collect();
+    let steps: usize = reports.iter().map(|r| r.steps.len()).sum();
+    let failures: usize =
+        reports.iter().map(|r| r.steps.iter().filter(|s| s.failed).count()).sum();
+    SessionSummary {
+        tuner,
+        workload,
+        sessions: reports.len(),
+        best_exec_s: Stat::of(&best),
+        speedup: Stat::of(&speedup),
+        total_cost_s: Stat::of(&cost),
+        recommendation_s: Stat::of(&rec),
+        failure_rate: failures as f64 / steps.max(1) as f64,
+    }
+}
+
+/// Verdict of a pairwise comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The challenger's mean is better and the 95% CIs do not overlap.
+    ClearlyBetter,
+    /// The challenger's mean is better but the CIs overlap.
+    LikelyBetter,
+    /// Means within each other's CIs in both directions.
+    Tie,
+    /// The incumbent's mean is better.
+    Worse,
+}
+
+/// Compare a challenger summary against an incumbent on best execution
+/// time (lower is better).
+pub fn compare(challenger: &SessionSummary, incumbent: &SessionSummary) -> Verdict {
+    let (c, i) = (&challenger.best_exec_s, &incumbent.best_exec_s);
+    let (cw, iw) = (c.ci95_half_width(), i.ci95_half_width());
+    if c.mean + cw < i.mean - iw {
+        Verdict::ClearlyBetter
+    } else if c.mean < i.mean - iw {
+        Verdict::LikelyBetter
+    } else if c.mean <= i.mean + iw {
+        Verdict::Tie
+    } else {
+        Verdict::Worse
+    }
+}
+
+/// Render a set of summaries as a markdown table (one row per tuner).
+pub fn to_markdown(summaries: &[SessionSummary]) -> String {
+    let mut out = String::from(
+        "| tuner | workload | sessions | best exec (s) | speedup | total cost (s) | failures |\n\
+         |---|---|---|---|---|---|---|\n",
+    );
+    for s in summaries {
+        out.push_str(&format!(
+            "| {} | {} | {} | {:.1} ± {:.1} | {:.2}x | {:.1} ± {:.1} | {:.0}% |\n",
+            s.tuner,
+            s.workload,
+            s.sessions,
+            s.best_exec_s.mean,
+            s.best_exec_s.std,
+            s.speedup.mean,
+            s.total_cost_s.mean,
+            s.total_cost_s.std,
+            100.0 * s.failure_rate,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::online::StepRecord;
+
+    fn report(tuner: &str, best: f64, cost: f64, failed: bool) -> TuningReport {
+        let step = StepRecord {
+            step: 0,
+            exec_time_s: best,
+            failed,
+            reward: 0.0,
+            recommendation_s: 0.01,
+            q_estimate: None,
+            twinq_iterations: 0,
+            action: vec![0.5],
+        };
+        TuningReport {
+            tuner: tuner.into(),
+            workload: "TS-D1".into(),
+            steps: vec![StepRecord { exec_time_s: cost - best, ..step.clone() }, step],
+            best_exec_time_s: best,
+            best_action: vec![0.5],
+            total_eval_s: cost,
+            total_rec_s: 0.02,
+            default_exec_time_s: 100.0,
+        }
+    }
+
+    #[test]
+    fn stat_basics() {
+        let s = Stat::of(&[1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.n, 3);
+        assert!(s.ci95_half_width() > 0.0);
+        assert_eq!(Stat::of(&[5.0]).ci95_half_width(), f64::INFINITY);
+    }
+
+    #[test]
+    fn summary_aggregates_sessions() {
+        let reports = vec![
+            report("DeepCAT", 40.0, 200.0, false),
+            report("DeepCAT", 50.0, 260.0, true),
+        ];
+        let s = summarize(&reports);
+        assert_eq!(s.sessions, 2);
+        assert!((s.best_exec_s.mean - 45.0).abs() < 1e-12);
+        assert!((s.speedup.mean - (100.0 / 40.0 + 100.0 / 50.0) / 2.0).abs() < 1e-12);
+        assert!((s.failure_rate - 0.5).abs() < 1e-12); // 2 of 4 steps failed
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed tuners")]
+    fn mixed_tuners_rejected() {
+        summarize(&[report("A", 1.0, 2.0, false), report("B", 1.0, 2.0, false)]);
+    }
+
+    #[test]
+    fn compare_verdicts() {
+        let fast = summarize(&[
+            report("A", 40.0, 1.0, false),
+            report("A", 41.0, 1.0, false),
+            report("A", 39.0, 1.0, false),
+        ]);
+        let slow = summarize(&[
+            report("B", 80.0, 1.0, false),
+            report("B", 82.0, 1.0, false),
+            report("B", 78.0, 1.0, false),
+        ]);
+        assert_eq!(compare(&fast, &slow), Verdict::ClearlyBetter);
+        assert_eq!(compare(&slow, &fast), Verdict::Worse);
+        assert_eq!(compare(&fast, &fast), Verdict::Tie);
+    }
+
+    #[test]
+    fn markdown_renders_all_rows() {
+        let s1 = summarize(&[report("A", 40.0, 200.0, false)]);
+        let md = to_markdown(&[s1]);
+        assert!(md.contains("| A | TS-D1 | 1 |"));
+        assert!(md.lines().count() >= 3);
+    }
+}

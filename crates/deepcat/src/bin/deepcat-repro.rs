@@ -1,0 +1,157 @@
+//! `deepcat-repro` — regenerate any of the paper's tables/figures from the
+//! command line (the bench targets wrap the same drivers; this binary is
+//! for interactive use).
+//!
+//! ```text
+//! deepcat-repro table1
+//! deepcat-repro fig6 --iters 1500 --seed 2022
+//! deepcat-repro all --quick
+//! ```
+
+use deepcat::experiments::{self, ExperimentConfig};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: deepcat-repro <table1|table2|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|all> \
+         [--quick] [--iters N] [--seed N]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let Some(which) = argv.next() else { return usage() };
+    let mut cfg = ExperimentConfig::default();
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--quick" => cfg = ExperimentConfig::quick(),
+            "--iters" => {
+                let Some(v) = argv.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                cfg.offline_iterations = v;
+            }
+            "--seed" => {
+                let Some(v) = argv.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                cfg.seed = v;
+            }
+            _ => return usage(),
+        }
+    }
+    let all = which == "all";
+    let want = |name: &str| all || which == name;
+    let mut matched = false;
+
+    if want("table1") {
+        matched = true;
+        println!("== Table 1: workload characteristics ==");
+        for r in experiments::table1() {
+            println!("{:10} {:10} {:?}", r.workload, r.category, r.inputs);
+        }
+    }
+    if want("table2") {
+        matched = true;
+        println!("== Table 2: tuned parameters ==");
+        for r in experiments::table2() {
+            println!("{:6} {}", r.component, r.parameters);
+        }
+    }
+    if want("fig2") {
+        matched = true;
+        let r = experiments::fig2(&cfg);
+        println!("== Fig 2: CDF of 200 random configs (TS-D1) ==");
+        println!(
+            "default {:.1}s, optimal {:.1}s, better-than-default {:.0}%, within-10%-of-best {:.1}%",
+            r.default_exec_s,
+            r.best_exec_s,
+            100.0 * r.frac_better_than_default,
+            100.0 * r.frac_within_10pct_of_best
+        );
+    }
+    if want("fig3") {
+        matched = true;
+        println!("== Fig 3: min twin-Q vs reward ==");
+        for r in experiments::fig3(&cfg).iter().step_by(8) {
+            println!("iter {:5}  reward {:+.3}  minQ {:+.3}", r.iteration, r.reward_smoothed, r.min_q_smoothed);
+        }
+    }
+    if want("fig4") {
+        matched = true;
+        println!("== Fig 4: TD3 vs TD3+RDPER ==");
+        let ck: Vec<usize> = (1..=6).map(|i| i * cfg.offline_iterations / 3).collect();
+        for r in experiments::fig4(&cfg, &ck) {
+            println!("iters {:5}  td3 {:6.1}s  rdper {:6.1}s", r.iterations, r.td3_best_s, r.td3_rdper_best_s);
+        }
+    }
+    if want("fig5") {
+        matched = true;
+        let r = experiments::fig5(&cfg);
+        println!("== Fig 5: Twin-Q ablation ==");
+        println!(
+            "with {:.1}s (best {:.1}) vs without {:.1}s (best {:.1}) — {:.1}% saved",
+            r.with_total_s,
+            r.with_best_s,
+            r.without_total_s,
+            r.without_best_s,
+            100.0 * (r.without_total_s - r.with_total_s) / r.without_total_s
+        );
+    }
+    if want("fig6") || want("fig7") || want("fig8") {
+        matched = true;
+        println!("== Figs 6-8: 12-pair comparison ==");
+        let rows = experiments::comparison(&cfg);
+        for r in &rows {
+            println!(
+                "{:6} {:10} best {:7.1}s  speedup {:5.2}x  cost {:8.1}s (rec {:.3}s)",
+                r.workload,
+                r.tuner,
+                r.best_s,
+                r.speedup,
+                r.total_eval_s + r.total_rec_s,
+                r.total_rec_s
+            );
+        }
+        for (t, s) in experiments::mean_speedups(&rows) {
+            println!("mean {t}: {s:.2}x");
+        }
+    }
+    if want("fig9") {
+        matched = true;
+        println!("== Fig 9: workload adaptability ==");
+        for r in experiments::fig9(&cfg) {
+            println!("{:12} best {:6.1}s  cost {:7.1}s", r.model, r.best_s, r.total_cost_s);
+        }
+    }
+    if want("fig10") {
+        matched = true;
+        println!("== Fig 10: hardware adaptability ==");
+        for r in experiments::fig10(&cfg) {
+            println!(
+                "{:6} {:10} speedup {:5.2}x  cost {:7.1}s",
+                r.workload, r.tuner, r.speedup_over_default_b, r.total_cost_s
+            );
+        }
+    }
+    if want("fig11") {
+        matched = true;
+        println!("== Fig 11: beta sweep ==");
+        for r in experiments::fig11(&cfg) {
+            println!("beta {:.1}  best {:6.1}s  cost {:7.1}s", r.beta, r.best_s, r.total_cost_s);
+        }
+    }
+    if want("fig12") {
+        matched = true;
+        println!("== Fig 12: Q_th sweep ==");
+        for r in experiments::fig12(&cfg) {
+            println!("qth {:.1}  best {:6.1}s  cost {:7.1}s", r.q_th, r.best_s, r.total_cost_s);
+        }
+    }
+    if matched {
+        ExitCode::SUCCESS
+    } else {
+        usage()
+    }
+}

@@ -1,0 +1,177 @@
+//! `deepcat-tune` — command-line driver for the DeepCAT tuning pipeline on
+//! the simulated cluster.
+//!
+//! ```text
+//! deepcat-tune train  --workload TS --input D1 --iters 2000 --model m.json
+//! deepcat-tune tune   --workload TS --input D1 --model m.json --steps 5
+//! deepcat-tune run    --workload TS --input D1            # default config
+//! deepcat-tune compare --workload TS --input D1           # 3 tuners
+//! ```
+
+use deepcat::experiments::{compare_on, ExperimentConfig};
+use deepcat::{
+    load_td3, online_tune_td3, save_td3, train_td3, AgentConfig, OfflineConfig, OnlineConfig,
+    TuningEnv,
+};
+use spark_sim::{Cluster, InputSize, Workload, WorkloadKind};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    workload: WorkloadKind,
+    input: InputSize,
+    iters: usize,
+    steps: usize,
+    seed: u64,
+    model: Option<PathBuf>,
+    background_load: f64,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: deepcat-tune <train|tune|run|compare> \
+         [--workload WC|TS|PR|KM|SO|AG] [--input D1|D2|D3] \
+         [--iters N] [--steps N] [--seed N] [--model PATH] [--bg FLOAT]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or("missing command")?;
+    let mut args = Args {
+        command,
+        workload: WorkloadKind::TeraSort,
+        input: InputSize::D1,
+        iters: 1500,
+        steps: 5,
+        seed: 2022,
+        model: None,
+        background_load: 0.15,
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = || argv.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--workload" => {
+                args.workload = match value()?.to_uppercase().as_str() {
+                    "WC" => WorkloadKind::WordCount,
+                    "TS" => WorkloadKind::TeraSort,
+                    "PR" => WorkloadKind::PageRank,
+                    "KM" => WorkloadKind::KMeans,
+                    "SO" => WorkloadKind::Sort,
+                    "AG" => WorkloadKind::Aggregation,
+                    other => return Err(format!("unknown workload {other}")),
+                }
+            }
+            "--input" => {
+                args.input = match value()?.to_uppercase().as_str() {
+                    "D1" => InputSize::D1,
+                    "D2" => InputSize::D2,
+                    "D3" => InputSize::D3,
+                    other => return Err(format!("unknown input size {other}")),
+                }
+            }
+            "--iters" => args.iters = value()?.parse().map_err(|e| format!("--iters: {e}"))?,
+            "--steps" => args.steps = value()?.parse().map_err(|e| format!("--steps: {e}"))?,
+            "--seed" => args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--model" => args.model = Some(PathBuf::from(value()?)),
+            "--bg" => {
+                args.background_load = value()?.parse().map_err(|e| format!("--bg: {e}"))?
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let workload = Workload::new(args.workload, args.input);
+    match args.command.as_str() {
+        "train" => {
+            let mut env = TuningEnv::for_workload(Cluster::cluster_a(), workload, args.seed);
+            println!(
+                "training on {workload} (default exec {:.1}s, {} iterations)...",
+                env.default_exec_time(),
+                args.iters
+            );
+            let cfg = AgentConfig::for_dims(env.state_dim(), env.action_dim());
+            let (agent, log, _) =
+                train_td3(&mut env, cfg, &OfflineConfig::deepcat(args.iters, args.seed), &[]);
+            let last = log.smoothed_rewards(20).last().map(|(_, r)| *r).unwrap_or(0.0);
+            println!("final smoothed reward: {last:.3}");
+            let path = args.model.unwrap_or_else(|| PathBuf::from("deepcat-model.json"));
+            if let Err(e) = save_td3(&agent, &path) {
+                eprintln!("error: cannot save model: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("model saved to {}", path.display());
+        }
+        "tune" => {
+            let Some(path) = args.model else {
+                eprintln!("error: tune needs --model PATH");
+                return usage();
+            };
+            let mut agent = match load_td3(&path, args.seed) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("error: cannot load model: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let live = Cluster::cluster_a().with_background_load(args.background_load);
+            let mut env = TuningEnv::for_workload(live, workload, args.seed ^ 0xFACE);
+            let oc = OnlineConfig { steps: args.steps, ..OnlineConfig::deepcat(args.seed) };
+            let report = online_tune_td3(&mut agent, &mut env, &oc, "DeepCAT");
+            for s in &report.steps {
+                println!(
+                    "step {}: exec {:.1}s  reward {:+.3}{}",
+                    s.step + 1,
+                    s.exec_time_s,
+                    s.reward,
+                    if s.failed { "  FAILED" } else { "" }
+                );
+            }
+            println!(
+                "best {:.1}s ({:.2}x over default {:.1}s); total cost {:.1}s",
+                report.best_exec_time_s,
+                report.speedup(),
+                report.default_exec_time_s,
+                report.total_cost_s()
+            );
+        }
+        "run" => {
+            let mut env = TuningEnv::for_workload(Cluster::cluster_a(), workload, args.seed);
+            println!("default configuration on {workload}: {:.1}s", env.default_exec_time());
+            let dflt = env.spark().space().normalize(&env.spark().space().default_config());
+            let out = env.step(&dflt);
+            println!("one fresh run: {:.1}s (reward {:+.3})", out.exec_time_s, out.reward);
+        }
+        "compare" => {
+            let cfg = ExperimentConfig {
+                offline_iterations: args.iters,
+                online_steps: args.steps,
+                seed: args.seed,
+                ..ExperimentConfig::default()
+            };
+            for row in compare_on(workload, &Cluster::cluster_a(), &cfg) {
+                println!(
+                    "{:10} best {:7.1}s  speedup {:5.2}x  cost {:8.1}s",
+                    row.tuner,
+                    row.best_s,
+                    row.speedup,
+                    row.total_eval_s + row.total_rec_s
+                );
+            }
+        }
+        _ => return usage(),
+    }
+    ExitCode::SUCCESS
+}

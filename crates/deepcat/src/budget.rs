@@ -1,0 +1,170 @@
+//! Budget-constrained online tuning (paper §5.2.3): "for real online
+//! configuration auto-tuning applications, there is usually a
+//! user-specified constraint on the total online tuning time consumption".
+//!
+//! [`BudgetedTuning`] wraps the TD3 online loop with a hard budget on
+//! accumulated tuning cost (evaluation + recommendation seconds): it keeps
+//! taking steps while the *expected* next step still fits, then reports the
+//! best configuration found and the leftover budget. The expectation uses a
+//! running mean of observed step costs, so one slow evaluation early on
+//! makes the controller appropriately conservative.
+
+use crate::envwrap::TuningEnv;
+use crate::online::{online_tune_td3, OnlineConfig, StepRecord, TuningReport};
+use crate::td3::Td3Agent;
+use serde::{Deserialize, Serialize};
+
+/// Result of a budget-constrained session.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BudgetReport {
+    /// The underlying per-step records (one per executed step).
+    pub report: TuningReport,
+    /// The user's budget (seconds of tuning cost).
+    pub budget_s: f64,
+    /// Cost actually spent.
+    pub spent_s: f64,
+    /// Steps executed before the controller stopped.
+    pub steps_taken: usize,
+    /// True if the session stopped because the next step would not fit
+    /// (false ⇒ the step cap was reached first).
+    pub stopped_by_budget: bool,
+}
+
+/// Budget-constrained tuning controller.
+#[derive(Clone, Debug)]
+pub struct BudgetedTuning {
+    /// Total tuning-cost budget in seconds.
+    pub budget_s: f64,
+    /// Hard cap on steps regardless of budget (safety valve).
+    pub max_steps: usize,
+    /// Online-loop configuration used for each single step.
+    pub online: OnlineConfig,
+}
+
+impl BudgetedTuning {
+    pub fn new(budget_s: f64, seed: u64) -> Self {
+        assert!(budget_s > 0.0);
+        Self { budget_s, max_steps: 64, online: OnlineConfig::deepcat(seed) }
+    }
+
+    /// Run the session: one online step at a time while the predicted cost
+    /// of the next step fits in the remaining budget.
+    ///
+    /// Each step is an independent single-step session (the fine-tuning
+    /// replay does not persist across steps); the agent's *weights* do
+    /// persist, which is where cross-step learning accumulates.
+    pub fn run(&self, agent: &mut Td3Agent, env: &mut TuningEnv) -> BudgetReport {
+        let mut steps: Vec<StepRecord> = Vec::new();
+        let mut spent = 0.0;
+        let mut stopped_by_budget = false;
+        while steps.len() < self.max_steps {
+            // Predict the next step's cost: mean of past steps, or — before
+            // any observation — the default execution time (the only prior
+            // the tuner has).
+            let predicted = if steps.is_empty() {
+                env.default_exec_time() * 0.5
+            } else {
+                spent / steps.len() as f64
+            };
+            if spent + predicted > self.budget_s {
+                stopped_by_budget = true;
+                break;
+            }
+            let one = OnlineConfig {
+                steps: 1,
+                seed: self.online.seed ^ (steps.len() as u64) << 8,
+                ..self.online.clone()
+            };
+            let r = online_tune_td3(agent, env, &one, "DeepCAT");
+            let rec = r.steps.into_iter().next().expect("one step requested");
+            spent += rec.exec_time_s + rec.recommendation_s;
+            steps.push(StepRecord { step: steps.len(), ..rec });
+            if spent >= self.budget_s {
+                stopped_by_budget = true;
+                break;
+            }
+        }
+        assert!(!steps.is_empty(), "budget too small for even one evaluation");
+        let report = crate::online::finish_report("DeepCAT(budgeted)", env, steps);
+        BudgetReport {
+            budget_s: self.budget_s,
+            spent_s: spent,
+            steps_taken: report.steps.len(),
+            stopped_by_budget,
+            report,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AgentConfig;
+    use crate::offline::{train_td3, OfflineConfig};
+    use spark_sim::{Cluster, InputSize, Workload, WorkloadKind};
+
+    fn trained(w: Workload, seed: u64) -> (Td3Agent, TuningEnv) {
+        let mut env = TuningEnv::for_workload(Cluster::cluster_a(), w, seed);
+        let mut ac = AgentConfig::for_dims(env.state_dim(), env.action_dim());
+        ac.hidden = vec![32, 32];
+        ac.warmup_steps = 96;
+        let (agent, _, _) = train_td3(&mut env, ac, &OfflineConfig::deepcat(700, seed), &[]);
+        let live = TuningEnv::for_workload(
+            Cluster::cluster_a().with_background_load(0.15),
+            w,
+            seed ^ 0xB0D,
+        );
+        (agent, live)
+    }
+
+    #[test]
+    fn spends_within_budget_plus_one_step() {
+        let w = Workload::new(WorkloadKind::WordCount, InputSize::D1);
+        let (mut agent, mut env) = trained(w, 11);
+        let budget = 150.0;
+        let ctl = BudgetedTuning::new(budget, 1);
+        let out = ctl.run(&mut agent, &mut env);
+        // The controller may overshoot by at most the final step's cost
+        // (it cannot preempt a running evaluation).
+        let last_cost = out
+            .report
+            .steps
+            .last()
+            .map(|s| s.exec_time_s + s.recommendation_s)
+            .unwrap();
+        assert!(out.spent_s <= budget + last_cost);
+        assert!(out.steps_taken >= 1);
+    }
+
+    #[test]
+    fn larger_budget_takes_more_steps() {
+        let w = Workload::new(WorkloadKind::WordCount, InputSize::D1);
+        let (agent, env) = trained(w, 12);
+        let small = BudgetedTuning::new(80.0, 2)
+            .run(&mut agent.clone(), &mut env.clone());
+        let large = BudgetedTuning::new(400.0, 2)
+            .run(&mut agent.clone(), &mut env.clone());
+        assert!(large.steps_taken >= small.steps_taken);
+        assert!(large.report.best_exec_time_s <= small.report.best_exec_time_s * 1.2);
+    }
+
+    #[test]
+    fn step_cap_is_respected() {
+        let w = Workload::new(WorkloadKind::WordCount, InputSize::D1);
+        let (mut agent, mut env) = trained(w, 13);
+        let mut ctl = BudgetedTuning::new(1e9, 3);
+        ctl.max_steps = 4;
+        let out = ctl.run(&mut agent, &mut env);
+        assert_eq!(out.steps_taken, 4);
+        assert!(!out.stopped_by_budget);
+    }
+
+    #[test]
+    fn budget_stop_is_flagged() {
+        let w = Workload::new(WorkloadKind::WordCount, InputSize::D1);
+        let (mut agent, mut env) = trained(w, 14);
+        let ctl = BudgetedTuning::new(60.0, 4);
+        let out = ctl.run(&mut agent, &mut env);
+        assert!(out.stopped_by_budget);
+    }
+}

@@ -1,0 +1,94 @@
+//! Agent hyper-parameters shared by the TD3 and DDPG implementations.
+
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters for the actor-critic agents.
+///
+/// The defaults follow the TD3 reference implementation adapted to the
+/// paper's setting: actions normalized to `[0,1]^32`, short tuning
+/// episodes, and immediate rewards that directly score each configuration
+/// (Section 3.1), which justifies a small discount factor.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AgentConfig {
+    pub state_dim: usize,
+    pub action_dim: usize,
+    /// Hidden layer widths for actor and critics.
+    pub hidden: Vec<usize>,
+    pub actor_lr: f64,
+    pub critic_lr: f64,
+    /// Discount factor γ. The paper's reward is immediate and
+    /// action-driven, so the effective horizon is short.
+    pub gamma: f64,
+    /// Polyak averaging rate τ for target networks.
+    pub tau: f64,
+    /// Std-dev of exploration noise added to actions during offline
+    /// training.
+    pub exploration_noise: f64,
+    /// TD3 target-policy smoothing noise std-dev.
+    pub policy_noise: f64,
+    /// TD3 smoothing noise clip.
+    pub noise_clip: f64,
+    /// TD3 delayed policy update period `d`.
+    pub policy_delay: u32,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Environment steps taken uniformly at random before learning starts.
+    pub warmup_steps: usize,
+    /// Episode length during offline training (the paper fine-tunes with 5
+    /// online steps; offline episodes use the same horizon).
+    pub episode_len: usize,
+    /// Rewards are clipped to `[-reward_clip, reward_clip]` to keep the
+    /// OOM-penalty transitions from destabilizing the critics.
+    pub reward_clip: f64,
+}
+
+impl AgentConfig {
+    /// Defaults for the paper's 9-dim state / 32-dim action problem.
+    pub fn for_dims(state_dim: usize, action_dim: usize) -> Self {
+        Self {
+            state_dim,
+            action_dim,
+            hidden: vec![64, 64],
+            actor_lr: 3e-4,
+            critic_lr: 1e-3,
+            gamma: 0.05,
+            tau: 0.01,
+            exploration_noise: 0.2,
+            policy_noise: 0.1,
+            noise_clip: 0.25,
+            policy_delay: 2,
+            batch_size: 64,
+            warmup_steps: 256,
+            episode_len: 5,
+            reward_clip: 5.0,
+        }
+    }
+
+    /// Clip a raw reward to the configured range.
+    pub fn clip_reward(&self, r: f64) -> f64 {
+        r.clamp(-self.reward_clip, self.reward_clip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = AgentConfig::for_dims(9, 32);
+        assert_eq!(c.state_dim, 9);
+        assert_eq!(c.action_dim, 32);
+        assert!(c.gamma > 0.0 && c.gamma < 1.0);
+        assert!(c.tau > 0.0 && c.tau < 1.0);
+        assert!(c.policy_delay >= 1);
+    }
+
+    #[test]
+    fn reward_clip_is_symmetric() {
+        let c = AgentConfig::for_dims(1, 1);
+        assert_eq!(c.clip_reward(100.0), c.reward_clip);
+        assert_eq!(c.clip_reward(-100.0), -c.reward_clip);
+        assert_eq!(c.clip_reward(0.3), 0.3);
+    }
+}

@@ -1,0 +1,223 @@
+//! Deep Deterministic Policy Gradient (Lillicrap et al. 2015) — the agent
+//! inside the CDBTune baseline. Single critic, per-step actor updates, no
+//! target smoothing: exactly the algorithm whose value overestimation TD3
+//! (and hence DeepCAT) corrects.
+
+use crate::config::AgentConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl::{Batch, GaussianNoise};
+use tensor_nn::{loss, Activation, Matrix, Mlp, Adam};
+
+/// Diagnostics from one DDPG gradient step.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DdpgStats {
+    pub critic_loss: f64,
+    pub actor_loss: f64,
+    /// Mean Q(s, μ(s)) over the batch.
+    pub mean_q: f64,
+}
+
+/// The DDPG agent.
+#[derive(Clone, Debug)]
+pub struct DdpgAgent {
+    pub cfg: AgentConfig,
+    actor: Mlp,
+    actor_target: Mlp,
+    critic: Mlp,
+    critic_target: Mlp,
+    actor_opt: Adam,
+    critic_opt: Adam,
+    explore: GaussianNoise,
+    rng: StdRng,
+    train_steps: u64,
+}
+
+fn layer_sizes(input: usize, hidden: &[usize], output: usize) -> Vec<usize> {
+    let mut v = Vec::with_capacity(hidden.len() + 2);
+    v.push(input);
+    v.extend_from_slice(hidden);
+    v.push(output);
+    v
+}
+
+impl DdpgAgent {
+    pub fn new(cfg: AgentConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let actor = Mlp::new(
+            &layer_sizes(cfg.state_dim, &cfg.hidden, cfg.action_dim),
+            Activation::Relu,
+            Activation::Sigmoid,
+            &mut rng,
+        );
+        let critic = Mlp::new(
+            &layer_sizes(cfg.state_dim + cfg.action_dim, &cfg.hidden, 1),
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng,
+        );
+        let explore = GaussianNoise::new(cfg.action_dim, cfg.exploration_noise);
+        Self {
+            actor_target: actor.clone(),
+            critic_target: critic.clone(),
+            actor_opt: Adam::new(cfg.actor_lr),
+            critic_opt: Adam::new(cfg.critic_lr),
+            actor,
+            critic,
+            explore,
+            rng,
+            cfg,
+            train_steps: 0,
+        }
+    }
+
+    pub fn train_steps(&self) -> u64 {
+        self.train_steps
+    }
+
+    /// Deterministic policy action.
+    pub fn select_action(&self, state: &[f64]) -> Vec<f64> {
+        assert_eq!(state.len(), self.cfg.state_dim);
+        self.actor.infer(&Matrix::row_vector(state)).as_slice().to_vec()
+    }
+
+    /// Policy action plus exploration noise.
+    pub fn select_action_noisy(&mut self, state: &[f64]) -> Vec<f64> {
+        let a = self.select_action(state);
+        self.explore.perturb(&a, &mut self.rng)
+    }
+
+    /// Single-critic Q estimate.
+    pub fn q_value(&self, state: &[f64], action: &[f64]) -> f64 {
+        let sa = Matrix::row_vector(state).hconcat(&Matrix::row_vector(action));
+        self.critic.infer(&sa).get(0, 0)
+    }
+
+    /// One DDPG gradient step; returns diagnostics and per-sample TD errors
+    /// (CDBTune pairs DDPG with TD-error prioritized replay).
+    pub fn train_step(&mut self, batch: &Batch) -> (DdpgStats, Vec<f64>) {
+        let m = batch.len();
+        assert!(m > 0);
+        let states = Matrix::from_rows(
+            &batch.transitions.iter().map(|t| t.state.as_slice()).collect::<Vec<_>>(),
+        );
+        let actions = Matrix::from_rows(
+            &batch.transitions.iter().map(|t| t.action.as_slice()).collect::<Vec<_>>(),
+        );
+        let next_states = Matrix::from_rows(
+            &batch.transitions.iter().map(|t| t.next_state.as_slice()).collect::<Vec<_>>(),
+        );
+
+        // Target: y = r + γ(1−done)·Q'(s', μ'(s')). No twin minimum, no
+        // smoothing — the overestimation-prone original.
+        let next_actions = self.actor_target.infer(&next_states);
+        let sa_next = next_states.hconcat(&next_actions);
+        let q_t = self.critic_target.infer(&sa_next);
+        let y = Matrix::from_fn(m, 1, |r, _| {
+            let t = &batch.transitions[r];
+            let not_done = if t.done { 0.0 } else { 1.0 };
+            self.cfg.clip_reward(t.reward) + self.cfg.gamma * not_done * q_t.get(r, 0)
+        });
+
+        // Critic update.
+        let sa = states.hconcat(&actions);
+        let cache = self.critic.forward(&sa);
+        let td_errors: Vec<f64> = (0..m).map(|r| cache.output.get(r, 0) - y.get(r, 0)).collect();
+        let grad = loss::weighted_mse_grad(&cache.output, &y, &batch.weights);
+        let critic_loss = loss::mse(&cache.output, &y);
+        let (_, mut c_grads) = self.critic.backward(&cache, &grad);
+        c_grads.clip_global_norm(10.0);
+        self.critic_opt.step(&mut self.critic, &c_grads);
+
+        // Actor update every step.
+        let a_cache = self.actor.forward(&states);
+        let sa_pi = states.hconcat(&a_cache.output);
+        let q_cache = self.critic.forward(&sa_pi);
+        let mean_q = q_cache.output.mean();
+        let gq = Matrix::full(m, 1, -1.0 / m as f64);
+        let (grad_sa, _) = self.critic.backward(&q_cache, &gq);
+        let (_, grad_a) = grad_sa.hsplit(self.cfg.state_dim);
+        let (_, mut a_grads) = self.actor.backward(&a_cache, &grad_a);
+        a_grads.clip_global_norm(10.0);
+        self.actor_opt.step(&mut self.actor, &a_grads);
+
+        self.actor_target.soft_update_from(&self.actor, self.cfg.tau);
+        self.critic_target.soft_update_from(&self.critic, self.cfg.tau);
+        self.train_steps += 1;
+
+        (
+            DdpgStats { critic_loss, actor_loss: -mean_q, mean_q },
+            td_errors,
+        )
+    }
+
+    pub fn diverged(&self) -> bool {
+        self.actor.has_non_finite() || self.critic.has_non_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rl::Transition;
+
+    fn toy_cfg() -> AgentConfig {
+        let mut c = AgentConfig::for_dims(2, 3);
+        c.hidden = vec![16, 16];
+        c
+    }
+
+    fn bandit_batch(agent: &mut DdpgAgent, n: usize) -> Batch {
+        let target = [0.3, 0.7, 0.9];
+        let mut transitions = Vec::with_capacity(n);
+        for _ in 0..n {
+            let s = vec![0.0, 0.5];
+            let a = agent.select_action_noisy(&s);
+            let d2: f64 = a.iter().zip(&target).map(|(x, t)| (x - t) * (x - t)).sum();
+            transitions.push(Transition::new(s.clone(), a, 1.0 - d2, s, true));
+        }
+        let n = transitions.len();
+        Batch { transitions, weights: vec![1.0; n], indices: vec![0; n] }
+    }
+
+    #[test]
+    fn learns_a_deterministic_bandit() {
+        let mut agent = DdpgAgent::new(toy_cfg(), 7);
+        let target = [0.3, 0.7, 0.9];
+        for _ in 0..1500 {
+            let b = bandit_batch(&mut agent, 16);
+            agent.train_step(&b);
+        }
+        assert!(!agent.diverged());
+        let a = agent.select_action(&[0.0, 0.5]);
+        let d2: f64 = a.iter().zip(&target).map(|(x, t)| (x - t) * (x - t)).sum();
+        assert!(d2 < 0.1, "d² = {d2}, a = {a:?}");
+    }
+
+    #[test]
+    fn actions_bounded() {
+        let mut agent = DdpgAgent::new(toy_cfg(), 8);
+        for _ in 0..10 {
+            let a = agent.select_action_noisy(&[0.1, 0.1]);
+            assert!(a.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn td_errors_returned_per_sample() {
+        let mut agent = DdpgAgent::new(toy_cfg(), 9);
+        let b = bandit_batch(&mut agent, 8);
+        let (_, tds) = agent.train_step(&b);
+        assert_eq!(tds.len(), 8);
+    }
+
+    #[test]
+    fn actor_updates_every_step() {
+        let mut agent = DdpgAgent::new(toy_cfg(), 10);
+        let b = bandit_batch(&mut agent, 8);
+        let before = agent.select_action(&[0.0, 0.5]);
+        agent.train_step(&b);
+        let after = agent.select_action(&[0.0, 0.5]);
+        assert_ne!(before, after, "one step must move the policy");
+    }
+}

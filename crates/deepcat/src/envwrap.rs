@@ -1,0 +1,160 @@
+//! Episodic RL view of the tuning problem: wraps a [`SparkEnv`] with the
+//! paper's reward function and episode bookkeeping (a tuning session of a
+//! few sequential configuration evaluations).
+
+use crate::reward::RewardFn;
+use spark_sim::{Cluster, RunMetrics, SparkEnv, Workload};
+
+/// Result of one tuning step.
+#[derive(Clone, Debug)]
+pub struct StepOutcome {
+    pub next_state: Vec<f64>,
+    pub reward: f64,
+    pub done: bool,
+    /// Measured execution time charged for this evaluation (seconds).
+    pub exec_time_s: f64,
+    pub failed: bool,
+    /// Internal run metrics (used by OtterTune-style workload mapping).
+    pub metrics: RunMetrics,
+}
+
+/// The tuning environment: a (cluster, workload) target plus reward
+/// shaping and episode state.
+#[derive(Clone, Debug)]
+pub struct TuningEnv {
+    env: SparkEnv,
+    reward_fn: RewardFn,
+    episode_len: usize,
+    step_in_episode: usize,
+    state: Vec<f64>,
+}
+
+impl TuningEnv {
+    /// Build from a pre-constructed [`SparkEnv`]; `perf_e` derives from the
+    /// measured default execution time (Eq. 1 of the paper).
+    pub fn new(env: SparkEnv, episode_len: usize) -> Self {
+        assert!(episode_len > 0);
+        let reward_fn = RewardFn::from_default_time(env.default_exec_time());
+        let state = env.idle_state();
+        Self { env, reward_fn, episode_len, step_in_episode: 0, state }
+    }
+
+    /// Convenience constructor from a cluster + workload.
+    pub fn for_workload(cluster: Cluster, workload: Workload, seed: u64) -> Self {
+        Self::new(SparkEnv::new(cluster, workload, seed), 5)
+    }
+
+    pub fn reward_fn(&self) -> RewardFn {
+        self.reward_fn
+    }
+
+    pub fn spark(&self) -> &SparkEnv {
+        &self.env
+    }
+
+    pub fn state_dim(&self) -> usize {
+        self.env.state_dim()
+    }
+
+    pub fn action_dim(&self) -> usize {
+        self.env.action_dim()
+    }
+
+    pub fn default_exec_time(&self) -> f64 {
+        self.env.default_exec_time()
+    }
+
+    /// Total configuration evaluations performed (the costly operation).
+    pub fn eval_count(&self) -> u64 {
+        self.env.eval_count()
+    }
+
+    /// Current observed state.
+    pub fn state(&self) -> &[f64] {
+        &self.state
+    }
+
+    /// Start a new episode; returns the initial (idle-cluster) state.
+    pub fn reset(&mut self) -> Vec<f64> {
+        self.step_in_episode = 0;
+        self.state = self.env.idle_state();
+        self.state.clone()
+    }
+
+    /// Evaluate the configuration encoded by `action` and advance the
+    /// episode.
+    pub fn step(&mut self, action: &[f64]) -> StepOutcome {
+        let result = self.env.evaluate_action(action);
+        let reward = self.reward_fn.reward(result.exec_time_s);
+        let next_state = self.env.observe(&result);
+        self.step_in_episode += 1;
+        let done = self.step_in_episode >= self.episode_len;
+        self.state = next_state.clone();
+        if done {
+            self.step_in_episode = 0;
+        }
+        StepOutcome {
+            next_state,
+            reward,
+            done,
+            exec_time_s: result.exec_time_s,
+            failed: result.failed,
+            metrics: result.metrics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spark_sim::{InputSize, WorkloadKind};
+
+    fn env() -> TuningEnv {
+        TuningEnv::for_workload(
+            Cluster::cluster_a(),
+            Workload::new(WorkloadKind::TeraSort, InputSize::D1),
+            1,
+        )
+    }
+
+    #[test]
+    fn reward_matches_formula() {
+        let mut e = env();
+        let a = vec![0.5; 32];
+        let out = e.step(&a);
+        let expect = e.reward_fn().reward(out.exec_time_s);
+        assert_eq!(out.reward, expect);
+    }
+
+    #[test]
+    fn episode_terminates_at_len() {
+        let mut e = env();
+        e.reset();
+        let a = vec![0.5; 32];
+        for i in 0..5 {
+            let out = e.step(&a);
+            assert_eq!(out.done, i == 4, "step {i}");
+        }
+        // Next episode starts fresh.
+        let out = e.step(&a);
+        assert!(!out.done);
+    }
+
+    #[test]
+    fn default_action_scores_negative_reward() {
+        // perf_e = default/4, so the default configuration itself must be
+        // far below target.
+        let mut e = env();
+        let dflt = e.spark().space().normalize(&e.spark().space().default_config());
+        let out = e.step(&dflt);
+        assert!(out.reward < 0.0, "reward {}", out.reward);
+    }
+
+    #[test]
+    fn reset_returns_idle_state() {
+        let mut e = env();
+        let s = e.reset();
+        assert_eq!(s.len(), e.state_dim());
+        assert!(s.iter().all(|&v| v < 0.01));
+    }
+}

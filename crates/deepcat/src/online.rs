@@ -1,0 +1,334 @@
+//! Online tuning stage (Figure 1, right): fine-tune an offline-trained
+//! agent on the live target environment for a fixed number of steps
+//! (5, following CDBTune), tracking both the quality of the best
+//! configuration found and the *total tuning cost* — evaluation time plus
+//! recommendation time — that the paper optimizes.
+
+use crate::ddpg::DdpgAgent;
+use crate::envwrap::TuningEnv;
+use crate::td3::Td3Agent;
+use crate::twinq::TwinQOptimizer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl::{GaussianNoise, ReplayMemory, Transition, UniformReplay};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Online-tuning configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OnlineConfig {
+    /// Number of online tuning steps (the paper uses 5).
+    pub steps: usize,
+    /// Run the Twin-Q Optimizer before each evaluation (DeepCAT) or not
+    /// (the ablation / baselines).
+    pub use_twinq: bool,
+    pub twinq: TwinQOptimizer,
+    /// Gradient steps applied after each online evaluation (fine-tuning).
+    pub fine_tune_steps: usize,
+    /// Exploration noise σ added to the recommended action during online
+    /// steps (kept small; the offline policy is already good).
+    pub exploration_sigma: f64,
+    pub seed: u64,
+}
+
+impl OnlineConfig {
+    /// DeepCAT's online recipe.
+    pub fn deepcat(seed: u64) -> Self {
+        Self {
+            steps: 5,
+            use_twinq: true,
+            twinq: TwinQOptimizer::default(),
+            fine_tune_steps: 4,
+            exploration_sigma: 0.25,
+            seed,
+        }
+    }
+
+    /// The same loop without the Twin-Q Optimizer (Fig. 5 ablation, and
+    /// what CDBTune-style agents do).
+    pub fn without_twinq(seed: u64) -> Self {
+        Self { use_twinq: false, ..Self::deepcat(seed) }
+    }
+}
+
+/// One online tuning step's record.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StepRecord {
+    pub step: usize,
+    /// Execution time of the evaluated configuration (seconds).
+    pub exec_time_s: f64,
+    pub failed: bool,
+    pub reward: f64,
+    /// Wall-clock recommendation time for this step (seconds) — actor
+    /// inference plus Twin-Q optimization (or GP fit + EI for OtterTune).
+    pub recommendation_s: f64,
+    /// `min(Q1,Q2)` estimate of the evaluated action, when available.
+    pub q_estimate: Option<f64>,
+    /// Rounds the Twin-Q Optimizer spent on this step (0 without it).
+    pub twinq_iterations: usize,
+    /// The evaluated normalized action.
+    pub action: Vec<f64>,
+}
+
+/// Result of one online tuning session.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TuningReport {
+    pub tuner: String,
+    pub workload: String,
+    pub steps: Vec<StepRecord>,
+    /// Best (lowest) execution time observed across the session.
+    pub best_exec_time_s: f64,
+    /// Action achieving the best execution time.
+    pub best_action: Vec<f64>,
+    /// Σ evaluation time — the dominant share of tuning cost.
+    pub total_eval_s: f64,
+    /// Σ recommendation time.
+    pub total_rec_s: f64,
+    /// The default configuration's execution time for this workload.
+    pub default_exec_time_s: f64,
+}
+
+impl TuningReport {
+    /// Speedup of the best found configuration over the default.
+    pub fn speedup(&self) -> f64 {
+        self.default_exec_time_s / self.best_exec_time_s
+    }
+
+    /// Total online tuning cost (evaluation + recommendation), seconds.
+    pub fn total_cost_s(&self) -> f64 {
+        self.total_eval_s + self.total_rec_s
+    }
+
+    /// Best-so-far execution time after each step.
+    pub fn best_so_far(&self) -> Vec<f64> {
+        let mut best = f64::INFINITY;
+        self.steps
+            .iter()
+            .map(|s| {
+                best = best.min(s.exec_time_s);
+                best
+            })
+            .collect()
+    }
+
+    /// Accumulated tuning cost after each step.
+    pub fn accumulated_cost(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        self.steps
+            .iter()
+            .map(|s| {
+                acc += s.exec_time_s + s.recommendation_s;
+                acc
+            })
+            .collect()
+    }
+}
+
+/// Run the online tuning session for a TD3-based tuner (DeepCAT with
+/// `use_twinq`, the ablation without).
+pub fn online_tune_td3(
+    agent: &mut Td3Agent,
+    env: &mut TuningEnv,
+    cfg: &OnlineConfig,
+    tuner_name: &str,
+) -> TuningReport {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0417_11E5);
+    let noise = GaussianNoise::new(env.action_dim(), cfg.exploration_sigma);
+    let mut replay = UniformReplay::new(1024);
+    let mut steps = Vec::with_capacity(cfg.steps);
+    let mut state = env.reset();
+    for step in 0..cfg.steps {
+        let t0 = Instant::now();
+        let mut action = agent.select_action(&state);
+        if cfg.exploration_sigma > 0.0 {
+            action = noise.perturb(&action, &mut rng);
+        }
+        let mut twinq_iterations = 0;
+        if cfg.use_twinq {
+            let res = cfg.twinq.optimize(agent, &state, action, &mut rng);
+            twinq_iterations = res.iterations;
+            action = res.action;
+        }
+        let q_estimate = Some(agent.min_q(&state, &action));
+        let recommendation_s = t0.elapsed().as_secs_f64();
+
+        let out = env.step(&action);
+        replay.push(Transition::new(
+            state.clone(),
+            action.clone(),
+            out.reward,
+            out.next_state.clone(),
+            out.done,
+        ));
+        // Fine-tune on the online transitions gathered so far.
+        for _ in 0..cfg.fine_tune_steps {
+            let batch_size = replay.len().min(agent.cfg.batch_size);
+            if let Some(batch) = replay.sample(batch_size, &mut rng) {
+                agent.train_step(&batch);
+            }
+        }
+        steps.push(StepRecord {
+            step,
+            exec_time_s: out.exec_time_s,
+            failed: out.failed,
+            reward: out.reward,
+            recommendation_s,
+            q_estimate,
+            twinq_iterations,
+            action,
+        });
+        state = out.next_state;
+    }
+    finish_report(tuner_name, env, steps)
+}
+
+/// Run the online tuning session for a DDPG-based tuner (CDBTune).
+pub fn online_tune_ddpg(
+    agent: &mut DdpgAgent,
+    env: &mut TuningEnv,
+    cfg: &OnlineConfig,
+    tuner_name: &str,
+) -> TuningReport {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0417_11E5);
+    let noise = GaussianNoise::new(env.action_dim(), cfg.exploration_sigma);
+    let mut replay = UniformReplay::new(1024);
+    let mut steps = Vec::with_capacity(cfg.steps);
+    let mut state = env.reset();
+    for step in 0..cfg.steps {
+        let t0 = Instant::now();
+        let mut action = agent.select_action(&state);
+        if cfg.exploration_sigma > 0.0 {
+            action = noise.perturb(&action, &mut rng);
+        }
+        let q_estimate = Some(agent.q_value(&state, &action));
+        let recommendation_s = t0.elapsed().as_secs_f64();
+        let out = env.step(&action);
+        replay.push(Transition::new(
+            state.clone(),
+            action.clone(),
+            out.reward,
+            out.next_state.clone(),
+            out.done,
+        ));
+        for _ in 0..cfg.fine_tune_steps {
+            let batch_size = replay.len().min(agent.cfg.batch_size);
+            if let Some(batch) = replay.sample(batch_size, &mut rng) {
+                agent.train_step(&batch);
+            }
+        }
+        steps.push(StepRecord {
+            step,
+            exec_time_s: out.exec_time_s,
+            failed: out.failed,
+            reward: out.reward,
+            recommendation_s,
+            q_estimate,
+            twinq_iterations: 0,
+            action,
+        });
+        state = out.next_state;
+    }
+    finish_report(tuner_name, env, steps)
+}
+
+/// Assemble a [`TuningReport`] from per-step records.
+pub fn finish_report(tuner: &str, env: &TuningEnv, steps: Vec<StepRecord>) -> TuningReport {
+    assert!(!steps.is_empty(), "a tuning session needs at least one step");
+    let best = steps
+        .iter()
+        .min_by(|a, b| a.exec_time_s.partial_cmp(&b.exec_time_s).unwrap())
+        .expect("non-empty");
+    TuningReport {
+        tuner: tuner.to_string(),
+        workload: env.spark().label(),
+        best_exec_time_s: best.exec_time_s,
+        best_action: best.action.clone(),
+        total_eval_s: steps.iter().map(|s| s.exec_time_s).sum(),
+        total_rec_s: steps.iter().map(|s| s.recommendation_s).sum(),
+        default_exec_time_s: env.default_exec_time(),
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AgentConfig;
+    use crate::offline::{train_td3, OfflineConfig};
+    use spark_sim::{Cluster, InputSize, Workload, WorkloadKind};
+
+    fn env() -> TuningEnv {
+        TuningEnv::for_workload(
+            Cluster::cluster_a(),
+            Workload::new(WorkloadKind::TeraSort, InputSize::D1),
+            21,
+        )
+    }
+
+    fn quick_agent(e: &mut TuningEnv) -> Td3Agent {
+        let mut c = AgentConfig::for_dims(e.state_dim(), e.action_dim());
+        c.hidden = vec![32, 32];
+        c.warmup_steps = 64;
+        c.batch_size = 32;
+        let (agent, _, _) = train_td3(e, c, &OfflineConfig::deepcat(600, 9), &[]);
+        agent
+    }
+
+    #[test]
+    fn report_has_five_steps_and_consistent_totals() {
+        let mut e = env();
+        let mut agent = quick_agent(&mut e);
+        let report = online_tune_td3(&mut agent, &mut e, &OnlineConfig::deepcat(1), "DeepCAT");
+        assert_eq!(report.steps.len(), 5);
+        let eval_sum: f64 = report.steps.iter().map(|s| s.exec_time_s).sum();
+        assert!((report.total_eval_s - eval_sum).abs() < 1e-9);
+        assert!(report.best_exec_time_s <= report.steps[0].exec_time_s);
+        assert!(report.speedup() > 1.0, "tuned should beat default");
+    }
+
+    #[test]
+    fn best_so_far_is_monotone_nonincreasing() {
+        let mut e = env();
+        let mut agent = quick_agent(&mut e);
+        let report =
+            online_tune_td3(&mut agent, &mut e, &OnlineConfig::without_twinq(2), "TD3");
+        let b = report.best_so_far();
+        assert!(b.windows(2).all(|w| w[1] <= w[0]));
+        assert_eq!(*b.last().unwrap(), report.best_exec_time_s);
+    }
+
+    #[test]
+    fn accumulated_cost_is_monotone_increasing() {
+        let mut e = env();
+        let mut agent = quick_agent(&mut e);
+        let report = online_tune_td3(&mut agent, &mut e, &OnlineConfig::deepcat(3), "DeepCAT");
+        let c = report.accumulated_cost();
+        assert!(c.windows(2).all(|w| w[1] > w[0]));
+        assert!((c.last().unwrap() - report.total_cost_s()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ddpg_session_produces_report() {
+        let mut e = env();
+        let mut c = AgentConfig::for_dims(e.state_dim(), e.action_dim());
+        c.hidden = vec![32, 32];
+        let mut agent = DdpgAgent::new(c, 5);
+        let report =
+            online_tune_ddpg(&mut agent, &mut e, &OnlineConfig::without_twinq(4), "CDBTune");
+        assert_eq!(report.steps.len(), 5);
+        assert_eq!(report.tuner, "CDBTune");
+        assert!(report.total_rec_s > 0.0);
+    }
+
+    #[test]
+    fn recommendation_time_is_far_below_eval_time() {
+        let mut e = env();
+        let mut agent = quick_agent(&mut e);
+        let report = online_tune_td3(&mut agent, &mut e, &OnlineConfig::deepcat(6), "DeepCAT");
+        // The paper reports sub-second recommendation vs minutes of
+        // evaluation; the simulator charges simulated evaluation seconds
+        // while recommendation is real compute time.
+        assert!(report.total_rec_s < 1.0);
+        assert!(report.total_eval_s > 10.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Model persistence: save and load trained agents as JSON checkpoints, so
+//! a model trained offline once can serve many online tuning requests —
+//! the deployment split the paper's architecture (Fig. 1) assumes.
+
+use crate::td3::{Td3Agent, Td3Checkpoint};
+use std::io;
+use std::path::Path;
+
+/// Save a TD3 agent's checkpoint to `path` (pretty JSON).
+pub fn save_td3(agent: &Td3Agent, path: &Path) -> io::Result<()> {
+    let cp = agent.checkpoint();
+    let body = serde_json::to_string(&cp)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    std::fs::write(path, body)
+}
+
+/// Load a TD3 agent from a checkpoint written by [`save_td3`].
+/// `seed` re-seeds the exploration noise only.
+pub fn load_td3(path: &Path, seed: u64) -> io::Result<Td3Agent> {
+    let body = std::fs::read_to_string(path)?;
+    let cp: Td3Checkpoint = serde_json::from_str(&body)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    Ok(Td3Agent::from_checkpoint(cp, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AgentConfig;
+    use rl::{Batch, Transition};
+
+    fn trained() -> Td3Agent {
+        let mut cfg = AgentConfig::for_dims(2, 3);
+        cfg.hidden = vec![8, 8];
+        let mut agent = Td3Agent::new(cfg, 1);
+        for _ in 0..50 {
+            let transitions: Vec<Transition> = (0..8)
+                .map(|i| {
+                    let s = vec![0.1, 0.2];
+                    let a = vec![0.3, 0.5, 0.7];
+                    Transition::new(s.clone(), a, 0.5 - 0.01 * i as f64, s, true)
+                })
+                .collect();
+            let n = transitions.len();
+            agent.train_step(&Batch { transitions, weights: vec![1.0; n], indices: vec![0; n] });
+        }
+        agent
+    }
+
+    #[test]
+    fn round_trip_preserves_policy_and_critics() {
+        let agent = trained();
+        let dir = std::env::temp_dir().join("deepcat-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("agent.json");
+        save_td3(&agent, &path).unwrap();
+        let loaded = load_td3(&path, 99).unwrap();
+        let s = [0.1, 0.2];
+        assert_eq!(agent.select_action(&s), loaded.select_action(&s));
+        let a = [0.3, 0.5, 0.7];
+        assert_eq!(agent.q_values(&s, &a), loaded.q_values(&s, &a));
+        assert_eq!(agent.train_steps(), loaded.train_steps());
+    }
+
+    #[test]
+    fn loaded_agent_continues_training() {
+        let agent = trained();
+        let dir = std::env::temp_dir().join("deepcat-persist-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("agent.json");
+        save_td3(&agent, &path).unwrap();
+        let mut loaded = load_td3(&path, 5).unwrap();
+        let transitions: Vec<Transition> = (0..8)
+            .map(|_| Transition::new(vec![0.1, 0.2], vec![0.5, 0.5, 0.5], 0.3, vec![0.1, 0.2], true))
+            .collect();
+        let n = transitions.len();
+        let (stats, _) = loaded.train_step(&Batch {
+            transitions,
+            weights: vec![1.0; n],
+            indices: vec![0; n],
+        });
+        assert!(stats.critic1_loss.is_finite());
+        assert!(!loaded.diverged());
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(load_td3(Path::new("/nonexistent/agent.json"), 0).is_err());
+    }
+}

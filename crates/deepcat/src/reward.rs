@@ -1,0 +1,91 @@
+//! The paper's immediate reward function (Section 3.1, Eq. 1):
+//!
+//! ```text
+//! r_t = (perf_e − perf_t) / perf_e
+//! ```
+//!
+//! where `perf_t` is the measured execution time of the evaluated
+//! configuration and `perf_e` is the *expected* performance — a target
+//! execution time set as a speedup over the default configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Reward function parameterized by the expected performance `perf_e`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RewardFn {
+    /// Target execution time `perf_e` in seconds.
+    pub perf_e: f64,
+}
+
+/// The speedup over the default execution time used to set `perf_e`
+/// ("according to the performance improvement achieved by prior studies").
+pub const TARGET_SPEEDUP: f64 = 3.0;
+
+impl RewardFn {
+    /// Build from the default configuration's execution time using the
+    /// paper's target-speedup convention.
+    pub fn from_default_time(default_exec_s: f64) -> Self {
+        assert!(default_exec_s > 0.0);
+        Self { perf_e: default_exec_s / TARGET_SPEEDUP }
+    }
+
+    /// Build with an explicit target time.
+    pub fn with_target(perf_e: f64) -> Self {
+        assert!(perf_e > 0.0);
+        Self { perf_e }
+    }
+
+    /// Immediate reward for a measured execution time.
+    pub fn reward(&self, exec_time_s: f64) -> f64 {
+        (self.perf_e - exec_time_s) / self.perf_e
+    }
+
+    /// Inverse map: the execution time corresponding to a reward value
+    /// (used to express the Twin-Q threshold in time units).
+    pub fn exec_time_for_reward(&self, r: f64) -> f64 {
+        self.perf_e * (1.0 - r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reward_is_zero_at_target() {
+        let f = RewardFn::with_target(60.0);
+        assert_eq!(f.reward(60.0), 0.0);
+    }
+
+    #[test]
+    fn faster_than_target_is_positive_and_bounded_by_one() {
+        let f = RewardFn::with_target(60.0);
+        assert!(f.reward(30.0) > 0.0);
+        assert!(f.reward(0.0) <= 1.0);
+        assert_eq!(f.reward(0.0), 1.0);
+    }
+
+    #[test]
+    fn slower_than_target_is_negative() {
+        let f = RewardFn::with_target(60.0);
+        assert!(f.reward(120.0) < 0.0);
+        assert_eq!(f.reward(120.0), -1.0);
+    }
+
+    #[test]
+    fn from_default_uses_target_speedup() {
+        let f = RewardFn::from_default_time(240.0);
+        assert_eq!(f.perf_e, 80.0);
+        // The default configuration itself scores 1 − speedup target.
+        assert_eq!(f.reward(240.0), 1.0 - TARGET_SPEEDUP);
+    }
+
+    #[test]
+    fn exec_time_round_trips() {
+        let f = RewardFn::with_target(80.0);
+        for &t in &[20.0, 80.0, 400.0] {
+            let r = f.reward(t);
+            assert!((f.exec_time_for_reward(r) - t).abs() < 1e-9);
+        }
+    }
+}

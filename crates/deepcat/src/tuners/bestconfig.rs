@@ -1,0 +1,182 @@
+//! BestConfig (Zhu et al., SoCC 2017) — the search-based baseline the
+//! paper's related-work section discusses (and excludes from the main
+//! comparison because it "needs a large number of time-consuming
+//! configuration evaluations and restarts from scratch whenever a new
+//! tuning request comes"). Implemented here so that claim is measurable:
+//! divide-and-diverge sampling (DDS) plus recursive bound-and-search (RBS).
+
+use super::Tuner;
+use crate::envwrap::TuningEnv;
+use crate::online::{finish_report, StepRecord, TuningReport};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// BestConfig search tuner.
+#[derive(Clone, Debug)]
+pub struct BestConfig {
+    pub seed: u64,
+    /// Samples per RBS round (the paper's DDS set size).
+    pub samples_per_round: usize,
+    /// Shrink factor of the bounded subspace per recursion.
+    pub shrink: f64,
+}
+
+impl BestConfig {
+    pub fn new(seed: u64) -> Self {
+        Self { seed, samples_per_round: 6, shrink: 0.5 }
+    }
+
+    /// Divide-and-diverge sampling in the box `[lo, hi]^d`: each dimension
+    /// is split into `n` intervals and the interval indices are permuted
+    /// independently per dimension (a latin hypercube), so every interval
+    /// of every dimension is covered exactly once.
+    pub fn dds(
+        &self,
+        lo: &[f64],
+        hi: &[f64],
+        n: usize,
+        rng: &mut StdRng,
+    ) -> Vec<Vec<f64>> {
+        let d = lo.len();
+        assert_eq!(hi.len(), d);
+        // One shuffled interval order per dimension.
+        let mut orders: Vec<Vec<usize>> = Vec::with_capacity(d);
+        for _ in 0..d {
+            let mut idx: Vec<usize> = (0..n).collect();
+            idx.shuffle(rng);
+            orders.push(idx);
+        }
+        (0..n)
+            .map(|s| {
+                (0..d)
+                    .map(|j| {
+                        let cell = orders[j][s] as f64;
+                        let u: f64 = rng.gen();
+                        let frac = (cell + u) / n as f64;
+                        (lo[j] + frac * (hi[j] - lo[j])).clamp(0.0, 1.0)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+impl Tuner for BestConfig {
+    fn name(&self) -> &'static str {
+        "BestConfig"
+    }
+
+    /// Search-based approaches cannot exploit offline experience — every
+    /// request starts from scratch.
+    fn offline_train(&mut self, _env: &mut TuningEnv) {}
+
+    /// RBS: evaluate a DDS sample set, bound a shrunken subspace around the
+    /// incumbent best, and recurse until the step budget is exhausted.
+    fn online_tune(&mut self, env: &mut TuningEnv, steps: usize) -> TuningReport {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xBE57);
+        let d = env.action_dim();
+        let (mut lo, mut hi) = (vec![0.0; d], vec![1.0; d]);
+        let mut best: Option<(Vec<f64>, f64)> = None;
+        let mut records = Vec::with_capacity(steps);
+        let mut step = 0;
+        while step < steps {
+            let round = self.samples_per_round.min(steps - step);
+            let t0 = Instant::now();
+            let candidates = self.dds(&lo, &hi, round.max(1), &mut rng);
+            let recommendation_s = t0.elapsed().as_secs_f64() / round.max(1) as f64;
+            for action in candidates {
+                let out = env.step(&action);
+                if best.as_ref().map(|(_, t)| out.exec_time_s < *t).unwrap_or(true)
+                    && !out.failed
+                {
+                    best = Some((action.clone(), out.exec_time_s));
+                }
+                records.push(StepRecord {
+                    step,
+                    exec_time_s: out.exec_time_s,
+                    failed: out.failed,
+                    reward: out.reward,
+                    recommendation_s,
+                    q_estimate: None,
+                    twinq_iterations: 0,
+                    action,
+                });
+                step += 1;
+                if step >= steps {
+                    break;
+                }
+            }
+            // Bound-and-search: shrink the box around the incumbent.
+            if let Some((center, _)) = &best {
+                for j in 0..d {
+                    let half = 0.5 * (hi[j] - lo[j]) * self.shrink;
+                    lo[j] = (center[j] - half).max(0.0);
+                    hi[j] = (center[j] + half).min(1.0);
+                }
+            }
+        }
+        finish_report("BestConfig", env, records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spark_sim::{Cluster, InputSize, Workload, WorkloadKind};
+
+    #[test]
+    fn dds_covers_every_interval_once_per_dimension() {
+        let bc = BestConfig::new(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 8;
+        let samples = bc.dds(&vec![0.0; 4], &vec![1.0; 4], n, &mut rng);
+        assert_eq!(samples.len(), n);
+        for j in 0..4 {
+            let mut cells: Vec<usize> =
+                samples.iter().map(|s| ((s[j] * n as f64) as usize).min(n - 1)).collect();
+            cells.sort_unstable();
+            assert_eq!(cells, (0..n).collect::<Vec<_>>(), "dimension {j} not covered");
+        }
+    }
+
+    #[test]
+    fn dds_respects_bounds() {
+        let bc = BestConfig::new(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let lo = vec![0.2; 5];
+        let hi = vec![0.6; 5];
+        for s in bc.dds(&lo, &hi, 10, &mut rng) {
+            assert!(s.iter().all(|&v| (0.2..=0.6).contains(&v)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn search_improves_with_budget() {
+        let w = Workload::new(WorkloadKind::WordCount, InputSize::D1);
+        let mut small_env = TuningEnv::for_workload(Cluster::cluster_a(), w, 61);
+        let mut big_env = TuningEnv::for_workload(Cluster::cluster_a(), w, 61);
+        let mut bc_small = BestConfig::new(5);
+        let mut bc_big = BestConfig::new(5);
+        let small = bc_small.online_tune(&mut small_env, 5);
+        let big = bc_big.online_tune(&mut big_env, 30);
+        assert!(big.best_exec_time_s <= small.best_exec_time_s * 1.05);
+        assert_eq!(big.steps.len(), 30);
+    }
+
+    #[test]
+    fn restarts_from_scratch_each_request() {
+        // The paper's criticism: no memory across requests. Two sessions
+        // with the same seed produce identical searches.
+        let w = Workload::new(WorkloadKind::WordCount, InputSize::D1);
+        let mut env1 = TuningEnv::for_workload(Cluster::cluster_a(), w, 62);
+        let mut env2 = TuningEnv::for_workload(Cluster::cluster_a(), w, 62);
+        let mut bc = BestConfig::new(7);
+        let r1 = bc.online_tune(&mut env1, 6);
+        let r2 = bc.online_tune(&mut env2, 6);
+        let a1: Vec<&Vec<f64>> = r1.steps.iter().map(|s| &s.action).collect();
+        let a2: Vec<&Vec<f64>> = r2.steps.iter().map(|s| &s.action).collect();
+        assert_eq!(a1, a2, "no learned state carries over");
+    }
+}

@@ -1,0 +1,85 @@
+//! The CDBTune baseline (Zhang et al., SIGMOD 2019): DDPG with TD-error
+//! prioritized experience replay, online fine-tuning without any
+//! pre-evaluation filtering of actions.
+
+use super::Tuner;
+use crate::config::AgentConfig;
+use crate::ddpg::DdpgAgent;
+use crate::envwrap::TuningEnv;
+use crate::offline::{train_ddpg, OfflineConfig};
+use crate::online::{online_tune_ddpg, OnlineConfig, TuningReport};
+
+/// CDBTune baseline tuner.
+#[derive(Clone, Debug)]
+pub struct CdbTune {
+    pub agent_cfg: AgentConfig,
+    pub offline_cfg: OfflineConfig,
+    pub online_cfg: OnlineConfig,
+    agent: Option<DdpgAgent>,
+}
+
+impl CdbTune {
+    pub fn new(state_dim: usize, action_dim: usize, offline_iterations: usize, seed: u64) -> Self {
+        Self {
+            agent_cfg: AgentConfig::for_dims(state_dim, action_dim),
+            offline_cfg: OfflineConfig::cdbtune(offline_iterations, seed),
+            online_cfg: OnlineConfig::without_twinq(seed),
+            agent: None,
+        }
+    }
+
+    pub fn for_env(env: &TuningEnv, offline_iterations: usize, seed: u64) -> Self {
+        Self::new(env.state_dim(), env.action_dim(), offline_iterations, seed)
+    }
+
+    pub fn agent(&self) -> Option<&DdpgAgent> {
+        self.agent.as_ref()
+    }
+
+    /// Install an externally-trained agent (adaptability experiments).
+    pub fn with_agent(mut self, agent: DdpgAgent) -> Self {
+        self.agent = Some(agent);
+        self
+    }
+}
+
+impl Tuner for CdbTune {
+    fn name(&self) -> &'static str {
+        "CDBTune"
+    }
+
+    fn offline_train(&mut self, env: &mut TuningEnv) {
+        let (agent, _) = train_ddpg(env, self.agent_cfg.clone(), &self.offline_cfg);
+        self.agent = Some(agent);
+    }
+
+    fn online_tune(&mut self, env: &mut TuningEnv, steps: usize) -> TuningReport {
+        let agent = self.agent.as_mut().expect("offline_train must run first");
+        let cfg = OnlineConfig { steps, ..self.online_cfg.clone() };
+        online_tune_ddpg(agent, env, &cfg, "CDBTune")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spark_sim::{Cluster, InputSize, Workload, WorkloadKind};
+
+    #[test]
+    fn end_to_end_beats_default() {
+        let mut env = TuningEnv::for_workload(
+            Cluster::cluster_a(),
+            Workload::new(WorkloadKind::WordCount, InputSize::D1),
+            33,
+        );
+        let mut tuner = CdbTune::for_env(&env, 700, 2);
+        tuner.agent_cfg.hidden = vec![32, 32];
+        tuner.agent_cfg.warmup_steps = 96;
+        tuner.offline_train(&mut env);
+        let report = tuner.online_tune(&mut env, 5);
+        assert_eq!(report.tuner, "CDBTune");
+        assert!(report.speedup() > 1.2, "speedup {}", report.speedup());
+        // No Twin-Q Optimizer ⇒ no optimization rounds recorded.
+        assert!(report.steps.iter().all(|s| s.twinq_iterations == 0));
+    }
+}

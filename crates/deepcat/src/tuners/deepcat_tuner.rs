@@ -1,0 +1,99 @@
+//! The full DeepCAT tuner: TD3 trained offline with RDPER, online tuning
+//! with the Twin-Q Optimizer.
+
+use super::Tuner;
+use crate::config::AgentConfig;
+use crate::envwrap::TuningEnv;
+use crate::offline::{train_td3, OfflineConfig};
+use crate::online::{online_tune_td3, OnlineConfig, TuningReport};
+use crate::td3::Td3Agent;
+
+/// DeepCAT (Section 3 of the paper).
+#[derive(Clone, Debug)]
+pub struct DeepCat {
+    pub agent_cfg: AgentConfig,
+    pub offline_cfg: OfflineConfig,
+    pub online_cfg: OnlineConfig,
+    agent: Option<Td3Agent>,
+}
+
+impl DeepCat {
+    /// Standard construction for a given environment shape.
+    pub fn new(state_dim: usize, action_dim: usize, offline_iterations: usize, seed: u64) -> Self {
+        Self {
+            agent_cfg: AgentConfig::for_dims(state_dim, action_dim),
+            offline_cfg: OfflineConfig::deepcat(offline_iterations, seed),
+            online_cfg: OnlineConfig::deepcat(seed),
+            agent: None,
+        }
+    }
+
+    /// Construct for `env`'s dimensions.
+    pub fn for_env(env: &TuningEnv, offline_iterations: usize, seed: u64) -> Self {
+        Self::new(env.state_dim(), env.action_dim(), offline_iterations, seed)
+    }
+
+    /// The trained agent, if `offline_train` has run.
+    pub fn agent(&self) -> Option<&Td3Agent> {
+        self.agent.as_ref()
+    }
+
+    /// Install an externally-trained agent (e.g. a snapshot from a
+    /// convergence study, or a model trained on a different workload for
+    /// the adaptability experiments).
+    pub fn with_agent(mut self, agent: Td3Agent) -> Self {
+        self.agent = Some(agent);
+        self
+    }
+}
+
+impl Tuner for DeepCat {
+    fn name(&self) -> &'static str {
+        "DeepCAT"
+    }
+
+    fn offline_train(&mut self, env: &mut TuningEnv) {
+        let (agent, _, _) = train_td3(env, self.agent_cfg.clone(), &self.offline_cfg, &[]);
+        self.agent = Some(agent);
+    }
+
+    fn online_tune(&mut self, env: &mut TuningEnv, steps: usize) -> TuningReport {
+        let agent = self.agent.as_mut().expect("offline_train must run first");
+        let cfg = OnlineConfig { steps, ..self.online_cfg.clone() };
+        online_tune_td3(agent, env, &cfg, "DeepCAT")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spark_sim::{Cluster, InputSize, Workload, WorkloadKind};
+
+    #[test]
+    fn end_to_end_beats_default() {
+        let mut env = TuningEnv::for_workload(
+            Cluster::cluster_a(),
+            Workload::new(WorkloadKind::WordCount, InputSize::D1),
+            31,
+        );
+        let mut tuner = DeepCat::for_env(&env, 700, 1);
+        tuner.agent_cfg.hidden = vec![32, 32];
+        tuner.agent_cfg.warmup_steps = 96;
+        tuner.offline_train(&mut env);
+        let report = tuner.online_tune(&mut env, 5);
+        assert_eq!(report.tuner, "DeepCAT");
+        assert!(report.speedup() > 1.5, "speedup {}", report.speedup());
+    }
+
+    #[test]
+    #[should_panic(expected = "offline_train must run first")]
+    fn online_without_offline_panics() {
+        let mut env = TuningEnv::for_workload(
+            Cluster::cluster_a(),
+            Workload::new(WorkloadKind::WordCount, InputSize::D1),
+            32,
+        );
+        let mut tuner = DeepCat::for_env(&env, 10, 1);
+        tuner.online_tune(&mut env, 5);
+    }
+}

@@ -1,0 +1,34 @@
+//! The three tuners compared throughout the paper's evaluation, behind one
+//! [`Tuner`] trait: **DeepCAT** (TD3 + RDPER + Twin-Q Optimizer),
+//! **CDBTune** (DDPG + TD-error PER) and **OtterTune** (GP + EI with
+//! workload mapping), plus a random-search reference.
+
+mod bestconfig;
+mod cdbtune;
+mod deepcat_tuner;
+mod ottertune;
+mod random_search;
+
+pub use bestconfig::BestConfig;
+pub use cdbtune::CdbTune;
+pub use deepcat_tuner::DeepCat;
+pub use ottertune::{build_repository, OtterTune};
+pub use random_search::RandomSearch;
+
+use crate::envwrap::TuningEnv;
+use crate::online::TuningReport;
+
+/// A configuration auto-tuner with an offline training stage and an online
+/// tuning stage (Figure 1 of the paper).
+pub trait Tuner {
+    /// Display name used in reports ("DeepCAT", "CDBTune", "OtterTune").
+    fn name(&self) -> &'static str;
+
+    /// Offline stage: learn from the standard environment. Called once; the
+    /// resulting model serves all subsequent online requests.
+    fn offline_train(&mut self, env: &mut TuningEnv);
+
+    /// Online stage: `steps` sequential tuning steps against the live
+    /// target environment.
+    fn online_tune(&mut self, env: &mut TuningEnv, steps: usize) -> TuningReport;
+}

@@ -1,0 +1,235 @@
+//! The OtterTune baseline (Van Aken et al., SIGMOD 2017): a machine-learning
+//! pipeline — Lasso knob ranking, workload mapping against a repository of
+//! previously-observed workloads, a Gaussian-process surrogate and Expected
+//! Improvement — re-trained at every online step, which is exactly why its
+//! recommendation time dwarfs the DRL approaches' (paper §5.2.2).
+
+use super::Tuner;
+use crate::envwrap::TuningEnv;
+use crate::online::{finish_report, StepRecord, TuningReport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spark_sim::{Cluster, SparkEnv, Workload};
+use std::time::Instant;
+use surrogate::{maximize_ei, rank_knobs, GaussianProcess, Observation, Repository};
+
+/// Cap on merged GP training points (mapped history + online samples).
+const MAX_GP_POINTS: usize = 250;
+
+/// Build an OtterTune repository by sampling `samples_per` random
+/// configurations on each of `workloads` (the offline data-collection
+/// phase the paper runs for 3–4 days on the real cluster).
+pub fn build_repository(
+    cluster: &Cluster,
+    workloads: &[Workload],
+    samples_per: usize,
+    seed: u64,
+) -> Repository {
+    let mut repo = Repository::new();
+    for (wi, &w) in workloads.iter().enumerate() {
+        let mut env = SparkEnv::new(cluster.clone(), w, seed ^ (wi as u64) << 8);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED ^ wi as u64);
+        let mut obs = Vec::with_capacity(samples_per);
+        for _ in 0..samples_per {
+            let action = env.space().random_action(&mut rng);
+            let result = env.evaluate_action(&action);
+            obs.push(Observation {
+                config: action,
+                metrics: result.metrics.metric_vector(),
+                exec_time_s: result.exec_time_s,
+            });
+        }
+        repo.add(&w.to_string(), obs);
+    }
+    repo
+}
+
+/// OtterTune baseline tuner.
+#[derive(Clone, Debug)]
+pub struct OtterTune {
+    repository: Repository,
+    /// Lasso-ranked knob importance (computed during offline training).
+    knob_ranking: Vec<usize>,
+    seed: u64,
+    /// Candidate count for EI maximization.
+    pub ei_candidates: usize,
+}
+
+impl OtterTune {
+    /// Build with a pre-collected repository.
+    pub fn with_repository(repository: Repository, seed: u64) -> Self {
+        Self { repository, knob_ranking: Vec::new(), seed, ei_candidates: 2000 }
+    }
+
+    /// The Lasso knob ranking (most important first); empty before
+    /// `offline_train`.
+    pub fn knob_ranking(&self) -> &[usize] {
+        &self.knob_ranking
+    }
+
+    pub fn repository(&self) -> &Repository {
+        &self.repository
+    }
+}
+
+impl Tuner for OtterTune {
+    fn name(&self) -> &'static str {
+        "OtterTune"
+    }
+
+    /// OtterTune's offline stage with a pre-collected repository: rank knobs
+    /// with Lasso over all repository observations.
+    fn offline_train(&mut self, _env: &mut TuningEnv) {
+        let (mut xs, mut ys) = (Vec::new(), Vec::new());
+        for w in &self.repository.workloads {
+            for o in &w.observations {
+                xs.push(o.config.clone());
+                ys.push(o.exec_time_s.ln());
+            }
+        }
+        if xs.len() >= 16 {
+            self.knob_ranking = rank_knobs(&xs, &ys, 8);
+        }
+    }
+
+    fn online_tune(&mut self, env: &mut TuningEnv, steps: usize) -> TuningReport {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x07E2);
+        let dim = env.action_dim();
+        let mut online: Vec<Observation> = Vec::new();
+        let mut records = Vec::with_capacity(steps);
+        for step in 0..steps {
+            let t0 = Instant::now();
+            // 1. Workload mapping: find the most similar stored workload
+            //    given the online observations so far. Before any online
+            //    sample exists, fall back to pooling the whole repository.
+            let mapped = self.repository.map_workload(&online, None);
+            let mut xs: Vec<Vec<f64>> = Vec::new();
+            let mut ys: Vec<f64> = Vec::new();
+            match mapped {
+                Some(w) => {
+                    for o in &w.observations {
+                        xs.push(o.config.clone());
+                        ys.push(o.exec_time_s);
+                    }
+                }
+                None => {
+                    for w in &self.repository.workloads {
+                        for o in &w.observations {
+                            xs.push(o.config.clone());
+                            ys.push(o.exec_time_s);
+                        }
+                    }
+                }
+            }
+            if xs.len() > MAX_GP_POINTS {
+                // Keep an even subsample to bound the Cholesky cost.
+                let stride = xs.len().div_ceil(MAX_GP_POINTS);
+                xs = xs.iter().step_by(stride).cloned().collect();
+                ys = ys.iter().step_by(stride).cloned().collect();
+            }
+            // Online samples always included (and never subsampled away).
+            for o in &online {
+                xs.push(o.config.clone());
+                ys.push(o.exec_time_s);
+            }
+            // 2. GP surrogate on log execution time + EI proposal.
+            let ys_log: Vec<f64> = ys.iter().map(|v| v.ln()).collect();
+            let best_y = ys_log.iter().cloned().fold(f64::INFINITY, f64::min);
+            let action = match GaussianProcess::fit_with_model_selection(xs, &ys_log) {
+                Ok(gp) => maximize_ei(&gp, dim, best_y, self.ei_candidates, &mut rng),
+                Err(_) => env.spark().space().random_action(&mut rng),
+            };
+            let recommendation_s = t0.elapsed().as_secs_f64();
+
+            // 3. Evaluate on the target.
+            let out = env.step(&action);
+            online.push(Observation {
+                config: action.clone(),
+                metrics: out.metrics.metric_vector(),
+                exec_time_s: out.exec_time_s,
+            });
+            records.push(StepRecord {
+                step,
+                exec_time_s: out.exec_time_s,
+                failed: out.failed,
+                reward: out.reward,
+                recommendation_s,
+                q_estimate: None,
+                twinq_iterations: 0,
+                action,
+            });
+        }
+        finish_report("OtterTune", env, records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spark_sim::{InputSize, WorkloadKind};
+
+    fn small_repo(target: Workload) -> Repository {
+        // Repository of *other* workloads, like the paper's setting where
+        // the online request is a new workload.
+        let workloads: Vec<Workload> = Workload::all_pairs()
+            .into_iter()
+            .filter(|w| *w != target && w.input == InputSize::D1)
+            .collect();
+        build_repository(&Cluster::cluster_a(), &workloads, 60, 9)
+    }
+
+    #[test]
+    fn repository_contains_requested_workloads() {
+        let target = Workload::new(WorkloadKind::TeraSort, InputSize::D1);
+        let repo = small_repo(target);
+        assert_eq!(repo.workloads.len(), 3);
+        assert!(repo.workloads.iter().all(|w| w.observations.len() == 60));
+    }
+
+    #[test]
+    fn end_to_end_beats_default() {
+        let target = Workload::new(WorkloadKind::TeraSort, InputSize::D1);
+        let mut env = TuningEnv::for_workload(Cluster::cluster_a(), target, 77);
+        let mut tuner = OtterTune::with_repository(small_repo(target), 3);
+        tuner.ei_candidates = 500;
+        tuner.offline_train(&mut env);
+        let report = tuner.online_tune(&mut env, 5);
+        assert_eq!(report.tuner, "OtterTune");
+        assert_eq!(report.steps.len(), 5);
+        assert!(report.speedup() > 1.0, "speedup {}", report.speedup());
+    }
+
+    #[test]
+    fn knob_ranking_is_computed_offline() {
+        let target = Workload::new(WorkloadKind::PageRank, InputSize::D1);
+        let mut env = TuningEnv::for_workload(Cluster::cluster_a(), target, 78);
+        let mut tuner = OtterTune::with_repository(small_repo(target), 4);
+        assert!(tuner.knob_ranking().is_empty());
+        tuner.offline_train(&mut env);
+        assert_eq!(tuner.knob_ranking().len(), 32);
+        // Resource knobs should rank among the most important.
+        let top8 = &tuner.knob_ranking()[..8];
+        let resource_knobs = [
+            spark_sim::idx::EXECUTOR_CORES,
+            spark_sim::idx::EXECUTOR_MEMORY_MB,
+            spark_sim::idx::EXECUTOR_INSTANCES,
+            spark_sim::idx::DEFAULT_PARALLELISM,
+        ];
+        assert!(
+            resource_knobs.iter().any(|k| top8.contains(k)),
+            "at least one resource knob in the top 8: {top8:?}"
+        );
+    }
+
+    #[test]
+    fn recommendation_time_is_recorded() {
+        let target = Workload::new(WorkloadKind::WordCount, InputSize::D1);
+        let mut env = TuningEnv::for_workload(Cluster::cluster_a(), target, 79);
+        let mut tuner = OtterTune::with_repository(small_repo(target), 5);
+        tuner.ei_candidates = 200;
+        tuner.offline_train(&mut env);
+        let report = tuner.online_tune(&mut env, 3);
+        assert!(report.total_rec_s > 0.0);
+        assert!(report.steps.iter().all(|s| s.recommendation_s > 0.0));
+    }
+}

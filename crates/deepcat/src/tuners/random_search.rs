@@ -1,0 +1,105 @@
+//! Random search — the search-based reference the paper omits from the
+//! main comparison (BestConfig-style approaches restart from scratch per
+//! request). Used here to locate the "found optimal" configuration for the
+//! Fig. 2 CDF and as a sanity floor in tests.
+
+use super::Tuner;
+use crate::envwrap::TuningEnv;
+use crate::online::{finish_report, StepRecord, TuningReport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Uniform random search over the normalized knob space.
+#[derive(Clone, Debug)]
+pub struct RandomSearch {
+    pub seed: u64,
+}
+
+impl RandomSearch {
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Evaluate `budget` random configurations and return
+    /// `(best_action, best_exec_time_s)` — the "found optimal" reference
+    /// used to normalize Fig. 2.
+    pub fn search(&self, env: &mut TuningEnv, budget: usize) -> (Vec<f64>, f64) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut best_t = f64::INFINITY;
+        let mut best_a = vec![0.5; env.action_dim()];
+        for _ in 0..budget {
+            let a = env.spark().space().random_action(&mut rng);
+            let out = env.step(&a);
+            if !out.failed && out.exec_time_s < best_t {
+                best_t = out.exec_time_s;
+                best_a = a;
+            }
+        }
+        (best_a, best_t)
+    }
+}
+
+impl Tuner for RandomSearch {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn offline_train(&mut self, _env: &mut TuningEnv) {
+        // Search-based approaches cannot exploit offline experience —
+        // exactly the weakness the paper cites for omitting them.
+    }
+
+    fn online_tune(&mut self, env: &mut TuningEnv, steps: usize) -> TuningReport {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xA5A5);
+        let mut records = Vec::with_capacity(steps);
+        for step in 0..steps {
+            let t0 = Instant::now();
+            let action = env.spark().space().random_action(&mut rng);
+            let recommendation_s = t0.elapsed().as_secs_f64();
+            let out = env.step(&action);
+            records.push(StepRecord {
+                step,
+                exec_time_s: out.exec_time_s,
+                failed: out.failed,
+                reward: out.reward,
+                recommendation_s,
+                q_estimate: None,
+                twinq_iterations: 0,
+                action,
+            });
+        }
+        finish_report("Random", env, records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spark_sim::{Cluster, InputSize, Workload, WorkloadKind};
+
+    #[test]
+    fn search_finds_better_than_default() {
+        let mut env = TuningEnv::for_workload(
+            Cluster::cluster_a(),
+            Workload::new(WorkloadKind::TeraSort, InputSize::D1),
+            55,
+        );
+        let rs = RandomSearch::new(1);
+        let (_, best) = rs.search(&mut env, 120);
+        assert!(best < env.default_exec_time());
+    }
+
+    #[test]
+    fn online_tune_records_steps() {
+        let mut env = TuningEnv::for_workload(
+            Cluster::cluster_a(),
+            Workload::new(WorkloadKind::WordCount, InputSize::D1),
+            56,
+        );
+        let mut rs = RandomSearch::new(2);
+        let report = rs.online_tune(&mut env, 5);
+        assert_eq!(report.steps.len(), 5);
+        assert_eq!(report.tuner, "Random");
+    }
+}

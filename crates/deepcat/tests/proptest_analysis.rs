@@ -1,0 +1,67 @@
+//! Property-based tests of the analysis statistics.
+
+use deepcat::{Stat, Verdict};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn stat_bounds_hold(values in proptest::collection::vec(-1e6f64..1e6, 1..64)) {
+        let s = Stat::of(&values);
+        prop_assert!(s.min <= s.mean + 1e-9);
+        prop_assert!(s.mean <= s.max + 1e-9);
+        prop_assert!(s.std >= 0.0);
+        prop_assert_eq!(s.n, values.len());
+    }
+
+    #[test]
+    fn stat_is_translation_equivariant(
+        values in proptest::collection::vec(-100.0f64..100.0, 2..32),
+        shift in -50.0f64..50.0,
+    ) {
+        let a = Stat::of(&values);
+        let shifted: Vec<f64> = values.iter().map(|v| v + shift).collect();
+        let b = Stat::of(&shifted);
+        prop_assert!((b.mean - a.mean - shift).abs() < 1e-6);
+        prop_assert!((b.std - a.std).abs() < 1e-6, "std is shift-invariant");
+    }
+
+    #[test]
+    fn constant_samples_have_zero_spread(v in -100.0f64..100.0, n in 2usize..16) {
+        let s = Stat::of(&vec![v; n]);
+        prop_assert!(s.std < 1e-9, "std {} for constant {v}", s.std);
+        prop_assert_eq!(s.min, s.max);
+        prop_assert!(s.ci95_half_width().abs() < 1e-8);
+    }
+}
+
+#[test]
+fn verdict_is_antisymmetric_for_separated_means() {
+    use deepcat::{compare, summarize};
+    use deepcat::{StepRecord, TuningReport};
+    let mk = |tuner: &str, base: f64| -> TuningReport {
+        let step = StepRecord {
+            step: 0,
+            exec_time_s: base,
+            failed: false,
+            reward: 0.0,
+            recommendation_s: 0.0,
+            q_estimate: None,
+            twinq_iterations: 0,
+            action: vec![0.5],
+        };
+        TuningReport {
+            tuner: tuner.into(),
+            workload: "w".into(),
+            steps: vec![step],
+            best_exec_time_s: base,
+            best_action: vec![0.5],
+            total_eval_s: base,
+            total_rec_s: 0.0,
+            default_exec_time_s: 100.0,
+        }
+    };
+    let a = summarize(&[mk("A", 10.0), mk("A", 11.0), mk("A", 9.0)]);
+    let b = summarize(&[mk("B", 50.0), mk("B", 51.0), mk("B", 49.0)]);
+    assert_eq!(compare(&a, &b), Verdict::ClearlyBetter);
+    assert_eq!(compare(&b, &a), Verdict::Worse);
+}

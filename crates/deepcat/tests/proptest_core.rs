@@ -1,0 +1,53 @@
+//! Property-based tests of the DeepCAT-specific mechanisms: the reward
+//! function, the Twin-Q optimizer's action hygiene, and report arithmetic.
+
+use deepcat::{RewardFn, TwinQOptimizer};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn reward_is_monotone_decreasing_in_exec_time(
+        perf_e in 1.0f64..1000.0,
+        t1 in 0.1f64..5000.0,
+        dt in 0.1f64..100.0,
+    ) {
+        let f = RewardFn::with_target(perf_e);
+        prop_assert!(f.reward(t1) > f.reward(t1 + dt));
+    }
+
+    #[test]
+    fn reward_round_trips_through_exec_time(
+        perf_e in 1.0f64..1000.0,
+        t in 0.1f64..5000.0,
+    ) {
+        let f = RewardFn::with_target(perf_e);
+        let r = f.reward(t);
+        prop_assert!((f.exec_time_for_reward(r) - t).abs() < 1e-6 * t.max(1.0));
+    }
+
+    #[test]
+    fn reward_is_bounded_above_by_one(perf_e in 1.0f64..1000.0, t in 0.0f64..1e6) {
+        let f = RewardFn::with_target(perf_e);
+        prop_assert!(f.reward(t) <= 1.0);
+    }
+
+    #[test]
+    fn twinq_actions_always_stay_in_unit_box(
+        start in proptest::collection::vec(0.0f64..1.0, 8),
+        sigma in 0.01f64..0.5,
+        seed in 0u64..50,
+    ) {
+        use deepcat::{AgentConfig, Td3Agent};
+        use rand::SeedableRng;
+        let mut cfg = AgentConfig::for_dims(2, 8);
+        cfg.hidden = vec![8];
+        let agent = Td3Agent::new(cfg, seed);
+        let opt = TwinQOptimizer { q_threshold: 1e9, sigma, max_iters: 8, smoothing_samples: 2 };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let res = opt.optimize(&agent, &[0.1, 0.2], start, &mut rng);
+        prop_assert!(res.action.iter().all(|v| (0.0..=1.0).contains(v)));
+        prop_assert!(res.final_q >= res.initial_q, "fallback returns best seen");
+        prop_assert_eq!(res.iterations, 8);
+        prop_assert!(!res.accepted);
+    }
+}

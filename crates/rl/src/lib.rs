@@ -1,0 +1,26 @@
+//! # rl
+//!
+//! Reinforcement-learning building blocks for the DeepCAT reproduction:
+//! transitions and the replay-memory trait, three replay implementations —
+//! the conventional uniform ring buffer, TD-error prioritized replay
+//! (Schaul et al. 2015, used by the CDBTune baseline), and the paper's
+//! reward-driven dual-pool RDPER — plus Gaussian and Ornstein–Uhlenbeck
+//! exploration noise.
+
+pub mod noise;
+pub mod normalizer;
+pub mod per;
+pub mod rank_per;
+pub mod rdper;
+pub mod sum_tree;
+pub mod transition;
+pub mod uniform;
+
+pub use noise::{GaussianNoise, OrnsteinUhlenbeck};
+pub use normalizer::RunningNorm;
+pub use per::PrioritizedReplay;
+pub use rank_per::RankBasedReplay;
+pub use rdper::RdPer;
+pub use sum_tree::SumTree;
+pub use transition::{Batch, ReplayMemory, Transition};
+pub use uniform::UniformReplay;

@@ -1,0 +1,132 @@
+//! Exploration-noise processes for deterministic-policy agents.
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+/// Independent Gaussian noise `ε ~ N(0, σ²)` per action dimension — used
+/// both for TD3 exploration and for the Twin-Q Optimizer's action
+/// perturbation (Algorithm 1 of the paper).
+#[derive(Clone, Debug)]
+pub struct GaussianNoise {
+    dim: usize,
+    normal: Normal<f64>,
+}
+
+impl GaussianNoise {
+    pub fn new(dim: usize, sigma: f64) -> Self {
+        assert!(sigma >= 0.0);
+        Self { dim, normal: Normal::new(0.0, sigma.max(1e-12)).expect("valid sigma") }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Sample one noise vector.
+    pub fn sample(&self, rng: &mut impl Rng) -> Vec<f64> {
+        (0..self.dim).map(|_| self.normal.sample(rng)).collect()
+    }
+
+    /// Add noise to `action` and clamp each dimension to `[0, 1]` (the
+    /// normalized knob space).
+    pub fn perturb(&self, action: &[f64], rng: &mut impl Rng) -> Vec<f64> {
+        assert_eq!(action.len(), self.dim);
+        action
+            .iter()
+            .map(|&a| (a + self.normal.sample(rng)).clamp(0.0, 1.0))
+            .collect()
+    }
+}
+
+/// Ornstein–Uhlenbeck process — the temporally-correlated noise the
+/// original DDPG paper used (kept for the CDBTune baseline).
+#[derive(Clone, Debug)]
+pub struct OrnsteinUhlenbeck {
+    theta: f64,
+    sigma: f64,
+    mu: f64,
+    state: Vec<f64>,
+}
+
+impl OrnsteinUhlenbeck {
+    pub fn new(dim: usize, theta: f64, sigma: f64) -> Self {
+        Self { theta, sigma, mu: 0.0, state: vec![0.0; dim] }
+    }
+
+    /// Reset the internal state (start of an episode).
+    pub fn reset(&mut self) {
+        self.state.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Advance the process one step and return the noise vector.
+    pub fn sample(&mut self, rng: &mut impl Rng) -> Vec<f64> {
+        let normal = Normal::new(0.0, 1.0).unwrap();
+        for v in &mut self.state {
+            *v += self.theta * (self.mu - *v) + self.sigma * normal.sample(rng);
+        }
+        self.state.clone()
+    }
+
+    /// Add OU noise to an action, clamped to `[0, 1]`.
+    pub fn perturb(&mut self, action: &[f64], rng: &mut impl Rng) -> Vec<f64> {
+        let n = self.sample(rng);
+        action
+            .iter()
+            .zip(&n)
+            .map(|(&a, &e)| (a + e).clamp(0.0, 1.0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_perturb_stays_in_unit_box() {
+        let noise = GaussianNoise::new(32, 0.5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = vec![0.5; 32];
+        for _ in 0..100 {
+            let p = noise.perturb(&a, &mut rng);
+            assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn gaussian_mean_and_std_are_right() {
+        let noise = GaussianNoise::new(1, 0.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..20_000).map(|_| noise.sample(&mut rng)[0]).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var.sqrt() - 0.2).abs() < 0.01, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn ou_noise_is_temporally_correlated() {
+        let mut ou = OrnsteinUhlenbeck::new(1, 0.15, 0.2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs: Vec<f64> = (0..5000).map(|_| ou.sample(&mut rng)[0]).collect();
+        // Lag-1 autocorrelation should be clearly positive (≈ 1 − θ).
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var: f64 = xs.iter().map(|v| (v - mean).powi(2)).sum();
+        let cov: f64 = xs.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum();
+        let rho = cov / var;
+        assert!(rho > 0.5, "autocorrelation {rho}");
+    }
+
+    #[test]
+    fn ou_reset_zeroes_state() {
+        let mut ou = OrnsteinUhlenbeck::new(3, 0.15, 0.3);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            ou.sample(&mut rng);
+        }
+        ou.reset();
+        assert!(ou.state.iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,128 @@
+//! Online state normalization: a running mean/variance tracker (Welford's
+//! algorithm) used to standardize observations before they reach the
+//! networks. Load averages span very different ranges between an idle and
+//! a saturated cluster; normalizing them stabilizes critic training.
+
+use serde::{Deserialize, Serialize};
+
+/// Running per-dimension mean and variance (Welford).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunningNorm {
+    count: u64,
+    mean: Vec<f64>,
+    m2: Vec<f64>,
+    /// Lower bound on the standard deviation to avoid division blow-ups.
+    pub min_std: f64,
+}
+
+impl RunningNorm {
+    pub fn new(dim: usize) -> Self {
+        Self { count: 0, mean: vec![0.0; dim], m2: vec![0.0; dim], min_std: 1e-4 }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Fold one observation into the statistics.
+    pub fn update(&mut self, x: &[f64]) {
+        assert_eq!(x.len(), self.mean.len(), "dimension mismatch");
+        self.count += 1;
+        let n = self.count as f64;
+        for i in 0..x.len() {
+            let delta = x[i] - self.mean[i];
+            self.mean[i] += delta / n;
+            let delta2 = x[i] - self.mean[i];
+            self.m2[i] += delta * delta2;
+        }
+    }
+
+    /// Current mean vector.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Current per-dimension standard deviation (0 before two samples).
+    pub fn std(&self) -> Vec<f64> {
+        if self.count < 2 {
+            return vec![0.0; self.mean.len()];
+        }
+        let n = (self.count - 1) as f64;
+        self.m2.iter().map(|v| (v / n).sqrt()).collect()
+    }
+
+    /// Standardize `x` with the running statistics: `(x − μ) / max(σ, ε)`.
+    /// Before any update it is the identity.
+    pub fn normalize(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.mean.len(), "dimension mismatch");
+        if self.count < 2 {
+            return x.to_vec();
+        }
+        let std = self.std();
+        x.iter()
+            .zip(self.mean.iter().zip(&std))
+            .map(|(&v, (&m, &s))| (v - m) / s.max(self.min_std))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn identity_before_enough_data() {
+        let n = RunningNorm::new(3);
+        assert_eq!(n.normalize(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn statistics_match_batch_formulas() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data: Vec<Vec<f64>> =
+            (0..500).map(|_| vec![rng.gen::<f64>() * 4.0 - 1.0, rng.gen::<f64>()]).collect();
+        let mut norm = RunningNorm::new(2);
+        for x in &data {
+            norm.update(x);
+        }
+        for d in 0..2 {
+            let mean: f64 = data.iter().map(|x| x[d]).sum::<f64>() / data.len() as f64;
+            let var: f64 = data.iter().map(|x| (x[d] - mean).powi(2)).sum::<f64>()
+                / (data.len() - 1) as f64;
+            assert!((norm.mean()[d] - mean).abs() < 1e-10);
+            assert!((norm.std()[d] - var.sqrt()).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn normalized_stream_is_standardized() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut norm = RunningNorm::new(1);
+        let data: Vec<f64> = (0..2000).map(|_| 5.0 + 3.0 * rng.gen::<f64>()).collect();
+        for &x in &data {
+            norm.update(&[x]);
+        }
+        let z: Vec<f64> = data.iter().map(|&x| norm.normalize(&[x])[0]).collect();
+        let mean = z.iter().sum::<f64>() / z.len() as f64;
+        let var = z.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / z.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn constant_dimension_does_not_divide_by_zero() {
+        let mut norm = RunningNorm::new(1);
+        for _ in 0..10 {
+            norm.update(&[7.0]);
+        }
+        let z = norm.normalize(&[7.0]);
+        assert!(z[0].is_finite());
+        assert_eq!(z[0], 0.0);
+    }
+}

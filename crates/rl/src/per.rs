@@ -1,0 +1,200 @@
+//! TD-error prioritized experience replay (Schaul et al., 2015) — the
+//! replay mechanism CDBTune-style DDPG tuners use, and the mechanism the
+//! paper's RDPER argues against for online configuration tuning.
+
+use crate::sum_tree::SumTree;
+use crate::transition::{Batch, ReplayMemory, Transition};
+use rand::Rng;
+
+/// Proportional-variant PER: `P(i) ∝ (|δ_i| + ε)^α` with importance
+/// sampling weights `w_i = (N · P(i))^{-β}` normalized by the batch max.
+#[derive(Clone, Debug)]
+pub struct PrioritizedReplay {
+    capacity: usize,
+    data: Vec<Option<Transition>>,
+    tree: SumTree,
+    head: usize,
+    len: usize,
+    /// Priority exponent α.
+    pub alpha: f64,
+    /// Importance-sampling exponent β (annealed toward 1 by the caller if
+    /// desired; kept fixed by default).
+    pub beta: f64,
+    /// Small constant keeping every priority positive.
+    pub eps: f64,
+    max_priority: f64,
+}
+
+impl PrioritizedReplay {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Self {
+            capacity,
+            data: vec![None; capacity],
+            tree: SumTree::new(capacity),
+            head: 0,
+            len: 0,
+            alpha: 0.6,
+            beta: 0.4,
+            eps: 1e-3,
+            max_priority: 1.0,
+        }
+    }
+
+    fn priority_of(&self, td_error: f64) -> f64 {
+        (td_error.abs() + self.eps).powf(self.alpha)
+    }
+}
+
+impl ReplayMemory for PrioritizedReplay {
+    fn push(&mut self, t: Transition) {
+        let slot = self.head;
+        self.data[slot] = Some(t);
+        // New transitions get the running max priority so each is replayed
+        // at least once with high probability.
+        self.tree.set(slot, self.max_priority);
+        self.head = (self.head + 1) % self.capacity;
+        self.len = (self.len + 1).min(self.capacity);
+    }
+
+    fn sample(&mut self, batch: usize, rng: &mut dyn rand::RngCore) -> Option<Batch> {
+        if self.len < batch || self.tree.total() <= 0.0 {
+            return None;
+        }
+        let total = self.tree.total();
+        let seg = total / batch as f64;
+        let mut transitions = Vec::with_capacity(batch);
+        let mut weights = Vec::with_capacity(batch);
+        let mut indices = Vec::with_capacity(batch);
+        let n = self.len as f64;
+        for k in 0..batch {
+            // Stratified sampling: one draw per segment.
+            let lo = seg * k as f64;
+            let mass = lo + rng.gen::<f64>() * seg;
+            let mut idx = self.tree.find(mass.min(total * (1.0 - 1e-12)));
+            // Skip empty slots (can only happen before the buffer wraps).
+            if self.data[idx].is_none() {
+                idx = (0..self.capacity)
+                    .find(|&i| self.data[i].is_some())
+                    .expect("buffer has data");
+            }
+            let p = self.tree.get(idx) / total;
+            let w = (n * p).powf(-self.beta);
+            transitions.push(self.data[idx].clone().unwrap());
+            weights.push(w);
+            indices.push(idx as u64);
+        }
+        // Normalize weights by the max for stability.
+        let wmax = weights.iter().cloned().fold(f64::MIN, f64::max).max(1e-12);
+        for w in &mut weights {
+            *w /= wmax;
+        }
+        Some(Batch { transitions, weights, indices })
+    }
+
+    fn update_priorities(&mut self, indices: &[u64], td_errors: &[f64]) {
+        assert_eq!(indices.len(), td_errors.len());
+        for (&i, &td) in indices.iter().zip(td_errors) {
+            let p = self.priority_of(td);
+            self.max_priority = self.max_priority.max(p);
+            self.tree.set(i as usize, p);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(r: f64) -> Transition {
+        Transition::new(vec![r], vec![0.0], r, vec![0.0], false)
+    }
+
+    #[test]
+    fn new_transitions_get_max_priority() {
+        let mut buf = PrioritizedReplay::new(8);
+        buf.push(t(0.0));
+        buf.update_priorities(&[0], &[10.0]); // big TD error → max_priority grows
+        buf.push(t(1.0));
+        assert!((buf.tree.get(1) - buf.tree.get(0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn high_td_error_is_sampled_more() {
+        let mut buf = PrioritizedReplay::new(64);
+        for i in 0..64 {
+            buf.push(t(i as f64));
+        }
+        // Give transition 7 a huge TD error, everyone else tiny.
+        let idx: Vec<u64> = (0..64).collect();
+        let mut tds = vec![0.01; 64];
+        tds[7] = 5.0;
+        buf.update_priorities(&idx, &tds);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut hits7 = 0;
+        let mut total = 0;
+        for _ in 0..200 {
+            let b = buf.sample(16, &mut rng).unwrap();
+            hits7 += b.transitions.iter().filter(|x| x.reward == 7.0).count();
+            total += b.len();
+        }
+        let frac = hits7 as f64 / total as f64;
+        assert!(frac > 0.3, "transition with dominant priority sampled {frac}");
+    }
+
+    #[test]
+    fn weights_penalize_over_sampled() {
+        let mut buf = PrioritizedReplay::new(16);
+        for i in 0..16 {
+            buf.push(t(i as f64));
+        }
+        let idx: Vec<u64> = (0..16).collect();
+        let mut tds = vec![0.01; 16];
+        tds[3] = 8.0;
+        buf.update_priorities(&idx, &tds);
+        let mut rng = StdRng::seed_from_u64(6);
+        let b = buf.sample(16, &mut rng).unwrap();
+        // Find a sample of index 3 and one of another index.
+        let w3 = b
+            .indices
+            .iter()
+            .zip(&b.weights)
+            .find(|(&i, _)| i == 3)
+            .map(|(_, &w)| w);
+        let wother = b
+            .indices
+            .iter()
+            .zip(&b.weights)
+            .find(|(&i, _)| i != 3)
+            .map(|(_, &w)| w);
+        if let (Some(w3), Some(wo)) = (w3, wother) {
+            assert!(w3 < wo, "high-priority sample must get lower IS weight: {w3} vs {wo}");
+        }
+    }
+
+    #[test]
+    fn sample_needs_enough_transitions() {
+        let mut buf = PrioritizedReplay::new(8);
+        let mut rng = StdRng::seed_from_u64(7);
+        buf.push(t(0.0));
+        assert!(buf.sample(2, &mut rng).is_none());
+    }
+
+    #[test]
+    fn wrap_around_eviction() {
+        let mut buf = PrioritizedReplay::new(4);
+        for i in 0..10 {
+            buf.push(t(i as f64));
+        }
+        assert_eq!(buf.len(), 4);
+        let mut rng = StdRng::seed_from_u64(8);
+        let b = buf.sample(4, &mut rng).unwrap();
+        assert!(b.transitions.iter().all(|x| x.reward >= 6.0));
+    }
+}

@@ -1,0 +1,221 @@
+//! Rank-based prioritized experience replay — the second variant from
+//! Schaul et al. (2015): `P(i) ∝ (1/rank(i))^α` where transitions are
+//! ranked by |TD error|. More robust to outlier TD errors than the
+//! proportional variant (an OOM-penalty transition cannot monopolize the
+//! sampling distribution), at the cost of periodic re-sorting.
+
+use crate::transition::{Batch, ReplayMemory, Transition};
+use rand::Rng;
+
+/// Rank-based PER with lazy re-ranking.
+#[derive(Clone, Debug)]
+pub struct RankBasedReplay {
+    capacity: usize,
+    data: Vec<Transition>,
+    /// |TD error| per stored transition (same indexing as `data`).
+    priorities: Vec<f64>,
+    head: usize,
+    /// Indices sorted by descending priority; refreshed lazily.
+    ranking: Vec<usize>,
+    dirty: bool,
+    /// Rank exponent α.
+    pub alpha: f64,
+    /// Importance-sampling exponent β.
+    pub beta: f64,
+    max_priority: f64,
+}
+
+impl RankBasedReplay {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Self {
+            capacity,
+            data: Vec::new(),
+            priorities: Vec::new(),
+            head: 0,
+            ranking: Vec::new(),
+            dirty: true,
+            alpha: 0.7,
+            beta: 0.5,
+            max_priority: 1.0,
+        }
+    }
+
+    fn refresh_ranking(&mut self) {
+        if !self.dirty && self.ranking.len() == self.data.len() {
+            return;
+        }
+        self.ranking = (0..self.data.len()).collect();
+        self.ranking.sort_by(|&a, &b| {
+            self.priorities[b].partial_cmp(&self.priorities[a]).expect("finite priorities")
+        });
+        self.dirty = false;
+    }
+
+    /// P(rank) ∝ (1/rank)^α over ranks 1..=n (unnormalized weight).
+    fn rank_weight(&self, rank0: usize) -> f64 {
+        (1.0 / (rank0 + 1) as f64).powf(self.alpha)
+    }
+}
+
+impl ReplayMemory for RankBasedReplay {
+    fn push(&mut self, t: Transition) {
+        if self.data.len() < self.capacity {
+            self.data.push(t);
+            self.priorities.push(self.max_priority);
+        } else {
+            self.data[self.head] = t;
+            self.priorities[self.head] = self.max_priority;
+            self.head = (self.head + 1) % self.capacity;
+        }
+        self.dirty = true;
+    }
+
+    fn sample(&mut self, batch: usize, rng: &mut dyn rand::RngCore) -> Option<Batch> {
+        if self.data.len() < batch {
+            return None;
+        }
+        self.refresh_ranking();
+        let n = self.data.len();
+        // Total mass of the power-law over ranks.
+        let total: f64 = (0..n).map(|r| self.rank_weight(r)).sum();
+        let mut transitions = Vec::with_capacity(batch);
+        let mut weights = Vec::with_capacity(batch);
+        let mut indices = Vec::with_capacity(batch);
+        for _ in 0..batch {
+            // Inverse-CDF by linear scan (n is bounded by the capacity;
+            // amortized cost is fine for the batch sizes RL uses).
+            let mut u = rng.gen::<f64>() * total;
+            let mut rank = 0;
+            while rank + 1 < n {
+                let w = self.rank_weight(rank);
+                if u < w {
+                    break;
+                }
+                u -= w;
+                rank += 1;
+            }
+            let idx = self.ranking[rank];
+            let p = self.rank_weight(rank) / total;
+            transitions.push(self.data[idx].clone());
+            weights.push((n as f64 * p).powf(-self.beta));
+            indices.push(idx as u64);
+        }
+        let wmax = weights.iter().cloned().fold(f64::MIN, f64::max).max(1e-12);
+        for w in &mut weights {
+            *w /= wmax;
+        }
+        Some(Batch { transitions, weights, indices })
+    }
+
+    fn update_priorities(&mut self, indices: &[u64], td_errors: &[f64]) {
+        assert_eq!(indices.len(), td_errors.len());
+        for (&i, &td) in indices.iter().zip(td_errors) {
+            let p = td.abs() + 1e-6;
+            self.max_priority = self.max_priority.max(p);
+            if let Some(slot) = self.priorities.get_mut(i as usize) {
+                *slot = p;
+            }
+        }
+        self.dirty = true;
+    }
+
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(r: f64) -> Transition {
+        Transition::new(vec![r], vec![0.0], r, vec![0.0], false)
+    }
+
+    #[test]
+    fn top_ranked_transition_is_sampled_most() {
+        let mut buf = RankBasedReplay::new(64);
+        for i in 0..64 {
+            buf.push(t(i as f64));
+        }
+        let idx: Vec<u64> = (0..64).collect();
+        let mut tds = vec![0.1; 64];
+        tds[20] = 100.0; // outlier TD error → rank 1
+        buf.update_priorities(&idx, &tds);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut hits = vec![0usize; 64];
+        for _ in 0..300 {
+            let b = buf.sample(16, &mut rng).unwrap();
+            for &i in &b.indices {
+                hits[i as usize] += 1;
+            }
+        }
+        let max_other = hits.iter().enumerate().filter(|(i, _)| *i != 20).map(|(_, &h)| h).max().unwrap();
+        assert!(hits[20] > max_other, "rank-1 sampled {} vs max other {}", hits[20], max_other);
+    }
+
+    #[test]
+    fn outlier_cannot_monopolize_like_proportional_would() {
+        // With an extreme TD error, proportional PER gives the outlier
+        // ~99% of the mass; rank-based caps it at P(rank 1).
+        let mut buf = RankBasedReplay::new(32);
+        for i in 0..32 {
+            buf.push(t(i as f64));
+        }
+        let idx: Vec<u64> = (0..32).collect();
+        let mut tds = vec![1.0; 32];
+        tds[5] = 1e9;
+        buf.update_priorities(&idx, &tds);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut hits5 = 0;
+        let mut total = 0;
+        for _ in 0..200 {
+            let b = buf.sample(8, &mut rng).unwrap();
+            hits5 += b.indices.iter().filter(|&&i| i == 5).count();
+            total += b.len();
+        }
+        let frac = hits5 as f64 / total as f64;
+        assert!(frac < 0.5, "outlier fraction {frac} must stay bounded");
+        assert!(frac > 0.05, "but it must still be preferred");
+    }
+
+    #[test]
+    fn is_weights_penalize_high_rank() {
+        let mut buf = RankBasedReplay::new(16);
+        for i in 0..16 {
+            buf.push(t(i as f64));
+        }
+        let idx: Vec<u64> = (0..16).collect();
+        let mut tds: Vec<f64> = (0..16).map(|i| (i + 1) as f64).collect();
+        tds.reverse();
+        buf.update_priorities(&idx, &tds);
+        let mut rng = StdRng::seed_from_u64(3);
+        let b = buf.sample(16, &mut rng).unwrap();
+        // The most-sampled (lowest index in priority order) gets the lowest
+        // weight; all weights normalized to ≤ 1.
+        assert!(b.weights.iter().all(|&w| w <= 1.0 + 1e-12 && w > 0.0));
+    }
+
+    #[test]
+    fn wraps_at_capacity() {
+        let mut buf = RankBasedReplay::new(8);
+        for i in 0..20 {
+            buf.push(t(i as f64));
+        }
+        assert_eq!(buf.len(), 8);
+        let mut rng = StdRng::seed_from_u64(4);
+        let b = buf.sample(8, &mut rng).unwrap();
+        assert!(b.transitions.iter().all(|x| x.reward >= 12.0));
+    }
+
+    #[test]
+    fn needs_enough_data() {
+        let mut buf = RankBasedReplay::new(8);
+        buf.push(t(0.0));
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(buf.sample(2, &mut rng).is_none());
+    }
+}

@@ -1,0 +1,135 @@
+//! A sum tree (Fenwick-style complete binary tree) supporting O(log n)
+//! priority updates and proportional sampling — the data structure behind
+//! TD-error prioritized experience replay (Schaul et al., 2015).
+
+/// Complete binary tree whose leaves hold priorities and whose internal
+/// nodes hold subtree sums.
+#[derive(Clone, Debug)]
+pub struct SumTree {
+    /// Number of leaves (capacity).
+    n: usize,
+    /// `tree[1..]` is used; node i has children 2i, 2i+1. Leaves occupy
+    /// `n..2n`.
+    tree: Vec<f64>,
+}
+
+impl SumTree {
+    /// A tree with `n` leaves, all zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        let cap = n.next_power_of_two();
+        Self { n: cap, tree: vec![0.0; 2 * cap] }
+    }
+
+    /// Number of leaf slots.
+    pub fn capacity(&self) -> usize {
+        self.n
+    }
+
+    /// Total priority mass.
+    pub fn total(&self) -> f64 {
+        self.tree[1]
+    }
+
+    /// Set leaf `i` to `priority` (≥ 0) and update ancestors.
+    pub fn set(&mut self, i: usize, priority: f64) {
+        assert!(i < self.n, "leaf index out of range");
+        assert!(priority >= 0.0 && priority.is_finite(), "invalid priority {priority}");
+        let mut node = self.n + i;
+        self.tree[node] = priority;
+        node /= 2;
+        while node >= 1 {
+            self.tree[node] = self.tree[2 * node] + self.tree[2 * node + 1];
+            if node == 1 {
+                break;
+            }
+            node /= 2;
+        }
+    }
+
+    /// Priority of leaf `i`.
+    pub fn get(&self, i: usize) -> f64 {
+        self.tree[self.n + i]
+    }
+
+    /// Find the leaf where the prefix sum first exceeds `mass`
+    /// (`0 ≤ mass < total`). Standard proportional-sampling descent.
+    pub fn find(&self, mut mass: f64) -> usize {
+        debug_assert!(self.total() > 0.0, "cannot sample from an empty tree");
+        let mut node = 1;
+        while node < self.n {
+            let left = 2 * node;
+            if mass < self.tree[left] {
+                node = left;
+            } else {
+                mass -= self.tree[left];
+                node = left + 1;
+            }
+        }
+        node - self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn total_tracks_updates() {
+        let mut t = SumTree::new(5);
+        t.set(0, 1.0);
+        t.set(3, 2.5);
+        assert!((t.total() - 3.5).abs() < 1e-12);
+        t.set(0, 0.5);
+        assert!((t.total() - 3.0).abs() < 1e-12);
+        assert_eq!(t.get(3), 2.5);
+    }
+
+    #[test]
+    fn find_respects_proportions() {
+        let mut t = SumTree::new(4);
+        t.set(0, 1.0);
+        t.set(1, 0.0);
+        t.set(2, 3.0);
+        t.set(3, 0.0);
+        assert_eq!(t.find(0.5), 0);
+        assert_eq!(t.find(1.5), 2);
+        assert_eq!(t.find(3.9), 2);
+    }
+
+    #[test]
+    fn zero_priority_leaves_never_sampled() {
+        let mut t = SumTree::new(8);
+        t.set(2, 1.0);
+        t.set(5, 4.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let u: f64 = rng.gen::<f64>() * t.total();
+            let leaf = t.find(u);
+            assert!(leaf == 2 || leaf == 5);
+        }
+    }
+
+    #[test]
+    fn sampling_frequency_matches_priority() {
+        let mut t = SumTree::new(4);
+        t.set(0, 1.0);
+        t.set(1, 9.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut hits = [0usize; 2];
+        for _ in 0..20_000 {
+            let u: f64 = rng.gen::<f64>() * t.total();
+            hits[t.find(u)] += 1;
+        }
+        let frac = hits[1] as f64 / 20_000.0;
+        assert!((frac - 0.9).abs() < 0.02, "frac = {frac}");
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let t = SumTree::new(5);
+        assert_eq!(t.capacity(), 8);
+    }
+}

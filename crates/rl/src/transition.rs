@@ -1,0 +1,99 @@
+//! Core reinforcement-learning data types.
+
+use serde::{Deserialize, Serialize};
+
+/// One environment interaction `(s, a, r, s', done)`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Transition {
+    pub state: Vec<f64>,
+    pub action: Vec<f64>,
+    pub reward: f64,
+    pub next_state: Vec<f64>,
+    pub done: bool,
+}
+
+impl Transition {
+    pub fn new(
+        state: Vec<f64>,
+        action: Vec<f64>,
+        reward: f64,
+        next_state: Vec<f64>,
+        done: bool,
+    ) -> Self {
+        Self { state, action, reward, next_state, done }
+    }
+
+    /// State dimension.
+    pub fn state_dim(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Action dimension.
+    pub fn action_dim(&self) -> usize {
+        self.action.len()
+    }
+}
+
+/// A batch sampled from a replay buffer: transitions plus the importance
+/// weights and buffer indices needed by prioritized replay variants.
+#[derive(Clone, Debug)]
+pub struct Batch {
+    pub transitions: Vec<Transition>,
+    /// Importance-sampling weight per transition (all 1.0 for uniform and
+    /// RDPER sampling).
+    pub weights: Vec<f64>,
+    /// Opaque per-transition handles for [`ReplayMemory::update_priorities`].
+    pub indices: Vec<u64>,
+}
+
+impl Batch {
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+}
+
+/// Common interface over the replay-buffer variants (uniform, TD-error PER,
+/// reward-driven RDPER).
+pub trait ReplayMemory {
+    /// Store a transition (evicting the oldest when full).
+    fn push(&mut self, t: Transition);
+
+    /// Sample a training batch. Returns `None` until the buffer holds at
+    /// least `batch` transitions.
+    fn sample(&mut self, batch: usize, rng: &mut dyn rand::RngCore) -> Option<Batch>;
+
+    /// Feed back TD errors for the sampled indices (no-op for buffers that
+    /// do not track priorities).
+    fn update_priorities(&mut self, indices: &[u64], td_errors: &[f64]);
+
+    /// Number of stored transitions.
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transition_dims() {
+        let t = Transition::new(vec![0.0; 9], vec![0.5; 32], 0.3, vec![0.1; 9], false);
+        assert_eq!(t.state_dim(), 9);
+        assert_eq!(t.action_dim(), 32);
+    }
+
+    #[test]
+    fn batch_len() {
+        let t = Transition::new(vec![0.0], vec![0.0], 0.0, vec![0.0], true);
+        let b = Batch { transitions: vec![t.clone(), t], weights: vec![1.0; 2], indices: vec![0, 1] };
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+    }
+}

@@ -1,0 +1,137 @@
+//! The conventional experience replay: a fixed-capacity ring buffer with
+//! uniformly random sampling (what DDPG/TD3 use out of the box).
+
+use crate::transition::{Batch, ReplayMemory, Transition};
+use rand::Rng;
+
+/// Uniform ring-buffer replay memory.
+#[derive(Clone, Debug)]
+pub struct UniformReplay {
+    capacity: usize,
+    data: Vec<Transition>,
+    /// Next write position once the buffer is full.
+    head: usize,
+}
+
+impl UniformReplay {
+    /// Create a buffer holding at most `capacity` transitions.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self { capacity, data: Vec::with_capacity(capacity.min(4096)), head: 0 }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterate over the stored transitions (test/diagnostic use).
+    pub fn iter(&self) -> impl Iterator<Item = &Transition> {
+        self.data.iter()
+    }
+
+    /// Random access to the `i`-th stored transition (storage order).
+    pub fn get(&self, i: usize) -> &Transition {
+        &self.data[i]
+    }
+}
+
+impl ReplayMemory for UniformReplay {
+    fn push(&mut self, t: Transition) {
+        if self.data.len() < self.capacity {
+            self.data.push(t);
+        } else {
+            self.data[self.head] = t;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    fn sample(&mut self, batch: usize, rng: &mut dyn rand::RngCore) -> Option<Batch> {
+        if self.data.len() < batch {
+            return None;
+        }
+        let mut transitions = Vec::with_capacity(batch);
+        let mut indices = Vec::with_capacity(batch);
+        for _ in 0..batch {
+            let i = rng.gen_range(0..self.data.len());
+            transitions.push(self.data[i].clone());
+            indices.push(i as u64);
+        }
+        Some(Batch { transitions, weights: vec![1.0; batch], indices })
+    }
+
+    fn update_priorities(&mut self, _indices: &[u64], _td_errors: &[f64]) {}
+
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(r: f64) -> Transition {
+        Transition::new(vec![0.0], vec![0.0], r, vec![0.0], false)
+    }
+
+    #[test]
+    fn sample_requires_enough_data() {
+        let mut buf = UniformReplay::new(10);
+        let mut rng = StdRng::seed_from_u64(0);
+        buf.push(t(1.0));
+        assert!(buf.sample(2, &mut rng).is_none());
+        buf.push(t(2.0));
+        assert_eq!(buf.sample(2, &mut rng).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn eviction_is_fifo() {
+        let mut buf = UniformReplay::new(3);
+        for i in 0..5 {
+            buf.push(t(i as f64));
+        }
+        assert_eq!(buf.len(), 3);
+        let rewards: Vec<f64> = buf.iter().map(|x| x.reward).collect();
+        // Oldest (0 and 1) evicted.
+        assert!(!rewards.contains(&0.0));
+        assert!(!rewards.contains(&1.0));
+        assert!(rewards.contains(&4.0));
+    }
+
+    #[test]
+    fn sampling_is_roughly_uniform() {
+        let mut buf = UniformReplay::new(100);
+        for i in 0..100 {
+            buf.push(t(i as f64));
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 100];
+        for _ in 0..200 {
+            let b = buf.sample(50, &mut rng).unwrap();
+            for tr in &b.transitions {
+                counts[tr.reward as usize] += 1;
+            }
+        }
+        let total: usize = counts.iter().sum();
+        let mean = total as f64 / 100.0;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64) > mean * 0.5 && (c as f64) < mean * 1.5,
+                "index {i} sampled {c} times (mean {mean})"
+            );
+        }
+    }
+
+    #[test]
+    fn weights_are_unit() {
+        let mut buf = UniformReplay::new(10);
+        for i in 0..10 {
+            buf.push(t(i as f64));
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let b = buf.sample(4, &mut rng).unwrap();
+        assert!(b.weights.iter().all(|&w| w == 1.0));
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests of the replay memories — the data structures the
+//! paper's RDPER contribution modifies.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl::{RdPer, ReplayMemory, SumTree, Transition, UniformReplay};
+
+fn t(r: f64) -> Transition {
+    Transition::new(vec![r], vec![r], r, vec![r], false)
+}
+
+proptest! {
+    #[test]
+    fn sum_tree_total_equals_leaf_sum(
+        updates in proptest::collection::vec((0usize..32, 0.0f64..100.0), 1..64)
+    ) {
+        let mut tree = SumTree::new(32);
+        let mut leaves = vec![0.0; 32];
+        for (i, p) in updates {
+            tree.set(i, p);
+            leaves[i] = p;
+        }
+        let sum: f64 = leaves.iter().sum();
+        prop_assert!((tree.total() - sum).abs() < 1e-9 * (1.0 + sum));
+    }
+
+    #[test]
+    fn sum_tree_find_returns_positive_leaf(
+        updates in proptest::collection::vec((0usize..16, 0.01f64..10.0), 1..32),
+        frac in 0.0f64..0.999,
+    ) {
+        let mut tree = SumTree::new(16);
+        for (i, p) in updates {
+            tree.set(i, p);
+        }
+        let leaf = tree.find(frac * tree.total());
+        prop_assert!(tree.get(leaf) > 0.0, "sampled a zero-priority leaf");
+    }
+
+    #[test]
+    fn uniform_replay_never_exceeds_capacity(
+        rewards in proptest::collection::vec(-1.0f64..1.0, 1..200),
+        cap in 1usize..64,
+    ) {
+        let mut buf = UniformReplay::new(cap);
+        for &r in &rewards {
+            buf.push(t(r));
+        }
+        prop_assert_eq!(buf.len(), rewards.len().min(cap));
+    }
+
+    #[test]
+    fn uniform_replay_keeps_newest(
+        rewards in proptest::collection::vec(0.0f64..1.0, 10..100),
+    ) {
+        let cap = 8;
+        let mut buf = UniformReplay::new(cap);
+        for (i, &r) in rewards.iter().enumerate() {
+            buf.push(t(r + i as f64 * 10.0)); // make rewards unique per index
+        }
+        // The last push must still be present.
+        let last = rewards.len() - 1;
+        let expect = rewards[last] + last as f64 * 10.0;
+        prop_assert!(buf.iter().any(|x| x.reward == expect));
+    }
+
+    #[test]
+    fn rdper_pools_partition_all_transitions(
+        rewards in proptest::collection::vec(-2.0f64..2.0, 1..128),
+        threshold in -1.0f64..1.0,
+    ) {
+        let mut buf = RdPer::new(1024, threshold, 0.6);
+        for &r in &rewards {
+            buf.push(t(r));
+        }
+        prop_assert_eq!(buf.len(), rewards.len());
+        let high_expected = rewards.iter().filter(|&&r| r >= threshold).count();
+        prop_assert_eq!(buf.high_len(), high_expected);
+        prop_assert_eq!(buf.low_len(), rewards.len() - high_expected);
+    }
+
+    #[test]
+    fn rdper_batches_respect_beta_when_both_pools_filled(
+        beta in 0.0f64..1.0,
+        batch in 4usize..64,
+    ) {
+        let mut buf = RdPer::new(4096, 0.0, beta);
+        for i in 0..200 {
+            buf.push(t(if i % 2 == 0 { 0.5 } else { -0.5 }));
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let b = buf.sample(batch, &mut rng).unwrap();
+        prop_assert_eq!(b.len(), batch);
+        let high = b.transitions.iter().filter(|x| x.reward > 0.0).count();
+        let want = ((beta * batch as f64).round() as usize).min(batch);
+        prop_assert_eq!(high, want);
+    }
+}

@@ -1,0 +1,169 @@
+//! Hardware model of the simulated cluster.
+//!
+//! The paper evaluates on two clusters:
+//! * **Cluster-A** — three physical nodes, each with an i7-10700 (16 logical
+//!   cores), 16 GB DDR4, 1 TB HDD, 1 GbE interconnect.
+//! * **Cluster-B** — a VM cluster with 24 cores / 24 GB / 150 GB total,
+//!   used for the hardware-adaptability experiment (Fig. 10).
+
+use serde::{Deserialize, Serialize};
+
+/// A single worker node.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Logical CPU cores.
+    pub cores: u32,
+    /// Physical memory in MB.
+    pub memory_mb: u64,
+    /// Sequential disk bandwidth in MB/s.
+    pub disk_mbps: f64,
+    /// Network bandwidth in MB/s (1 GbE ≈ 117 MB/s).
+    pub net_mbps: f64,
+    /// Relative CPU speed (1.0 = Cluster-A's i7-10700).
+    pub cpu_speed: f64,
+}
+
+/// A homogeneous cluster of worker nodes.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    pub name: &'static str,
+    pub nodes: Vec<Node>,
+}
+
+impl Cluster {
+    /// The paper's physical 3-node cluster (Section 4.1).
+    pub fn cluster_a() -> Self {
+        let node = Node {
+            cores: 16,
+            memory_mb: 16 * 1024,
+            disk_mbps: 150.0, // 1 TB HDD sequential throughput
+            net_mbps: 117.0,  // 1 GbE
+            cpu_speed: 1.0,
+        };
+        Cluster { name: "Cluster-A", nodes: vec![node; 3] }
+    }
+
+    /// The VM cluster from the hardware-adaptability experiment
+    /// (Section 5.3.2): 3 nodes, 24 cores / 24 GB total, slower virtualized
+    /// IO.
+    pub fn cluster_b() -> Self {
+        let node = Node {
+            cores: 8,
+            memory_mb: 8 * 1024,
+            disk_mbps: 90.0, // virtualized disk
+            net_mbps: 100.0,
+            cpu_speed: 0.85, // virtualization overhead
+        };
+        Cluster { name: "Cluster-B", nodes: vec![node; 3] }
+    }
+
+    /// A custom homogeneous cluster.
+    pub fn homogeneous(name: &'static str, n: usize, node: Node) -> Self {
+        Cluster { name, nodes: vec![node; n] }
+    }
+
+    /// A heterogeneous 3-node cluster: one fast NVMe box, one Cluster-A
+    /// node, one older machine — the mixed-fleet situation production
+    /// clusters drift into. Tasks scheduled on different nodes genuinely
+    /// run at different speeds in the engine.
+    pub fn cluster_c_heterogeneous() -> Self {
+        Cluster {
+            name: "Cluster-C",
+            nodes: vec![
+                Node { cores: 16, memory_mb: 16 * 1024, disk_mbps: 450.0, net_mbps: 117.0, cpu_speed: 1.2 },
+                Node { cores: 16, memory_mb: 16 * 1024, disk_mbps: 150.0, net_mbps: 117.0, cpu_speed: 1.0 },
+                Node { cores: 8, memory_mb: 8 * 1024, disk_mbps: 90.0, net_mbps: 117.0, cpu_speed: 0.7 },
+            ],
+        }
+    }
+
+    /// A copy of this cluster under live production conditions: co-located
+    /// services and background jobs shave off CPU, disk and network
+    /// headroom. This is the "real user environment" the paper's online
+    /// tuning stage adapts the offline model to — same hardware, different
+    /// effective capacity, so the offline optimum is slightly displaced.
+    pub fn with_background_load(&self, load: f64) -> Cluster {
+        assert!((0.0..0.9).contains(&load), "background load must be in [0, 0.9)");
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|n| Node {
+                cores: n.cores,
+                memory_mb: (n.memory_mb as f64 * (1.0 - 0.5 * load)) as u64,
+                disk_mbps: n.disk_mbps * (1.0 - load),
+                net_mbps: n.net_mbps * (1.0 - 0.6 * load),
+                cpu_speed: n.cpu_speed * (1.0 - 0.7 * load),
+            })
+            .collect();
+        Cluster { name: self.name, nodes }
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn total_cores(&self) -> u32 {
+        self.nodes.iter().map(|n| n.cores).sum()
+    }
+
+    pub fn total_memory_mb(&self) -> u64 {
+        self.nodes.iter().map(|n| n.memory_mb).sum()
+    }
+
+    /// All nodes identical? (Both paper clusters are.)
+    pub fn is_homogeneous(&self) -> bool {
+        self.nodes.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// The representative node (first). Panics on an empty cluster.
+    pub fn node(&self) -> &Node {
+        &self.nodes[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_a_matches_paper_hardware() {
+        let c = Cluster::cluster_a();
+        assert_eq!(c.num_nodes(), 3);
+        assert_eq!(c.total_cores(), 48);
+        assert_eq!(c.total_memory_mb(), 48 * 1024);
+        assert!(c.is_homogeneous());
+    }
+
+    #[test]
+    fn cluster_b_matches_paper_totals() {
+        let c = Cluster::cluster_b();
+        assert_eq!(c.total_cores(), 24);
+        assert_eq!(c.total_memory_mb(), 24 * 1024);
+    }
+
+    #[test]
+    fn cluster_c_is_heterogeneous() {
+        let c = Cluster::cluster_c_heterogeneous();
+        assert!(!c.is_homogeneous());
+        assert_eq!(c.num_nodes(), 3);
+        assert!(c.nodes[0].cpu_speed > c.nodes[2].cpu_speed);
+    }
+
+    #[test]
+    fn background_load_shaves_capacity() {
+        let a = Cluster::cluster_a();
+        let busy = a.with_background_load(0.2);
+        assert!(busy.node().cpu_speed < a.node().cpu_speed);
+        assert!(busy.node().disk_mbps < a.node().disk_mbps);
+        assert!(busy.node().memory_mb < a.node().memory_mb);
+        assert_eq!(busy.node().cores, a.node().cores);
+    }
+
+    #[test]
+    fn cluster_b_is_weaker_than_a() {
+        let (a, b) = (Cluster::cluster_a(), Cluster::cluster_b());
+        assert!(b.total_cores() < a.total_cores());
+        assert!(b.node().disk_mbps < a.node().disk_mbps);
+        assert!(b.node().cpu_speed < a.node().cpu_speed);
+    }
+}

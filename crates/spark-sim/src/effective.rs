@@ -1,0 +1,202 @@
+//! Typed view of a [`Configuration`] — the semantic fields the execution
+//! engine reads, decoded once per evaluation instead of via repeated
+//! positional lookups.
+
+use crate::knobs::{idx, Configuration};
+use serde::{Deserialize, Serialize};
+
+/// Object serialization implementation (`spark.serializer`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Serializer {
+    Java,
+    Kryo,
+}
+
+/// Compression codec (`spark.io.compression.codec`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Codec {
+    Lz4,
+    Lzf,
+    Snappy,
+}
+
+impl Codec {
+    /// Compressed-size ratio on typical shuffle data.
+    pub fn ratio(self) -> f64 {
+        match self {
+            Codec::Lz4 => 0.50,
+            Codec::Lzf => 0.56,
+            Codec::Snappy => 0.52,
+        }
+    }
+
+    /// Extra CPU seconds per MB compressed + decompressed (reference core).
+    pub fn cpu_per_mb(self) -> f64 {
+        match self {
+            Codec::Lz4 => 0.0020,
+            Codec::Lzf => 0.0026,
+            Codec::Snappy => 0.0022,
+        }
+    }
+}
+
+/// All 32 knobs decoded into engine-ready fields.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Effective {
+    // Spark
+    pub executor_cores: u32,
+    pub executor_memory_mb: u64,
+    pub executor_instances: u32,
+    pub default_parallelism: u32,
+    pub memory_fraction: f64,
+    pub storage_fraction: f64,
+    pub shuffle_compress: bool,
+    pub shuffle_spill_compress: bool,
+    pub shuffle_file_buffer_kb: u64,
+    pub reducer_max_in_flight_mb: u64,
+    pub serializer: Serializer,
+    pub rdd_compress: bool,
+    pub codec: Codec,
+    pub locality_wait_s: f64,
+    pub speculation: bool,
+    pub task_cpus: u32,
+    pub broadcast_block_mb: u64,
+    pub driver_memory_mb: u64,
+    pub driver_cores: u32,
+    pub bypass_merge_threshold: u32,
+    // YARN
+    pub nm_memory_mb: u64,
+    pub nm_vcores: u32,
+    pub sched_min_alloc_mb: u64,
+    pub sched_max_alloc_mb: u64,
+    pub sched_inc_alloc_mb: u64,
+    pub vmem_pmem_ratio: f64,
+    pub pmem_check: bool,
+    // HDFS
+    pub dfs_block_mb: u64,
+    pub dfs_replication: u32,
+    pub nn_handlers: u32,
+    pub dn_handlers: u32,
+    pub io_buffer_kb: u64,
+}
+
+impl Effective {
+    /// Decode a full configuration. Panics if `config` does not have the
+    /// pipeline space's 32 entries in canonical order.
+    pub fn decode(config: &Configuration) -> Self {
+        assert_eq!(config.values.len(), 32, "expected the 32-knob pipeline space");
+        let g = |i: usize| config.get(i);
+        Effective {
+            executor_cores: g(idx::EXECUTOR_CORES).as_i64() as u32,
+            executor_memory_mb: g(idx::EXECUTOR_MEMORY_MB).as_i64() as u64,
+            executor_instances: g(idx::EXECUTOR_INSTANCES).as_i64() as u32,
+            default_parallelism: g(idx::DEFAULT_PARALLELISM).as_i64() as u32,
+            memory_fraction: g(idx::MEMORY_FRACTION).as_f64(),
+            storage_fraction: g(idx::MEMORY_STORAGE_FRACTION).as_f64(),
+            shuffle_compress: g(idx::SHUFFLE_COMPRESS).as_bool(),
+            shuffle_spill_compress: g(idx::SHUFFLE_SPILL_COMPRESS).as_bool(),
+            shuffle_file_buffer_kb: g(idx::SHUFFLE_FILE_BUFFER_KB).as_i64() as u64,
+            reducer_max_in_flight_mb: g(idx::REDUCER_MAX_SIZE_IN_FLIGHT_MB).as_i64() as u64,
+            serializer: if g(idx::SERIALIZER).as_i64() == 1 {
+                Serializer::Kryo
+            } else {
+                Serializer::Java
+            },
+            rdd_compress: g(idx::RDD_COMPRESS).as_bool(),
+            codec: match g(idx::IO_COMPRESSION_CODEC).as_i64() {
+                1 => Codec::Lzf,
+                2 => Codec::Snappy,
+                _ => Codec::Lz4,
+            },
+            locality_wait_s: g(idx::LOCALITY_WAIT_S).as_f64(),
+            speculation: g(idx::SPECULATION).as_bool(),
+            task_cpus: g(idx::TASK_CPUS).as_i64() as u32,
+            broadcast_block_mb: g(idx::BROADCAST_BLOCK_SIZE_MB).as_i64() as u64,
+            driver_memory_mb: g(idx::DRIVER_MEMORY_MB).as_i64() as u64,
+            driver_cores: g(idx::DRIVER_CORES).as_i64() as u32,
+            bypass_merge_threshold: g(idx::SHUFFLE_SORT_BYPASS_MERGE_THRESHOLD).as_i64() as u32,
+            nm_memory_mb: g(idx::NM_MEMORY_MB).as_i64() as u64,
+            nm_vcores: g(idx::NM_VCORES).as_i64() as u32,
+            sched_min_alloc_mb: g(idx::SCHED_MIN_ALLOC_MB).as_i64() as u64,
+            sched_max_alloc_mb: g(idx::SCHED_MAX_ALLOC_MB).as_i64() as u64,
+            sched_inc_alloc_mb: g(idx::SCHED_INC_ALLOC_MB).as_i64() as u64,
+            vmem_pmem_ratio: g(idx::VMEM_PMEM_RATIO).as_f64(),
+            pmem_check: g(idx::PMEM_CHECK).as_bool(),
+            dfs_block_mb: g(idx::DFS_BLOCK_SIZE_MB).as_i64() as u64,
+            dfs_replication: g(idx::DFS_REPLICATION).as_i64() as u32,
+            nn_handlers: g(idx::NN_HANDLER_COUNT).as_i64() as u32,
+            dn_handlers: g(idx::DN_HANDLER_COUNT).as_i64() as u32,
+            io_buffer_kb: g(idx::IO_FILE_BUFFER_KB).as_i64() as u64,
+        }
+    }
+
+    /// CPU multiplier for the serialization share of a stage's work:
+    /// Kryo roughly halves (de)serialization cost relative to Java.
+    pub fn ser_cpu_multiplier(&self, ser_fraction: f64) -> f64 {
+        match self.serializer {
+            Serializer::Java => 1.0,
+            Serializer::Kryo => 1.0 - 0.45 * ser_fraction,
+        }
+    }
+
+    /// In-memory footprint multiplier for cached RDDs: Kryo stores
+    /// serialized compact bytes; `spark.rdd.compress` shrinks them further
+    /// at decompression CPU cost.
+    pub fn cache_footprint_multiplier(&self) -> f64 {
+        let ser = match self.serializer {
+            Serializer::Java => 1.0,
+            Serializer::Kryo => 0.55,
+        };
+        let comp = if self.rdd_compress { 0.65 } else { 1.0 };
+        ser * comp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knobs::{KnobSpace, KnobValue};
+
+    #[test]
+    fn decode_defaults() {
+        let s = KnobSpace::pipeline();
+        let e = Effective::decode(&s.default_config());
+        assert_eq!(e.executor_cores, 1);
+        assert_eq!(e.executor_memory_mb, 1024);
+        assert_eq!(e.serializer, Serializer::Java);
+        assert_eq!(e.codec, Codec::Lz4);
+        assert!(e.pmem_check);
+        assert_eq!(e.dfs_block_mb, 128);
+    }
+
+    #[test]
+    fn decode_categorical_variants() {
+        let s = KnobSpace::pipeline();
+        let mut cfg = s.default_config();
+        cfg.values[idx::SERIALIZER] = KnobValue::Cat(1);
+        cfg.values[idx::IO_COMPRESSION_CODEC] = KnobValue::Cat(2);
+        let e = Effective::decode(&cfg);
+        assert_eq!(e.serializer, Serializer::Kryo);
+        assert_eq!(e.codec, Codec::Snappy);
+    }
+
+    #[test]
+    fn kryo_reduces_ser_cpu_and_cache_footprint() {
+        let s = KnobSpace::pipeline();
+        let mut cfg = s.default_config();
+        let java = Effective::decode(&cfg);
+        cfg.values[idx::SERIALIZER] = KnobValue::Cat(1);
+        cfg.values[idx::RDD_COMPRESS] = KnobValue::Bool(true);
+        let kryo = Effective::decode(&cfg);
+        assert!(kryo.ser_cpu_multiplier(0.5) < java.ser_cpu_multiplier(0.5));
+        assert!(kryo.cache_footprint_multiplier() < java.cache_footprint_multiplier());
+    }
+
+    #[test]
+    fn codec_ratios_are_compressive() {
+        for c in [Codec::Lz4, Codec::Lzf, Codec::Snappy] {
+            assert!(c.ratio() > 0.0 && c.ratio() < 1.0);
+            assert!(c.cpu_per_mb() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,944 @@
+//! Discrete-event execution engine: schedules each stage's tasks over the
+//! executor slots granted by YARN, modelling disk/network contention,
+//! shuffle compression, spills, GC pressure, data locality, speculative
+//! execution and container kills.
+//!
+//! The engine is deterministic for a given `(config, job, seed)` triple —
+//! all stochastic effects (stragglers, kill draws) come from a seeded
+//! `StdRng`.
+
+use crate::cluster::Cluster;
+use crate::effective::{Effective, Serializer};
+use crate::hdfs::{Hdfs, HdfsFile};
+use crate::knobs::Configuration;
+use crate::metrics::RunMetrics;
+use crate::workloads::{DataSink, DataSource, JobSpec, StageSpec, TaskSizing};
+use crate::yarn::{negotiate, ExecutorPlan, NegotiationError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Spark reserves this much heap before the unified memory pool is carved
+/// out (`RESERVED_SYSTEM_MEMORY_BYTES` in Spark 2.x).
+const RESERVED_HEAP_MB: f64 = 300.0;
+/// Fixed per-task launch overhead (serialization + scheduling), seconds.
+const TASK_OVERHEAD_S: f64 = 0.08;
+/// Seconds to re-launch a killed container.
+const CONTAINER_RELAUNCH_S: f64 = 6.0;
+
+/// Why a simulated job failed.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// YARN could not grant any executor.
+    Negotiation(NegotiationError),
+    /// Executors repeatedly exceeded their container limits (OOM).
+    ExecutorOom,
+    /// The driver ran out of memory.
+    DriverOom,
+}
+
+/// One scheduled task occurrence (produced when tracing is enabled).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TaskTrace {
+    /// Stage name the task belongs to.
+    pub stage: String,
+    /// Task index within the stage.
+    pub task: usize,
+    /// Node the task ran on.
+    pub node: usize,
+    /// Slot index within the stage's slot set.
+    pub slot: usize,
+    /// Start time relative to the stage start (seconds).
+    pub start_s: f64,
+    /// Task duration (seconds).
+    pub duration_s: f64,
+    /// Whether the task read node-local data.
+    pub local: bool,
+}
+
+/// Result of one simulated job execution.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimOutcome {
+    /// Wall-clock seconds until completion — or until failure.
+    pub duration_s: f64,
+    /// `Some` if the job did not complete.
+    pub failed: Option<FailureKind>,
+    /// Per-stage durations `(name, seconds)` for completed stages.
+    pub stage_times: Vec<(String, f64)>,
+    /// Aggregated run metrics (DRL state + OtterTune metrics).
+    pub metrics: RunMetrics,
+    /// The executor layout the job ran with (absent on negotiation failure).
+    pub plan: Option<ExecutorPlan>,
+    /// Per-task schedule records; populated only by [`simulate_traced`].
+    pub task_traces: Vec<TaskTrace>,
+}
+
+/// Simulate `job` under `config` on `cluster`. `seed` controls stragglers
+/// and kill draws only; the mean behaviour is fully determined by the
+/// configuration.
+pub fn simulate(
+    cluster: &Cluster,
+    config: &Configuration,
+    job: &JobSpec,
+    seed: u64,
+) -> SimOutcome {
+    simulate_impl(cluster, config, job, seed, false)
+}
+
+/// As [`simulate`], but additionally records a [`TaskTrace`] for every
+/// scheduled task — the raw material for schedule visualizations and
+/// scheduler-invariant tests.
+pub fn simulate_traced(
+    cluster: &Cluster,
+    config: &Configuration,
+    job: &JobSpec,
+    seed: u64,
+) -> SimOutcome {
+    simulate_impl(cluster, config, job, seed, true)
+}
+
+fn simulate_impl(
+    cluster: &Cluster,
+    config: &Configuration,
+    job: &JobSpec,
+    seed: u64,
+    trace: bool,
+) -> SimOutcome {
+    let eff = Effective::decode(config);
+    let plan = match negotiate(config, cluster) {
+        Ok(p) => p,
+        Err(e) => {
+            return SimOutcome {
+                duration_s: 20.0, // submission + AM failure timeout
+                failed: Some(FailureKind::Negotiation(e)),
+                stage_times: Vec::new(),
+                metrics: RunMetrics::idle(cluster.num_nodes()),
+                plan: None,
+                task_traces: Vec::new(),
+            }
+        }
+    };
+    let hdfs = Hdfs::new(cluster.num_nodes(), eff.nn_handlers, eff.dn_handlers);
+    Engine {
+        cluster,
+        eff,
+        plan,
+        job,
+        hdfs,
+        rng: StdRng::seed_from_u64(seed),
+        trace,
+        traces: Vec::new(),
+        current_stage: String::new(),
+    }
+    .run()
+}
+
+struct Engine<'a> {
+    cluster: &'a Cluster,
+    eff: Effective,
+    plan: ExecutorPlan,
+    job: &'a JobSpec,
+    hdfs: Hdfs,
+    rng: StdRng,
+    trace: bool,
+    traces: Vec<TaskTrace>,
+    current_stage: String,
+}
+
+/// Totals accumulated while running stages.
+#[derive(Default)]
+struct Accum {
+    busy_core_s: Vec<f64>,
+    io_core_s: Vec<f64>,
+    hdfs_read_mb: f64,
+    hdfs_write_mb: f64,
+    shuffle_mb: f64,
+    spill_mb: f64,
+    gc_cpu_s: f64,
+    cpu_s: f64,
+    cache_reads_mb: f64,
+    cache_hits_mb: f64,
+    kills: u32,
+    tasks: u32,
+    task_s: f64,
+}
+
+impl<'a> Engine<'a> {
+    fn run(mut self) -> SimOutcome {
+        let mut acc = Accum { busy_core_s: vec![0.0; self.cluster.num_nodes()],
+            io_core_s: vec![0.0; self.cluster.num_nodes()], ..Default::default() };
+        let mut stage_times = Vec::with_capacity(self.job.stages.len());
+        let mut elapsed = 0.0;
+        let mem = self.memory_model();
+        let mut failed = None;
+
+        // Driver-side overhead: job setup, broadcasts, result handling.
+        let driver = self.driver_overhead();
+        if let Err(kind) = driver {
+            return self.finish(15.0, Some(kind), stage_times, acc);
+        }
+        elapsed += driver.unwrap();
+
+        // Stages execute in topological levels; stages within a level are
+        // independent and run concurrently, sharing the executor slots
+        // (Spark's FIFO in-job scheduling).
+        let job = self.job;
+        let levels = job.levels().expect("workload DAGs are validated acyclic");
+        'levels: for level in levels {
+            let share = 1.0 / level.len() as f64;
+            let mut level_time: f64 = 0.0;
+            for &si in &level {
+                let stage = &job.stages[si];
+                self.current_stage = stage.name.to_string();
+                match self.run_stage(stage, &mem, &mut acc, share) {
+                    Ok(t) => {
+                        level_time = level_time.max(t);
+                        stage_times.push((stage.name.to_string(), t));
+                    }
+                    Err((partial, kind)) => {
+                        elapsed += partial;
+                        failed = Some(kind);
+                        break 'levels;
+                    }
+                }
+            }
+            elapsed += level_time;
+        }
+        self.finish(elapsed, failed, stage_times, acc)
+    }
+
+    /// Unified-memory bookkeeping shared by all stages.
+    fn memory_model(&self) -> MemoryModel {
+        let heap = self.plan.executor_heap_mb as f64;
+        let pool = ((heap - RESERVED_HEAP_MB).max(64.0)) * self.eff.memory_fraction;
+        let storage_guaranteed = pool * self.eff.storage_fraction;
+        let execution_guaranteed = pool - storage_guaranteed;
+        let cache_need_total =
+            self.job.peak_cache_mb * self.eff.cache_footprint_multiplier();
+        let execs = self.plan.total_executors as f64;
+        let cache_need_per_exec = cache_need_total / execs;
+        // Storage may borrow idle execution memory, but sort-heavy stages
+        // claw it back; credit half the execution pool as borrowable.
+        let storage_cap_per_exec = storage_guaranteed + 0.5 * execution_guaranteed;
+        let cached_per_exec = cache_need_per_exec.min(storage_cap_per_exec);
+        let cache_hit = if cache_need_total > 0.0 {
+            (cached_per_exec / cache_need_per_exec).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        MemoryModel {
+            heap,
+            pool,
+            execution_guaranteed,
+            cached_per_exec,
+            cache_hit,
+            container: self.plan.container_memory_mb as f64,
+        }
+    }
+
+    fn driver_overhead(&mut self) -> Result<f64, FailureKind> {
+        let total_tasks: f64 = self
+            .job
+            .stages
+            .iter()
+            .map(|s| self.task_count(s) as f64)
+            .sum();
+        let dmem = self.eff.driver_memory_mb as f64;
+        let need = 300.0 + total_tasks * 0.08 + self.job.driver_work * 120.0;
+        if dmem < 0.55 * need {
+            return Err(FailureKind::DriverOom);
+        }
+        let gc = if dmem < need { 1.8 } else { 1.0 };
+        let cores = self.eff.driver_cores as f64;
+        let bb = self.eff.broadcast_block_mb as f64;
+        // Broadcast: too-small blocks add round trips, too-large blocks
+        // serialize poorly across the torrent.
+        let bcast = 1.0 + 1.5 / bb + bb / 48.0;
+        let base = self.job.driver_work * (0.6 + 1.2 / cores.sqrt()) * bcast;
+        Ok(gc * (base + total_tasks * 0.002))
+    }
+
+    fn task_count(&self, stage: &StageSpec) -> u32 {
+        match stage.sizing {
+            TaskSizing::ByInputSplits => {
+                let mb = stage.read.mb();
+                ((mb / self.eff.dfs_block_mb as f64).ceil() as u32).max(1)
+            }
+            TaskSizing::ByParallelism => self.eff.default_parallelism.max(1),
+            TaskSizing::Fixed(n) => n.max(1),
+        }
+    }
+
+    /// Buffer-size efficiency curve: tiny buffers waste syscalls, saturating
+    /// around a few hundred KB.
+    fn buffer_eff(kb: u64) -> f64 {
+        let kb = kb.max(1) as f64;
+        (0.58 + 0.42 * ((kb / 4.0).ln() / (1024.0f64 / 4.0).ln())).clamp(0.58, 1.0)
+    }
+
+    /// Simulate one stage. Returns `Ok(duration)` or `Err((partial, kind))`.
+    fn run_stage(
+        &mut self,
+        stage: &StageSpec,
+        mem: &MemoryModel,
+        acc: &mut Accum,
+        slot_share: f64,
+    ) -> Result<f64, (f64, FailureKind)> {
+        // Input files are laid out by the HDFS block-placement model; the
+        // resulting blocks are the stage's input splits and carry the
+        // replica locations the scheduler uses for locality decisions.
+        let input_file: Option<HdfsFile> = match stage.read {
+            DataSource::Hdfs { mb } => {
+                let seed = self.rng.gen::<u64>();
+                Some(self.hdfs.place_file(mb, self.eff.dfs_block_mb, self.eff.dfs_replication, seed))
+            }
+            _ => None,
+        };
+        let ntasks = match (&input_file, stage.sizing) {
+            (Some(f), TaskSizing::ByInputSplits) => f.num_blocks(),
+            _ => self.task_count(stage) as usize,
+        };
+        let task_input_mb = stage.read.mb() / ntasks as f64;
+        let slots_total = self.plan.total_slots.max(1);
+
+        // ---- per-task memory & spill ----
+        let java_mem_factor = match self.eff.serializer {
+            Serializer::Java => 1.15,
+            Serializer::Kryo => 1.0,
+        };
+        let exec_demand = stage.exec_mem_per_input_mb * task_input_mb * java_mem_factor
+            + self.eff.reducer_max_in_flight_mb as f64 * 0.15
+                * matches!(stage.read, DataSource::Shuffle { .. }) as u8 as f64;
+        let exec_avail_per_exec = mem.execution_guaranteed
+            + (mem.pool - mem.execution_guaranteed - mem.cached_per_exec).max(0.0);
+        let per_task_exec_mem =
+            exec_avail_per_exec / self.plan.slots_per_executor.max(1) as f64;
+        let spill_per_task = (exec_demand - per_task_exec_mem).max(0.0).min(exec_demand);
+
+        // ---- GC pressure ----
+        let occupancy = ((mem.cached_per_exec
+            + self.plan.slots_per_executor as f64 * exec_demand.min(per_task_exec_mem)
+            + RESERVED_HEAP_MB)
+            / mem.heap)
+            .clamp(0.0, 1.3);
+        let gc_factor = 1.0 + 2.2 * (occupancy - 0.55).max(0.0).powi(2);
+
+        // ---- container kill / OOM model ----
+        let native = stage.native_spike_mb * self.plan.slots_per_executor as f64;
+        let phys = mem.heap * occupancy.min(1.0) + native;
+        let pmem_pressure = phys / mem.container;
+        let vmem_pressure = (phys * 2.1) / (mem.container * self.eff.vmem_pmem_ratio);
+        let mut kill_p: f64 = 0.0;
+        if self.eff.pmem_check {
+            kill_p += ((pmem_pressure - 1.02) * 3.0).clamp(0.0, 0.9);
+        }
+        kill_p += ((vmem_pressure - 1.0) * 2.5).clamp(0.0, 0.9);
+        kill_p = kill_p.min(0.95);
+        // Severe, persistent pressure on a cache-heavy stage ⇒ the job dies
+        // (the paper's KMeans OOM scenario).
+        let cache_heavy = matches!(stage.read, DataSource::Cached { .. });
+        if kill_p > 0.55 && (cache_heavy || pmem_pressure > 1.3) {
+            let draw: f64 = self.rng.gen();
+            if draw < (kill_p - 0.35) {
+                // Ran part of the stage before dying, plus retries by YARN.
+                let partial = 0.5 * self.estimate_stage_floor(stage, ntasks, task_input_mb);
+                return Err((partial + 2.0 * CONTAINER_RELAUNCH_S, FailureKind::ExecutorOom));
+            }
+        }
+
+        // ---- shuffle compression ----
+        let (read_comp_ratio, read_comp_cpu) = if self.eff.shuffle_compress
+            && matches!(stage.read, DataSource::Shuffle { .. })
+        {
+            (self.eff.codec.ratio(), self.eff.codec.cpu_per_mb())
+        } else {
+            (1.0, 0.0)
+        };
+        let (write_comp_ratio, write_comp_cpu) = if self.eff.shuffle_compress
+            && matches!(stage.write, DataSink::Shuffle { .. })
+        {
+            (self.eff.codec.ratio(), self.eff.codec.cpu_per_mb())
+        } else {
+            (1.0, 0.0)
+        };
+        let in_flight_eff =
+            (0.45 + 0.55 * (self.eff.reducer_max_in_flight_mb as f64 / 48.0).min(1.0)).min(1.0);
+
+        // ---- per-task, per-node time components ----
+        // Tasks run at the speed of the node they are scheduled on, so the
+        // components are evaluated per node (heterogeneous clusters differ;
+        // homogeneous ones produce identical rows).
+        let slots_per_node = (slots_total as f64 / self.cluster.num_nodes() as f64).max(1.0);
+        let io_streams = slots_per_node;
+        let dn_eff = self.hdfs.datanode_stream_efficiency(io_streams);
+        let out_mb_per_task = stage.write.mb() / ntasks as f64;
+
+        let mut cpu_ref = stage.cpu_per_mb
+            * self.eff.ser_cpu_multiplier(stage.ser_fraction)
+            * task_input_mb;
+        // Sort path: bypass merge-sort when the downstream partition count
+        // is at or below the threshold (cheaper for modest fan-out, slightly
+        // worse with huge fan-out because of per-partition files).
+        if stage.sort_like {
+            let parts = self.eff.default_parallelism;
+            if parts <= self.eff.bypass_merge_threshold {
+                let file_penalty = 1.0 + (parts as f64 / 3000.0);
+                cpu_ref *= 0.85 * file_penalty;
+            } else {
+                cpu_ref *= 1.0 + 0.06 * (task_input_mb.max(1.0)).ln();
+            }
+        }
+        cpu_ref += (read_comp_cpu * task_input_mb * read_comp_ratio)
+            + (write_comp_cpu * stage.write.mb() / ntasks as f64);
+
+        let per_node_base = |node: &crate::cluster::Node| -> (f64, f64) {
+            let disk_stream = (node.disk_mbps / io_streams).max(1.0)
+                * Self::buffer_eff(self.eff.io_buffer_kb)
+                * dn_eff;
+            let net_stream = (node.net_mbps / io_streams).max(0.5);
+            let cpu_s = cpu_ref / node.cpu_speed;
+            let cpu_total = cpu_s * gc_factor;
+
+            // Read time.
+            let (read_local_s, read_remote_s, cache_miss_extra) = match stage.read {
+                DataSource::Hdfs { .. } => {
+                    let local = task_input_mb / disk_stream;
+                    let remote = task_input_mb / net_stream.min(disk_stream);
+                    (local, remote * 1.1, 0.0)
+                }
+                DataSource::Shuffle { .. } => {
+                    let t = (task_input_mb * read_comp_ratio) / net_stream / in_flight_eff;
+                    (t, t, 0.0)
+                }
+                DataSource::Cached { mb: _, recompute_cpu_per_mb } => {
+                    let hit = mem.cache_hit;
+                    let hit_read = task_input_mb * hit / 2000.0; // memory-speed scan
+                    let miss_mb = task_input_mb * (1.0 - hit);
+                    let miss = miss_mb / disk_stream
+                        + recompute_cpu_per_mb * miss_mb / node.cpu_speed;
+                    (hit_read, hit_read, miss)
+                }
+            };
+
+            // Write time.
+            let write_s = match stage.write {
+                DataSink::Shuffle { .. } => {
+                    let eff_buf = Self::buffer_eff(self.eff.shuffle_file_buffer_kb);
+                    (out_mb_per_task * write_comp_ratio) / (disk_stream * eff_buf)
+                }
+                DataSink::Hdfs { .. } => {
+                    // Replication pipeline: primary disk write overlaps with
+                    // the network hops to the remaining replicas.
+                    let (disk_mb, net_mb) = self
+                        .hdfs
+                        .write_amplification(out_mb_per_task, self.eff.dfs_replication);
+                    let first =
+                        (disk_mb / self.eff.dfs_replication.max(1) as f64) / disk_stream;
+                    let net = net_mb / net_stream;
+                    first.max(net) + 0.2 * first.min(net)
+                }
+                DataSink::Driver => 0.0,
+            };
+
+            // Spill cost (write + later read back), optionally compressed.
+            let spill_io = if spill_per_task > 0.0 {
+                let (ratio, cpu) = if self.eff.shuffle_spill_compress {
+                    (self.eff.codec.ratio(), self.eff.codec.cpu_per_mb())
+                } else {
+                    (1.0, 0.0)
+                };
+                (2.0 * spill_per_task * ratio) / disk_stream
+                    + cpu * spill_per_task / node.cpu_speed
+            } else {
+                0.0
+            };
+
+            let io_local = read_local_s + write_s + spill_io + cache_miss_extra;
+            let io_remote = read_remote_s + write_s + spill_io + cache_miss_extra;
+            // CPU and IO pipeline: the longer dominates, the shorter
+            // partially hides behind it.
+            (
+                cpu_total.max(io_local) + 0.3 * cpu_total.min(io_local) + TASK_OVERHEAD_S,
+                cpu_total.max(io_remote) + 0.3 * cpu_total.min(io_remote) + TASK_OVERHEAD_S,
+            )
+        };
+        let node_base: Vec<(f64, f64)> =
+            self.cluster.nodes.iter().map(per_node_base).collect();
+        let (base_local, base_remote) = node_base[0];
+        let cpu_total = cpu_ref / self.cluster.node().cpu_speed * gc_factor;
+        let gc_extra = (cpu_ref / self.cluster.node().cpu_speed) * (gc_factor - 1.0);
+
+        // ---- stage setup (driver + NameNode) ----
+        // Each HDFS-touching task issues a handful of metadata RPCs (open /
+        // getBlockLocations / addBlock / complete); they queue behind the
+        // NameNode handler pool.
+        let mut nn_ops = 0u64;
+        if input_file.is_some() {
+            nn_ops += 3 * ntasks as u64;
+        }
+        if matches!(stage.write, DataSink::Hdfs { .. }) {
+            let out_blocks =
+                (stage.write.mb() / self.eff.dfs_block_mb as f64).ceil().max(1.0) as u64;
+            nn_ops += 2 * out_blocks + 2 * ntasks as u64;
+        }
+        let setup = 0.15
+            + ntasks as f64 * 0.002 / (self.eff.driver_cores as f64).sqrt()
+            + if nn_ops > 0 { 0.1 + 4.0 * self.hdfs.namenode_latency_s(nn_ops) } else { 0.0 };
+
+        // ---- straggler sampling + optional speculation ----
+        // Per-task multipliers; the node-dependent base times are applied at
+        // scheduling time, when the task's node is known.
+        let mut mults: Vec<f64> = (0..ntasks).map(|_| self.straggler_mult()).collect();
+        if self.eff.speculation && ntasks >= 4 {
+            let mut sorted = mults.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let median = sorted[ntasks / 2];
+            // Re-launch catches the tail (cap expressed on the multiplier).
+            let cap = 1.6 * median + 0.6 / base_local.max(0.01);
+            for m in &mut mults {
+                if *m > cap {
+                    *m = cap;
+                    acc.tasks += 1; // speculative copy launched
+                }
+            }
+        }
+
+        // ---- the event loop ----
+        let makespan =
+            self.schedule_tasks(&mults, &node_base, input_file.as_ref(), slot_share, acc);
+
+        // ---- non-fatal container kills stretch the stage ----
+        let kill_events = if kill_p > 0.0 {
+            let expected = kill_p * self.plan.total_executors as f64 * 0.5;
+            let frac: f64 = self.rng.gen();
+            (expected + frac * 0.5).floor() as u32
+        } else {
+            0
+        };
+        let mean_mult: f64 = mults.iter().sum::<f64>() / ntasks as f64;
+        let kill_penalty = kill_events as f64
+            * (CONTAINER_RELAUNCH_S
+                + base_local * mean_mult * self.plan.slots_per_executor as f64 * 0.5);
+        let _ = base_remote;
+
+        // ---- accounting ----
+        acc.tasks += ntasks as u32;
+        acc.cpu_s += cpu_total * ntasks as f64;
+        acc.gc_cpu_s += gc_extra * ntasks as f64;
+        acc.spill_mb += spill_per_task * ntasks as f64;
+        acc.kills += kill_events;
+        match stage.read {
+            DataSource::Hdfs { mb } => acc.hdfs_read_mb += mb,
+            DataSource::Shuffle { mb } => acc.shuffle_mb += mb * read_comp_ratio,
+            DataSource::Cached { mb, .. } => {
+                acc.cache_reads_mb += mb;
+                acc.cache_hits_mb += mb * mem.cache_hit;
+                acc.hdfs_read_mb += mb * (1.0 - mem.cache_hit);
+            }
+        }
+        match stage.write {
+            DataSink::Hdfs { mb } => acc.hdfs_write_mb += mb,
+            DataSink::Shuffle { .. } | DataSink::Driver => {}
+        }
+
+        Ok(setup + makespan + kill_penalty)
+    }
+
+    /// Lower-bound estimate used to charge partial time on failure.
+    fn estimate_stage_floor(&self, stage: &StageSpec, ntasks: usize, task_input_mb: f64) -> f64 {
+        let node = self.cluster.node();
+        let cpu = stage.cpu_per_mb * task_input_mb / node.cpu_speed;
+        let waves = (ntasks as f64 / self.plan.total_slots.max(1) as f64).ceil();
+        waves * (cpu + TASK_OVERHEAD_S)
+    }
+
+    /// Multiplicative task-duration noise with a straggler tail.
+    fn straggler_mult(&mut self) -> f64 {
+        let base: f64 = 1.0 + 0.12 * self.rng.gen::<f64>();
+        if self.rng.gen::<f64>() < 0.05 {
+            base * (1.3 + 0.9 * self.rng.gen::<f64>())
+        } else {
+            base
+        }
+    }
+
+    /// Event-driven assignment of tasks to slots with HDFS locality.
+    ///
+    /// `mults[i]` is task `i`'s straggler multiplier and `node_base[n]` the
+    /// `(local_s, remote_s)` base duration on node `n` — the task's actual
+    /// duration is only known once the scheduler picks its node. For stages
+    /// reading an HDFS file, each task prefers the nodes holding its
+    /// block's replicas (per the block-placement model); a free slot on a
+    /// non-replica node leaves the task waiting up to `spark.locality.wait`
+    /// before running it remotely.
+    fn schedule_tasks(
+        &mut self,
+        mults: &[f64],
+        node_base: &[(f64, f64)],
+        input_file: Option<&HdfsFile>,
+        slot_share: f64,
+        acc: &mut Accum,
+    ) -> f64 {
+        let locality = input_file.is_some();
+        // Build slots; a stage sharing a level with `k − 1` others only
+        // sees `share` of each node's slots.
+        let share = slot_share.clamp(0.0, 1.0);
+        let mut slots: Vec<usize> = Vec::new(); // slot -> node
+        for (nidx, &execs) in self.plan.executors_per_node.iter().enumerate() {
+            let full = execs * self.plan.slots_per_executor;
+            let granted = ((full as f64 * share).round() as u32).max(u32::from(full > 0));
+            for _ in 0..granted.min(full) {
+                slots.push(nidx);
+            }
+        }
+        if slots.is_empty() {
+            return f64::INFINITY;
+        }
+        let ntasks = mults.len();
+        let is_local = |task: usize, node: usize| -> bool {
+            input_file.map_or(true, |f| f.is_local(task % f.num_blocks().max(1), node))
+        };
+
+        #[derive(PartialEq)]
+        struct F(f64);
+        impl Eq for F {}
+        impl PartialOrd for F {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for F {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+            }
+        }
+
+        let mut heap: BinaryHeap<Reverse<(F, usize)>> = slots
+            .iter()
+            .enumerate()
+            .map(|(i, _)| Reverse((F(0.0), i)))
+            .collect();
+        let mut taken = vec![false; ntasks];
+        let mut next_unscheduled = 0usize;
+        let mut remaining = ntasks;
+        let mut finish: f64 = 0.0;
+        let wait = self.eff.locality_wait_s;
+        let mut deferred: Vec<usize> = Vec::new(); // slots idling for locality
+
+        while remaining > 0 {
+            let Reverse((F(t), slot)) = match heap.pop() {
+                Some(e) => e,
+                None => break,
+            };
+            let node = slots[slot];
+            // Find a local pending task.
+            let mut chosen = None;
+            let mut scan = next_unscheduled;
+            let mut scanned = 0;
+            while scan < ntasks && scanned < 64 {
+                if !taken[scan] && is_local(scan, node) {
+                    chosen = Some((scan, true));
+                    break;
+                }
+                scan += 1;
+                scanned += 1;
+            }
+            if chosen.is_none() {
+                // No local task: honour the locality wait, then go remote.
+                if wait > 0.0 && t < wait && locality {
+                    deferred.push(slot);
+                    if heap.is_empty() {
+                        // Everyone is waiting: jump time to the wait boundary.
+                        for s in deferred.drain(..) {
+                            heap.push(Reverse((F(wait), s)));
+                        }
+                    }
+                    continue;
+                }
+                chosen = (next_unscheduled..ntasks).find(|&i| !taken[i]).map(|i| (i, false));
+            }
+            let Some((task, local)) = chosen else {
+                // No pending tasks at all (tail of the stage): slot retires.
+                if heap.is_empty() && remaining > 0 {
+                    // All other slots busy; re-queue deferred ones.
+                    for s in deferred.drain(..) {
+                        heap.push(Reverse((F(t), s)));
+                    }
+                }
+                continue;
+            };
+            taken[task] = true;
+            while next_unscheduled < ntasks && taken[next_unscheduled] {
+                next_unscheduled += 1;
+            }
+            remaining -= 1;
+            let base = if local { node_base[node].0 } else { node_base[node].1 };
+            let dur = base * mults[task];
+            let end = t + dur;
+            finish = finish.max(end);
+            acc.task_s += dur;
+            if self.trace {
+                self.traces.push(TaskTrace {
+                    stage: self.current_stage.clone(),
+                    task,
+                    node,
+                    slot,
+                    start_s: t,
+                    duration_s: dur,
+                    local,
+                });
+            }
+            acc.busy_core_s[node] += dur * self.eff.task_cpus as f64;
+            acc.io_core_s[node] += dur * 0.3; // coarse IO-wait share
+            heap.push(Reverse((F(end), slot)));
+            // Wake any deferred slots — new locality chances open as time
+            // advances past the wait boundary.
+            if !deferred.is_empty() && t >= wait {
+                for s in deferred.drain(..) {
+                    heap.push(Reverse((F(t), s)));
+                }
+            }
+        }
+        finish
+    }
+
+    fn finish(
+        self,
+        elapsed: f64,
+        failed: Option<FailureKind>,
+        stage_times: Vec<(String, f64)>,
+        acc: Accum,
+    ) -> SimOutcome {
+        let nodes = self.cluster.num_nodes();
+        let dur = elapsed.max(0.1);
+        let mut load_avg = Vec::with_capacity(nodes);
+        for n in 0..nodes {
+            let cores = self.cluster.nodes[n].cores as f64;
+            let run_q = (acc.busy_core_s[n] / dur).min(cores * 1.5);
+            let io_q = acc.io_core_s[n] / dur;
+            let l1 = run_q + io_q;
+            load_avg.push([l1, l1 * 0.85, l1 * 0.7]);
+        }
+        let total_cores: f64 = self.cluster.nodes.iter().map(|n| n.cores as f64).sum();
+        let cpu_util = (acc.busy_core_s.iter().sum::<f64>() / (dur * total_cores)).min(1.0);
+        let io_wait = (acc.io_core_s.iter().sum::<f64>() / (dur * total_cores)).min(1.0);
+        let metrics = RunMetrics {
+            duration_s: dur,
+            load_avg,
+            cpu_util,
+            io_wait,
+            hdfs_read_mb: acc.hdfs_read_mb,
+            hdfs_write_mb: acc.hdfs_write_mb,
+            shuffle_mb: acc.shuffle_mb,
+            spill_mb: acc.spill_mb,
+            gc_frac: if acc.cpu_s > 0.0 { (acc.gc_cpu_s / acc.cpu_s).min(1.0) } else { 0.0 },
+            cache_hit: if acc.cache_reads_mb > 0.0 {
+                acc.cache_hits_mb / acc.cache_reads_mb
+            } else {
+                1.0
+            },
+            container_kills: acc.kills,
+            tasks_launched: acc.tasks,
+            avg_task_s: if acc.tasks > 0 { acc.task_s / acc.tasks as f64 } else { 0.0 },
+        };
+        SimOutcome {
+            duration_s: dur,
+            failed,
+            stage_times,
+            metrics,
+            plan: Some(self.plan),
+            task_traces: self.traces,
+        }
+    }
+}
+
+struct MemoryModel {
+    heap: f64,
+    pool: f64,
+    execution_guaranteed: f64,
+    cached_per_exec: f64,
+    cache_hit: f64,
+    container: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knobs::{idx, KnobSpace, KnobValue};
+    use crate::workloads::{InputSize, Workload, WorkloadKind};
+
+    fn space() -> KnobSpace {
+        KnobSpace::pipeline()
+    }
+
+    fn run(cfg: &Configuration, w: Workload, seed: u64) -> SimOutcome {
+        simulate(&Cluster::cluster_a(), cfg, &w.job_spec(), seed)
+    }
+
+    fn tuned_config() -> Configuration {
+        let s = space();
+        let mut cfg = s.default_config();
+        cfg.values[idx::EXECUTOR_CORES] = KnobValue::Int(4);
+        cfg.values[idx::EXECUTOR_MEMORY_MB] = KnobValue::Int(4096);
+        cfg.values[idx::EXECUTOR_INSTANCES] = KnobValue::Int(9);
+        cfg.values[idx::DEFAULT_PARALLELISM] = KnobValue::Int(96);
+        cfg.values[idx::SERIALIZER] = KnobValue::Cat(1);
+        cfg.values[idx::NM_MEMORY_MB] = KnobValue::Int(14336);
+        cfg.values[idx::NM_VCORES] = KnobValue::Int(14);
+        cfg
+    }
+
+    #[test]
+    fn default_terasort_completes_and_is_slow() {
+        let w = Workload::new(WorkloadKind::TeraSort, InputSize::D1);
+        let out = run(&space().default_config(), w, 1);
+        assert!(out.failed.is_none(), "{:?}", out.failed);
+        assert!(out.duration_s > 60.0, "default should be slow, got {}", out.duration_s);
+        assert_eq!(out.stage_times.len(), 3);
+    }
+
+    #[test]
+    fn tuned_terasort_is_much_faster_than_default() {
+        let w = Workload::new(WorkloadKind::TeraSort, InputSize::D1);
+        let d = run(&space().default_config(), w, 1);
+        let t = run(&tuned_config(), w, 1);
+        assert!(t.failed.is_none());
+        assert!(
+            t.duration_s * 2.0 < d.duration_s,
+            "tuned {} vs default {}",
+            t.duration_s,
+            d.duration_s
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let w = Workload::new(WorkloadKind::PageRank, InputSize::D1);
+        let a = run(&tuned_config(), w, 7);
+        let b = run(&tuned_config(), w, 7);
+        assert_eq!(a.duration_s, b.duration_s);
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn different_seed_changes_only_noise() {
+        let w = Workload::new(WorkloadKind::WordCount, InputSize::D1);
+        let a = run(&tuned_config(), w, 1);
+        let b = run(&tuned_config(), w, 2);
+        let rel = (a.duration_s - b.duration_s).abs() / a.duration_s;
+        assert!(rel < 0.35, "noise too large: {rel}");
+    }
+
+    #[test]
+    fn larger_input_takes_longer() {
+        for kind in WorkloadKind::all() {
+            let d1 = run(&tuned_config(), Workload::new(kind, InputSize::D1), 3);
+            let d3 = run(&tuned_config(), Workload::new(kind, InputSize::D3), 3);
+            if d1.failed.is_none() && d3.failed.is_none() {
+                assert!(d3.duration_s > d1.duration_s, "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn kmeans_small_memory_risks_oom() {
+        let s = space();
+        let mut cfg = tuned_config();
+        cfg.values[idx::EXECUTOR_MEMORY_MB] = KnobValue::Int(1024);
+        cfg.values[idx::MEMORY_FRACTION] = KnobValue::Float(0.3);
+        let w = Workload::new(WorkloadKind::KMeans, InputSize::D3);
+        let mut failures = 0;
+        let mut slow = 0;
+        for seed in 0..20 {
+            let out = run(&cfg, w, seed);
+            if out.failed.is_some() {
+                failures += 1;
+            } else if out.duration_s > 1.5 * run(&tuned_config(), w, seed).duration_s {
+                slow += 1;
+            }
+        }
+        assert!(
+            failures + slow > 5,
+            "memory-starved KMeans should fail or crawl: {failures} failures, {slow} slow"
+        );
+        let _ = s;
+    }
+
+    #[test]
+    fn load_average_rises_with_parallelism() {
+        let w = Workload::new(WorkloadKind::TeraSort, InputSize::D2);
+        let d = run(&space().default_config(), w, 5);
+        let t = run(&tuned_config(), w, 5);
+        let avg = |o: &SimOutcome| {
+            o.metrics.load_avg.iter().map(|l| l[0]).sum::<f64>() / o.metrics.load_avg.len() as f64
+        };
+        assert!(avg(&t) > avg(&d), "tuned {} vs default {}", avg(&t), avg(&d));
+    }
+
+    #[test]
+    fn negotiation_failure_is_reported() {
+        let s = space();
+        let mut cfg = s.default_config();
+        cfg.values[idx::EXECUTOR_MEMORY_MB] = KnobValue::Int(12288);
+        cfg.values[idx::SCHED_MAX_ALLOC_MB] = KnobValue::Int(14336);
+        cfg.values[idx::NM_MEMORY_MB] = KnobValue::Int(4096);
+        let w = Workload::new(WorkloadKind::WordCount, InputSize::D1);
+        let out = run(&cfg, w, 1);
+        assert!(matches!(out.failed, Some(FailureKind::Negotiation(_))));
+    }
+
+    #[test]
+    fn driver_oom_on_tiny_driver() {
+        let mut cfg = tuned_config();
+        cfg.values[idx::DRIVER_MEMORY_MB] = KnobValue::Int(512);
+        cfg.values[idx::DEFAULT_PARALLELISM] = KnobValue::Int(512);
+        let w = Workload::new(WorkloadKind::KMeans, InputSize::D3);
+        let out = run(&cfg, w, 1);
+        // Either a driver OOM or at minimum a completed-but-slowed run.
+        if let Some(k) = &out.failed {
+            assert_eq!(*k, FailureKind::DriverOom);
+        }
+    }
+
+    #[test]
+    fn replication_one_slows_locality_but_speeds_writes() {
+        let w = Workload::new(WorkloadKind::TeraSort, InputSize::D2);
+        let mut r1 = tuned_config();
+        r1.values[idx::DFS_REPLICATION] = KnobValue::Int(1);
+        let mut r3 = tuned_config();
+        r3.values[idx::DFS_REPLICATION] = KnobValue::Int(3);
+        let o1 = run(&r1, w, 9);
+        let o3 = run(&r3, w, 9);
+        // Both complete; they trade read locality for write amplification,
+        // so neither should dominate by a huge margin.
+        assert!(o1.failed.is_none() && o3.failed.is_none());
+        let ratio = o1.duration_s / o3.duration_s;
+        assert!(ratio > 0.5 && ratio < 2.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn kryo_helps_shuffle_heavy_workload() {
+        let w = Workload::new(WorkloadKind::TeraSort, InputSize::D2);
+        let mut java = tuned_config();
+        java.values[idx::SERIALIZER] = KnobValue::Cat(0);
+        let mut kryo = tuned_config();
+        kryo.values[idx::SERIALIZER] = KnobValue::Cat(1);
+        let oj = run(&java, w, 11);
+        let ok = run(&kryo, w, 11);
+        assert!(ok.duration_s < oj.duration_s);
+    }
+
+    #[test]
+    fn metrics_populated_on_success() {
+        let w = Workload::new(WorkloadKind::TeraSort, InputSize::D1);
+        let out = run(&tuned_config(), w, 13);
+        let m = &out.metrics;
+        assert!(m.hdfs_read_mb > 0.0);
+        assert!(m.shuffle_mb > 0.0);
+        assert!(m.tasks_launched > 0);
+        assert!(m.cpu_util > 0.0 && m.cpu_util <= 1.0);
+        assert_eq!(m.load_avg.len(), 3);
+    }
+}

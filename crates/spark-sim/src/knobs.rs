@@ -1,0 +1,491 @@
+//! The 32-parameter configuration space of the Spark/YARN/HDFS pipeline.
+//!
+//! This mirrors Table 2 of the DeepCAT paper: 20 Spark parameters (including
+//! the Spark-on-YARN connector knobs), 7 YARN parameters and 5 HDFS
+//! parameters. Tuners act in a normalized `[0,1]^32` action space; the
+//! [`KnobSpace`] maps actions to concrete [`Configuration`]s and back.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which framework in the pipeline a knob belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Component {
+    Spark,
+    Yarn,
+    Hdfs,
+}
+
+/// The value domain of a knob.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub enum KnobKind {
+    /// Integer in `[lo, hi]`; `log` selects log-uniform mapping from the
+    /// normalized axis (for ranges spanning orders of magnitude).
+    Int { lo: i64, hi: i64, log: bool },
+    /// Float in `[lo, hi]`.
+    Float { lo: f64, hi: f64 },
+    /// Boolean; normalized values ≥ 0.5 map to `true`.
+    Bool,
+    /// Categorical with named choices; the normalized axis is split into
+    /// equal bins.
+    Categorical { choices: Vec<&'static str> },
+}
+
+/// A single tunable parameter.
+#[derive(Clone, Debug, Serialize)]
+pub struct KnobDef {
+    /// Fully-qualified parameter name, e.g. `spark.executor.memory`.
+    pub name: &'static str,
+    pub component: Component,
+    pub kind: KnobKind,
+    /// The framework's out-of-the-box default.
+    pub default: KnobValue,
+    /// Unit for display (MB, KB, s, …).
+    pub unit: &'static str,
+    /// One-line description of what the knob controls.
+    pub description: &'static str,
+}
+
+/// A concrete knob value.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum KnobValue {
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    /// Index into the categorical choices.
+    Cat(usize),
+}
+
+impl KnobValue {
+    pub fn as_i64(&self) -> i64 {
+        match *self {
+            KnobValue::Int(v) => v,
+            KnobValue::Float(v) => v as i64,
+            KnobValue::Bool(b) => b as i64,
+            KnobValue::Cat(c) => c as i64,
+        }
+    }
+
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            KnobValue::Int(v) => v as f64,
+            KnobValue::Float(v) => v,
+            KnobValue::Bool(b) => b as u8 as f64,
+            KnobValue::Cat(c) => c as f64,
+        }
+    }
+
+    pub fn as_bool(&self) -> bool {
+        match *self {
+            KnobValue::Bool(b) => b,
+            KnobValue::Int(v) => v != 0,
+            KnobValue::Float(v) => v != 0.0,
+            KnobValue::Cat(c) => c != 0,
+        }
+    }
+}
+
+impl fmt::Display for KnobValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KnobValue::Int(v) => write!(f, "{v}"),
+            KnobValue::Float(v) => write!(f, "{v:.3}"),
+            KnobValue::Bool(b) => write!(f, "{b}"),
+            KnobValue::Cat(c) => write!(f, "#{c}"),
+        }
+    }
+}
+
+/// A full assignment of all 32 knobs, aligned with [`KnobSpace::defs`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Configuration {
+    pub values: Vec<KnobValue>,
+}
+
+impl Configuration {
+    /// Look up a knob by index.
+    pub fn get(&self, idx: usize) -> &KnobValue {
+        &self.values[idx]
+    }
+}
+
+/// Stable indices of every knob, so the simulator can read semantic fields
+/// without string lookups. The order here *is* the action-vector order.
+pub mod idx {
+    // --- Spark (20) ---
+    pub const EXECUTOR_CORES: usize = 0;
+    pub const EXECUTOR_MEMORY_MB: usize = 1;
+    pub const EXECUTOR_INSTANCES: usize = 2;
+    pub const DEFAULT_PARALLELISM: usize = 3;
+    pub const MEMORY_FRACTION: usize = 4;
+    pub const MEMORY_STORAGE_FRACTION: usize = 5;
+    pub const SHUFFLE_COMPRESS: usize = 6;
+    pub const SHUFFLE_SPILL_COMPRESS: usize = 7;
+    pub const SHUFFLE_FILE_BUFFER_KB: usize = 8;
+    pub const REDUCER_MAX_SIZE_IN_FLIGHT_MB: usize = 9;
+    pub const SERIALIZER: usize = 10;
+    pub const RDD_COMPRESS: usize = 11;
+    pub const IO_COMPRESSION_CODEC: usize = 12;
+    pub const LOCALITY_WAIT_S: usize = 13;
+    pub const SPECULATION: usize = 14;
+    pub const TASK_CPUS: usize = 15;
+    pub const BROADCAST_BLOCK_SIZE_MB: usize = 16;
+    pub const DRIVER_MEMORY_MB: usize = 17;
+    pub const DRIVER_CORES: usize = 18;
+    pub const SHUFFLE_SORT_BYPASS_MERGE_THRESHOLD: usize = 19;
+    // --- YARN (7) ---
+    pub const NM_MEMORY_MB: usize = 20;
+    pub const NM_VCORES: usize = 21;
+    pub const SCHED_MIN_ALLOC_MB: usize = 22;
+    pub const SCHED_MAX_ALLOC_MB: usize = 23;
+    pub const SCHED_INC_ALLOC_MB: usize = 24;
+    pub const VMEM_PMEM_RATIO: usize = 25;
+    pub const PMEM_CHECK: usize = 26;
+    // --- HDFS (5) ---
+    pub const DFS_BLOCK_SIZE_MB: usize = 27;
+    pub const DFS_REPLICATION: usize = 28;
+    pub const NN_HANDLER_COUNT: usize = 29;
+    pub const DN_HANDLER_COUNT: usize = 30;
+    pub const IO_FILE_BUFFER_KB: usize = 31;
+}
+
+/// The knob space: definitions plus normalize/denormalize mappings.
+#[derive(Clone, Debug, Serialize)]
+pub struct KnobSpace {
+    defs: Vec<KnobDef>,
+}
+
+impl Default for KnobSpace {
+    fn default() -> Self {
+        Self::pipeline()
+    }
+}
+
+impl KnobSpace {
+    /// The full 32-knob Spark/YARN/HDFS pipeline space from the paper.
+    ///
+    /// ```
+    /// use spark_sim::{KnobSpace, Component};
+    /// let space = KnobSpace::pipeline();
+    /// assert_eq!(space.len(), 32);
+    /// assert_eq!(space.count_by_component(Component::Spark), 20);
+    /// // Tuners act in [0,1]^32; the space maps actions to real knobs:
+    /// let config = space.denormalize(&vec![0.5; 32]);
+    /// assert_eq!(config.values.len(), 32);
+    /// ```
+    pub fn pipeline() -> Self {
+        use Component::*;
+        use KnobKind::*;
+        use KnobValue as V;
+        let defs = vec![
+            // ---------------- Spark (20) ----------------
+            KnobDef { name: "spark.executor.cores", component: Spark,
+                kind: Int { lo: 1, hi: 8, log: false }, default: V::Int(1),
+                unit: "cores", description: "CPU cores per executor" },
+            KnobDef { name: "spark.executor.memory", component: Spark,
+                kind: Int { lo: 512, hi: 12288, log: true }, default: V::Int(1024),
+                unit: "MB", description: "Heap memory per executor" },
+            KnobDef { name: "spark.executor.instances", component: Spark,
+                kind: Int { lo: 1, hi: 24, log: false }, default: V::Int(2),
+                unit: "executors", description: "Number of executors requested from YARN" },
+            KnobDef { name: "spark.default.parallelism", component: Spark,
+                kind: Int { lo: 8, hi: 512, log: true }, default: V::Int(16),
+                unit: "partitions", description: "Default number of partitions for shuffles" },
+            KnobDef { name: "spark.memory.fraction", component: Spark,
+                kind: Float { lo: 0.3, hi: 0.9 }, default: V::Float(0.6),
+                unit: "", description: "Fraction of heap used for execution and storage" },
+            KnobDef { name: "spark.memory.storageFraction", component: Spark,
+                kind: Float { lo: 0.1, hi: 0.9 }, default: V::Float(0.5),
+                unit: "", description: "Fraction of spark memory immune to eviction (storage)" },
+            KnobDef { name: "spark.shuffle.compress", component: Spark,
+                kind: Bool, default: V::Bool(true),
+                unit: "", description: "Compress map output files" },
+            KnobDef { name: "spark.shuffle.spill.compress", component: Spark,
+                kind: Bool, default: V::Bool(true),
+                unit: "", description: "Compress data spilled during shuffles" },
+            KnobDef { name: "spark.shuffle.file.buffer", component: Spark,
+                kind: Int { lo: 16, hi: 512, log: true }, default: V::Int(32),
+                unit: "KB", description: "In-memory buffer per shuffle file output stream" },
+            KnobDef { name: "spark.reducer.maxSizeInFlight", component: Spark,
+                kind: Int { lo: 8, hi: 256, log: true }, default: V::Int(48),
+                unit: "MB", description: "Max map output fetched concurrently per reduce task" },
+            KnobDef { name: "spark.serializer", component: Spark,
+                kind: Categorical { choices: vec!["java", "kryo"] }, default: V::Cat(0),
+                unit: "", description: "Object serialization implementation" },
+            KnobDef { name: "spark.rdd.compress", component: Spark,
+                kind: Bool, default: V::Bool(false),
+                unit: "", description: "Compress serialized cached RDD partitions" },
+            KnobDef { name: "spark.io.compression.codec", component: Spark,
+                kind: Categorical { choices: vec!["lz4", "lzf", "snappy"] }, default: V::Cat(0),
+                unit: "", description: "Codec for shuffle/RDD/broadcast compression" },
+            KnobDef { name: "spark.locality.wait", component: Spark,
+                kind: Float { lo: 0.0, hi: 10.0 }, default: V::Float(3.0),
+                unit: "s", description: "Wait before scheduling a task at a worse locality level" },
+            KnobDef { name: "spark.speculation", component: Spark,
+                kind: Bool, default: V::Bool(false),
+                unit: "", description: "Re-launch slow tasks speculatively" },
+            KnobDef { name: "spark.task.cpus", component: Spark,
+                kind: Int { lo: 1, hi: 4, log: false }, default: V::Int(1),
+                unit: "cores", description: "CPU cores reserved per task" },
+            KnobDef { name: "spark.broadcast.blockSize", component: Spark,
+                kind: Int { lo: 1, hi: 16, log: false }, default: V::Int(4),
+                unit: "MB", description: "TorrentBroadcast block size" },
+            KnobDef { name: "spark.driver.memory", component: Spark,
+                kind: Int { lo: 512, hi: 8192, log: true }, default: V::Int(1024),
+                unit: "MB", description: "Driver heap size" },
+            KnobDef { name: "spark.driver.cores", component: Spark,
+                kind: Int { lo: 1, hi: 8, log: false }, default: V::Int(1),
+                unit: "cores", description: "Driver CPU cores" },
+            KnobDef { name: "spark.shuffle.sort.bypassMergeThreshold", component: Spark,
+                kind: Int { lo: 50, hi: 800, log: true }, default: V::Int(200),
+                unit: "partitions", description: "Below this many reduce partitions, skip merge-sort" },
+            // ---------------- YARN (7) ----------------
+            KnobDef { name: "yarn.nodemanager.resource.memory-mb", component: Yarn,
+                kind: Int { lo: 4096, hi: 14336, log: false }, default: V::Int(8192),
+                unit: "MB", description: "Memory a NodeManager offers to containers" },
+            KnobDef { name: "yarn.nodemanager.resource.cpu-vcores", component: Yarn,
+                kind: Int { lo: 4, hi: 16, log: false }, default: V::Int(8),
+                unit: "vcores", description: "Vcores a NodeManager offers to containers" },
+            KnobDef { name: "yarn.scheduler.minimum-allocation-mb", component: Yarn,
+                kind: Int { lo: 256, hi: 2048, log: true }, default: V::Int(1024),
+                unit: "MB", description: "Smallest container the scheduler grants" },
+            KnobDef { name: "yarn.scheduler.maximum-allocation-mb", component: Yarn,
+                kind: Int { lo: 2048, hi: 14336, log: false }, default: V::Int(8192),
+                unit: "MB", description: "Largest container the scheduler grants" },
+            KnobDef { name: "yarn.scheduler.increment-allocation-mb", component: Yarn,
+                kind: Int { lo: 128, hi: 1024, log: true }, default: V::Int(512),
+                unit: "MB", description: "Container memory rounding granularity" },
+            KnobDef { name: "yarn.nodemanager.vmem-pmem-ratio", component: Yarn,
+                kind: Float { lo: 1.5, hi: 5.0 }, default: V::Float(2.1),
+                unit: "", description: "Allowed virtual-to-physical memory ratio per container" },
+            KnobDef { name: "yarn.nodemanager.pmem-check-enabled", component: Yarn,
+                kind: Bool, default: V::Bool(true),
+                unit: "", description: "Kill containers that exceed physical memory" },
+            // ---------------- HDFS (5) ----------------
+            KnobDef { name: "dfs.blocksize", component: Hdfs,
+                kind: Int { lo: 32, hi: 512, log: true }, default: V::Int(128),
+                unit: "MB", description: "HDFS block size (drives input split count)" },
+            KnobDef { name: "dfs.replication", component: Hdfs,
+                kind: Int { lo: 1, hi: 3, log: false }, default: V::Int(3),
+                unit: "replicas", description: "Block replication factor" },
+            KnobDef { name: "dfs.namenode.handler.count", component: Hdfs,
+                kind: Int { lo: 10, hi: 200, log: true }, default: V::Int(10),
+                unit: "threads", description: "NameNode RPC handler threads" },
+            KnobDef { name: "dfs.datanode.handler.count", component: Hdfs,
+                kind: Int { lo: 10, hi: 128, log: true }, default: V::Int(10),
+                unit: "threads", description: "DataNode RPC handler threads" },
+            KnobDef { name: "io.file.buffer.size", component: Hdfs,
+                kind: Int { lo: 4, hi: 1024, log: true }, default: V::Int(64),
+                unit: "KB", description: "Buffer size for HDFS sequence-file IO" },
+        ];
+        let space = Self { defs };
+        debug_assert_eq!(space.len(), 32);
+        space
+    }
+
+    pub fn defs(&self) -> &[KnobDef] {
+        &self.defs
+    }
+
+    /// Number of knobs (the action dimension).
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// How many knobs belong to `component` — Table 2 of the paper.
+    pub fn count_by_component(&self, component: Component) -> usize {
+        self.defs.iter().filter(|d| d.component == component).count()
+    }
+
+    /// The framework-default configuration (what the paper's "default"
+    /// baseline runs with).
+    pub fn default_config(&self) -> Configuration {
+        Configuration { values: self.defs.iter().map(|d| d.default.clone()).collect() }
+    }
+
+    /// Map a normalized action in `[0,1]^n` to a concrete configuration.
+    /// Components outside `[0,1]` are clamped (the paper clips actions that
+    /// fall outside the valid range of the target environment).
+    pub fn denormalize(&self, action: &[f64]) -> Configuration {
+        assert_eq!(action.len(), self.defs.len(), "action dimension mismatch");
+        let values = self
+            .defs
+            .iter()
+            .zip(action)
+            .map(|(def, &raw)| {
+                let x = raw.clamp(0.0, 1.0);
+                match &def.kind {
+                    KnobKind::Int { lo, hi, log } => {
+                        let v = if *log {
+                            let (l, h) = ((*lo as f64).ln(), (*hi as f64).ln());
+                            (l + x * (h - l)).exp()
+                        } else {
+                            *lo as f64 + x * (*hi - *lo) as f64
+                        };
+                        KnobValue::Int((v.round() as i64).clamp(*lo, *hi))
+                    }
+                    KnobKind::Float { lo, hi } => {
+                        KnobValue::Float((lo + x * (hi - lo)).clamp(*lo, *hi))
+                    }
+                    KnobKind::Bool => KnobValue::Bool(x >= 0.5),
+                    KnobKind::Categorical { choices } => {
+                        let n = choices.len();
+                        let c = ((x * n as f64) as usize).min(n - 1);
+                        KnobValue::Cat(c)
+                    }
+                }
+            })
+            .collect();
+        Configuration { values }
+    }
+
+    /// Inverse of [`denormalize`](Self::denormalize): map a configuration to
+    /// the center of its normalized pre-image.
+    pub fn normalize(&self, config: &Configuration) -> Vec<f64> {
+        assert_eq!(config.values.len(), self.defs.len(), "config dimension mismatch");
+        self.defs
+            .iter()
+            .zip(&config.values)
+            .map(|(def, value)| match (&def.kind, value) {
+                (KnobKind::Int { lo, hi, log }, v) => {
+                    let v = v.as_i64().clamp(*lo, *hi) as f64;
+                    if *log {
+                        let (l, h) = ((*lo as f64).ln(), (*hi as f64).ln());
+                        ((v.ln() - l) / (h - l)).clamp(0.0, 1.0)
+                    } else if hi == lo {
+                        0.0
+                    } else {
+                        (v - *lo as f64) / (*hi - *lo) as f64
+                    }
+                }
+                (KnobKind::Float { lo, hi }, v) => {
+                    ((v.as_f64() - lo) / (hi - lo)).clamp(0.0, 1.0)
+                }
+                (KnobKind::Bool, v) => {
+                    if v.as_bool() {
+                        0.75
+                    } else {
+                        0.25
+                    }
+                }
+                (KnobKind::Categorical { choices }, v) => {
+                    let n = choices.len() as f64;
+                    (v.as_i64() as f64 + 0.5) / n
+                }
+            })
+            .collect()
+    }
+
+    /// Uniformly random action vector.
+    pub fn random_action(&self, rng: &mut impl rand::Rng) -> Vec<f64> {
+        (0..self.defs.len()).map(|_| rng.gen::<f64>()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn table2_knob_counts() {
+        let s = KnobSpace::pipeline();
+        assert_eq!(s.len(), 32);
+        assert_eq!(s.count_by_component(Component::Spark), 20);
+        assert_eq!(s.count_by_component(Component::Yarn), 7);
+        assert_eq!(s.count_by_component(Component::Hdfs), 5);
+    }
+
+    #[test]
+    fn index_constants_match_names() {
+        let s = KnobSpace::pipeline();
+        assert_eq!(s.defs()[idx::EXECUTOR_MEMORY_MB].name, "spark.executor.memory");
+        assert_eq!(s.defs()[idx::SERIALIZER].name, "spark.serializer");
+        assert_eq!(s.defs()[idx::PMEM_CHECK].name, "yarn.nodemanager.pmem-check-enabled");
+        assert_eq!(s.defs()[idx::IO_FILE_BUFFER_KB].name, "io.file.buffer.size");
+    }
+
+    #[test]
+    fn default_values_in_range_and_round_trip() {
+        let s = KnobSpace::pipeline();
+        let dflt = s.default_config();
+        let norm = s.normalize(&dflt);
+        assert!(norm.iter().all(|v| (0.0..=1.0).contains(v)), "{norm:?}");
+        let back = s.denormalize(&norm);
+        // Round trip must reproduce the default exactly (the normalized
+        // center must land in the same bin / rounded integer).
+        for (i, (a, b)) in dflt.values.iter().zip(&back.values).enumerate() {
+            match (a, b) {
+                (KnobValue::Float(x), KnobValue::Float(y)) => {
+                    assert!((x - y).abs() < 1e-9, "knob {i}")
+                }
+                _ => assert_eq!(a, b, "knob {i}: {}", s.defs()[i].name),
+            }
+        }
+    }
+
+    #[test]
+    fn denormalize_clamps_out_of_range_actions() {
+        let s = KnobSpace::pipeline();
+        let lo = s.denormalize(&vec![-3.0; 32]);
+        let hi = s.denormalize(&vec![7.0; 32]);
+        assert_eq!(lo.get(idx::EXECUTOR_CORES).as_i64(), 1);
+        assert_eq!(hi.get(idx::EXECUTOR_CORES).as_i64(), 8);
+        assert_eq!(hi.get(idx::DFS_REPLICATION).as_i64(), 3);
+    }
+
+    #[test]
+    fn extreme_actions_hit_bounds() {
+        let s = KnobSpace::pipeline();
+        let lo = s.denormalize(&vec![0.0; 32]);
+        let hi = s.denormalize(&vec![1.0; 32]);
+        for (i, def) in s.defs().iter().enumerate() {
+            if let KnobKind::Int { lo: l, hi: h, .. } = def.kind {
+                assert_eq!(lo.get(i).as_i64(), l, "{}", def.name);
+                assert_eq!(hi.get(i).as_i64(), h, "{}", def.name);
+            }
+        }
+    }
+
+    #[test]
+    fn log_scaling_spreads_small_values() {
+        let s = KnobSpace::pipeline();
+        // At x = 0.5, a log knob should land at the geometric mean.
+        let mut action = s.normalize(&s.default_config());
+        action[idx::EXECUTOR_MEMORY_MB] = 0.5;
+        let cfg = s.denormalize(&action);
+        let geo = ((512f64.ln() + 12288f64.ln()) / 2.0).exp();
+        let v = cfg.get(idx::EXECUTOR_MEMORY_MB).as_i64() as f64;
+        assert!((v - geo).abs() / geo < 0.01, "{v} vs {geo}");
+    }
+
+    #[test]
+    fn random_actions_denormalize_to_valid_configs() {
+        let s = KnobSpace::pipeline();
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..200 {
+            let a = s.random_action(&mut rng);
+            let cfg = s.denormalize(&a);
+            for (def, v) in s.defs().iter().zip(&cfg.values) {
+                match (&def.kind, v) {
+                    (KnobKind::Int { lo, hi, .. }, KnobValue::Int(x)) => {
+                        assert!(x >= lo && x <= hi)
+                    }
+                    (KnobKind::Float { lo, hi }, KnobValue::Float(x)) => {
+                        assert!(x >= lo && x <= hi)
+                    }
+                    (KnobKind::Bool, KnobValue::Bool(_)) => {}
+                    (KnobKind::Categorical { choices }, KnobValue::Cat(c)) => {
+                        assert!(*c < choices.len())
+                    }
+                    other => panic!("kind/value mismatch {other:?}"),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! # spark-sim
+//!
+//! A discrete-event simulator of a Spark-on-YARN-on-HDFS cluster, built as
+//! the evaluation substrate for the DeepCAT (ICPP '22) reproduction.
+//!
+//! The paper tunes 32 knobs of a real 3-node Spark cluster running HiBench
+//! applications. This crate replaces that testbed: it models executor
+//! negotiation ([`yarn`]), stage/task scheduling with locality, stragglers
+//! and speculative execution ([`engine`]), unified-memory pressure (GC,
+//! spill, cache eviction, container OOM kills), HDFS block sizing and
+//! replication, and produces the same observables the paper's tuners
+//! consume — execution time, per-node load averages and internal metrics.
+//!
+//! ```
+//! use spark_sim::{Cluster, SparkEnv, Workload, WorkloadKind, InputSize};
+//!
+//! let mut env = SparkEnv::new(
+//!     Cluster::cluster_a(),
+//!     Workload::new(WorkloadKind::TeraSort, InputSize::D1),
+//!     42,
+//! );
+//! let result = env.evaluate(&env.space().default_config().clone());
+//! assert!(result.exec_time_s > 0.0);
+//! ```
+
+pub mod cluster;
+pub mod effective;
+pub mod engine;
+pub mod env;
+pub mod export;
+pub mod hdfs;
+pub mod knobs;
+pub mod metrics;
+pub mod sensitivity;
+pub mod synth;
+pub mod workloads;
+pub mod yarn;
+
+pub use cluster::{Cluster, Node};
+pub use effective::{Codec, Effective, Serializer};
+pub use engine::{simulate, simulate_traced, FailureKind, SimOutcome, TaskTrace};
+pub use env::{EvalResult, SparkEnv, FAILURE_PENALTY_FACTOR};
+pub use export::{export_bundle, to_hadoop_site_xml, to_spark_defaults, ConfigBundle};
+pub use hdfs::{Hdfs, HdfsFile};
+pub use knobs::{idx, Component, Configuration, KnobDef, KnobKind, KnobSpace, KnobValue};
+pub use metrics::RunMetrics;
+pub use sensitivity::{morris_screening, KnobSensitivity, MorrisConfig};
+pub use synth::{synthetic_job, SynthParams};
+pub use workloads::{
+    DagError, DataSink, DataSource, InputSize, JobSpec, StageSpec, TaskSizing, Workload,
+    WorkloadKind,
+};
+pub use yarn::{negotiate, ExecutorPlan, NegotiationError};

@@ -1,0 +1,128 @@
+//! Run-time metrics collected during a simulated job: the per-node load
+//! averages that form the DRL state (the paper samples `uptime` on each
+//! server) plus the internal metrics OtterTune-style workload mapping uses.
+
+use serde::{Deserialize, Serialize};
+
+/// Metrics of one simulated job execution.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Wall-clock duration of the job in seconds.
+    pub duration_s: f64,
+    /// Per-node `[1, 5, 15]`-minute load averages at job end.
+    pub load_avg: Vec<[f64; 3]>,
+    /// Mean CPU utilization across the cluster in `[0,1]`.
+    pub cpu_util: f64,
+    /// Mean IO-wait fraction across the cluster in `[0,1]`.
+    pub io_wait: f64,
+    /// MB read from HDFS.
+    pub hdfs_read_mb: f64,
+    /// MB written to HDFS (first replica).
+    pub hdfs_write_mb: f64,
+    /// MB of shuffle data moved (post-compression).
+    pub shuffle_mb: f64,
+    /// MB spilled to disk across all tasks.
+    pub spill_mb: f64,
+    /// Fraction of task CPU time spent in GC.
+    pub gc_frac: f64,
+    /// Cache hit ratio over cached-RDD reads (1.0 when nothing is cached).
+    pub cache_hit: f64,
+    /// Containers killed by the pmem/vmem checks.
+    pub container_kills: u32,
+    /// Tasks launched (including speculative copies).
+    pub tasks_launched: u32,
+    /// Mean task duration in seconds.
+    pub avg_task_s: f64,
+}
+
+impl RunMetrics {
+    /// An all-idle metrics record (pre-run state).
+    pub fn idle(num_nodes: usize) -> Self {
+        RunMetrics {
+            duration_s: 0.0,
+            load_avg: vec![[0.05, 0.05, 0.05]; num_nodes],
+            cpu_util: 0.0,
+            io_wait: 0.0,
+            hdfs_read_mb: 0.0,
+            hdfs_write_mb: 0.0,
+            shuffle_mb: 0.0,
+            spill_mb: 0.0,
+            gc_frac: 0.0,
+            cache_hit: 1.0,
+            container_kills: 0,
+            tasks_launched: 0,
+            avg_task_s: 0.0,
+        }
+    }
+
+    /// The DRL state vector: per-node load averages, normalized by core
+    /// count so values are comparable across clusters (paper Section 3.1).
+    pub fn state_vector(&self, cores_per_node: u32) -> Vec<f64> {
+        let c = cores_per_node.max(1) as f64;
+        self.load_avg
+            .iter()
+            .flat_map(|l| l.iter().map(move |&v| (v / c).clamp(0.0, 2.0)))
+            .collect()
+    }
+
+    /// Internal metric vector used by OtterTune-style workload mapping.
+    /// Log-scaled byte counters so distances are not dominated by raw size.
+    pub fn metric_vector(&self) -> Vec<f64> {
+        fn logmb(v: f64) -> f64 {
+            (1.0 + v.max(0.0)).ln()
+        }
+        vec![
+            self.cpu_util,
+            self.io_wait,
+            logmb(self.hdfs_read_mb),
+            logmb(self.hdfs_write_mb),
+            logmb(self.shuffle_mb),
+            logmb(self.spill_mb),
+            self.gc_frac,
+            self.cache_hit,
+            self.container_kills as f64,
+            logmb(self.tasks_launched as f64),
+            self.avg_task_s.min(300.0) / 300.0,
+        ]
+    }
+
+    /// Dimension of [`metric_vector`](Self::metric_vector).
+    pub const METRIC_DIM: usize = 11;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_state_is_low_load() {
+        let m = RunMetrics::idle(3);
+        let s = m.state_vector(16);
+        assert_eq!(s.len(), 9);
+        assert!(s.iter().all(|&v| v < 0.01));
+    }
+
+    #[test]
+    fn metric_vector_has_declared_dim() {
+        let m = RunMetrics::idle(3);
+        assert_eq!(m.metric_vector().len(), RunMetrics::METRIC_DIM);
+    }
+
+    #[test]
+    fn state_vector_normalizes_by_cores() {
+        let mut m = RunMetrics::idle(1);
+        m.load_avg[0] = [8.0, 6.0, 4.0];
+        let s = m.state_vector(16);
+        assert!((s[0] - 0.5).abs() < 1e-12);
+        assert!((s[2] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metric_vector_is_finite_for_extremes() {
+        let mut m = RunMetrics::idle(3);
+        m.hdfs_read_mb = 1e9;
+        m.spill_mb = 0.0;
+        m.avg_task_s = 1e6;
+        assert!(m.metric_vector().iter().all(|v| v.is_finite()));
+    }
+}

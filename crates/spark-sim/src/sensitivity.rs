@@ -1,0 +1,171 @@
+//! Knob sensitivity analysis: Morris elementary effects over the
+//! normalized configuration space. An engine-side, model-free complement
+//! to OtterTune's Lasso ranking — useful both for validating the simulator
+//! (do the knobs that should matter actually matter?) and for pruning the
+//! action space before tuning.
+
+use crate::cluster::Cluster;
+use crate::knobs::KnobSpace;
+use crate::workloads::Workload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// Sensitivity scores for one knob.
+#[derive(Clone, Debug, Serialize)]
+pub struct KnobSensitivity {
+    /// Knob index in the canonical action order.
+    pub knob: usize,
+    /// Fully-qualified knob name.
+    pub name: &'static str,
+    /// Mean of |elementary effect| (μ* in Morris terminology): overall
+    /// influence, robust to sign cancellation.
+    pub mu_star: f64,
+    /// Standard deviation of the effects (σ): interaction / non-linearity.
+    pub sigma: f64,
+}
+
+/// Configuration of the Morris screening.
+#[derive(Clone, Debug)]
+pub struct MorrisConfig {
+    /// Number of trajectories (base points); each costs `dims + 1` runs.
+    pub trajectories: usize,
+    /// Step size in the normalized space.
+    pub delta: f64,
+    pub seed: u64,
+}
+
+impl Default for MorrisConfig {
+    fn default() -> Self {
+        Self { trajectories: 12, delta: 0.25, seed: 7 }
+    }
+}
+
+/// Run Morris elementary-effects screening of all 32 knobs against the
+/// simulated execution time of `workload` on `cluster`. Failed runs are
+/// included at their penalty time — a knob that flips runs into OOM *is*
+/// influential.
+pub fn morris_screening(
+    cluster: &Cluster,
+    workload: Workload,
+    cfg: &MorrisConfig,
+) -> Vec<KnobSensitivity> {
+    let space = KnobSpace::pipeline();
+    let dims = space.len();
+    let mut env = crate::env::SparkEnv::new(cluster.clone(), workload, cfg.seed);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x3035);
+    let mut effects: Vec<Vec<f64>> = vec![Vec::new(); dims];
+
+    for _ in 0..cfg.trajectories {
+        // Random base point kept away from the borders so ±δ stays inside.
+        let mut point: Vec<f64> = (0..dims)
+            .map(|_| cfg.delta + rng.gen::<f64>() * (1.0 - 2.0 * cfg.delta))
+            .collect();
+        let mut current = (env.evaluate_action(&point).exec_time_s).ln();
+        // Visit dimensions in a random order, stepping one at a time.
+        let mut order: Vec<usize> = (0..dims).collect();
+        for i in (1..dims).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        for &d in &order {
+            let step = if rng.gen_bool(0.5) { cfg.delta } else { -cfg.delta };
+            point[d] = (point[d] + step).clamp(0.0, 1.0);
+            let next = (env.evaluate_action(&point).exec_time_s).ln();
+            effects[d].push((next - current) / step);
+            current = next;
+        }
+    }
+
+    let mut out: Vec<KnobSensitivity> = effects
+        .iter()
+        .enumerate()
+        .map(|(knob, es)| {
+            let n = es.len().max(1) as f64;
+            let mu_star = es.iter().map(|e| e.abs()).sum::<f64>() / n;
+            let mean = es.iter().sum::<f64>() / n;
+            let sigma = (es.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / n).sqrt();
+            KnobSensitivity { knob, name: space.defs()[knob].name, mu_star, sigma }
+        })
+        .collect();
+    out.sort_by(|a, b| b.mu_star.partial_cmp(&a.mu_star).unwrap());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knobs::idx;
+    use crate::workloads::{InputSize, WorkloadKind};
+
+    fn screening(kind: WorkloadKind) -> Vec<KnobSensitivity> {
+        morris_screening(
+            &Cluster::cluster_a(),
+            Workload::new(kind, InputSize::D1),
+            &MorrisConfig { trajectories: 8, delta: 0.25, seed: 11 },
+        )
+    }
+
+    #[test]
+    fn returns_all_knobs_ranked() {
+        let s = screening(WorkloadKind::TeraSort);
+        assert_eq!(s.len(), 32);
+        for w in s.windows(2) {
+            assert!(w[0].mu_star >= w[1].mu_star, "must be sorted by influence");
+        }
+        assert!(s.iter().all(|k| k.mu_star.is_finite() && k.sigma.is_finite()));
+    }
+
+    #[test]
+    fn resource_knobs_rank_high_on_terasort() {
+        let s = screening(WorkloadKind::TeraSort);
+        let rank = |i: usize| s.iter().position(|k| k.knob == i).unwrap();
+        let resource_best = [
+            idx::EXECUTOR_CORES,
+            idx::EXECUTOR_INSTANCES,
+            idx::EXECUTOR_MEMORY_MB,
+            idx::DEFAULT_PARALLELISM,
+        ]
+        .into_iter()
+        .map(rank)
+        .min()
+        .unwrap();
+        assert!(
+            resource_best < 8,
+            "at least one resource knob must rank in the top 8 (best was {resource_best})"
+        );
+    }
+
+    #[test]
+    fn memory_knobs_matter_more_on_kmeans_than_wordcount() {
+        let km = screening(WorkloadKind::KMeans);
+        let wc = screening(WorkloadKind::WordCount);
+        let mem_mu = |s: &[KnobSensitivity]| {
+            s.iter()
+                .filter(|k| {
+                    [idx::EXECUTOR_MEMORY_MB, idx::MEMORY_FRACTION, idx::MEMORY_STORAGE_FRACTION]
+                        .contains(&k.knob)
+                })
+                .map(|k| k.mu_star)
+                .sum::<f64>()
+        };
+        let total = |s: &[KnobSensitivity]| s.iter().map(|k| k.mu_star).sum::<f64>();
+        let km_share = mem_mu(&km) / total(&km);
+        let wc_share = mem_mu(&wc) / total(&wc);
+        assert!(
+            km_share > wc_share,
+            "memory share on KMeans ({km_share:.3}) vs WordCount ({wc_share:.3})"
+        );
+    }
+
+    #[test]
+    fn screening_is_deterministic() {
+        let a = screening(WorkloadKind::PageRank);
+        let b = screening(WorkloadKind::PageRank);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.knob, y.knob);
+            assert_eq!(x.mu_star, y.mu_star);
+        }
+    }
+}

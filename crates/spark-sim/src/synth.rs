@@ -1,0 +1,179 @@
+//! Synthetic workload generation: random — but structurally valid — stage
+//! DAGs with randomized data volumes and resource intensities. Used for
+//! robustness testing of tuners and fuzzing the execution engine beyond
+//! the fixed HiBench-style workloads.
+
+use crate::workloads::{DataSink, DataSource, JobSpec, StageSpec, TaskSizing};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the generator.
+#[derive(Clone, Debug)]
+pub struct SynthParams {
+    /// Number of stages, excluding the output stage.
+    pub stages: usize,
+    /// Total HDFS input volume (MB) split across the source stages.
+    pub input_mb: f64,
+    /// Probability that a non-source stage has two parents (a join).
+    pub join_probability: f64,
+    /// Probability that a stage caches its output.
+    pub cache_probability: f64,
+}
+
+impl Default for SynthParams {
+    fn default() -> Self {
+        Self { stages: 5, input_mb: 2048.0, join_probability: 0.3, cache_probability: 0.2 }
+    }
+}
+
+static STAGE_NAMES: [&str; 16] = [
+    "syn-0", "syn-1", "syn-2", "syn-3", "syn-4", "syn-5", "syn-6", "syn-7", "syn-8", "syn-9",
+    "syn-10", "syn-11", "syn-12", "syn-13", "syn-14", "syn-15",
+];
+
+/// Generate a random valid job. The same `(params, seed)` always produces
+/// the same DAG.
+pub fn synthetic_job(params: &SynthParams, seed: u64) -> JobSpec {
+    let n = params.stages.clamp(1, STAGE_NAMES.len() - 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stages = Vec::with_capacity(n + 1);
+    let mut dependencies: Vec<Vec<usize>> = Vec::with_capacity(n + 1);
+    let mut peak_cache_mb = 0.0;
+    // Between 1 and 2 source stages reading the input.
+    let sources = if n >= 3 && rng.gen_bool(0.4) { 2 } else { 1 };
+    for i in 0..n {
+        let is_source = i < sources;
+        let read = if is_source {
+            DataSource::Hdfs { mb: params.input_mb / sources as f64 }
+        } else {
+            let mb = params.input_mb * (0.1 + 0.7 * rng.gen::<f64>());
+            DataSource::Shuffle { mb }
+        };
+        let out_mb = read.mb() * (0.05 + 0.9 * rng.gen::<f64>());
+        let write = if i + 1 == n {
+            DataSink::Hdfs { mb: out_mb }
+        } else {
+            DataSink::Shuffle { mb: out_mb }
+        };
+        let cache_out_mb = if rng.gen_bool(params.cache_probability) {
+            let c = read.mb() * (0.5 + rng.gen::<f64>());
+            peak_cache_mb += c;
+            c
+        } else {
+            0.0
+        };
+        stages.push(StageSpec {
+            name: STAGE_NAMES[i],
+            read,
+            write,
+            sizing: if is_source { TaskSizing::ByInputSplits } else { TaskSizing::ByParallelism },
+            cpu_per_mb: 0.02 + 0.06 * rng.gen::<f64>(),
+            ser_fraction: 0.2 + 0.4 * rng.gen::<f64>(),
+            sort_like: rng.gen_bool(0.25),
+            cache_out_mb,
+            exec_mem_per_input_mb: 0.3 + 1.0 * rng.gen::<f64>(),
+            native_spike_mb: 80.0 + 200.0 * rng.gen::<f64>(),
+        });
+        let deps = if is_source {
+            Vec::new()
+        } else if i >= 2 && rng.gen_bool(params.join_probability) {
+            // Join two distinct earlier stages.
+            let a = rng.gen_range(0..i);
+            let mut b = rng.gen_range(0..i);
+            if a == b {
+                b = (b + 1) % i;
+            }
+            let (lo, hi) = (a.min(b), a.max(b));
+            if lo == hi {
+                vec![lo]
+            } else {
+                vec![lo, hi]
+            }
+        } else {
+            vec![rng.gen_range(0..i)]
+        };
+        dependencies.push(deps);
+    }
+    // Final collect stage depending on every sink-less leaf.
+    let leaves: Vec<usize> = (0..n)
+        .filter(|&i| !dependencies.iter().any(|d| d.contains(&i)))
+        .collect();
+    stages.push(StageSpec {
+        name: STAGE_NAMES[n],
+        read: DataSource::Shuffle { mb: params.input_mb * 0.05 },
+        write: DataSink::Driver,
+        sizing: TaskSizing::Fixed(8),
+        cpu_per_mb: 0.02,
+        ser_fraction: 0.3,
+        sort_like: false,
+        cache_out_mb: 0.0,
+        exec_mem_per_input_mb: 0.3,
+        native_spike_mb: 80.0,
+    });
+    dependencies.push(if leaves.is_empty() { vec![n - 1] } else { leaves });
+
+    let job = JobSpec { stages, dependencies, peak_cache_mb, driver_work: 1.0 };
+    debug_assert!(job.validate().is_ok());
+    job
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use crate::engine::simulate;
+    use crate::knobs::KnobSpace;
+
+    #[test]
+    fn generated_jobs_are_valid_dags() {
+        for seed in 0..50 {
+            let job = synthetic_job(&SynthParams::default(), seed);
+            job.validate().unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+            assert!(job.stages.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = SynthParams::default();
+        let a = synthetic_job(&p, 7);
+        let b = synthetic_job(&p, 7);
+        assert_eq!(a.dependencies, b.dependencies);
+        assert_eq!(a.stages.len(), b.stages.len());
+    }
+
+    #[test]
+    fn joins_appear_with_high_probability_setting() {
+        let p = SynthParams { stages: 8, join_probability: 1.0, ..Default::default() };
+        let found = (0..10).any(|seed| {
+            synthetic_job(&p, seed).dependencies.iter().any(|d| d.len() == 2)
+        });
+        assert!(found, "join probability 1.0 must produce joins");
+    }
+
+    #[test]
+    fn generated_jobs_simulate_without_panicking() {
+        let space = KnobSpace::pipeline();
+        let cfg = space.default_config();
+        for seed in 0..20 {
+            let job = synthetic_job(&SynthParams::default(), seed);
+            let out = simulate(&Cluster::cluster_a(), &cfg, &job, seed);
+            assert!(out.duration_s.is_finite() && out.duration_s > 0.0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cache_probability_zero_means_no_cache() {
+        let p = SynthParams { cache_probability: 0.0, ..Default::default() };
+        for seed in 0..10 {
+            assert_eq!(synthetic_job(&p, seed).peak_cache_mb, 0.0);
+        }
+    }
+
+    #[test]
+    fn stage_count_is_clamped() {
+        let p = SynthParams { stages: 100, ..Default::default() };
+        let job = synthetic_job(&p, 1);
+        assert!(job.stages.len() <= STAGE_NAMES.len());
+    }
+}

@@ -1,0 +1,984 @@
+//! HiBench-style workload models: WordCount, TeraSort, PageRank and KMeans,
+//! each with the three input scales of Table 1.
+//!
+//! A workload compiles to a [`JobSpec`]: an ordered list of stages with data
+//! sources/sinks and CPU intensities. Iterative workloads (PageRank, KMeans)
+//! unroll their iterations into repeated stages, with the RDDs they cache
+//! recorded so the engine can model storage-memory pressure.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four benchmark applications (Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    WordCount,
+    TeraSort,
+    PageRank,
+    KMeans,
+    /// HiBench `micro/sort` — extension beyond the paper's four workloads.
+    Sort,
+    /// HiBench `micro/aggregation` — extension beyond the paper's four.
+    Aggregation,
+    /// HiBench `graph/nweight` (iterated sparse matrix multiplication) —
+    /// extension beyond the paper's four.
+    NWeight,
+    /// HiBench `ml/bayes` (naive Bayes training) — extension beyond the
+    /// paper's four.
+    Bayes,
+}
+
+impl WorkloadKind {
+    /// The four applications evaluated in the paper (Table 1).
+    pub fn all() -> [WorkloadKind; 4] {
+        [
+            WorkloadKind::WordCount,
+            WorkloadKind::TeraSort,
+            WorkloadKind::PageRank,
+            WorkloadKind::KMeans,
+        ]
+    }
+
+    /// The paper's four plus the extension workloads this library adds.
+    pub fn extended() -> [WorkloadKind; 8] {
+        [
+            WorkloadKind::WordCount,
+            WorkloadKind::TeraSort,
+            WorkloadKind::PageRank,
+            WorkloadKind::KMeans,
+            WorkloadKind::Sort,
+            WorkloadKind::Aggregation,
+            WorkloadKind::NWeight,
+            WorkloadKind::Bayes,
+        ]
+    }
+
+    /// HiBench category (Table 1).
+    pub fn category(self) -> &'static str {
+        match self {
+            WorkloadKind::WordCount
+            | WorkloadKind::TeraSort
+            | WorkloadKind::Sort
+            | WorkloadKind::Aggregation => "micro",
+            WorkloadKind::PageRank => "websearch",
+            WorkloadKind::NWeight => "graph",
+            WorkloadKind::KMeans | WorkloadKind::Bayes => "ML",
+        }
+    }
+
+    /// Two-letter abbreviation used in the paper's figures.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            WorkloadKind::WordCount => "WC",
+            WorkloadKind::TeraSort => "TS",
+            WorkloadKind::PageRank => "PR",
+            WorkloadKind::KMeans => "KM",
+            WorkloadKind::Sort => "SO",
+            WorkloadKind::Aggregation => "AG",
+            WorkloadKind::NWeight => "NW",
+            WorkloadKind::Bayes => "BA",
+        }
+    }
+}
+
+impl fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// Input scale (Table 1: D1 < D2 < D3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum InputSize {
+    D1,
+    D2,
+    D3,
+}
+
+impl InputSize {
+    pub fn all() -> [InputSize; 3] {
+        [InputSize::D1, InputSize::D2, InputSize::D3]
+    }
+}
+
+impl fmt::Display for InputSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InputSize::D1 => f.write_str("D1"),
+            InputSize::D2 => f.write_str("D2"),
+            InputSize::D3 => f.write_str("D3"),
+        }
+    }
+}
+
+/// A (workload, input) pair — one of the paper's 12 evaluation points.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Workload {
+    pub kind: WorkloadKind,
+    pub input: InputSize,
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.kind, self.input)
+    }
+}
+
+const MB: u64 = 1 << 20;
+const GB: u64 = 1 << 30;
+
+impl Workload {
+    pub fn new(kind: WorkloadKind, input: InputSize) -> Self {
+        Self { kind, input }
+    }
+
+    /// All 12 workload-input pairs evaluated in the paper.
+    pub fn all_pairs() -> Vec<Workload> {
+        let mut v = Vec::with_capacity(12);
+        for kind in WorkloadKind::all() {
+            for input in InputSize::all() {
+                v.push(Workload::new(kind, input));
+            }
+        }
+        v
+    }
+
+    /// The nominal dataset descriptor from Table 1.
+    pub fn input_description(&self) -> String {
+        match (self.kind, self.input) {
+            (WorkloadKind::WordCount, InputSize::D1) => "3.2 GB".into(),
+            (WorkloadKind::WordCount, InputSize::D2) => "10 GB".into(),
+            (WorkloadKind::WordCount, InputSize::D3) => "20 GB".into(),
+            (WorkloadKind::TeraSort, InputSize::D1) => "3.2 GB".into(),
+            (WorkloadKind::TeraSort, InputSize::D2) => "6 GB".into(),
+            (WorkloadKind::TeraSort, InputSize::D3) => "10 GB".into(),
+            (WorkloadKind::PageRank, InputSize::D1) => "0.5 M pages".into(),
+            (WorkloadKind::PageRank, InputSize::D2) => "1 M pages".into(),
+            (WorkloadKind::PageRank, InputSize::D3) => "1.6 M pages".into(),
+            (WorkloadKind::KMeans, InputSize::D1) => "20 M points".into(),
+            (WorkloadKind::KMeans, InputSize::D2) => "30 M points".into(),
+            (WorkloadKind::KMeans, InputSize::D3) => "40 M points".into(),
+            (WorkloadKind::Sort, InputSize::D1) => "3.2 GB".into(),
+            (WorkloadKind::Sort, InputSize::D2) => "6 GB".into(),
+            (WorkloadKind::Sort, InputSize::D3) => "10 GB".into(),
+            (WorkloadKind::Aggregation, InputSize::D1) => "2 GB".into(),
+            (WorkloadKind::Aggregation, InputSize::D2) => "5 GB".into(),
+            (WorkloadKind::Aggregation, InputSize::D3) => "8 GB".into(),
+            (WorkloadKind::NWeight, InputSize::D1) => "1 M edges".into(),
+            (WorkloadKind::NWeight, InputSize::D2) => "2 M edges".into(),
+            (WorkloadKind::NWeight, InputSize::D3) => "4 M edges".into(),
+            (WorkloadKind::Bayes, InputSize::D1) => "1.5 GB".into(),
+            (WorkloadKind::Bayes, InputSize::D2) => "3 GB".into(),
+            (WorkloadKind::Bayes, InputSize::D3) => "6 GB".into(),
+        }
+    }
+
+    /// On-disk input bytes. Page and point counts are converted with
+    /// HiBench-like record sizes (~1.6 KB per page row incl. outlinks,
+    /// ~160 B per 20-dim point).
+    pub fn input_bytes(&self) -> u64 {
+        match (self.kind, self.input) {
+            (WorkloadKind::WordCount, InputSize::D1) => (3.2 * GB as f64) as u64,
+            (WorkloadKind::WordCount, InputSize::D2) => 10 * GB,
+            (WorkloadKind::WordCount, InputSize::D3) => 20 * GB,
+            (WorkloadKind::TeraSort, InputSize::D1) => (3.2 * GB as f64) as u64,
+            (WorkloadKind::TeraSort, InputSize::D2) => 6 * GB,
+            (WorkloadKind::TeraSort, InputSize::D3) => 10 * GB,
+            (WorkloadKind::PageRank, InputSize::D1) => (0.8 * GB as f64) as u64,
+            (WorkloadKind::PageRank, InputSize::D2) => (1.6 * GB as f64) as u64,
+            (WorkloadKind::PageRank, InputSize::D3) => (2.56 * GB as f64) as u64,
+            (WorkloadKind::KMeans, InputSize::D1) => (3.2 * GB as f64) as u64,
+            (WorkloadKind::KMeans, InputSize::D2) => (4.8 * GB as f64) as u64,
+            (WorkloadKind::KMeans, InputSize::D3) => (6.4 * GB as f64) as u64,
+            (WorkloadKind::Sort, InputSize::D1) => (3.2 * GB as f64) as u64,
+            (WorkloadKind::Sort, InputSize::D2) => 6 * GB,
+            (WorkloadKind::Sort, InputSize::D3) => 10 * GB,
+            (WorkloadKind::Aggregation, InputSize::D1) => 2 * GB,
+            (WorkloadKind::Aggregation, InputSize::D2) => 5 * GB,
+            (WorkloadKind::Aggregation, InputSize::D3) => 8 * GB,
+            (WorkloadKind::NWeight, InputSize::D1) => (0.6 * GB as f64) as u64,
+            (WorkloadKind::NWeight, InputSize::D2) => (1.2 * GB as f64) as u64,
+            (WorkloadKind::NWeight, InputSize::D3) => (2.4 * GB as f64) as u64,
+            (WorkloadKind::Bayes, InputSize::D1) => (1.5 * GB as f64) as u64,
+            (WorkloadKind::Bayes, InputSize::D2) => 3 * GB,
+            (WorkloadKind::Bayes, InputSize::D3) => 6 * GB,
+        }
+    }
+
+    /// Compile to the stage DAG (a chain; Spark schedules HiBench jobs as a
+    /// linear sequence of shuffle-bounded stages).
+    pub fn job_spec(&self) -> JobSpec {
+        let input_mb = (self.input_bytes() / MB) as f64;
+        match self.kind {
+            WorkloadKind::WordCount => wordcount(input_mb),
+            WorkloadKind::TeraSort => terasort(input_mb),
+            WorkloadKind::PageRank => pagerank(input_mb),
+            WorkloadKind::KMeans => kmeans(input_mb),
+            WorkloadKind::Sort => sort(input_mb),
+            WorkloadKind::Aggregation => aggregation(input_mb),
+            WorkloadKind::NWeight => nweight(input_mb),
+            WorkloadKind::Bayes => bayes(input_mb),
+        }
+    }
+}
+
+/// Where a stage's input comes from.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum DataSource {
+    /// Read `mb` from HDFS (task count derives from the block size).
+    Hdfs { mb: f64 },
+    /// Fetch `mb` from the previous stage's shuffle output.
+    Shuffle { mb: f64 },
+    /// Iterate over a cached RDD of logical size `mb`; partitions that do
+    /// not fit in storage memory are recomputed at `recompute_cpu_per_mb`
+    /// CPU-seconds/MB plus an HDFS re-read.
+    Cached { mb: f64, recompute_cpu_per_mb: f64 },
+}
+
+impl DataSource {
+    pub fn mb(&self) -> f64 {
+        match *self {
+            DataSource::Hdfs { mb }
+            | DataSource::Shuffle { mb }
+            | DataSource::Cached { mb, .. } => mb,
+        }
+    }
+}
+
+/// Where a stage's output goes.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum DataSink {
+    /// Write `mb` to HDFS; replicas beyond the first cross the network.
+    Hdfs { mb: f64 },
+    /// Produce `mb` of map output for the next stage's shuffle.
+    Shuffle { mb: f64 },
+    /// Results returned to the driver (negligible bytes).
+    Driver,
+}
+
+impl DataSink {
+    pub fn mb(&self) -> f64 {
+        match *self {
+            DataSink::Hdfs { mb } | DataSink::Shuffle { mb } => mb,
+            DataSink::Driver => 0.0,
+        }
+    }
+}
+
+/// How the number of tasks of a stage is determined.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskSizing {
+    /// One task per HDFS input split (`ceil(bytes / dfs.blocksize)`).
+    ByInputSplits,
+    /// `spark.default.parallelism` tasks.
+    ByParallelism,
+    /// A fixed count (e.g. a tiny sampling stage).
+    Fixed(u32),
+}
+
+/// One stage of a Spark job.
+#[derive(Clone, Debug, Serialize)]
+pub struct StageSpec {
+    pub name: &'static str,
+    pub read: DataSource,
+    pub write: DataSink,
+    pub sizing: TaskSizing,
+    /// CPU-seconds per MB of input on a reference core, *excluding*
+    /// serialization and compression work (the engine adds those from the
+    /// config).
+    pub cpu_per_mb: f64,
+    /// Fraction of the CPU work that is (de)serialization — Kryo cuts this
+    /// portion roughly in half.
+    pub ser_fraction: f64,
+    /// True for sort-like stages whose shuffle write goes through the
+    /// sort-merge path (affected by the bypass-merge threshold).
+    pub sort_like: bool,
+    /// MB added to the executor-storage working set after this stage
+    /// (cached RDDs).
+    pub cache_out_mb: f64,
+    /// Peak per-task memory demand in MB *per MB of task input* for
+    /// execution memory (shuffle/sort/aggregation buffers). Demand beyond
+    /// the task's share of execution memory spills to disk.
+    pub exec_mem_per_input_mb: f64,
+    /// Native / off-heap spike per task (MB) — drives pmem/vmem kills.
+    pub native_spike_mb: f64,
+}
+
+/// A compiled job: a DAG of stages plus bookkeeping for cached data.
+#[derive(Clone, Debug, Serialize)]
+pub struct JobSpec {
+    pub stages: Vec<StageSpec>,
+    /// `dependencies[i]` lists the stage indices stage `i` waits on.
+    /// Stages whose dependencies are all complete run concurrently,
+    /// sharing the executor slots (Spark's FIFO in-job scheduling).
+    pub dependencies: Vec<Vec<usize>>,
+    /// Logical (uncompressed, deserialized-equivalent) size of all RDDs the
+    /// job wants resident in cache at peak, in MB.
+    pub peak_cache_mb: f64,
+    /// Relative weight of driver-side work (broadcasts, result handling);
+    /// scaled by broadcast block size and driver resources in the engine.
+    pub driver_work: f64,
+}
+
+/// Error from [`JobSpec::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DagError {
+    /// A dependency index is out of range.
+    BadIndex { stage: usize, dep: usize },
+    /// The dependency graph contains a cycle.
+    Cyclic,
+    /// `dependencies` and `stages` lengths differ.
+    LengthMismatch,
+}
+
+impl JobSpec {
+    /// Build a linear chain: stage `i` depends on stage `i − 1`.
+    pub fn chain(stages: Vec<StageSpec>, peak_cache_mb: f64, driver_work: f64) -> Self {
+        let dependencies = (0..stages.len())
+            .map(|i| if i == 0 { Vec::new() } else { vec![i - 1] })
+            .collect();
+        JobSpec { stages, dependencies, peak_cache_mb, driver_work }
+    }
+
+    /// Check the DAG is well-formed and acyclic.
+    pub fn validate(&self) -> Result<(), DagError> {
+        if self.dependencies.len() != self.stages.len() {
+            return Err(DagError::LengthMismatch);
+        }
+        for (i, deps) in self.dependencies.iter().enumerate() {
+            for &d in deps {
+                if d >= self.stages.len() {
+                    return Err(DagError::BadIndex { stage: i, dep: d });
+                }
+            }
+        }
+        self.levels().map(|_| ()).ok_or(DagError::Cyclic)
+    }
+
+    /// Topological levels: each level's stages have all dependencies in
+    /// earlier levels and run concurrently. Returns `None` on a cycle.
+    pub fn levels(&self) -> Option<Vec<Vec<usize>>> {
+        let n = self.stages.len();
+        let mut level = vec![usize::MAX; n];
+        let mut done = 0;
+        let mut current = 0usize;
+        while done < n {
+            let mut placed_any = false;
+            for i in 0..n {
+                if level[i] != usize::MAX {
+                    continue;
+                }
+                // A stage joins the current level only if every dependency
+                // sits in a strictly earlier level.
+                let ready = self.dependencies[i]
+                    .iter()
+                    .all(|&d| level[d] != usize::MAX && level[d] < current);
+                if ready {
+                    level[i] = current;
+                    done += 1;
+                    placed_any = true;
+                }
+            }
+            if !placed_any {
+                return None; // cycle
+            }
+            current += 1;
+        }
+        let max_level = current;
+        let mut out = vec![Vec::new(); max_level];
+        for (i, &l) in level.iter().enumerate() {
+            out[l].push(i);
+        }
+        out.retain(|v| !v.is_empty());
+        Some(out)
+    }
+
+    /// Total bytes read from HDFS across stages (MB).
+    pub fn hdfs_read_mb(&self) -> f64 {
+        self.stages
+            .iter()
+            .map(|s| match s.read {
+                DataSource::Hdfs { mb } => mb,
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// Total shuffle MB moved between stages.
+    pub fn shuffle_mb(&self) -> f64 {
+        self.stages
+            .iter()
+            .map(|s| match s.write {
+                DataSink::Shuffle { mb } => mb,
+                _ => 0.0,
+            })
+            .sum()
+    }
+}
+
+/// WordCount: map (read + tokenize + partial aggregation) then a small
+/// reduce. IO-dominated map; tiny shuffle thanks to map-side combining.
+fn wordcount(input_mb: f64) -> JobSpec {
+    let shuffle = input_mb * 0.05;
+    let out = input_mb * 0.01;
+    JobSpec::chain(
+        vec![
+            StageSpec {
+                name: "wc-map",
+                read: DataSource::Hdfs { mb: input_mb },
+                write: DataSink::Shuffle { mb: shuffle },
+                sizing: TaskSizing::ByInputSplits,
+                cpu_per_mb: 0.035,
+                ser_fraction: 0.25,
+                sort_like: false,
+                cache_out_mb: 0.0,
+                exec_mem_per_input_mb: 0.35,
+                native_spike_mb: 150.0,
+            },
+            StageSpec {
+                name: "wc-reduce",
+                read: DataSource::Shuffle { mb: shuffle },
+                write: DataSink::Hdfs { mb: out },
+                sizing: TaskSizing::ByParallelism,
+                cpu_per_mb: 0.030,
+                ser_fraction: 0.35,
+                sort_like: false,
+                cache_out_mb: 0.0,
+                exec_mem_per_input_mb: 0.8,
+                native_spike_mb: 120.0,
+            },
+        ],
+        0.0,
+        0.5,
+    )
+}
+
+/// TeraSort: tiny range-sampling stage, full-data map with sort-shuffle
+/// write, then the sort-merge reduce writing the replicated output.
+fn terasort(input_mb: f64) -> JobSpec {
+    JobSpec::chain(
+        vec![
+            StageSpec {
+                name: "ts-sample",
+                read: DataSource::Hdfs { mb: input_mb * 0.01 },
+                write: DataSink::Driver,
+                sizing: TaskSizing::Fixed(16),
+                cpu_per_mb: 0.020,
+                ser_fraction: 0.2,
+                sort_like: false,
+                cache_out_mb: 0.0,
+                exec_mem_per_input_mb: 0.1,
+                native_spike_mb: 60.0,
+            },
+            StageSpec {
+                name: "ts-map",
+                read: DataSource::Hdfs { mb: input_mb },
+                write: DataSink::Shuffle { mb: input_mb },
+                sizing: TaskSizing::ByInputSplits,
+                cpu_per_mb: 0.060,
+                ser_fraction: 0.45,
+                sort_like: true,
+                cache_out_mb: 0.0,
+                exec_mem_per_input_mb: 1.1,
+                native_spike_mb: 200.0,
+            },
+            StageSpec {
+                name: "ts-reduce",
+                read: DataSource::Shuffle { mb: input_mb },
+                write: DataSink::Hdfs { mb: input_mb },
+                sizing: TaskSizing::ByParallelism,
+                cpu_per_mb: 0.080,
+                ser_fraction: 0.45,
+                sort_like: true,
+                cache_out_mb: 0.0,
+                exec_mem_per_input_mb: 1.3,
+                native_spike_mb: 220.0,
+            },
+        ],
+        0.0,
+        1.0,
+    )
+}
+
+/// PageRank iterations (HiBench runs 3): build + cache the link table, then
+/// per-iteration join/aggregate shuffles, then rank output.
+fn pagerank(input_mb: f64) -> JobSpec {
+    const ITERS: usize = 3;
+    let links_mb = input_mb * 1.4; // parsed adjacency list is bigger than text
+    let ranks_mb = input_mb * 0.12;
+    // Stage 0 and 1 are independent (both scan the input) and run
+    // concurrently; every iteration joins the cached links with the
+    // previous ranks — a genuine DAG, not a chain.
+    let mut stages = vec![
+        StageSpec {
+            name: "pr-build-links",
+            read: DataSource::Hdfs { mb: input_mb },
+            write: DataSink::Shuffle { mb: links_mb },
+            sizing: TaskSizing::ByInputSplits,
+            cpu_per_mb: 0.050,
+            ser_fraction: 0.4,
+            sort_like: false,
+            cache_out_mb: links_mb,
+            exec_mem_per_input_mb: 1.0,
+            native_spike_mb: 180.0,
+        },
+        StageSpec {
+            name: "pr-init-ranks",
+            read: DataSource::Hdfs { mb: input_mb * 0.2 },
+            write: DataSink::Shuffle { mb: ranks_mb },
+            sizing: TaskSizing::ByInputSplits,
+            cpu_per_mb: 0.020,
+            ser_fraction: 0.3,
+            sort_like: false,
+            cache_out_mb: 0.0,
+            exec_mem_per_input_mb: 0.4,
+            native_spike_mb: 120.0,
+        },
+    ];
+    let mut dependencies: Vec<Vec<usize>> = vec![vec![], vec![]];
+    for i in 0..ITERS {
+        stages.push(StageSpec {
+            name: pr_iter_name(i),
+            read: DataSource::Cached { mb: links_mb, recompute_cpu_per_mb: 0.050 },
+            write: DataSink::Shuffle { mb: ranks_mb + links_mb * 0.25 },
+            sizing: TaskSizing::ByParallelism,
+            cpu_per_mb: 0.055,
+            ser_fraction: 0.5,
+            sort_like: false,
+            cache_out_mb: 0.0,
+            exec_mem_per_input_mb: 0.9,
+            native_spike_mb: 200.0,
+        });
+        let idx = stages.len() - 1;
+        if i == 0 {
+            dependencies.push(vec![0, 1]); // join(links, ranks₀)
+        } else {
+            dependencies.push(vec![idx - 1]);
+        }
+    }
+    stages.push(StageSpec {
+        name: "pr-output",
+        read: DataSource::Shuffle { mb: ranks_mb },
+        write: DataSink::Hdfs { mb: ranks_mb },
+        sizing: TaskSizing::ByParallelism,
+        cpu_per_mb: 0.030,
+        ser_fraction: 0.3,
+        sort_like: false,
+        cache_out_mb: 0.0,
+        exec_mem_per_input_mb: 0.4,
+        native_spike_mb: 100.0,
+    });
+    dependencies.push(vec![stages.len() - 2]);
+    JobSpec { stages, dependencies, peak_cache_mb: links_mb, driver_work: 1.5 }
+}
+
+fn pr_iter_name(i: usize) -> &'static str {
+    const NAMES: [&str; 8] = [
+        "pr-iter-0", "pr-iter-1", "pr-iter-2", "pr-iter-3", "pr-iter-4", "pr-iter-5",
+        "pr-iter-6", "pr-iter-7",
+    ];
+    NAMES[i.min(NAMES.len() - 1)]
+}
+
+/// KMeans (HiBench runs 5 Lloyd iterations over cached points): heavy CPU
+/// per iteration, near-zero shuffle (centroid updates), but the cached
+/// point vectors dominate storage memory — the paper's OOM-prone workload.
+fn kmeans(input_mb: f64) -> JobSpec {
+    const ITERS: usize = 5;
+    let cached_mb = input_mb * 2.4; // deserialized Java object overhead
+    let mut stages = vec![StageSpec {
+        name: "km-load",
+        read: DataSource::Hdfs { mb: input_mb },
+        write: DataSink::Driver,
+        sizing: TaskSizing::ByInputSplits,
+        cpu_per_mb: 0.045,
+        ser_fraction: 0.5,
+        sort_like: false,
+        cache_out_mb: cached_mb,
+        exec_mem_per_input_mb: 0.5,
+        native_spike_mb: 260.0,
+    }];
+    for i in 0..ITERS {
+        stages.push(StageSpec {
+            name: km_iter_name(i),
+            read: DataSource::Cached { mb: cached_mb, recompute_cpu_per_mb: 0.045 },
+            write: DataSink::Shuffle { mb: 2.0 }, // centroid partial sums
+            sizing: TaskSizing::ByParallelism,
+            cpu_per_mb: 0.040,
+            ser_fraction: 0.35,
+            sort_like: false,
+            cache_out_mb: 0.0,
+            exec_mem_per_input_mb: 0.25,
+            native_spike_mb: 300.0,
+        });
+    }
+    stages.push(StageSpec {
+        name: "km-output",
+        read: DataSource::Shuffle { mb: 2.0 },
+        write: DataSink::Hdfs { mb: 1.0 },
+        sizing: TaskSizing::Fixed(4),
+        cpu_per_mb: 0.02,
+        ser_fraction: 0.3,
+        sort_like: false,
+        cache_out_mb: 0.0,
+        exec_mem_per_input_mb: 0.2,
+        native_spike_mb: 60.0,
+    });
+    JobSpec::chain(stages, cached_mb, 2.0)
+}
+
+/// Sort: like TeraSort but with lighter record processing — a pure
+/// shuffle benchmark (extension workload).
+fn sort(input_mb: f64) -> JobSpec {
+    JobSpec::chain(
+        vec![
+            StageSpec {
+                name: "so-map",
+                read: DataSource::Hdfs { mb: input_mb },
+                write: DataSink::Shuffle { mb: input_mb },
+                sizing: TaskSizing::ByInputSplits,
+                cpu_per_mb: 0.040,
+                ser_fraction: 0.5,
+                sort_like: true,
+                cache_out_mb: 0.0,
+                exec_mem_per_input_mb: 1.0,
+                native_spike_mb: 180.0,
+            },
+            StageSpec {
+                name: "so-reduce",
+                read: DataSource::Shuffle { mb: input_mb },
+                write: DataSink::Hdfs { mb: input_mb },
+                sizing: TaskSizing::ByParallelism,
+                cpu_per_mb: 0.050,
+                ser_fraction: 0.5,
+                sort_like: true,
+                cache_out_mb: 0.0,
+                exec_mem_per_input_mb: 1.2,
+                native_spike_mb: 200.0,
+            },
+        ],
+        0.0,
+        0.8,
+    )
+}
+
+/// Aggregation: scan + hash-aggregate with a medium shuffle and a small
+/// result (extension workload, HiBench `micro/aggregation`).
+fn aggregation(input_mb: f64) -> JobSpec {
+    let shuffle = input_mb * 0.25;
+    JobSpec::chain(
+        vec![
+            StageSpec {
+                name: "ag-scan",
+                read: DataSource::Hdfs { mb: input_mb },
+                write: DataSink::Shuffle { mb: shuffle },
+                sizing: TaskSizing::ByInputSplits,
+                cpu_per_mb: 0.045,
+                ser_fraction: 0.35,
+                sort_like: false,
+                cache_out_mb: 0.0,
+                exec_mem_per_input_mb: 0.9,
+                native_spike_mb: 170.0,
+            },
+            StageSpec {
+                name: "ag-aggregate",
+                read: DataSource::Shuffle { mb: shuffle },
+                write: DataSink::Hdfs { mb: input_mb * 0.05 },
+                sizing: TaskSizing::ByParallelism,
+                cpu_per_mb: 0.040,
+                ser_fraction: 0.4,
+                sort_like: false,
+                cache_out_mb: 0.0,
+                exec_mem_per_input_mb: 1.1,
+                native_spike_mb: 190.0,
+            },
+        ],
+        0.0,
+        0.7,
+    )
+}
+
+/// NWeight: iterated weighted-neighbour expansion over a cached edge list
+/// — shuffle grows each hop (extension workload, HiBench `graph/nweight`).
+fn nweight(input_mb: f64) -> JobSpec {
+    const HOPS: usize = 2;
+    let edges_mb = input_mb * 1.6; // parsed edge triples
+    let mut stages = vec![StageSpec {
+        name: "nw-load",
+        read: DataSource::Hdfs { mb: input_mb },
+        write: DataSink::Shuffle { mb: edges_mb },
+        sizing: TaskSizing::ByInputSplits,
+        cpu_per_mb: 0.045,
+        ser_fraction: 0.45,
+        sort_like: false,
+        cache_out_mb: edges_mb,
+        exec_mem_per_input_mb: 1.0,
+        native_spike_mb: 180.0,
+    }];
+    let mut dependencies: Vec<Vec<usize>> = vec![vec![]];
+    const HOP_NAMES: [&str; 4] = ["nw-hop-0", "nw-hop-1", "nw-hop-2", "nw-hop-3"];
+    for h in 0..HOPS {
+        stages.push(StageSpec {
+            name: HOP_NAMES[h.min(HOP_NAMES.len() - 1)],
+            read: DataSource::Cached { mb: edges_mb, recompute_cpu_per_mb: 0.045 },
+            // Each hop's frontier grows: bigger shuffle per hop.
+            write: DataSink::Shuffle { mb: edges_mb * (0.5 + 0.5 * h as f64) },
+            sizing: TaskSizing::ByParallelism,
+            cpu_per_mb: 0.06,
+            ser_fraction: 0.5,
+            sort_like: false,
+            cache_out_mb: 0.0,
+            exec_mem_per_input_mb: 1.1,
+            native_spike_mb: 220.0,
+        });
+        dependencies.push(vec![stages.len() - 2]);
+    }
+    stages.push(StageSpec {
+        name: "nw-output",
+        read: DataSource::Shuffle { mb: edges_mb },
+        write: DataSink::Hdfs { mb: edges_mb * 0.4 },
+        sizing: TaskSizing::ByParallelism,
+        cpu_per_mb: 0.02,
+        ser_fraction: 0.3,
+        sort_like: false,
+        cache_out_mb: 0.0,
+        exec_mem_per_input_mb: 0.5,
+        native_spike_mb: 120.0,
+    });
+    dependencies.push(vec![stages.len() - 2]);
+    JobSpec { stages, dependencies, peak_cache_mb: edges_mb, driver_work: 1.2 }
+}
+
+/// Naive Bayes training: tokenize + count (shuffle of term counts), then a
+/// model-aggregation stage with a small broadcast-heavy result (extension
+/// workload, HiBench `ml/bayes`).
+fn bayes(input_mb: f64) -> JobSpec {
+    let counts_mb = input_mb * 0.3;
+    JobSpec::chain(
+        vec![
+            StageSpec {
+                name: "ba-tokenize",
+                read: DataSource::Hdfs { mb: input_mb },
+                write: DataSink::Shuffle { mb: counts_mb },
+                sizing: TaskSizing::ByInputSplits,
+                cpu_per_mb: 0.055,
+                ser_fraction: 0.4,
+                sort_like: false,
+                cache_out_mb: 0.0,
+                exec_mem_per_input_mb: 0.9,
+                native_spike_mb: 200.0,
+            },
+            StageSpec {
+                name: "ba-aggregate",
+                read: DataSource::Shuffle { mb: counts_mb },
+                write: DataSink::Shuffle { mb: counts_mb * 0.2 },
+                sizing: TaskSizing::ByParallelism,
+                cpu_per_mb: 0.045,
+                ser_fraction: 0.45,
+                sort_like: false,
+                cache_out_mb: 0.0,
+                exec_mem_per_input_mb: 1.0,
+                native_spike_mb: 190.0,
+            },
+            StageSpec {
+                name: "ba-model",
+                read: DataSource::Shuffle { mb: counts_mb * 0.2 },
+                write: DataSink::Hdfs { mb: counts_mb * 0.05 },
+                sizing: TaskSizing::Fixed(8),
+                cpu_per_mb: 0.03,
+                ser_fraction: 0.3,
+                sort_like: false,
+                cache_out_mb: 0.0,
+                exec_mem_per_input_mb: 0.4,
+                native_spike_mb: 100.0,
+            },
+        ],
+        0.0,
+        1.8, // heavy driver share: model broadcast back to executors
+    )
+}
+
+fn km_iter_name(i: usize) -> &'static str {
+    const NAMES: [&str; 8] = [
+        "km-iter-0", "km-iter-1", "km-iter-2", "km-iter-3", "km-iter-4", "km-iter-5",
+        "km-iter-6", "km-iter-7",
+    ];
+    NAMES[i.min(NAMES.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_pairs() {
+        let pairs = Workload::all_pairs();
+        assert_eq!(pairs.len(), 12);
+        // distinct
+        for (i, a) in pairs.iter().enumerate() {
+            for b in &pairs[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn categories_match_table1() {
+        assert_eq!(WorkloadKind::WordCount.category(), "micro");
+        assert_eq!(WorkloadKind::TeraSort.category(), "micro");
+        assert_eq!(WorkloadKind::PageRank.category(), "websearch");
+        assert_eq!(WorkloadKind::KMeans.category(), "ML");
+    }
+
+    #[test]
+    fn input_sizes_strictly_increase() {
+        for kind in WorkloadKind::all() {
+            let b1 = Workload::new(kind, InputSize::D1).input_bytes();
+            let b2 = Workload::new(kind, InputSize::D2).input_bytes();
+            let b3 = Workload::new(kind, InputSize::D3).input_bytes();
+            assert!(b1 < b2 && b2 < b3, "{kind}");
+        }
+    }
+
+    #[test]
+    fn terasort_shuffles_its_whole_input() {
+        let w = Workload::new(WorkloadKind::TeraSort, InputSize::D1);
+        let spec = w.job_spec();
+        let input_mb = (w.input_bytes() / MB) as f64;
+        assert!((spec.shuffle_mb() - input_mb).abs() < 1.0);
+    }
+
+    #[test]
+    fn wordcount_shuffle_is_small() {
+        let spec = Workload::new(WorkloadKind::WordCount, InputSize::D2).job_spec();
+        assert!(spec.shuffle_mb() < spec.hdfs_read_mb() * 0.1);
+    }
+
+    #[test]
+    fn kmeans_is_cache_heavy_and_shuffle_light() {
+        let spec = Workload::new(WorkloadKind::KMeans, InputSize::D1).job_spec();
+        assert!(spec.peak_cache_mb > spec.hdfs_read_mb());
+        assert!(spec.shuffle_mb() < 100.0);
+        // 5 iterations + load + output
+        assert_eq!(spec.stages.len(), 7);
+    }
+
+    #[test]
+    fn pagerank_iterates_three_times() {
+        let spec = Workload::new(WorkloadKind::PageRank, InputSize::D1).job_spec();
+        let iters = spec.stages.iter().filter(|s| s.name.starts_with("pr-iter")).count();
+        assert_eq!(iters, 3);
+        assert!(spec.peak_cache_mb > 0.0);
+    }
+
+    #[test]
+    fn chain_dependencies_are_linear() {
+        let spec = Workload::new(WorkloadKind::TeraSort, InputSize::D1).job_spec();
+        spec.validate().unwrap();
+        assert_eq!(spec.dependencies[0], Vec::<usize>::new());
+        assert_eq!(spec.dependencies[1], vec![0]);
+        let levels = spec.levels().unwrap();
+        assert!(levels.iter().all(|l| l.len() == 1), "a chain has singleton levels");
+    }
+
+    #[test]
+    fn pagerank_is_a_real_dag() {
+        let spec = Workload::new(WorkloadKind::PageRank, InputSize::D1).job_spec();
+        spec.validate().unwrap();
+        let levels = spec.levels().unwrap();
+        // build-links and init-ranks run concurrently in level 0.
+        assert_eq!(levels[0].len(), 2, "{levels:?}");
+        // The first iteration joins both parents.
+        let first_iter = spec
+            .stages
+            .iter()
+            .position(|st| st.name == "pr-iter-0")
+            .unwrap();
+        assert_eq!(spec.dependencies[first_iter], vec![0, 1]);
+    }
+
+    #[test]
+    fn cyclic_dag_is_rejected() {
+        let mut spec = Workload::new(WorkloadKind::WordCount, InputSize::D1).job_spec();
+        spec.dependencies[0] = vec![1]; // 0 → 1 → 0
+        assert_eq!(spec.validate(), Err(DagError::Cyclic));
+        assert!(spec.levels().is_none());
+    }
+
+    #[test]
+    fn bad_dependency_index_is_rejected() {
+        let mut spec = Workload::new(WorkloadKind::WordCount, InputSize::D1).job_spec();
+        spec.dependencies[1] = vec![99];
+        assert_eq!(spec.validate(), Err(DagError::BadIndex { stage: 1, dep: 99 }));
+    }
+
+    #[test]
+    fn extension_workloads_compile_and_validate() {
+        for kind in [
+            WorkloadKind::Sort,
+            WorkloadKind::Aggregation,
+            WorkloadKind::NWeight,
+            WorkloadKind::Bayes,
+        ] {
+            for input in InputSize::all() {
+                let w = Workload::new(kind, input);
+                let spec = w.job_spec();
+                spec.validate().unwrap();
+                assert!(!spec.stages.is_empty());
+                assert!(w.input_bytes() > 0);
+                assert!(!kind.category().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn nweight_shuffle_grows_per_hop() {
+        let spec = Workload::new(WorkloadKind::NWeight, InputSize::D1).job_spec();
+        spec.validate().unwrap();
+        let hops: Vec<f64> = spec
+            .stages
+            .iter()
+            .filter(|s| s.name.starts_with("nw-hop"))
+            .map(|s| s.write.mb())
+            .collect();
+        assert_eq!(hops.len(), 2);
+        assert!(hops[1] > hops[0], "frontier must grow: {hops:?}");
+        assert!(spec.peak_cache_mb > 0.0, "edge list is cached");
+    }
+
+    #[test]
+    fn bayes_is_driver_heavy_with_shrinking_shuffles() {
+        let spec = Workload::new(WorkloadKind::Bayes, InputSize::D1).job_spec();
+        spec.validate().unwrap();
+        assert!(spec.driver_work > 1.5, "model broadcast loads the driver");
+        let shuffles: Vec<f64> = spec
+            .stages
+            .iter()
+            .filter_map(|s| match s.write {
+                DataSink::Shuffle { mb } => Some(mb),
+                _ => None,
+            })
+            .collect();
+        assert!(shuffles.windows(2).all(|w| w[1] < w[0]), "shuffles shrink: {shuffles:?}");
+    }
+
+    #[test]
+    fn extended_includes_paper_four() {
+        let ext = WorkloadKind::extended();
+        for k in WorkloadKind::all() {
+            assert!(ext.contains(&k));
+        }
+        assert_eq!(ext.len(), 8);
+    }
+
+    #[test]
+    fn all_stages_have_positive_work() {
+        for w in Workload::all_pairs() {
+            for s in w.job_spec().stages {
+                assert!(s.cpu_per_mb > 0.0, "{w} {}", s.name);
+                assert!(s.read.mb() >= 0.0);
+                assert!((0.0..=1.0).contains(&s.ser_fraction));
+            }
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! YARN resource negotiation: turns the Spark resource knobs plus the YARN
+//! NodeManager/scheduler knobs into a concrete executor layout.
+//!
+//! This reproduces the mechanics that make YARN knobs matter for Spark
+//! performance: container sizing (heap + overhead, rounded to the increment
+//! allocation), per-node packing limited by both NodeManager memory and
+//! vcores, and the physical/virtual memory checks that can kill containers.
+
+use crate::cluster::Cluster;
+use crate::knobs::{idx, Configuration};
+use serde::{Deserialize, Serialize};
+
+/// Minimum executor-memory overhead YARN adds on top of the heap (MB).
+pub const MIN_OVERHEAD_MB: u64 = 384;
+/// Overhead fraction of the heap (`spark.yarn.executor.memoryOverhead`
+/// default behaviour in Spark 2.x).
+pub const OVERHEAD_FRACTION: f64 = 0.10;
+/// Memory reserved per node for the OS, DataNode and NodeManager daemons.
+pub const NODE_RESERVED_MB: u64 = 2048;
+
+/// Concrete executor layout granted by YARN for one application.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExecutorPlan {
+    /// Executors actually granted (≤ requested instances).
+    pub total_executors: u32,
+    /// Granted executors on each node (node 0 also hosts the driver AM).
+    pub executors_per_node: Vec<u32>,
+    /// Memory of each executor container after rounding/clamping (MB).
+    pub container_memory_mb: u64,
+    /// Executor heap after any clipping against the max allocation (MB).
+    pub executor_heap_mb: u64,
+    /// Cores per executor after clamping to the NodeManager vcores.
+    pub executor_cores: u32,
+    /// Concurrent task slots per executor (`cores / task_cpus`).
+    pub slots_per_executor: u32,
+    /// Total concurrent task slots across the cluster.
+    pub total_slots: u32,
+    /// True if the Spark request had to be clipped to fit YARN limits
+    /// (mirrors the paper's clipping of out-of-range recommendations).
+    pub clipped: bool,
+    /// Fraction of the container left above the heap (pmem headroom);
+    /// small values make pmem-check kills likely for spiky workloads.
+    pub pmem_headroom: f64,
+    /// The configured virtual/physical ratio (low values risk vmem kills).
+    pub vmem_pmem_ratio: f64,
+    /// Whether the physical-memory check is enforced.
+    pub pmem_check: bool,
+}
+
+/// Why a configuration cannot run at all.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NegotiationError {
+    /// Not a single executor container fits on any node.
+    NoContainerFits,
+    /// `spark.task.cpus` exceeds the cores of an executor — no task can
+    /// ever be scheduled.
+    NoTaskSlots,
+}
+
+/// Round `v` up to a multiple of `inc` (≥ `inc`).
+fn round_up(v: u64, inc: u64) -> u64 {
+    let inc = inc.max(1);
+    v.div_ceil(inc) * inc
+}
+
+/// Negotiate containers for the given configuration on the given cluster.
+pub fn negotiate(config: &Configuration, cluster: &Cluster) -> Result<ExecutorPlan, NegotiationError> {
+    let heap_req = config.get(idx::EXECUTOR_MEMORY_MB).as_i64().max(1) as u64;
+    let instances = config.get(idx::EXECUTOR_INSTANCES).as_i64().max(1) as u32;
+    let cores_req = config.get(idx::EXECUTOR_CORES).as_i64().max(1) as u32;
+    let task_cpus = config.get(idx::TASK_CPUS).as_i64().max(1) as u32;
+    let nm_mem = config.get(idx::NM_MEMORY_MB).as_i64().max(1) as u64;
+    let nm_vcores = config.get(idx::NM_VCORES).as_i64().max(1) as u32;
+    let min_alloc = config.get(idx::SCHED_MIN_ALLOC_MB).as_i64().max(1) as u64;
+    let max_alloc = config.get(idx::SCHED_MAX_ALLOC_MB).as_i64().max(1) as u64;
+    let inc_alloc = config.get(idx::SCHED_INC_ALLOC_MB).as_i64().max(1) as u64;
+    let driver_mem = config.get(idx::DRIVER_MEMORY_MB).as_i64().max(1) as u64;
+    let driver_cores = config.get(idx::DRIVER_CORES).as_i64().max(1) as u32;
+
+    let mut clipped = false;
+
+    // --- container sizing ---
+    let overhead = |heap: u64| MIN_OVERHEAD_MB.max((heap as f64 * OVERHEAD_FRACTION) as u64);
+    let mut heap = heap_req;
+    let mut container = round_up(heap + overhead(heap), inc_alloc).max(min_alloc);
+    if container > max_alloc {
+        // Spark refuses to submit; operators respond by shrinking the
+        // executor until it fits. The paper clips out-of-scope parameters
+        // the same way.
+        clipped = true;
+        container = round_up(max_alloc, inc_alloc).min(max_alloc).max(min_alloc);
+        if container > max_alloc {
+            container = max_alloc;
+        }
+        let ovh = MIN_OVERHEAD_MB.max((container as f64 * OVERHEAD_FRACTION / (1.0 + OVERHEAD_FRACTION)) as u64);
+        heap = container.saturating_sub(ovh);
+        if heap < 256 {
+            return Err(NegotiationError::NoContainerFits);
+        }
+    }
+
+    // --- cores ---
+    let exec_cores = if cores_req > nm_vcores {
+        clipped = true;
+        nm_vcores
+    } else {
+        cores_req
+    };
+    if task_cpus > exec_cores {
+        return Err(NegotiationError::NoTaskSlots);
+    }
+    let slots_per_executor = exec_cores / task_cpus;
+
+    // --- per-node packing ---
+    // Driver AM container placed on node 0 first.
+    let driver_container = round_up(driver_mem + overhead(driver_mem), inc_alloc).max(min_alloc);
+    let mut per_node = Vec::with_capacity(cluster.num_nodes());
+    let mut granted = 0u32;
+    for (i, node) in cluster.nodes.iter().enumerate() {
+        let eff_mem = nm_mem.min(node.memory_mb.saturating_sub(NODE_RESERVED_MB));
+        let eff_vcores = nm_vcores.min(node.cores);
+        let (mut mem_avail, mut cores_avail) = (eff_mem, eff_vcores);
+        if i == 0 {
+            mem_avail = mem_avail.saturating_sub(driver_container);
+            cores_avail = cores_avail.saturating_sub(driver_cores.min(cores_avail));
+        }
+        let by_mem = if container == 0 { 0 } else { (mem_avail / container) as u32 };
+        let by_cores = cores_avail / exec_cores;
+        let fit = by_mem.min(by_cores).min(instances.saturating_sub(granted));
+        granted += fit;
+        per_node.push(fit);
+    }
+    if granted == 0 {
+        return Err(NegotiationError::NoContainerFits);
+    }
+
+    let total_slots = granted * slots_per_executor;
+    let pmem_headroom = (container.saturating_sub(heap)) as f64 / container as f64;
+
+    Ok(ExecutorPlan {
+        total_executors: granted,
+        executors_per_node: per_node,
+        container_memory_mb: container,
+        executor_heap_mb: heap,
+        executor_cores: exec_cores,
+        slots_per_executor,
+        total_slots,
+        clipped,
+        pmem_headroom,
+        vmem_pmem_ratio: config.get(idx::VMEM_PMEM_RATIO).as_f64(),
+        pmem_check: config.get(idx::PMEM_CHECK).as_bool(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knobs::{KnobSpace, KnobValue};
+
+    fn base_config() -> Configuration {
+        KnobSpace::pipeline().default_config()
+    }
+
+    #[test]
+    fn default_config_gets_two_small_executors() {
+        let plan = negotiate(&base_config(), &Cluster::cluster_a()).unwrap();
+        // Spark 2.x defaults: 2 executors × 1 core × 1 GB heap.
+        assert_eq!(plan.total_executors, 2);
+        assert_eq!(plan.executor_cores, 1);
+        assert_eq!(plan.total_slots, 2);
+        assert!(plan.executor_heap_mb >= 1024);
+        assert!(!plan.clipped);
+    }
+
+    #[test]
+    fn container_rounded_to_increment_and_min() {
+        let mut cfg = base_config();
+        cfg.values[idx::EXECUTOR_MEMORY_MB] = KnobValue::Int(600);
+        cfg.values[idx::SCHED_INC_ALLOC_MB] = KnobValue::Int(512);
+        cfg.values[idx::SCHED_MIN_ALLOC_MB] = KnobValue::Int(1024);
+        let plan = negotiate(&cfg, &Cluster::cluster_a()).unwrap();
+        // 600 + max(384, 60) = 984 → round to 1024, ≥ min_alloc 1024.
+        assert_eq!(plan.container_memory_mb, 1024);
+    }
+
+    #[test]
+    fn oversized_executor_is_clipped_to_max_alloc() {
+        let mut cfg = base_config();
+        cfg.values[idx::EXECUTOR_MEMORY_MB] = KnobValue::Int(12288);
+        cfg.values[idx::SCHED_MAX_ALLOC_MB] = KnobValue::Int(4096);
+        let plan = negotiate(&cfg, &Cluster::cluster_a()).unwrap();
+        assert!(plan.clipped);
+        assert!(plan.container_memory_mb <= 4096);
+        assert!(plan.executor_heap_mb < 4096);
+    }
+
+    #[test]
+    fn task_cpus_above_cores_is_unschedulable() {
+        let mut cfg = base_config();
+        cfg.values[idx::EXECUTOR_CORES] = KnobValue::Int(2);
+        cfg.values[idx::TASK_CPUS] = KnobValue::Int(4);
+        assert_eq!(
+            negotiate(&cfg, &Cluster::cluster_a()),
+            Err(NegotiationError::NoTaskSlots)
+        );
+    }
+
+    #[test]
+    fn packing_is_limited_by_vcores() {
+        let mut cfg = base_config();
+        cfg.values[idx::EXECUTOR_INSTANCES] = KnobValue::Int(24);
+        cfg.values[idx::EXECUTOR_CORES] = KnobValue::Int(4);
+        cfg.values[idx::NM_VCORES] = KnobValue::Int(8);
+        cfg.values[idx::NM_MEMORY_MB] = KnobValue::Int(14336);
+        let plan = negotiate(&cfg, &Cluster::cluster_a()).unwrap();
+        // 8 vcores / 4 cores = 2 per node (node 0 loses 1 driver core → 1),
+        // memory allows far more.
+        assert_eq!(plan.executors_per_node[1], 2);
+        assert_eq!(plan.executors_per_node[2], 2);
+        assert!(plan.executors_per_node[0] <= 2);
+    }
+
+    #[test]
+    fn packing_is_limited_by_memory() {
+        let mut cfg = base_config();
+        cfg.values[idx::EXECUTOR_INSTANCES] = KnobValue::Int(24);
+        cfg.values[idx::EXECUTOR_CORES] = KnobValue::Int(1);
+        cfg.values[idx::EXECUTOR_MEMORY_MB] = KnobValue::Int(6144);
+        cfg.values[idx::NM_MEMORY_MB] = KnobValue::Int(14336);
+        cfg.values[idx::NM_VCORES] = KnobValue::Int(16);
+        let plan = negotiate(&cfg, &Cluster::cluster_a()).unwrap();
+        // container ≈ 6144 + 614 ≈ 7168 after rounding → 2 fit in 14336 − reserve.
+        assert!(plan.executors_per_node[1] <= 2);
+        assert!(plan.total_executors < 24);
+    }
+
+    #[test]
+    fn node_zero_hosts_the_driver() {
+        let mut cfg = base_config();
+        cfg.values[idx::EXECUTOR_INSTANCES] = KnobValue::Int(24);
+        cfg.values[idx::EXECUTOR_CORES] = KnobValue::Int(8);
+        cfg.values[idx::NM_VCORES] = KnobValue::Int(16);
+        cfg.values[idx::NM_MEMORY_MB] = KnobValue::Int(14336);
+        cfg.values[idx::DRIVER_MEMORY_MB] = KnobValue::Int(4096);
+        cfg.values[idx::DRIVER_CORES] = KnobValue::Int(4);
+        let plan = negotiate(&cfg, &Cluster::cluster_a()).unwrap();
+        assert!(plan.executors_per_node[0] <= plan.executors_per_node[1]);
+    }
+
+    #[test]
+    fn nothing_fits_is_an_error() {
+        let mut cfg = base_config();
+        // NodeManager offers 4 GB but containers need ~13.5 GB and cannot
+        // shrink because max-alloc allows them.
+        cfg.values[idx::EXECUTOR_MEMORY_MB] = KnobValue::Int(12288);
+        cfg.values[idx::SCHED_MAX_ALLOC_MB] = KnobValue::Int(14336);
+        cfg.values[idx::NM_MEMORY_MB] = KnobValue::Int(4096);
+        assert_eq!(
+            negotiate(&cfg, &Cluster::cluster_a()),
+            Err(NegotiationError::NoContainerFits)
+        );
+    }
+
+    #[test]
+    fn pmem_headroom_reflects_overhead() {
+        let plan = negotiate(&base_config(), &Cluster::cluster_a()).unwrap();
+        assert!(plan.pmem_headroom > 0.0 && plan.pmem_headroom < 0.6);
+    }
+
+    #[test]
+    fn cluster_b_grants_fewer_slots() {
+        let mut cfg = base_config();
+        cfg.values[idx::EXECUTOR_INSTANCES] = KnobValue::Int(24);
+        cfg.values[idx::EXECUTOR_CORES] = KnobValue::Int(4);
+        cfg.values[idx::NM_VCORES] = KnobValue::Int(16);
+        cfg.values[idx::NM_MEMORY_MB] = KnobValue::Int(14336);
+        let a = negotiate(&cfg, &Cluster::cluster_a()).unwrap();
+        let b = negotiate(&cfg, &Cluster::cluster_b()).unwrap();
+        assert!(b.total_slots < a.total_slots);
+    }
+}

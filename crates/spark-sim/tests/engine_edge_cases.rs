@@ -1,0 +1,104 @@
+//! Edge cases of the execution engine: degenerate clusters, tiny inputs,
+//! single-stage jobs, and DAG levels sharing slots.
+
+use spark_sim::{
+    simulate, simulate_traced, Cluster, DataSink, DataSource, InputSize, JobSpec, KnobSpace,
+    Node, StageSpec, TaskSizing, Workload, WorkloadKind,
+};
+
+fn one_stage_job(mb: f64) -> JobSpec {
+    JobSpec::chain(
+        vec![StageSpec {
+            name: "only",
+            read: DataSource::Hdfs { mb },
+            write: DataSink::Driver,
+            sizing: TaskSizing::ByInputSplits,
+            cpu_per_mb: 0.03,
+            ser_fraction: 0.3,
+            sort_like: false,
+            cache_out_mb: 0.0,
+            exec_mem_per_input_mb: 0.5,
+            native_spike_mb: 100.0,
+        }],
+        0.0,
+        0.5,
+    )
+}
+
+#[test]
+fn single_node_cluster_works() {
+    let cluster = Cluster::homogeneous(
+        "tiny",
+        1,
+        Node { cores: 8, memory_mb: 8192, disk_mbps: 120.0, net_mbps: 117.0, cpu_speed: 1.0 },
+    );
+    let space = KnobSpace::pipeline();
+    let out = simulate(&cluster, &space.default_config(), &one_stage_job(512.0), 1);
+    assert!(out.failed.is_none(), "{:?}", out.failed);
+    assert!(out.duration_s > 0.0 && out.duration_s.is_finite());
+    assert_eq!(out.metrics.load_avg.len(), 1);
+}
+
+#[test]
+fn sub_block_input_yields_one_task() {
+    let space = KnobSpace::pipeline();
+    let out = simulate_traced(
+        &Cluster::cluster_a(),
+        &space.default_config(),
+        &one_stage_job(5.0), // far below the 128 MB block size
+        2,
+    );
+    assert!(out.failed.is_none());
+    assert_eq!(out.task_traces.len(), 1, "one split, one task");
+}
+
+#[test]
+fn concurrent_level_stages_both_get_slots() {
+    // PageRank's level 0 has two independent stages; both must actually
+    // schedule tasks (i.e. slot sharing cannot starve either).
+    let space = KnobSpace::pipeline();
+    let w = Workload::new(WorkloadKind::PageRank, InputSize::D1);
+    let out = simulate_traced(&Cluster::cluster_a(), &space.default_config(), &w.job_spec(), 3);
+    assert!(out.failed.is_none());
+    let links: usize =
+        out.task_traces.iter().filter(|t| t.stage == "pr-build-links").count();
+    let ranks: usize =
+        out.task_traces.iter().filter(|t| t.stage == "pr-init-ranks").count();
+    assert!(links > 0 && ranks > 0, "links {links}, ranks {ranks}");
+}
+
+#[test]
+fn ten_node_cluster_spreads_tasks() {
+    let cluster = Cluster::homogeneous(
+        "wide",
+        10,
+        Node { cores: 8, memory_mb: 8192, disk_mbps: 200.0, net_mbps: 117.0, cpu_speed: 1.0 },
+    );
+    let space = KnobSpace::pipeline();
+    let mut cfg = space.default_config();
+    cfg.values[spark_sim::idx::EXECUTOR_INSTANCES] = spark_sim::KnobValue::Int(20);
+    cfg.values[spark_sim::idx::EXECUTOR_CORES] = spark_sim::KnobValue::Int(2);
+    let w = Workload::new(WorkloadKind::WordCount, InputSize::D2);
+    let out = simulate_traced(&cluster, &cfg, &w.job_spec(), 4);
+    assert!(out.failed.is_none());
+    let nodes_used: std::collections::HashSet<usize> =
+        out.task_traces.iter().map(|t| t.node).collect();
+    assert!(nodes_used.len() >= 5, "tasks should spread: {nodes_used:?}");
+    assert_eq!(out.metrics.load_avg.len(), 10);
+}
+
+#[test]
+fn extreme_knob_corners_never_hang_or_panic() {
+    let space = KnobSpace::pipeline();
+    let w = Workload::new(WorkloadKind::TeraSort, InputSize::D1);
+    let job = w.job_spec();
+    for corner in [0.0, 1.0] {
+        let cfg = space.denormalize(&vec![corner; 32]);
+        let out = simulate(&Cluster::cluster_a(), &cfg, &job, 5);
+        assert!(out.duration_s.is_finite());
+    }
+    // Alternating corners stress the interactions.
+    let alt: Vec<f64> = (0..32).map(|i| (i % 2) as f64).collect();
+    let out = simulate(&Cluster::cluster_a(), &space.denormalize(&alt), &job, 6);
+    assert!(out.duration_s.is_finite());
+}

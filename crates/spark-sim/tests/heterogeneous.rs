@@ -1,0 +1,86 @@
+//! Heterogeneous-cluster behaviour: the engine must actually run tasks at
+//! node-specific speeds, and the scheduler's slot assignment must matter.
+
+use spark_sim::{
+    idx, simulate, simulate_traced, Cluster, InputSize, KnobSpace, KnobValue, Workload,
+    WorkloadKind,
+};
+
+fn cfg() -> spark_sim::Configuration {
+    let space = KnobSpace::pipeline();
+    let mut c = space.default_config();
+    c.values[idx::EXECUTOR_CORES] = KnobValue::Int(4);
+    c.values[idx::EXECUTOR_MEMORY_MB] = KnobValue::Int(3072);
+    c.values[idx::EXECUTOR_INSTANCES] = KnobValue::Int(9);
+    c.values[idx::DEFAULT_PARALLELISM] = KnobValue::Int(96);
+    c.values[idx::NM_MEMORY_MB] = KnobValue::Int(6144);
+    c.values[idx::NM_VCORES] = KnobValue::Int(12);
+    c
+}
+
+#[test]
+fn heterogeneous_cluster_completes_jobs() {
+    let w = Workload::new(WorkloadKind::TeraSort, InputSize::D1);
+    let out = simulate(&Cluster::cluster_c_heterogeneous(), &cfg(), &w.job_spec(), 1);
+    assert!(out.failed.is_none(), "{:?}", out.failed);
+    assert!(out.duration_s.is_finite() && out.duration_s > 0.0);
+}
+
+#[test]
+fn tasks_on_the_slow_node_take_longer() {
+    let w = Workload::new(WorkloadKind::KMeans, InputSize::D1);
+    let out = simulate_traced(&Cluster::cluster_c_heterogeneous(), &cfg(), &w.job_spec(), 2);
+    assert!(out.failed.is_none());
+    // Compare mean task duration on the fast node (0) vs the slow node (2)
+    // within the same stage (same work per task).
+    let mut by_node = [Vec::new(), Vec::new(), Vec::new()];
+    for t in out.task_traces.iter().filter(|t| t.stage.starts_with("km-iter")) {
+        by_node[t.node].push(t.duration_s);
+    }
+    let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    if !by_node[0].is_empty() && !by_node[2].is_empty() {
+        assert!(
+            mean(&by_node[2]) > mean(&by_node[0]) * 1.2,
+            "slow node {:.2}s vs fast node {:.2}s",
+            mean(&by_node[2]),
+            mean(&by_node[0])
+        );
+    }
+}
+
+#[test]
+fn homogeneous_node_times_are_identical_across_nodes() {
+    // Regression guard for the per-node refactor: on a homogeneous cluster
+    // the node index must not affect the base duration (only straggler
+    // noise differs between tasks).
+    let w = Workload::new(WorkloadKind::WordCount, InputSize::D1);
+    let out = simulate_traced(&Cluster::cluster_a(), &cfg(), &w.job_spec(), 3);
+    // Group by (stage, local) — durations differ only by the multiplier,
+    // whose range is bounded; the minimum per node approximates the base.
+    let mut mins = [f64::INFINITY; 3];
+    for t in out.task_traces.iter().filter(|t| t.stage == "wc-map" && t.local) {
+        mins[t.node] = mins[t.node].min(t.duration_s);
+    }
+    let lo = mins.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = mins.iter().cloned().fold(0.0f64, f64::max);
+    assert!(hi / lo < 1.15, "node base times should match on Cluster-A: {mins:?}");
+}
+
+#[test]
+fn heterogeneous_is_slower_than_all_fast_variant() {
+    let fast = Cluster::homogeneous(
+        "all-fast",
+        3,
+        spark_sim::Node { cores: 16, memory_mb: 16 * 1024, disk_mbps: 450.0, net_mbps: 117.0, cpu_speed: 1.2 },
+    );
+    let w = Workload::new(WorkloadKind::KMeans, InputSize::D1);
+    let het: f64 = (0..4)
+        .map(|s| simulate(&Cluster::cluster_c_heterogeneous(), &cfg(), &w.job_spec(), s).duration_s)
+        .sum::<f64>()
+        / 4.0;
+    let fst: f64 = (0..4)
+        .map(|s| simulate(&fast, &cfg(), &w.job_spec(), s).duration_s)
+        .sum::<f64>()
+        / 4.0;
+    assert!(fst < het, "all-fast {fst:.1}s vs heterogeneous {het:.1}s");
+}

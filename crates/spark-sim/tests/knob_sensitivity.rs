@@ -1,0 +1,176 @@
+//! Sensitivity tests: each knob family must influence simulated execution
+//! in the direction the real system's mechanics dictate. These pin the
+//! response surface the tuners learn against.
+
+use spark_sim::{
+    idx, simulate, Cluster, Configuration, InputSize, KnobSpace, KnobValue, Workload,
+    WorkloadKind,
+};
+
+fn base() -> Configuration {
+    let space = KnobSpace::pipeline();
+    let mut cfg = space.default_config();
+    cfg.values[idx::EXECUTOR_CORES] = KnobValue::Int(4);
+    cfg.values[idx::EXECUTOR_MEMORY_MB] = KnobValue::Int(3072);
+    cfg.values[idx::EXECUTOR_INSTANCES] = KnobValue::Int(9);
+    cfg.values[idx::DEFAULT_PARALLELISM] = KnobValue::Int(96);
+    cfg.values[idx::NM_MEMORY_MB] = KnobValue::Int(14336);
+    cfg.values[idx::NM_VCORES] = KnobValue::Int(14);
+    cfg
+}
+
+/// Mean duration over a few seeds (smooths straggler noise).
+fn run(cfg: &Configuration, kind: WorkloadKind) -> f64 {
+    let w = Workload::new(kind, InputSize::D1);
+    let job = w.job_spec();
+    (0..6)
+        .map(|s| simulate(&Cluster::cluster_a(), cfg, &job, 100 + s).duration_s)
+        .sum::<f64>()
+        / 6.0
+}
+
+#[test]
+fn more_executors_speed_up_cpu_bound_work() {
+    // PageRank's iterations are CPU-bound over cached data, so extra slots
+    // translate into fewer waves. (TeraSort, by contrast, is limited by
+    // the replicated shuffle/write traffic on the 1 GbE network, where
+    // extra slots mostly add contention — also a property of the real
+    // system.)
+    let mut few = base();
+    few.values[idx::EXECUTOR_INSTANCES] = KnobValue::Int(2);
+    let many = base();
+    assert!(run(&many, WorkloadKind::PageRank) < run(&few, WorkloadKind::PageRank));
+}
+
+#[test]
+fn parallelism_too_low_wastes_slots() {
+    let mut low = base();
+    low.values[idx::DEFAULT_PARALLELISM] = KnobValue::Int(8);
+    let ok = base();
+    // 36 slots and 8 reduce tasks leave most of the cluster idle.
+    assert!(run(&ok, WorkloadKind::TeraSort) < run(&low, WorkloadKind::TeraSort));
+}
+
+#[test]
+fn kryo_beats_java_on_shuffle_heavy_work() {
+    let mut java = base();
+    java.values[idx::SERIALIZER] = KnobValue::Cat(0);
+    let mut kryo = base();
+    kryo.values[idx::SERIALIZER] = KnobValue::Cat(1);
+    assert!(run(&kryo, WorkloadKind::TeraSort) < run(&java, WorkloadKind::TeraSort));
+}
+
+#[test]
+fn tiny_shuffle_buffer_hurts() {
+    let mut tiny = base();
+    tiny.values[idx::SHUFFLE_FILE_BUFFER_KB] = KnobValue::Int(16);
+    let mut big = base();
+    big.values[idx::SHUFFLE_FILE_BUFFER_KB] = KnobValue::Int(512);
+    assert!(run(&big, WorkloadKind::TeraSort) <= run(&tiny, WorkloadKind::TeraSort));
+}
+
+#[test]
+fn memory_fraction_matters_for_cache_heavy_kmeans() {
+    let mut small = base();
+    small.values[idx::MEMORY_FRACTION] = KnobValue::Float(0.3);
+    small.values[idx::EXECUTOR_MEMORY_MB] = KnobValue::Int(1536);
+    let mut large = base();
+    large.values[idx::MEMORY_FRACTION] = KnobValue::Float(0.85);
+    large.values[idx::EXECUTOR_MEMORY_MB] = KnobValue::Int(4096);
+    assert!(
+        run(&large, WorkloadKind::KMeans) * 1.3 < run(&small, WorkloadKind::KMeans),
+        "cache-starved KMeans must recompute and crawl"
+    );
+}
+
+#[test]
+fn speculation_tames_the_straggler_tail() {
+    let mut on = base();
+    on.values[idx::SPECULATION] = KnobValue::Bool(true);
+    let mut off = base();
+    off.values[idx::SPECULATION] = KnobValue::Bool(false);
+    // Speculation can only help in expectation (it clamps the tail).
+    assert!(run(&on, WorkloadKind::WordCount) <= run(&off, WorkloadKind::WordCount) * 1.02);
+}
+
+#[test]
+fn task_cpus_starves_cpu_bound_kmeans() {
+    // task.cpus reserves cores per task: at 4 it quarters the concurrent
+    // tasks. KMeans' distance computation is pure CPU over cached data, so
+    // the lost concurrency shows up directly. (On IO-heavy workloads the
+    // reduced disk contention can cancel the loss — also true in practice.)
+    let mut fat = base();
+    fat.values[idx::TASK_CPUS] = KnobValue::Int(4);
+    assert!(run(&base(), WorkloadKind::KMeans) < run(&fat, WorkloadKind::KMeans));
+}
+
+#[test]
+fn block_size_drives_split_count_and_utilization() {
+    // With 36 slots, 256 MB blocks yield only 13 input splits for a
+    // 3.2 GB file — most of the cluster idles. 32 MB blocks yield 100
+    // splits and keep every slot busy.
+    let mut small = base();
+    small.values[idx::DFS_BLOCK_SIZE_MB] = KnobValue::Int(32);
+    let mut big = base();
+    big.values[idx::DFS_BLOCK_SIZE_MB] = KnobValue::Int(256);
+    let t_small = run(&small, WorkloadKind::WordCount);
+    let t_big = run(&big, WorkloadKind::WordCount);
+    assert!(t_small < t_big, "32MB blocks {t_small} vs 256MB {t_big}");
+
+    // With only 2 single-core executors the parallelism argument vanishes
+    // and small blocks just pay more per-task overhead.
+    let mut small2 = small.clone();
+    small2.values[idx::EXECUTOR_INSTANCES] = KnobValue::Int(2);
+    small2.values[idx::EXECUTOR_CORES] = KnobValue::Int(1);
+    let mut big2 = big.clone();
+    big2.values[idx::EXECUTOR_INSTANCES] = KnobValue::Int(2);
+    big2.values[idx::EXECUTOR_CORES] = KnobValue::Int(1);
+    let t_small2 = run(&small2, WorkloadKind::WordCount);
+    let t_big2 = run(&big2, WorkloadKind::WordCount);
+    assert!(
+        t_big2 < t_small2 * 1.1,
+        "few slots: 256MB {t_big2} should not lose to 32MB {t_small2}"
+    );
+}
+
+#[test]
+fn vmem_ratio_too_low_risks_kills() {
+    let mut risky = base();
+    risky.values[idx::VMEM_PMEM_RATIO] = KnobValue::Float(1.5);
+    risky.values[idx::EXECUTOR_MEMORY_MB] = KnobValue::Int(1024);
+    let w = Workload::new(WorkloadKind::KMeans, InputSize::D2);
+    let job = w.job_spec();
+    let mut kills = 0;
+    for s in 0..10 {
+        let out = simulate(&Cluster::cluster_a(), &risky, &job, 200 + s);
+        kills += out.metrics.container_kills;
+        if out.failed.is_some() {
+            kills += 1;
+        }
+    }
+    assert!(kills > 0, "a tight vmem ratio with small containers must cause kills");
+}
+
+#[test]
+fn compression_reduces_shuffle_bytes_on_the_wire() {
+    let mut on = base();
+    on.values[idx::SHUFFLE_COMPRESS] = KnobValue::Bool(true);
+    let mut off = base();
+    off.values[idx::SHUFFLE_COMPRESS] = KnobValue::Bool(false);
+    let w = Workload::new(WorkloadKind::TeraSort, InputSize::D1);
+    let job = w.job_spec();
+    let m_on = simulate(&Cluster::cluster_a(), &on, &job, 7).metrics.shuffle_mb;
+    let m_off = simulate(&Cluster::cluster_a(), &off, &job, 7).metrics.shuffle_mb;
+    assert!(m_on < m_off * 0.7, "compressed shuffle {m_on} vs raw {m_off}");
+}
+
+#[test]
+fn driver_cores_speed_up_task_dispatch_heavy_jobs() {
+    let mut one = base();
+    one.values[idx::DRIVER_CORES] = KnobValue::Int(1);
+    one.values[idx::DEFAULT_PARALLELISM] = KnobValue::Int(512);
+    let mut eight = base();
+    eight.values[idx::DRIVER_CORES] = KnobValue::Int(8);
+    eight.values[idx::DEFAULT_PARALLELISM] = KnobValue::Int(512);
+    assert!(run(&eight, WorkloadKind::PageRank) <= run(&one, WorkloadKind::PageRank));
+}

@@ -1,0 +1,62 @@
+//! Property-based tests of the execution engine: every configuration, no
+//! matter how hostile, must produce a finite, positive, reproducible
+//! outcome.
+
+use proptest::prelude::*;
+use spark_sim::{simulate, Cluster, InputSize, KnobSpace, Workload, WorkloadKind};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_config_yields_finite_positive_duration(
+        action in proptest::collection::vec(0.0f64..1.0, 32),
+        seed in 0u64..1000,
+    ) {
+        let space = KnobSpace::pipeline();
+        let cfg = space.denormalize(&action);
+        let w = Workload::new(WorkloadKind::TeraSort, InputSize::D1);
+        let out = simulate(&Cluster::cluster_a(), &cfg, &w.job_spec(), seed);
+        prop_assert!(out.duration_s.is_finite());
+        prop_assert!(out.duration_s > 0.0);
+        prop_assert!(out.metrics.cpu_util >= 0.0 && out.metrics.cpu_util <= 1.0);
+        prop_assert!(out.metrics.cache_hit >= 0.0 && out.metrics.cache_hit <= 1.0);
+        for l in &out.metrics.load_avg {
+            prop_assert!(l.iter().all(|v| v.is_finite() && *v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn same_seed_is_bit_reproducible(
+        action in proptest::collection::vec(0.0f64..1.0, 32),
+        seed in 0u64..100,
+    ) {
+        let space = KnobSpace::pipeline();
+        let cfg = space.denormalize(&action);
+        let w = Workload::new(WorkloadKind::WordCount, InputSize::D1);
+        let a = simulate(&Cluster::cluster_a(), &cfg, &w.job_spec(), seed);
+        let b = simulate(&Cluster::cluster_a(), &cfg, &w.job_spec(), seed);
+        prop_assert_eq!(a.duration_s, b.duration_s);
+        prop_assert_eq!(a.failed, b.failed);
+    }
+
+    #[test]
+    fn bigger_inputs_never_run_faster_on_sane_configs(
+        seed in 0u64..50,
+    ) {
+        // Use the default config (always feasible).
+        let space = KnobSpace::pipeline();
+        let cfg = space.default_config();
+        for kind in WorkloadKind::all() {
+            let d1 = simulate(
+                &Cluster::cluster_a(), &cfg,
+                &Workload::new(kind, InputSize::D1).job_spec(), seed);
+            let d3 = simulate(
+                &Cluster::cluster_a(), &cfg,
+                &Workload::new(kind, InputSize::D3).job_spec(), seed);
+            if d1.failed.is_none() && d3.failed.is_none() {
+                prop_assert!(d3.duration_s > d1.duration_s * 0.9, "{kind}");
+            }
+        }
+    }
+}

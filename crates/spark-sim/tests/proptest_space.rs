@@ -1,0 +1,80 @@
+//! Property-based tests of the knob space and YARN negotiation — the
+//! contract every tuner's action vector relies on.
+
+use proptest::prelude::*;
+use spark_sim::{negotiate, Cluster, KnobKind, KnobSpace, KnobValue};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn any_action_denormalizes_to_a_valid_config(
+        action in proptest::collection::vec(-0.5f64..1.5, 32)
+    ) {
+        let space = KnobSpace::pipeline();
+        let cfg = space.denormalize(&action);
+        for (def, v) in space.defs().iter().zip(&cfg.values) {
+            match (&def.kind, v) {
+                (KnobKind::Int { lo, hi, .. }, KnobValue::Int(x)) => {
+                    prop_assert!(x >= lo && x <= hi, "{} = {x}", def.name)
+                }
+                (KnobKind::Float { lo, hi }, KnobValue::Float(x)) => {
+                    prop_assert!(x >= lo && x <= hi, "{} = {x}", def.name)
+                }
+                (KnobKind::Bool, KnobValue::Bool(_)) => {}
+                (KnobKind::Categorical { choices }, KnobValue::Cat(c)) => {
+                    prop_assert!(*c < choices.len())
+                }
+                _ => prop_assert!(false, "kind/value mismatch for {}", def.name),
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_denormalize_is_idempotent(
+        action in proptest::collection::vec(0.0f64..1.0, 32)
+    ) {
+        // One round of denormalize → normalize → denormalize must be a
+        // fixed point (quantization happens exactly once).
+        let space = KnobSpace::pipeline();
+        let cfg1 = space.denormalize(&action);
+        let norm = space.normalize(&cfg1);
+        let cfg2 = space.denormalize(&norm);
+        for (i, (a, b)) in cfg1.values.iter().zip(&cfg2.values).enumerate() {
+            match (a, b) {
+                (KnobValue::Float(x), KnobValue::Float(y)) => {
+                    prop_assert!((x - y).abs() < 1e-9, "knob {i}")
+                }
+                _ => prop_assert_eq!(a, b, "knob {}", i),
+            }
+        }
+    }
+
+    #[test]
+    fn negotiation_never_over_allocates(
+        action in proptest::collection::vec(0.0f64..1.0, 32)
+    ) {
+        let space = KnobSpace::pipeline();
+        let cluster = Cluster::cluster_a();
+        let cfg = space.denormalize(&action);
+        if let Ok(plan) = negotiate(&cfg, &cluster) {
+            let requested = cfg.values[spark_sim::idx::EXECUTOR_INSTANCES].as_i64() as u32;
+            prop_assert!(plan.total_executors <= requested);
+            prop_assert!(plan.total_executors >= 1);
+            prop_assert_eq!(
+                plan.executors_per_node.iter().sum::<u32>(),
+                plan.total_executors
+            );
+            // No node may exceed its physical core count.
+            for (execs, node) in plan.executors_per_node.iter().zip(&cluster.nodes) {
+                prop_assert!(execs * plan.executor_cores <= node.cores);
+            }
+            // The container always covers the heap.
+            prop_assert!(plan.container_memory_mb >= plan.executor_heap_mb);
+            prop_assert_eq!(
+                plan.total_slots,
+                plan.total_executors * plan.slots_per_executor
+            );
+        }
+    }
+}

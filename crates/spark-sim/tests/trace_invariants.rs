@@ -1,0 +1,91 @@
+//! Scheduler-invariant tests over the task traces: no slot runs two tasks
+//! at once, every task runs exactly once, and locality accounting is
+//! consistent with the block placement.
+
+use spark_sim::{simulate_traced, Cluster, InputSize, KnobSpace, Workload, WorkloadKind};
+use std::collections::HashMap;
+
+fn traced(kind: WorkloadKind, seed: u64) -> spark_sim::SimOutcome {
+    let space = KnobSpace::pipeline();
+    let mut action = space.normalize(&space.default_config());
+    action[spark_sim::idx::EXECUTOR_INSTANCES] = 0.4;
+    action[spark_sim::idx::EXECUTOR_CORES] = 0.4;
+    action[spark_sim::idx::EXECUTOR_MEMORY_MB] = 0.7;
+    action[spark_sim::idx::NM_MEMORY_MB] = 1.0;
+    let cfg = space.denormalize(&action);
+    let w = Workload::new(kind, InputSize::D1);
+    simulate_traced(&Cluster::cluster_a(), &cfg, &w.job_spec(), seed)
+}
+
+#[test]
+fn traces_are_recorded_for_every_task() {
+    let out = traced(WorkloadKind::TeraSort, 1);
+    assert!(out.failed.is_none());
+    assert!(!out.task_traces.is_empty());
+    // Each (stage, task) appears exactly once.
+    let mut seen: HashMap<(String, usize), usize> = HashMap::new();
+    for t in &out.task_traces {
+        *seen.entry((t.stage.clone(), t.task)).or_default() += 1;
+    }
+    assert!(seen.values().all(|&c| c == 1), "a task ran twice");
+}
+
+#[test]
+fn no_slot_overlap_within_a_stage() {
+    let out = traced(WorkloadKind::WordCount, 2);
+    let mut by_slot: HashMap<(String, usize), Vec<(f64, f64)>> = HashMap::new();
+    for t in &out.task_traces {
+        by_slot
+            .entry((t.stage.clone(), t.slot))
+            .or_default()
+            .push((t.start_s, t.start_s + t.duration_s));
+    }
+    for ((stage, slot), mut spans) in by_slot {
+        spans.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in spans.windows(2) {
+            assert!(
+                w[1].0 >= w[0].1 - 1e-9,
+                "slot {slot} of {stage} overlaps: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+}
+
+#[test]
+fn untraced_simulation_carries_no_traces() {
+    let space = KnobSpace::pipeline();
+    let w = Workload::new(WorkloadKind::WordCount, InputSize::D1);
+    let out = spark_sim::simulate(&Cluster::cluster_a(), &space.default_config(), &w.job_spec(), 3);
+    assert!(out.task_traces.is_empty());
+}
+
+#[test]
+fn tracing_does_not_change_the_outcome() {
+    let space = KnobSpace::pipeline();
+    let cfg = space.default_config();
+    let w = Workload::new(WorkloadKind::TeraSort, InputSize::D1);
+    let a = spark_sim::simulate(&Cluster::cluster_a(), &cfg, &w.job_spec(), 4);
+    let b = simulate_traced(&Cluster::cluster_a(), &cfg, &w.job_spec(), 4);
+    assert_eq!(a.duration_s, b.duration_s);
+    assert_eq!(a.stage_times, b.stage_times);
+}
+
+#[test]
+fn full_replication_makes_every_task_local() {
+    // dfs.replication = 3 on 3 nodes ⇒ every block has a replica
+    // everywhere, so no task can be remote.
+    let out = traced(WorkloadKind::TeraSort, 5);
+    assert!(out.task_traces.iter().all(|t| t.local));
+}
+
+#[test]
+fn tasks_start_at_or_after_zero_and_nodes_are_valid() {
+    let out = traced(WorkloadKind::PageRank, 6);
+    for t in &out.task_traces {
+        assert!(t.start_s >= 0.0);
+        assert!(t.duration_s > 0.0);
+        assert!(t.node < 3);
+    }
+}

@@ -1,0 +1,188 @@
+//! Acquisition functions for Bayesian optimization. OtterTune uses
+//! Expected Improvement over its GP surrogate; for a minimization target
+//! (execution time) EI is computed against the incumbent best (lowest)
+//! observation.
+
+use crate::gp::GaussianProcess;
+
+/// Standard normal probability density.
+pub fn phi(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal cumulative distribution via the Abramowitz–Stegun
+/// erf approximation (max abs error ≈ 1.5e-7).
+pub fn big_phi(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    // A&S 7.1.26.
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Expected improvement *below* the incumbent `best` (minimization):
+/// `EI(x) = (best − μ − ξ)·Φ(z) + σ·φ(z)`, `z = (best − μ − ξ)/σ`.
+pub fn expected_improvement(gp: &GaussianProcess, q: &[f64], best: f64, xi: f64) -> f64 {
+    let (mu, var) = gp.predict(q);
+    let sigma = var.sqrt();
+    if sigma < 1e-12 {
+        return (best - mu - xi).max(0.0);
+    }
+    let imp = best - mu - xi;
+    let z = imp / sigma;
+    (imp * big_phi(z) + sigma * phi(z)).max(0.0)
+}
+
+/// Lower-confidence bound for minimization: `LCB(x) = μ(x) − κ·σ(x)`.
+/// Smaller is better; an alternative acquisition to EI used in the
+/// acquisition ablation bench.
+pub fn lower_confidence_bound(gp: &GaussianProcess, q: &[f64], kappa: f64) -> f64 {
+    let (mu, var) = gp.predict(q);
+    mu - kappa * var.sqrt()
+}
+
+/// Minimize LCB by random search (counterpart to [`maximize_ei`]).
+pub fn minimize_lcb(
+    gp: &GaussianProcess,
+    dim: usize,
+    kappa: f64,
+    candidates: usize,
+    rng: &mut impl rand::Rng,
+) -> Vec<f64> {
+    let mut best_x = vec![0.5; dim];
+    let mut best_v = f64::INFINITY;
+    for _ in 0..candidates {
+        let x: Vec<f64> = (0..dim).map(|_| rng.gen::<f64>()).collect();
+        let v = lower_confidence_bound(gp, &x, kappa);
+        if v < best_v {
+            best_v = v;
+            best_x = x;
+        }
+    }
+    best_x
+}
+
+/// Maximize EI by pure random search plus local Gaussian refinement around
+/// the incumbent top candidates — the cheap, derivative-free strategy
+/// ML-pipeline tuners use in practice.
+pub fn maximize_ei(
+    gp: &GaussianProcess,
+    dim: usize,
+    best: f64,
+    candidates: usize,
+    rng: &mut impl rand::Rng,
+) -> Vec<f64> {
+    let mut best_x = vec![0.5; dim];
+    let mut best_ei = f64::MIN;
+    // Global random phase.
+    let mut top: Vec<(f64, Vec<f64>)> = Vec::new();
+    for _ in 0..candidates {
+        let x: Vec<f64> = (0..dim).map(|_| rng.gen::<f64>()).collect();
+        let ei = expected_improvement(gp, &x, best, 0.01);
+        if top.len() < 8 {
+            top.push((ei, x));
+            top.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        } else if ei > top.last().unwrap().0 {
+            top.pop();
+            top.push((ei, x));
+            top.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        }
+    }
+    // Local refinement around the top global candidates.
+    for (ei0, x0) in top {
+        if ei0 > best_ei {
+            best_ei = ei0;
+            best_x = x0.clone();
+        }
+        for _ in 0..32 {
+            let x: Vec<f64> = x0
+                .iter()
+                .map(|&v| (v + 0.05 * (rng.gen::<f64>() - 0.5) * 2.0).clamp(0.0, 1.0))
+                .collect();
+            let ei = expected_improvement(gp, &x, best, 0.01);
+            if ei > best_ei {
+                best_ei = ei;
+                best_x = x;
+            }
+        }
+    }
+    best_x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gp::{KernelKind, RbfKernel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_cdf_sanity() {
+        assert!((big_phi(0.0) - 0.5).abs() < 1e-7);
+        assert!((big_phi(1.96) - 0.975).abs() < 1e-3);
+        assert!((big_phi(-1.96) - 0.025).abs() < 1e-3);
+        assert!((phi(0.0) - 0.39894).abs() < 1e-4);
+    }
+
+    fn toy_gp() -> GaussianProcess {
+        // y = (x−0.3)², minimum at 0.3.
+        let x: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64 / 11.0]).collect();
+        let y: Vec<f64> = x.iter().map(|p| (p[0] - 0.3) * (p[0] - 0.3)).collect();
+        GaussianProcess::fit(
+            x,
+            &y,
+            RbfKernel { signal_variance: 0.2, length_scale: 0.25, noise: 1e-6, kind: KernelKind::Rbf },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ei_is_nonnegative() {
+        let gp = toy_gp();
+        for i in 0..20 {
+            let q = [i as f64 / 19.0];
+            assert!(expected_improvement(&gp, &q, 0.05, 0.0) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn ei_prefers_region_near_the_minimum() {
+        let gp = toy_gp();
+        let ei_near = expected_improvement(&gp, &[0.32], 0.02, 0.0);
+        let ei_far = expected_improvement(&gp, &[0.95], 0.02, 0.0);
+        assert!(ei_near >= ei_far, "{ei_near} vs {ei_far}");
+    }
+
+    #[test]
+    fn lcb_decreases_with_kappa() {
+        let gp = toy_gp();
+        let q = [0.5];
+        assert!(lower_confidence_bound(&gp, &q, 2.0) < lower_confidence_bound(&gp, &q, 0.5));
+    }
+
+    #[test]
+    fn minimize_lcb_prefers_low_mean_regions() {
+        let gp = toy_gp();
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = minimize_lcb(&gp, 1, 1.0, 400, &mut rng);
+        assert!((x[0] - 0.3).abs() < 0.3, "{x:?}");
+    }
+
+    #[test]
+    fn maximize_ei_finds_good_candidates() {
+        let gp = toy_gp();
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = maximize_ei(&gp, 1, 0.02, 500, &mut rng);
+        // Should propose near the predicted optimum.
+        assert!((x[0] - 0.3).abs() < 0.25, "proposed {x:?}");
+    }
+}

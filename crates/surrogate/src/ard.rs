@@ -1,0 +1,196 @@
+//! Automatic-relevance-determination (ARD) Gaussian process: a per-
+//! dimension lengthscale RBF kernel, so irrelevant knobs stop inflating
+//! distances in the 32-dimensional configuration space. OtterTune's real
+//! pipeline feeds its Lasso knob ranking into exactly this kind of
+//! relevance weighting; [`ArdGp::fit_with_lasso_relevance`] reproduces
+//! that coupling.
+
+use crate::lasso::Lasso;
+use crate::linalg::{cholesky, cholesky_solve, solve_lower};
+use tensor_nn::Matrix;
+
+/// RBF kernel with one lengthscale per input dimension.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArdKernel {
+    pub signal_variance: f64,
+    /// ℓ_d per dimension; larger ⇒ the dimension matters less.
+    pub length_scales: Vec<f64>,
+    pub noise: f64,
+}
+
+impl ArdKernel {
+    /// Isotropic construction (all lengthscales equal).
+    pub fn isotropic(dim: usize, length_scale: f64, noise: f64) -> Self {
+        Self { signal_variance: 1.0, length_scales: vec![length_scale; dim], noise }
+    }
+
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), self.length_scales.len());
+        let d2: f64 = a
+            .iter()
+            .zip(b)
+            .zip(&self.length_scales)
+            .map(|((x, y), l)| {
+                let d = (x - y) / l.max(1e-9);
+                d * d
+            })
+            .sum();
+        self.signal_variance * (-0.5 * d2).exp()
+    }
+}
+
+/// A fitted ARD Gaussian process.
+#[derive(Clone, Debug)]
+pub struct ArdGp {
+    kernel: ArdKernel,
+    x: Vec<Vec<f64>>,
+    chol: Matrix,
+    alpha: Vec<f64>,
+    mean: f64,
+}
+
+impl ArdGp {
+    /// Fit with a given kernel (jitter-rescued Cholesky like the isotropic
+    /// GP).
+    pub fn fit(x: Vec<Vec<f64>>, y: &[f64], kernel: ArdKernel) -> Option<Self> {
+        if x.len() < 2 || x.len() != y.len() {
+            return None;
+        }
+        let n = x.len();
+        let mean = y.iter().sum::<f64>() / n as f64;
+        let centered: Vec<f64> = y.iter().map(|v| v - mean).collect();
+        let mut jitter = kernel.noise.max(1e-10);
+        for _ in 0..6 {
+            let k = Matrix::from_fn(n, n, |i, j| {
+                kernel.eval(&x[i], &x[j]) + if i == j { jitter } else { 0.0 }
+            });
+            if let Ok(chol) = cholesky(&k) {
+                let alpha = cholesky_solve(&chol, &centered);
+                return Some(Self { kernel, x, chol, alpha, mean });
+            }
+            jitter *= 10.0;
+        }
+        None
+    }
+
+    /// Fit with lengthscales derived from a Lasso model's coefficients:
+    /// `ℓ_d = base / (|β_d| / max|β| + floor)`, so strong knobs get short
+    /// scales (high relevance) and zeroed knobs get long scales.
+    pub fn fit_with_lasso_relevance(
+        x: Vec<Vec<f64>>,
+        y: &[f64],
+        lasso: &Lasso,
+        base_scale: f64,
+        noise: f64,
+    ) -> Option<Self> {
+        let max_coef = lasso
+            .coefficients
+            .iter()
+            .map(|c| c.abs())
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        let y_var = {
+            let m = y.iter().sum::<f64>() / y.len().max(1) as f64;
+            (y.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / y.len().max(1) as f64).max(1e-6)
+        };
+        let length_scales = lasso
+            .coefficients
+            .iter()
+            .map(|c| base_scale / (c.abs() / max_coef + 0.1))
+            .collect();
+        let kernel = ArdKernel { signal_variance: y_var, length_scales, noise: noise * y_var };
+        Self::fit(x, y, kernel)
+    }
+
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    pub fn kernel(&self) -> &ArdKernel {
+        &self.kernel
+    }
+
+    /// Posterior predictive mean and variance.
+    pub fn predict(&self, q: &[f64]) -> (f64, f64) {
+        let kstar: Vec<f64> = self.x.iter().map(|xi| self.kernel.eval(xi, q)).collect();
+        let mean =
+            self.mean + kstar.iter().zip(&self.alpha).map(|(k, a)| k * a).sum::<f64>();
+        let v = solve_lower(&self.chol, &kstar);
+        let var = self.kernel.eval(q, q) - v.iter().map(|vi| vi * vi).sum::<f64>();
+        (mean, var.max(1e-12))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// y depends on x0 only; x1 is noise.
+    fn data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<Vec<f64>> =
+            (0..n).map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()]).collect();
+        let y: Vec<f64> = x.iter().map(|p| (6.0 * p[0]).sin()).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn isotropic_matches_expected_shape() {
+        let k = ArdKernel::isotropic(3, 2.0, 1e-3);
+        assert_eq!(k.length_scales, vec![2.0; 3]);
+        let a = [0.0, 0.0, 0.0];
+        let b = [2.0, 0.0, 0.0];
+        assert!((k.eval(&a, &b) - (-0.5f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ard_with_long_irrelevant_scale_beats_isotropic() {
+        let (x, y) = data(60, 1);
+        let (xt, yt) = data(40, 2);
+        let iso =
+            ArdGp::fit(x.clone(), &y, ArdKernel::isotropic(2, 0.3, 1e-4)).unwrap();
+        let ard = ArdGp::fit(
+            x,
+            &y,
+            ArdKernel { signal_variance: 1.0, length_scales: vec![0.3, 10.0], noise: 1e-4 },
+        )
+        .unwrap();
+        let rmse = |gp: &ArdGp| {
+            (xt.iter()
+                .zip(&yt)
+                .map(|(q, &t)| (gp.predict(q).0 - t).powi(2))
+                .sum::<f64>()
+                / xt.len() as f64)
+                .sqrt()
+        };
+        assert!(
+            rmse(&ard) < rmse(&iso),
+            "ARD {:.4} should beat isotropic {:.4}",
+            rmse(&ard),
+            rmse(&iso)
+        );
+    }
+
+    #[test]
+    fn lasso_relevance_shortens_important_dimensions() {
+        let (x, y) = data(120, 3);
+        let lasso = Lasso::fit(&x, &y, 0.01, 120);
+        let gp = ArdGp::fit_with_lasso_relevance(x, &y, &lasso, 1.0, 1e-3).unwrap();
+        let ls = &gp.kernel().length_scales;
+        assert!(
+            ls[0] < ls[1],
+            "x0 (relevant) must get the shorter scale: {ls:?}"
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(ArdGp::fit(vec![vec![0.0]], &[1.0], ArdKernel::isotropic(1, 1.0, 1e-3)).is_none());
+    }
+}

@@ -1,0 +1,291 @@
+//! Gaussian-process regression with an RBF (squared-exponential) kernel —
+//! the surrogate model at the core of the OtterTune baseline.
+
+use crate::linalg::{cholesky, cholesky_solve, log_det_from_cholesky, solve_lower};
+use tensor_nn::Matrix;
+
+/// Kernel family for the GP surrogate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Squared-exponential (infinitely smooth).
+    Rbf,
+    /// Matérn 5/2 — the standard choice for configuration surfaces, which
+    /// are less smooth than RBF assumes (used by the kernel ablation bench).
+    Matern52,
+}
+
+/// RBF kernel `k(x, x') = σ_f² · exp(−‖x−x'‖² / (2ℓ²))` plus observation
+/// noise `σ_n²` on the diagonal.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RbfKernel {
+    /// Signal variance σ_f².
+    pub signal_variance: f64,
+    /// Length scale ℓ.
+    pub length_scale: f64,
+    /// Observation-noise variance σ_n².
+    pub noise: f64,
+    /// Kernel family (RBF by default).
+    pub kind: KernelKind,
+}
+
+impl Default for RbfKernel {
+    fn default() -> Self {
+        Self { signal_variance: 1.0, length_scale: 1.0, noise: 1e-2, kind: KernelKind::Rbf }
+    }
+}
+
+impl RbfKernel {
+    /// A Matérn-5/2 kernel with the same hyper-parameter layout.
+    pub fn matern52(signal_variance: f64, length_scale: f64, noise: f64) -> Self {
+        Self { signal_variance, length_scale, noise, kind: KernelKind::Matern52 }
+    }
+
+    /// Kernel value between two points.
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+        match self.kind {
+            KernelKind::Rbf => {
+                self.signal_variance
+                    * (-d2 / (2.0 * self.length_scale * self.length_scale)).exp()
+            }
+            KernelKind::Matern52 => {
+                let r = d2.sqrt() / self.length_scale;
+                let s5 = 5.0f64.sqrt();
+                self.signal_variance
+                    * (1.0 + s5 * r + 5.0 * r * r / 3.0)
+                    * (-s5 * r).exp()
+            }
+        }
+    }
+}
+
+/// A fitted Gaussian process.
+///
+/// ```
+/// use surrogate::{GaussianProcess, RbfKernel};
+/// let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 / 9.0]).collect();
+/// let y: Vec<f64> = x.iter().map(|p| p[0] * p[0]).collect();
+/// let gp = GaussianProcess::fit(x, &y, RbfKernel::default()).unwrap();
+/// let (mean, var) = gp.predict(&[0.5]);
+/// assert!((mean - 0.25).abs() < 0.1);
+/// assert!(var >= 0.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GaussianProcess {
+    kernel: RbfKernel,
+    x: Vec<Vec<f64>>,
+    /// Cholesky factor of `K + σ_n² I`.
+    chol: Matrix,
+    /// `α = (K + σ_n² I)⁻¹ (y − μ)`.
+    alpha: Vec<f64>,
+    /// Constant prior mean (the training-target mean).
+    mean: f64,
+}
+
+/// Error fitting a GP.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GpError {
+    /// Fewer than 2 training points.
+    TooFewPoints,
+    /// The kernel matrix was numerically singular even after jitter.
+    Singular,
+}
+
+impl GaussianProcess {
+    /// Fit to data. `x` are feature rows, `y` targets; the prior mean is
+    /// the empirical mean of `y`.
+    pub fn fit(x: Vec<Vec<f64>>, y: &[f64], kernel: RbfKernel) -> Result<Self, GpError> {
+        if x.len() < 2 || x.len() != y.len() {
+            return Err(GpError::TooFewPoints);
+        }
+        let n = x.len();
+        let mean = y.iter().sum::<f64>() / n as f64;
+        let centered: Vec<f64> = y.iter().map(|v| v - mean).collect();
+        let mut jitter = kernel.noise.max(1e-10);
+        for _attempt in 0..6 {
+            let k = Matrix::from_fn(n, n, |i, j| {
+                kernel.eval(&x[i], &x[j]) + if i == j { jitter } else { 0.0 }
+            });
+            if let Ok(chol) = cholesky(&k) {
+                let alpha = cholesky_solve(&chol, &centered);
+                return Ok(Self { kernel, x, chol, alpha, mean });
+            }
+            jitter *= 10.0;
+        }
+        Err(GpError::Singular)
+    }
+
+    /// Number of training points.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Posterior predictive mean and variance at `q`.
+    pub fn predict(&self, q: &[f64]) -> (f64, f64) {
+        let kstar: Vec<f64> = self.x.iter().map(|xi| self.kernel.eval(xi, q)).collect();
+        let mean = self.mean
+            + kstar.iter().zip(&self.alpha).map(|(k, a)| k * a).sum::<f64>();
+        // var = k(q,q) − vᵀv with v = L⁻¹ k*
+        let v = solve_lower(&self.chol, &kstar);
+        let var = self.kernel.eval(q, q) - v.iter().map(|vi| vi * vi).sum::<f64>();
+        (mean, var.max(1e-12))
+    }
+
+    /// Log marginal likelihood of the training data (used for
+    /// hyper-parameter selection).
+    pub fn log_marginal_likelihood(&self, y: &[f64]) -> f64 {
+        let n = self.x.len() as f64;
+        let centered: Vec<f64> = y.iter().map(|v| v - self.mean).collect();
+        let fit: f64 = centered.iter().zip(&self.alpha).map(|(a, b)| a * b).sum();
+        -0.5 * fit - 0.5 * log_det_from_cholesky(&self.chol)
+            - 0.5 * n * (2.0 * std::f64::consts::PI).ln()
+    }
+
+    /// Fit with a small grid search over length scale and noise, keeping
+    /// the hyper-parameters with the best log marginal likelihood —
+    /// a lightweight stand-in for OtterTune's gradient-based GP training.
+    pub fn fit_with_model_selection(x: Vec<Vec<f64>>, y: &[f64]) -> Result<Self, GpError> {
+        let mut best: Option<(f64, GaussianProcess)> = None;
+        let y_var = {
+            let m = y.iter().sum::<f64>() / y.len().max(1) as f64;
+            (y.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / y.len().max(1) as f64).max(1e-6)
+        };
+        for &ls in &[0.5, 1.0, 2.0, 4.0] {
+            for &noise_frac in &[1e-3, 1e-2, 5e-2] {
+                let kernel = RbfKernel {
+                    signal_variance: y_var,
+                    length_scale: ls,
+                    noise: noise_frac * y_var,
+                    kind: KernelKind::Rbf,
+                };
+                if let Ok(gp) = GaussianProcess::fit(x.clone(), y, kernel) {
+                    let lml = gp.log_marginal_likelihood(y);
+                    if best.as_ref().map(|(b, _)| lml > *b).unwrap_or(true) {
+                        best = Some((lml, gp));
+                    }
+                }
+            }
+        }
+        best.map(|(_, gp)| gp).ok_or(GpError::Singular)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_1d(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect()
+    }
+
+    #[test]
+    fn interpolates_training_points_with_low_noise() {
+        let x = grid_1d(8);
+        let y: Vec<f64> = x.iter().map(|p| (3.0 * p[0]).sin()).collect();
+        let gp = GaussianProcess::fit(
+            x.clone(),
+            &y,
+            RbfKernel { signal_variance: 1.0, length_scale: 0.3, noise: 1e-8, kind: KernelKind::Rbf },
+        )
+        .unwrap();
+        for (xi, yi) in x.iter().zip(&y) {
+            let (m, v) = gp.predict(xi);
+            assert!((m - yi).abs() < 1e-3, "{m} vs {yi}");
+            assert!(v < 1e-3);
+        }
+    }
+
+    #[test]
+    fn variance_grows_away_from_data() {
+        let x = grid_1d(5);
+        let y = vec![0.0; 5];
+        let gp = GaussianProcess::fit(
+            x,
+            &y,
+            RbfKernel { signal_variance: 1.0, length_scale: 0.1, noise: 1e-6, kind: KernelKind::Rbf },
+        )
+        .unwrap();
+        let (_, v_near) = gp.predict(&[0.5]);
+        let (_, v_far) = gp.predict(&[3.0]);
+        assert!(v_far > v_near * 10.0, "{v_far} vs {v_near}");
+    }
+
+    #[test]
+    fn reverts_to_prior_mean_far_away() {
+        let x = grid_1d(5);
+        let y = vec![10.0, 11.0, 9.0, 10.5, 9.5];
+        let gp = GaussianProcess::fit(
+            x,
+            &y,
+            RbfKernel { signal_variance: 1.0, length_scale: 0.2, noise: 1e-4, kind: KernelKind::Rbf },
+        )
+        .unwrap();
+        let (m, _) = gp.predict(&[100.0]);
+        assert!((m - 10.0).abs() < 0.2, "far prediction {m} should be ≈ prior mean 10");
+    }
+
+    #[test]
+    fn too_few_points_is_error() {
+        assert_eq!(
+            GaussianProcess::fit(vec![vec![0.0]], &[1.0], RbfKernel::default()).unwrap_err(),
+            GpError::TooFewPoints
+        );
+    }
+
+    #[test]
+    fn model_selection_prefers_sensible_fit() {
+        // Smooth function: model selection should give low error at held-out
+        // points.
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 19.0 * 4.0]).collect();
+        let y: Vec<f64> = x.iter().map(|p| p[0].sin()).collect();
+        let gp = GaussianProcess::fit_with_model_selection(x, &y).unwrap();
+        let (m, _) = gp.predict(&[2.1]);
+        assert!((m - 2.1f64.sin()).abs() < 0.1, "{m}");
+    }
+
+    #[test]
+    fn matern_kernel_is_valid_and_less_smooth() {
+        let rbf = RbfKernel { signal_variance: 1.0, length_scale: 1.0, noise: 0.0, kind: KernelKind::Rbf };
+        let mat = RbfKernel::matern52(1.0, 1.0, 0.0);
+        let a = [0.0];
+        assert!((mat.eval(&a, &a) - 1.0).abs() < 1e-12, "unit at zero distance");
+        for &d in &[0.1, 0.5, 1.0, 2.0, 3.0] {
+            let b = [d];
+            let km = mat.eval(&a, &b);
+            assert!(km > 0.0 && km < 1.0);
+            // Matérn's polynomial-times-exponential tail eventually sits
+            // above the RBF's Gaussian tail (crossover near d ≈ 2ℓ).
+            if d >= 2.5 {
+                assert!(km >= rbf.eval(&a, &b) - 1e-12, "d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn matern_gp_fits_data() {
+        let x = grid_1d(10);
+        let y: Vec<f64> = x.iter().map(|p| (4.0 * p[0]).cos()).collect();
+        let gp = GaussianProcess::fit(x.clone(), &y, RbfKernel::matern52(1.0, 0.3, 1e-6)).unwrap();
+        for (xi, yi) in x.iter().zip(&y) {
+            let (m, _) = gp.predict(xi);
+            assert!((m - yi).abs() < 0.05, "{m} vs {yi}");
+        }
+    }
+
+    #[test]
+    fn duplicate_points_survive_via_jitter() {
+        let x = vec![vec![0.5], vec![0.5], vec![0.5], vec![1.0]];
+        let y = vec![1.0, 1.1, 0.9, 2.0];
+        let gp = GaussianProcess::fit(
+            x,
+            &y,
+            RbfKernel { signal_variance: 1.0, length_scale: 1.0, noise: 0.0, kind: KernelKind::Rbf },
+        );
+        assert!(gp.is_ok(), "jitter must rescue duplicated rows");
+    }
+}

@@ -1,0 +1,206 @@
+//! Lasso regression by cyclic coordinate descent — OtterTune's knob-ranking
+//! step: knobs whose coefficients survive the L1 penalty longest are the
+//! important ones.
+
+/// A fitted lasso model on standardized features.
+#[derive(Clone, Debug)]
+pub struct Lasso {
+    /// Coefficients in original feature order (for standardized features).
+    pub coefficients: Vec<f64>,
+    pub intercept: f64,
+    /// Feature means used for standardization.
+    pub feature_means: Vec<f64>,
+    /// Feature standard deviations used for standardization.
+    pub feature_stds: Vec<f64>,
+}
+
+impl Lasso {
+    /// Fit with penalty `lambda` using `iters` sweeps of coordinate descent.
+    /// Features are standardized internally; `y` is centered.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], lambda: f64, iters: usize) -> Self {
+        let n = x.len();
+        assert!(n > 0 && n == y.len(), "need matching non-empty data");
+        let d = x[0].len();
+        // Standardize.
+        let mut means = vec![0.0; d];
+        let mut stds = vec![0.0; d];
+        for j in 0..d {
+            let m: f64 = x.iter().map(|r| r[j]).sum::<f64>() / n as f64;
+            let v: f64 = x.iter().map(|r| (r[j] - m) * (r[j] - m)).sum::<f64>() / n as f64;
+            means[j] = m;
+            stds[j] = v.sqrt().max(1e-12);
+        }
+        let xs: Vec<Vec<f64>> = x
+            .iter()
+            .map(|r| r.iter().enumerate().map(|(j, &v)| (v - means[j]) / stds[j]).collect())
+            .collect();
+        let y_mean = y.iter().sum::<f64>() / n as f64;
+        let yc: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
+
+        let mut beta = vec![0.0; d];
+        let mut residual = yc.clone();
+        // Column squared norms (all ≈ n after standardization).
+        let col_sq: Vec<f64> = (0..d)
+            .map(|j| xs.iter().map(|r| r[j] * r[j]).sum::<f64>().max(1e-12))
+            .collect();
+        for _ in 0..iters {
+            for j in 0..d {
+                // rho = x_jᵀ(residual + x_j β_j)
+                let mut rho = 0.0;
+                for (r, row) in residual.iter().zip(&xs) {
+                    rho += row[j] * r;
+                }
+                rho += col_sq[j] * beta[j];
+                let new_beta = soft_threshold(rho, lambda * n as f64) / col_sq[j];
+                if new_beta != beta[j] {
+                    let delta = new_beta - beta[j];
+                    for (r, row) in residual.iter_mut().zip(&xs) {
+                        *r -= row[j] * delta;
+                    }
+                    beta[j] = new_beta;
+                }
+            }
+        }
+        Lasso {
+            coefficients: beta,
+            intercept: y_mean,
+            feature_means: means,
+            feature_stds: stds,
+        }
+    }
+
+    /// Predict for a raw (unstandardized) feature row.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.intercept
+            + x.iter()
+                .enumerate()
+                .map(|(j, &v)| {
+                    self.coefficients[j] * (v - self.feature_means[j]) / self.feature_stds[j]
+                })
+                .sum::<f64>()
+    }
+
+    /// Indices of non-zero-coefficient features, by descending |coef|.
+    pub fn selected_features(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> =
+            (0..self.coefficients.len()).filter(|&j| self.coefficients[j] != 0.0).collect();
+        idx.sort_by(|&a, &b| {
+            self.coefficients[b]
+                .abs()
+                .partial_cmp(&self.coefficients[a].abs())
+                .unwrap()
+        });
+        idx
+    }
+}
+
+fn soft_threshold(x: f64, t: f64) -> f64 {
+    if x > t {
+        x - t
+    } else if x < -t {
+        x + t
+    } else {
+        0.0
+    }
+}
+
+/// OtterTune-style knob ranking: run a lasso path (decreasing λ) and rank
+/// knobs by the order in which their coefficients become non-zero.
+pub fn rank_knobs(x: &[Vec<f64>], y: &[f64], path_len: usize) -> Vec<usize> {
+    let d = x.first().map(|r| r.len()).unwrap_or(0);
+    let mut order: Vec<usize> = Vec::with_capacity(d);
+    let mut seen = vec![false; d];
+    // From strong penalty (nothing survives) to weak (everything does).
+    for k in 0..path_len {
+        let lambda = 1.0 * (0.5f64).powi(k as i32);
+        let model = Lasso::fit(x, y, lambda, 60);
+        for &j in &model.selected_features() {
+            if !seen[j] {
+                seen[j] = true;
+                order.push(j);
+            }
+        }
+    }
+    // Anything never selected goes last, in index order.
+    for j in 0..d {
+        if !seen[j] {
+            order.push(j);
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn synthetic(n: usize, rng: &mut StdRng) -> (Vec<Vec<f64>>, Vec<f64>) {
+        // y = 5·x0 − 3·x2 + noise; x1, x3, x4 irrelevant.
+        let x: Vec<Vec<f64>> = (0..n).map(|_| (0..5).map(|_| rng.gen::<f64>()).collect()).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| 5.0 * r[0] - 3.0 * r[2] + 0.05 * rng.gen::<f64>())
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn soft_threshold_shapes() {
+        assert_eq!(soft_threshold(3.0, 1.0), 2.0);
+        assert_eq!(soft_threshold(-3.0, 1.0), -2.0);
+        assert_eq!(soft_threshold(0.5, 1.0), 0.0);
+    }
+
+    #[test]
+    fn lasso_recovers_sparse_signal() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (x, y) = synthetic(200, &mut rng);
+        let model = Lasso::fit(&x, &y, 0.05, 100);
+        let sel = model.selected_features();
+        assert!(sel.contains(&0), "x0 must be selected: {sel:?}");
+        assert!(sel.contains(&2), "x2 must be selected: {sel:?}");
+        // Irrelevant features should be zeroed or tiny.
+        for &j in &[1usize, 3, 4] {
+            assert!(
+                model.coefficients[j].abs() < 0.2,
+                "coef[{j}] = {}",
+                model.coefficients[j]
+            );
+        }
+    }
+
+    #[test]
+    fn strong_penalty_zeroes_everything() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (x, y) = synthetic(100, &mut rng);
+        let model = Lasso::fit(&x, &y, 100.0, 50);
+        assert!(model.coefficients.iter().all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn prediction_tracks_targets() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (x, y) = synthetic(300, &mut rng);
+        let model = Lasso::fit(&x, &y, 0.01, 150);
+        let rmse: f64 = (x
+            .iter()
+            .zip(&y)
+            .map(|(r, &t)| (model.predict(r) - t).powi(2))
+            .sum::<f64>()
+            / x.len() as f64)
+            .sqrt();
+        assert!(rmse < 0.3, "rmse {rmse}");
+    }
+
+    #[test]
+    fn rank_knobs_puts_strong_knob_first() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (x, y) = synthetic(200, &mut rng);
+        let order = rank_knobs(&x, &y, 10);
+        assert_eq!(order.len(), 5);
+        assert_eq!(order[0], 0, "strongest knob x0 first: {order:?}");
+        assert!(order[1] == 2, "then x2: {order:?}");
+    }
+}

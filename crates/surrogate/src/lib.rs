@@ -1,0 +1,20 @@
+//! # surrogate
+//!
+//! The machine-learning substrate for the OtterTune baseline in the DeepCAT
+//! reproduction: Gaussian-process regression with RBF kernels and Cholesky
+//! solves, Expected-Improvement acquisition, Lasso knob ranking by cyclic
+//! coordinate descent, and an OtterTune-style workload repository with
+//! metric-distance workload mapping.
+
+pub mod acquisition;
+pub mod ard;
+pub mod gp;
+pub mod lasso;
+pub mod linalg;
+pub mod mapping;
+
+pub use acquisition::{expected_improvement, lower_confidence_bound, maximize_ei, minimize_lcb};
+pub use ard::{ArdGp, ArdKernel};
+pub use gp::{GaussianProcess, GpError, KernelKind, RbfKernel};
+pub use lasso::{rank_knobs, Lasso};
+pub use mapping::{Observation, Repository, WorkloadHistory};

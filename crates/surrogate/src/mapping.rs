@@ -1,0 +1,174 @@
+//! OtterTune's workload repository and workload mapping: match the target
+//! workload to the most similar previously-seen workload by comparing the
+//! internal metrics observed under the same configurations, then merge the
+//! mapped workload's history into the GP training set.
+
+use serde::{Deserialize, Serialize};
+
+/// One observed sample: configuration (normalized), internal metrics and
+/// the measured execution time.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Observation {
+    pub config: Vec<f64>,
+    pub metrics: Vec<f64>,
+    pub exec_time_s: f64,
+}
+
+/// The history of one workload in the repository.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct WorkloadHistory {
+    pub name: String,
+    pub observations: Vec<Observation>,
+}
+
+/// Repository of per-workload tuning histories (OtterTune's "data
+/// repository" fed from offline sample collection).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Repository {
+    pub workloads: Vec<WorkloadHistory>,
+}
+
+impl Repository {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add (or extend) a workload's history.
+    pub fn add(&mut self, name: &str, observations: Vec<Observation>) {
+        if let Some(w) = self.workloads.iter_mut().find(|w| w.name == name) {
+            w.observations.extend(observations);
+        } else {
+            self.workloads.push(WorkloadHistory { name: name.to_string(), observations });
+        }
+    }
+
+    pub fn get(&self, name: &str) -> Option<&WorkloadHistory> {
+        self.workloads.iter().find(|w| w.name == name)
+    }
+
+    /// Map the target (a set of fresh observations) to the most similar
+    /// stored workload, excluding `exclude` (usually the target itself).
+    ///
+    /// Distance: for each target observation, find the stored observation
+    /// with the nearest configuration and accumulate the Euclidean distance
+    /// between their (per-dimension standardized) metric vectors — a
+    /// faithful small-scale version of OtterTune's binned workload mapping.
+    pub fn map_workload(
+        &self,
+        target: &[Observation],
+        exclude: Option<&str>,
+    ) -> Option<&WorkloadHistory> {
+        if target.is_empty() {
+            return None;
+        }
+        let scales = self.metric_scales();
+        let mut best: Option<(f64, &WorkloadHistory)> = None;
+        for w in &self.workloads {
+            if Some(w.name.as_str()) == exclude || w.observations.is_empty() {
+                continue;
+            }
+            let mut dist = 0.0;
+            for t in target {
+                let nearest = w
+                    .observations
+                    .iter()
+                    .min_by(|a, b| {
+                        sq_dist(&a.config, &t.config)
+                            .partial_cmp(&sq_dist(&b.config, &t.config))
+                            .unwrap()
+                    })
+                    .unwrap();
+                dist += scaled_metric_dist(&nearest.metrics, &t.metrics, &scales);
+            }
+            if best.as_ref().map(|(d, _)| dist < *d).unwrap_or(true) {
+                best = Some((dist, w));
+            }
+        }
+        best.map(|(_, w)| w)
+    }
+
+    /// Per-dimension metric standard deviations across the repository.
+    fn metric_scales(&self) -> Vec<f64> {
+        let all: Vec<&Observation> =
+            self.workloads.iter().flat_map(|w| w.observations.iter()).collect();
+        let Some(first) = all.first() else { return Vec::new() };
+        let d = first.metrics.len();
+        let n = all.len() as f64;
+        (0..d)
+            .map(|j| {
+                let m: f64 = all.iter().map(|o| o.metrics[j]).sum::<f64>() / n;
+                let v: f64 = all.iter().map(|o| (o.metrics[j] - m).powi(2)).sum::<f64>() / n;
+                v.sqrt().max(1e-9)
+            })
+            .collect()
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn scaled_metric_dist(a: &[f64], b: &[f64], scales: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .zip(scales)
+        .map(|((x, y), s)| ((x - y) / s).powi(2))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(cfg: f64, metric: f64, t: f64) -> Observation {
+        Observation { config: vec![cfg, cfg], metrics: vec![metric, metric * 0.5], exec_time_s: t }
+    }
+
+    fn repo() -> Repository {
+        let mut r = Repository::new();
+        // Workload A: metrics around 1.0; B: metrics around 10.0.
+        r.add("A", (0..10).map(|i| obs(i as f64 / 10.0, 1.0 + 0.01 * i as f64, 50.0)).collect());
+        r.add("B", (0..10).map(|i| obs(i as f64 / 10.0, 10.0 + 0.01 * i as f64, 80.0)).collect());
+        r
+    }
+
+    #[test]
+    fn add_extends_existing_history() {
+        let mut r = repo();
+        r.add("A", vec![obs(0.5, 1.0, 42.0)]);
+        assert_eq!(r.get("A").unwrap().observations.len(), 11);
+        assert_eq!(r.workloads.len(), 2);
+    }
+
+    #[test]
+    fn maps_to_metrically_similar_workload() {
+        let r = repo();
+        let target = vec![obs(0.3, 1.05, 60.0), obs(0.7, 0.98, 55.0)];
+        let mapped = r.map_workload(&target, None).unwrap();
+        assert_eq!(mapped.name, "A");
+        let target_b = vec![obs(0.3, 9.8, 60.0)];
+        assert_eq!(r.map_workload(&target_b, None).unwrap().name, "B");
+    }
+
+    #[test]
+    fn exclude_removes_self_matches() {
+        let r = repo();
+        let target = vec![obs(0.2, 1.0, 50.0)];
+        let mapped = r.map_workload(&target, Some("A")).unwrap();
+        assert_eq!(mapped.name, "B");
+    }
+
+    #[test]
+    fn empty_target_maps_to_none() {
+        let r = repo();
+        assert!(r.map_workload(&[], None).is_none());
+    }
+
+    #[test]
+    fn empty_repository_maps_to_none() {
+        let r = Repository::new();
+        let target = vec![obs(0.1, 1.0, 10.0)];
+        assert!(r.map_workload(&target, None).is_none());
+    }
+}

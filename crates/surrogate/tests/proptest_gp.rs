@@ -1,0 +1,59 @@
+//! Property-based tests of the GP/Lasso math in the OtterTune substrate.
+
+use proptest::prelude::*;
+use surrogate::{expected_improvement, GaussianProcess, KernelKind, Lasso, RbfKernel};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gp_posterior_variance_is_nonnegative(
+        ys in proptest::collection::vec(-5.0f64..5.0, 4..20),
+        q in -2.0f64..3.0,
+    ) {
+        let xs: Vec<Vec<f64>> = (0..ys.len())
+            .map(|i| vec![i as f64 / ys.len() as f64])
+            .collect();
+        let gp = GaussianProcess::fit(
+            xs, &ys,
+            RbfKernel { signal_variance: 1.0, length_scale: 0.5, noise: 1e-4, kind: KernelKind::Rbf },
+        ).unwrap();
+        let (m, v) = gp.predict(&[q]);
+        prop_assert!(m.is_finite());
+        prop_assert!(v >= 0.0);
+    }
+
+    #[test]
+    fn ei_is_nonnegative_and_finite(
+        ys in proptest::collection::vec(-3.0f64..3.0, 4..16),
+        best in -3.0f64..3.0,
+        q in -1.0f64..2.0,
+    ) {
+        let xs: Vec<Vec<f64>> = (0..ys.len())
+            .map(|i| vec![i as f64 * 0.17])
+            .collect();
+        let gp = GaussianProcess::fit(
+            xs, &ys,
+            RbfKernel { signal_variance: 1.0, length_scale: 1.0, noise: 1e-3, kind: KernelKind::Rbf },
+        ).unwrap();
+        let ei = expected_improvement(&gp, &[q], best, 0.01);
+        prop_assert!(ei.is_finite());
+        prop_assert!(ei >= 0.0);
+    }
+
+    #[test]
+    fn lasso_shrinks_with_stronger_penalty(
+        seed_ys in proptest::collection::vec(0.0f64..1.0, 30..60),
+    ) {
+        let xs: Vec<Vec<f64>> = seed_ys
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| vec![v, (i as f64 * 0.37).sin().abs(), 1.0 - v])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 3.0 * r[0] - r[2]).collect();
+        let weak = Lasso::fit(&xs, &ys, 0.01, 80);
+        let strong = Lasso::fit(&xs, &ys, 1.0, 80);
+        let l1 = |m: &Lasso| m.coefficients.iter().map(|c| c.abs()).sum::<f64>();
+        prop_assert!(l1(&strong) <= l1(&weak) + 1e-9);
+    }
+}

@@ -1,0 +1,42 @@
+//! # tensor-nn
+//!
+//! A compact, dependency-light neural-network library: dense matrices, MLPs
+//! with exact backpropagation, Adam/SGD optimizers, and the loss functions
+//! actor-critic reinforcement learning needs.
+//!
+//! It exists because this workspace reproduces the DeepCAT configuration
+//! auto-tuner (ICPP '22), whose agents are small dense actor/critic networks
+//! originally built on PyTorch. Everything here is deterministic given a
+//! seeded RNG, `f64` throughout, and gradient-checked against finite
+//! differences in the test suite.
+//!
+//! ```
+//! use tensor_nn::{Activation, Matrix, Mlp, Adam, loss};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut net = Mlp::new(&[2, 32, 1], Activation::Relu, Activation::Identity, &mut rng);
+//! let mut opt = Adam::new(1e-2);
+//! let x = Matrix::from_fn(16, 2, |r, c| (r + c) as f64 / 16.0);
+//! let y = Matrix::from_fn(16, 1, |r, _| x.get(r, 0) + x.get(r, 1));
+//! for _ in 0..200 {
+//!     let cache = net.forward(&x);
+//!     let grad = loss::mse_grad(&cache.output, &y);
+//!     let (_, grads) = net.backward(&cache, &grad);
+//!     opt.step(&mut net, &grads);
+//! }
+//! assert!(loss::mse(&net.infer(&x), &y) < 1e-2);
+//! ```
+
+pub mod activation;
+pub mod layer;
+pub mod loss;
+pub mod matrix;
+pub mod mlp;
+pub mod optim;
+
+pub use activation::Activation;
+pub use layer::{Dense, DenseCache, DenseGrad};
+pub use matrix::Matrix;
+pub use mlp::{Mlp, MlpCache, MlpGrad};
+pub use optim::{Adam, Sgd};

@@ -1,0 +1,139 @@
+//! Loss functions and their gradients with respect to predictions.
+
+use crate::matrix::Matrix;
+
+/// Mean squared error `(1/N) Σ (pred − target)²` where `N` is the total
+/// number of entries.
+pub fn mse(pred: &Matrix, target: &Matrix) -> f64 {
+    assert_eq!(
+        (pred.rows(), pred.cols()),
+        (target.rows(), target.cols()),
+        "mse shape mismatch"
+    );
+    let n = pred.len().max(1) as f64;
+    pred.as_slice()
+        .iter()
+        .zip(target.as_slice())
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / n
+}
+
+/// Gradient of [`mse`] with respect to `pred`: `2 (pred − target) / N`.
+pub fn mse_grad(pred: &Matrix, target: &Matrix) -> Matrix {
+    let n = pred.len().max(1) as f64;
+    pred.zip(target, move |p, t| 2.0 * (p - t) / n)
+}
+
+/// Huber (smooth-L1) loss with threshold `delta`, averaged over entries.
+/// Quadratic near zero, linear in the tails — robust to the occasional
+/// extreme TD target produced by an OOM-penalty transition.
+pub fn huber(pred: &Matrix, target: &Matrix, delta: f64) -> f64 {
+    assert_eq!(
+        (pred.rows(), pred.cols()),
+        (target.rows(), target.cols()),
+        "huber shape mismatch"
+    );
+    let n = pred.len().max(1) as f64;
+    pred.as_slice()
+        .iter()
+        .zip(target.as_slice())
+        .map(|(&p, &t)| {
+            let e = p - t;
+            if e.abs() <= delta {
+                0.5 * e * e
+            } else {
+                delta * (e.abs() - 0.5 * delta)
+            }
+        })
+        .sum::<f64>()
+        / n
+}
+
+/// Gradient of [`huber`] with respect to `pred`.
+pub fn huber_grad(pred: &Matrix, target: &Matrix, delta: f64) -> Matrix {
+    let n = pred.len().max(1) as f64;
+    pred.zip(target, move |p, t| {
+        let e = p - t;
+        if e.abs() <= delta {
+            e / n
+        } else {
+            delta * e.signum() / n
+        }
+    })
+}
+
+/// Weighted MSE: per-row importance weights (PER importance sampling).
+/// `weights` has one entry per row of `pred`.
+pub fn weighted_mse_grad(pred: &Matrix, target: &Matrix, weights: &[f64]) -> Matrix {
+    assert_eq!(pred.rows(), weights.len(), "one weight per row required");
+    let n = pred.len().max(1) as f64;
+    Matrix::from_fn(pred.rows(), pred.cols(), |r, c| {
+        2.0 * weights[r] * (pred.get(r, c) - target.get(r, c)) / n
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_of_equal_is_zero() {
+        let a = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        assert_eq!(mse(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let p = Matrix::from_vec(1, 2, vec![1.0, 3.0]);
+        let t = Matrix::from_vec(1, 2, vec![0.0, 1.0]);
+        assert!((mse(&p, &t) - (1.0 + 4.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mse_grad_matches_numeric() {
+        let p = Matrix::from_vec(1, 3, vec![0.5, -1.0, 2.0]);
+        let t = Matrix::from_vec(1, 3, vec![0.0, 0.0, 1.0]);
+        let g = mse_grad(&p, &t);
+        let h = 1e-6;
+        for i in 0..3 {
+            let mut pp = p.clone();
+            pp.as_mut_slice()[i] += h;
+            let mut pm = p.clone();
+            pm.as_mut_slice()[i] -= h;
+            let numeric = (mse(&pp, &t) - mse(&pm, &t)) / (2.0 * h);
+            assert!((g.as_slice()[i] - numeric).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn huber_equals_mse_half_in_quadratic_zone() {
+        let p = Matrix::from_vec(1, 1, vec![0.3]);
+        let t = Matrix::from_vec(1, 1, vec![0.0]);
+        assert!((huber(&p, &t, 1.0) - 0.5 * 0.09).abs() < 1e-12);
+    }
+
+    #[test]
+    fn huber_grad_matches_numeric() {
+        let p = Matrix::from_vec(1, 3, vec![0.2, -5.0, 3.0]);
+        let t = Matrix::from_vec(1, 3, vec![0.0, 0.0, 0.0]);
+        let g = huber_grad(&p, &t, 1.0);
+        let h = 1e-6;
+        for i in 0..3 {
+            let mut pp = p.clone();
+            pp.as_mut_slice()[i] += h;
+            let mut pm = p.clone();
+            pm.as_mut_slice()[i] -= h;
+            let numeric = (huber(&pp, &t, 1.0) - huber(&pm, &t, 1.0)) / (2.0 * h);
+            assert!((g.as_slice()[i] - numeric).abs() < 1e-6, "i={i}");
+        }
+    }
+
+    #[test]
+    fn weighted_mse_grad_scales_rows() {
+        let p = Matrix::from_vec(2, 1, vec![1.0, 1.0]);
+        let t = Matrix::zeros(2, 1);
+        let g = weighted_mse_grad(&p, &t, &[1.0, 3.0]);
+        assert!((g.get(1, 0) / g.get(0, 0) - 3.0).abs() < 1e-12);
+    }
+}

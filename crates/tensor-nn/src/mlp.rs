@@ -1,0 +1,271 @@
+//! Multi-layer perceptron assembled from [`Dense`] layers, with full
+//! backpropagation and Polyak target-network updates.
+
+use crate::activation::Activation;
+use crate::layer::{Dense, DenseCache, DenseGrad};
+use crate::matrix::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A feed-forward network.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+/// Forward-pass cache for a whole network.
+#[derive(Clone, Debug)]
+pub struct MlpCache {
+    caches: Vec<DenseCache>,
+    /// The network output (kept so callers can compute the loss gradient).
+    pub output: Matrix,
+}
+
+/// Per-layer parameter gradients; aligned with [`Mlp::layers_mut`].
+#[derive(Clone, Debug)]
+pub struct MlpGrad {
+    pub layers: Vec<DenseGrad>,
+}
+
+impl MlpGrad {
+    /// Sum of squared entries across all parameter gradients.
+    pub fn norm(&self) -> f64 {
+        self.layers
+            .iter()
+            .map(|g| {
+                let w = g.weight.norm();
+                let b = g.bias.norm();
+                w * w + b * b
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Scale all gradients in place (used for gradient ascent / averaging).
+    pub fn scale_inplace(&mut self, s: f64) {
+        for g in &mut self.layers {
+            g.weight.map_inplace(|v| v * s);
+            g.bias.map_inplace(|v| v * s);
+        }
+    }
+
+    /// Clip by global norm: if the total norm exceeds `max_norm`, rescale.
+    pub fn clip_global_norm(&mut self, max_norm: f64) {
+        let n = self.norm();
+        if n > max_norm && n > 0.0 {
+            self.scale_inplace(max_norm / n);
+        }
+    }
+}
+
+impl Mlp {
+    /// Build a network from layer sizes, e.g. `[9, 128, 128, 32]`, hidden
+    /// activations `hidden`, output activation `out`.
+    ///
+    /// The output head is initialized with the small bound `3e-3` per the
+    /// DDPG/TD3 convention so that the initial policy/value is near zero.
+    pub fn new(
+        sizes: &[usize],
+        hidden: Activation,
+        out: Activation,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for w in sizes.windows(2).take(sizes.len() - 2) {
+            layers.push(Dense::new(w[0], w[1], hidden, rng));
+        }
+        let n = sizes.len();
+        layers.push(Dense::with_bound(sizes[n - 2], sizes[n - 1], out, 3e-3, rng));
+        Self { layers }
+    }
+
+    /// Construct from explicit layers (used in tests).
+    pub fn from_layers(layers: Vec<Dense>) -> Self {
+        assert!(!layers.is_empty());
+        Self { layers }
+    }
+
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().unwrap().out_dim()
+    }
+
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    pub fn layers_mut(&mut self) -> &mut [Dense] {
+        &mut self.layers
+    }
+
+    /// Total scalar parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Dense::param_count).sum()
+    }
+
+    /// Forward pass with cache for backprop.
+    pub fn forward(&self, input: &Matrix) -> MlpCache {
+        let mut caches = Vec::with_capacity(self.layers.len());
+        let mut x = input.clone();
+        for layer in &self.layers {
+            let (y, cache) = layer.forward(&x);
+            caches.push(cache);
+            x = y;
+        }
+        MlpCache { caches, output: x }
+    }
+
+    /// Inference without caching.
+    pub fn infer(&self, input: &Matrix) -> Matrix {
+        let mut x = self.layers[0].infer(input);
+        for layer in &self.layers[1..] {
+            x = layer.infer(&x);
+        }
+        x
+    }
+
+    /// Backpropagate `grad_output` (∂L/∂output) through the cached pass;
+    /// returns (∂L/∂input, parameter gradients).
+    pub fn backward(&self, cache: &MlpCache, grad_output: &Matrix) -> (Matrix, MlpGrad) {
+        let mut grad = grad_output.clone();
+        let mut grads = vec![None; self.layers.len()];
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            let (gin, g) = layer.backward(&cache.caches[i], &grad);
+            grads[i] = Some(g);
+            grad = gin;
+        }
+        (
+            grad,
+            MlpGrad { layers: grads.into_iter().map(Option::unwrap).collect() },
+        )
+    }
+
+    /// Polyak (soft) update from `source`: `θ ← τ·θ_src + (1−τ)·θ`.
+    pub fn soft_update_from(&mut self, source: &Mlp, tau: f64) {
+        assert_eq!(self.layers.len(), source.layers.len(), "network shape mismatch");
+        for (dst, src) in self.layers.iter_mut().zip(&source.layers) {
+            dst.soft_update_from(src, tau);
+        }
+    }
+
+    /// Hard copy of all parameters from `source`.
+    pub fn copy_from(&mut self, source: &Mlp) {
+        self.soft_update_from(source, 1.0);
+    }
+
+    /// True if any parameter is NaN/inf — a training-blowup tripwire.
+    pub fn has_non_finite(&self) -> bool {
+        self.layers
+            .iter()
+            .any(|l| l.weight.has_non_finite() || l.bias.has_non_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_net(seed: u64) -> Mlp {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Mlp::new(&[3, 8, 8, 2], Activation::Relu, Activation::Identity, &mut rng)
+    }
+
+    #[test]
+    fn shapes_and_param_count() {
+        let net = toy_net(1);
+        assert_eq!(net.input_dim(), 3);
+        assert_eq!(net.output_dim(), 2);
+        assert_eq!(net.param_count(), (3 * 8 + 8) + (8 * 8 + 8) + (8 * 2 + 2));
+        let y = net.infer(&Matrix::zeros(7, 3));
+        assert_eq!((y.rows(), y.cols()), (7, 2));
+    }
+
+    #[test]
+    fn full_network_gradient_check() {
+        // tanh everywhere so the loss surface is smooth for numeric checks.
+        let mut rng = StdRng::seed_from_u64(7);
+        let net = Mlp::new(&[4, 6, 3], Activation::Tanh, Activation::Tanh, &mut rng);
+        let x = Matrix::from_fn(3, 4, |r, c| 0.05 * (r * 4 + c) as f64 - 0.2);
+        let loss = |n: &Mlp| {
+            let y = n.infer(&x);
+            y.as_slice().iter().map(|v| v * v).sum::<f64>() * 0.5
+        };
+        let cache = net.forward(&x);
+        let (grad_x, grads) = net.backward(&cache, &cache.output); // dL/dy = y for 0.5*||y||²
+
+        let h = 1e-6;
+        for (li, layer) in net.layers().iter().enumerate() {
+            for &(r, c) in &[(0usize, 0usize), (layer.out_dim() - 1, layer.in_dim() - 1)] {
+                let mut np = net.clone();
+                let w = np.layers_mut()[li].weight.get(r, c);
+                np.layers_mut()[li].weight.set(r, c, w + h);
+                let mut nm = net.clone();
+                nm.layers_mut()[li].weight.set(r, c, w - h);
+                let numeric = (loss(&np) - loss(&nm)) / (2.0 * h);
+                let analytic = grads.layers[li].weight.get(r, c);
+                assert!(
+                    (analytic - numeric).abs() < 1e-5,
+                    "layer {li} W[{r},{c}]: {analytic} vs {numeric}"
+                );
+            }
+        }
+        // Input gradient.
+        let mut xp = x.clone();
+        xp.set(1, 2, xp.get(1, 2) + h);
+        let mut xm = x.clone();
+        xm.set(1, 2, xm.get(1, 2) - h);
+        let lp = {
+            let y = net.infer(&xp);
+            y.as_slice().iter().map(|v| v * v).sum::<f64>() * 0.5
+        };
+        let lm = {
+            let y = net.infer(&xm);
+            y.as_slice().iter().map(|v| v * v).sum::<f64>() * 0.5
+        };
+        assert!((grad_x.get(1, 2) - (lp - lm) / (2.0 * h)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn soft_update_converges_to_source() {
+        let mut a = toy_net(10);
+        let b = toy_net(11);
+        for _ in 0..200 {
+            a.soft_update_from(&b, 0.1);
+        }
+        let diff: f64 = a
+            .layers()
+            .iter()
+            .zip(b.layers())
+            .map(|(x, y)| x.weight.sub(&y.weight).norm())
+            .sum();
+        assert!(diff < 1e-6, "diff = {diff}");
+    }
+
+    #[test]
+    fn copy_from_is_exact() {
+        let mut a = toy_net(20);
+        let b = toy_net(21);
+        a.copy_from(&b);
+        for (x, y) in a.layers().iter().zip(b.layers()) {
+            assert_eq!(x.weight, y.weight);
+            assert_eq!(x.bias, y.bias);
+        }
+    }
+
+    #[test]
+    fn grad_clip_bounds_norm() {
+        let net = toy_net(30);
+        let x = Matrix::from_fn(2, 3, |_, _| 10.0);
+        let cache = net.forward(&x);
+        let big = Matrix::full(2, 2, 1e6);
+        let (_, mut grads) = net.backward(&cache, &big);
+        grads.clip_global_norm(1.0);
+        assert!(grads.norm() <= 1.0 + 1e-9);
+    }
+}

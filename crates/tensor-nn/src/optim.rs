@@ -1,0 +1,197 @@
+//! Gradient-descent optimizers operating on [`Mlp`] parameters.
+
+use crate::matrix::Matrix;
+use crate::mlp::{Mlp, MlpGrad};
+use serde::{Deserialize, Serialize};
+
+/// Plain SGD with optional momentum.
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    pub lr: f64,
+    pub momentum: f64,
+    velocity: Option<Vec<(Matrix, Matrix)>>,
+}
+
+impl Sgd {
+    pub fn new(lr: f64) -> Self {
+        Self { lr, momentum: 0.0, velocity: None }
+    }
+
+    pub fn with_momentum(lr: f64, momentum: f64) -> Self {
+        Self { lr, momentum, velocity: None }
+    }
+
+    /// Apply one descent step: `θ ← θ − lr · (momentum-smoothed) g`.
+    pub fn step(&mut self, net: &mut Mlp, grads: &MlpGrad) {
+        if self.momentum == 0.0 {
+            for (layer, g) in net.layers_mut().iter_mut().zip(&grads.layers) {
+                layer.weight.axpy(-self.lr, &g.weight);
+                layer.bias.axpy(-self.lr, &g.bias);
+            }
+            return;
+        }
+        let vel = self.velocity.get_or_insert_with(|| {
+            net.layers()
+                .iter()
+                .map(|l| {
+                    (
+                        Matrix::zeros(l.weight.rows(), l.weight.cols()),
+                        Matrix::zeros(l.bias.rows(), l.bias.cols()),
+                    )
+                })
+                .collect()
+        });
+        for ((layer, g), (vw, vb)) in net.layers_mut().iter_mut().zip(&grads.layers).zip(vel) {
+            *vw = vw.scale(self.momentum).add(&g.weight);
+            *vb = vb.scale(self.momentum).add(&g.bias);
+            layer.weight.axpy(-self.lr, vw);
+            layer.bias.axpy(-self.lr, vb);
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba 2015) with bias correction — the optimizer
+/// used for all actor/critic networks, matching the PyTorch defaults the
+/// paper's implementation would have used.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Adam {
+    pub lr: f64,
+    pub beta1: f64,
+    pub beta2: f64,
+    pub eps: f64,
+    t: u64,
+    /// First/second moment per layer: (m_w, v_w, m_b, v_b).
+    moments: Option<Vec<(Matrix, Matrix, Matrix, Matrix)>>,
+}
+
+impl Adam {
+    /// Adam with the conventional `β₁ = 0.9, β₂ = 0.999, ε = 1e-8`.
+    pub fn new(lr: f64) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, moments: None }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Apply one Adam step to `net` using `grads` (gradients of the loss to
+    /// *minimize*; negate beforehand for gradient ascent).
+    pub fn step(&mut self, net: &mut Mlp, grads: &MlpGrad) {
+        assert_eq!(net.layers().len(), grads.layers.len(), "grad/network layer mismatch");
+        let moments = self.moments.get_or_insert_with(|| {
+            net.layers()
+                .iter()
+                .map(|l| {
+                    (
+                        Matrix::zeros(l.weight.rows(), l.weight.cols()),
+                        Matrix::zeros(l.weight.rows(), l.weight.cols()),
+                        Matrix::zeros(l.bias.rows(), l.bias.cols()),
+                        Matrix::zeros(l.bias.rows(), l.bias.cols()),
+                    )
+                })
+                .collect()
+        });
+        self.t += 1;
+        let t = self.t as f64;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        for ((layer, g), (mw, vw, mb, vb)) in
+            net.layers_mut().iter_mut().zip(&grads.layers).zip(moments.iter_mut())
+        {
+            adam_update(&mut layer.weight, &g.weight, mw, vw, self.lr, self.beta1, self.beta2, self.eps, bc1, bc2);
+            adam_update(&mut layer.bias, &g.bias, mb, vb, self.lr, self.beta1, self.beta2, self.eps, bc1, bc2);
+        }
+    }
+
+    /// Forget moment estimates (e.g. when re-purposing the optimizer for a
+    /// fresh network of the same shape).
+    pub fn reset(&mut self) {
+        self.t = 0;
+        self.moments = None;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn adam_update(
+    param: &mut Matrix,
+    grad: &Matrix,
+    m: &mut Matrix,
+    v: &mut Matrix,
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    bias_corr1: f64,
+    bias_corr2: f64,
+) {
+    let p = param.as_mut_slice();
+    let g = grad.as_slice();
+    let m = m.as_mut_slice();
+    let v = v.as_mut_slice();
+    assert_eq!(p.len(), g.len(), "adam shape mismatch");
+    for i in 0..p.len() {
+        m[i] = beta1 * m[i] + (1.0 - beta1) * g[i];
+        v[i] = beta2 * v[i] + (1.0 - beta2) * g[i] * g[i];
+        let m_hat = m[i] / bias_corr1;
+        let v_hat = v[i] / bias_corr2;
+        p[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::loss::mse_grad;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Train y = 2x₀ − x₁ + 0.5 on a tiny net; both optimizers must fit it.
+    fn fit(opt_is_adam: bool) -> f64 {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut net = Mlp::new(&[2, 16, 1], Activation::Tanh, Activation::Identity, &mut rng);
+        let x = Matrix::from_fn(32, 2, |r, c| ((r * 2 + c) % 13) as f64 / 13.0 - 0.5);
+        let y = Matrix::from_fn(32, 1, |r, _| 2.0 * x.get(r, 0) - x.get(r, 1) + 0.5);
+        let mut adam = Adam::new(0.01);
+        let mut sgd = Sgd::with_momentum(0.05, 0.9);
+        for _ in 0..800 {
+            let cache = net.forward(&x);
+            let grad_out = mse_grad(&cache.output, &y);
+            let (_, grads) = net.backward(&cache, &grad_out);
+            if opt_is_adam {
+                adam.step(&mut net, &grads);
+            } else {
+                sgd.step(&mut net, &grads);
+            }
+        }
+        let out = net.infer(&x);
+        out.sub(&y).norm() / (32f64).sqrt()
+    }
+
+    #[test]
+    fn adam_fits_linear_function() {
+        assert!(fit(true) < 0.02, "rmse = {}", fit(true));
+    }
+
+    #[test]
+    fn sgd_momentum_fits_linear_function() {
+        assert!(fit(false) < 0.05, "rmse = {}", fit(false));
+    }
+
+    #[test]
+    fn adam_step_counter_advances() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = Mlp::new(&[2, 4, 1], Activation::Relu, Activation::Identity, &mut rng);
+        let x = Matrix::zeros(1, 2);
+        let cache = net.forward(&x);
+        let (_, grads) = net.backward(&cache, &Matrix::full(1, 1, 1.0));
+        let mut adam = Adam::new(1e-3);
+        assert_eq!(adam.steps(), 0);
+        adam.step(&mut net, &grads);
+        adam.step(&mut net, &grads);
+        assert_eq!(adam.steps(), 2);
+        adam.reset();
+        assert_eq!(adam.steps(), 0);
+    }
+}

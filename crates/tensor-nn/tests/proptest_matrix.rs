@@ -1,0 +1,77 @@
+//! Property-based tests of the matrix algebra backing all networks.
+
+use proptest::prelude::*;
+use tensor_nn::Matrix;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in matrix(3, 4),
+        b in matrix(4, 5),
+        c in matrix(4, 5),
+    ) {
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(a in matrix(4, 6)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matmul_transpose_b_agrees_with_naive(a in matrix(3, 5), b in matrix(4, 5)) {
+        let fast = a.matmul_transpose_b(&b);
+        let slow = a.matmul(&b.transpose());
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transpose_a_matmul_agrees_with_naive(a in matrix(5, 3), b in matrix(5, 4)) {
+        let fast = a.transpose_a_matmul(&b);
+        let slow = a.transpose().matmul(&b);
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sum_rows_preserves_total(a in matrix(6, 4)) {
+        let total: f64 = a.as_slice().iter().sum();
+        let rowsum: f64 = a.sum_rows().as_slice().iter().sum();
+        prop_assert!((total - rowsum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hconcat_then_split_round_trips(a in matrix(3, 4), b in matrix(3, 2)) {
+        let (l, r) = a.hconcat(&b).hsplit(4);
+        prop_assert_eq!(l, a);
+        prop_assert_eq!(r, b);
+    }
+
+    #[test]
+    fn norm_is_absolutely_homogeneous(a in matrix(3, 3), s in -5.0f64..5.0) {
+        let scaled = a.scale(s);
+        prop_assert!((scaled.norm() - s.abs() * a.norm()).abs() < 1e-9 * (1.0 + a.norm()));
+    }
+
+    #[test]
+    fn axpy_matches_add_scale(a in matrix(2, 3), b in matrix(2, 3), alpha in -3.0f64..3.0) {
+        let mut x = a.clone();
+        x.axpy(alpha, &b);
+        let y = a.add(&b.scale(alpha));
+        for (p, q) in x.as_slice().iter().zip(y.as_slice()) {
+            prop_assert!((p - q).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Training-level integration tests: the library must be able to *learn*,
+//! not just compute gradients — XOR (non-linear separation), robust
+//! regression with Huber loss, and deeper stacks.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensor_nn::{loss, Activation, Adam, Matrix, Mlp};
+
+#[test]
+fn learns_xor() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut net = Mlp::new(&[2, 8, 1], Activation::Tanh, Activation::Sigmoid, &mut rng);
+    let x = Matrix::from_vec(4, 2, vec![0., 0., 0., 1., 1., 0., 1., 1.]);
+    let y = Matrix::from_vec(4, 1, vec![0., 1., 1., 0.]);
+    let mut opt = Adam::new(0.05);
+    for _ in 0..1500 {
+        let cache = net.forward(&x);
+        let grad = loss::mse_grad(&cache.output, &y);
+        let (_, grads) = net.backward(&cache, &grad);
+        opt.step(&mut net, &grads);
+    }
+    let out = net.infer(&x);
+    for (i, target) in [0.0, 1.0, 1.0, 0.0].iter().enumerate() {
+        let p = out.get(i, 0);
+        assert!(
+            (p - target).abs() < 0.2,
+            "XOR row {i}: predicted {p:.3}, expected {target}"
+        );
+    }
+}
+
+#[test]
+fn huber_resists_outliers_better_than_mse() {
+    // y = x with one wild outlier; Huber-trained weights stay closer to 1.
+    let xs: Vec<f64> = (0..20).map(|i| i as f64 / 19.0).collect();
+    let mut ys: Vec<f64> = xs.clone();
+    ys[10] = 50.0; // outlier
+    let x = Matrix::from_vec(20, 1, xs);
+    let y = Matrix::from_vec(20, 1, ys);
+
+    let fit = |use_huber: bool| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net =
+            Mlp::new(&[1, 1], Activation::Identity, Activation::Identity, &mut rng);
+        let mut opt = Adam::new(0.02);
+        for _ in 0..2000 {
+            let cache = net.forward(&x);
+            let grad = if use_huber {
+                loss::huber_grad(&cache.output, &y, 1.0)
+            } else {
+                loss::mse_grad(&cache.output, &y)
+            };
+            let (_, grads) = net.backward(&cache, &grad);
+            opt.step(&mut net, &grads);
+        }
+        // Error against the clean line y = x at a held-out point.
+        (net.infer(&Matrix::from_vec(1, 1, vec![0.5])).get(0, 0) - 0.5).abs()
+    };
+    let huber_err = fit(true);
+    let mse_err = fit(false);
+    assert!(
+        huber_err < mse_err,
+        "huber {huber_err:.3} should beat mse {mse_err:.3} under outliers"
+    );
+}
+
+#[test]
+fn four_layer_network_trains_stably() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut net = Mlp::new(
+        &[3, 32, 32, 32, 1],
+        Activation::Relu,
+        Activation::Identity,
+        &mut rng,
+    );
+    let x = Matrix::from_fn(64, 3, |r, c| ((r * 3 + c) % 17) as f64 / 17.0 - 0.5);
+    let y = Matrix::from_fn(64, 1, |r, _| {
+        let row = [x.get(r, 0), x.get(r, 1), x.get(r, 2)];
+        (row[0] * 2.0 - row[1]).sin() + row[2]
+    });
+    let mut opt = Adam::new(3e-3);
+    let mut first_loss = None;
+    let mut last_loss = 0.0;
+    for i in 0..2000 {
+        let cache = net.forward(&x);
+        last_loss = loss::mse(&cache.output, &y);
+        if i == 0 {
+            first_loss = Some(last_loss);
+        }
+        let grad = loss::mse_grad(&cache.output, &y);
+        let (_, grads) = net.backward(&cache, &grad);
+        opt.step(&mut net, &grads);
+    }
+    assert!(!net.has_non_finite(), "deep stack must not blow up");
+    assert!(
+        last_loss < first_loss.unwrap() * 0.05,
+        "loss {first_loss:?} → {last_loss} should shrink 20x"
+    );
+}
+
+#[test]
+fn batch_and_single_row_inference_agree() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let net = Mlp::new(&[4, 16, 2], Activation::Relu, Activation::Tanh, &mut rng);
+    let batch = Matrix::from_fn(8, 4, |r, c| (r as f64 + c as f64) * 0.1);
+    let batched = net.infer(&batch);
+    for r in 0..8 {
+        let single = net.infer(&Matrix::row_vector(batch.row(r)));
+        for c in 0..2 {
+            assert!(
+                (batched.get(r, c) - single.get(0, c)).abs() < 1e-12,
+                "row {r} col {c}"
+            );
+        }
+    }
+}

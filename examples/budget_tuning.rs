@@ -1,0 +1,49 @@
+//! Tuning under a cost budget (paper §5.2.3): keep taking online steps
+//! until the accumulated tuning time would exceed the user's budget, then
+//! report the best configuration found.
+//!
+//! ```sh
+//! cargo run --release --example budget_tuning
+//! ```
+
+use deepcat::{online_tune_td3, train_td3, AgentConfig, OfflineConfig, OnlineConfig, TuningEnv};
+use spark_sim::{Cluster, InputSize, Workload, WorkloadKind};
+
+fn main() {
+    let workload = Workload::new(WorkloadKind::PageRank, InputSize::D1);
+    let budget_s = 250.0;
+
+    let mut offline_env = TuningEnv::for_workload(Cluster::cluster_a(), workload, 31);
+    let agent_cfg = AgentConfig::for_dims(offline_env.state_dim(), offline_env.action_dim());
+    let (mut agent, _, _) =
+        train_td3(&mut offline_env, agent_cfg, &OfflineConfig::deepcat(1500, 31), &[]);
+
+    let live = Cluster::cluster_a().with_background_load(0.15);
+    let mut online_env = TuningEnv::for_workload(live, workload, 3233);
+
+    println!("tuning {workload} under a {budget_s:.0}s total budget...");
+    // Take steps one at a time; stop when the next step no longer fits.
+    let mut spent = 0.0;
+    let mut best = f64::INFINITY;
+    let mut steps = 0;
+    while spent < budget_s {
+        let one = OnlineConfig { steps: 1, seed: 100 + steps as u64, ..OnlineConfig::deepcat(9) };
+        let report = online_tune_td3(&mut agent, &mut online_env, &one, "DeepCAT");
+        spent += report.total_cost_s();
+        best = best.min(report.best_exec_time_s);
+        steps += 1;
+        println!(
+            "  step {steps}: exec {:.1}s, accumulated cost {spent:.1}s, best so far {best:.1}s",
+            report.steps[0].exec_time_s
+        );
+        if spent + best > budget_s {
+            break; // the next evaluation would blow the budget
+        }
+    }
+    println!(
+        "\nwithin {budget_s:.0}s: {} steps taken, best configuration {best:.1}s ({:.2}x over default {:.1}s)",
+        steps,
+        online_env.default_exec_time() / best,
+        online_env.default_exec_time()
+    );
+}

@@ -1,0 +1,51 @@
+//! Tune a *custom* job DAG (here: a randomly generated synthetic pipeline)
+//! instead of a named HiBench workload — what a downstream user with their
+//! own Spark application would do.
+//!
+//! ```sh
+//! cargo run --release --example custom_pipeline
+//! ```
+
+use deepcat::{online_tune_td3, train_td3, AgentConfig, OfflineConfig, OnlineConfig, TuningEnv};
+use spark_sim::{synthetic_job, Cluster, SparkEnv, SynthParams};
+
+fn main() {
+    // A random 6-stage pipeline with joins and cached intermediates.
+    let params = SynthParams { stages: 6, input_mb: 3072.0, ..Default::default() };
+    let job = synthetic_job(&params, 99);
+    println!(
+        "synthetic pipeline: {} stages, {} levels, {:.0} MB cached at peak",
+        job.stages.len(),
+        job.levels().unwrap().len(),
+        job.peak_cache_mb
+    );
+
+    let mk = |cluster: Cluster, seed: u64| {
+        TuningEnv::new(SparkEnv::with_job(cluster, "my-pipeline", job.clone(), seed), 5)
+    };
+
+    let mut offline = mk(Cluster::cluster_a(), 42);
+    println!("default execution: {:.1}s", offline.default_exec_time());
+
+    let ac = AgentConfig::for_dims(offline.state_dim(), offline.action_dim());
+    let (mut agent, _, _) =
+        train_td3(&mut offline, ac, &OfflineConfig::deepcat(1500, 42), &[]);
+
+    let mut live = mk(Cluster::cluster_a().with_background_load(0.15), 43);
+    let report = online_tune_td3(&mut agent, &mut live, &OnlineConfig::deepcat(7), "DeepCAT");
+    println!(
+        "tuned: best {:.1}s ({:.2}x over default) in {:.1}s of tuning cost",
+        report.best_exec_time_s,
+        report.speedup(),
+        report.total_cost_s()
+    );
+
+    // Export the winning configuration as deployable files.
+    let space = live.spark().space();
+    let cfg = space.denormalize(&report.best_action);
+    let bundle = spark_sim::export_bundle(space, &cfg);
+    println!("\n--- spark-defaults.conf (first lines) ---");
+    for line in bundle.spark_defaults_conf.lines().take(6) {
+        println!("{line}");
+    }
+}

@@ -1,0 +1,68 @@
+//! Using the spark-sim substrate directly: evaluate hand-written
+//! configurations, inspect per-stage timings, and observe the knobs'
+//! mechanical effects (executor packing, spills, OOM kills).
+//!
+//! ```sh
+//! cargo run --release --example explore_simulator
+//! ```
+
+use spark_sim::{
+    idx, simulate, Cluster, InputSize, KnobSpace, KnobValue, Workload, WorkloadKind,
+};
+
+fn main() {
+    let space = KnobSpace::pipeline();
+    let cluster = Cluster::cluster_a();
+    let workload = Workload::new(WorkloadKind::TeraSort, InputSize::D1);
+    let job = workload.job_spec();
+
+    println!("=== default configuration ===");
+    let out = simulate(&cluster, &space.default_config(), &job, 1);
+    print_outcome(&out);
+
+    println!("\n=== a sensible hand-tuned configuration ===");
+    let mut cfg = space.default_config();
+    cfg.values[idx::EXECUTOR_CORES] = KnobValue::Int(4);
+    cfg.values[idx::EXECUTOR_MEMORY_MB] = KnobValue::Int(4096);
+    cfg.values[idx::EXECUTOR_INSTANCES] = KnobValue::Int(9);
+    cfg.values[idx::DEFAULT_PARALLELISM] = KnobValue::Int(96);
+    cfg.values[idx::SERIALIZER] = KnobValue::Cat(1); // kryo
+    cfg.values[idx::NM_MEMORY_MB] = KnobValue::Int(14336);
+    cfg.values[idx::NM_VCORES] = KnobValue::Int(14);
+    let out = simulate(&cluster, &cfg, &job, 1);
+    print_outcome(&out);
+
+    println!("\n=== a memory-starved configuration on KMeans (OOM-prone) ===");
+    let km = Workload::new(WorkloadKind::KMeans, InputSize::D3);
+    let mut bad = cfg.clone();
+    bad.values[idx::EXECUTOR_MEMORY_MB] = KnobValue::Int(1024);
+    bad.values[idx::MEMORY_FRACTION] = KnobValue::Float(0.3);
+    let out = simulate(&cluster, &bad, &km.job_spec(), 1);
+    print_outcome(&out);
+}
+
+fn print_outcome(out: &spark_sim::SimOutcome) {
+    match &out.failed {
+        Some(kind) => println!("FAILED after {:.1}s: {kind:?}", out.duration_s),
+        None => println!("completed in {:.1}s", out.duration_s),
+    }
+    for (name, t) in &out.stage_times {
+        println!("  stage {name:15} {t:7.1}s");
+    }
+    if let Some(plan) = &out.plan {
+        println!(
+            "  executors: {} x {} cores x {} MB heap ({} task slots)",
+            plan.total_executors, plan.executor_cores, plan.executor_heap_mb, plan.total_slots
+        );
+    }
+    let m = &out.metrics;
+    println!(
+        "  cpu util {:.0}%  shuffle {:.0} MB  spill {:.0} MB  gc {:.0}%  cache hit {:.0}%  kills {}",
+        m.cpu_util * 100.0,
+        m.shuffle_mb,
+        m.spill_mb,
+        m.gc_frac * 100.0,
+        m.cache_hit * 100.0,
+        m.container_kills
+    );
+}

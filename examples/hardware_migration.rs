@@ -1,0 +1,46 @@
+//! Hardware migration: a model trained on the physical Cluster-A tunes the
+//! same workload on the weaker VM Cluster-B — the Fig. 10 scenario.
+//!
+//! ```sh
+//! cargo run --release --example hardware_migration
+//! ```
+
+use deepcat::{online_tune_td3, train_td3, AgentConfig, OfflineConfig, OnlineConfig, TuningEnv};
+use spark_sim::{Cluster, InputSize, Workload, WorkloadKind};
+
+fn main() {
+    let workload = Workload::new(WorkloadKind::WordCount, InputSize::D1);
+    let cluster_a = Cluster::cluster_a();
+    let cluster_b = Cluster::cluster_b();
+    println!(
+        "Cluster-A: {} nodes x {} cores / {} MB",
+        cluster_a.num_nodes(),
+        cluster_a.node().cores,
+        cluster_a.node().memory_mb
+    );
+    println!(
+        "Cluster-B: {} nodes x {} cores / {} MB (VM)",
+        cluster_b.num_nodes(),
+        cluster_b.node().cores,
+        cluster_b.node().memory_mb
+    );
+
+    println!("\noffline: training on Cluster-A...");
+    let mut offline_env = TuningEnv::for_workload(cluster_a, workload, 21);
+    let agent_cfg = AgentConfig::for_dims(offline_env.state_dim(), offline_env.action_dim());
+    let (mut agent, _, _) =
+        train_td3(&mut offline_env, agent_cfg, &OfflineConfig::deepcat(1500, 21), &[]);
+
+    println!("online: tuning {workload} on Cluster-B...");
+    let mut online_env = TuningEnv::for_workload(cluster_b, workload, 2223);
+    let report = online_tune_td3(&mut agent, &mut online_env, &OnlineConfig::deepcat(5), "DeepCAT");
+
+    // Recommendations sized for Cluster-A get clipped to Cluster-B's limits
+    // by the YARN model, as the paper describes.
+    println!(
+        "Cluster-B default: {:.1}s — best found: {:.1}s ({:.2}x speedup)",
+        report.default_exec_time_s,
+        report.best_exec_time_s,
+        report.speedup()
+    );
+}

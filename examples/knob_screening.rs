@@ -1,0 +1,23 @@
+//! Which knobs actually matter? Morris elementary-effects screening of all
+//! 32 knobs on two contrasting workloads — the engine-side counterpart to
+//! OtterTune's Lasso ranking.
+//!
+//! ```sh
+//! cargo run --release --example knob_screening
+//! ```
+
+use spark_sim::{morris_screening, Cluster, InputSize, MorrisConfig, Workload, WorkloadKind};
+
+fn main() {
+    for kind in [WorkloadKind::TeraSort, WorkloadKind::KMeans] {
+        let w = Workload::new(kind, InputSize::D1);
+        let scores = morris_screening(&Cluster::cluster_a(), w, &MorrisConfig::default());
+        println!("\n== {w}: top 12 knobs by Morris mu* (of {}) ==", scores.len());
+        let max = scores[0].mu_star.max(1e-12);
+        for k in scores.iter().take(12) {
+            let bar = "#".repeat((40.0 * k.mu_star / max) as usize);
+            println!("{:48} {:6.3}  {}", k.name, k.mu_star, bar);
+        }
+    }
+    println!("\n(mu* = mean |elementary effect| on ln(exec time); sigma not shown)");
+}

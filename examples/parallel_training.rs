@@ -1,0 +1,71 @@
+//! Parallel offline training: collect experience from several simulated
+//! environments concurrently and compare against the serial trainer at the
+//! same gradient budget.
+//!
+//! Note the honest caveat this example demonstrates: against the
+//! *simulator*, one environment step costs microseconds, so the learner's
+//! gradient steps dominate and parallel collection buys little wall-clock.
+//! The architecture exists for the real deployment the paper targets,
+//! where each "environment step" is a multi-minute Spark run — there the
+//! collection threads are the whole game.
+//!
+//! ```sh
+//! cargo run --release --example parallel_training
+//! ```
+
+use deepcat::{
+    online_tune_td3, train_td3, train_td3_parallel, AgentConfig, OfflineConfig, OnlineConfig,
+    ParallelConfig, TuningEnv,
+};
+use spark_sim::{Cluster, InputSize, Workload, WorkloadKind};
+use std::time::Instant;
+
+fn main() {
+    let w = Workload::new(WorkloadKind::TeraSort, InputSize::D1);
+    let budget = 2000;
+
+    let t0 = Instant::now();
+    let serial_agent = {
+        let mut env = TuningEnv::for_workload(Cluster::cluster_a(), w, 42);
+        let ac = AgentConfig::for_dims(env.state_dim(), env.action_dim());
+        let (agent, _, _) = train_td3(&mut env, ac, &OfflineConfig::deepcat(budget, 42), &[]);
+        agent
+    };
+    let serial_wall = t0.elapsed();
+
+    let t0 = Instant::now();
+    let (parallel_agent, _, stats) = {
+        let make_env =
+            |worker: usize| TuningEnv::for_workload(Cluster::cluster_a(), w, 42 + worker as u64);
+        let env0 = make_env(0);
+        let ac = AgentConfig::for_dims(env0.state_dim(), env0.action_dim());
+        train_td3_parallel(
+            make_env,
+            ac,
+            &OfflineConfig::deepcat(budget, 42),
+            &ParallelConfig { workers: 8, ..Default::default() },
+        )
+    };
+    let parallel_wall = t0.elapsed();
+
+    println!("serial:   {budget} gradient steps in {serial_wall:?}");
+    // With microsecond environment steps the learner dominates, so do not
+    // expect a wall-clock win here — see the module docs.
+    println!(
+        "parallel: {} gradient steps in {parallel_wall:?} ({} transitions from 8 workers, {} weight syncs)",
+        stats.gradient_steps, stats.transitions_collected, stats.weight_syncs
+    );
+
+    // Same online evaluation for both.
+    for (name, agent) in [("serial", serial_agent), ("parallel", parallel_agent)] {
+        let mut a = agent;
+        let mut live =
+            TuningEnv::for_workload(Cluster::cluster_a().with_background_load(0.15), w, 7);
+        let report = online_tune_td3(&mut a, &mut live, &OnlineConfig::deepcat(5), "DeepCAT");
+        println!(
+            "{name:8} model: best {:.1}s ({:.2}x speedup) after 5 online steps",
+            report.best_exec_time_s,
+            report.speedup()
+        );
+    }
+}

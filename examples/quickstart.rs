@@ -1,0 +1,63 @@
+//! Quickstart: tune TeraSort (3.2 GB) on the simulated 3-node cluster with
+//! DeepCAT — offline training on the standard environment, then a 5-step
+//! online tuning session against the live cluster.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use deepcat::{DeepCat, Tuner, TuningEnv};
+use spark_sim::{Cluster, InputSize, Workload, WorkloadKind};
+
+fn main() {
+    let workload = Workload::new(WorkloadKind::TeraSort, InputSize::D1);
+
+    // The "standard environment" used for offline training.
+    println!("measuring the default configuration...");
+    let mut offline_env = TuningEnv::for_workload(Cluster::cluster_a(), workload, 42);
+    println!(
+        "default execution time of {workload}: {:.1}s",
+        offline_env.default_exec_time()
+    );
+
+    // Offline stage: TD3 + RDPER, trained by trial and error.
+    let mut tuner = DeepCat::for_env(&offline_env, 2000, 42);
+    println!("offline training ({} iterations)...", tuner.offline_cfg.iterations);
+    tuner.offline_train(&mut offline_env);
+
+    // Online stage: the live cluster runs alongside other services, so the
+    // optimum has drifted — exactly what online fine-tuning adapts to.
+    let live = Cluster::cluster_a().with_background_load(0.15);
+    let mut online_env = TuningEnv::for_workload(live, workload, 4242);
+    println!("online tuning (5 steps, Twin-Q Optimizer on)...");
+    let report = tuner.online_tune(&mut online_env, 5);
+
+    println!("\nper-step results:");
+    for s in &report.steps {
+        println!(
+            "  step {}: exec {:.1}s  reward {:+.3}  twin-Q rounds {}  {}",
+            s.step + 1,
+            s.exec_time_s,
+            s.reward,
+            s.twinq_iterations,
+            if s.failed { "FAILED" } else { "" }
+        );
+    }
+    println!(
+        "\nbest configuration: {:.1}s ({:.2}x speedup over default)",
+        report.best_exec_time_s,
+        report.speedup()
+    );
+    println!(
+        "total tuning cost: {:.1}s evaluation + {:.3}s recommendation",
+        report.total_eval_s, report.total_rec_s
+    );
+
+    // Decode the winning action into concrete knob values.
+    let space = online_env.spark().space();
+    let cfg = space.denormalize(&report.best_action);
+    println!("\nbest configuration (selected knobs):");
+    for (def, value) in space.defs().iter().zip(&cfg.values).take(8) {
+        println!("  {:45} = {} {}", def.name, value, def.unit);
+    }
+}

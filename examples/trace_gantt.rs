@@ -1,0 +1,63 @@
+//! Render an ASCII Gantt chart of a simulated TeraSort run from the
+//! engine's task traces — a debugging view into what the tuned knobs do to
+//! the schedule (waves, locality, stragglers).
+//!
+//! ```sh
+//! cargo run --release --example trace_gantt
+//! ```
+
+use spark_sim::{
+    idx, simulate_traced, Cluster, InputSize, KnobSpace, KnobValue, Workload, WorkloadKind,
+};
+
+const WIDTH: usize = 100;
+
+fn main() {
+    let space = KnobSpace::pipeline();
+    let mut cfg = space.default_config();
+    cfg.values[idx::EXECUTOR_CORES] = KnobValue::Int(4);
+    cfg.values[idx::EXECUTOR_MEMORY_MB] = KnobValue::Int(4096);
+    cfg.values[idx::EXECUTOR_INSTANCES] = KnobValue::Int(6);
+    cfg.values[idx::DEFAULT_PARALLELISM] = KnobValue::Int(48);
+    cfg.values[idx::NM_MEMORY_MB] = KnobValue::Int(14336);
+    cfg.values[idx::NM_VCORES] = KnobValue::Int(14);
+
+    let w = Workload::new(WorkloadKind::TeraSort, InputSize::D1);
+    let out = simulate_traced(&Cluster::cluster_a(), &cfg, &w.job_spec(), 7);
+    println!("{w}: {:.1}s total", out.duration_s);
+
+    for (stage, stage_time) in &out.stage_times {
+        let traces: Vec<_> =
+            out.task_traces.iter().filter(|t| &t.stage == stage).collect();
+        if traces.is_empty() {
+            continue;
+        }
+        let end = traces
+            .iter()
+            .map(|t| t.start_s + t.duration_s)
+            .fold(0.0f64, f64::max)
+            .max(0.001);
+        let slots = traces.iter().map(|t| t.slot).max().unwrap() + 1;
+        println!("\n== stage {stage} ({stage_time:.1}s, {} tasks, {slots} slots) ==", traces.len());
+        let scale = WIDTH as f64 / end;
+        for slot in 0..slots {
+            let mut row = vec![' '; WIDTH];
+            let node = traces.iter().find(|t| t.slot == slot).map(|t| t.node).unwrap_or(0);
+            for t in traces.iter().filter(|t| t.slot == slot) {
+                let a = ((t.start_s * scale) as usize).min(WIDTH - 1);
+                let b = (((t.start_s + t.duration_s) * scale) as usize).clamp(a + 1, WIDTH);
+                let ch = if t.local { '█' } else { 'R' };
+                for c in row.iter_mut().take(b).skip(a) {
+                    *c = ch;
+                }
+            }
+            println!("n{node} s{slot:02} |{}|", row.iter().collect::<String>());
+        }
+        let locals = traces.iter().filter(|t| t.local).count();
+        println!(
+            "   locality: {}/{} local   span 0..{end:.1}s   (█ local, R remote)",
+            locals,
+            traces.len()
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Bake-off: run every tuner (DeepCAT, CDBTune, OtterTune, BestConfig,
+//! random search) for several online sessions on the same workload,
+//! aggregate with the analysis module, and print a markdown verdict table.
+//!
+//! ```sh
+//! cargo run --release --example tuner_bakeoff
+//! ```
+
+use deepcat::{
+    build_repository, compare, summarize, to_markdown, BestConfig, CdbTune, DeepCat, OtterTune,
+    RandomSearch, Tuner, TuningEnv, TuningReport, Verdict,
+};
+use spark_sim::{Cluster, InputSize, Workload, WorkloadKind};
+
+const SESSIONS: u64 = 4;
+const OFFLINE_ITERS: usize = 1500;
+
+fn run_sessions(tuner: &mut dyn Tuner, w: Workload) -> Vec<TuningReport> {
+    let mut offline = TuningEnv::for_workload(Cluster::cluster_a(), w, 900);
+    tuner.offline_train(&mut offline);
+    (0..SESSIONS)
+        .map(|s| {
+            let live = Cluster::cluster_a().with_background_load(0.15);
+            let mut env = TuningEnv::for_workload(live, w, 1000 + s * 37);
+            tuner.online_tune(&mut env, 5)
+        })
+        .collect()
+}
+
+fn main() {
+    let w = Workload::new(WorkloadKind::TeraSort, InputSize::D1);
+    println!("bake-off on {w}: {SESSIONS} sessions x 5 online steps per tuner\n");
+
+    let probe = TuningEnv::for_workload(Cluster::cluster_a(), w, 900);
+    let mut tuners: Vec<Box<dyn Tuner>> = vec![
+        Box::new(DeepCat::for_env(&probe, OFFLINE_ITERS, 2022)),
+        Box::new(CdbTune::for_env(&probe, OFFLINE_ITERS, 2022)),
+        Box::new(OtterTune::with_repository(
+            build_repository(
+                &Cluster::cluster_a(),
+                &Workload::all_pairs().into_iter().filter(|x| *x != w).collect::<Vec<_>>(),
+                120,
+                3,
+            ),
+            4,
+        )),
+        Box::new(BestConfig::new(5)),
+        Box::new(RandomSearch::new(6)),
+    ];
+
+    let mut summaries = Vec::new();
+    for tuner in &mut tuners {
+        let reports = run_sessions(tuner.as_mut(), w);
+        summaries.push(summarize(&reports));
+    }
+    println!("{}", to_markdown(&summaries));
+
+    let deepcat = summaries.iter().find(|s| s.tuner == "DeepCAT").unwrap();
+    for s in summaries.iter().filter(|s| s.tuner != "DeepCAT") {
+        let verdict = compare(deepcat, s);
+        println!(
+            "DeepCAT vs {:10} on best exec time: {:?}{}",
+            s.tuner,
+            verdict,
+            if verdict == Verdict::Tie { " (CIs overlap)" } else { "" }
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! The three tuners side by side on one workload: all must beat the
+//! default configuration, and the cost-accounting contract must hold for
+//! each (this is the smoke version of Figs. 6–7; the full 12-pair run is
+//! the `fig6_speedup`/`fig7_cost` bench target).
+
+use deepcat::{build_repository, CdbTune, DeepCat, OtterTune, Tuner, TuningEnv};
+use spark_sim::{Cluster, InputSize, Workload, WorkloadKind};
+
+fn target() -> Workload {
+    Workload::new(WorkloadKind::WordCount, InputSize::D1)
+}
+
+fn run_tuner(tuner: &mut dyn Tuner, seed: u64) -> deepcat::TuningReport {
+    let mut offline = TuningEnv::for_workload(Cluster::cluster_a(), target(), seed);
+    tuner.offline_train(&mut offline);
+    let live = Cluster::cluster_a().with_background_load(0.15);
+    let mut online = TuningEnv::for_workload(live, target(), seed ^ 0xFF);
+    tuner.online_tune(&mut online, 5)
+}
+
+#[test]
+fn deepcat_beats_default() {
+    let env = TuningEnv::for_workload(Cluster::cluster_a(), target(), 1);
+    let mut t = DeepCat::for_env(&env, 900, 5);
+    let report = run_tuner(&mut t, 1000);
+    assert_eq!(report.tuner, "DeepCAT");
+    assert!(report.speedup() > 1.5, "{}", report.speedup());
+}
+
+#[test]
+fn cdbtune_beats_default() {
+    let env = TuningEnv::for_workload(Cluster::cluster_a(), target(), 2);
+    let mut t = CdbTune::for_env(&env, 900, 6);
+    let report = run_tuner(&mut t, 2000);
+    assert_eq!(report.tuner, "CDBTune");
+    assert!(report.speedup() > 1.2, "{}", report.speedup());
+}
+
+#[test]
+fn ottertune_beats_default() {
+    let repo_workloads: Vec<Workload> = Workload::all_pairs()
+        .into_iter()
+        .filter(|w| *w != target() && w.input == InputSize::D1)
+        .collect();
+    let repo = build_repository(&Cluster::cluster_a(), &repo_workloads, 80, 7);
+    let mut t = OtterTune::with_repository(repo, 8);
+    t.ei_candidates = 500;
+    let report = run_tuner(&mut t, 3000);
+    assert_eq!(report.tuner, "OtterTune");
+    assert!(report.speedup() > 1.2, "{}", report.speedup());
+}
+
+#[test]
+fn recommendation_time_shape_matches_paper() {
+    // DRL recommendation is near-free; OtterTune pays for GP training at
+    // every step (paper §5.2.2: 0.69s / 0.25s vs 43.25s).
+    let env = TuningEnv::for_workload(Cluster::cluster_a(), target(), 3);
+    let mut d = DeepCat::for_env(&env, 600, 9);
+    let drl = run_tuner(&mut d, 4000);
+
+    let repo_workloads: Vec<Workload> = Workload::all_pairs()
+        .into_iter()
+        .filter(|w| *w != target() && w.input == InputSize::D1)
+        .collect();
+    let repo = build_repository(&Cluster::cluster_a(), &repo_workloads, 80, 10);
+    let mut o = OtterTune::with_repository(repo, 11);
+    let ml = run_tuner(&mut o, 5000);
+
+    assert!(
+        ml.total_rec_s > drl.total_rec_s * 10.0,
+        "OtterTune recommendation ({:.4}s) must dwarf DRL's ({:.4}s)",
+        ml.total_rec_s,
+        drl.total_rec_s
+    );
+}

@@ -1,0 +1,49 @@
+//! Reproducibility: identical seeds must give bit-identical results across
+//! the whole stack (simulator, training, online tuning).
+
+use deepcat::{train_td3, AgentConfig, OfflineConfig, TuningEnv};
+use spark_sim::{Cluster, InputSize, SparkEnv, Workload, WorkloadKind};
+
+#[test]
+fn simulator_is_deterministic() {
+    let w = Workload::new(WorkloadKind::TeraSort, InputSize::D2);
+    let mut a = SparkEnv::new(Cluster::cluster_a(), w, 77);
+    let mut b = SparkEnv::new(Cluster::cluster_a(), w, 77);
+    let action = vec![0.6; 32];
+    for _ in 0..5 {
+        let ra = a.evaluate_action(&action);
+        let rb = b.evaluate_action(&action);
+        assert_eq!(ra.exec_time_s, rb.exec_time_s);
+        assert_eq!(ra.metrics, rb.metrics);
+    }
+}
+
+#[test]
+fn training_is_deterministic() {
+    let w = Workload::new(WorkloadKind::WordCount, InputSize::D1);
+    let run = || {
+        let mut env = TuningEnv::for_workload(Cluster::cluster_a(), w, 88);
+        let mut ac = AgentConfig::for_dims(env.state_dim(), env.action_dim());
+        ac.hidden = vec![16, 16];
+        ac.warmup_steps = 32;
+        ac.batch_size = 16;
+        let (agent, log, _) = train_td3(&mut env, ac, &OfflineConfig::deepcat(200, 5), &[]);
+        (agent.select_action(&env.reset()), log.records.last().unwrap().reward)
+    };
+    let (a1, r1) = run();
+    let (a2, r2) = run();
+    assert_eq!(a1, a2, "policies must be bit-identical");
+    assert_eq!(r1, r2);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let w = Workload::new(WorkloadKind::TeraSort, InputSize::D1);
+    let mut a = SparkEnv::new(Cluster::cluster_a(), w, 1);
+    let mut b = SparkEnv::new(Cluster::cluster_a(), w, 2);
+    let action = vec![0.6; 32];
+    assert_ne!(
+        a.evaluate_action(&action).exec_time_s,
+        b.evaluate_action(&action).exec_time_s
+    );
+}

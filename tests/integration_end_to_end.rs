@@ -1,0 +1,68 @@
+//! End-to-end integration: the full DeepCAT pipeline (spark-sim substrate →
+//! rl replay → tensor-nn agents → online tuning) against the simulated
+//! cluster.
+
+use deepcat::{DeepCat, Tuner, TuningEnv};
+use spark_sim::{Cluster, InputSize, Workload, WorkloadKind};
+
+fn quick_deepcat(env: &TuningEnv, iters: usize, seed: u64) -> DeepCat {
+    let mut t = DeepCat::for_env(env, iters, seed);
+    t.agent_cfg.hidden = vec![32, 32];
+    t.agent_cfg.warmup_steps = 96;
+    t
+}
+
+#[test]
+fn deepcat_end_to_end_beats_default_substantially() {
+    let w = Workload::new(WorkloadKind::TeraSort, InputSize::D1);
+    let mut offline = TuningEnv::for_workload(Cluster::cluster_a(), w, 900);
+    let mut tuner = quick_deepcat(&offline, 900, 1);
+    tuner.offline_train(&mut offline);
+    let live = Cluster::cluster_a().with_background_load(0.15);
+    let mut online = TuningEnv::for_workload(live, w, 901);
+    let report = tuner.online_tune(&mut online, 5);
+    assert!(
+        report.speedup() > 2.0,
+        "end-to-end speedup should be substantial, got {:.2}",
+        report.speedup()
+    );
+}
+
+#[test]
+fn report_invariants_hold() {
+    let w = Workload::new(WorkloadKind::WordCount, InputSize::D1);
+    let mut offline = TuningEnv::for_workload(Cluster::cluster_a(), w, 902);
+    let mut tuner = quick_deepcat(&offline, 700, 2);
+    tuner.offline_train(&mut offline);
+    let mut online = TuningEnv::for_workload(Cluster::cluster_a(), w, 903);
+    let report = tuner.online_tune(&mut online, 5);
+
+    assert_eq!(report.steps.len(), 5);
+    // Totals match per-step sums.
+    let eval: f64 = report.steps.iter().map(|s| s.exec_time_s).sum();
+    let rec: f64 = report.steps.iter().map(|s| s.recommendation_s).sum();
+    assert!((report.total_eval_s - eval).abs() < 1e-9);
+    assert!((report.total_rec_s - rec).abs() < 1e-9);
+    // Best matches the minimum step.
+    let min = report.steps.iter().map(|s| s.exec_time_s).fold(f64::INFINITY, f64::min);
+    assert_eq!(report.best_exec_time_s, min);
+    // Monotone step-series helpers.
+    assert!(report.best_so_far().windows(2).all(|w| w[1] <= w[0]));
+    assert!(report.accumulated_cost().windows(2).all(|w| w[1] > w[0]));
+    // The best action decodes to a valid configuration.
+    let cfg = online.spark().space().denormalize(&report.best_action);
+    assert_eq!(cfg.values.len(), 32);
+}
+
+#[test]
+fn online_env_evaluations_are_counted() {
+    let w = Workload::new(WorkloadKind::PageRank, InputSize::D1);
+    let mut offline = TuningEnv::for_workload(Cluster::cluster_a(), w, 904);
+    let mut tuner = quick_deepcat(&offline, 600, 3);
+    tuner.offline_train(&mut offline);
+    assert!(offline.eval_count() >= 600, "offline training evaluates each step");
+    let mut online = TuningEnv::for_workload(Cluster::cluster_a(), w, 905);
+    let before = online.eval_count();
+    tuner.online_tune(&mut online, 5);
+    assert_eq!(online.eval_count() - before, 5, "exactly one evaluation per online step");
+}

@@ -1,0 +1,34 @@
+//! The experiment drivers themselves: tables regenerate exactly, the Fig. 2
+//! distribution has the paper's shape, and the parallel runner is sound.
+
+use deepcat::experiments::{self, ExperimentConfig};
+
+#[test]
+fn tables_match_the_paper_exactly() {
+    let t1 = experiments::table1();
+    assert_eq!(t1.len(), 4);
+    let ts = t1.iter().find(|r| r.workload == "TeraSort").unwrap();
+    assert_eq!(ts.inputs, vec!["3.2 GB", "6 GB", "10 GB"]);
+    let km = t1.iter().find(|r| r.workload == "KMeans").unwrap();
+    assert_eq!(km.inputs, vec!["20 M points", "30 M points", "40 M points"]);
+
+    let t2 = experiments::table2();
+    let total: usize = t2.iter().map(|r| r.parameters).sum();
+    assert_eq!(total, 32);
+}
+
+#[test]
+fn fig2_has_paper_shape() {
+    let r = experiments::fig2(&ExperimentConfig::quick());
+    // "it is easy to find a better-than-default configuration" …
+    assert!(r.frac_better_than_default > 0.5);
+    // … "the close-to-optimal configurations are far fewer".
+    assert!(r.frac_within_10pct_of_best < 0.1);
+    assert!(r.best_exec_s < r.default_exec_s);
+}
+
+#[test]
+fn par_map_runs_closures_in_parallel_and_in_order() {
+    let results = experiments::par_map((0..64).collect::<Vec<u64>>(), |i| i * i);
+    assert_eq!(results, (0..64).map(|i| i * i).collect::<Vec<_>>());
+}

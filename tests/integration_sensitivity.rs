@@ -1,0 +1,41 @@
+//! Cross-method validation: the engine-side Morris screening and the
+//! data-side Lasso ranking (OtterTune's knob selector) must broadly agree
+//! on which knobs dominate — two independent views of the same response
+//! surface.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spark_sim::{morris_screening, Cluster, InputSize, MorrisConfig, SparkEnv, Workload, WorkloadKind};
+use surrogate::rank_knobs;
+
+#[test]
+fn morris_and_lasso_agree_on_influential_knobs() {
+    let w = Workload::new(WorkloadKind::TeraSort, InputSize::D1);
+
+    // Morris: model-free elementary effects on the simulator.
+    let morris = morris_screening(
+        &Cluster::cluster_a(),
+        w,
+        &MorrisConfig { trajectories: 10, delta: 0.25, seed: 3 },
+    );
+    let morris_top: Vec<usize> = morris.iter().take(10).map(|k| k.knob).collect();
+
+    // Lasso: regression over observed (config, log exec time) samples.
+    let mut env = SparkEnv::new(Cluster::cluster_a(), w, 17);
+    let mut rng = StdRng::seed_from_u64(18);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for _ in 0..400 {
+        let a = env.space().random_action(&mut rng);
+        let t = env.evaluate_action(&a).exec_time_s;
+        xs.push(a);
+        ys.push(t.ln());
+    }
+    let lasso_top: Vec<usize> = rank_knobs(&xs, &ys, 8).into_iter().take(10).collect();
+
+    let overlap = morris_top.iter().filter(|k| lasso_top.contains(k)).count();
+    assert!(
+        overlap >= 3,
+        "top-10 overlap {overlap} too small\nmorris: {morris_top:?}\nlasso:  {lasso_top:?}"
+    );
+}

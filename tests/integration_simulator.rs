@@ -1,0 +1,87 @@
+//! Cross-crate simulator behaviour: the mechanical effects every tuner
+//! exploits must be visible through the public environment API.
+
+use spark_sim::{idx, Cluster, InputSize, KnobValue, SparkEnv, Workload, WorkloadKind};
+
+fn tuned_action(env: &SparkEnv) -> Vec<f64> {
+    let space = env.space();
+    let mut cfg = space.default_config();
+    cfg.values[idx::EXECUTOR_CORES] = KnobValue::Int(4);
+    cfg.values[idx::EXECUTOR_MEMORY_MB] = KnobValue::Int(4096);
+    cfg.values[idx::EXECUTOR_INSTANCES] = KnobValue::Int(9);
+    cfg.values[idx::DEFAULT_PARALLELISM] = KnobValue::Int(96);
+    cfg.values[idx::SERIALIZER] = KnobValue::Cat(1);
+    cfg.values[idx::NM_MEMORY_MB] = KnobValue::Int(14336);
+    cfg.values[idx::NM_VCORES] = KnobValue::Int(14);
+    space.normalize(&cfg)
+}
+
+#[test]
+fn resource_knobs_dominate_performance() {
+    for kind in WorkloadKind::all() {
+        let w = Workload::new(kind, InputSize::D1);
+        let mut env = SparkEnv::new(Cluster::cluster_a(), w, 10);
+        let action = tuned_action(&env);
+        let tuned = env.evaluate_action(&action);
+        assert!(!tuned.failed, "{kind}: tuned config must not fail");
+        assert!(
+            tuned.exec_time_s * 1.8 < env.default_exec_time(),
+            "{kind}: tuned {:.1}s vs default {:.1}s",
+            tuned.exec_time_s,
+            env.default_exec_time()
+        );
+    }
+}
+
+#[test]
+fn cluster_b_is_slower_for_the_same_config() {
+    let w = Workload::new(WorkloadKind::TeraSort, InputSize::D1);
+    let mut a = SparkEnv::new(Cluster::cluster_a(), w, 20);
+    let mut b = SparkEnv::new(Cluster::cluster_b(), w, 20);
+    let action = tuned_action(&a);
+    let ta = a.evaluate_action(&action).exec_time_s;
+    let tb = b.evaluate_action(&action).exec_time_s;
+    assert!(tb > ta, "VM cluster must be slower: {tb:.1} vs {ta:.1}");
+}
+
+#[test]
+fn background_load_slows_the_cluster() {
+    let w = Workload::new(WorkloadKind::WordCount, InputSize::D1);
+    let idle = SparkEnv::new(Cluster::cluster_a(), w, 30).default_exec_time();
+    let busy = SparkEnv::new(Cluster::cluster_a().with_background_load(0.3), w, 30)
+        .default_exec_time();
+    assert!(busy > idle, "busy {busy:.1} vs idle {idle:.1}");
+}
+
+#[test]
+fn state_vector_reflects_activity() {
+    let w = Workload::new(WorkloadKind::TeraSort, InputSize::D2);
+    let mut env = SparkEnv::new(Cluster::cluster_a(), w, 40);
+    let idle_state = env.idle_state();
+    let r = env.evaluate_action(&tuned_action(&env));
+    let busy_state = env.observe(&r);
+    let idle_sum: f64 = idle_state.iter().sum();
+    let busy_sum: f64 = busy_state.iter().sum();
+    assert!(busy_sum > idle_sum, "load averages rise during a tuned run");
+}
+
+#[test]
+fn metrics_feed_ottertune_mapping() {
+    // Metric vectors of different workload kinds must be distinguishable —
+    // this is what OtterTune's workload mapping relies on.
+    let mut wc = SparkEnv::new(
+        Cluster::cluster_a(),
+        Workload::new(WorkloadKind::WordCount, InputSize::D1),
+        50,
+    );
+    let mut km = SparkEnv::new(
+        Cluster::cluster_a(),
+        Workload::new(WorkloadKind::KMeans, InputSize::D1),
+        50,
+    );
+    let a = tuned_action(&wc);
+    let mwc = wc.evaluate_action(&a).metrics.metric_vector();
+    let mkm = km.evaluate_action(&a).metrics.metric_vector();
+    let dist: f64 = mwc.iter().zip(&mkm).map(|(x, y)| (x - y) * (x - y)).sum();
+    assert!(dist > 0.1, "workload metric signatures must differ, d² = {dist}");
+}
