@@ -6,9 +6,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use spark_sim::{Cluster, InputSize, SparkEnv, Workload, WorkloadKind};
-use surrogate::{
-    maximize_ei, minimize_lcb, ArdGp, GaussianProcess, KernelKind, Lasso, RbfKernel,
-};
+use surrogate::{maximize_ei, minimize_lcb, ArdGp, GaussianProcess, KernelKind, Lasso, RbfKernel};
 
 const WARMUP: usize = 10;
 const BO_STEPS: usize = 20;
@@ -84,7 +82,9 @@ fn variance(v: &[f64]) -> f64 {
 }
 
 fn main() {
-    println!("\n=== Ablation: surrogate kernel x acquisition (TS-D1, {WARMUP}+{BO_STEPS} evals) ===");
+    println!(
+        "\n=== Ablation: surrogate kernel x acquisition (TS-D1, {WARMUP}+{BO_STEPS} evals) ==="
+    );
     let mut rows = Vec::new();
     let mut results = Vec::new();
     for variant in ["rbf-ei", "rbf-lcb", "matern-ei", "ard-ei"] {

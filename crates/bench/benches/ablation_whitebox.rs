@@ -29,11 +29,8 @@ fn main() {
             let (mut best, mut cost) = (0.0, 0.0);
             for session in 0..SWEEP_SEEDS {
                 let mut a = agent.clone();
-                let mut oenv = TuningEnv::for_workload(
-                    live.clone(),
-                    w,
-                    cfg.seed ^ 0xF00D ^ (session << 16),
-                );
+                let mut oenv =
+                    TuningEnv::for_workload(live.clone(), w, cfg.seed ^ 0xF00D ^ (session << 16));
                 let oc = OnlineConfig {
                     steps: cfg.online_steps,
                     use_twinq: variant != "no-optimizer",
@@ -48,7 +45,11 @@ fn main() {
                 best += r.best_exec_time_s / n;
                 cost += r.total_cost_s() / n;
             }
-            rows.push(vec![variant.to_string(), bench::secs(best), bench::secs(cost)]);
+            rows.push(vec![
+                variant.to_string(),
+                bench::secs(best),
+                bench::secs(cost),
+            ]);
             results.push((w.to_string(), variant.to_string(), best, cost));
         }
         println!("\n=== Ablation: white-box bottleneck focus ({w}) ===");

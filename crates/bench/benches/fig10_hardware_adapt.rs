@@ -6,7 +6,12 @@ fn main() {
     let rows = deepcat::experiments::fig10(&cfg);
     println!("\n=== Figure 10: hardware adaptability (Cluster-A -> Cluster-B) ===");
     bench::print_table(
-        &["Workload", "Tuner", "Speedup over default", "Total cost (s)"],
+        &[
+            "Workload",
+            "Tuner",
+            "Speedup over default",
+            "Total cost (s)",
+        ],
         &rows
             .iter()
             .map(|r| {

@@ -8,7 +8,13 @@ fn main() {
         &["beta", "Best exec (s)", "Total tuning cost (s)"],
         &rows
             .iter()
-            .map(|r| vec![format!("{:.1}", r.beta), bench::secs(r.best_s), bench::secs(r.total_cost_s)])
+            .map(|r| {
+                vec![
+                    format!("{:.1}", r.beta),
+                    bench::secs(r.best_s),
+                    bench::secs(r.total_cost_s),
+                ]
+            })
             .collect::<Vec<_>>(),
     );
     bench::save_json("fig11", &rows);

@@ -5,7 +5,10 @@ fn main() {
     let cfg = bench::profile();
     let result = deepcat::experiments::fig2(&cfg);
     println!("\n=== Figure 2: CDF of 200 random configurations (TS-D1) ===");
-    println!("default exec = {:.1}s, found-optimal = {:.1}s", result.default_exec_s, result.best_exec_s);
+    println!(
+        "default exec = {:.1}s, found-optimal = {:.1}s",
+        result.default_exec_s, result.best_exec_s
+    );
     println!(
         "better than default: {:.1}%   within 10% of optimal: {:.1}%",
         100.0 * result.frac_better_than_default,

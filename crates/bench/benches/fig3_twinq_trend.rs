@@ -16,14 +16,23 @@ fn main() {
             ]
         })
         .collect();
-    bench::print_table(&["iteration", "reward (smoothed)", "min twin-Q (smoothed)"], &table);
+    bench::print_table(
+        &["iteration", "reward (smoothed)", "min twin-Q (smoothed)"],
+        &table,
+    );
     // Correlation between the two series — the figure's point.
     let n = rows.len() as f64;
     let mr = rows.iter().map(|r| r.reward_smoothed).sum::<f64>() / n;
     let mq = rows.iter().map(|r| r.min_q_smoothed).sum::<f64>() / n;
-    let cov: f64 = rows.iter().map(|r| (r.reward_smoothed - mr) * (r.min_q_smoothed - mq)).sum();
+    let cov: f64 = rows
+        .iter()
+        .map(|r| (r.reward_smoothed - mr) * (r.min_q_smoothed - mq))
+        .sum();
     let vr: f64 = rows.iter().map(|r| (r.reward_smoothed - mr).powi(2)).sum();
     let vq: f64 = rows.iter().map(|r| (r.min_q_smoothed - mq).powi(2)).sum();
-    println!("Pearson correlation(reward, minQ) = {:.3}", cov / (vr * vq).sqrt());
+    println!(
+        "Pearson correlation(reward, minQ) = {:.3}",
+        cov / (vr * vq).sqrt()
+    );
     bench::save_json("fig3", &rows);
 }

@@ -7,7 +7,13 @@ fn main() {
     let rows = deepcat::experiments::comparison(&cfg);
     println!("\n=== Figure 7: total online tuning cost ===");
     bench::print_table(
-        &["Workload", "Tuner", "Eval (s)", "Recommend (s)", "Total (s)"],
+        &[
+            "Workload",
+            "Tuner",
+            "Eval (s)",
+            "Recommend (s)",
+            "Total (s)",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -24,7 +30,9 @@ fn main() {
     let total = |t: &str| -> (f64, f64) {
         rows.iter()
             .filter(|r| r.tuner == t)
-            .fold((0.0, 0.0), |(e, c), r| (e + r.total_eval_s + r.total_rec_s, c + r.total_rec_s))
+            .fold((0.0, 0.0), |(e, c), r| {
+                (e + r.total_eval_s + r.total_rec_s, c + r.total_rec_s)
+            })
     };
     let (d, dr) = total("DeepCAT");
     let (c, cr) = total("CDBTune");

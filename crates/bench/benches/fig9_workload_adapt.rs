@@ -9,7 +9,13 @@ fn main() {
         &["Model", "Best exec (s)", "Total tuning cost (s)"],
         &rows
             .iter()
-            .map(|r| vec![r.model.clone(), bench::secs(r.best_s), bench::secs(r.total_cost_s)])
+            .map(|r| {
+                vec![
+                    r.model.clone(),
+                    bench::secs(r.best_s),
+                    bench::secs(r.total_cost_s),
+                ]
+            })
             .collect::<Vec<_>>(),
     );
     bench::save_json("fig9", &rows);

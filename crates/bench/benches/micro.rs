@@ -93,20 +93,28 @@ fn bench_gp(c: &mut Criterion) {
     group.sample_size(20);
     let mut rng = StdRng::seed_from_u64(6);
     use rand::Rng;
-    let x: Vec<Vec<f64>> = (0..250).map(|_| (0..32).map(|_| rng.gen()).collect()).collect();
+    let x: Vec<Vec<f64>> = (0..250)
+        .map(|_| (0..32).map(|_| rng.gen()).collect())
+        .collect();
     let y: Vec<f64> = x.iter().map(|r| r.iter().sum::<f64>()).collect();
     group.bench_function("fit-250x32", |b| {
         b.iter(|| {
-            std::hint::black_box(
-                GaussianProcess::fit(x.clone(), &y, RbfKernel::default()).unwrap(),
-            )
+            std::hint::black_box(GaussianProcess::fit(x.clone(), &y, RbfKernel::default()).unwrap())
         })
     });
     let gp = GaussianProcess::fit(x.clone(), &y, RbfKernel::default()).unwrap();
     let q = vec![0.5; 32];
-    group.bench_function("predict", |b| b.iter(|| std::hint::black_box(gp.predict(&q))));
+    group.bench_function("predict", |b| {
+        b.iter(|| std::hint::black_box(gp.predict(&q)))
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_simulator, bench_replay, bench_agent, bench_gp);
+criterion_group!(
+    benches,
+    bench_simulator,
+    bench_replay,
+    bench_agent,
+    bench_gp
+);
 criterion_main!(benches);

@@ -69,8 +69,10 @@ pub fn summarize(reports: &[TuningReport]) -> SessionSummary {
     let cost: Vec<f64> = reports.iter().map(|r| r.total_cost_s()).collect();
     let rec: Vec<f64> = reports.iter().map(|r| r.total_rec_s).collect();
     let steps: usize = reports.iter().map(|r| r.steps.len()).sum();
-    let failures: usize =
-        reports.iter().map(|r| r.steps.iter().filter(|s| s.failed).count()).sum();
+    let failures: usize = reports
+        .iter()
+        .map(|r| r.steps.iter().filter(|s| s.failed).count())
+        .sum();
     SessionSummary {
         tuner,
         workload,
@@ -154,7 +156,13 @@ mod tests {
         TuningReport {
             tuner: tuner.into(),
             workload: "TS-D1".into(),
-            steps: vec![StepRecord { exec_time_s: cost - best, ..step.clone() }, step],
+            steps: vec![
+                StepRecord {
+                    exec_time_s: cost - best,
+                    ..step.clone()
+                },
+                step,
+            ],
             best_exec_time_s: best,
             best_action: vec![0.5],
             total_eval_s: cost,

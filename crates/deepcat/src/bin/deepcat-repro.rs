@@ -6,23 +6,33 @@
 //! deepcat-repro table1
 //! deepcat-repro fig6 --iters 1500 --seed 2022
 //! deepcat-repro all --quick
+//! deepcat-repro fig5 --log fig5.jsonl   # JSONL event log of the run
 //! ```
+//!
+//! Results are emitted as telemetry events and rendered by the console
+//! sink as `[family] key=value` lines — parseable, one result per line.
 
 use deepcat::experiments::{self, ExperimentConfig};
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
+use telemetry::{ConsoleSink, JsonlSink, MultiSink, Sink};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: deepcat-repro <table1|table2|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|all> \
-         [--quick] [--iters N] [--seed N]"
+         [--quick] [--iters N] [--seed N] [--log PATH]"
     );
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1);
-    let Some(which) = argv.next() else { return usage() };
+    let Some(which) = argv.next() else {
+        return usage();
+    };
     let mut cfg = ExperimentConfig::default();
+    let mut log: Option<PathBuf> = None;
     while let Some(flag) = argv.next() {
         match flag.as_str() {
             "--quick" => cfg = ExperimentConfig::quick(),
@@ -38,117 +48,178 @@ fn main() -> ExitCode {
                 };
                 cfg.seed = v;
             }
+            "--log" => {
+                let Some(v) = argv.next() else { return usage() };
+                log = Some(PathBuf::from(v));
+            }
             _ => return usage(),
         }
     }
+    // Results print via the console sink; the optional JSONL log captures
+    // the full event stream (including `sim.*` and `online.*`).
+    let console =
+        ConsoleSink::all().with_prefixes(vec!["repro.", "table", "fig", "online.", "budget."]);
+    let sink: Arc<dyn Sink> = match &log {
+        Some(path) => match JsonlSink::create(path) {
+            Ok(jsonl) => Arc::new(MultiSink::new(vec![Box::new(console), Box::new(jsonl)])),
+            Err(e) => {
+                eprintln!("error: cannot create {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Arc::new(console),
+    };
+    telemetry::install(sink);
+
     let all = which == "all";
     let want = |name: &str| all || which == name;
     let mut matched = false;
 
     if want("table1") {
         matched = true;
-        println!("== Table 1: workload characteristics ==");
+        telemetry::event!("repro.section", name = "table1: workload characteristics");
         for r in experiments::table1() {
-            println!("{:10} {:10} {:?}", r.workload, r.category, r.inputs);
+            telemetry::event!(
+                "table1.row",
+                workload = r.workload.to_string(),
+                category = r.category.to_string(),
+                inputs = format!("{:?}", r.inputs),
+            );
         }
     }
     if want("table2") {
         matched = true;
-        println!("== Table 2: tuned parameters ==");
+        telemetry::event!("repro.section", name = "table2: tuned parameters");
         for r in experiments::table2() {
-            println!("{:6} {}", r.component, r.parameters);
+            telemetry::event!(
+                "table2.row",
+                component = r.component.to_string(),
+                parameters = r.parameters.clone(),
+            );
         }
     }
     if want("fig2") {
         matched = true;
         let r = experiments::fig2(&cfg);
-        println!("== Fig 2: CDF of 200 random configs (TS-D1) ==");
-        println!(
-            "default {:.1}s, optimal {:.1}s, better-than-default {:.0}%, within-10%-of-best {:.1}%",
-            r.default_exec_s,
-            r.best_exec_s,
-            100.0 * r.frac_better_than_default,
-            100.0 * r.frac_within_10pct_of_best
+        telemetry::event!(
+            "repro.section",
+            name = "fig2: CDF of 200 random configs (TS-D1)"
+        );
+        telemetry::event!(
+            "fig2.summary",
+            default_s = r.default_exec_s,
+            best_s = r.best_exec_s,
+            better_than_default_pct = 100.0 * r.frac_better_than_default,
+            within_10pct_of_best_pct = 100.0 * r.frac_within_10pct_of_best,
         );
     }
     if want("fig3") {
         matched = true;
-        println!("== Fig 3: min twin-Q vs reward ==");
+        telemetry::event!("repro.section", name = "fig3: min twin-Q vs reward");
         for r in experiments::fig3(&cfg).iter().step_by(8) {
-            println!("iter {:5}  reward {:+.3}  minQ {:+.3}", r.iteration, r.reward_smoothed, r.min_q_smoothed);
+            telemetry::event!(
+                "fig3.row",
+                iter = r.iteration,
+                reward = r.reward_smoothed,
+                min_q = r.min_q_smoothed,
+            );
         }
     }
     if want("fig4") {
         matched = true;
-        println!("== Fig 4: TD3 vs TD3+RDPER ==");
+        telemetry::event!("repro.section", name = "fig4: TD3 vs TD3+RDPER");
         let ck: Vec<usize> = (1..=6).map(|i| i * cfg.offline_iterations / 3).collect();
         for r in experiments::fig4(&cfg, &ck) {
-            println!("iters {:5}  td3 {:6.1}s  rdper {:6.1}s", r.iterations, r.td3_best_s, r.td3_rdper_best_s);
+            telemetry::event!(
+                "fig4.row",
+                iters = r.iterations,
+                td3_best_s = r.td3_best_s,
+                rdper_best_s = r.td3_rdper_best_s,
+            );
         }
     }
     if want("fig5") {
         matched = true;
         let r = experiments::fig5(&cfg);
-        println!("== Fig 5: Twin-Q ablation ==");
-        println!(
-            "with {:.1}s (best {:.1}) vs without {:.1}s (best {:.1}) — {:.1}% saved",
-            r.with_total_s,
-            r.with_best_s,
-            r.without_total_s,
-            r.without_best_s,
-            100.0 * (r.without_total_s - r.with_total_s) / r.without_total_s
+        telemetry::event!("repro.section", name = "fig5: Twin-Q ablation");
+        telemetry::event!(
+            "fig5.summary",
+            with_total_s = r.with_total_s,
+            with_best_s = r.with_best_s,
+            without_total_s = r.without_total_s,
+            without_best_s = r.without_best_s,
+            saved_pct = 100.0 * (r.without_total_s - r.with_total_s) / r.without_total_s,
         );
     }
     if want("fig6") || want("fig7") || want("fig8") {
         matched = true;
-        println!("== Figs 6-8: 12-pair comparison ==");
+        telemetry::event!("repro.section", name = "figs 6-8: 12-pair comparison");
         let rows = experiments::comparison(&cfg);
         for r in &rows {
-            println!(
-                "{:6} {:10} best {:7.1}s  speedup {:5.2}x  cost {:8.1}s (rec {:.3}s)",
-                r.workload,
-                r.tuner,
-                r.best_s,
-                r.speedup,
-                r.total_eval_s + r.total_rec_s,
-                r.total_rec_s
+            telemetry::event!(
+                "fig6.row",
+                workload = r.workload.clone(),
+                tuner = r.tuner.clone(),
+                best_s = r.best_s,
+                speedup = r.speedup,
+                cost_s = r.total_eval_s + r.total_rec_s,
+                rec_s = r.total_rec_s,
             );
         }
         for (t, s) in experiments::mean_speedups(&rows) {
-            println!("mean {t}: {s:.2}x");
+            telemetry::event!("fig6.mean", tuner = t, speedup = s);
         }
     }
     if want("fig9") {
         matched = true;
-        println!("== Fig 9: workload adaptability ==");
+        telemetry::event!("repro.section", name = "fig9: workload adaptability");
         for r in experiments::fig9(&cfg) {
-            println!("{:12} best {:6.1}s  cost {:7.1}s", r.model, r.best_s, r.total_cost_s);
+            telemetry::event!(
+                "fig9.row",
+                model = r.model.clone(),
+                best_s = r.best_s,
+                cost_s = r.total_cost_s,
+            );
         }
     }
     if want("fig10") {
         matched = true;
-        println!("== Fig 10: hardware adaptability ==");
+        telemetry::event!("repro.section", name = "fig10: hardware adaptability");
         for r in experiments::fig10(&cfg) {
-            println!(
-                "{:6} {:10} speedup {:5.2}x  cost {:7.1}s",
-                r.workload, r.tuner, r.speedup_over_default_b, r.total_cost_s
+            telemetry::event!(
+                "fig10.row",
+                workload = r.workload.clone(),
+                tuner = r.tuner.clone(),
+                speedup = r.speedup_over_default_b,
+                cost_s = r.total_cost_s,
             );
         }
     }
     if want("fig11") {
         matched = true;
-        println!("== Fig 11: beta sweep ==");
+        telemetry::event!("repro.section", name = "fig11: beta sweep");
         for r in experiments::fig11(&cfg) {
-            println!("beta {:.1}  best {:6.1}s  cost {:7.1}s", r.beta, r.best_s, r.total_cost_s);
+            telemetry::event!(
+                "fig11.row",
+                beta = r.beta,
+                best_s = r.best_s,
+                cost_s = r.total_cost_s,
+            );
         }
     }
     if want("fig12") {
         matched = true;
-        println!("== Fig 12: Q_th sweep ==");
+        telemetry::event!("repro.section", name = "fig12: Q_th sweep");
         for r in experiments::fig12(&cfg) {
-            println!("qth {:.1}  best {:6.1}s  cost {:7.1}s", r.q_th, r.best_s, r.total_cost_s);
+            telemetry::event!(
+                "fig12.row",
+                qth = r.q_th,
+                best_s = r.best_s,
+                cost_s = r.total_cost_s,
+            );
         }
     }
+    telemetry::shutdown();
     if matched {
         ExitCode::SUCCESS
     } else {

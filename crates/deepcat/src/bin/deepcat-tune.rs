@@ -6,7 +6,14 @@
 //! deepcat-tune tune   --workload TS --input D1 --model m.json --steps 5
 //! deepcat-tune run    --workload TS --input D1            # default config
 //! deepcat-tune compare --workload TS --input D1           # 3 tuners
+//! deepcat-tune tune   ... --log run.jsonl                 # JSONL event log
+//! deepcat-tune report --log run.jsonl                     # summarize a log
 //! ```
+//!
+//! Progress output goes through the telemetry [`ConsoleSink`] — one
+//! `[family] key=value` line per event, a stable format scripts can parse.
+//! With `--log PATH` the same events are also appended to a JSONL file,
+//! which `deepcat-tune report` reads back.
 
 use deepcat::experiments::{compare_on, ExperimentConfig};
 use deepcat::{
@@ -16,6 +23,8 @@ use deepcat::{
 use spark_sim::{Cluster, InputSize, Workload, WorkloadKind};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
+use telemetry::{ConsoleSink, JsonlSink, MultiSink, Sink};
 
 struct Args {
     command: String,
@@ -26,13 +35,15 @@ struct Args {
     seed: u64,
     model: Option<PathBuf>,
     background_load: f64,
+    log: Option<PathBuf>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: deepcat-tune <train|tune|run|compare> \
+        "usage: deepcat-tune <train|tune|run|compare|report> \
          [--workload WC|TS|PR|KM|SO|AG] [--input D1|D2|D3] \
-         [--iters N] [--steps N] [--seed N] [--model PATH] [--bg FLOAT]"
+         [--iters N] [--steps N] [--seed N] [--model PATH] [--bg FLOAT] \
+         [--log PATH]"
     );
     ExitCode::from(2)
 }
@@ -49,6 +60,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 2022,
         model: None,
         background_load: 0.15,
+        log: None,
     };
     while let Some(flag) = argv.next() {
         let mut value = || argv.next().ok_or(format!("{flag} needs a value"));
@@ -76,13 +88,116 @@ fn parse_args() -> Result<Args, String> {
             "--steps" => args.steps = value()?.parse().map_err(|e| format!("--steps: {e}"))?,
             "--seed" => args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--model" => args.model = Some(PathBuf::from(value()?)),
-            "--bg" => {
-                args.background_load = value()?.parse().map_err(|e| format!("--bg: {e}"))?
-            }
+            "--bg" => args.background_load = value()?.parse().map_err(|e| format!("--bg: {e}"))?,
+            "--log" => args.log = Some(PathBuf::from(value()?)),
             other => return Err(format!("unknown flag {other}")),
         }
     }
     Ok(args)
+}
+
+/// Console output for the interactive families only; the full event stream
+/// (including per-simulation `sim.*` events) still reaches the JSONL log.
+fn install_sinks(log: Option<&PathBuf>) -> Result<(), String> {
+    let console = ConsoleSink::all().with_prefixes(vec![
+        "train.", "tune.", "run.", "compare.", "online.", "twinq.", "budget.",
+    ]);
+    let sink: Arc<dyn Sink> = match log {
+        Some(path) => {
+            let jsonl = JsonlSink::create(path)
+                .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+            Arc::new(MultiSink::new(vec![Box::new(console), Box::new(jsonl)]))
+        }
+        None => Arc::new(console),
+    };
+    telemetry::install(sink);
+    Ok(())
+}
+
+fn quantile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Summarize a JSONL event log: evaluations paid vs skipped, the reward
+/// trajectory, and step-latency quantiles.
+fn report(path: &PathBuf) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut paid = 0usize;
+    let mut skipped = 0u64;
+    let mut rewards: Vec<(u64, f64)> = Vec::new();
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut spent_s: f64 = 0.0;
+    let mut sim_runs = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value: serde::Value = serde_json::from_str(line)
+            .map_err(|e| format!("{}:{}: {e:?}", path.display(), lineno + 1))?;
+        let Some(event) = value.get("event").and_then(|v| v.as_str()) else {
+            continue;
+        };
+        match event {
+            "online.step" => {
+                paid += 1;
+                let step = value.get("step").and_then(|v| v.as_u64()).unwrap_or(0);
+                if let Some(r) = value.get("reward").and_then(|v| v.as_f64()) {
+                    rewards.push((step, r));
+                }
+                if let Some(d) = value.get("duration_s").and_then(|v| v.as_f64()) {
+                    latencies.push(d);
+                }
+            }
+            "twinq.decision" => {
+                skipped += value
+                    .get("iterations")
+                    .and_then(|v| v.as_u64())
+                    .unwrap_or(0);
+            }
+            "budget.update" => {
+                if let Some(s) = value.get("spent_s").and_then(|v| v.as_f64()) {
+                    spent_s = spent_s.max(s);
+                }
+            }
+            "sim.run" => sim_runs += 1,
+            _ => {}
+        }
+    }
+    println!("== report: {} ==", path.display());
+    println!(
+        "evaluations: {paid} paid, {skipped} skipped (Twin-Q critic filtering); \
+         {sim_runs} simulator runs total"
+    );
+    if !rewards.is_empty() {
+        let trajectory: Vec<String> = rewards
+            .iter()
+            .map(|(s, r)| format!("{s}:{r:+.3}"))
+            .collect();
+        println!("reward trajectory: {}", trajectory.join(" "));
+        let best = rewards
+            .iter()
+            .map(|(_, r)| *r)
+            .fold(f64::NEG_INFINITY, f64::max);
+        println!("best reward: {best:+.3}");
+    }
+    if !latencies.is_empty() {
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        println!(
+            "step latency: p50 {:.4}s, p95 {:.4}s (n={})",
+            quantile(&latencies, 0.5),
+            quantile(&latencies, 0.95),
+            latencies.len()
+        );
+    }
+    if spent_s > 0.0 {
+        println!("tuning cost: {spent_s:.1}s");
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -93,26 +208,57 @@ fn main() -> ExitCode {
             return usage();
         }
     };
+    if args.command == "report" {
+        let Some(path) = args.log else {
+            eprintln!("error: report needs --log PATH");
+            return usage();
+        };
+        return match report(&path) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if let Err(e) = install_sinks(args.log.as_ref()) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
     let workload = Workload::new(args.workload, args.input);
     match args.command.as_str() {
         "train" => {
             let mut env = TuningEnv::for_workload(Cluster::cluster_a(), workload, args.seed);
-            println!(
-                "training on {workload} (default exec {:.1}s, {} iterations)...",
-                env.default_exec_time(),
-                args.iters
+            telemetry::event!(
+                "train.start",
+                workload = workload.to_string(),
+                default_exec_s = env.default_exec_time(),
+                iters = args.iters,
             );
             let cfg = AgentConfig::for_dims(env.state_dim(), env.action_dim());
-            let (agent, log, _) =
-                train_td3(&mut env, cfg, &OfflineConfig::deepcat(args.iters, args.seed), &[]);
-            let last = log.smoothed_rewards(20).last().map(|(_, r)| *r).unwrap_or(0.0);
-            println!("final smoothed reward: {last:.3}");
-            let path = args.model.unwrap_or_else(|| PathBuf::from("deepcat-model.json"));
+            let (agent, log, _) = train_td3(
+                &mut env,
+                cfg,
+                &OfflineConfig::deepcat(args.iters, args.seed),
+                &[],
+            );
+            let last = log
+                .smoothed_rewards(20)
+                .last()
+                .map(|(_, r)| *r)
+                .unwrap_or(0.0);
+            let path = args
+                .model
+                .unwrap_or_else(|| PathBuf::from("deepcat-model.json"));
             if let Err(e) = save_td3(&agent, &path) {
                 eprintln!("error: cannot save model: {e}");
                 return ExitCode::FAILURE;
             }
-            println!("model saved to {}", path.display());
+            telemetry::event!(
+                "train.done",
+                final_reward = last,
+                model = path.display().to_string(),
+            );
         }
         "tune" => {
             let Some(path) = args.model else {
@@ -128,31 +274,33 @@ fn main() -> ExitCode {
             };
             let live = Cluster::cluster_a().with_background_load(args.background_load);
             let mut env = TuningEnv::for_workload(live, workload, args.seed ^ 0xFACE);
-            let oc = OnlineConfig { steps: args.steps, ..OnlineConfig::deepcat(args.seed) };
+            let oc = OnlineConfig {
+                steps: args.steps,
+                ..OnlineConfig::deepcat(args.seed)
+            };
+            // Per-step progress comes from the `online.step` span events.
             let report = online_tune_td3(&mut agent, &mut env, &oc, "DeepCAT");
-            for s in &report.steps {
-                println!(
-                    "step {}: exec {:.1}s  reward {:+.3}{}",
-                    s.step + 1,
-                    s.exec_time_s,
-                    s.reward,
-                    if s.failed { "  FAILED" } else { "" }
-                );
-            }
-            println!(
-                "best {:.1}s ({:.2}x over default {:.1}s); total cost {:.1}s",
-                report.best_exec_time_s,
-                report.speedup(),
-                report.default_exec_time_s,
-                report.total_cost_s()
+            telemetry::event!(
+                "tune.summary",
+                best_s = report.best_exec_time_s,
+                speedup = report.speedup(),
+                default_s = report.default_exec_time_s,
+                total_cost_s = report.total_cost_s(),
             );
         }
         "run" => {
             let mut env = TuningEnv::for_workload(Cluster::cluster_a(), workload, args.seed);
-            println!("default configuration on {workload}: {:.1}s", env.default_exec_time());
-            let dflt = env.spark().space().normalize(&env.spark().space().default_config());
+            telemetry::event!(
+                "run.default",
+                workload = workload.to_string(),
+                exec_s = env.default_exec_time(),
+            );
+            let dflt = env
+                .spark()
+                .space()
+                .normalize(&env.spark().space().default_config());
             let out = env.step(&dflt);
-            println!("one fresh run: {:.1}s (reward {:+.3})", out.exec_time_s, out.reward);
+            telemetry::event!("run.fresh", exec_s = out.exec_time_s, reward = out.reward);
         }
         "compare" => {
             let cfg = ExperimentConfig {
@@ -162,16 +310,20 @@ fn main() -> ExitCode {
                 ..ExperimentConfig::default()
             };
             for row in compare_on(workload, &Cluster::cluster_a(), &cfg) {
-                println!(
-                    "{:10} best {:7.1}s  speedup {:5.2}x  cost {:8.1}s",
-                    row.tuner,
-                    row.best_s,
-                    row.speedup,
-                    row.total_eval_s + row.total_rec_s
+                telemetry::event!(
+                    "compare.row",
+                    tuner = row.tuner.clone(),
+                    best_s = row.best_s,
+                    speedup = row.speedup,
+                    cost_s = row.total_eval_s + row.total_rec_s,
                 );
             }
         }
-        _ => return usage(),
+        _ => {
+            telemetry::shutdown();
+            return usage();
+        }
     }
+    telemetry::shutdown();
     ExitCode::SUCCESS
 }

@@ -44,7 +44,11 @@ pub struct BudgetedTuning {
 impl BudgetedTuning {
     pub fn new(budget_s: f64, seed: u64) -> Self {
         assert!(budget_s > 0.0);
-        Self { budget_s, max_steps: 64, online: OnlineConfig::deepcat(seed) }
+        Self {
+            budget_s,
+            max_steps: 64,
+            online: OnlineConfig::deepcat(seed),
+        }
     }
 
     /// Run the session: one online step at a time while the predicted cost
@@ -78,13 +82,34 @@ impl BudgetedTuning {
             let r = online_tune_td3(agent, env, &one, "DeepCAT");
             let rec = r.steps.into_iter().next().expect("one step requested");
             spent += rec.exec_time_s + rec.recommendation_s;
-            steps.push(StepRecord { step: steps.len(), ..rec });
+            telemetry::set_gauge("budget.spent_s", spent);
+            telemetry::event!(
+                "budget.session_step",
+                step = steps.len(),
+                spent_s = spent,
+                budget_s = self.budget_s,
+                remaining_s = (self.budget_s - spent).max(0.0),
+            );
+            steps.push(StepRecord {
+                step: steps.len(),
+                ..rec
+            });
             if spent >= self.budget_s {
                 stopped_by_budget = true;
                 break;
             }
         }
-        assert!(!steps.is_empty(), "budget too small for even one evaluation");
+        assert!(
+            !steps.is_empty(),
+            "budget too small for even one evaluation"
+        );
+        telemetry::event!(
+            "budget.stop",
+            steps_taken = steps.len(),
+            spent_s = spent,
+            budget_s = self.budget_s,
+            stopped_by_budget = stopped_by_budget,
+        );
         let report = crate::online::finish_report("DeepCAT(budgeted)", env, steps);
         BudgetReport {
             budget_s: self.budget_s,
@@ -140,10 +165,8 @@ mod tests {
     fn larger_budget_takes_more_steps() {
         let w = Workload::new(WorkloadKind::WordCount, InputSize::D1);
         let (agent, env) = trained(w, 12);
-        let small = BudgetedTuning::new(80.0, 2)
-            .run(&mut agent.clone(), &mut env.clone());
-        let large = BudgetedTuning::new(400.0, 2)
-            .run(&mut agent.clone(), &mut env.clone());
+        let small = BudgetedTuning::new(80.0, 2).run(&mut agent.clone(), &mut env.clone());
+        let large = BudgetedTuning::new(400.0, 2).run(&mut agent.clone(), &mut env.clone());
         assert!(large.steps_taken >= small.steps_taken);
         assert!(large.report.best_exec_time_s <= small.report.best_exec_time_s * 1.2);
     }

@@ -7,7 +7,7 @@ use crate::config::AgentConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rl::{Batch, GaussianNoise};
-use tensor_nn::{loss, Activation, Matrix, Mlp, Adam};
+use tensor_nn::{loss, Activation, Adam, Matrix, Mlp};
 
 /// Diagnostics from one DDPG gradient step.
 #[derive(Clone, Copy, Debug, Default)]
@@ -78,7 +78,10 @@ impl DdpgAgent {
     /// Deterministic policy action.
     pub fn select_action(&self, state: &[f64]) -> Vec<f64> {
         assert_eq!(state.len(), self.cfg.state_dim);
-        self.actor.infer(&Matrix::row_vector(state)).as_slice().to_vec()
+        self.actor
+            .infer(&Matrix::row_vector(state))
+            .as_slice()
+            .to_vec()
     }
 
     /// Policy action plus exploration noise.
@@ -99,13 +102,25 @@ impl DdpgAgent {
         let m = batch.len();
         assert!(m > 0);
         let states = Matrix::from_rows(
-            &batch.transitions.iter().map(|t| t.state.as_slice()).collect::<Vec<_>>(),
+            &batch
+                .transitions
+                .iter()
+                .map(|t| t.state.as_slice())
+                .collect::<Vec<_>>(),
         );
         let actions = Matrix::from_rows(
-            &batch.transitions.iter().map(|t| t.action.as_slice()).collect::<Vec<_>>(),
+            &batch
+                .transitions
+                .iter()
+                .map(|t| t.action.as_slice())
+                .collect::<Vec<_>>(),
         );
         let next_states = Matrix::from_rows(
-            &batch.transitions.iter().map(|t| t.next_state.as_slice()).collect::<Vec<_>>(),
+            &batch
+                .transitions
+                .iter()
+                .map(|t| t.next_state.as_slice())
+                .collect::<Vec<_>>(),
         );
 
         // Target: y = r + γ(1−done)·Q'(s', μ'(s')). No twin minimum, no
@@ -122,7 +137,9 @@ impl DdpgAgent {
         // Critic update.
         let sa = states.hconcat(&actions);
         let cache = self.critic.forward(&sa);
-        let td_errors: Vec<f64> = (0..m).map(|r| cache.output.get(r, 0) - y.get(r, 0)).collect();
+        let td_errors: Vec<f64> = (0..m)
+            .map(|r| cache.output.get(r, 0) - y.get(r, 0))
+            .collect();
         let grad = loss::weighted_mse_grad(&cache.output, &y, &batch.weights);
         let critic_loss = loss::mse(&cache.output, &y);
         let (_, mut c_grads) = self.critic.backward(&cache, &grad);
@@ -141,12 +158,18 @@ impl DdpgAgent {
         a_grads.clip_global_norm(10.0);
         self.actor_opt.step(&mut self.actor, &a_grads);
 
-        self.actor_target.soft_update_from(&self.actor, self.cfg.tau);
-        self.critic_target.soft_update_from(&self.critic, self.cfg.tau);
+        self.actor_target
+            .soft_update_from(&self.actor, self.cfg.tau);
+        self.critic_target
+            .soft_update_from(&self.critic, self.cfg.tau);
         self.train_steps += 1;
 
         (
-            DdpgStats { critic_loss, actor_loss: -mean_q, mean_q },
+            DdpgStats {
+                critic_loss,
+                actor_loss: -mean_q,
+                mean_q,
+            },
             td_errors,
         )
     }
@@ -177,7 +200,11 @@ mod tests {
             transitions.push(Transition::new(s.clone(), a, 1.0 - d2, s, true));
         }
         let n = transitions.len();
-        Batch { transitions, weights: vec![1.0; n], indices: vec![0; n] }
+        Batch {
+            transitions,
+            weights: vec![1.0; n],
+            indices: vec![0; n],
+        }
     }
 
     #[test]

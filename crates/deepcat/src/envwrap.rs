@@ -36,7 +36,13 @@ impl TuningEnv {
         assert!(episode_len > 0);
         let reward_fn = RewardFn::from_default_time(env.default_exec_time());
         let state = env.idle_state();
-        Self { env, reward_fn, episode_len, step_in_episode: 0, state }
+        Self {
+            env,
+            reward_fn,
+            episode_len,
+            step_in_episode: 0,
+            state,
+        }
     }
 
     /// Convenience constructor from a cluster + workload.
@@ -145,7 +151,10 @@ mod tests {
         // perf_e = default/4, so the default configuration itself must be
         // far below target.
         let mut e = env();
-        let dflt = e.spark().space().normalize(&e.spark().space().default_config());
+        let dflt = e
+            .spark()
+            .space()
+            .normalize(&e.spark().space().default_config());
         let out = e.step(&dflt);
         assert!(out.reward < 0.0, "reward {}", out.reward);
     }

@@ -29,14 +29,24 @@ pub struct ExperimentConfig {
 
 impl Default for ExperimentConfig {
     fn default() -> Self {
-        Self { offline_iterations: 1500, online_steps: 5, repo_samples: 120, seed: 2022 }
+        Self {
+            offline_iterations: 1500,
+            online_steps: 5,
+            repo_samples: 120,
+            seed: 2022,
+        }
     }
 }
 
 impl ExperimentConfig {
     /// A faster profile for tests.
     pub fn quick() -> Self {
-        Self { offline_iterations: 700, online_steps: 5, repo_samples: 60, seed: 2022 }
+        Self {
+            offline_iterations: 700,
+            online_steps: 5,
+            repo_samples: 60,
+            seed: 2022,
+        }
     }
 }
 
@@ -60,8 +70,10 @@ where
         .min(n);
     let slots: Vec<parking_lot::Mutex<Option<R>>> =
         (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
-    let inputs: Vec<parking_lot::Mutex<Option<T>>> =
-        items.into_iter().map(|t| parking_lot::Mutex::new(Some(t))).collect();
+    let inputs: Vec<parking_lot::Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|t| parking_lot::Mutex::new(Some(t)))
+        .collect();
     let next = AtomicUsize::new(0);
     crossbeam::scope(|scope| {
         for _ in 0..threads {
@@ -76,7 +88,10 @@ where
         }
     })
     .expect("worker panicked");
-    slots.into_iter().map(|s| s.into_inner().expect("all slots filled")).collect()
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("all slots filled"))
+        .collect()
 }
 
 fn agent_cfg(env: &TuningEnv) -> AgentConfig {
@@ -102,7 +117,11 @@ pub const ONLINE_BACKGROUND_LOAD: f64 = 0.15;
 
 /// The live ("real user") environment for online tuning.
 fn online_env(cluster: &Cluster, w: Workload, seed: u64) -> TuningEnv {
-    TuningEnv::for_workload(cluster.with_background_load(ONLINE_BACKGROUND_LOAD), w, seed)
+    TuningEnv::for_workload(
+        cluster.with_background_load(ONLINE_BACKGROUND_LOAD),
+        w,
+        seed,
+    )
 }
 
 // --------------------------------------------------------------------------
@@ -189,10 +208,8 @@ pub fn fig2(cfg: &ExperimentConfig) -> Fig2Result {
     let (_, best) = RandomSearch::new(cfg.seed).search(&mut env, 600);
     let default_exec_s = env.default_exec_time();
     let mut times = Vec::with_capacity(200);
-    let mut rng_env =
-        TuningEnv::for_workload(Cluster::cluster_a(), w, online_seed(cfg.seed, w));
-    let mut rs =
-        <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(cfg.seed ^ 0xF16_2);
+    let mut rng_env = TuningEnv::for_workload(Cluster::cluster_a(), w, online_seed(cfg.seed, w));
+    let mut rs = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(cfg.seed ^ 0xF16_2);
     for _ in 0..200 {
         let a = rng_env.spark().space().random_action(&mut rs);
         let out = rng_env.step(&a);
@@ -271,14 +288,17 @@ pub struct Fig4Row {
 pub fn fig4(cfg: &ExperimentConfig, checkpoints: &[usize]) -> Vec<Fig4Row> {
     let w = Workload::new(WorkloadKind::TeraSort, InputSize::D1);
     // Train long enough to reach the last checkpoint.
-    let iters = checkpoints.iter().copied().max().unwrap_or(cfg.offline_iterations);
+    let iters = checkpoints
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(cfg.offline_iterations);
     let variants = [
         OfflineConfig::td3_uniform(iters, cfg.seed),
         OfflineConfig::deepcat(iters, cfg.seed),
     ];
     let results: Vec<Vec<f64>> = par_map(variants.to_vec(), |off| {
-        let mut env =
-            TuningEnv::for_workload(Cluster::cluster_a(), w, offline_seed(cfg.seed, w));
+        let mut env = TuningEnv::for_workload(Cluster::cluster_a(), w, offline_seed(cfg.seed, w));
         let ac = agent_cfg(&env);
         let (_, _, snaps) = train_td3(&mut env, ac, &off, checkpoints);
         snaps
@@ -349,8 +369,11 @@ pub fn fig5(cfg: &ExperimentConfig) -> Fig5Result {
     let (agent, _, _) = train_td3(&mut env, ac, &off, &[]);
     let run = |use_twinq: bool, session: u64| {
         let mut a = agent.clone();
-        let mut online_env =
-            online_env(&Cluster::cluster_a(), w, online_seed(cfg.seed, w) ^ (session << 24));
+        let mut online_env = online_env(
+            &Cluster::cluster_a(),
+            w,
+            online_seed(cfg.seed, w) ^ (session << 24),
+        );
         let oc = OnlineConfig {
             steps: cfg.online_steps,
             use_twinq,
@@ -429,7 +452,10 @@ pub fn compare_on(w: Workload, cluster: &Cluster, cfg: &ExperimentConfig) -> Vec
         let off = OfflineConfig::deepcat(cfg.offline_iterations, seed);
         let (mut agent, _, _) = train_td3(&mut env, ac, &off, &[]);
         let mut online_env = online_env(cluster, w, online_seed(seed, w));
-        let oc = OnlineConfig { steps: cfg.online_steps, ..OnlineConfig::deepcat(seed) };
+        let oc = OnlineConfig {
+            steps: cfg.online_steps,
+            ..OnlineConfig::deepcat(seed)
+        };
         online_tune_td3(&mut agent, &mut online_env, &oc, "DeepCAT")
     };
     // --- CDBTune ---
@@ -439,7 +465,10 @@ pub fn compare_on(w: Workload, cluster: &Cluster, cfg: &ExperimentConfig) -> Vec
         let off = OfflineConfig::cdbtune(cfg.offline_iterations, seed);
         let (mut agent, _) = train_ddpg(&mut env, ac, &off);
         let mut online_env = online_env(cluster, w, online_seed(seed, w));
-        let oc = OnlineConfig { steps: cfg.online_steps, ..OnlineConfig::without_twinq(seed) };
+        let oc = OnlineConfig {
+            steps: cfg.online_steps,
+            ..OnlineConfig::without_twinq(seed)
+        };
         online_tune_ddpg(&mut agent, &mut online_env, &oc, "CDBTune")
     };
     // --- OtterTune --- (repository holds *other* workloads; the target is
@@ -604,7 +633,11 @@ pub fn fig9(cfg: &ExperimentConfig) -> Vec<Fig9Row> {
         let off = OfflineConfig::deepcat(cfg.offline_iterations, cfg.seed);
         let (agent, _, _) = train_td3(&mut env, ac, &off, &[]);
         let (best_s, total_cost_s) = averaged_sessions_td3(&agent, &live, target, cfg);
-        Fig9Row { model: format!("M_{}→PR", train_w.kind), best_s, total_cost_s }
+        Fig9Row {
+            model: format!("M_{}→PR", train_w.kind),
+            best_s,
+            total_cost_s,
+        }
     });
     // Baselines trained on the target itself, averaged the same way.
     {
@@ -614,14 +647,24 @@ pub fn fig9(cfg: &ExperimentConfig) -> Vec<Fig9Row> {
         let off = OfflineConfig::cdbtune(cfg.offline_iterations, cfg.seed);
         let (agent, _) = train_ddpg(&mut env, ac, &off);
         let (best_s, total_cost_s) = averaged_sessions_ddpg(&agent, &live, target, cfg);
-        rows.push(Fig9Row { model: "CDBTune".into(), best_s, total_cost_s });
+        rows.push(Fig9Row {
+            model: "CDBTune".into(),
+            best_s,
+            total_cost_s,
+        });
     }
     {
-        let repo_workloads: Vec<Workload> =
-            Workload::all_pairs().into_iter().filter(|x| *x != target).collect();
+        let repo_workloads: Vec<Workload> = Workload::all_pairs()
+            .into_iter()
+            .filter(|x| *x != target)
+            .collect();
         let repo = build_repository(&cluster, &repo_workloads, cfg.repo_samples, cfg.seed);
         let (best_s, total_cost_s) = averaged_sessions_ottertune(&repo, &live, target, cfg);
-        rows.push(Fig9Row { model: "OtterTune".into(), best_s, total_cost_s });
+        rows.push(Fig9Row {
+            model: "OtterTune".into(),
+            best_s,
+            total_cost_s,
+        });
     }
     rows
 }
@@ -656,8 +699,7 @@ pub fn fig10(cfg: &ExperimentConfig) -> Vec<Fig10Row> {
         let mut rows = Vec::with_capacity(3);
         // DeepCAT.
         {
-            let mut env =
-                TuningEnv::for_workload(cluster_a.clone(), w, offline_seed(cfg.seed, w));
+            let mut env = TuningEnv::for_workload(cluster_a.clone(), w, offline_seed(cfg.seed, w));
             let ac = agent_cfg(&env);
             let off = OfflineConfig::deepcat(cfg.offline_iterations, cfg.seed);
             let (agent, _, _) = train_td3(&mut env, ac, &off, &[]);
@@ -671,8 +713,7 @@ pub fn fig10(cfg: &ExperimentConfig) -> Vec<Fig10Row> {
         }
         // CDBTune.
         {
-            let mut env =
-                TuningEnv::for_workload(cluster_a.clone(), w, offline_seed(cfg.seed, w));
+            let mut env = TuningEnv::for_workload(cluster_a.clone(), w, offline_seed(cfg.seed, w));
             let ac = agent_cfg(&env);
             let off = OfflineConfig::cdbtune(cfg.offline_iterations, cfg.seed);
             let (agent, _) = train_ddpg(&mut env, ac, &off);
@@ -686,11 +727,12 @@ pub fn fig10(cfg: &ExperimentConfig) -> Vec<Fig10Row> {
         }
         // OtterTune: repository collected on Cluster-A.
         {
-            let repo_workloads: Vec<Workload> =
-                Workload::all_pairs().into_iter().filter(|x| *x != w).collect();
+            let repo_workloads: Vec<Workload> = Workload::all_pairs()
+                .into_iter()
+                .filter(|x| *x != w)
+                .collect();
             let repo = build_repository(&cluster_a, &repo_workloads, cfg.repo_samples, cfg.seed);
-            let (best_s, total_cost_s) =
-                averaged_sessions_ottertune(&repo, &cluster_b, w, cfg);
+            let (best_s, total_cost_s) = averaged_sessions_ottertune(&repo, &cluster_b, w, cfg);
             rows.push(Fig10Row {
                 workload: w.to_string(),
                 tuner: "OtterTune".into(),
@@ -732,12 +774,18 @@ pub fn fig11(cfg: &ExperimentConfig) -> Vec<Fig11Row> {
             );
             let ac = agent_cfg(&env);
             let off = OfflineConfig {
-                replay: crate::offline::ReplayKind::RdPer { reward_threshold: 0.3, beta },
+                replay: crate::offline::ReplayKind::RdPer {
+                    reward_threshold: 0.3,
+                    beta,
+                },
                 ..OfflineConfig::deepcat(cfg.offline_iterations, cfg.seed ^ session)
             };
             let (mut agent, _, _) = train_td3(&mut env, ac, &off, &[]);
-            let mut online_env =
-                online_env(&Cluster::cluster_a(), w, online_seed(cfg.seed, w) ^ (session << 24));
+            let mut online_env = online_env(
+                &Cluster::cluster_a(),
+                w,
+                online_seed(cfg.seed, w) ^ (session << 24),
+            );
             let oc = OnlineConfig {
                 steps: cfg.online_steps,
                 seed: cfg.seed ^ session,
@@ -747,7 +795,11 @@ pub fn fig11(cfg: &ExperimentConfig) -> Vec<Fig11Row> {
             best_s += report.best_exec_time_s / n;
             total_cost_s += report.total_cost_s() / n;
         }
-        Fig11Row { beta, best_s, total_cost_s }
+        Fig11Row {
+            beta,
+            best_s,
+            total_cost_s,
+        }
     })
 }
 
@@ -788,7 +840,11 @@ pub fn fig12(cfg: &ExperimentConfig) -> Vec<Fig12Row> {
                 best_s += report.best_exec_time_s / n;
                 total_cost_s += report.total_cost_s() / n;
             }
-            Fig12Row { q_th, best_s, total_cost_s }
+            Fig12Row {
+                q_th,
+                best_s,
+                total_cost_s,
+            }
         })
         .collect()
 }
@@ -816,7 +872,13 @@ pub fn ablation_matrix(cfg: &ExperimentConfig) -> Vec<AblationCell> {
     let replays = [
         ("uniform", crate::offline::ReplayKind::Uniform),
         ("td-per", crate::offline::ReplayKind::TdPer),
-        ("rdper", crate::offline::ReplayKind::RdPer { reward_threshold: 0.3, beta: 0.6 }),
+        (
+            "rdper",
+            crate::offline::ReplayKind::RdPer {
+                reward_threshold: 0.3,
+                beta: 0.6,
+            },
+        ),
     ];
     let mut jobs: Vec<(&str, &str, crate::offline::ReplayKind)> = Vec::new();
     for algo in ["td3", "ddpg"] {
@@ -955,8 +1017,18 @@ pub fn search_comparison(cfg: &ExperimentConfig) -> Vec<SearchRow> {
             rs_best += r.best_exec_time_s / n;
             rs_cost += r.total_cost_s() / n;
         }
-        rows.push(SearchRow { tuner: "BestConfig".into(), steps, best_s: bc_best, total_cost_s: bc_cost });
-        rows.push(SearchRow { tuner: "Random".into(), steps, best_s: rs_best, total_cost_s: rs_cost });
+        rows.push(SearchRow {
+            tuner: "BestConfig".into(),
+            steps,
+            best_s: bc_best,
+            total_cost_s: bc_cost,
+        });
+        rows.push(SearchRow {
+            tuner: "Random".into(),
+            steps,
+            best_s: rs_best,
+            total_cost_s: rs_cost,
+        });
     }
     rows
 }
@@ -1006,7 +1078,15 @@ mod tests {
             assert!(w[1].cumulative_probability > w[0].cumulative_probability);
         }
         // Paper's shape: most configs beat default, few are near-optimal.
-        assert!(r.frac_better_than_default > 0.5, "{}", r.frac_better_than_default);
-        assert!(r.frac_within_10pct_of_best < 0.15, "{}", r.frac_within_10pct_of_best);
+        assert!(
+            r.frac_better_than_default > 0.5,
+            "{}",
+            r.frac_better_than_default
+        );
+        assert!(
+            r.frac_within_10pct_of_best < 0.15,
+            "{}",
+            r.frac_within_10pct_of_best
+        );
     }
 }

@@ -70,8 +70,6 @@ pub use parallel::{train_td3_parallel, ParallelConfig, ParallelStats};
 pub use persist::{load_td3, save_td3};
 pub use reward::{RewardFn, TARGET_SPEEDUP};
 pub use td3::{Td3Agent, Td3Checkpoint, TrainStats};
-pub use tuners::{
-    build_repository, BestConfig, CdbTune, DeepCat, OtterTune, RandomSearch, Tuner,
-};
+pub use tuners::{build_repository, BestConfig, CdbTune, DeepCat, OtterTune, RandomSearch, Tuner};
 pub use twinq::{TwinQOptimizer, TwinQResult};
 pub use whitebox::{diagnose, online_tune_whitebox, relevant_knobs, Bottleneck, WhiteBoxTwinQ};

@@ -33,9 +33,10 @@ impl ReplayKind {
             ReplayKind::Uniform => Box::new(UniformReplay::new(capacity)),
             ReplayKind::TdPer => Box::new(PrioritizedReplay::new(capacity)),
             ReplayKind::RankPer => Box::new(rl::RankBasedReplay::new(capacity)),
-            ReplayKind::RdPer { reward_threshold, beta } => {
-                Box::new(RdPer::new(capacity, reward_threshold, beta))
-            }
+            ReplayKind::RdPer {
+                reward_threshold,
+                beta,
+            } => Box::new(RdPer::new(capacity, reward_threshold, beta)),
         }
     }
 }
@@ -60,7 +61,10 @@ impl OfflineConfig {
     pub fn deepcat(iterations: usize, seed: u64) -> Self {
         Self {
             iterations,
-            replay: ReplayKind::RdPer { reward_threshold: 0.3, beta: 0.6 },
+            replay: ReplayKind::RdPer {
+                reward_threshold: 0.3,
+                beta: 0.6,
+            },
             capacity: 100_000,
             log_every: 20,
             seed,
@@ -69,12 +73,18 @@ impl OfflineConfig {
 
     /// Conventional TD3 (uniform replay) — the Fig. 4 ablation baseline.
     pub fn td3_uniform(iterations: usize, seed: u64) -> Self {
-        Self { replay: ReplayKind::Uniform, ..Self::deepcat(iterations, seed) }
+        Self {
+            replay: ReplayKind::Uniform,
+            ..Self::deepcat(iterations, seed)
+        }
     }
 
     /// CDBTune's offline recipe: TD-error PER.
     pub fn cdbtune(iterations: usize, seed: u64) -> Self {
-        Self { replay: ReplayKind::TdPer, ..Self::deepcat(iterations, seed) }
+        Self {
+            replay: ReplayKind::TdPer,
+            ..Self::deepcat(iterations, seed)
+        }
     }
 }
 
@@ -108,7 +118,11 @@ impl TrainLog {
     }
 }
 
-fn smooth(records: &[IterRecord], window: usize, f: impl Fn(&IterRecord) -> f64) -> Vec<(usize, f64)> {
+fn smooth(
+    records: &[IterRecord],
+    window: usize,
+    f: impl Fn(&IterRecord) -> f64,
+) -> Vec<(usize, f64)> {
     let w = window.max(1);
     records
         .iter()
@@ -116,7 +130,10 @@ fn smooth(records: &[IterRecord], window: usize, f: impl Fn(&IterRecord) -> f64)
         .map(|(i, r)| {
             let lo = i.saturating_sub(w - 1);
             let vals = &records[lo..=i];
-            (r.iteration, vals.iter().map(&f).sum::<f64>() / vals.len() as f64)
+            (
+                r.iteration,
+                vals.iter().map(&f).sum::<f64>() / vals.len() as f64,
+            )
         })
         .collect()
 }
@@ -136,18 +153,30 @@ pub fn train_td3(
     let mut log = TrainLog::default();
     let mut snaps = Vec::with_capacity(snapshots.len());
     let mut state = env.reset();
+    let mut last_critic_loss = f64::NAN;
     for iter in 0..cfg.iterations {
         let action = if iter < agent_cfg.warmup_steps {
-            (0..agent_cfg.action_dim).map(|_| rng.gen::<f64>()).collect::<Vec<_>>()
+            (0..agent_cfg.action_dim)
+                .map(|_| rng.gen::<f64>())
+                .collect::<Vec<_>>()
         } else {
             agent.select_action_noisy(&state)
         };
         let out = env.step(&action);
         if iter % cfg.log_every == 0 {
+            let min_q = agent.min_q(&state, &action);
+            telemetry::event!(
+                "offline.iter",
+                iteration = iter,
+                reward = out.reward,
+                min_q = min_q,
+                exec_time_s = out.exec_time_s,
+                critic_loss = last_critic_loss,
+            );
             log.records.push(IterRecord {
                 iteration: iter,
                 reward: out.reward,
-                min_q: agent.min_q(&state, &action),
+                min_q,
                 exec_time_s: out.exec_time_s,
             });
         }
@@ -158,12 +187,23 @@ pub fn train_td3(
             out.next_state.clone(),
             out.done,
         ));
-        state = if out.done { env.reset() } else { out.next_state };
+        state = if out.done {
+            env.reset()
+        } else {
+            out.next_state
+        };
 
         if replay.len() >= agent_cfg.warmup_steps.max(agent_cfg.batch_size) {
             if let Some(batch) = replay.sample(agent_cfg.batch_size, &mut rng) {
-                let (_, tds) = agent.train_step(&batch);
+                let (stats, tds) = agent.train_step(&batch);
                 replay.update_priorities(&batch.indices, &tds);
+                last_critic_loss = stats.critic1_loss;
+                telemetry::inc("offline.train_steps", 1);
+                telemetry::set_gauge("offline.critic_loss", stats.critic1_loss);
+                telemetry::set_gauge("offline.mean_min_q", stats.mean_min_q);
+                if let Some(a) = stats.actor_loss {
+                    telemetry::set_gauge("offline.actor_loss", a);
+                }
             }
         }
         if snapshots.contains(&(iter + 1)) {
@@ -186,16 +226,26 @@ pub fn train_ddpg(
     let mut state = env.reset();
     for iter in 0..cfg.iterations {
         let action = if iter < agent_cfg.warmup_steps {
-            (0..agent_cfg.action_dim).map(|_| rng.gen::<f64>()).collect::<Vec<_>>()
+            (0..agent_cfg.action_dim)
+                .map(|_| rng.gen::<f64>())
+                .collect::<Vec<_>>()
         } else {
             agent.select_action_noisy(&state)
         };
         let out = env.step(&action);
         if iter % cfg.log_every == 0 {
+            let min_q = agent.q_value(&state, &action);
+            telemetry::event!(
+                "offline.iter",
+                iteration = iter,
+                reward = out.reward,
+                min_q = min_q,
+                exec_time_s = out.exec_time_s,
+            );
             log.records.push(IterRecord {
                 iteration: iter,
                 reward: out.reward,
-                min_q: agent.q_value(&state, &action),
+                min_q,
                 exec_time_s: out.exec_time_s,
             });
         }
@@ -206,11 +256,19 @@ pub fn train_ddpg(
             out.next_state.clone(),
             out.done,
         ));
-        state = if out.done { env.reset() } else { out.next_state };
+        state = if out.done {
+            env.reset()
+        } else {
+            out.next_state
+        };
         if replay.len() >= agent_cfg.warmup_steps.max(agent_cfg.batch_size) {
             if let Some(batch) = replay.sample(agent_cfg.batch_size, &mut rng) {
-                let (_, tds) = agent.train_step(&batch);
+                let (stats, tds) = agent.train_step(&batch);
                 replay.update_priorities(&batch.indices, &tds);
+                telemetry::inc("offline.train_steps", 1);
+                telemetry::set_gauge("offline.critic_loss", stats.critic_loss);
+                telemetry::set_gauge("offline.actor_loss", stats.actor_loss);
+                telemetry::set_gauge("offline.mean_min_q", stats.mean_q);
             }
         }
     }
@@ -295,6 +353,14 @@ mod tests {
         assert_eq!(ReplayKind::Uniform.build(8).len(), 0);
         assert_eq!(ReplayKind::TdPer.build(8).len(), 0);
         assert_eq!(ReplayKind::RankPer.build(8).len(), 0);
-        assert_eq!(ReplayKind::RdPer { reward_threshold: 0.0, beta: 0.6 }.build(8).len(), 0);
+        assert_eq!(
+            ReplayKind::RdPer {
+                reward_threshold: 0.0,
+                beta: 0.6
+            }
+            .build(8)
+            .len(),
+            0
+        );
     }
 }

@@ -47,7 +47,10 @@ impl OnlineConfig {
     /// The same loop without the Twin-Q Optimizer (Fig. 5 ablation, and
     /// what CDBTune-style agents do).
     pub fn without_twinq(seed: u64) -> Self {
-        Self { use_twinq: false, ..Self::deepcat(seed) }
+        Self {
+            use_twinq: false,
+            ..Self::deepcat(seed)
+        }
     }
 }
 
@@ -137,7 +140,9 @@ pub fn online_tune_td3(
     let mut replay = UniformReplay::new(1024);
     let mut steps = Vec::with_capacity(cfg.steps);
     let mut state = env.reset();
+    let mut spent_s = 0.0;
     for step in 0..cfg.steps {
+        let mut span = telemetry::span!("online.step", step = step, tuner = tuner_name);
         let t0 = Instant::now();
         let mut action = agent.select_action(&state);
         if cfg.exploration_sigma > 0.0 {
@@ -167,6 +172,19 @@ pub fn online_tune_td3(
                 agent.train_step(&batch);
             }
         }
+        telemetry::inc("online.steps", 1);
+        span.record("reward", out.reward);
+        span.record("exec_time_s", out.exec_time_s);
+        span.record("recommendation_s", recommendation_s);
+        span.record("failed", out.failed);
+        span.record("twinq_iterations", twinq_iterations);
+        if let Some(q) = q_estimate {
+            span.record("q_estimate", q);
+        }
+        drop(span);
+        spent_s += out.exec_time_s + recommendation_s;
+        telemetry::set_gauge("budget.spent_s", spent_s);
+        telemetry::event!("budget.update", step = step, spent_s = spent_s);
         steps.push(StepRecord {
             step,
             exec_time_s: out.exec_time_s,
@@ -194,7 +212,9 @@ pub fn online_tune_ddpg(
     let mut replay = UniformReplay::new(1024);
     let mut steps = Vec::with_capacity(cfg.steps);
     let mut state = env.reset();
+    let mut spent_s = 0.0;
     for step in 0..cfg.steps {
+        let mut span = telemetry::span!("online.step", step = step, tuner = tuner_name);
         let t0 = Instant::now();
         let mut action = agent.select_action(&state);
         if cfg.exploration_sigma > 0.0 {
@@ -216,6 +236,18 @@ pub fn online_tune_ddpg(
                 agent.train_step(&batch);
             }
         }
+        telemetry::inc("online.steps", 1);
+        span.record("reward", out.reward);
+        span.record("exec_time_s", out.exec_time_s);
+        span.record("recommendation_s", recommendation_s);
+        span.record("failed", out.failed);
+        if let Some(q) = q_estimate {
+            span.record("q_estimate", q);
+        }
+        drop(span);
+        spent_s += out.exec_time_s + recommendation_s;
+        telemetry::set_gauge("budget.spent_s", spent_s);
+        telemetry::event!("budget.update", step = step, spent_s = spent_s);
         steps.push(StepRecord {
             step,
             exec_time_s: out.exec_time_s,
@@ -233,7 +265,10 @@ pub fn online_tune_ddpg(
 
 /// Assemble a [`TuningReport`] from per-step records.
 pub fn finish_report(tuner: &str, env: &TuningEnv, steps: Vec<StepRecord>) -> TuningReport {
-    assert!(!steps.is_empty(), "a tuning session needs at least one step");
+    assert!(
+        !steps.is_empty(),
+        "a tuning session needs at least one step"
+    );
     let best = steps
         .iter()
         .min_by(|a, b| a.exec_time_s.partial_cmp(&b.exec_time_s).unwrap())
@@ -290,8 +325,7 @@ mod tests {
     fn best_so_far_is_monotone_nonincreasing() {
         let mut e = env();
         let mut agent = quick_agent(&mut e);
-        let report =
-            online_tune_td3(&mut agent, &mut e, &OnlineConfig::without_twinq(2), "TD3");
+        let report = online_tune_td3(&mut agent, &mut e, &OnlineConfig::without_twinq(2), "TD3");
         let b = report.best_so_far();
         assert!(b.windows(2).all(|w| w[1] <= w[0]));
         assert_eq!(*b.last().unwrap(), report.best_exec_time_s);
@@ -313,8 +347,12 @@ mod tests {
         let mut c = AgentConfig::for_dims(e.state_dim(), e.action_dim());
         c.hidden = vec![32, 32];
         let mut agent = DdpgAgent::new(c, 5);
-        let report =
-            online_tune_ddpg(&mut agent, &mut e, &OnlineConfig::without_twinq(4), "CDBTune");
+        let report = online_tune_ddpg(
+            &mut agent,
+            &mut e,
+            &OnlineConfig::without_twinq(4),
+            "CDBTune",
+        );
         assert_eq!(report.steps.len(), 5);
         assert_eq!(report.tuner, "CDBTune");
         assert!(report.total_rec_s > 0.0);

@@ -39,7 +39,11 @@ pub struct ParallelConfig {
 
 impl Default for ParallelConfig {
     fn default() -> Self {
-        Self { workers: 4, train_per_transition: 1, sync_every: 50 }
+        Self {
+            workers: 4,
+            train_per_transition: 1,
+            sync_every: 50,
+        }
     }
 }
 
@@ -91,15 +95,16 @@ pub fn train_td3_parallel(
                 let mut steps = 0usize;
                 while !stop.load(Ordering::Relaxed) {
                     let action = if steps < agent_cfg.warmup_steps / par.workers.max(1) {
-                        (0..agent_cfg.action_dim).map(|_| wrng.gen::<f64>()).collect()
+                        (0..agent_cfg.action_dim)
+                            .map(|_| wrng.gen::<f64>())
+                            .collect()
                     } else {
                         // Exploration noise is applied locally so workers
                         // decorrelate even with identical snapshots.
                         let base = shared_actor.read().select_action(&state);
                         base.iter()
                             .map(|&a| {
-                                (a + agent_cfg.exploration_noise
-                                    * (wrng.gen::<f64>() * 2.0 - 1.0))
+                                (a + agent_cfg.exploration_noise * (wrng.gen::<f64>() * 2.0 - 1.0))
                                     .clamp(0.0, 1.0)
                             })
                             .collect::<Vec<f64>>()
@@ -112,7 +117,11 @@ pub fn train_td3_parallel(
                         out.next_state.clone(),
                         out.done,
                     );
-                    state = if out.done { env.reset() } else { out.next_state };
+                    state = if out.done {
+                        env.reset()
+                    } else {
+                        out.next_state
+                    };
                     steps += 1;
                     if tx.send(t).is_err() {
                         break; // learner finished
@@ -188,7 +197,10 @@ mod tests {
     #[test]
     fn parallel_training_reaches_the_gradient_budget() {
         let cfg = OfflineConfig::deepcat(400, 3);
-        let par = ParallelConfig { workers: 4, ..Default::default() };
+        let par = ParallelConfig {
+            workers: 4,
+            ..Default::default()
+        };
         let (agent, log, stats) = train_td3_parallel(make_env, agent_cfg(), &cfg, &par);
         assert_eq!(stats.gradient_steps, 400);
         assert!(stats.transitions_collected >= 128, "{stats:?}");
@@ -200,7 +212,10 @@ mod tests {
     #[test]
     fn parallel_training_produces_a_useful_policy() {
         let cfg = OfflineConfig::deepcat(900, 4);
-        let par = ParallelConfig { workers: 4, ..Default::default() };
+        let par = ParallelConfig {
+            workers: 4,
+            ..Default::default()
+        };
         let (mut agent, _, _) = train_td3_parallel(make_env, agent_cfg(), &cfg, &par);
         let mut live = TuningEnv::for_workload(
             Cluster::cluster_a().with_background_load(0.15),
@@ -219,7 +234,10 @@ mod tests {
     #[test]
     fn single_worker_also_works() {
         let cfg = OfflineConfig::td3_uniform(150, 5);
-        let par = ParallelConfig { workers: 1, ..Default::default() };
+        let par = ParallelConfig {
+            workers: 1,
+            ..Default::default()
+        };
         let (_, _, stats) = train_td3_parallel(make_env, agent_cfg(), &cfg, &par);
         assert_eq!(stats.gradient_steps, 150);
     }

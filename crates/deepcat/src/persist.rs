@@ -9,8 +9,8 @@ use std::path::Path;
 /// Save a TD3 agent's checkpoint to `path` (pretty JSON).
 pub fn save_td3(agent: &Td3Agent, path: &Path) -> io::Result<()> {
     let cp = agent.checkpoint();
-    let body = serde_json::to_string(&cp)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let body =
+        serde_json::to_string(&cp).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     std::fs::write(path, body)
 }
 
@@ -18,8 +18,8 @@ pub fn save_td3(agent: &Td3Agent, path: &Path) -> io::Result<()> {
 /// `seed` re-seeds the exploration noise only.
 pub fn load_td3(path: &Path, seed: u64) -> io::Result<Td3Agent> {
     let body = std::fs::read_to_string(path)?;
-    let cp: Td3Checkpoint = serde_json::from_str(&body)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let cp: Td3Checkpoint =
+        serde_json::from_str(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     Ok(Td3Agent::from_checkpoint(cp, seed))
 }
 
@@ -42,7 +42,11 @@ mod tests {
                 })
                 .collect();
             let n = transitions.len();
-            agent.train_step(&Batch { transitions, weights: vec![1.0; n], indices: vec![0; n] });
+            agent.train_step(&Batch {
+                transitions,
+                weights: vec![1.0; n],
+                indices: vec![0; n],
+            });
         }
         agent
     }
@@ -71,7 +75,15 @@ mod tests {
         save_td3(&agent, &path).unwrap();
         let mut loaded = load_td3(&path, 5).unwrap();
         let transitions: Vec<Transition> = (0..8)
-            .map(|_| Transition::new(vec![0.1, 0.2], vec![0.5, 0.5, 0.5], 0.3, vec![0.1, 0.2], true))
+            .map(|_| {
+                Transition::new(
+                    vec![0.1, 0.2],
+                    vec![0.5, 0.5, 0.5],
+                    0.3,
+                    vec![0.1, 0.2],
+                    true,
+                )
+            })
             .collect();
         let n = transitions.len();
         let (stats, _) = loaded.train_step(&Batch {

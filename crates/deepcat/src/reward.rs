@@ -26,7 +26,9 @@ impl RewardFn {
     /// paper's target-speedup convention.
     pub fn from_default_time(default_exec_s: f64) -> Self {
         assert!(default_exec_s > 0.0);
-        Self { perf_e: default_exec_s / TARGET_SPEEDUP }
+        Self {
+            perf_e: default_exec_s / TARGET_SPEEDUP,
+        }
     }
 
     /// Build with an explicit target time.

@@ -8,7 +8,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rand_distr::{Distribution, Normal};
 use rl::{Batch, GaussianNoise};
-use tensor_nn::{loss, Activation, Matrix, Mlp, Adam};
+use tensor_nn::{loss, Activation, Adam, Matrix, Mlp};
 
 /// Diagnostics from one gradient step.
 #[derive(Clone, Copy, Debug, Default)]
@@ -78,8 +78,18 @@ impl Td3Agent {
         );
         // Critics: [state | action] → scalar Q.
         let critic_sizes = layer_sizes(cfg.state_dim + cfg.action_dim, &cfg.hidden, 1);
-        let critic1 = Mlp::new(&critic_sizes, Activation::Relu, Activation::Identity, &mut rng);
-        let critic2 = Mlp::new(&critic_sizes, Activation::Relu, Activation::Identity, &mut rng);
+        let critic1 = Mlp::new(
+            &critic_sizes,
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng,
+        );
+        let critic2 = Mlp::new(
+            &critic_sizes,
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng,
+        );
         let explore = GaussianNoise::new(cfg.action_dim, cfg.exploration_noise);
         Self {
             actor_target: actor.clone(),
@@ -94,7 +104,7 @@ impl Td3Agent {
             explore,
             rng,
             cfg,
-        train_steps: 0,
+            train_steps: 0,
         }
     }
 
@@ -138,13 +148,25 @@ impl Td3Agent {
         let m = batch.len();
         assert!(m > 0, "empty batch");
         let states = Matrix::from_rows(
-            &batch.transitions.iter().map(|t| t.state.as_slice()).collect::<Vec<_>>(),
+            &batch
+                .transitions
+                .iter()
+                .map(|t| t.state.as_slice())
+                .collect::<Vec<_>>(),
         );
         let actions = Matrix::from_rows(
-            &batch.transitions.iter().map(|t| t.action.as_slice()).collect::<Vec<_>>(),
+            &batch
+                .transitions
+                .iter()
+                .map(|t| t.action.as_slice())
+                .collect::<Vec<_>>(),
         );
         let next_states = Matrix::from_rows(
-            &batch.transitions.iter().map(|t| t.next_state.as_slice()).collect::<Vec<_>>(),
+            &batch
+                .transitions
+                .iter()
+                .map(|t| t.next_state.as_slice())
+                .collect::<Vec<_>>(),
         );
 
         // ---- targets: clipped double-Q with target policy smoothing ----
@@ -172,8 +194,9 @@ impl Td3Agent {
         let sa = states.hconcat(&actions);
         let c1_cache = self.critic1.forward(&sa);
         let c2_cache = self.critic2.forward(&sa);
-        let td_errors: Vec<f64> =
-            (0..m).map(|r| c1_cache.output.get(r, 0) - y.get(r, 0)).collect();
+        let td_errors: Vec<f64> = (0..m)
+            .map(|r| c1_cache.output.get(r, 0) - y.get(r, 0))
+            .collect();
         let g1 = loss::weighted_mse_grad(&c1_cache.output, &y, &batch.weights);
         let g2 = loss::weighted_mse_grad(&c2_cache.output, &y, &batch.weights);
         let c1_loss = loss::mse(&c1_cache.output, &y);
@@ -208,9 +231,12 @@ impl Td3Agent {
             actor_grads.clip_global_norm(10.0);
             self.actor_opt.step(&mut self.actor, &actor_grads);
 
-            self.actor_target.soft_update_from(&self.actor, self.cfg.tau);
-            self.critic1_target.soft_update_from(&self.critic1, self.cfg.tau);
-            self.critic2_target.soft_update_from(&self.critic2, self.cfg.tau);
+            self.actor_target
+                .soft_update_from(&self.actor, self.cfg.tau);
+            self.critic1_target
+                .soft_update_from(&self.critic1, self.cfg.tau);
+            self.critic2_target
+                .soft_update_from(&self.critic2, self.cfg.tau);
         }
 
         // Mean min-Q under the current policy (diagnostic, Fig. 3).
@@ -218,8 +244,10 @@ impl Td3Agent {
         let sa_now = states.hconcat(&a_now);
         let q1n = self.critic1.infer(&sa_now);
         let q2n = self.critic2.infer(&sa_now);
-        stats.mean_min_q =
-            (0..m).map(|r| q1n.get(r, 0).min(q2n.get(r, 0))).sum::<f64>() / m as f64;
+        stats.mean_min_q = (0..m)
+            .map(|r| q1n.get(r, 0).min(q2n.get(r, 0)))
+            .sum::<f64>()
+            / m as f64;
 
         (stats, td_errors)
     }
@@ -300,7 +328,11 @@ mod tests {
             let _ = i;
         }
         let n = transitions.len();
-        Batch { transitions, weights: vec![1.0; n], indices: vec![0; n] }
+        Batch {
+            transitions,
+            weights: vec![1.0; n],
+            indices: vec![0; n],
+        }
     }
 
     #[test]
@@ -325,7 +357,10 @@ mod tests {
         assert!(!agent.diverged());
         let a = agent.select_action(&[0.1, 0.2]);
         let d2: f64 = a.iter().zip(&target).map(|(x, t)| (x - t) * (x - t)).sum();
-        assert!(d2 < 0.05, "policy should approach the bandit optimum, d² = {d2}, a = {a:?}");
+        assert!(
+            d2 < 0.05,
+            "policy should approach the bandit optimum, d² = {d2}, a = {a:?}"
+        );
     }
 
     #[test]

@@ -25,20 +25,18 @@ pub struct BestConfig {
 
 impl BestConfig {
     pub fn new(seed: u64) -> Self {
-        Self { seed, samples_per_round: 6, shrink: 0.5 }
+        Self {
+            seed,
+            samples_per_round: 6,
+            shrink: 0.5,
+        }
     }
 
     /// Divide-and-diverge sampling in the box `[lo, hi]^d`: each dimension
     /// is split into `n` intervals and the interval indices are permuted
     /// independently per dimension (a latin hypercube), so every interval
     /// of every dimension is covered exactly once.
-    pub fn dds(
-        &self,
-        lo: &[f64],
-        hi: &[f64],
-        n: usize,
-        rng: &mut StdRng,
-    ) -> Vec<Vec<f64>> {
+    pub fn dds(&self, lo: &[f64], hi: &[f64], n: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
         let d = lo.len();
         assert_eq!(hi.len(), d);
         // One shuffled interval order per dimension.
@@ -88,7 +86,10 @@ impl Tuner for BestConfig {
             let recommendation_s = t0.elapsed().as_secs_f64() / round.max(1) as f64;
             for action in candidates {
                 let out = env.step(&action);
-                if best.as_ref().map(|(_, t)| out.exec_time_s < *t).unwrap_or(true)
+                if best
+                    .as_ref()
+                    .map(|(_, t)| out.exec_time_s < *t)
+                    .unwrap_or(true)
                     && !out.failed
                 {
                     best = Some((action.clone(), out.exec_time_s));
@@ -134,10 +135,16 @@ mod tests {
         let samples = bc.dds(&vec![0.0; 4], &vec![1.0; 4], n, &mut rng);
         assert_eq!(samples.len(), n);
         for j in 0..4 {
-            let mut cells: Vec<usize> =
-                samples.iter().map(|s| ((s[j] * n as f64) as usize).min(n - 1)).collect();
+            let mut cells: Vec<usize> = samples
+                .iter()
+                .map(|s| ((s[j] * n as f64) as usize).min(n - 1))
+                .collect();
             cells.sort_unstable();
-            assert_eq!(cells, (0..n).collect::<Vec<_>>(), "dimension {j} not covered");
+            assert_eq!(
+                cells,
+                (0..n).collect::<Vec<_>>(),
+                "dimension {j} not covered"
+            );
         }
     }
 

@@ -55,7 +55,10 @@ impl Tuner for CdbTune {
 
     fn online_tune(&mut self, env: &mut TuningEnv, steps: usize) -> TuningReport {
         let agent = self.agent.as_mut().expect("offline_train must run first");
-        let cfg = OnlineConfig { steps, ..self.online_cfg.clone() };
+        let cfg = OnlineConfig {
+            steps,
+            ..self.online_cfg.clone()
+        };
         online_tune_ddpg(agent, env, &cfg, "CDBTune")
     }
 }

@@ -59,7 +59,10 @@ impl Tuner for DeepCat {
 
     fn online_tune(&mut self, env: &mut TuningEnv, steps: usize) -> TuningReport {
         let agent = self.agent.as_mut().expect("offline_train must run first");
-        let cfg = OnlineConfig { steps, ..self.online_cfg.clone() };
+        let cfg = OnlineConfig {
+            steps,
+            ..self.online_cfg.clone()
+        };
         online_tune_td3(agent, env, &cfg, "DeepCAT")
     }
 }

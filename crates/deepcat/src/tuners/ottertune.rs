@@ -58,7 +58,12 @@ pub struct OtterTune {
 impl OtterTune {
     /// Build with a pre-collected repository.
     pub fn with_repository(repository: Repository, seed: u64) -> Self {
-        Self { repository, knob_ranking: Vec::new(), seed, ei_candidates: 2000 }
+        Self {
+            repository,
+            knob_ranking: Vec::new(),
+            seed,
+            ei_candidates: 2000,
+        }
     }
 
     /// The Lasso knob ranking (most important first); empty before

@@ -44,7 +44,12 @@ pub struct TwinQOptimizer {
 
 impl Default for TwinQOptimizer {
     fn default() -> Self {
-        Self { q_threshold: 0.3, sigma: 0.08, max_iters: 64, smoothing_samples: 4 }
+        Self {
+            q_threshold: 0.3,
+            sigma: 0.08,
+            max_iters: 64,
+            smoothing_samples: 4,
+        }
     }
 }
 
@@ -68,7 +73,10 @@ pub struct TwinQResult {
 impl TwinQOptimizer {
     /// With the paper's chosen threshold `Q_th = 0.3`.
     pub fn with_threshold(q_threshold: f64) -> Self {
-        Self { q_threshold, ..Self::default() }
+        Self {
+            q_threshold,
+            ..Self::default()
+        }
     }
 
     /// The smoothed sub-optimality indicator: mean of `min(Q1, Q2)` over
@@ -117,7 +125,7 @@ impl TwinQOptimizer {
             }
             iterations += 1;
         }
-        if current_q >= self.q_threshold {
+        let result = if current_q >= self.q_threshold {
             TwinQResult {
                 action: current,
                 initial_q,
@@ -127,8 +135,29 @@ impl TwinQOptimizer {
             }
         } else {
             // Cap hit: fall back to the best candidate seen.
-            TwinQResult { action: best, initial_q, final_q: best_q, iterations, accepted: false }
+            TwinQResult {
+                action: best,
+                initial_q,
+                final_q: best_q,
+                iterations,
+                accepted: false,
+            }
+        };
+        telemetry::inc("twinq.calls", 1);
+        // Each perturbation round scored a candidate with the critics
+        // instead of paying for a real evaluation.
+        telemetry::inc("twinq.eval_skipped", result.iterations as u64);
+        if result.accepted {
+            telemetry::inc("twinq.accepted", 1);
         }
+        telemetry::event!(
+            "twinq.decision",
+            iterations = result.iterations,
+            initial_q = result.initial_q,
+            final_q = result.final_q,
+            accepted = result.accepted,
+        );
+        result
     }
 }
 
@@ -156,7 +185,11 @@ mod tests {
                 transitions.push(Transition::new(s.clone(), a, 1.0 - d2, s, true));
             }
             let n = transitions.len();
-            agent.train_step(&Batch { transitions, weights: vec![1.0; n], indices: vec![0; n] });
+            agent.train_step(&Batch {
+                transitions,
+                weights: vec![1.0; n],
+                indices: vec![0; n],
+            });
         }
         agent
     }
@@ -167,7 +200,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let state = [0.1, 0.2];
         let good = agent.select_action(&state);
-        let opt = TwinQOptimizer { q_threshold: 0.2, sigma: 0.08, max_iters: 64, smoothing_samples: 4 };
+        let opt = TwinQOptimizer {
+            q_threshold: 0.2,
+            sigma: 0.08,
+            max_iters: 64,
+            smoothing_samples: 4,
+        };
         let res = opt.optimize(&agent, &state, good.clone(), &mut rng);
         assert!(res.accepted);
         assert_eq!(res.iterations, 0, "good action must not be perturbed");
@@ -186,7 +224,12 @@ mod tests {
         let q_good = agent.min_q(&state, &agent.select_action(&state));
         assert!(q_good > q_bad, "critics must rank the policy action higher");
         let threshold = q_bad + 0.6 * (q_good - q_bad);
-        let opt = TwinQOptimizer { q_threshold: threshold, sigma: 0.1, max_iters: 512, smoothing_samples: 4 };
+        let opt = TwinQOptimizer {
+            q_threshold: threshold,
+            sigma: 0.1,
+            max_iters: 512,
+            smoothing_samples: 4,
+        };
         let res = opt.optimize(&agent, &state, bad, &mut rng);
         assert!(res.final_q > q_bad, "{} vs {q_bad}", res.final_q);
         assert!(res.iterations > 0);
@@ -198,18 +241,31 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let state = [0.1, 0.2];
         // Impossible threshold forces the cap.
-        let opt = TwinQOptimizer { q_threshold: 1e6, sigma: 0.05, max_iters: 16, smoothing_samples: 1 };
+        let opt = TwinQOptimizer {
+            q_threshold: 1e6,
+            sigma: 0.05,
+            max_iters: 16,
+            smoothing_samples: 1,
+        };
         let res = opt.optimize(&agent, &state, vec![0.5, 0.5, 0.5], &mut rng);
         assert!(!res.accepted);
         assert_eq!(res.iterations, 16);
-        assert!(res.final_q >= res.initial_q, "returns the best candidate seen");
+        assert!(
+            res.final_q >= res.initial_q,
+            "returns the best candidate seen"
+        );
     }
 
     #[test]
     fn actions_stay_in_unit_box() {
         let agent = trained_agent();
         let mut rng = StdRng::seed_from_u64(3);
-        let opt = TwinQOptimizer { q_threshold: 10.0, sigma: 0.3, max_iters: 32, smoothing_samples: 2 };
+        let opt = TwinQOptimizer {
+            q_threshold: 10.0,
+            sigma: 0.3,
+            max_iters: 32,
+            smoothing_samples: 2,
+        };
         let res = opt.optimize(&agent, &[0.1, 0.2], vec![0.0, 1.0, 0.5], &mut rng);
         assert!(res.action.iter().all(|&v| (0.0..=1.0).contains(&v)));
     }

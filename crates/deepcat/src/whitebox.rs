@@ -111,7 +111,9 @@ pub struct WhiteBoxTwinQ {
 
 impl Default for WhiteBoxTwinQ {
     fn default() -> Self {
-        Self { inner: TwinQOptimizer::default() }
+        Self {
+            inner: TwinQOptimizer::default(),
+        }
     }
 }
 
@@ -158,7 +160,13 @@ impl WhiteBoxTwinQ {
                 accepted: true,
             }
         } else {
-            TwinQResult { action: best, initial_q, final_q: best_q, iterations, accepted: false }
+            TwinQResult {
+                action: best,
+                initial_q,
+                final_q: best_q,
+                iterations,
+                accepted: false,
+            }
         };
         (result, Some(bottleneck))
     }
@@ -319,7 +327,10 @@ mod tests {
             }
             assert_eq!(a, s, "unmasked knob {d} must be untouched");
         }
-        assert!(mask.iter().any(|&d| res.action[d] != start[d]), "masked knobs must move");
+        assert!(
+            mask.iter().any(|&d| res.action[d] != start[d]),
+            "masked knobs must move"
+        );
     }
 
     #[test]
@@ -335,11 +346,8 @@ mod tests {
         ac.hidden = vec![32, 32];
         ac.warmup_steps = 96;
         let (mut agent, _, _) = train_td3(&mut env, ac, &OfflineConfig::deepcat(700, 5), &[]);
-        let mut live = TuningEnv::for_workload(
-            Cluster::cluster_a().with_background_load(0.15),
-            w,
-            72,
-        );
+        let mut live =
+            TuningEnv::for_workload(Cluster::cluster_a().with_background_load(0.15), w, 72);
         let (report, bottlenecks) =
             online_tune_whitebox(&mut agent, &mut live, &OnlineConfig::deepcat(6));
         assert_eq!(report.steps.len(), 5);

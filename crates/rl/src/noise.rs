@@ -15,7 +15,10 @@ pub struct GaussianNoise {
 impl GaussianNoise {
     pub fn new(dim: usize, sigma: f64) -> Self {
         assert!(sigma >= 0.0);
-        Self { dim, normal: Normal::new(0.0, sigma.max(1e-12)).expect("valid sigma") }
+        Self {
+            dim,
+            normal: Normal::new(0.0, sigma.max(1e-12)).expect("valid sigma"),
+        }
     }
 
     pub fn dim(&self) -> usize {
@@ -50,7 +53,12 @@ pub struct OrnsteinUhlenbeck {
 
 impl OrnsteinUhlenbeck {
     pub fn new(dim: usize, theta: f64, sigma: f64) -> Self {
-        Self { theta, sigma, mu: 0.0, state: vec![0.0; dim] }
+        Self {
+            theta,
+            sigma,
+            mu: 0.0,
+            state: vec![0.0; dim],
+        }
     }
 
     /// Reset the internal state (start of an episode).

@@ -17,7 +17,12 @@ pub struct RunningNorm {
 
 impl RunningNorm {
     pub fn new(dim: usize) -> Self {
-        Self { count: 0, mean: vec![0.0; dim], m2: vec![0.0; dim], min_std: 1e-4 }
+        Self {
+            count: 0,
+            mean: vec![0.0; dim],
+            m2: vec![0.0; dim],
+            min_std: 1e-4,
+        }
     }
 
     pub fn dim(&self) -> usize {
@@ -85,16 +90,17 @@ mod tests {
     #[test]
     fn statistics_match_batch_formulas() {
         let mut rng = StdRng::seed_from_u64(1);
-        let data: Vec<Vec<f64>> =
-            (0..500).map(|_| vec![rng.gen::<f64>() * 4.0 - 1.0, rng.gen::<f64>()]).collect();
+        let data: Vec<Vec<f64>> = (0..500)
+            .map(|_| vec![rng.gen::<f64>() * 4.0 - 1.0, rng.gen::<f64>()])
+            .collect();
         let mut norm = RunningNorm::new(2);
         for x in &data {
             norm.update(x);
         }
         for d in 0..2 {
             let mean: f64 = data.iter().map(|x| x[d]).sum::<f64>() / data.len() as f64;
-            let var: f64 = data.iter().map(|x| (x[d] - mean).powi(2)).sum::<f64>()
-                / (data.len() - 1) as f64;
+            let var: f64 =
+                data.iter().map(|x| (x[d] - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
             assert!((norm.mean()[d] - mean).abs() < 1e-10);
             assert!((norm.std()[d] - var.sqrt()).abs() < 1e-10);
         }

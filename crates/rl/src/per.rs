@@ -89,7 +89,14 @@ impl ReplayMemory for PrioritizedReplay {
         for w in &mut weights {
             *w /= wmax;
         }
-        Some(Batch { transitions, weights, indices })
+        telemetry::inc("replay.per.sampled", batch as u64);
+        telemetry::set_gauge("replay.per.len", self.len as f64);
+        telemetry::set_gauge("replay.per.max_priority", self.max_priority);
+        Some(Batch {
+            transitions,
+            weights,
+            indices,
+        })
     }
 
     fn update_priorities(&mut self, indices: &[u64], td_errors: &[f64]) {
@@ -145,7 +152,10 @@ mod tests {
             total += b.len();
         }
         let frac = hits7 as f64 / total as f64;
-        assert!(frac > 0.3, "transition with dominant priority sampled {frac}");
+        assert!(
+            frac > 0.3,
+            "transition with dominant priority sampled {frac}"
+        );
     }
 
     #[test]
@@ -174,7 +184,10 @@ mod tests {
             .find(|(&i, _)| i != 3)
             .map(|(_, &w)| w);
         if let (Some(w3), Some(wo)) = (w3, wother) {
-            assert!(w3 < wo, "high-priority sample must get lower IS weight: {w3} vs {wo}");
+            assert!(
+                w3 < wo,
+                "high-priority sample must get lower IS weight: {w3} vs {wo}"
+            );
         }
     }
 

@@ -47,7 +47,9 @@ impl RankBasedReplay {
         }
         self.ranking = (0..self.data.len()).collect();
         self.ranking.sort_by(|&a, &b| {
-            self.priorities[b].partial_cmp(&self.priorities[a]).expect("finite priorities")
+            self.priorities[b]
+                .partial_cmp(&self.priorities[a])
+                .expect("finite priorities")
         });
         self.dirty = false;
     }
@@ -105,7 +107,11 @@ impl ReplayMemory for RankBasedReplay {
         for w in &mut weights {
             *w /= wmax;
         }
-        Some(Batch { transitions, weights, indices })
+        Some(Batch {
+            transitions,
+            weights,
+            indices,
+        })
     }
 
     fn update_priorities(&mut self, indices: &[u64], td_errors: &[f64]) {
@@ -153,8 +159,19 @@ mod tests {
                 hits[i as usize] += 1;
             }
         }
-        let max_other = hits.iter().enumerate().filter(|(i, _)| *i != 20).map(|(_, &h)| h).max().unwrap();
-        assert!(hits[20] > max_other, "rank-1 sampled {} vs max other {}", hits[20], max_other);
+        let max_other = hits
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 20)
+            .map(|(_, &h)| h)
+            .max()
+            .unwrap();
+        assert!(
+            hits[20] > max_other,
+            "rank-1 sampled {} vs max other {}",
+            hits[20],
+            max_other
+        );
     }
 
     #[test]

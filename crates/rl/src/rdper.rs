@@ -95,6 +95,8 @@ impl ReplayMemory for RdPer {
         } else {
             self.low.push(t);
         }
+        telemetry::set_gauge("rdper.high_len", self.high.len() as f64);
+        telemetry::set_gauge("rdper.low_len", self.low.len() as f64);
     }
 
     fn sample(&mut self, batch: usize, rng: &mut dyn rand::RngCore) -> Option<Batch> {
@@ -106,16 +108,35 @@ impl ReplayMemory for RdPer {
         // Draw the guaranteed share from each pool; if one pool is still
         // empty, the other covers its quota so the batch is always full.
         let quota_high = if self.high.is_empty() { 0 } else { want_high };
-        let quota_low = if self.low.is_empty() { 0 } else { batch - quota_high };
-        Self::sample_pool(&mut self.high, quota_high, rng, &mut transitions);
+        let quota_low = if self.low.is_empty() {
+            0
+        } else {
+            batch - quota_high
+        };
+        let mut high_n = Self::sample_pool(&mut self.high, quota_high, rng, &mut transitions);
         Self::sample_pool(&mut self.low, quota_low, rng, &mut transitions);
         let missing = batch - transitions.len();
         if missing > 0 {
-            let pool = if self.high.is_empty() { &mut self.low } else { &mut self.high };
+            let from_high = !self.high.is_empty();
+            let pool = if from_high {
+                &mut self.high
+            } else {
+                &mut self.low
+            };
             Self::sample_pool(pool, missing, rng, &mut transitions);
+            if from_high {
+                high_n += missing;
+            }
         }
         let n = transitions.len();
-        Some(Batch { transitions, weights: vec![1.0; n], indices: vec![u64::MAX; n] })
+        telemetry::inc("rdper.sampled_high", high_n as u64);
+        telemetry::inc("rdper.sampled_low", (n - high_n) as u64);
+        telemetry::observe("rdper.actual_beta", high_n as f64 / n.max(1) as f64);
+        Some(Batch {
+            transitions,
+            weights: vec![1.0; n],
+            indices: vec![u64::MAX; n],
+        })
     }
 
     fn update_priorities(&mut self, _indices: &[u64], _td_errors: &[f64]) {}

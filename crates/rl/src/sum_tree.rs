@@ -18,7 +18,10 @@ impl SumTree {
     pub fn new(n: usize) -> Self {
         assert!(n > 0);
         let cap = n.next_power_of_two();
-        Self { n: cap, tree: vec![0.0; 2 * cap] }
+        Self {
+            n: cap,
+            tree: vec![0.0; 2 * cap],
+        }
     }
 
     /// Number of leaf slots.
@@ -34,7 +37,10 @@ impl SumTree {
     /// Set leaf `i` to `priority` (≥ 0) and update ancestors.
     pub fn set(&mut self, i: usize, priority: f64) {
         assert!(i < self.n, "leaf index out of range");
-        assert!(priority >= 0.0 && priority.is_finite(), "invalid priority {priority}");
+        assert!(
+            priority >= 0.0 && priority.is_finite(),
+            "invalid priority {priority}"
+        );
         let mut node = self.n + i;
         self.tree[node] = priority;
         node /= 2;

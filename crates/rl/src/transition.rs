@@ -20,7 +20,13 @@ impl Transition {
         next_state: Vec<f64>,
         done: bool,
     ) -> Self {
-        Self { state, action, reward, next_state, done }
+        Self {
+            state,
+            action,
+            reward,
+            next_state,
+            done,
+        }
     }
 
     /// State dimension.
@@ -92,7 +98,11 @@ mod tests {
     #[test]
     fn batch_len() {
         let t = Transition::new(vec![0.0], vec![0.0], 0.0, vec![0.0], true);
-        let b = Batch { transitions: vec![t.clone(), t], weights: vec![1.0; 2], indices: vec![0, 1] };
+        let b = Batch {
+            transitions: vec![t.clone(), t],
+            weights: vec![1.0; 2],
+            indices: vec![0, 1],
+        };
         assert_eq!(b.len(), 2);
         assert!(!b.is_empty());
     }

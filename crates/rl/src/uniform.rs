@@ -17,7 +17,11 @@ impl UniformReplay {
     /// Create a buffer holding at most `capacity` transitions.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        Self { capacity, data: Vec::with_capacity(capacity.min(4096)), head: 0 }
+        Self {
+            capacity,
+            data: Vec::with_capacity(capacity.min(4096)),
+            head: 0,
+        }
     }
 
     pub fn capacity(&self) -> usize {
@@ -56,7 +60,15 @@ impl ReplayMemory for UniformReplay {
             transitions.push(self.data[i].clone());
             indices.push(i as u64);
         }
-        Some(Batch { transitions, weights: vec![1.0; batch], indices })
+        // The len gauge lives here rather than in `push` so RDPER's internal
+        // pools (which sample via `get`, not `sample`) never touch it.
+        telemetry::inc("replay.uniform.sampled", batch as u64);
+        telemetry::set_gauge("replay.uniform.len", self.data.len() as f64);
+        Some(Batch {
+            transitions,
+            weights: vec![1.0; batch],
+            indices,
+        })
     }
 
     fn update_priorities(&mut self, _indices: &[u64], _td_errors: &[f64]) {}

@@ -40,7 +40,10 @@ impl Cluster {
             net_mbps: 117.0,  // 1 GbE
             cpu_speed: 1.0,
         };
-        Cluster { name: "Cluster-A", nodes: vec![node; 3] }
+        Cluster {
+            name: "Cluster-A",
+            nodes: vec![node; 3],
+        }
     }
 
     /// The VM cluster from the hardware-adaptability experiment
@@ -54,12 +57,18 @@ impl Cluster {
             net_mbps: 100.0,
             cpu_speed: 0.85, // virtualization overhead
         };
-        Cluster { name: "Cluster-B", nodes: vec![node; 3] }
+        Cluster {
+            name: "Cluster-B",
+            nodes: vec![node; 3],
+        }
     }
 
     /// A custom homogeneous cluster.
     pub fn homogeneous(name: &'static str, n: usize, node: Node) -> Self {
-        Cluster { name, nodes: vec![node; n] }
+        Cluster {
+            name,
+            nodes: vec![node; n],
+        }
     }
 
     /// A heterogeneous 3-node cluster: one fast NVMe box, one Cluster-A
@@ -70,9 +79,27 @@ impl Cluster {
         Cluster {
             name: "Cluster-C",
             nodes: vec![
-                Node { cores: 16, memory_mb: 16 * 1024, disk_mbps: 450.0, net_mbps: 117.0, cpu_speed: 1.2 },
-                Node { cores: 16, memory_mb: 16 * 1024, disk_mbps: 150.0, net_mbps: 117.0, cpu_speed: 1.0 },
-                Node { cores: 8, memory_mb: 8 * 1024, disk_mbps: 90.0, net_mbps: 117.0, cpu_speed: 0.7 },
+                Node {
+                    cores: 16,
+                    memory_mb: 16 * 1024,
+                    disk_mbps: 450.0,
+                    net_mbps: 117.0,
+                    cpu_speed: 1.2,
+                },
+                Node {
+                    cores: 16,
+                    memory_mb: 16 * 1024,
+                    disk_mbps: 150.0,
+                    net_mbps: 117.0,
+                    cpu_speed: 1.0,
+                },
+                Node {
+                    cores: 8,
+                    memory_mb: 8 * 1024,
+                    disk_mbps: 90.0,
+                    net_mbps: 117.0,
+                    cpu_speed: 0.7,
+                },
             ],
         }
     }
@@ -83,7 +110,10 @@ impl Cluster {
     /// tuning stage adapts the offline model to — same hardware, different
     /// effective capacity, so the offline optimum is slightly displaced.
     pub fn with_background_load(&self, load: f64) -> Cluster {
-        assert!((0.0..0.9).contains(&load), "background load must be in [0, 0.9)");
+        assert!(
+            (0.0..0.9).contains(&load),
+            "background load must be in [0, 0.9)"
+        );
         let nodes = self
             .nodes
             .iter()
@@ -95,7 +125,10 @@ impl Cluster {
                 cpu_speed: n.cpu_speed * (1.0 - 0.7 * load),
             })
             .collect();
-        Cluster { name: self.name, nodes }
+        Cluster {
+            name: self.name,
+            nodes,
+        }
     }
 
     pub fn num_nodes(&self) -> usize {

@@ -84,7 +84,11 @@ impl Effective {
     /// Decode a full configuration. Panics if `config` does not have the
     /// pipeline space's 32 entries in canonical order.
     pub fn decode(config: &Configuration) -> Self {
-        assert_eq!(config.values.len(), 32, "expected the 32-knob pipeline space");
+        assert_eq!(
+            config.values.len(),
+            32,
+            "expected the 32-knob pipeline space"
+        );
         let g = |i: usize| config.get(i);
         Effective {
             executor_cores: g(idx::EXECUTOR_CORES).as_i64() as u32,

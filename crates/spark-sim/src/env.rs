@@ -67,12 +67,26 @@ impl SparkEnv {
     /// hand-built) instead of a named workload.
     pub fn with_job(cluster: Cluster, label: &str, job: JobSpec, seed: u64) -> Self {
         job.validate().expect("custom job must be a valid DAG");
-        Self::from_source(cluster, JobSource::Custom { label: label.to_string(), job }, seed)
+        Self::from_source(
+            cluster,
+            JobSource::Custom {
+                label: label.to_string(),
+                job,
+            },
+            seed,
+        )
     }
 
     fn from_source(cluster: Cluster, source: JobSource, seed: u64) -> Self {
         let space = KnobSpace::pipeline();
-        let mut env = SparkEnv { space, cluster, source, seed, evals: 0, default_time: 0.0 };
+        let mut env = SparkEnv {
+            space,
+            cluster,
+            source,
+            seed,
+            evals: 0,
+            default_time: 0.0,
+        };
         let dflt = env.space.default_config();
         let mut total = 0.0;
         for i in 0..3 {
@@ -165,7 +179,12 @@ impl SparkEnv {
         } else {
             out.duration_s
         };
-        EvalResult { exec_time_s, failed, failure: out.failed, metrics: out.metrics }
+        EvalResult {
+            exec_time_s,
+            failed,
+            failure: out.failed,
+            metrics: out.metrics,
+        }
     }
 
     /// Evaluate a normalized action vector in `[0,1]^32`.

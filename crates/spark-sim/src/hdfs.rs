@@ -56,8 +56,7 @@ impl HdfsFile {
         if self.blocks.is_empty() {
             return 1.0;
         }
-        self.blocks.iter().filter(|b| b.contains(&node)).count() as f64
-            / self.blocks.len() as f64
+        self.blocks.iter().filter(|b| b.contains(&node)).count() as f64 / self.blocks.len() as f64
     }
 }
 
@@ -83,7 +82,11 @@ pub struct Hdfs {
 impl Hdfs {
     pub fn new(num_nodes: usize, nn_handlers: u32, dn_handlers: u32) -> Self {
         assert!(num_nodes > 0);
-        Self { num_nodes, nn_handlers: nn_handlers.max(1), dn_handlers: dn_handlers.max(1) }
+        Self {
+            num_nodes,
+            nn_handlers: nn_handlers.max(1),
+            dn_handlers: dn_handlers.max(1),
+        }
     }
 
     /// Lay out a file of `size_mb` with `block_mb` blocks and `replication`
@@ -91,13 +94,7 @@ impl Hdfs {
     /// round-robins over writer nodes, remaining replicas go to the next
     /// distinct nodes (a faithful 3-node reduction of rack-aware
     /// placement). `seed` randomizes the starting writer.
-    pub fn place_file(
-        &self,
-        size_mb: f64,
-        block_mb: u64,
-        replication: u32,
-        seed: u64,
-    ) -> HdfsFile {
+    pub fn place_file(&self, size_mb: f64, block_mb: u64, replication: u32, seed: u64) -> HdfsFile {
         let block_mb = block_mb.max(1);
         let n_blocks = ((size_mb / block_mb as f64).ceil() as usize).max(1);
         let repl = (replication as usize).clamp(1, self.num_nodes);
@@ -109,7 +106,13 @@ impl Hdfs {
                 (0..repl).map(|r| (primary + r) % self.num_nodes).collect()
             })
             .collect();
-        HdfsFile { size_mb, block_mb, blocks }
+        telemetry::inc("hdfs.files_placed", 1);
+        telemetry::inc("hdfs.blocks_placed", n_blocks as u64);
+        HdfsFile {
+            size_mb,
+            block_mb,
+            blocks,
+        }
     }
 
     /// Seconds of NameNode-side latency for a burst of `ops` metadata

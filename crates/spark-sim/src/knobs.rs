@@ -179,104 +179,352 @@ impl KnobSpace {
         use KnobValue as V;
         let defs = vec![
             // ---------------- Spark (20) ----------------
-            KnobDef { name: "spark.executor.cores", component: Spark,
-                kind: Int { lo: 1, hi: 8, log: false }, default: V::Int(1),
-                unit: "cores", description: "CPU cores per executor" },
-            KnobDef { name: "spark.executor.memory", component: Spark,
-                kind: Int { lo: 512, hi: 12288, log: true }, default: V::Int(1024),
-                unit: "MB", description: "Heap memory per executor" },
-            KnobDef { name: "spark.executor.instances", component: Spark,
-                kind: Int { lo: 1, hi: 24, log: false }, default: V::Int(2),
-                unit: "executors", description: "Number of executors requested from YARN" },
-            KnobDef { name: "spark.default.parallelism", component: Spark,
-                kind: Int { lo: 8, hi: 512, log: true }, default: V::Int(16),
-                unit: "partitions", description: "Default number of partitions for shuffles" },
-            KnobDef { name: "spark.memory.fraction", component: Spark,
-                kind: Float { lo: 0.3, hi: 0.9 }, default: V::Float(0.6),
-                unit: "", description: "Fraction of heap used for execution and storage" },
-            KnobDef { name: "spark.memory.storageFraction", component: Spark,
-                kind: Float { lo: 0.1, hi: 0.9 }, default: V::Float(0.5),
-                unit: "", description: "Fraction of spark memory immune to eviction (storage)" },
-            KnobDef { name: "spark.shuffle.compress", component: Spark,
-                kind: Bool, default: V::Bool(true),
-                unit: "", description: "Compress map output files" },
-            KnobDef { name: "spark.shuffle.spill.compress", component: Spark,
-                kind: Bool, default: V::Bool(true),
-                unit: "", description: "Compress data spilled during shuffles" },
-            KnobDef { name: "spark.shuffle.file.buffer", component: Spark,
-                kind: Int { lo: 16, hi: 512, log: true }, default: V::Int(32),
-                unit: "KB", description: "In-memory buffer per shuffle file output stream" },
-            KnobDef { name: "spark.reducer.maxSizeInFlight", component: Spark,
-                kind: Int { lo: 8, hi: 256, log: true }, default: V::Int(48),
-                unit: "MB", description: "Max map output fetched concurrently per reduce task" },
-            KnobDef { name: "spark.serializer", component: Spark,
-                kind: Categorical { choices: vec!["java", "kryo"] }, default: V::Cat(0),
-                unit: "", description: "Object serialization implementation" },
-            KnobDef { name: "spark.rdd.compress", component: Spark,
-                kind: Bool, default: V::Bool(false),
-                unit: "", description: "Compress serialized cached RDD partitions" },
-            KnobDef { name: "spark.io.compression.codec", component: Spark,
-                kind: Categorical { choices: vec!["lz4", "lzf", "snappy"] }, default: V::Cat(0),
-                unit: "", description: "Codec for shuffle/RDD/broadcast compression" },
-            KnobDef { name: "spark.locality.wait", component: Spark,
-                kind: Float { lo: 0.0, hi: 10.0 }, default: V::Float(3.0),
-                unit: "s", description: "Wait before scheduling a task at a worse locality level" },
-            KnobDef { name: "spark.speculation", component: Spark,
-                kind: Bool, default: V::Bool(false),
-                unit: "", description: "Re-launch slow tasks speculatively" },
-            KnobDef { name: "spark.task.cpus", component: Spark,
-                kind: Int { lo: 1, hi: 4, log: false }, default: V::Int(1),
-                unit: "cores", description: "CPU cores reserved per task" },
-            KnobDef { name: "spark.broadcast.blockSize", component: Spark,
-                kind: Int { lo: 1, hi: 16, log: false }, default: V::Int(4),
-                unit: "MB", description: "TorrentBroadcast block size" },
-            KnobDef { name: "spark.driver.memory", component: Spark,
-                kind: Int { lo: 512, hi: 8192, log: true }, default: V::Int(1024),
-                unit: "MB", description: "Driver heap size" },
-            KnobDef { name: "spark.driver.cores", component: Spark,
-                kind: Int { lo: 1, hi: 8, log: false }, default: V::Int(1),
-                unit: "cores", description: "Driver CPU cores" },
-            KnobDef { name: "spark.shuffle.sort.bypassMergeThreshold", component: Spark,
-                kind: Int { lo: 50, hi: 800, log: true }, default: V::Int(200),
-                unit: "partitions", description: "Below this many reduce partitions, skip merge-sort" },
+            KnobDef {
+                name: "spark.executor.cores",
+                component: Spark,
+                kind: Int {
+                    lo: 1,
+                    hi: 8,
+                    log: false,
+                },
+                default: V::Int(1),
+                unit: "cores",
+                description: "CPU cores per executor",
+            },
+            KnobDef {
+                name: "spark.executor.memory",
+                component: Spark,
+                kind: Int {
+                    lo: 512,
+                    hi: 12288,
+                    log: true,
+                },
+                default: V::Int(1024),
+                unit: "MB",
+                description: "Heap memory per executor",
+            },
+            KnobDef {
+                name: "spark.executor.instances",
+                component: Spark,
+                kind: Int {
+                    lo: 1,
+                    hi: 24,
+                    log: false,
+                },
+                default: V::Int(2),
+                unit: "executors",
+                description: "Number of executors requested from YARN",
+            },
+            KnobDef {
+                name: "spark.default.parallelism",
+                component: Spark,
+                kind: Int {
+                    lo: 8,
+                    hi: 512,
+                    log: true,
+                },
+                default: V::Int(16),
+                unit: "partitions",
+                description: "Default number of partitions for shuffles",
+            },
+            KnobDef {
+                name: "spark.memory.fraction",
+                component: Spark,
+                kind: Float { lo: 0.3, hi: 0.9 },
+                default: V::Float(0.6),
+                unit: "",
+                description: "Fraction of heap used for execution and storage",
+            },
+            KnobDef {
+                name: "spark.memory.storageFraction",
+                component: Spark,
+                kind: Float { lo: 0.1, hi: 0.9 },
+                default: V::Float(0.5),
+                unit: "",
+                description: "Fraction of spark memory immune to eviction (storage)",
+            },
+            KnobDef {
+                name: "spark.shuffle.compress",
+                component: Spark,
+                kind: Bool,
+                default: V::Bool(true),
+                unit: "",
+                description: "Compress map output files",
+            },
+            KnobDef {
+                name: "spark.shuffle.spill.compress",
+                component: Spark,
+                kind: Bool,
+                default: V::Bool(true),
+                unit: "",
+                description: "Compress data spilled during shuffles",
+            },
+            KnobDef {
+                name: "spark.shuffle.file.buffer",
+                component: Spark,
+                kind: Int {
+                    lo: 16,
+                    hi: 512,
+                    log: true,
+                },
+                default: V::Int(32),
+                unit: "KB",
+                description: "In-memory buffer per shuffle file output stream",
+            },
+            KnobDef {
+                name: "spark.reducer.maxSizeInFlight",
+                component: Spark,
+                kind: Int {
+                    lo: 8,
+                    hi: 256,
+                    log: true,
+                },
+                default: V::Int(48),
+                unit: "MB",
+                description: "Max map output fetched concurrently per reduce task",
+            },
+            KnobDef {
+                name: "spark.serializer",
+                component: Spark,
+                kind: Categorical {
+                    choices: vec!["java", "kryo"],
+                },
+                default: V::Cat(0),
+                unit: "",
+                description: "Object serialization implementation",
+            },
+            KnobDef {
+                name: "spark.rdd.compress",
+                component: Spark,
+                kind: Bool,
+                default: V::Bool(false),
+                unit: "",
+                description: "Compress serialized cached RDD partitions",
+            },
+            KnobDef {
+                name: "spark.io.compression.codec",
+                component: Spark,
+                kind: Categorical {
+                    choices: vec!["lz4", "lzf", "snappy"],
+                },
+                default: V::Cat(0),
+                unit: "",
+                description: "Codec for shuffle/RDD/broadcast compression",
+            },
+            KnobDef {
+                name: "spark.locality.wait",
+                component: Spark,
+                kind: Float { lo: 0.0, hi: 10.0 },
+                default: V::Float(3.0),
+                unit: "s",
+                description: "Wait before scheduling a task at a worse locality level",
+            },
+            KnobDef {
+                name: "spark.speculation",
+                component: Spark,
+                kind: Bool,
+                default: V::Bool(false),
+                unit: "",
+                description: "Re-launch slow tasks speculatively",
+            },
+            KnobDef {
+                name: "spark.task.cpus",
+                component: Spark,
+                kind: Int {
+                    lo: 1,
+                    hi: 4,
+                    log: false,
+                },
+                default: V::Int(1),
+                unit: "cores",
+                description: "CPU cores reserved per task",
+            },
+            KnobDef {
+                name: "spark.broadcast.blockSize",
+                component: Spark,
+                kind: Int {
+                    lo: 1,
+                    hi: 16,
+                    log: false,
+                },
+                default: V::Int(4),
+                unit: "MB",
+                description: "TorrentBroadcast block size",
+            },
+            KnobDef {
+                name: "spark.driver.memory",
+                component: Spark,
+                kind: Int {
+                    lo: 512,
+                    hi: 8192,
+                    log: true,
+                },
+                default: V::Int(1024),
+                unit: "MB",
+                description: "Driver heap size",
+            },
+            KnobDef {
+                name: "spark.driver.cores",
+                component: Spark,
+                kind: Int {
+                    lo: 1,
+                    hi: 8,
+                    log: false,
+                },
+                default: V::Int(1),
+                unit: "cores",
+                description: "Driver CPU cores",
+            },
+            KnobDef {
+                name: "spark.shuffle.sort.bypassMergeThreshold",
+                component: Spark,
+                kind: Int {
+                    lo: 50,
+                    hi: 800,
+                    log: true,
+                },
+                default: V::Int(200),
+                unit: "partitions",
+                description: "Below this many reduce partitions, skip merge-sort",
+            },
             // ---------------- YARN (7) ----------------
-            KnobDef { name: "yarn.nodemanager.resource.memory-mb", component: Yarn,
-                kind: Int { lo: 4096, hi: 14336, log: false }, default: V::Int(8192),
-                unit: "MB", description: "Memory a NodeManager offers to containers" },
-            KnobDef { name: "yarn.nodemanager.resource.cpu-vcores", component: Yarn,
-                kind: Int { lo: 4, hi: 16, log: false }, default: V::Int(8),
-                unit: "vcores", description: "Vcores a NodeManager offers to containers" },
-            KnobDef { name: "yarn.scheduler.minimum-allocation-mb", component: Yarn,
-                kind: Int { lo: 256, hi: 2048, log: true }, default: V::Int(1024),
-                unit: "MB", description: "Smallest container the scheduler grants" },
-            KnobDef { name: "yarn.scheduler.maximum-allocation-mb", component: Yarn,
-                kind: Int { lo: 2048, hi: 14336, log: false }, default: V::Int(8192),
-                unit: "MB", description: "Largest container the scheduler grants" },
-            KnobDef { name: "yarn.scheduler.increment-allocation-mb", component: Yarn,
-                kind: Int { lo: 128, hi: 1024, log: true }, default: V::Int(512),
-                unit: "MB", description: "Container memory rounding granularity" },
-            KnobDef { name: "yarn.nodemanager.vmem-pmem-ratio", component: Yarn,
-                kind: Float { lo: 1.5, hi: 5.0 }, default: V::Float(2.1),
-                unit: "", description: "Allowed virtual-to-physical memory ratio per container" },
-            KnobDef { name: "yarn.nodemanager.pmem-check-enabled", component: Yarn,
-                kind: Bool, default: V::Bool(true),
-                unit: "", description: "Kill containers that exceed physical memory" },
+            KnobDef {
+                name: "yarn.nodemanager.resource.memory-mb",
+                component: Yarn,
+                kind: Int {
+                    lo: 4096,
+                    hi: 14336,
+                    log: false,
+                },
+                default: V::Int(8192),
+                unit: "MB",
+                description: "Memory a NodeManager offers to containers",
+            },
+            KnobDef {
+                name: "yarn.nodemanager.resource.cpu-vcores",
+                component: Yarn,
+                kind: Int {
+                    lo: 4,
+                    hi: 16,
+                    log: false,
+                },
+                default: V::Int(8),
+                unit: "vcores",
+                description: "Vcores a NodeManager offers to containers",
+            },
+            KnobDef {
+                name: "yarn.scheduler.minimum-allocation-mb",
+                component: Yarn,
+                kind: Int {
+                    lo: 256,
+                    hi: 2048,
+                    log: true,
+                },
+                default: V::Int(1024),
+                unit: "MB",
+                description: "Smallest container the scheduler grants",
+            },
+            KnobDef {
+                name: "yarn.scheduler.maximum-allocation-mb",
+                component: Yarn,
+                kind: Int {
+                    lo: 2048,
+                    hi: 14336,
+                    log: false,
+                },
+                default: V::Int(8192),
+                unit: "MB",
+                description: "Largest container the scheduler grants",
+            },
+            KnobDef {
+                name: "yarn.scheduler.increment-allocation-mb",
+                component: Yarn,
+                kind: Int {
+                    lo: 128,
+                    hi: 1024,
+                    log: true,
+                },
+                default: V::Int(512),
+                unit: "MB",
+                description: "Container memory rounding granularity",
+            },
+            KnobDef {
+                name: "yarn.nodemanager.vmem-pmem-ratio",
+                component: Yarn,
+                kind: Float { lo: 1.5, hi: 5.0 },
+                default: V::Float(2.1),
+                unit: "",
+                description: "Allowed virtual-to-physical memory ratio per container",
+            },
+            KnobDef {
+                name: "yarn.nodemanager.pmem-check-enabled",
+                component: Yarn,
+                kind: Bool,
+                default: V::Bool(true),
+                unit: "",
+                description: "Kill containers that exceed physical memory",
+            },
             // ---------------- HDFS (5) ----------------
-            KnobDef { name: "dfs.blocksize", component: Hdfs,
-                kind: Int { lo: 32, hi: 512, log: true }, default: V::Int(128),
-                unit: "MB", description: "HDFS block size (drives input split count)" },
-            KnobDef { name: "dfs.replication", component: Hdfs,
-                kind: Int { lo: 1, hi: 3, log: false }, default: V::Int(3),
-                unit: "replicas", description: "Block replication factor" },
-            KnobDef { name: "dfs.namenode.handler.count", component: Hdfs,
-                kind: Int { lo: 10, hi: 200, log: true }, default: V::Int(10),
-                unit: "threads", description: "NameNode RPC handler threads" },
-            KnobDef { name: "dfs.datanode.handler.count", component: Hdfs,
-                kind: Int { lo: 10, hi: 128, log: true }, default: V::Int(10),
-                unit: "threads", description: "DataNode RPC handler threads" },
-            KnobDef { name: "io.file.buffer.size", component: Hdfs,
-                kind: Int { lo: 4, hi: 1024, log: true }, default: V::Int(64),
-                unit: "KB", description: "Buffer size for HDFS sequence-file IO" },
+            KnobDef {
+                name: "dfs.blocksize",
+                component: Hdfs,
+                kind: Int {
+                    lo: 32,
+                    hi: 512,
+                    log: true,
+                },
+                default: V::Int(128),
+                unit: "MB",
+                description: "HDFS block size (drives input split count)",
+            },
+            KnobDef {
+                name: "dfs.replication",
+                component: Hdfs,
+                kind: Int {
+                    lo: 1,
+                    hi: 3,
+                    log: false,
+                },
+                default: V::Int(3),
+                unit: "replicas",
+                description: "Block replication factor",
+            },
+            KnobDef {
+                name: "dfs.namenode.handler.count",
+                component: Hdfs,
+                kind: Int {
+                    lo: 10,
+                    hi: 200,
+                    log: true,
+                },
+                default: V::Int(10),
+                unit: "threads",
+                description: "NameNode RPC handler threads",
+            },
+            KnobDef {
+                name: "dfs.datanode.handler.count",
+                component: Hdfs,
+                kind: Int {
+                    lo: 10,
+                    hi: 128,
+                    log: true,
+                },
+                default: V::Int(10),
+                unit: "threads",
+                description: "DataNode RPC handler threads",
+            },
+            KnobDef {
+                name: "io.file.buffer.size",
+                component: Hdfs,
+                kind: Int {
+                    lo: 4,
+                    hi: 1024,
+                    log: true,
+                },
+                default: V::Int(64),
+                unit: "KB",
+                description: "Buffer size for HDFS sequence-file IO",
+            },
         ];
         let space = Self { defs };
         debug_assert_eq!(space.len(), 32);
@@ -298,13 +546,18 @@ impl KnobSpace {
 
     /// How many knobs belong to `component` — Table 2 of the paper.
     pub fn count_by_component(&self, component: Component) -> usize {
-        self.defs.iter().filter(|d| d.component == component).count()
+        self.defs
+            .iter()
+            .filter(|d| d.component == component)
+            .count()
     }
 
     /// The framework-default configuration (what the paper's "default"
     /// baseline runs with).
     pub fn default_config(&self) -> Configuration {
-        Configuration { values: self.defs.iter().map(|d| d.default.clone()).collect() }
+        Configuration {
+            values: self.defs.iter().map(|d| d.default.clone()).collect(),
+        }
     }
 
     /// Map a normalized action in `[0,1]^n` to a concrete configuration.
@@ -346,7 +599,11 @@ impl KnobSpace {
     /// Inverse of [`denormalize`](Self::denormalize): map a configuration to
     /// the center of its normalized pre-image.
     pub fn normalize(&self, config: &Configuration) -> Vec<f64> {
-        assert_eq!(config.values.len(), self.defs.len(), "config dimension mismatch");
+        assert_eq!(
+            config.values.len(),
+            self.defs.len(),
+            "config dimension mismatch"
+        );
         self.defs
             .iter()
             .zip(&config.values)
@@ -362,9 +619,7 @@ impl KnobSpace {
                         (v - *lo as f64) / (*hi - *lo) as f64
                     }
                 }
-                (KnobKind::Float { lo, hi }, v) => {
-                    ((v.as_f64() - lo) / (hi - lo)).clamp(0.0, 1.0)
-                }
+                (KnobKind::Float { lo, hi }, v) => ((v.as_f64() - lo) / (hi - lo)).clamp(0.0, 1.0),
                 (KnobKind::Bool, v) => {
                     if v.as_bool() {
                         0.75
@@ -404,9 +659,15 @@ mod tests {
     #[test]
     fn index_constants_match_names() {
         let s = KnobSpace::pipeline();
-        assert_eq!(s.defs()[idx::EXECUTOR_MEMORY_MB].name, "spark.executor.memory");
+        assert_eq!(
+            s.defs()[idx::EXECUTOR_MEMORY_MB].name,
+            "spark.executor.memory"
+        );
         assert_eq!(s.defs()[idx::SERIALIZER].name, "spark.serializer");
-        assert_eq!(s.defs()[idx::PMEM_CHECK].name, "yarn.nodemanager.pmem-check-enabled");
+        assert_eq!(
+            s.defs()[idx::PMEM_CHECK].name,
+            "yarn.nodemanager.pmem-check-enabled"
+        );
         assert_eq!(s.defs()[idx::IO_FILE_BUFFER_KB].name, "io.file.buffer.size");
     }
 

@@ -37,7 +37,11 @@ pub struct MorrisConfig {
 
 impl Default for MorrisConfig {
     fn default() -> Self {
-        Self { trajectories: 12, delta: 0.25, seed: 7 }
+        Self {
+            trajectories: 12,
+            delta: 0.25,
+            seed: 7,
+        }
     }
 }
 
@@ -69,7 +73,11 @@ pub fn morris_screening(
             order.swap(i, j);
         }
         for &d in &order {
-            let step = if rng.gen_bool(0.5) { cfg.delta } else { -cfg.delta };
+            let step = if rng.gen_bool(0.5) {
+                cfg.delta
+            } else {
+                -cfg.delta
+            };
             point[d] = (point[d] + step).clamp(0.0, 1.0);
             let next = (env.evaluate_action(&point).exec_time_s).ln();
             effects[d].push((next - current) / step);
@@ -85,7 +93,12 @@ pub fn morris_screening(
             let mu_star = es.iter().map(|e| e.abs()).sum::<f64>() / n;
             let mean = es.iter().sum::<f64>() / n;
             let sigma = (es.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / n).sqrt();
-            KnobSensitivity { knob, name: space.defs()[knob].name, mu_star, sigma }
+            KnobSensitivity {
+                knob,
+                name: space.defs()[knob].name,
+                mu_star,
+                sigma,
+            }
         })
         .collect();
     out.sort_by(|a, b| b.mu_star.partial_cmp(&a.mu_star).unwrap());
@@ -102,7 +115,11 @@ mod tests {
         morris_screening(
             &Cluster::cluster_a(),
             Workload::new(kind, InputSize::D1),
-            &MorrisConfig { trajectories: 8, delta: 0.25, seed: 11 },
+            &MorrisConfig {
+                trajectories: 8,
+                delta: 0.25,
+                seed: 11,
+            },
         )
     }
 
@@ -113,7 +130,9 @@ mod tests {
         for w in s.windows(2) {
             assert!(w[0].mu_star >= w[1].mu_star, "must be sorted by influence");
         }
-        assert!(s.iter().all(|k| k.mu_star.is_finite() && k.sigma.is_finite()));
+        assert!(s
+            .iter()
+            .all(|k| k.mu_star.is_finite() && k.sigma.is_finite()));
     }
 
     #[test]
@@ -143,8 +162,12 @@ mod tests {
         let mem_mu = |s: &[KnobSensitivity]| {
             s.iter()
                 .filter(|k| {
-                    [idx::EXECUTOR_MEMORY_MB, idx::MEMORY_FRACTION, idx::MEMORY_STORAGE_FRACTION]
-                        .contains(&k.knob)
+                    [
+                        idx::EXECUTOR_MEMORY_MB,
+                        idx::MEMORY_FRACTION,
+                        idx::MEMORY_STORAGE_FRACTION,
+                    ]
+                    .contains(&k.knob)
                 })
                 .map(|k| k.mu_star)
                 .sum::<f64>()

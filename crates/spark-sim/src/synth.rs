@@ -22,7 +22,12 @@ pub struct SynthParams {
 
 impl Default for SynthParams {
     fn default() -> Self {
-        Self { stages: 5, input_mb: 2048.0, join_probability: 0.3, cache_probability: 0.2 }
+        Self {
+            stages: 5,
+            input_mb: 2048.0,
+            join_probability: 0.3,
+            cache_probability: 0.2,
+        }
     }
 }
 
@@ -44,7 +49,9 @@ pub fn synthetic_job(params: &SynthParams, seed: u64) -> JobSpec {
     for i in 0..n {
         let is_source = i < sources;
         let read = if is_source {
-            DataSource::Hdfs { mb: params.input_mb / sources as f64 }
+            DataSource::Hdfs {
+                mb: params.input_mb / sources as f64,
+            }
         } else {
             let mb = params.input_mb * (0.1 + 0.7 * rng.gen::<f64>());
             DataSource::Shuffle { mb }
@@ -66,7 +73,11 @@ pub fn synthetic_job(params: &SynthParams, seed: u64) -> JobSpec {
             name: STAGE_NAMES[i],
             read,
             write,
-            sizing: if is_source { TaskSizing::ByInputSplits } else { TaskSizing::ByParallelism },
+            sizing: if is_source {
+                TaskSizing::ByInputSplits
+            } else {
+                TaskSizing::ByParallelism
+            },
             cpu_per_mb: 0.02 + 0.06 * rng.gen::<f64>(),
             ser_fraction: 0.2 + 0.4 * rng.gen::<f64>(),
             sort_like: rng.gen_bool(0.25),
@@ -100,7 +111,9 @@ pub fn synthetic_job(params: &SynthParams, seed: u64) -> JobSpec {
         .collect();
     stages.push(StageSpec {
         name: STAGE_NAMES[n],
-        read: DataSource::Shuffle { mb: params.input_mb * 0.05 },
+        read: DataSource::Shuffle {
+            mb: params.input_mb * 0.05,
+        },
         write: DataSink::Driver,
         sizing: TaskSizing::Fixed(8),
         cpu_per_mb: 0.02,
@@ -110,9 +123,18 @@ pub fn synthetic_job(params: &SynthParams, seed: u64) -> JobSpec {
         exec_mem_per_input_mb: 0.3,
         native_spike_mb: 80.0,
     });
-    dependencies.push(if leaves.is_empty() { vec![n - 1] } else { leaves });
+    dependencies.push(if leaves.is_empty() {
+        vec![n - 1]
+    } else {
+        leaves
+    });
 
-    let job = JobSpec { stages, dependencies, peak_cache_mb, driver_work: 1.0 };
+    let job = JobSpec {
+        stages,
+        dependencies,
+        peak_cache_mb,
+        driver_work: 1.0,
+    };
     debug_assert!(job.validate().is_ok());
     job
 }
@@ -128,7 +150,8 @@ mod tests {
     fn generated_jobs_are_valid_dags() {
         for seed in 0..50 {
             let job = synthetic_job(&SynthParams::default(), seed);
-            job.validate().unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+            job.validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
             assert!(job.stages.len() >= 2);
         }
     }
@@ -144,9 +167,16 @@ mod tests {
 
     #[test]
     fn joins_appear_with_high_probability_setting() {
-        let p = SynthParams { stages: 8, join_probability: 1.0, ..Default::default() };
+        let p = SynthParams {
+            stages: 8,
+            join_probability: 1.0,
+            ..Default::default()
+        };
         let found = (0..10).any(|seed| {
-            synthetic_job(&p, seed).dependencies.iter().any(|d| d.len() == 2)
+            synthetic_job(&p, seed)
+                .dependencies
+                .iter()
+                .any(|d| d.len() == 2)
         });
         assert!(found, "join probability 1.0 must produce joins");
     }
@@ -158,13 +188,19 @@ mod tests {
         for seed in 0..20 {
             let job = synthetic_job(&SynthParams::default(), seed);
             let out = simulate(&Cluster::cluster_a(), &cfg, &job, seed);
-            assert!(out.duration_s.is_finite() && out.duration_s > 0.0, "seed {seed}");
+            assert!(
+                out.duration_s.is_finite() && out.duration_s > 0.0,
+                "seed {seed}"
+            );
         }
     }
 
     #[test]
     fn cache_probability_zero_means_no_cache() {
-        let p = SynthParams { cache_probability: 0.0, ..Default::default() };
+        let p = SynthParams {
+            cache_probability: 0.0,
+            ..Default::default()
+        };
         for seed in 0..10 {
             assert_eq!(synthetic_job(&p, seed).peak_cache_mb, 0.0);
         }
@@ -172,7 +208,10 @@ mod tests {
 
     #[test]
     fn stage_count_is_clamped() {
-        let p = SynthParams { stages: 100, ..Default::default() };
+        let p = SynthParams {
+            stages: 100,
+            ..Default::default()
+        };
         let job = synthetic_job(&p, 1);
         assert!(job.stages.len() <= STAGE_NAMES.len());
     }

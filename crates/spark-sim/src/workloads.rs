@@ -337,7 +337,12 @@ impl JobSpec {
         let dependencies = (0..stages.len())
             .map(|i| if i == 0 { Vec::new() } else { vec![i - 1] })
             .collect();
-        JobSpec { stages, dependencies, peak_cache_mb, driver_work }
+        JobSpec {
+            stages,
+            dependencies,
+            peak_cache_mb,
+            driver_work,
+        }
     }
 
     /// Check the DAG is well-formed and acyclic.
@@ -460,7 +465,9 @@ fn terasort(input_mb: f64) -> JobSpec {
         vec![
             StageSpec {
                 name: "ts-sample",
-                read: DataSource::Hdfs { mb: input_mb * 0.01 },
+                read: DataSource::Hdfs {
+                    mb: input_mb * 0.01,
+                },
                 write: DataSink::Driver,
                 sizing: TaskSizing::Fixed(16),
                 cpu_per_mb: 0.020,
@@ -539,8 +546,13 @@ fn pagerank(input_mb: f64) -> JobSpec {
     for i in 0..ITERS {
         stages.push(StageSpec {
             name: pr_iter_name(i),
-            read: DataSource::Cached { mb: links_mb, recompute_cpu_per_mb: 0.050 },
-            write: DataSink::Shuffle { mb: ranks_mb + links_mb * 0.25 },
+            read: DataSource::Cached {
+                mb: links_mb,
+                recompute_cpu_per_mb: 0.050,
+            },
+            write: DataSink::Shuffle {
+                mb: ranks_mb + links_mb * 0.25,
+            },
             sizing: TaskSizing::ByParallelism,
             cpu_per_mb: 0.055,
             ser_fraction: 0.5,
@@ -569,13 +581,24 @@ fn pagerank(input_mb: f64) -> JobSpec {
         native_spike_mb: 100.0,
     });
     dependencies.push(vec![stages.len() - 2]);
-    JobSpec { stages, dependencies, peak_cache_mb: links_mb, driver_work: 1.5 }
+    JobSpec {
+        stages,
+        dependencies,
+        peak_cache_mb: links_mb,
+        driver_work: 1.5,
+    }
 }
 
 fn pr_iter_name(i: usize) -> &'static str {
     const NAMES: [&str; 8] = [
-        "pr-iter-0", "pr-iter-1", "pr-iter-2", "pr-iter-3", "pr-iter-4", "pr-iter-5",
-        "pr-iter-6", "pr-iter-7",
+        "pr-iter-0",
+        "pr-iter-1",
+        "pr-iter-2",
+        "pr-iter-3",
+        "pr-iter-4",
+        "pr-iter-5",
+        "pr-iter-6",
+        "pr-iter-7",
     ];
     NAMES[i.min(NAMES.len() - 1)]
 }
@@ -601,7 +624,10 @@ fn kmeans(input_mb: f64) -> JobSpec {
     for i in 0..ITERS {
         stages.push(StageSpec {
             name: km_iter_name(i),
-            read: DataSource::Cached { mb: cached_mb, recompute_cpu_per_mb: 0.045 },
+            read: DataSource::Cached {
+                mb: cached_mb,
+                recompute_cpu_per_mb: 0.045,
+            },
             write: DataSink::Shuffle { mb: 2.0 }, // centroid partial sums
             sizing: TaskSizing::ByParallelism,
             cpu_per_mb: 0.040,
@@ -683,7 +709,9 @@ fn aggregation(input_mb: f64) -> JobSpec {
             StageSpec {
                 name: "ag-aggregate",
                 read: DataSource::Shuffle { mb: shuffle },
-                write: DataSink::Hdfs { mb: input_mb * 0.05 },
+                write: DataSink::Hdfs {
+                    mb: input_mb * 0.05,
+                },
                 sizing: TaskSizing::ByParallelism,
                 cpu_per_mb: 0.040,
                 ser_fraction: 0.4,
@@ -720,9 +748,14 @@ fn nweight(input_mb: f64) -> JobSpec {
     for h in 0..HOPS {
         stages.push(StageSpec {
             name: HOP_NAMES[h.min(HOP_NAMES.len() - 1)],
-            read: DataSource::Cached { mb: edges_mb, recompute_cpu_per_mb: 0.045 },
+            read: DataSource::Cached {
+                mb: edges_mb,
+                recompute_cpu_per_mb: 0.045,
+            },
             // Each hop's frontier grows: bigger shuffle per hop.
-            write: DataSink::Shuffle { mb: edges_mb * (0.5 + 0.5 * h as f64) },
+            write: DataSink::Shuffle {
+                mb: edges_mb * (0.5 + 0.5 * h as f64),
+            },
             sizing: TaskSizing::ByParallelism,
             cpu_per_mb: 0.06,
             ser_fraction: 0.5,
@@ -746,7 +779,12 @@ fn nweight(input_mb: f64) -> JobSpec {
         native_spike_mb: 120.0,
     });
     dependencies.push(vec![stages.len() - 2]);
-    JobSpec { stages, dependencies, peak_cache_mb: edges_mb, driver_work: 1.2 }
+    JobSpec {
+        stages,
+        dependencies,
+        peak_cache_mb: edges_mb,
+        driver_work: 1.2,
+    }
 }
 
 /// Naive Bayes training: tokenize + count (shuffle of term counts), then a
@@ -771,7 +809,9 @@ fn bayes(input_mb: f64) -> JobSpec {
             StageSpec {
                 name: "ba-aggregate",
                 read: DataSource::Shuffle { mb: counts_mb },
-                write: DataSink::Shuffle { mb: counts_mb * 0.2 },
+                write: DataSink::Shuffle {
+                    mb: counts_mb * 0.2,
+                },
                 sizing: TaskSizing::ByParallelism,
                 cpu_per_mb: 0.045,
                 ser_fraction: 0.45,
@@ -782,8 +822,12 @@ fn bayes(input_mb: f64) -> JobSpec {
             },
             StageSpec {
                 name: "ba-model",
-                read: DataSource::Shuffle { mb: counts_mb * 0.2 },
-                write: DataSink::Hdfs { mb: counts_mb * 0.05 },
+                read: DataSource::Shuffle {
+                    mb: counts_mb * 0.2,
+                },
+                write: DataSink::Hdfs {
+                    mb: counts_mb * 0.05,
+                },
                 sizing: TaskSizing::Fixed(8),
                 cpu_per_mb: 0.03,
                 ser_fraction: 0.3,
@@ -800,8 +844,14 @@ fn bayes(input_mb: f64) -> JobSpec {
 
 fn km_iter_name(i: usize) -> &'static str {
     const NAMES: [&str; 8] = [
-        "km-iter-0", "km-iter-1", "km-iter-2", "km-iter-3", "km-iter-4", "km-iter-5",
-        "km-iter-6", "km-iter-7",
+        "km-iter-0",
+        "km-iter-1",
+        "km-iter-2",
+        "km-iter-3",
+        "km-iter-4",
+        "km-iter-5",
+        "km-iter-6",
+        "km-iter-7",
     ];
     NAMES[i.min(NAMES.len() - 1)]
 }
@@ -866,7 +916,11 @@ mod tests {
     #[test]
     fn pagerank_iterates_three_times() {
         let spec = Workload::new(WorkloadKind::PageRank, InputSize::D1).job_spec();
-        let iters = spec.stages.iter().filter(|s| s.name.starts_with("pr-iter")).count();
+        let iters = spec
+            .stages
+            .iter()
+            .filter(|s| s.name.starts_with("pr-iter"))
+            .count();
         assert_eq!(iters, 3);
         assert!(spec.peak_cache_mb > 0.0);
     }
@@ -878,7 +932,10 @@ mod tests {
         assert_eq!(spec.dependencies[0], Vec::<usize>::new());
         assert_eq!(spec.dependencies[1], vec![0]);
         let levels = spec.levels().unwrap();
-        assert!(levels.iter().all(|l| l.len() == 1), "a chain has singleton levels");
+        assert!(
+            levels.iter().all(|l| l.len() == 1),
+            "a chain has singleton levels"
+        );
     }
 
     #[test]
@@ -909,7 +966,10 @@ mod tests {
     fn bad_dependency_index_is_rejected() {
         let mut spec = Workload::new(WorkloadKind::WordCount, InputSize::D1).job_spec();
         spec.dependencies[1] = vec![99];
-        assert_eq!(spec.validate(), Err(DagError::BadIndex { stage: 1, dep: 99 }));
+        assert_eq!(
+            spec.validate(),
+            Err(DagError::BadIndex { stage: 1, dep: 99 })
+        );
     }
 
     #[test]
@@ -959,7 +1019,10 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert!(shuffles.windows(2).all(|w| w[1] < w[0]), "shuffles shrink: {shuffles:?}");
+        assert!(
+            shuffles.windows(2).all(|w| w[1] < w[0]),
+            "shuffles shrink: {shuffles:?}"
+        );
     }
 
     #[test]

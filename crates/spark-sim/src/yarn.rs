@@ -64,7 +64,10 @@ fn round_up(v: u64, inc: u64) -> u64 {
 }
 
 /// Negotiate containers for the given configuration on the given cluster.
-pub fn negotiate(config: &Configuration, cluster: &Cluster) -> Result<ExecutorPlan, NegotiationError> {
+pub fn negotiate(
+    config: &Configuration,
+    cluster: &Cluster,
+) -> Result<ExecutorPlan, NegotiationError> {
     let heap_req = config.get(idx::EXECUTOR_MEMORY_MB).as_i64().max(1) as u64;
     let instances = config.get(idx::EXECUTOR_INSTANCES).as_i64().max(1) as u32;
     let cores_req = config.get(idx::EXECUTOR_CORES).as_i64().max(1) as u32;
@@ -92,9 +95,11 @@ pub fn negotiate(config: &Configuration, cluster: &Cluster) -> Result<ExecutorPl
         if container > max_alloc {
             container = max_alloc;
         }
-        let ovh = MIN_OVERHEAD_MB.max((container as f64 * OVERHEAD_FRACTION / (1.0 + OVERHEAD_FRACTION)) as u64);
+        let ovh = MIN_OVERHEAD_MB
+            .max((container as f64 * OVERHEAD_FRACTION / (1.0 + OVERHEAD_FRACTION)) as u64);
         heap = container.saturating_sub(ovh);
         if heap < 256 {
+            telemetry::inc("yarn.rejected", 1);
             return Err(NegotiationError::NoContainerFits);
         }
     }
@@ -107,6 +112,7 @@ pub fn negotiate(config: &Configuration, cluster: &Cluster) -> Result<ExecutorPl
         cores_req
     };
     if task_cpus > exec_cores {
+        telemetry::inc("yarn.rejected", 1);
         return Err(NegotiationError::NoTaskSlots);
     }
     let slots_per_executor = exec_cores / task_cpus;
@@ -124,18 +130,30 @@ pub fn negotiate(config: &Configuration, cluster: &Cluster) -> Result<ExecutorPl
             mem_avail = mem_avail.saturating_sub(driver_container);
             cores_avail = cores_avail.saturating_sub(driver_cores.min(cores_avail));
         }
-        let by_mem = if container == 0 { 0 } else { (mem_avail / container) as u32 };
+        let by_mem = if container == 0 {
+            0
+        } else {
+            (mem_avail / container) as u32
+        };
         let by_cores = cores_avail / exec_cores;
         let fit = by_mem.min(by_cores).min(instances.saturating_sub(granted));
         granted += fit;
         per_node.push(fit);
     }
     if granted == 0 {
+        telemetry::inc("yarn.rejected", 1);
         return Err(NegotiationError::NoContainerFits);
     }
 
     let total_slots = granted * slots_per_executor;
     let pmem_headroom = (container.saturating_sub(heap)) as f64 / container as f64;
+
+    telemetry::inc("yarn.negotiations", 1);
+    if clipped {
+        telemetry::inc("yarn.clipped", 1);
+    }
+    telemetry::set_gauge("yarn.total_slots", total_slots as f64);
+    telemetry::set_gauge("yarn.total_executors", granted as f64);
 
     Ok(ExecutorPlan {
         total_executors: granted,

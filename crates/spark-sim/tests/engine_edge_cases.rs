@@ -2,8 +2,8 @@
 //! single-stage jobs, and DAG levels sharing slots.
 
 use spark_sim::{
-    simulate, simulate_traced, Cluster, DataSink, DataSource, InputSize, JobSpec, KnobSpace,
-    Node, StageSpec, TaskSizing, Workload, WorkloadKind,
+    simulate, simulate_traced, Cluster, DataSink, DataSource, InputSize, JobSpec, KnobSpace, Node,
+    StageSpec, TaskSizing, Workload, WorkloadKind,
 };
 
 fn one_stage_job(mb: f64) -> JobSpec {
@@ -30,7 +30,13 @@ fn single_node_cluster_works() {
     let cluster = Cluster::homogeneous(
         "tiny",
         1,
-        Node { cores: 8, memory_mb: 8192, disk_mbps: 120.0, net_mbps: 117.0, cpu_speed: 1.0 },
+        Node {
+            cores: 8,
+            memory_mb: 8192,
+            disk_mbps: 120.0,
+            net_mbps: 117.0,
+            cpu_speed: 1.0,
+        },
     );
     let space = KnobSpace::pipeline();
     let out = simulate(&cluster, &space.default_config(), &one_stage_job(512.0), 1);
@@ -58,12 +64,23 @@ fn concurrent_level_stages_both_get_slots() {
     // schedule tasks (i.e. slot sharing cannot starve either).
     let space = KnobSpace::pipeline();
     let w = Workload::new(WorkloadKind::PageRank, InputSize::D1);
-    let out = simulate_traced(&Cluster::cluster_a(), &space.default_config(), &w.job_spec(), 3);
+    let out = simulate_traced(
+        &Cluster::cluster_a(),
+        &space.default_config(),
+        &w.job_spec(),
+        3,
+    );
     assert!(out.failed.is_none());
-    let links: usize =
-        out.task_traces.iter().filter(|t| t.stage == "pr-build-links").count();
-    let ranks: usize =
-        out.task_traces.iter().filter(|t| t.stage == "pr-init-ranks").count();
+    let links: usize = out
+        .task_traces
+        .iter()
+        .filter(|t| t.stage == "pr-build-links")
+        .count();
+    let ranks: usize = out
+        .task_traces
+        .iter()
+        .filter(|t| t.stage == "pr-init-ranks")
+        .count();
     assert!(links > 0 && ranks > 0, "links {links}, ranks {ranks}");
 }
 
@@ -72,7 +89,13 @@ fn ten_node_cluster_spreads_tasks() {
     let cluster = Cluster::homogeneous(
         "wide",
         10,
-        Node { cores: 8, memory_mb: 8192, disk_mbps: 200.0, net_mbps: 117.0, cpu_speed: 1.0 },
+        Node {
+            cores: 8,
+            memory_mb: 8192,
+            disk_mbps: 200.0,
+            net_mbps: 117.0,
+            cpu_speed: 1.0,
+        },
     );
     let space = KnobSpace::pipeline();
     let mut cfg = space.default_config();

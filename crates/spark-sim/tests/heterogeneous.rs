@@ -21,7 +21,12 @@ fn cfg() -> spark_sim::Configuration {
 #[test]
 fn heterogeneous_cluster_completes_jobs() {
     let w = Workload::new(WorkloadKind::TeraSort, InputSize::D1);
-    let out = simulate(&Cluster::cluster_c_heterogeneous(), &cfg(), &w.job_spec(), 1);
+    let out = simulate(
+        &Cluster::cluster_c_heterogeneous(),
+        &cfg(),
+        &w.job_spec(),
+        1,
+    );
     assert!(out.failed.is_none(), "{:?}", out.failed);
     assert!(out.duration_s.is_finite() && out.duration_s > 0.0);
 }
@@ -29,12 +34,21 @@ fn heterogeneous_cluster_completes_jobs() {
 #[test]
 fn tasks_on_the_slow_node_take_longer() {
     let w = Workload::new(WorkloadKind::KMeans, InputSize::D1);
-    let out = simulate_traced(&Cluster::cluster_c_heterogeneous(), &cfg(), &w.job_spec(), 2);
+    let out = simulate_traced(
+        &Cluster::cluster_c_heterogeneous(),
+        &cfg(),
+        &w.job_spec(),
+        2,
+    );
     assert!(out.failed.is_none());
     // Compare mean task duration on the fast node (0) vs the slow node (2)
     // within the same stage (same work per task).
     let mut by_node = [Vec::new(), Vec::new(), Vec::new()];
-    for t in out.task_traces.iter().filter(|t| t.stage.starts_with("km-iter")) {
+    for t in out
+        .task_traces
+        .iter()
+        .filter(|t| t.stage.starts_with("km-iter"))
+    {
         by_node[t.node].push(t.duration_s);
     }
     let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len().max(1) as f64;
@@ -58,12 +72,19 @@ fn homogeneous_node_times_are_identical_across_nodes() {
     // Group by (stage, local) — durations differ only by the multiplier,
     // whose range is bounded; the minimum per node approximates the base.
     let mut mins = [f64::INFINITY; 3];
-    for t in out.task_traces.iter().filter(|t| t.stage == "wc-map" && t.local) {
+    for t in out
+        .task_traces
+        .iter()
+        .filter(|t| t.stage == "wc-map" && t.local)
+    {
         mins[t.node] = mins[t.node].min(t.duration_s);
     }
     let lo = mins.iter().cloned().fold(f64::INFINITY, f64::min);
     let hi = mins.iter().cloned().fold(0.0f64, f64::max);
-    assert!(hi / lo < 1.15, "node base times should match on Cluster-A: {mins:?}");
+    assert!(
+        hi / lo < 1.15,
+        "node base times should match on Cluster-A: {mins:?}"
+    );
 }
 
 #[test]
@@ -71,11 +92,25 @@ fn heterogeneous_is_slower_than_all_fast_variant() {
     let fast = Cluster::homogeneous(
         "all-fast",
         3,
-        spark_sim::Node { cores: 16, memory_mb: 16 * 1024, disk_mbps: 450.0, net_mbps: 117.0, cpu_speed: 1.2 },
+        spark_sim::Node {
+            cores: 16,
+            memory_mb: 16 * 1024,
+            disk_mbps: 450.0,
+            net_mbps: 117.0,
+            cpu_speed: 1.2,
+        },
     );
     let w = Workload::new(WorkloadKind::KMeans, InputSize::D1);
     let het: f64 = (0..4)
-        .map(|s| simulate(&Cluster::cluster_c_heterogeneous(), &cfg(), &w.job_spec(), s).duration_s)
+        .map(|s| {
+            simulate(
+                &Cluster::cluster_c_heterogeneous(),
+                &cfg(),
+                &w.job_spec(),
+                s,
+            )
+            .duration_s
+        })
         .sum::<f64>()
         / 4.0;
     let fst: f64 = (0..4)

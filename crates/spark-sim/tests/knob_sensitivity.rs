@@ -3,8 +3,7 @@
 //! response surface the tuners learn against.
 
 use spark_sim::{
-    idx, simulate, Cluster, Configuration, InputSize, KnobSpace, KnobValue, Workload,
-    WorkloadKind,
+    idx, simulate, Cluster, Configuration, InputSize, KnobSpace, KnobValue, Workload, WorkloadKind,
 };
 
 fn base() -> Configuration {
@@ -148,7 +147,10 @@ fn vmem_ratio_too_low_risks_kills() {
             kills += 1;
         }
     }
-    assert!(kills > 0, "a tight vmem ratio with small containers must cause kills");
+    assert!(
+        kills > 0,
+        "a tight vmem ratio with small containers must cause kills"
+    );
 }
 
 #[test]
@@ -159,9 +161,16 @@ fn compression_reduces_shuffle_bytes_on_the_wire() {
     off.values[idx::SHUFFLE_COMPRESS] = KnobValue::Bool(false);
     let w = Workload::new(WorkloadKind::TeraSort, InputSize::D1);
     let job = w.job_spec();
-    let m_on = simulate(&Cluster::cluster_a(), &on, &job, 7).metrics.shuffle_mb;
-    let m_off = simulate(&Cluster::cluster_a(), &off, &job, 7).metrics.shuffle_mb;
-    assert!(m_on < m_off * 0.7, "compressed shuffle {m_on} vs raw {m_off}");
+    let m_on = simulate(&Cluster::cluster_a(), &on, &job, 7)
+        .metrics
+        .shuffle_mb;
+    let m_off = simulate(&Cluster::cluster_a(), &off, &job, 7)
+        .metrics
+        .shuffle_mb;
+    assert!(
+        m_on < m_off * 0.7,
+        "compressed shuffle {m_on} vs raw {m_off}"
+    );
 }
 
 #[test]

@@ -57,7 +57,12 @@ fn no_slot_overlap_within_a_stage() {
 fn untraced_simulation_carries_no_traces() {
     let space = KnobSpace::pipeline();
     let w = Workload::new(WorkloadKind::WordCount, InputSize::D1);
-    let out = spark_sim::simulate(&Cluster::cluster_a(), &space.default_config(), &w.job_spec(), 3);
+    let out = spark_sim::simulate(
+        &Cluster::cluster_a(),
+        &space.default_config(),
+        &w.job_spec(),
+        3,
+    );
     assert!(out.task_traces.is_empty());
 }
 

@@ -140,7 +140,12 @@ mod tests {
         GaussianProcess::fit(
             x,
             &y,
-            RbfKernel { signal_variance: 0.2, length_scale: 0.25, noise: 1e-6, kind: KernelKind::Rbf },
+            RbfKernel {
+                signal_variance: 0.2,
+                length_scale: 0.25,
+                noise: 1e-6,
+                kind: KernelKind::Rbf,
+            },
         )
         .unwrap()
     }

@@ -21,7 +21,11 @@ pub struct ArdKernel {
 impl ArdKernel {
     /// Isotropic construction (all lengthscales equal).
     pub fn isotropic(dim: usize, length_scale: f64, noise: f64) -> Self {
-        Self { signal_variance: 1.0, length_scales: vec![length_scale; dim], noise }
+        Self {
+            signal_variance: 1.0,
+            length_scales: vec![length_scale; dim],
+            noise,
+        }
     }
 
     pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
@@ -66,7 +70,13 @@ impl ArdGp {
             });
             if let Ok(chol) = cholesky(&k) {
                 let alpha = cholesky_solve(&chol, &centered);
-                return Some(Self { kernel, x, chol, alpha, mean });
+                return Some(Self {
+                    kernel,
+                    x,
+                    chol,
+                    alpha,
+                    mean,
+                });
             }
             jitter *= 10.0;
         }
@@ -98,7 +108,11 @@ impl ArdGp {
             .iter()
             .map(|c| base_scale / (c.abs() / max_coef + 0.1))
             .collect();
-        let kernel = ArdKernel { signal_variance: y_var, length_scales, noise: noise * y_var };
+        let kernel = ArdKernel {
+            signal_variance: y_var,
+            length_scales,
+            noise: noise * y_var,
+        };
         Self::fit(x, y, kernel)
     }
 
@@ -117,8 +131,12 @@ impl ArdGp {
     /// Posterior predictive mean and variance.
     pub fn predict(&self, q: &[f64]) -> (f64, f64) {
         let kstar: Vec<f64> = self.x.iter().map(|xi| self.kernel.eval(xi, q)).collect();
-        let mean =
-            self.mean + kstar.iter().zip(&self.alpha).map(|(k, a)| k * a).sum::<f64>();
+        let mean = self.mean
+            + kstar
+                .iter()
+                .zip(&self.alpha)
+                .map(|(k, a)| k * a)
+                .sum::<f64>();
         let v = solve_lower(&self.chol, &kstar);
         let var = self.kernel.eval(q, q) - v.iter().map(|vi| vi * vi).sum::<f64>();
         (mean, var.max(1e-12))
@@ -134,8 +152,9 @@ mod tests {
     /// y depends on x0 only; x1 is noise.
     fn data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let x: Vec<Vec<f64>> =
-            (0..n).map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()]).collect();
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()])
+            .collect();
         let y: Vec<f64> = x.iter().map(|p| (6.0 * p[0]).sin()).collect();
         (x, y)
     }
@@ -153,12 +172,15 @@ mod tests {
     fn ard_with_long_irrelevant_scale_beats_isotropic() {
         let (x, y) = data(60, 1);
         let (xt, yt) = data(40, 2);
-        let iso =
-            ArdGp::fit(x.clone(), &y, ArdKernel::isotropic(2, 0.3, 1e-4)).unwrap();
+        let iso = ArdGp::fit(x.clone(), &y, ArdKernel::isotropic(2, 0.3, 1e-4)).unwrap();
         let ard = ArdGp::fit(
             x,
             &y,
-            ArdKernel { signal_variance: 1.0, length_scales: vec![0.3, 10.0], noise: 1e-4 },
+            ArdKernel {
+                signal_variance: 1.0,
+                length_scales: vec![0.3, 10.0],
+                noise: 1e-4,
+            },
         )
         .unwrap();
         let rmse = |gp: &ArdGp| {

@@ -30,14 +30,24 @@ pub struct RbfKernel {
 
 impl Default for RbfKernel {
     fn default() -> Self {
-        Self { signal_variance: 1.0, length_scale: 1.0, noise: 1e-2, kind: KernelKind::Rbf }
+        Self {
+            signal_variance: 1.0,
+            length_scale: 1.0,
+            noise: 1e-2,
+            kind: KernelKind::Rbf,
+        }
     }
 }
 
 impl RbfKernel {
     /// A Matérn-5/2 kernel with the same hyper-parameter layout.
     pub fn matern52(signal_variance: f64, length_scale: f64, noise: f64) -> Self {
-        Self { signal_variance, length_scale, noise, kind: KernelKind::Matern52 }
+        Self {
+            signal_variance,
+            length_scale,
+            noise,
+            kind: KernelKind::Matern52,
+        }
     }
 
     /// Kernel value between two points.
@@ -46,15 +56,12 @@ impl RbfKernel {
         let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
         match self.kind {
             KernelKind::Rbf => {
-                self.signal_variance
-                    * (-d2 / (2.0 * self.length_scale * self.length_scale)).exp()
+                self.signal_variance * (-d2 / (2.0 * self.length_scale * self.length_scale)).exp()
             }
             KernelKind::Matern52 => {
                 let r = d2.sqrt() / self.length_scale;
                 let s5 = 5.0f64.sqrt();
-                self.signal_variance
-                    * (1.0 + s5 * r + 5.0 * r * r / 3.0)
-                    * (-s5 * r).exp()
+                self.signal_variance * (1.0 + s5 * r + 5.0 * r * r / 3.0) * (-s5 * r).exp()
             }
         }
     }
@@ -109,7 +116,13 @@ impl GaussianProcess {
             });
             if let Ok(chol) = cholesky(&k) {
                 let alpha = cholesky_solve(&chol, &centered);
-                return Ok(Self { kernel, x, chol, alpha, mean });
+                return Ok(Self {
+                    kernel,
+                    x,
+                    chol,
+                    alpha,
+                    mean,
+                });
             }
             jitter *= 10.0;
         }
@@ -129,7 +142,11 @@ impl GaussianProcess {
     pub fn predict(&self, q: &[f64]) -> (f64, f64) {
         let kstar: Vec<f64> = self.x.iter().map(|xi| self.kernel.eval(xi, q)).collect();
         let mean = self.mean
-            + kstar.iter().zip(&self.alpha).map(|(k, a)| k * a).sum::<f64>();
+            + kstar
+                .iter()
+                .zip(&self.alpha)
+                .map(|(k, a)| k * a)
+                .sum::<f64>();
         // var = k(q,q) − vᵀv with v = L⁻¹ k*
         let v = solve_lower(&self.chol, &kstar);
         let var = self.kernel.eval(q, q) - v.iter().map(|vi| vi * vi).sum::<f64>();
@@ -142,7 +159,8 @@ impl GaussianProcess {
         let n = self.x.len() as f64;
         let centered: Vec<f64> = y.iter().map(|v| v - self.mean).collect();
         let fit: f64 = centered.iter().zip(&self.alpha).map(|(a, b)| a * b).sum();
-        -0.5 * fit - 0.5 * log_det_from_cholesky(&self.chol)
+        -0.5 * fit
+            - 0.5 * log_det_from_cholesky(&self.chol)
             - 0.5 * n * (2.0 * std::f64::consts::PI).ln()
     }
 
@@ -190,7 +208,12 @@ mod tests {
         let gp = GaussianProcess::fit(
             x.clone(),
             &y,
-            RbfKernel { signal_variance: 1.0, length_scale: 0.3, noise: 1e-8, kind: KernelKind::Rbf },
+            RbfKernel {
+                signal_variance: 1.0,
+                length_scale: 0.3,
+                noise: 1e-8,
+                kind: KernelKind::Rbf,
+            },
         )
         .unwrap();
         for (xi, yi) in x.iter().zip(&y) {
@@ -207,7 +230,12 @@ mod tests {
         let gp = GaussianProcess::fit(
             x,
             &y,
-            RbfKernel { signal_variance: 1.0, length_scale: 0.1, noise: 1e-6, kind: KernelKind::Rbf },
+            RbfKernel {
+                signal_variance: 1.0,
+                length_scale: 0.1,
+                noise: 1e-6,
+                kind: KernelKind::Rbf,
+            },
         )
         .unwrap();
         let (_, v_near) = gp.predict(&[0.5]);
@@ -222,11 +250,19 @@ mod tests {
         let gp = GaussianProcess::fit(
             x,
             &y,
-            RbfKernel { signal_variance: 1.0, length_scale: 0.2, noise: 1e-4, kind: KernelKind::Rbf },
+            RbfKernel {
+                signal_variance: 1.0,
+                length_scale: 0.2,
+                noise: 1e-4,
+                kind: KernelKind::Rbf,
+            },
         )
         .unwrap();
         let (m, _) = gp.predict(&[100.0]);
-        assert!((m - 10.0).abs() < 0.2, "far prediction {m} should be ≈ prior mean 10");
+        assert!(
+            (m - 10.0).abs() < 0.2,
+            "far prediction {m} should be ≈ prior mean 10"
+        );
     }
 
     #[test]
@@ -250,10 +286,18 @@ mod tests {
 
     #[test]
     fn matern_kernel_is_valid_and_less_smooth() {
-        let rbf = RbfKernel { signal_variance: 1.0, length_scale: 1.0, noise: 0.0, kind: KernelKind::Rbf };
+        let rbf = RbfKernel {
+            signal_variance: 1.0,
+            length_scale: 1.0,
+            noise: 0.0,
+            kind: KernelKind::Rbf,
+        };
         let mat = RbfKernel::matern52(1.0, 1.0, 0.0);
         let a = [0.0];
-        assert!((mat.eval(&a, &a) - 1.0).abs() < 1e-12, "unit at zero distance");
+        assert!(
+            (mat.eval(&a, &a) - 1.0).abs() < 1e-12,
+            "unit at zero distance"
+        );
         for &d in &[0.1, 0.5, 1.0, 2.0, 3.0] {
             let b = [d];
             let km = mat.eval(&a, &b);
@@ -284,7 +328,12 @@ mod tests {
         let gp = GaussianProcess::fit(
             x,
             &y,
-            RbfKernel { signal_variance: 1.0, length_scale: 1.0, noise: 0.0, kind: KernelKind::Rbf },
+            RbfKernel {
+                signal_variance: 1.0,
+                length_scale: 1.0,
+                noise: 0.0,
+                kind: KernelKind::Rbf,
+            },
         );
         assert!(gp.is_ok(), "jitter must rescue duplicated rows");
     }

@@ -32,7 +32,12 @@ impl Lasso {
         }
         let xs: Vec<Vec<f64>> = x
             .iter()
-            .map(|r| r.iter().enumerate().map(|(j, &v)| (v - means[j]) / stds[j]).collect())
+            .map(|r| {
+                r.iter()
+                    .enumerate()
+                    .map(|(j, &v)| (v - means[j]) / stds[j])
+                    .collect()
+            })
             .collect();
         let y_mean = y.iter().sum::<f64>() / n as f64;
         let yc: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
@@ -82,8 +87,9 @@ impl Lasso {
 
     /// Indices of non-zero-coefficient features, by descending |coef|.
     pub fn selected_features(&self) -> Vec<usize> {
-        let mut idx: Vec<usize> =
-            (0..self.coefficients.len()).filter(|&j| self.coefficients[j] != 0.0).collect();
+        let mut idx: Vec<usize> = (0..self.coefficients.len())
+            .filter(|&j| self.coefficients[j] != 0.0)
+            .collect();
         idx.sort_by(|&a, &b| {
             self.coefficients[b]
                 .abs()
@@ -138,7 +144,9 @@ mod tests {
 
     fn synthetic(n: usize, rng: &mut StdRng) -> (Vec<Vec<f64>>, Vec<f64>) {
         // y = 5·x0 − 3·x2 + noise; x1, x3, x4 irrelevant.
-        let x: Vec<Vec<f64>> = (0..n).map(|_| (0..5).map(|_| rng.gen::<f64>()).collect()).collect();
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..5).map(|_| rng.gen::<f64>()).collect())
+            .collect();
         let y: Vec<f64> = x
             .iter()
             .map(|r| 5.0 * r[0] - 3.0 * r[2] + 0.05 * rng.gen::<f64>())

@@ -38,7 +38,10 @@ impl Repository {
         if let Some(w) = self.workloads.iter_mut().find(|w| w.name == name) {
             w.observations.extend(observations);
         } else {
-            self.workloads.push(WorkloadHistory { name: name.to_string(), observations });
+            self.workloads.push(WorkloadHistory {
+                name: name.to_string(),
+                observations,
+            });
         }
     }
 
@@ -89,9 +92,14 @@ impl Repository {
 
     /// Per-dimension metric standard deviations across the repository.
     fn metric_scales(&self) -> Vec<f64> {
-        let all: Vec<&Observation> =
-            self.workloads.iter().flat_map(|w| w.observations.iter()).collect();
-        let Some(first) = all.first() else { return Vec::new() };
+        let all: Vec<&Observation> = self
+            .workloads
+            .iter()
+            .flat_map(|w| w.observations.iter())
+            .collect();
+        let Some(first) = all.first() else {
+            return Vec::new();
+        };
         let d = first.metrics.len();
         let n = all.len() as f64;
         (0..d)
@@ -122,14 +130,28 @@ mod tests {
     use super::*;
 
     fn obs(cfg: f64, metric: f64, t: f64) -> Observation {
-        Observation { config: vec![cfg, cfg], metrics: vec![metric, metric * 0.5], exec_time_s: t }
+        Observation {
+            config: vec![cfg, cfg],
+            metrics: vec![metric, metric * 0.5],
+            exec_time_s: t,
+        }
     }
 
     fn repo() -> Repository {
         let mut r = Repository::new();
         // Workload A: metrics around 1.0; B: metrics around 10.0.
-        r.add("A", (0..10).map(|i| obs(i as f64 / 10.0, 1.0 + 0.01 * i as f64, 50.0)).collect());
-        r.add("B", (0..10).map(|i| obs(i as f64 / 10.0, 10.0 + 0.01 * i as f64, 80.0)).collect());
+        r.add(
+            "A",
+            (0..10)
+                .map(|i| obs(i as f64 / 10.0, 1.0 + 0.01 * i as f64, 50.0))
+                .collect(),
+        );
+        r.add(
+            "B",
+            (0..10)
+                .map(|i| obs(i as f64 / 10.0, 10.0 + 0.01 * i as f64, 80.0))
+                .collect(),
+        );
         r
     }
 

@@ -1,0 +1,378 @@
+//! End-to-end telemetry for the DeepCAT reproduction: a global metrics
+//! registry (counters, gauges, fixed-bucket histograms), span timers for
+//! tuning steps, and structured events routed to pluggable sinks.
+//!
+//! # Design
+//!
+//! Telemetry is **off by default** and costs one relaxed atomic load per
+//! instrumentation point while off — hot paths in the simulator and the
+//! replay memories stay unmeasurably close to un-instrumented speed (see
+//! `tests/overhead.rs`). Installing a sink turns everything on:
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! let sink = Arc::new(telemetry::JsonlSink::create("run.jsonl").unwrap());
+//! telemetry::install(sink);
+//! // ... run tuning ...
+//! telemetry::shutdown(); // flush + detach
+//! ```
+//!
+//! Instrumented code uses three primitives:
+//!
+//! * **metrics** — `telemetry::counter("twinq.eval_skipped").inc()`,
+//!   `gauge`, `histogram`; aggregated in-process, read via
+//!   [`MetricsRegistry::snapshot`];
+//! * **events** — `telemetry::event!("twinq.decision", skipped = true)`;
+//!   routed to the installed [`Sink`] (JSONL file, console, test buffer);
+//! * **spans** — `telemetry::span!("online.step", step = i)`; a guard that
+//!   on drop records its duration histogram and emits an event.
+//!
+//! Event families and their fields are documented in `README.md`
+//! ("Observability") and consumed by `deepcat-tune report`.
+
+mod metrics;
+mod sink;
+mod span;
+
+pub use metrics::{Buckets, Counter, Gauge, Histogram, HistogramSnapshot};
+pub use sink::{ConsoleSink, Event, FieldValue, JsonlSink, MultiSink, NullSink, Sink, TestSink};
+pub use span::SpanGuard;
+
+use parking_lot::{Mutex, RwLock};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Thread-safe registry of named metrics. Usually accessed through the
+/// global instance (via [`counter`], [`gauge`], [`histogram`],
+/// [`registry_snapshot`]), but can be instantiated standalone in tests.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<HashMap<&'static str, Arc<Counter>>>,
+    gauges: RwLock<HashMap<&'static str, Arc<Gauge>>>,
+    histograms: RwLock<HashMap<&'static str, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        if let Some(c) = self.counters.read().get(name) {
+            return Arc::clone(c);
+        }
+        Arc::clone(
+            self.counters
+                .write()
+                .entry(name)
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        if let Some(g) = self.gauges.read().get(name) {
+            return Arc::clone(g);
+        }
+        Arc::clone(
+            self.gauges
+                .write()
+                .entry(name)
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// Get or create a histogram; `buckets` applies only on first creation.
+    pub fn histogram(&self, name: &'static str, buckets: Buckets) -> Arc<Histogram> {
+        if let Some(h) = self.histograms.read().get(name) {
+            return Arc::clone(h);
+        }
+        Arc::clone(
+            self.histograms
+                .write()
+                .entry(name)
+                .or_insert_with(|| Arc::new(Histogram::new(buckets))),
+        )
+    }
+
+    /// Serializable snapshot of every metric (sorted by name).
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let mut counters: Vec<(String, u64)> = self
+            .counters
+            .read()
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.get()))
+            .collect();
+        counters.sort();
+        let mut gauges: Vec<(String, f64)> = self
+            .gauges
+            .read()
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.get()))
+            .collect();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut histograms: Vec<(String, HistogramSnapshot)> = self
+            .histograms
+            .read()
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.snapshot()))
+            .collect();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        RegistrySnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Drop every registered metric (used between test runs).
+    pub fn reset(&self) {
+        self.counters.write().clear();
+        self.gauges.write().clear();
+        self.histograms.write().clear();
+    }
+}
+
+/// Serializable point-in-time copy of a [`MetricsRegistry`].
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct RegistrySnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl RegistrySnapshot {
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Merge another snapshot (same layouts) into this one — counters and
+    /// histogram buckets add, gauges take `other`'s value.
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        for (name, v) in &other.counters {
+            match self.counters.iter_mut().find(|(k, _)| k == name) {
+                Some((_, mine)) => *mine += v,
+                None => self.counters.push((name.clone(), *v)),
+            }
+        }
+        self.counters.sort();
+        for (name, v) in &other.gauges {
+            match self.gauges.iter_mut().find(|(k, _)| k == name) {
+                Some((_, mine)) => *mine = *v,
+                None => self.gauges.push((name.clone(), *v)),
+            }
+        }
+        self.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, h) in &other.histograms {
+            match self.histograms.iter_mut().find(|(k, _)| k == name) {
+                Some((_, mine)) => mine.merge(h),
+                None => self.histograms.push((name.clone(), h.clone())),
+            }
+        }
+        self.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+}
+
+// ---- global state ----------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn global_registry() -> &'static MetricsRegistry {
+    static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(MetricsRegistry::new)
+}
+
+fn global_sink() -> &'static Mutex<Arc<dyn Sink>> {
+    static SINK: OnceLock<Mutex<Arc<dyn Sink>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(Arc::new(NullSink)))
+}
+
+/// Install a sink and enable telemetry (metrics, spans and events).
+pub fn install(sink: Arc<dyn Sink>) {
+    *global_sink().lock() = sink;
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Flush the current sink, restore the [`NullSink`] and disable telemetry.
+pub fn shutdown() {
+    ENABLED.store(false, Ordering::Release);
+    let old = std::mem::replace(
+        &mut *global_sink().lock(),
+        Arc::new(NullSink) as Arc<dyn Sink>,
+    );
+    old.flush();
+}
+
+/// Flush the installed sink without detaching it.
+pub fn flush() {
+    global_sink().lock().flush();
+}
+
+/// Whether telemetry is currently enabled. Instrumentation points check
+/// this first; while false they cost one relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Get or create a named counter (inert-but-valid handle while disabled).
+pub fn counter(name: &'static str) -> Arc<Counter> {
+    global_registry().counter(name)
+}
+
+pub fn gauge(name: &'static str) -> Arc<Gauge> {
+    global_registry().gauge(name)
+}
+
+pub fn histogram(name: &'static str, buckets: Buckets) -> Arc<Histogram> {
+    global_registry().histogram(name, buckets)
+}
+
+/// Increment a counter by `n` if telemetry is enabled.
+#[inline]
+pub fn inc(name: &'static str, n: u64) {
+    if enabled() {
+        global_registry().counter(name).add(n);
+    }
+}
+
+/// Set a gauge if telemetry is enabled.
+#[inline]
+pub fn set_gauge(name: &'static str, v: f64) {
+    if enabled() {
+        global_registry().gauge(name).set(v);
+    }
+}
+
+/// Observe a value into a histogram (default unit-interval buckets for
+/// values in `[0, 1]`-ish ranges do not fit everything; duration-style
+/// metrics should use [`observe_duration`]).
+#[inline]
+pub fn observe(name: &'static str, v: f64) {
+    if enabled() {
+        global_registry()
+            .histogram(name, Buckets::unit_interval())
+            .observe(v);
+    }
+}
+
+/// Observe a duration in seconds into `<name>.duration_s`.
+#[inline]
+pub fn observe_duration(name: &'static str, seconds: f64) {
+    if enabled() {
+        global_registry().histogram_duration(name).observe(seconds);
+    }
+}
+
+impl MetricsRegistry {
+    fn histogram_duration(&self, name: &'static str) -> Arc<Histogram> {
+        // One histogram per span family, named `<family>.duration_s`.
+        // `&'static str` keys force a small leak per *distinct* family
+        // name, created once and cached thereafter.
+        if let Some(h) = self
+            .histograms
+            .read()
+            .get(format!("{name}.duration_s").as_str())
+        {
+            return Arc::clone(h);
+        }
+        let key: &'static str = Box::leak(format!("{name}.duration_s").into_boxed_str());
+        self.histogram(key, Buckets::duration_seconds())
+    }
+}
+
+/// Snapshot of the global registry.
+pub fn registry_snapshot() -> RegistrySnapshot {
+    global_registry().snapshot()
+}
+
+/// Reset the global registry (tests only — racing with live recording
+/// simply drops the races' samples).
+pub fn reset_metrics() {
+    global_registry().reset();
+}
+
+/// Emit a structured event to the installed sink.
+#[inline]
+pub fn emit(name: &'static str, fields: Vec<(&'static str, FieldValue)>) {
+    if !enabled() {
+        return;
+    }
+    let sink = Arc::clone(&*global_sink().lock());
+    sink.record(&Event::new(name, fields));
+}
+
+/// Start a span; inert (no clock read) while telemetry is disabled.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if enabled() {
+        SpanGuard::active(name)
+    } else {
+        SpanGuard::inert(name)
+    }
+}
+
+/// Emit an event with `key = value` fields; field expressions are not
+/// evaluated while telemetry is disabled.
+///
+/// ```ignore
+/// telemetry::event!("twinq.decision", skipped = true, q_final = q);
+/// ```
+#[macro_export]
+macro_rules! event {
+    ($name:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::emit($name, vec![$((stringify!($key), $crate::FieldValue::from($val))),*]);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_get_or_create_returns_same_handle() {
+        let r = MetricsRegistry::new();
+        r.counter("a").inc();
+        r.counter("a").inc();
+        assert_eq!(r.counter("a").get(), 2);
+        let s = r.snapshot();
+        assert_eq!(s.counter("a"), 2);
+        assert_eq!(s.counter("missing"), 0);
+    }
+
+    #[test]
+    fn snapshot_merge_adds_counters_and_histograms() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        a.counter("x").add(2);
+        b.counter("x").add(3);
+        b.counter("y").inc();
+        a.histogram("h", Buckets::explicit(vec![1.0, 2.0]))
+            .observe(0.5);
+        b.histogram("h", Buckets::explicit(vec![1.0, 2.0]))
+            .observe(1.5);
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.counter("x"), 5);
+        assert_eq!(s.counter("y"), 1);
+        assert_eq!(s.histogram("h").unwrap().count, 2);
+    }
+}

@@ -1,0 +1,345 @@
+//! Metric primitives: counters, gauges and fixed-bucket histograms, plus
+//! their mergeable point-in-time snapshots.
+//!
+//! All types are lock-free on the hot path (atomics only); construction
+//! and registry lookup take a lock but call sites are expected to be
+//! coarse-grained (one evaluation, one tuning step, one training episode).
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins instantaneous value (stored as `f64` bits).
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+impl Gauge {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Bucket upper bounds for a [`Histogram`]. Always strictly increasing;
+/// samples above the last bound land in an implicit overflow bucket.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct Buckets {
+    pub bounds: Vec<f64>,
+}
+
+impl Buckets {
+    /// Explicit upper bounds (must be strictly increasing and non-empty).
+    pub fn explicit(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bucket bounds must be strictly increasing"
+        );
+        Self { bounds }
+    }
+
+    /// `count` bounds starting at `start`, each `factor` times the last.
+    pub fn exponential(start: f64, factor: f64, count: usize) -> Self {
+        assert!(start > 0.0 && factor > 1.0 && count > 0);
+        let mut bounds = Vec::with_capacity(count);
+        let mut b = start;
+        for _ in 0..count {
+            bounds.push(b);
+            b *= factor;
+        }
+        Self::explicit(bounds)
+    }
+
+    /// `count` bounds `start, start+width, ...`.
+    pub fn linear(start: f64, width: f64, count: usize) -> Self {
+        assert!(width > 0.0 && count > 0);
+        Self::explicit((0..count).map(|i| start + width * i as f64).collect())
+    }
+
+    /// Default layout for durations in seconds: 1 µs … ~537 s.
+    pub fn duration_seconds() -> Self {
+        Self::exponential(1e-6, 2.0, 29)
+    }
+
+    /// Default layout for unit-interval quantities (rewards, ratios).
+    pub fn unit_interval() -> Self {
+        Self::linear(0.05, 0.05, 20)
+    }
+}
+
+/// Fixed-bucket histogram with atomic recording.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Buckets,
+    counts: Vec<AtomicU64>,
+    /// Samples above the last bound.
+    overflow: AtomicU64,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Histogram {
+    pub fn new(buckets: Buckets) -> Self {
+        let n = buckets.bounds.len();
+        Self {
+            buckets,
+            counts: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            overflow: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    pub fn observe(&self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        match self.buckets.bounds.iter().position(|&b| v <= b) {
+            Some(i) => self.counts[i].fetch_add(1, Ordering::Relaxed),
+            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+        self.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_add(&self.sum_bits, v);
+        atomic_f64_min(&self.min_bits, v);
+        atomic_f64_max(&self.max_bits, v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.buckets.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            overflow: self.overflow.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            min: f64::from_bits(self.min_bits.load(Ordering::Relaxed)),
+            max: f64::from_bits(self.max_bits.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Convenience: `quantile(p)` on a fresh snapshot.
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        self.snapshot().quantile(p)
+    }
+}
+
+fn atomic_f64_add(bits: &AtomicU64, delta: f64) {
+    let mut cur = bits.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + delta).to_bits();
+        match bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+fn atomic_f64_min(bits: &AtomicU64, v: f64) {
+    let mut cur = bits.load(Ordering::Relaxed);
+    while v < f64::from_bits(cur) {
+        match bits.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+fn atomic_f64_max(bits: &AtomicU64, v: f64) {
+    let mut cur = bits.load(Ordering::Relaxed);
+    while v > f64::from_bits(cur) {
+        match bits.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`]; snapshots with identical bucket
+/// layouts can be merged (e.g. across worker threads or runs).
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct HistogramSnapshot {
+    pub bounds: Vec<f64>,
+    pub counts: Vec<u64>,
+    pub overflow: u64,
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Estimate the `p`-quantile (`0.0..=1.0`) by linear interpolation
+    /// inside the bucket containing the target rank. Returns `None` for an
+    /// empty histogram; `p <= 0` yields the observed min, `p >= 1` the
+    /// observed max, and results are clamped to `[min, max]` so estimates
+    /// never leave the observed range.
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if p <= 0.0 {
+            return Some(self.min);
+        }
+        if p >= 1.0 {
+            return Some(self.max);
+        }
+        let target = p * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = cum + c;
+            if next as f64 >= target && c > 0 {
+                let lower = if i == 0 {
+                    0.0f64.min(self.min)
+                } else {
+                    self.bounds[i - 1]
+                };
+                let upper = self.bounds[i];
+                let frac = (target - cum as f64) / c as f64;
+                let est = lower + frac * (upper - lower);
+                return Some(est.clamp(self.min, self.max));
+            }
+            cum = next;
+        }
+        // Target rank lies in the overflow bucket: all we know is that the
+        // sample exceeded the last bound, so report the observed max.
+        Some(self.max)
+    }
+
+    /// Merge `other` into `self`. Panics if bucket layouts differ.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge different bucket layouts"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(1.5);
+        g.add(-0.5);
+        assert!((g.get() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_boundaries() {
+        let h = Histogram::new(Buckets::explicit(vec![1.0, 2.0, 4.0]));
+        // A sample exactly on a bound lands in that bucket (<= semantics).
+        h.observe(1.0);
+        h.observe(1.5);
+        h.observe(4.0);
+        h.observe(9.0); // overflow
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![1, 1, 1]);
+        assert_eq!(s.overflow, 1);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let h1 = Histogram::new(Buckets::explicit(vec![1.0, 2.0]));
+        let h2 = Histogram::new(Buckets::explicit(vec![1.0, 2.0]));
+        h1.observe(0.5);
+        h2.observe(1.5);
+        h2.observe(5.0);
+        let mut s = h1.snapshot();
+        s.merge(&h2.snapshot());
+        assert_eq!(s.count, 3);
+        assert_eq!(s.counts, vec![1, 1]);
+        assert_eq!(s.overflow, 1);
+        assert_eq!(s.min, 0.5);
+        assert_eq!(s.max, 5.0);
+    }
+}

@@ -1,0 +1,340 @@
+//! Structured events and the pluggable sinks that consume them.
+//!
+//! An [`Event`] is a name plus flat key/value fields. Sinks decide what
+//! happens to it: dropped ([`NullSink`]), buffered for assertions
+//! ([`TestSink`]), appended as one JSON object per line ([`JsonlSink`]) or
+//! rendered to stderr ([`ConsoleSink`]).
+
+use parking_lot::Mutex;
+use serde::{Serialize, Value};
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// One field value of a structured event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+}
+
+impl Serialize for FieldValue {
+    fn serialize(&self) -> Value {
+        match self {
+            FieldValue::I64(v) => Value::I64(*v),
+            FieldValue::U64(v) => Value::U64(*v),
+            FieldValue::F64(v) => Value::F64(*v),
+            FieldValue::Bool(v) => Value::Bool(*v),
+            FieldValue::Str(v) => Value::Str(v.clone()),
+        }
+    }
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v:.4}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+macro_rules! field_from {
+    ($($t:ty => $variant:ident as $repr:ty),*) => {$(
+        impl From<$t> for FieldValue {
+            fn from(v: $t) -> Self {
+                FieldValue::$variant(v as $repr)
+            }
+        }
+    )*};
+}
+
+field_from!(
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64, i64 => I64 as i64,
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64, u64 => U64 as u64,
+    usize => U64 as u64,
+    f32 => F64 as f64, f64 => F64 as f64
+);
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// A structured telemetry event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Dotted family name, e.g. `online.step` or `twinq.decision`.
+    pub name: &'static str,
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Event {
+    pub fn new(name: &'static str, fields: Vec<(&'static str, FieldValue)>) -> Self {
+        Self { name, fields }
+    }
+
+    /// Look up a field by key.
+    pub fn get(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    pub fn f64(&self, key: &str) -> Option<f64> {
+        match self.get(key)? {
+            FieldValue::F64(v) => Some(*v),
+            FieldValue::I64(v) => Some(*v as f64),
+            FieldValue::U64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    pub fn u64(&self, key: &str) -> Option<u64> {
+        match self.get(key)? {
+            FieldValue::U64(v) => Some(*v),
+            FieldValue::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn bool(&self, key: &str) -> Option<bool> {
+        match self.get(key)? {
+            FieldValue::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn str(&self, key: &str) -> Option<&str> {
+        match self.get(key)? {
+            FieldValue::Str(v) => Some(v.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The event as a JSON object value (`event` key first, then fields).
+    pub fn to_json_value(&self, ts_ms: Option<u64>) -> Value {
+        let mut map: Vec<(String, Value)> =
+            vec![("event".to_string(), Value::Str(self.name.to_string()))];
+        if let Some(ts) = ts_ms {
+            map.push(("ts_ms".to_string(), Value::U64(ts)));
+        }
+        for (k, v) in &self.fields {
+            map.push((k.to_string(), v.serialize()));
+        }
+        Value::Map(map)
+    }
+}
+
+/// Consumer of telemetry events. Implementations must be cheap and must
+/// not panic: sinks run inline on tuning hot paths.
+pub trait Sink: Send + Sync {
+    fn record(&self, event: &Event);
+
+    /// Flush any buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// Discards every event. The default sink; the `event!`/`emit` fast path
+/// never even constructs an [`Event`] while this is installed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn record(&self, _event: &Event) {}
+}
+
+/// Buffers events in memory for test assertions.
+#[derive(Debug, Default)]
+pub struct TestSink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl TestSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All recorded events, in order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().clone()
+    }
+
+    /// Recorded events with the given family name.
+    pub fn events_named(&self, name: &str) -> Vec<Event> {
+        self.events
+            .lock()
+            .iter()
+            .filter(|e| e.name == name)
+            .cloned()
+            .collect()
+    }
+
+    pub fn count(&self, name: &str) -> usize {
+        self.events.lock().iter().filter(|e| e.name == name).count()
+    }
+
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+}
+
+impl Sink for TestSink {
+    fn record(&self, event: &Event) {
+        self.events.lock().push(event.clone());
+    }
+}
+
+/// Appends one JSON object per event to a file — the run-log format the
+/// `report` subcommand consumes.
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+    stamp_time: bool,
+}
+
+impl JsonlSink {
+    /// Create (truncate) `path` and write events to it.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self {
+            writer: Mutex::new(BufWriter::new(file)),
+            stamp_time: true,
+        })
+    }
+
+    /// Disable the `ts_ms` wall-clock field (byte-reproducible logs).
+    pub fn without_timestamps(mut self) -> Self {
+        self.stamp_time = false;
+        self
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, event: &Event) {
+        let ts = self.stamp_time.then(|| {
+            SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0)
+        });
+        let value = event.to_json_value(ts);
+        if let Ok(line) = serde_json::to_string(&value) {
+            let mut w = self.writer.lock();
+            // Ignore I/O errors: telemetry must never take down tuning.
+            let _ = writeln!(w, "{line}");
+        }
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Renders selected event families as human-readable progress lines.
+///
+/// Used by the CLI binaries in place of ad-hoc `println!` calls; the
+/// output format is part of the CLI contract (scripts parse it), so lines
+/// are `key=value` pairs after a fixed `[family]` prefix.
+pub struct ConsoleSink {
+    /// Only events whose name starts with one of these prefixes print.
+    /// Empty means print everything.
+    prefixes: Vec<&'static str>,
+    to_stderr: bool,
+}
+
+impl ConsoleSink {
+    pub fn all() -> Self {
+        Self {
+            prefixes: Vec::new(),
+            to_stderr: false,
+        }
+    }
+
+    pub fn stderr() -> Self {
+        Self {
+            prefixes: Vec::new(),
+            to_stderr: true,
+        }
+    }
+
+    /// Restrict printing to event families with the given prefixes.
+    pub fn with_prefixes(mut self, prefixes: Vec<&'static str>) -> Self {
+        self.prefixes = prefixes;
+        self
+    }
+
+    fn format(event: &Event) -> String {
+        let mut line = format!("[{}]", event.name);
+        for (k, v) in &event.fields {
+            line.push(' ');
+            line.push_str(k);
+            line.push('=');
+            line.push_str(&v.to_string());
+        }
+        line
+    }
+}
+
+impl Sink for ConsoleSink {
+    fn record(&self, event: &Event) {
+        if !self.prefixes.is_empty() && !self.prefixes.iter().any(|p| event.name.starts_with(p)) {
+            return;
+        }
+        let line = Self::format(event);
+        if self.to_stderr {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    }
+}
+
+/// Fan out events to several sinks (e.g. console + JSONL file).
+pub struct MultiSink {
+    sinks: Vec<Box<dyn Sink>>,
+}
+
+impl MultiSink {
+    pub fn new(sinks: Vec<Box<dyn Sink>>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl Sink for MultiSink {
+    fn record(&self, event: &Event) {
+        for sink in &self.sinks {
+            sink.record(event);
+        }
+    }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+}

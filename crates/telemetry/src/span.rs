@@ -1,0 +1,76 @@
+//! Lightweight spans: guard timers that, on drop, record their duration
+//! into a histogram (`<name>.duration_s`) and emit a structured event
+//! (`<name>` with a `duration_s` field plus any attached fields).
+
+use crate::sink::FieldValue;
+use std::time::Instant;
+
+/// A timed region of code. Create with [`crate::span`] or the
+/// [`crate::span!`] macro; the measurement happens when the guard drops.
+#[must_use = "a span measures until it is dropped"]
+pub struct SpanGuard {
+    /// `None` when telemetry is disabled — the guard is inert.
+    start: Option<Instant>,
+    name: &'static str,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl SpanGuard {
+    pub(crate) fn active(name: &'static str) -> Self {
+        Self {
+            start: Some(Instant::now()),
+            name,
+            fields: Vec::new(),
+        }
+    }
+
+    pub(crate) fn inert(name: &'static str) -> Self {
+        Self {
+            start: None,
+            name,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Attach a field that will be emitted with the span's event.
+    pub fn field(mut self, key: &'static str, value: impl Into<FieldValue>) -> Self {
+        if self.start.is_some() {
+            self.fields.push((key, value.into()));
+        }
+        self
+    }
+
+    /// Attach a field to an existing guard (builder-free form).
+    pub fn record(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        if self.start.is_some() {
+            self.fields.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let duration_s = start.elapsed().as_secs_f64();
+        crate::observe_duration(self.name, duration_s);
+        let mut fields = std::mem::take(&mut self.fields);
+        fields.push(("duration_s", FieldValue::F64(duration_s)));
+        crate::emit(self.name, fields);
+    }
+}
+
+/// Start a span. With extra `key = value` pairs, they are attached as
+/// event fields:
+///
+/// ```ignore
+/// let _span = telemetry::span!("online.step", step = i, workload = name);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+    ($name:expr, $($key:ident = $val:expr),+ $(,)?) => {
+        $crate::span($name)$(.field(stringify!($key), $val))+
+    };
+}

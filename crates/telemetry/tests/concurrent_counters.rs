@@ -1,0 +1,69 @@
+//! Thread-safety of the metric primitives and the global registry: many
+//! threads hammering the same counter/histogram must lose no updates.
+
+use std::sync::Arc;
+use telemetry::{Buckets, MetricsRegistry, TestSink};
+
+#[test]
+fn concurrent_increments_are_all_counted() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    let registry = Arc::new(MetricsRegistry::new());
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let registry = Arc::clone(&registry);
+            s.spawn(move || {
+                let c = registry.counter("stress.counter");
+                for _ in 0..PER_THREAD {
+                    c.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(
+        registry.snapshot().counter("stress.counter"),
+        THREADS as u64 * PER_THREAD
+    );
+}
+
+#[test]
+fn concurrent_histogram_observations_are_all_counted() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 5_000;
+    let registry = Arc::new(MetricsRegistry::new());
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let registry = Arc::clone(&registry);
+            s.spawn(move || {
+                let h = registry.histogram("stress.hist", Buckets::unit_interval());
+                for i in 0..PER_THREAD {
+                    h.observe((t * PER_THREAD + i) as f64 / (THREADS * PER_THREAD) as f64);
+                }
+            });
+        }
+    });
+    let s = registry.snapshot();
+    let h = s.histogram("stress.hist").unwrap();
+    assert_eq!(h.count, (THREADS * PER_THREAD) as u64);
+    assert_eq!(h.counts.iter().sum::<u64>() + h.overflow, h.count);
+}
+
+#[test]
+fn global_counters_work_from_many_threads() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 2_500;
+    telemetry::install(Arc::new(TestSink::new()));
+    let before = telemetry::registry_snapshot().counter("stress.global");
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            s.spawn(|| {
+                for _ in 0..PER_THREAD {
+                    telemetry::inc("stress.global", 1);
+                }
+            });
+        }
+    });
+    telemetry::shutdown();
+    let after = telemetry::registry_snapshot().counter("stress.global");
+    assert_eq!(after - before, THREADS * PER_THREAD);
+}

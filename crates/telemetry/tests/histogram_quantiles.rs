@@ -1,0 +1,114 @@
+//! Histogram bucket/quantile behaviour: boundary semantics, the
+//! `quantile(p)` edge cases and interpolation sanity.
+
+use telemetry::{Buckets, Histogram};
+
+#[test]
+fn samples_on_a_bound_land_in_that_bucket() {
+    let h = Histogram::new(Buckets::explicit(vec![1.0, 2.0, 4.0]));
+    h.observe(1.0); // exactly on the first bound → first bucket
+    h.observe(1.0000001);
+    h.observe(2.0);
+    h.observe(4.0);
+    h.observe(4.0000001); // above the last bound → overflow
+    let s = h.snapshot();
+    assert_eq!(s.counts, vec![1, 2, 1]);
+    assert_eq!(s.overflow, 1);
+    assert_eq!(s.count, 5);
+}
+
+#[test]
+fn empty_histogram_has_no_quantiles() {
+    let h = Histogram::new(Buckets::duration_seconds());
+    let s = h.snapshot();
+    assert!(s.is_empty());
+    for p in [-1.0, 0.0, 0.5, 1.0, 2.0] {
+        assert_eq!(s.quantile(p), None);
+    }
+    assert_eq!(s.mean(), None);
+}
+
+#[test]
+fn single_sample_quantiles_collapse_to_it() {
+    let h = Histogram::new(Buckets::explicit(vec![1.0, 10.0, 100.0]));
+    h.observe(7.5);
+    let s = h.snapshot();
+    for p in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let q = s.quantile(p).unwrap();
+        assert!(
+            (q - 7.5).abs() < 1e-12,
+            "p={p}: estimates are clamped to [min, max] = [7.5, 7.5], got {q}"
+        );
+    }
+}
+
+#[test]
+fn p_zero_is_min_and_p_one_is_max() {
+    let h = Histogram::new(Buckets::exponential(0.001, 2.0, 20));
+    h.observe(0.013);
+    h.observe(1.7);
+    h.observe(42.0);
+    let s = h.snapshot();
+    assert_eq!(s.quantile(0.0), Some(0.013));
+    assert_eq!(s.quantile(-0.5), Some(0.013));
+    assert_eq!(s.quantile(1.0), Some(42.0));
+    assert_eq!(s.quantile(7.0), Some(42.0));
+}
+
+#[test]
+fn quantiles_are_monotone_and_bracket_the_data() {
+    let h = Histogram::new(Buckets::linear(10.0, 10.0, 20));
+    for i in 0..1000 {
+        // Uniform over (0, 200).
+        h.observe(0.2 * (i as f64) + 0.1);
+    }
+    let s = h.snapshot();
+    let qs: Vec<f64> = [0.05, 0.25, 0.5, 0.75, 0.95]
+        .iter()
+        .map(|&p| s.quantile(p).unwrap())
+        .collect();
+    assert!(
+        qs.windows(2).all(|w| w[0] <= w[1]),
+        "quantiles must be monotone: {qs:?}"
+    );
+    let p50 = s.quantile(0.5).unwrap();
+    assert!(
+        (p50 - 100.0).abs() < 10.0,
+        "median of uniform(0,200) ≈ 100, got {p50}"
+    );
+    for q in qs {
+        assert!(q >= s.min && q <= s.max);
+    }
+}
+
+#[test]
+fn quantile_in_overflow_reports_observed_max() {
+    let h = Histogram::new(Buckets::explicit(vec![1.0]));
+    h.observe(0.5);
+    h.observe(50.0);
+    h.observe(90.0);
+    let s = h.snapshot();
+    // 2 of 3 samples are past the last bound; the p95 rank falls in the
+    // overflow bucket where only the max is known.
+    assert_eq!(s.quantile(0.95), Some(90.0));
+}
+
+#[test]
+fn nan_samples_are_ignored() {
+    let h = Histogram::new(Buckets::unit_interval());
+    h.observe(f64::NAN);
+    h.observe(0.4);
+    let s = h.snapshot();
+    assert_eq!(s.count, 1);
+    assert_eq!(s.quantile(0.5), Some(0.4));
+}
+
+#[test]
+fn mean_tracks_the_sum() {
+    let h = Histogram::new(Buckets::unit_interval());
+    for v in [0.1, 0.2, 0.3, 0.4] {
+        h.observe(v);
+    }
+    let s = h.snapshot();
+    assert!((s.mean().unwrap() - 0.25).abs() < 1e-12);
+}

@@ -1,0 +1,104 @@
+//! JSONL sink round-trip: events written through [`JsonlSink`] must come
+//! back intact when the file is parsed line-by-line with `serde_json` —
+//! this is the exact path `deepcat-tune report` takes.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use telemetry::{Event, FieldValue, JsonlSink, Sink};
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("telemetry-{tag}-{}.jsonl", std::process::id()))
+}
+
+#[test]
+fn events_survive_a_write_read_parse_cycle() {
+    let path = temp_path("roundtrip");
+    {
+        let sink = JsonlSink::create(&path).unwrap().without_timestamps();
+        sink.record(&Event::new(
+            "online.step",
+            vec![
+                ("step", FieldValue::U64(3)),
+                ("reward", FieldValue::F64(-0.125)),
+                ("failed", FieldValue::Bool(false)),
+                ("tuner", FieldValue::Str("DeepCAT".into())),
+                ("delta", FieldValue::I64(-7)),
+            ],
+        ));
+        sink.record(&Event::new(
+            "budget.update",
+            vec![("spent_s", FieldValue::F64(42.5))],
+        ));
+        // Dropping the sink flushes the buffered writer.
+    }
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2);
+
+    let first: serde::Value = serde_json::from_str(lines[0]).unwrap();
+    assert_eq!(
+        first.get("event").and_then(|v| v.as_str()),
+        Some("online.step")
+    );
+    assert_eq!(first.get("step").and_then(|v| v.as_u64()), Some(3));
+    assert_eq!(first.get("reward").and_then(|v| v.as_f64()), Some(-0.125));
+    assert_eq!(first.get("failed").and_then(|v| v.as_bool()), Some(false));
+    assert_eq!(first.get("tuner").and_then(|v| v.as_str()), Some("DeepCAT"));
+    assert_eq!(first.get("delta").and_then(|v| v.as_f64()), Some(-7.0));
+    assert!(
+        first.get("ts_ms").is_none(),
+        "without_timestamps() must omit ts_ms"
+    );
+
+    let second: serde::Value = serde_json::from_str(lines[1]).unwrap();
+    assert_eq!(
+        second.get("event").and_then(|v| v.as_str()),
+        Some("budget.update")
+    );
+    assert_eq!(second.get("spent_s").and_then(|v| v.as_f64()), Some(42.5));
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn global_pipeline_writes_parseable_lines_with_timestamps() {
+    let path = temp_path("global");
+    telemetry::install(Arc::new(JsonlSink::create(&path).unwrap()));
+    telemetry::event!("test.ping", n = 1_u64, label = "hello");
+    telemetry::shutdown(); // uninstalls and flushes
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let line = text.lines().next().expect("one event line");
+    let v: serde::Value = serde_json::from_str(line).unwrap();
+    assert_eq!(v.get("event").and_then(|x| x.as_str()), Some("test.ping"));
+    assert_eq!(v.get("n").and_then(|x| x.as_u64()), Some(1));
+    assert_eq!(v.get("label").and_then(|x| x.as_str()), Some("hello"));
+    assert!(
+        v.get("ts_ms").and_then(|x| x.as_u64()).is_some(),
+        "default sink stamps ts_ms"
+    );
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn string_fields_with_quotes_and_newlines_are_escaped() {
+    let path = temp_path("escape");
+    {
+        let sink = JsonlSink::create(&path).unwrap().without_timestamps();
+        sink.record(&Event::new(
+            "test.escape",
+            vec![("msg", FieldValue::Str("a \"quoted\"\nline\\end".into()))],
+        ));
+    }
+    let text = std::fs::read_to_string(&path).unwrap();
+    // Still exactly one physical line — embedded newline must be escaped.
+    assert_eq!(text.lines().count(), 1);
+    let v: serde::Value = serde_json::from_str(text.lines().next().unwrap()).unwrap();
+    assert_eq!(
+        v.get("msg").and_then(|x| x.as_str()),
+        Some("a \"quoted\"\nline\\end")
+    );
+
+    let _ = std::fs::remove_file(&path);
+}

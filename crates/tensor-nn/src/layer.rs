@@ -72,17 +72,24 @@ impl Dense {
     /// Forward pass; returns the activated output and the cache needed for
     /// backprop.
     pub fn forward(&self, input: &Matrix) -> (Matrix, DenseCache) {
-        let pre = input.matmul_transpose_b(&self.weight).add_row_broadcast(&self.bias);
+        let pre = input
+            .matmul_transpose_b(&self.weight)
+            .add_row_broadcast(&self.bias);
         let out = self.activation.forward(&pre);
         (
             out,
-            DenseCache { input: input.clone(), pre_activation: pre },
+            DenseCache {
+                input: input.clone(),
+                pre_activation: pre,
+            },
         )
     }
 
     /// Forward pass without caching — inference only.
     pub fn infer(&self, input: &Matrix) -> Matrix {
-        let pre = input.matmul_transpose_b(&self.weight).add_row_broadcast(&self.bias);
+        let pre = input
+            .matmul_transpose_b(&self.weight)
+            .add_row_broadcast(&self.bias);
         self.activation.forward(&pre)
     }
 
@@ -97,7 +104,13 @@ impl Dense {
         let grad_b = delta.sum_rows();
         // ∂L/∂x = δ · W  (batch × in)
         let grad_input = delta.matmul(&self.weight);
-        (grad_input, DenseGrad { weight: grad_w, bias: grad_b })
+        (
+            grad_input,
+            DenseGrad {
+                weight: grad_w,
+                bias: grad_b,
+            },
+        )
     }
 
     /// Number of scalar parameters.
@@ -113,7 +126,11 @@ impl Dense {
 }
 
 fn polyak(dst: &mut Matrix, src: &Matrix, tau: f64) {
-    assert_eq!((dst.rows(), dst.cols()), (src.rows(), src.cols()), "polyak shape mismatch");
+    assert_eq!(
+        (dst.rows(), dst.cols()),
+        (src.rows(), src.cols()),
+        "polyak shape mismatch"
+    );
     for (d, &s) in dst.as_mut_slice().iter_mut().zip(src.as_slice()) {
         *d = tau * s + (1.0 - tau) * *d;
     }
@@ -132,7 +149,10 @@ mod tests {
         let x = Matrix::zeros(5, 4);
         let (y, cache) = layer.forward(&x);
         assert_eq!((y.rows(), y.cols()), (5, 3));
-        assert_eq!((cache.pre_activation.rows(), cache.pre_activation.cols()), (5, 3));
+        assert_eq!(
+            (cache.pre_activation.rows(), cache.pre_activation.cols()),
+            (5, 3)
+        );
     }
 
     #[test]

@@ -64,19 +64,20 @@ impl Mlp {
     ///
     /// The output head is initialized with the small bound `3e-3` per the
     /// DDPG/TD3 convention so that the initial policy/value is near zero.
-    pub fn new(
-        sizes: &[usize],
-        hidden: Activation,
-        out: Activation,
-        rng: &mut impl Rng,
-    ) -> Self {
+    pub fn new(sizes: &[usize], hidden: Activation, out: Activation, rng: &mut impl Rng) -> Self {
         assert!(sizes.len() >= 2, "need at least input and output sizes");
         let mut layers = Vec::with_capacity(sizes.len() - 1);
         for w in sizes.windows(2).take(sizes.len() - 2) {
             layers.push(Dense::new(w[0], w[1], hidden, rng));
         }
         let n = sizes.len();
-        layers.push(Dense::with_bound(sizes[n - 2], sizes[n - 1], out, 3e-3, rng));
+        layers.push(Dense::with_bound(
+            sizes[n - 2],
+            sizes[n - 1],
+            out,
+            3e-3,
+            rng,
+        ));
         Self { layers }
     }
 
@@ -140,13 +141,19 @@ impl Mlp {
         }
         (
             grad,
-            MlpGrad { layers: grads.into_iter().map(Option::unwrap).collect() },
+            MlpGrad {
+                layers: grads.into_iter().map(Option::unwrap).collect(),
+            },
         )
     }
 
     /// Polyak (soft) update from `source`: `θ ← τ·θ_src + (1−τ)·θ`.
     pub fn soft_update_from(&mut self, source: &Mlp, tau: f64) {
-        assert_eq!(self.layers.len(), source.layers.len(), "network shape mismatch");
+        assert_eq!(
+            self.layers.len(),
+            source.layers.len(),
+            "network shape mismatch"
+        );
         for (dst, src) in self.layers.iter_mut().zip(&source.layers) {
             dst.soft_update_from(src, tau);
         }
@@ -173,7 +180,12 @@ mod tests {
 
     fn toy_net(seed: u64) -> Mlp {
         let mut rng = StdRng::seed_from_u64(seed);
-        Mlp::new(&[3, 8, 8, 2], Activation::Relu, Activation::Identity, &mut rng)
+        Mlp::new(
+            &[3, 8, 8, 2],
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng,
+        )
     }
 
     #[test]

@@ -14,11 +14,19 @@ pub struct Sgd {
 
 impl Sgd {
     pub fn new(lr: f64) -> Self {
-        Self { lr, momentum: 0.0, velocity: None }
+        Self {
+            lr,
+            momentum: 0.0,
+            velocity: None,
+        }
     }
 
     pub fn with_momentum(lr: f64, momentum: f64) -> Self {
-        Self { lr, momentum, velocity: None }
+        Self {
+            lr,
+            momentum,
+            velocity: None,
+        }
     }
 
     /// Apply one descent step: `θ ← θ − lr · (momentum-smoothed) g`.
@@ -67,7 +75,14 @@ pub struct Adam {
 impl Adam {
     /// Adam with the conventional `β₁ = 0.9, β₂ = 0.999, ε = 1e-8`.
     pub fn new(lr: f64) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, moments: None }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            moments: None,
+        }
     }
 
     /// Number of steps taken so far.
@@ -78,7 +93,11 @@ impl Adam {
     /// Apply one Adam step to `net` using `grads` (gradients of the loss to
     /// *minimize*; negate beforehand for gradient ascent).
     pub fn step(&mut self, net: &mut Mlp, grads: &MlpGrad) {
-        assert_eq!(net.layers().len(), grads.layers.len(), "grad/network layer mismatch");
+        assert_eq!(
+            net.layers().len(),
+            grads.layers.len(),
+            "grad/network layer mismatch"
+        );
         let moments = self.moments.get_or_insert_with(|| {
             net.layers()
                 .iter()
@@ -96,11 +115,36 @@ impl Adam {
         let t = self.t as f64;
         let bc1 = 1.0 - self.beta1.powf(t);
         let bc2 = 1.0 - self.beta2.powf(t);
-        for ((layer, g), (mw, vw, mb, vb)) in
-            net.layers_mut().iter_mut().zip(&grads.layers).zip(moments.iter_mut())
+        for ((layer, g), (mw, vw, mb, vb)) in net
+            .layers_mut()
+            .iter_mut()
+            .zip(&grads.layers)
+            .zip(moments.iter_mut())
         {
-            adam_update(&mut layer.weight, &g.weight, mw, vw, self.lr, self.beta1, self.beta2, self.eps, bc1, bc2);
-            adam_update(&mut layer.bias, &g.bias, mb, vb, self.lr, self.beta1, self.beta2, self.eps, bc1, bc2);
+            adam_update(
+                &mut layer.weight,
+                &g.weight,
+                mw,
+                vw,
+                self.lr,
+                self.beta1,
+                self.beta2,
+                self.eps,
+                bc1,
+                bc2,
+            );
+            adam_update(
+                &mut layer.bias,
+                &g.bias,
+                mb,
+                vb,
+                self.lr,
+                self.beta1,
+                self.beta2,
+                self.eps,
+                bc1,
+                bc2,
+            );
         }
     }
 
@@ -150,7 +194,12 @@ mod tests {
     /// Train y = 2x₀ − x₁ + 0.5 on a tiny net; both optimizers must fit it.
     fn fit(opt_is_adam: bool) -> f64 {
         let mut rng = StdRng::seed_from_u64(42);
-        let mut net = Mlp::new(&[2, 16, 1], Activation::Tanh, Activation::Identity, &mut rng);
+        let mut net = Mlp::new(
+            &[2, 16, 1],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng,
+        );
         let x = Matrix::from_fn(32, 2, |r, c| ((r * 2 + c) % 13) as f64 / 13.0 - 0.5);
         let y = Matrix::from_fn(32, 1, |r, _| 2.0 * x.get(r, 0) - x.get(r, 1) + 0.5);
         let mut adam = Adam::new(0.01);

@@ -40,8 +40,12 @@ fn huber_resists_outliers_better_than_mse() {
 
     let fit = |use_huber: bool| {
         let mut rng = StdRng::seed_from_u64(2);
-        let mut net =
-            Mlp::new(&[1, 1], Activation::Identity, Activation::Identity, &mut rng);
+        let mut net = Mlp::new(
+            &[1, 1],
+            Activation::Identity,
+            Activation::Identity,
+            &mut rng,
+        );
         let mut opt = Adam::new(0.02);
         for _ in 0..2000 {
             let cache = net.forward(&x);

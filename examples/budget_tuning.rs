@@ -15,8 +15,12 @@ fn main() {
 
     let mut offline_env = TuningEnv::for_workload(Cluster::cluster_a(), workload, 31);
     let agent_cfg = AgentConfig::for_dims(offline_env.state_dim(), offline_env.action_dim());
-    let (mut agent, _, _) =
-        train_td3(&mut offline_env, agent_cfg, &OfflineConfig::deepcat(1500, 31), &[]);
+    let (mut agent, _, _) = train_td3(
+        &mut offline_env,
+        agent_cfg,
+        &OfflineConfig::deepcat(1500, 31),
+        &[],
+    );
 
     let live = Cluster::cluster_a().with_background_load(0.15);
     let mut online_env = TuningEnv::for_workload(live, workload, 3233);
@@ -27,7 +31,11 @@ fn main() {
     let mut best = f64::INFINITY;
     let mut steps = 0;
     while spent < budget_s {
-        let one = OnlineConfig { steps: 1, seed: 100 + steps as u64, ..OnlineConfig::deepcat(9) };
+        let one = OnlineConfig {
+            steps: 1,
+            seed: 100 + steps as u64,
+            ..OnlineConfig::deepcat(9)
+        };
         let report = online_tune_td3(&mut agent, &mut online_env, &one, "DeepCAT");
         spent += report.total_cost_s();
         best = best.min(report.best_exec_time_s);

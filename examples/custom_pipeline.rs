@@ -11,7 +11,11 @@ use spark_sim::{synthetic_job, Cluster, SparkEnv, SynthParams};
 
 fn main() {
     // A random 6-stage pipeline with joins and cached intermediates.
-    let params = SynthParams { stages: 6, input_mb: 3072.0, ..Default::default() };
+    let params = SynthParams {
+        stages: 6,
+        input_mb: 3072.0,
+        ..Default::default()
+    };
     let job = synthetic_job(&params, 99);
     println!(
         "synthetic pipeline: {} stages, {} levels, {:.0} MB cached at peak",
@@ -21,15 +25,17 @@ fn main() {
     );
 
     let mk = |cluster: Cluster, seed: u64| {
-        TuningEnv::new(SparkEnv::with_job(cluster, "my-pipeline", job.clone(), seed), 5)
+        TuningEnv::new(
+            SparkEnv::with_job(cluster, "my-pipeline", job.clone(), seed),
+            5,
+        )
     };
 
     let mut offline = mk(Cluster::cluster_a(), 42);
     println!("default execution: {:.1}s", offline.default_exec_time());
 
     let ac = AgentConfig::for_dims(offline.state_dim(), offline.action_dim());
-    let (mut agent, _, _) =
-        train_td3(&mut offline, ac, &OfflineConfig::deepcat(1500, 42), &[]);
+    let (mut agent, _, _) = train_td3(&mut offline, ac, &OfflineConfig::deepcat(1500, 42), &[]);
 
     let mut live = mk(Cluster::cluster_a().with_background_load(0.15), 43);
     let report = online_tune_td3(&mut agent, &mut live, &OnlineConfig::deepcat(7), "DeepCAT");

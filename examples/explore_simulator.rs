@@ -6,9 +6,7 @@
 //! cargo run --release --example explore_simulator
 //! ```
 
-use spark_sim::{
-    idx, simulate, Cluster, InputSize, KnobSpace, KnobValue, Workload, WorkloadKind,
-};
+use spark_sim::{idx, simulate, Cluster, InputSize, KnobSpace, KnobValue, Workload, WorkloadKind};
 
 fn main() {
     let space = KnobSpace::pipeline();

@@ -28,12 +28,21 @@ fn main() {
     println!("\noffline: training on Cluster-A...");
     let mut offline_env = TuningEnv::for_workload(cluster_a, workload, 21);
     let agent_cfg = AgentConfig::for_dims(offline_env.state_dim(), offline_env.action_dim());
-    let (mut agent, _, _) =
-        train_td3(&mut offline_env, agent_cfg, &OfflineConfig::deepcat(1500, 21), &[]);
+    let (mut agent, _, _) = train_td3(
+        &mut offline_env,
+        agent_cfg,
+        &OfflineConfig::deepcat(1500, 21),
+        &[],
+    );
 
     println!("online: tuning {workload} on Cluster-B...");
     let mut online_env = TuningEnv::for_workload(cluster_b, workload, 2223);
-    let report = online_tune_td3(&mut agent, &mut online_env, &OnlineConfig::deepcat(5), "DeepCAT");
+    let report = online_tune_td3(
+        &mut agent,
+        &mut online_env,
+        &OnlineConfig::deepcat(5),
+        "DeepCAT",
+    );
 
     // Recommendations sized for Cluster-A get clipped to Cluster-B's limits
     // by the YARN model, as the paper describes.

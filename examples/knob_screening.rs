@@ -12,7 +12,10 @@ fn main() {
     for kind in [WorkloadKind::TeraSort, WorkloadKind::KMeans] {
         let w = Workload::new(kind, InputSize::D1);
         let scores = morris_screening(&Cluster::cluster_a(), w, &MorrisConfig::default());
-        println!("\n== {w}: top 12 knobs by Morris mu* (of {}) ==", scores.len());
+        println!(
+            "\n== {w}: top 12 knobs by Morris mu* (of {}) ==",
+            scores.len()
+        );
         let max = scores[0].mu_star.max(1e-12);
         for k in scores.iter().take(12) {
             let bar = "#".repeat((40.0 * k.mu_star / max) as usize);

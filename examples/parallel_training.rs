@@ -43,7 +43,10 @@ fn main() {
             make_env,
             ac,
             &OfflineConfig::deepcat(budget, 42),
-            &ParallelConfig { workers: 8, ..Default::default() },
+            &ParallelConfig {
+                workers: 8,
+                ..Default::default()
+            },
         )
     };
     let parallel_wall = t0.elapsed();

@@ -22,7 +22,10 @@ fn main() {
 
     // Offline stage: TD3 + RDPER, trained by trial and error.
     let mut tuner = DeepCat::for_env(&offline_env, 2000, 42);
-    println!("offline training ({} iterations)...", tuner.offline_cfg.iterations);
+    println!(
+        "offline training ({} iterations)...",
+        tuner.offline_cfg.iterations
+    );
     tuner.offline_train(&mut offline_env);
 
     // Online stage: the live cluster runs alongside other services, so the

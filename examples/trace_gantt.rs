@@ -27,8 +27,11 @@ fn main() {
     println!("{w}: {:.1}s total", out.duration_s);
 
     for (stage, stage_time) in &out.stage_times {
-        let traces: Vec<_> =
-            out.task_traces.iter().filter(|t| &t.stage == stage).collect();
+        let traces: Vec<_> = out
+            .task_traces
+            .iter()
+            .filter(|t| &t.stage == stage)
+            .collect();
         if traces.is_empty() {
             continue;
         }
@@ -38,11 +41,18 @@ fn main() {
             .fold(0.0f64, f64::max)
             .max(0.001);
         let slots = traces.iter().map(|t| t.slot).max().unwrap() + 1;
-        println!("\n== stage {stage} ({stage_time:.1}s, {} tasks, {slots} slots) ==", traces.len());
+        println!(
+            "\n== stage {stage} ({stage_time:.1}s, {} tasks, {slots} slots) ==",
+            traces.len()
+        );
         let scale = WIDTH as f64 / end;
         for slot in 0..slots {
             let mut row = vec![' '; WIDTH];
-            let node = traces.iter().find(|t| t.slot == slot).map(|t| t.node).unwrap_or(0);
+            let node = traces
+                .iter()
+                .find(|t| t.slot == slot)
+                .map(|t| t.node)
+                .unwrap_or(0);
             for t in traces.iter().filter(|t| t.slot == slot) {
                 let a = ((t.start_s * scale) as usize).min(WIDTH - 1);
                 let b = (((t.start_s + t.duration_s) * scale) as usize).clamp(a + 1, WIDTH);

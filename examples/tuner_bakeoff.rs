@@ -38,7 +38,10 @@ fn main() {
         Box::new(OtterTune::with_repository(
             build_repository(
                 &Cluster::cluster_a(),
-                &Workload::all_pairs().into_iter().filter(|x| *x != w).collect::<Vec<_>>(),
+                &Workload::all_pairs()
+                    .into_iter()
+                    .filter(|x| *x != w)
+                    .collect::<Vec<_>>(),
                 120,
                 3,
             ),
@@ -62,7 +65,11 @@ fn main() {
             "DeepCAT vs {:10} on best exec time: {:?}{}",
             s.tuner,
             verdict,
-            if verdict == Verdict::Tie { " (CIs overlap)" } else { "" }
+            if verdict == Verdict::Tie {
+                " (CIs overlap)"
+            } else {
+                ""
+            }
         );
     }
 }

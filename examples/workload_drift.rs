@@ -15,13 +15,22 @@ fn main() {
     println!("offline: training DeepCAT on {trained_on}...");
     let mut offline_env = TuningEnv::for_workload(Cluster::cluster_a(), trained_on, 11);
     let agent_cfg = AgentConfig::for_dims(offline_env.state_dim(), offline_env.action_dim());
-    let (mut agent, _, _) =
-        train_td3(&mut offline_env, agent_cfg, &OfflineConfig::deepcat(1500, 11), &[]);
+    let (mut agent, _, _) = train_td3(
+        &mut offline_env,
+        agent_cfg,
+        &OfflineConfig::deepcat(1500, 11),
+        &[],
+    );
 
     println!("online: a tuning request for {target} arrives...");
     let live = Cluster::cluster_a().with_background_load(0.15);
     let mut online_env = TuningEnv::for_workload(live, target, 1213);
-    let report = online_tune_td3(&mut agent, &mut online_env, &OnlineConfig::deepcat(3), "DeepCAT");
+    let report = online_tune_td3(
+        &mut agent,
+        &mut online_env,
+        &OnlineConfig::deepcat(3),
+        "DeepCAT",
+    );
 
     println!(
         "default {target}: {:.1}s — best found: {:.1}s ({:.2}x) with {:.1}s total tuning cost",

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate. Run from the repository root (or anywhere —
+# the script cd's to its own checkout). Keep in sync with ROADMAP.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo fmt --check

@@ -28,7 +28,10 @@ fn training_is_deterministic() {
         ac.warmup_steps = 32;
         ac.batch_size = 16;
         let (agent, log, _) = train_td3(&mut env, ac, &OfflineConfig::deepcat(200, 5), &[]);
-        (agent.select_action(&env.reset()), log.records.last().unwrap().reward)
+        (
+            agent.select_action(&env.reset()),
+            log.records.last().unwrap().reward,
+        )
     };
     let (a1, r1) = run();
     let (a2, r2) = run();

@@ -44,7 +44,11 @@ fn report_invariants_hold() {
     assert!((report.total_eval_s - eval).abs() < 1e-9);
     assert!((report.total_rec_s - rec).abs() < 1e-9);
     // Best matches the minimum step.
-    let min = report.steps.iter().map(|s| s.exec_time_s).fold(f64::INFINITY, f64::min);
+    let min = report
+        .steps
+        .iter()
+        .map(|s| s.exec_time_s)
+        .fold(f64::INFINITY, f64::min);
     assert_eq!(report.best_exec_time_s, min);
     // Monotone step-series helpers.
     assert!(report.best_so_far().windows(2).all(|w| w[1] <= w[0]));
@@ -60,9 +64,16 @@ fn online_env_evaluations_are_counted() {
     let mut offline = TuningEnv::for_workload(Cluster::cluster_a(), w, 904);
     let mut tuner = quick_deepcat(&offline, 600, 3);
     tuner.offline_train(&mut offline);
-    assert!(offline.eval_count() >= 600, "offline training evaluates each step");
+    assert!(
+        offline.eval_count() >= 600,
+        "offline training evaluates each step"
+    );
     let mut online = TuningEnv::for_workload(Cluster::cluster_a(), w, 905);
     let before = online.eval_count();
     tuner.online_tune(&mut online, 5);
-    assert_eq!(online.eval_count() - before, 5, "exactly one evaluation per online step");
+    assert_eq!(
+        online.eval_count() - before,
+        5,
+        "exactly one evaluation per online step"
+    );
 }

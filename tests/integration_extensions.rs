@@ -8,8 +8,7 @@ use deepcat::{
     AgentConfig, BudgetedTuning, OfflineConfig, OnlineConfig, ParallelConfig, TuningEnv,
 };
 use spark_sim::{
-    export_bundle, synthetic_job, Cluster, InputSize, SparkEnv, SynthParams, Workload,
-    WorkloadKind,
+    export_bundle, synthetic_job, Cluster, InputSize, SparkEnv, SynthParams, Workload, WorkloadKind,
 };
 
 fn quick_cfg(env: &TuningEnv) -> AgentConfig {
@@ -34,8 +33,7 @@ fn offline_online_split_via_model_file() {
     save_td3(&agent, &path).unwrap();
 
     let mut loaded = load_td3(&path, 99).unwrap();
-    let mut live =
-        TuningEnv::for_workload(Cluster::cluster_a().with_background_load(0.15), w, 502);
+    let mut live = TuningEnv::for_workload(Cluster::cluster_a().with_background_load(0.15), w, 502);
     let report = online_tune_td3(&mut loaded, &mut live, &OnlineConfig::deepcat(2), "DeepCAT");
     assert!(report.speedup() > 1.5, "{}", report.speedup());
 }
@@ -46,8 +44,7 @@ fn budgeted_tuning_respects_its_budget_end_to_end() {
     let mut offline = TuningEnv::for_workload(Cluster::cluster_a(), w, 503);
     let ac = quick_cfg(&offline);
     let (mut agent, _, _) = train_td3(&mut offline, ac, &OfflineConfig::deepcat(700, 2), &[]);
-    let mut live =
-        TuningEnv::for_workload(Cluster::cluster_a().with_background_load(0.15), w, 504);
+    let mut live = TuningEnv::for_workload(Cluster::cluster_a().with_background_load(0.15), w, 504);
     let out = BudgetedTuning::new(400.0, 3).run(&mut agent, &mut live);
     let last = out.report.steps.last().unwrap();
     assert!(out.spent_s <= 400.0 + last.exec_time_s + last.recommendation_s);
@@ -66,8 +63,7 @@ fn whitebox_tuning_diagnoses_and_tunes() {
     let mut offline = TuningEnv::for_workload(Cluster::cluster_a(), w, 505);
     let ac = quick_cfg(&offline);
     let (mut agent, _, _) = train_td3(&mut offline, ac, &OfflineConfig::deepcat(700, 4), &[]);
-    let mut live =
-        TuningEnv::for_workload(Cluster::cluster_a().with_background_load(0.15), w, 506);
+    let mut live = TuningEnv::for_workload(Cluster::cluster_a().with_background_load(0.15), w, 506);
     let (report, bottlenecks) =
         online_tune_whitebox(&mut agent, &mut live, &OnlineConfig::deepcat(5));
     assert_eq!(report.steps.len(), 5);
@@ -96,7 +92,10 @@ fn parallel_and_serial_training_reach_similar_quality() {
             make_env,
             ac,
             &OfflineConfig::deepcat(800, 5),
-            &ParallelConfig { workers: 4, ..Default::default() },
+            &ParallelConfig {
+                workers: 4,
+                ..Default::default()
+            },
         );
         assert_eq!(stats.gradient_steps, 800);
         let mut live =
@@ -112,7 +111,14 @@ fn parallel_and_serial_training_reach_similar_quality() {
 
 #[test]
 fn custom_synthetic_pipeline_can_be_tuned() {
-    let job = synthetic_job(&SynthParams { stages: 4, input_mb: 1024.0, ..Default::default() }, 3);
+    let job = synthetic_job(
+        &SynthParams {
+            stages: 4,
+            input_mb: 1024.0,
+            ..Default::default()
+        },
+        3,
+    );
     let env = SparkEnv::with_job(Cluster::cluster_a(), "custom", job.clone(), 509);
     assert_eq!(env.label(), "custom");
     let mut tuning = TuningEnv::new(env, 5);
@@ -139,7 +145,11 @@ fn best_action_exports_deployable_configs() {
     let cfg = space.denormalize(&report.best_action);
     let bundle = export_bundle(space, &cfg);
     assert_eq!(
-        bundle.spark_defaults_conf.lines().filter(|l| l.starts_with("spark.")).count(),
+        bundle
+            .spark_defaults_conf
+            .lines()
+            .filter(|l| l.starts_with("spark."))
+            .count(),
         20
     );
     assert_eq!(bundle.yarn_site_xml.matches("<property>").count(), 7);

@@ -5,7 +5,9 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use spark_sim::{morris_screening, Cluster, InputSize, MorrisConfig, SparkEnv, Workload, WorkloadKind};
+use spark_sim::{
+    morris_screening, Cluster, InputSize, MorrisConfig, SparkEnv, Workload, WorkloadKind,
+};
 use surrogate::rank_knobs;
 
 #[test]
@@ -16,7 +18,11 @@ fn morris_and_lasso_agree_on_influential_knobs() {
     let morris = morris_screening(
         &Cluster::cluster_a(),
         w,
-        &MorrisConfig { trajectories: 10, delta: 0.25, seed: 3 },
+        &MorrisConfig {
+            trajectories: 10,
+            delta: 0.25,
+            seed: 3,
+        },
     );
     let morris_top: Vec<usize> = morris.iter().take(10).map(|k| k.knob).collect();
 

@@ -48,8 +48,8 @@ fn cluster_b_is_slower_for_the_same_config() {
 fn background_load_slows_the_cluster() {
     let w = Workload::new(WorkloadKind::WordCount, InputSize::D1);
     let idle = SparkEnv::new(Cluster::cluster_a(), w, 30).default_exec_time();
-    let busy = SparkEnv::new(Cluster::cluster_a().with_background_load(0.3), w, 30)
-        .default_exec_time();
+    let busy =
+        SparkEnv::new(Cluster::cluster_a().with_background_load(0.3), w, 30).default_exec_time();
     assert!(busy > idle, "busy {busy:.1} vs idle {idle:.1}");
 }
 
@@ -83,5 +83,8 @@ fn metrics_feed_ottertune_mapping() {
     let mwc = wc.evaluate_action(&a).metrics.metric_vector();
     let mkm = km.evaluate_action(&a).metrics.metric_vector();
     let dist: f64 = mwc.iter().zip(&mkm).map(|(x, y)| (x - y) * (x - y)).sum();
-    assert!(dist > 0.1, "workload metric signatures must differ, d² = {dist}");
+    assert!(
+        dist > 0.1,
+        "workload metric signatures must differ, d² = {dist}"
+    );
 }

@@ -1,0 +1,90 @@
+//! End-to-end telemetry check: one online tuning session must emit the
+//! expected event families (`online.step` spans, `twinq.decision`,
+//! `budget.update`) and their fields must agree with the [`StepRecord`]s
+//! the session returns. Runs as its own test binary so the global sink
+//! install cannot race other tests.
+
+use deepcat::{online_tune_td3, train_td3, AgentConfig, OfflineConfig, OnlineConfig, TuningEnv};
+use spark_sim::{Cluster, InputSize, Workload, WorkloadKind};
+use std::sync::Arc;
+use telemetry::TestSink;
+
+#[test]
+fn online_tune_emits_consistent_event_families() {
+    let workload = Workload::new(WorkloadKind::TeraSort, InputSize::D1);
+    let mut env = TuningEnv::for_workload(Cluster::cluster_a(), workload, 21);
+    let mut cfg = AgentConfig::for_dims(env.state_dim(), env.action_dim());
+    cfg.hidden = vec![32, 32];
+    cfg.warmup_steps = 64;
+    cfg.batch_size = 32;
+
+    let sink = Arc::new(TestSink::new());
+    telemetry::reset_metrics();
+    telemetry::install(Arc::clone(&sink) as Arc<dyn telemetry::Sink>);
+
+    let (mut agent, _, _) = train_td3(&mut env, cfg, &OfflineConfig::deepcat(400, 9), &[]);
+    assert!(
+        sink.count("offline.iter") > 0,
+        "offline training must emit offline.iter events"
+    );
+    sink.clear(); // keep only the online session's events below
+
+    let oc = OnlineConfig::deepcat(1);
+    let report = online_tune_td3(&mut agent, &mut env, &oc, "DeepCAT");
+    telemetry::shutdown();
+
+    // One online.step span event per executed step, in order, and every
+    // field must match the StepRecord for that step.
+    let steps = sink.events_named("online.step");
+    assert_eq!(steps.len(), report.steps.len());
+    assert_eq!(steps.len(), oc.steps);
+    for (ev, rec) in steps.iter().zip(&report.steps) {
+        assert_eq!(ev.u64("step"), Some(rec.step as u64));
+        assert_eq!(ev.str("tuner"), Some("DeepCAT"));
+        assert_eq!(ev.f64("reward"), Some(rec.reward));
+        assert_eq!(ev.f64("exec_time_s"), Some(rec.exec_time_s));
+        assert_eq!(ev.f64("recommendation_s"), Some(rec.recommendation_s));
+        assert_eq!(ev.bool("failed"), Some(rec.failed));
+        assert_eq!(
+            ev.u64("twinq_iterations"),
+            Some(rec.twinq_iterations as u64)
+        );
+        assert_eq!(ev.f64("q_estimate"), rec.q_estimate);
+        let d = ev.f64("duration_s").expect("span events carry duration_s");
+        assert!(d >= 0.0);
+    }
+
+    // DeepCAT runs the Twin-Q Optimizer on every step.
+    assert_eq!(sink.count("twinq.decision"), oc.steps);
+    let skipped: u64 = sink
+        .events_named("twinq.decision")
+        .iter()
+        .map(|e| e.u64("iterations").unwrap())
+        .sum();
+    let from_records: usize = report.steps.iter().map(|s| s.twinq_iterations).sum();
+    assert_eq!(skipped, from_records as u64);
+
+    // budget.update tracks cumulative cost; the last one equals the
+    // report's total tuning cost.
+    let budget = sink.events_named("budget.update");
+    assert_eq!(budget.len(), oc.steps);
+    let spent = budget.last().unwrap().f64("spent_s").unwrap();
+    assert!(
+        (spent - report.total_cost_s()).abs() < 1e-6,
+        "spent_s {spent} vs total_cost_s {}",
+        report.total_cost_s()
+    );
+
+    // Metrics side: counters and the span-duration histogram moved.
+    let snap = telemetry::registry_snapshot();
+    assert_eq!(snap.counter("online.steps"), oc.steps as u64);
+    assert!(
+        snap.counter("sim.runs") > 0,
+        "every evaluation runs the simulator"
+    );
+    let h = snap
+        .histogram("online.step.duration_s")
+        .expect("span histogram exists");
+    assert_eq!(h.count, oc.steps as u64);
+    assert!(snap.gauge("budget.spent_s").is_some());
+}

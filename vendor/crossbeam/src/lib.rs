@@ -1,0 +1,144 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the two pieces the workspace uses: [`scope`] (scoped threads,
+//! built on `std::thread::scope`) and [`channel`] (bounded/unbounded MPSC
+//! channels, built on `std::sync::mpsc`).
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Scoped-thread handle mirroring `crossbeam::thread::Scope`.
+///
+/// Spawned closures receive a placeholder argument (crossbeam passes
+/// `&Scope`; every call site in this workspace ignores it with `|_|`).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(()) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(()))
+    }
+}
+
+/// Run `f` with a scope in which borrowing, scoped threads can be spawned.
+///
+/// Mirrors `crossbeam::scope`: returns `Err` if `f` or any spawned thread
+/// panicked, `Ok(result)` otherwise.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(move || {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+pub mod channel {
+    //! MPSC channels mirroring `crossbeam::channel`'s API slice.
+
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Sending half of a channel (clonable).
+    pub struct Sender<T> {
+        inner: SenderKind<T>,
+    }
+
+    enum SenderKind<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            let inner = match &self.inner {
+                SenderKind::Bounded(s) => SenderKind::Bounded(s.clone()),
+                SenderKind::Unbounded(s) => SenderKind::Unbounded(s.clone()),
+            };
+            Self { inner }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send, blocking while a bounded channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.inner {
+                SenderKind::Bounded(s) => s.send(value),
+                SenderKind::Unbounded(s) => s.send(value),
+            }
+        }
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.inner.iter()
+        }
+    }
+
+    /// A channel with capacity `cap`; senders block when it is full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender {
+                inner: SenderKind::Bounded(tx),
+            },
+            Receiver { inner: rx },
+        )
+    }
+
+    /// A channel with unlimited capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender {
+                inner: SenderKind::Unbounded(tx),
+            },
+            Receiver { inner: rx },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_return() {
+        let data = vec![1u64, 2, 3];
+        let sum = super::scope(|s| {
+            let h = s.spawn(|_| data.iter().sum::<u64>());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn bounded_channel_roundtrip() {
+        let (tx, rx) = super::channel::bounded::<u32>(4);
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        drop((tx, tx2));
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.try_recv().unwrap(), 2);
+        assert!(rx.recv().is_err());
+    }
+}

@@ -1,0 +1,352 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives `serde::Serialize` / `serde::Deserialize` for the vendored
+//! serde's owned [`Value`] data model. Written against `proc_macro` alone
+//! (no `syn`/`quote` — the build environment has no network), so parsing
+//! is a small hand-rolled scan over the token stream.
+//!
+//! Supported shapes — exactly what this workspace uses:
+//! * structs with named fields, tuple structs (incl. newtypes), unit structs;
+//! * enums with unit, tuple and struct variants (externally tagged, the
+//!   same JSON shape real serde emits);
+//! * no generics, no `#[serde(...)]` attributes, no discriminants.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---- parsing ---------------------------------------------------------
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`, incl. doc comments) and visibility.
+    let mut kind = String::new();
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // `#` + `[...]`
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    kind = s;
+                    i += 1;
+                    break;
+                }
+                i += 1; // `pub`, `crate`, ...
+            }
+            _ => i += 1, // e.g. the group in `pub(crate)`
+        }
+    }
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic types are not supported");
+        }
+    }
+
+    let shape = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace && kind == "struct" => {
+            Shape::NamedStruct(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Shape::Enum(parse_variants(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::TupleStruct(split_top_level(g.stream()).len())
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+        other => panic!("serde_derive: unexpected token after `{kind} {name}`: {other:?}"),
+    };
+    Item { name, shape }
+}
+
+/// Split a token stream on commas that sit outside `<...>` generic
+/// arguments (delimited groups are already opaque `TokenTree::Group`s).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        chunks.last_mut().unwrap().push(tt);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// First identifier of a field chunk after attributes and visibility.
+fn field_name(chunk: &[TokenTree]) -> String {
+    let mut i = 0;
+    while i < chunk.len() {
+        match &chunk[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(_)) = chunk.get(i) {
+                    i += 1; // `pub(crate)` / `pub(super)`
+                }
+            }
+            TokenTree::Ident(id) => return id.to_string(),
+            other => panic!("serde_derive: cannot find field name at {other}"),
+        }
+    }
+    panic!("serde_derive: empty field chunk");
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .iter()
+        .map(|c| field_name(c))
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .iter()
+        .map(|chunk| {
+            let name = field_name(chunk);
+            // The group (if any) directly after the variant name decides
+            // the kind; skip attribute groups that precede the name.
+            let mut kind = VariantKind::Unit;
+            let mut seen_name = false;
+            for tt in chunk {
+                match tt {
+                    TokenTree::Ident(id) if !seen_name && id.to_string() == name => {
+                        seen_name = true;
+                    }
+                    TokenTree::Group(g) if seen_name => {
+                        kind = match g.delimiter() {
+                            Delimiter::Parenthesis => {
+                                VariantKind::Tuple(split_top_level(g.stream()).len())
+                            }
+                            Delimiter::Brace => VariantKind::Named(parse_named_fields(g.stream())),
+                            _ => VariantKind::Unit,
+                        };
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            Variant { name, kind }
+        })
+        .collect()
+}
+
+// ---- codegen ---------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::serialize(&self.{f}))"))
+                .collect();
+            format!("serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(1) => "serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => serde::Value::Str(\"{vn}\".to_string())"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => serde::Value::Map(vec![(\"{vn}\".to_string(), serde::Serialize::serialize(__f0))])"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Serialize::serialize(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => serde::Value::Map(vec![(\"{vn}\".to_string(), serde::Value::Seq(vec![{}]))])",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!(
+                                    "(\"{f}\".to_string(), serde::Serialize::serialize({f}))"
+                                ))
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => serde::Value::Map(vec![(\"{vn}\".to_string(), serde::Value::Map(vec![{}]))])",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n    fn serialize(&self) -> serde::Value {{ {body} }}\n}}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::deserialize(serde::field(__m, \"{f}\"))\
+                         .map_err(|e| serde::Error(format!(\"{name}.{f}: {{}}\", e.0)))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __m = __v.as_map().ok_or_else(|| serde::Error::custom(\"{name}: expected map\"))?;\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(serde::Deserialize::deserialize(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::deserialize(&__s[{i}])?"))
+                .collect();
+            format!(
+                "let __s = __v.as_seq().ok_or_else(|| serde::Error::custom(\"{name}: expected sequence\"))?;\n\
+                 if __s.len() != {n} {{ return Err(serde::Error::custom(\"{name}: wrong tuple arity\")); }}\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut str_arms: Vec<String> = Vec::new();
+            let mut map_arms: Vec<String> = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        str_arms.push(format!("\"{vn}\" => Ok({name}::{vn})"));
+                    }
+                    VariantKind::Tuple(1) => {
+                        map_arms.push(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::deserialize(__inner)?))"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Deserialize::deserialize(&__s[{i}])?"))
+                            .collect();
+                        map_arms.push(format!(
+                            "\"{vn}\" => {{\n\
+                             let __s = __inner.as_seq().ok_or_else(|| serde::Error::custom(\"{name}::{vn}: expected sequence\"))?;\n\
+                             if __s.len() != {n} {{ return Err(serde::Error::custom(\"{name}::{vn}: wrong arity\")); }}\n\
+                             Ok({name}::{vn}({})) }}",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!(
+                                "{f}: serde::Deserialize::deserialize(serde::field(__m, \"{f}\"))\
+                                 .map_err(|e| serde::Error(format!(\"{name}::{vn}.{f}: {{}}\", e.0)))?"
+                            ))
+                            .collect();
+                        map_arms.push(format!(
+                            "\"{vn}\" => {{\n\
+                             let __m = __inner.as_map().ok_or_else(|| serde::Error::custom(\"{name}::{vn}: expected map\"))?;\n\
+                             Ok({name}::{vn} {{ {} }}) }}",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            str_arms.push(format!(
+                "__other => Err(serde::Error(format!(\"{name}: unknown variant {{__other}}\")))"
+            ));
+            map_arms.push(format!(
+                "__other => Err(serde::Error(format!(\"{name}: unknown variant {{__other}}\")))"
+            ));
+            format!(
+                "match __v {{\n\
+                 serde::Value::Str(__s) => match __s.as_str() {{ {} }},\n\
+                 serde::Value::Map(__m1) if __m1.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__m1[0];\n\
+                 match __tag.as_str() {{ {} }}\n\
+                 }},\n\
+                 _ => Err(serde::Error::custom(\"{name}: expected string or single-key map\")),\n\
+                 }}",
+                str_arms.join(", "),
+                map_arms.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n    fn deserialize(__v: &serde::Value) -> Result<Self, serde::Error> {{\n{body}\n    }}\n}}"
+    )
+}
