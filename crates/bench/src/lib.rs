@@ -9,7 +9,6 @@
 
 use deepcat::experiments::ExperimentConfig;
 use serde::Serialize;
-use std::io::Write;
 use std::path::PathBuf;
 
 /// Resolve the experiment profile from `DEEPCAT_BENCH_PROFILE`
@@ -24,6 +23,8 @@ pub fn profile() -> ExperimentConfig {
 /// Directory where bench targets persist their JSON results.
 pub fn results_dir() -> PathBuf {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/paper-results");
+    // PANIC-SAFETY: bench harness — a result directory we cannot create
+    // should abort the run loudly, not drop data silently.
     std::fs::create_dir_all(&dir).expect("create results dir");
     dir
 }
@@ -31,9 +32,11 @@ pub fn results_dir() -> PathBuf {
 /// Persist a serializable result next to the printed table.
 pub fn save_json<T: Serialize>(name: &str, value: &T) {
     let path = results_dir().join(format!("{name}.json"));
-    let mut f = std::fs::File::create(&path).expect("create result file");
+    // PANIC-SAFETY: bench harness — losing a paper-results artifact is
+    // worse than aborting the bench run.
     let body = serde_json::to_string_pretty(value).expect("serialize result");
-    f.write_all(body.as_bytes()).expect("write result");
+    // PANIC-SAFETY: same rationale — abort loudly rather than drop results.
+    std::fs::write(&path, body.as_bytes()).expect("write result");
     println!("[saved {}]", path.display());
 }
 

@@ -21,7 +21,7 @@ use telemetry::{ConsoleSink, JsonlSink, MultiSink, Sink};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: deepcat-repro <table1|table2|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|all> \
-         [--quick] [--iters N] [--seed N] [--log PATH]"
+         [--quick] [--iters N] [--seed N] [--log PATH] [--deterministic]"
     );
     ExitCode::from(2)
 }
@@ -33,9 +33,11 @@ fn main() -> ExitCode {
     };
     let mut cfg = ExperimentConfig::default();
     let mut log: Option<PathBuf> = None;
+    let mut deterministic = false;
     while let Some(flag) = argv.next() {
         match flag.as_str() {
             "--quick" => cfg = ExperimentConfig::quick(),
+            "--deterministic" => deterministic = true,
             "--iters" => {
                 let Some(v) = argv.next().and_then(|v| v.parse().ok()) else {
                     return usage();
@@ -55,13 +57,26 @@ fn main() -> ExitCode {
             _ => return usage(),
         }
     }
+    // --deterministic freezes telemetry stopwatches (duration fields read
+    // 0.0) and drops `ts_ms` from the JSONL log so two same-seed runs
+    // produce byte-identical output — the CI reproducibility smoke check.
+    if deterministic {
+        telemetry::freeze_clock();
+    }
     // Results print via the console sink; the optional JSONL log captures
     // the full event stream (including `sim.*` and `online.*`).
     let console =
         ConsoleSink::all().with_prefixes(vec!["repro.", "table", "fig", "online.", "budget."]);
     let sink: Arc<dyn Sink> = match &log {
         Some(path) => match JsonlSink::create(path) {
-            Ok(jsonl) => Arc::new(MultiSink::new(vec![Box::new(console), Box::new(jsonl)])),
+            Ok(jsonl) => {
+                let jsonl = if deterministic {
+                    jsonl.without_timestamps()
+                } else {
+                    jsonl
+                };
+                Arc::new(MultiSink::new(vec![Box::new(console), Box::new(jsonl)]))
+            }
             Err(e) => {
                 eprintln!("error: cannot create {}: {e}", path.display());
                 return ExitCode::FAILURE;

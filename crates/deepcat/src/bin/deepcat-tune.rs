@@ -186,7 +186,7 @@ fn report(path: &PathBuf) -> Result<(), String> {
         println!("best reward: {best:+.3}");
     }
     if !latencies.is_empty() {
-        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        latencies.sort_by(|a, b| a.total_cmp(b));
         println!(
             "step latency: p50 {:.4}s, p95 {:.4}s (n={})",
             quantile(&latencies, 0.5),

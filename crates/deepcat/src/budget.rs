@@ -80,6 +80,8 @@ impl BudgetedTuning {
                 ..self.online.clone()
             };
             let r = online_tune_td3(agent, env, &one, "DeepCAT");
+            // PANIC-SAFETY: the config above requests exactly one step, so
+            // the report carries exactly one record.
             let rec = r.steps.into_iter().next().expect("one step requested");
             spent += rec.exec_time_s + rec.recommendation_s;
             telemetry::set_gauge("budget.spent_s", spent);

@@ -82,14 +82,20 @@ where
                 if i >= n {
                     break;
                 }
+                // PANIC-SAFETY: the atomic counter hands each index to
+                // exactly one worker.
                 let item = inputs[i].lock().take().expect("each index taken once");
                 *slots[i].lock() = Some(f(item));
             });
         }
     })
+    // PANIC-SAFETY: propagating a worker panic is the intended failure
+    // mode of the experiment harness.
     .expect("worker panicked");
     slots
         .into_iter()
+        // PANIC-SAFETY: the loop above exits only after every index was
+        // claimed and its slot written.
         .map(|s| s.into_inner().expect("all slots filled"))
         .collect()
 }
@@ -216,7 +222,7 @@ pub fn fig2(cfg: &ExperimentConfig) -> Fig2Result {
         times.push(out.exec_time_s);
     }
     let mut rel: Vec<f64> = times.iter().map(|t| best / t).collect();
-    rel.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    rel.sort_by(|a, b| a.total_cmp(b));
     let n = rel.len();
     let rows = rel
         .iter()

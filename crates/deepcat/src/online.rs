@@ -12,7 +12,6 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rl::{GaussianNoise, ReplayMemory, Transition, UniformReplay};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// Online-tuning configuration.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -143,7 +142,7 @@ pub fn online_tune_td3(
     let mut spent_s = 0.0;
     for step in 0..cfg.steps {
         let mut span = telemetry::span!("online.step", step = step, tuner = tuner_name);
-        let t0 = Instant::now();
+        let t0 = telemetry::Stopwatch::start();
         let mut action = agent.select_action(&state);
         if cfg.exploration_sigma > 0.0 {
             action = noise.perturb(&action, &mut rng);
@@ -155,7 +154,7 @@ pub fn online_tune_td3(
             action = res.action;
         }
         let q_estimate = Some(agent.min_q(&state, &action));
-        let recommendation_s = t0.elapsed().as_secs_f64();
+        let recommendation_s = t0.elapsed_s();
 
         let out = env.step(&action);
         replay.push(Transition::new(
@@ -215,13 +214,13 @@ pub fn online_tune_ddpg(
     let mut spent_s = 0.0;
     for step in 0..cfg.steps {
         let mut span = telemetry::span!("online.step", step = step, tuner = tuner_name);
-        let t0 = Instant::now();
+        let t0 = telemetry::Stopwatch::start();
         let mut action = agent.select_action(&state);
         if cfg.exploration_sigma > 0.0 {
             action = noise.perturb(&action, &mut rng);
         }
         let q_estimate = Some(agent.q_value(&state, &action));
-        let recommendation_s = t0.elapsed().as_secs_f64();
+        let recommendation_s = t0.elapsed_s();
         let out = env.step(&action);
         replay.push(Transition::new(
             state.clone(),
@@ -271,7 +270,8 @@ pub fn finish_report(tuner: &str, env: &TuningEnv, steps: Vec<StepRecord>) -> Tu
     );
     let best = steps
         .iter()
-        .min_by(|a, b| a.exec_time_s.partial_cmp(&b.exec_time_s).unwrap())
+        .min_by(|a, b| a.exec_time_s.total_cmp(&b.exec_time_s))
+        // PANIC-SAFETY: guarded by the non-empty assertion above.
         .expect("non-empty");
     TuningReport {
         tuner: tuner.to_string(),

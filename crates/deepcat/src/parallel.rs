@@ -168,6 +168,8 @@ pub fn train_td3_parallel(
         // Drain remaining sends so workers unblock and exit.
         while rx.try_recv().is_ok() {}
     })
+    // PANIC-SAFETY: propagating a worker panic is the intended failure
+    // mode of the parallel trainer.
     .expect("worker panicked");
 
     (agent, log, stats)

@@ -170,6 +170,7 @@ impl Td3Agent {
         );
 
         // ---- targets: clipped double-Q with target policy smoothing ----
+        // PANIC-SAFETY: AgentConfig keeps policy_noise finite and >= 0.
         let smooth = Normal::new(0.0, self.cfg.policy_noise).expect("valid noise");
         let mut next_actions = self.actor_target.infer(&next_states);
         {

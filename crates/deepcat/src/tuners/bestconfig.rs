@@ -11,7 +11,6 @@ use crate::online::{finish_report, StepRecord, TuningReport};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use std::time::Instant;
 
 /// BestConfig search tuner.
 #[derive(Clone, Debug)]
@@ -81,9 +80,9 @@ impl Tuner for BestConfig {
         let mut step = 0;
         while step < steps {
             let round = self.samples_per_round.min(steps - step);
-            let t0 = Instant::now();
+            let t0 = telemetry::Stopwatch::start();
             let candidates = self.dds(&lo, &hi, round.max(1), &mut rng);
-            let recommendation_s = t0.elapsed().as_secs_f64() / round.max(1) as f64;
+            let recommendation_s = t0.elapsed_s() / round.max(1) as f64;
             for action in candidates {
                 let out = env.step(&action);
                 if best

@@ -54,6 +54,8 @@ impl Tuner for CdbTune {
     }
 
     fn online_tune(&mut self, env: &mut TuningEnv, steps: usize) -> TuningReport {
+        // PANIC-SAFETY: Tuner trait contract — callers run offline_train
+        // before online_tune (enforced by the harness drivers).
         let agent = self.agent.as_mut().expect("offline_train must run first");
         let cfg = OnlineConfig {
             steps,

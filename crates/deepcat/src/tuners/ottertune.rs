@@ -10,7 +10,7 @@ use crate::online::{finish_report, StepRecord, TuningReport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use spark_sim::{Cluster, SparkEnv, Workload};
-use std::time::Instant;
+
 use surrogate::{maximize_ei, rank_knobs, GaussianProcess, Observation, Repository};
 
 /// Cap on merged GP training points (mapped history + online samples).
@@ -103,7 +103,7 @@ impl Tuner for OtterTune {
         let mut online: Vec<Observation> = Vec::new();
         let mut records = Vec::with_capacity(steps);
         for step in 0..steps {
-            let t0 = Instant::now();
+            let t0 = telemetry::Stopwatch::start();
             // 1. Workload mapping: find the most similar stored workload
             //    given the online observations so far. Before any online
             //    sample exists, fall back to pooling the whole repository.
@@ -144,7 +144,7 @@ impl Tuner for OtterTune {
                 Ok(gp) => maximize_ei(&gp, dim, best_y, self.ei_candidates, &mut rng),
                 Err(_) => env.spark().space().random_action(&mut rng),
             };
-            let recommendation_s = t0.elapsed().as_secs_f64();
+            let recommendation_s = t0.elapsed_s();
 
             // 3. Evaluate on the target.
             let out = env.step(&action);

@@ -8,7 +8,6 @@ use crate::envwrap::TuningEnv;
 use crate::online::{finish_report, StepRecord, TuningReport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Instant;
 
 /// Uniform random search over the normalized knob space.
 #[derive(Clone, Debug)]
@@ -54,9 +53,9 @@ impl Tuner for RandomSearch {
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0xA5A5);
         let mut records = Vec::with_capacity(steps);
         for step in 0..steps {
-            let t0 = Instant::now();
+            let t0 = telemetry::Stopwatch::start();
             let action = env.spark().space().random_action(&mut rng);
-            let recommendation_s = t0.elapsed().as_secs_f64();
+            let recommendation_s = t0.elapsed_s();
             let out = env.step(&action);
             records.push(StepRecord {
                 step,

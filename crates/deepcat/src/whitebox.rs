@@ -134,6 +134,7 @@ impl WhiteBoxTwinQ {
         };
         let bottleneck = diagnose(metrics);
         let mask = relevant_knobs(bottleneck);
+        // PANIC-SAFETY: TwinQConfig keeps sigma finite and >= 0.
         let normal = Normal::new(0.0, self.inner.sigma).expect("valid sigma");
         let initial_q = self.inner.smoothed_min_q(agent, state, &action, rng);
         let mut current = action;
@@ -182,7 +183,6 @@ pub fn online_tune_whitebox(
 ) -> (crate::online::TuningReport, Vec<Option<Bottleneck>>) {
     use rand::SeedableRng;
     use rl::{GaussianNoise, ReplayMemory, Transition, UniformReplay};
-    use std::time::Instant;
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0x0417_11E5);
     let noise = GaussianNoise::new(env.action_dim(), cfg.exploration_sigma);
@@ -193,7 +193,7 @@ pub fn online_tune_whitebox(
     let mut last_metrics: Option<RunMetrics> = None;
     let mut state = env.reset();
     for step in 0..cfg.steps {
-        let t0 = Instant::now();
+        let t0 = telemetry::Stopwatch::start();
         let mut action = agent.select_action(&state);
         if cfg.exploration_sigma > 0.0 {
             action = noise.perturb(&action, &mut rng);
@@ -208,7 +208,7 @@ pub fn online_tune_whitebox(
         }
         bottlenecks.push(bn);
         let q_estimate = Some(agent.min_q(&state, &action));
-        let recommendation_s = t0.elapsed().as_secs_f64();
+        let recommendation_s = t0.elapsed_s();
         let out = env.step(&action);
         last_metrics = Some(out.metrics.clone());
         replay.push(Transition::new(

@@ -17,6 +17,8 @@ impl GaussianNoise {
         assert!(sigma >= 0.0);
         Self {
             dim,
+            // PANIC-SAFETY: sigma is asserted non-negative above and
+            // clamped to a strictly positive floor.
             normal: Normal::new(0.0, sigma.max(1e-12)).expect("valid sigma"),
         }
     }
@@ -68,7 +70,8 @@ impl OrnsteinUhlenbeck {
 
     /// Advance the process one step and return the noise vector.
     pub fn sample(&mut self, rng: &mut impl Rng) -> Vec<f64> {
-        let normal = Normal::new(0.0, 1.0).unwrap();
+        // PANIC-SAFETY: unit sigma is a valid Normal parameterization.
+        let normal = Normal::new(0.0, 1.0).expect("unit sigma is valid");
         for v in &mut self.state {
             *v += self.theta * (self.mu - *v) + self.sigma * normal.sample(rng);
         }

@@ -76,11 +76,14 @@ impl ReplayMemory for PrioritizedReplay {
             if self.data[idx].is_none() {
                 idx = (0..self.capacity)
                     .find(|&i| self.data[i].is_some())
+                    // PANIC-SAFETY: len >= batch >= 1, so at least one
+                    // slot holds a transition.
                     .expect("buffer has data");
             }
             let p = self.tree.get(idx) / total;
             let w = (n * p).powf(-self.beta);
-            transitions.push(self.data[idx].clone().unwrap());
+            // PANIC-SAFETY: idx was redirected to an occupied slot above.
+            transitions.push(self.data[idx].clone().expect("occupied slot"));
             weights.push(w);
             indices.push(idx as u64);
         }
@@ -102,7 +105,16 @@ impl ReplayMemory for PrioritizedReplay {
     fn update_priorities(&mut self, indices: &[u64], td_errors: &[f64]) {
         assert_eq!(indices.len(), td_errors.len());
         for (&i, &td) in indices.iter().zip(td_errors) {
-            let p = self.priority_of(td);
+            let raw = self.priority_of(td);
+            // A non-finite TD error (diverged critic, inf OOM penalty)
+            // would poison the sum-tree total and break stratified
+            // sampling; fall back to the running max so the transition is
+            // still replayed promptly.
+            let p = if raw.is_finite() {
+                raw
+            } else {
+                self.max_priority
+            };
             self.max_priority = self.max_priority.max(p);
             self.tree.set(i as usize, p);
         }
@@ -197,6 +209,29 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         buf.push(t(0.0));
         assert!(buf.sample(2, &mut rng).is_none());
+    }
+
+    #[test]
+    fn non_finite_td_errors_do_not_poison_sampling() {
+        let mut buf = PrioritizedReplay::new(16);
+        for i in 0..16 {
+            buf.push(t(i as f64));
+        }
+        let idx: Vec<u64> = (0..16).collect();
+        let mut tds = vec![1.0; 16];
+        tds[3] = f64::NAN;
+        tds[7] = f64::INFINITY;
+        tds[11] = f64::NEG_INFINITY;
+        buf.update_priorities(&idx, &tds);
+        let mut rng = StdRng::seed_from_u64(9);
+        let b = buf.sample(8, &mut rng).expect("sampling must survive");
+        assert_eq!(b.len(), 8);
+        assert!(
+            b.weights.iter().all(|w| w.is_finite() && *w > 0.0),
+            "{:?}",
+            b.weights
+        );
+        assert!(buf.tree.total().is_finite());
     }
 
     #[test]

@@ -46,11 +46,10 @@ impl RankBasedReplay {
             return;
         }
         self.ranking = (0..self.data.len()).collect();
-        self.ranking.sort_by(|&a, &b| {
-            self.priorities[b]
-                .partial_cmp(&self.priorities[a])
-                .expect("finite priorities")
-        });
+        // total_cmp keeps the re-rank total even if a NaN TD error ever
+        // reaches `update_priorities` — NaNs sort last instead of panicking.
+        self.ranking
+            .sort_by(|&a, &b| self.priorities[b].total_cmp(&self.priorities[a]));
         self.dirty = false;
     }
 
@@ -117,7 +116,14 @@ impl ReplayMemory for RankBasedReplay {
     fn update_priorities(&mut self, indices: &[u64], td_errors: &[f64]) {
         assert_eq!(indices.len(), td_errors.len());
         for (&i, &td) in indices.iter().zip(td_errors) {
-            let p = td.abs() + 1e-6;
+            let raw = td.abs() + 1e-6;
+            // Non-finite TD errors get the running max priority: ranked
+            // first (replayed promptly) without contaminating rank math.
+            let p = if raw.is_finite() {
+                raw
+            } else {
+                self.max_priority
+            };
             self.max_priority = self.max_priority.max(p);
             if let Some(slot) = self.priorities.get_mut(i as usize) {
                 *slot = p;
@@ -226,6 +232,28 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let b = buf.sample(8, &mut rng).unwrap();
         assert!(b.transitions.iter().all(|x| x.reward >= 12.0));
+    }
+
+    #[test]
+    fn non_finite_td_errors_do_not_break_ranking() {
+        let mut buf = RankBasedReplay::new(16);
+        for i in 0..16 {
+            buf.push(t(i as f64));
+        }
+        let idx: Vec<u64> = (0..16).collect();
+        let mut tds = vec![1.0; 16];
+        tds[3] = f64::NAN;
+        tds[7] = f64::INFINITY;
+        buf.update_priorities(&idx, &tds);
+        let mut rng = StdRng::seed_from_u64(6);
+        // Pre-total_cmp this re-rank panicked on the NaN priority.
+        let b = buf.sample(8, &mut rng).expect("sampling must survive");
+        assert_eq!(b.len(), 8);
+        assert!(
+            b.weights.iter().all(|w| w.is_finite() && *w > 0.0),
+            "{:?}",
+            b.weights
+        );
     }
 
     #[test]

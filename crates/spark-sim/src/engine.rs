@@ -173,16 +173,17 @@ impl<'a> Engine<'a> {
         let mut failed = None;
 
         // Driver-side overhead: job setup, broadcasts, result handling.
-        let driver = self.driver_overhead();
-        if let Err(kind) = driver {
-            return self.finish(15.0, Some(kind), stage_times, acc);
+        match self.driver_overhead() {
+            Err(kind) => return self.finish(15.0, Some(kind), stage_times, acc),
+            Ok(overhead) => elapsed += overhead,
         }
-        elapsed += driver.unwrap();
 
         // Stages execute in topological levels; stages within a level are
         // independent and run concurrently, sharing the executor slots
         // (Spark's FIFO in-job scheduling).
         let job = self.job;
+        // PANIC-SAFETY: every named workload DAG is validated in tests and
+        // custom jobs are validated at SparkEnv construction.
         let levels = job.levels().expect("workload DAGs are validated acyclic");
         'levels: for level in levels {
             let share = 1.0 / level.len() as f64;
@@ -501,7 +502,7 @@ impl<'a> Engine<'a> {
         let mut mults: Vec<f64> = (0..ntasks).map(|_| self.straggler_mult()).collect();
         if self.eff.speculation && ntasks >= 4 {
             let mut sorted = mults.clone();
-            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted.sort_by(|a, b| a.total_cmp(b));
             let median = sorted[ntasks / 2];
             // Re-launch catches the tail (cap expressed on the multiplier).
             let cap = 1.6 * median + 0.6 / base_local.max(0.01);
@@ -884,7 +885,7 @@ mod tests {
         let min = durations.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = durations.iter().cloned().fold(0.0, f64::max);
         let mut sorted = durations.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let median = sorted[sorted.len() / 2];
         let spread = (max - min) / median;
         assert!(

@@ -66,6 +66,8 @@ impl SparkEnv {
     /// An environment running a caller-provided job DAG (synthetic or
     /// hand-built) instead of a named workload.
     pub fn with_job(cluster: Cluster, label: &str, job: JobSpec, seed: u64) -> Self {
+        // PANIC-SAFETY: constructor contract — an invalid caller-supplied
+        // DAG must fail fast at setup, not mid-tuning.
         job.validate().expect("custom job must be a valid DAG");
         Self::from_source(
             cluster,
@@ -111,6 +113,8 @@ impl SparkEnv {
         match &self.source {
             JobSource::Named(w) => *w,
             JobSource::Custom { label, .. } => {
+                // PANIC-SAFETY: documented API contract (see doc comment);
+                // custom-job callers must use `label()` instead.
                 panic!("custom-job environment ({label}) has no named workload")
             }
         }

@@ -101,7 +101,7 @@ pub fn morris_screening(
             }
         })
         .collect();
-    out.sort_by(|a, b| b.mu_star.partial_cmp(&a.mu_star).unwrap());
+    out.sort_by(|a, b| b.mu_star.total_cmp(&a.mu_star));
     out
 }
 

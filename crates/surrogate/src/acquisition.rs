@@ -90,11 +90,11 @@ pub fn maximize_ei(
         let ei = expected_improvement(gp, &x, best, 0.01);
         if top.len() < 8 {
             top.push((ei, x));
-            top.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
-        } else if ei > top.last().unwrap().0 {
+            top.sort_by(|a, b| b.0.total_cmp(&a.0));
+        } else if top.last().is_some_and(|worst| ei > worst.0) {
             top.pop();
             top.push((ei, x));
-            top.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+            top.sort_by(|a, b| b.0.total_cmp(&a.0));
         }
     }
     // Local refinement around the top global candidates.
@@ -180,6 +180,27 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let x = minimize_lcb(&gp, 1, 1.0, 400, &mut rng);
         assert!((x[0] - 0.3).abs() < 0.3, "{x:?}");
+    }
+
+    #[test]
+    fn maximize_ei_survives_non_finite_incumbent() {
+        // A NaN or infinite incumbent turns every EI into NaN/0 — the
+        // candidate sort must stay total (pre-total_cmp this panicked on
+        // `partial_cmp().unwrap()`) and the proposal must stay in-bounds.
+        let gp = toy_gp();
+        let mut rng = StdRng::seed_from_u64(7);
+        for best in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let x = maximize_ei(&gp, 1, best, 200, &mut rng);
+            assert!(x.iter().all(|v| (0.0..=1.0).contains(v)), "{best}: {x:?}");
+        }
+    }
+
+    #[test]
+    fn minimize_lcb_survives_non_finite_values() {
+        let gp = toy_gp();
+        let mut rng = StdRng::seed_from_u64(8);
+        let x = minimize_lcb(&gp, 1, f64::INFINITY, 100, &mut rng);
+        assert!(x.iter().all(|v| (0.0..=1.0).contains(v)), "{x:?}");
     }
 
     #[test]

@@ -93,8 +93,7 @@ impl Lasso {
         idx.sort_by(|&a, &b| {
             self.coefficients[b]
                 .abs()
-                .partial_cmp(&self.coefficients[a].abs())
-                .unwrap()
+                .total_cmp(&self.coefficients[a].abs())
         });
         idx
     }
@@ -118,6 +117,8 @@ pub fn rank_knobs(x: &[Vec<f64>], y: &[f64], path_len: usize) -> Vec<usize> {
     let mut seen = vec![false; d];
     // From strong penalty (nothing survives) to weak (everything does).
     for k in 0..path_len {
+        // CAST-SAFETY: k is a small path index (bounded by the path
+        // length constant), far below i32::MAX.
         let lambda = 1.0 * (0.5f64).powi(k as i32);
         let model = Lasso::fit(x, y, lambda, 60);
         for &j in &model.selected_features() {

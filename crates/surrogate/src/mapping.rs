@@ -76,11 +76,11 @@ impl Repository {
                     .observations
                     .iter()
                     .min_by(|a, b| {
-                        sq_dist(&a.config, &t.config)
-                            .partial_cmp(&sq_dist(&b.config, &t.config))
-                            .unwrap()
+                        sq_dist(&a.config, &t.config).total_cmp(&sq_dist(&b.config, &t.config))
                     })
-                    .unwrap();
+                    // PANIC-SAFETY: workloads with empty observation sets
+                    // are skipped by the `continue` above.
+                    .expect("non-empty observation set");
                 dist += scaled_metric_dist(&nearest.metrics, &t.metrics, &scales);
             }
             if best.as_ref().map(|(d, _)| dist < *d).unwrap_or(true) {

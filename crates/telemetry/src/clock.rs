@@ -1,0 +1,71 @@
+//! The workspace's single sanctioned wall-clock access point.
+//!
+//! Core crates (`rl`, `spark-sim`, `surrogate`, `tensor-nn`, `deepcat`)
+//! are forbidden by `deepcat-lint` from calling `Instant::now()` or
+//! `SystemTime::now()` directly: wall-clock readings leak into step
+//! records, reports and event logs, making same-seed runs diverge. They
+//! time code through a [`Stopwatch`] instead, which honors the global
+//! *frozen clock* mode: while frozen every stopwatch reads `0.0`, so a
+//! seeded run produces a byte-identical event stream every time
+//! (`deepcat-repro --deterministic` and the CI determinism smoke check
+//! rely on this).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+static FROZEN: AtomicBool = AtomicBool::new(false);
+
+/// Freeze the telemetry clock: every subsequently started [`Stopwatch`]
+/// (including span timers) reports an elapsed time of `0.0` seconds.
+pub fn freeze_clock() {
+    FROZEN.store(true, Ordering::Release);
+}
+
+/// Restore real wall-clock timing (tests only).
+pub fn unfreeze_clock() {
+    FROZEN.store(false, Ordering::Release);
+}
+
+/// Whether the clock is currently frozen.
+pub fn clock_frozen() -> bool {
+    FROZEN.load(Ordering::Acquire)
+}
+
+/// A monotonic timer that respects [`freeze_clock`]. The only way core
+/// crates are allowed to measure elapsed wall time.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    /// `None` while the clock is frozen — the stopwatch is inert.
+    start: Option<Instant>,
+}
+
+impl Stopwatch {
+    /// Start timing now (inert when the clock is frozen).
+    pub fn start() -> Self {
+        Self {
+            start: (!clock_frozen()).then(Instant::now),
+        }
+    }
+
+    /// Seconds since [`Stopwatch::start`]; `0.0` when frozen.
+    pub fn elapsed_s(&self) -> f64 {
+        self.start.map_or(0.0, |t| t.elapsed().as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frozen_stopwatch_reads_zero() {
+        freeze_clock();
+        let sw = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert_eq!(sw.elapsed_s(), 0.0);
+        unfreeze_clock();
+        let sw = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(sw.elapsed_s() > 0.0);
+    }
+}

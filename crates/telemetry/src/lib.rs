@@ -30,28 +30,34 @@
 //! Event families and their fields are documented in `README.md`
 //! ("Observability") and consumed by `deepcat-tune report`.
 
+mod clock;
 mod metrics;
 mod sink;
 mod span;
 
+pub use clock::{clock_frozen, freeze_clock, unfreeze_clock, Stopwatch};
 pub use metrics::{Buckets, Counter, Gauge, Histogram, HistogramSnapshot};
 pub use sink::{ConsoleSink, Event, FieldValue, JsonlSink, MultiSink, NullSink, Sink, TestSink};
 pub use span::SpanGuard;
 
 use parking_lot::{Mutex, RwLock};
 use serde::Serialize;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Thread-safe registry of named metrics. Usually accessed through the
 /// global instance (via [`counter`], [`gauge`], [`histogram`],
 /// [`registry_snapshot`]), but can be instantiated standalone in tests.
+///
+/// Keyed by `BTreeMap` so every iteration (snapshots, console dumps,
+/// JSONL reports) sees metrics in the same sorted order on every run —
+/// registry traversal must never be a source of log diffs.
 #[derive(Default)]
 pub struct MetricsRegistry {
-    counters: RwLock<HashMap<&'static str, Arc<Counter>>>,
-    gauges: RwLock<HashMap<&'static str, Arc<Gauge>>>,
-    histograms: RwLock<HashMap<&'static str, Arc<Histogram>>>,
+    counters: RwLock<BTreeMap<&'static str, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<&'static str, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<&'static str, Arc<Histogram>>>,
 }
 
 impl MetricsRegistry {
@@ -96,33 +102,28 @@ impl MetricsRegistry {
         )
     }
 
-    /// Serializable snapshot of every metric (sorted by name).
+    /// Serializable snapshot of every metric, sorted by name (the
+    /// `BTreeMap` registry iterates in key order already).
     pub fn snapshot(&self) -> RegistrySnapshot {
-        let mut counters: Vec<(String, u64)> = self
-            .counters
-            .read()
-            .iter()
-            .map(|(k, v)| (k.to_string(), v.get()))
-            .collect();
-        counters.sort();
-        let mut gauges: Vec<(String, f64)> = self
-            .gauges
-            .read()
-            .iter()
-            .map(|(k, v)| (k.to_string(), v.get()))
-            .collect();
-        gauges.sort_by(|a, b| a.0.cmp(&b.0));
-        let mut histograms: Vec<(String, HistogramSnapshot)> = self
-            .histograms
-            .read()
-            .iter()
-            .map(|(k, v)| (k.to_string(), v.snapshot()))
-            .collect();
-        histograms.sort_by(|a, b| a.0.cmp(&b.0));
         RegistrySnapshot {
-            counters,
-            gauges,
-            histograms,
+            counters: self
+                .counters
+                .read()
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.snapshot()))
+                .collect(),
         }
     }
 

@@ -2,15 +2,18 @@
 //! into a histogram (`<name>.duration_s`) and emit a structured event
 //! (`<name>` with a `duration_s` field plus any attached fields).
 
+use crate::clock::Stopwatch;
 use crate::sink::FieldValue;
-use std::time::Instant;
 
 /// A timed region of code. Create with [`crate::span`] or the
 /// [`crate::span!`] macro; the measurement happens when the guard drops.
+/// Timing goes through [`Stopwatch`], so a frozen clock
+/// ([`crate::freeze_clock`]) makes every span report `duration_s = 0` —
+/// required for byte-reproducible event logs.
 #[must_use = "a span measures until it is dropped"]
 pub struct SpanGuard {
     /// `None` when telemetry is disabled — the guard is inert.
-    start: Option<Instant>,
+    start: Option<Stopwatch>,
     name: &'static str,
     fields: Vec<(&'static str, FieldValue)>,
 }
@@ -18,7 +21,7 @@ pub struct SpanGuard {
 impl SpanGuard {
     pub(crate) fn active(name: &'static str) -> Self {
         Self {
-            start: Some(Instant::now()),
+            start: Some(Stopwatch::start()),
             name,
             fields: Vec::new(),
         }
@@ -51,7 +54,7 @@ impl SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
-        let duration_s = start.elapsed().as_secs_f64();
+        let duration_s = start.elapsed_s();
         crate::observe_duration(self.name, duration_s);
         let mut fields = std::mem::take(&mut self.fields);
         fields.push(("duration_s", FieldValue::F64(duration_s)));

@@ -92,7 +92,8 @@ impl Mlp {
     }
 
     pub fn output_dim(&self) -> usize {
-        self.layers.last().unwrap().out_dim()
+        // PANIC-SAFETY: both constructors assert a non-empty layer stack.
+        self.layers.last().expect("non-empty layer stack").out_dim()
     }
 
     pub fn layers(&self) -> &[Dense] {

@@ -7,3 +7,22 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo fmt --check
+
+# Static analysis: determinism, panic-freedom, numeric-safety, and
+# telemetry-naming invariants (see DESIGN.md and lint.toml). Fails on any
+# unsuppressed finding and on stale allowlist entries.
+cargo run --release -q -p deepcat-lint
+
+# Determinism smoke: two same-seed runs of a single-threaded experiment
+# with frozen telemetry clocks must produce byte-identical event logs.
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+./target/release/deepcat-repro fig5 --quick --deterministic \
+    --log "$smoke_dir/a.jsonl" >/dev/null
+./target/release/deepcat-repro fig5 --quick --deterministic \
+    --log "$smoke_dir/b.jsonl" >/dev/null
+cmp "$smoke_dir/a.jsonl" "$smoke_dir/b.jsonl" || {
+    echo "determinism smoke failed: same-seed runs diverged" >&2
+    exit 1
+}
+echo "determinism smoke: OK ($(wc -l <"$smoke_dir/a.jsonl") events, byte-identical)"

@@ -1,0 +1,125 @@
+//! The `lint.toml` allowlist: the only way to ship a finding the rules
+//! object to. Every entry names a rule (exact id or family prefix), a
+//! path prefix, and a **mandatory** one-line reason — an entry without
+//! a reason is itself a fatal configuration error, so the audit trail
+//! cannot rot into a bare suppression list.
+
+use crate::rules::Finding;
+use crate::toml_lite;
+
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    /// Rule id (`panic.index`) or family prefix (`panic`).
+    pub rule: String,
+    /// Repo-relative path prefix (file or directory).
+    pub path: String,
+    pub reason: String,
+    /// Set while applying findings; unused entries are reported.
+    pub hits: usize,
+}
+
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    pub fn parse(src: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        for (table, entry) in toml_lite::parse(src)? {
+            if table != "allow" {
+                return Err(format!("lint.toml: unknown table [[{table}]]"));
+            }
+            let get = |key: &str| {
+                entry
+                    .get(key)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("lint.toml: [[allow]] entry missing `{key}`"))
+            };
+            let e = AllowEntry {
+                rule: get("rule")?,
+                path: get("path")?,
+                reason: get("reason")?,
+                hits: 0,
+            };
+            if e.reason.trim().len() < 10 {
+                return Err(format!(
+                    "lint.toml: allow entry for {} / {} needs a real one-line justification \
+                     (got \"{}\")",
+                    e.rule, e.path, e.reason
+                ));
+            }
+            entries.push(e);
+        }
+        Ok(Self { entries })
+    }
+
+    /// Split findings into (kept, suppressed-count), recording hits.
+    pub fn apply(&mut self, findings: Vec<Finding>) -> (Vec<Finding>, usize) {
+        let mut kept = Vec::new();
+        let mut suppressed = 0usize;
+        'next: for f in findings {
+            for e in &mut self.entries {
+                let rule_match = f.rule == e.rule
+                    || f.rule
+                        .strip_prefix(e.rule.as_str())
+                        .is_some_and(|rest| rest.starts_with('.'));
+                if rule_match && f.path.starts_with(e.path.as_str()) {
+                    e.hits += 1;
+                    suppressed += 1;
+                    continue 'next;
+                }
+            }
+            kept.push(f);
+        }
+        (kept, suppressed)
+    }
+
+    /// Entries that matched nothing — stale suppressions to clean up.
+    pub fn unused(&self) -> impl Iterator<Item = &AllowEntry> {
+        self.entries.iter().filter(|e| e.hits == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str) -> Finding {
+        Finding {
+            path: path.to_string(),
+            line: 1,
+            col: 1,
+            rule,
+            message: String::new(),
+            suggestion: None,
+        }
+    }
+
+    #[test]
+    fn family_prefix_and_path_prefix_match() {
+        let mut a = Allowlist::parse(
+            "[[allow]]\nrule = \"panic\"\npath = \"crates/tensor-nn\"\n\
+             reason = \"dense kernels, bounds checked at construction\"\n",
+        )
+        .expect("parses");
+        let (kept, n) = a.apply(vec![
+            finding("panic.index", "crates/tensor-nn/src/matrix.rs"),
+            finding("panic.unwrap", "crates/tensor-nn/src/mlp.rs"),
+            finding("panic.index", "crates/rl/src/per.rs"),
+            // `panic2.x` must not match the `panic` family prefix.
+            finding("panic2.x", "crates/tensor-nn/src/matrix.rs"),
+        ]);
+        assert_eq!(n, 2);
+        assert_eq!(kept.len(), 2);
+        assert!(a.unused().next().is_none());
+    }
+
+    #[test]
+    fn reason_is_mandatory_and_substantive() {
+        assert!(Allowlist::parse("[[allow]]\nrule = \"x\"\npath = \"y\"\n").is_err());
+        assert!(
+            Allowlist::parse("[[allow]]\nrule = \"x\"\npath = \"y\"\nreason = \"ok\"\n").is_err()
+        );
+    }
+}

@@ -1,0 +1,420 @@
+//! A minimal, never-panicking Rust lexer.
+//!
+//! `deepcat-lint` matches token *sequences*, so it needs just enough
+//! lexical structure to tell code from comments and string literals —
+//! the classic failure mode of grep-based lint gates is flagging the
+//! word `unwrap` inside a doc comment. The lexer handles line/nested
+//! block comments, plain/raw/byte strings, char-vs-lifetime
+//! disambiguation and numeric literals; everything else is a
+//! one-byte `Punct`.
+//!
+//! Robustness contract: `lex` must return (never panic, never loop
+//! forever) for **arbitrary byte input**, including invalid UTF-8
+//! fragments and unterminated literals — enforced by a property test
+//! (`tests/proptest_lexer.rs`). All slicing goes through `str::get`,
+//! so a mid-codepoint boundary degrades into an empty-text token
+//! rather than a panic.
+
+/// Lexical class of a token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers like `r#fn`).
+    Ident,
+    /// String literal of any flavor: `"…"`, `r"…"`, `r#"…"#`, `b"…"`.
+    Str,
+    /// Character or byte literal: `'a'`, `b'\n'`.
+    Char,
+    /// Lifetime: `'a`, `'static`.
+    Lifetime,
+    /// Numeric literal (int or float, any base, with suffix).
+    Num,
+    /// Single punctuation byte (`::` is two `:` tokens).
+    Punct,
+    /// `// …` comment, including doc comments.
+    LineComment,
+    /// `/* … */` comment (nesting handled), including doc comments.
+    BlockComment,
+}
+
+/// One token with its source text and position (1-based line/column).
+#[derive(Clone, Copy, Debug)]
+pub struct Tok<'a> {
+    pub kind: TokKind,
+    pub text: &'a str,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Tok<'_> {
+    /// Literal content of a string token with quotes/prefix stripped
+    /// (`r#"x"#` → `x`). Non-string tokens return their text verbatim.
+    pub fn str_content(&self) -> &str {
+        if self.kind != TokKind::Str {
+            return self.text;
+        }
+        let t = self.text;
+        // Strip optional prefix letters (r, b, br, c, …) before the quote.
+        let body = t.trim_start_matches(|c: char| c.is_ascii_alphabetic());
+        let hashes = body.bytes().take_while(|&b| b == b'#').count();
+        let body = body.get(hashes..).unwrap_or("");
+        let body = body.strip_prefix('"').unwrap_or(body);
+        let body = body.strip_suffix('#').unwrap_or(body);
+        let body = if hashes > 0 {
+            // r##"…"## — drop remaining closing hashes, then the quote.
+            body.trim_end_matches('#')
+        } else {
+            body
+        };
+        body.strip_suffix('"').unwrap_or(body)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Byte-oriented cursor; slices are re-validated against the original
+/// `&str` so tokens are always valid UTF-8 substrings (or empty).
+struct Cursor<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) {
+        if let Some(b) = self.bytes.get(self.pos) {
+            if *b == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn slice(&self, start: usize) -> &'a str {
+        self.src.get(start..self.pos).unwrap_or("")
+    }
+}
+
+/// Tokenize `src`. Total function: any input produces a token list.
+pub fn lex(src: &str) -> Vec<Tok<'_>> {
+    let mut cur = Cursor {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(b) = cur.peek(0) {
+        if b.is_ascii_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let (start, line, col) = (cur.pos, cur.line, cur.col);
+        let kind = scan_token(&mut cur, b);
+        // Defensive: guarantee forward progress on any input.
+        if cur.pos == start {
+            cur.bump();
+        }
+        out.push(Tok {
+            kind,
+            text: cur.slice(start),
+            line,
+            col,
+        });
+    }
+    out
+}
+
+fn scan_token(cur: &mut Cursor<'_>, b: u8) -> TokKind {
+    match b {
+        b'/' if cur.peek(1) == Some(b'/') => {
+            while let Some(c) = cur.peek(0) {
+                if c == b'\n' {
+                    break;
+                }
+                cur.bump();
+            }
+            TokKind::LineComment
+        }
+        b'/' if cur.peek(1) == Some(b'*') => {
+            cur.bump_n(2);
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some(b'/'), Some(b'*')) => {
+                        depth += 1;
+                        cur.bump_n(2);
+                    }
+                    (Some(b'*'), Some(b'/')) => {
+                        depth -= 1;
+                        cur.bump_n(2);
+                    }
+                    (Some(_), _) => cur.bump(),
+                    (None, _) => break,
+                }
+            }
+            TokKind::BlockComment
+        }
+        b'r' | b'b' | b'c' if starts_string(cur) => scan_prefixed_string(cur),
+        _ if is_ident_start(b) => {
+            while let Some(c) = cur.peek(0) {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                cur.bump();
+            }
+            TokKind::Ident
+        }
+        _ if b.is_ascii_digit() => {
+            scan_number(cur);
+            TokKind::Num
+        }
+        b'"' => {
+            cur.bump();
+            scan_plain_string_body(cur);
+            TokKind::Str
+        }
+        b'\'' => scan_char_or_lifetime(cur),
+        _ => {
+            cur.bump();
+            TokKind::Punct
+        }
+    }
+}
+
+/// Does the cursor sit on a string/char prefix like `r"`, `r#"`, `br"`,
+/// `b"`, `b'`, `c"`? (`r#ident` raw identifiers return false.)
+fn starts_string(cur: &Cursor<'_>) -> bool {
+    let mut i = 1; // past the leading r/b/c
+    if cur.peek(0) == Some(b'b') && matches!(cur.peek(1), Some(b'r')) {
+        i = 2;
+    }
+    let mut j = i;
+    while cur.peek(j) == Some(b'#') {
+        j += 1;
+    }
+    match cur.peek(j) {
+        Some(b'"') => true,
+        // b'x' byte char only for a bare `b'` prefix.
+        Some(b'\'') => i == 1 && j == 1 && cur.peek(0) == Some(b'b'),
+        _ => false,
+    }
+}
+
+fn scan_prefixed_string(cur: &mut Cursor<'_>) -> TokKind {
+    let raw = matches!(cur.peek(0), Some(b'r')) || matches!(cur.peek(1), Some(b'r'));
+    cur.bump(); // prefix letter
+    if cur.peek(0) == Some(b'r') {
+        cur.bump(); // the r of br
+    }
+    if cur.peek(0) == Some(b'\'') {
+        // b'x' byte literal.
+        cur.bump();
+        scan_char_body(cur);
+        return TokKind::Char;
+    }
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some(b'#') {
+        hashes += 1;
+        cur.bump();
+    }
+    if cur.peek(0) == Some(b'"') {
+        cur.bump();
+    }
+    if raw {
+        // Raw string: ends at `"` followed by `hashes` hashes, no escapes.
+        while let Some(c) = cur.peek(0) {
+            if c == b'"' {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if cur.peek(1 + k) != Some(b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    cur.bump_n(1 + hashes);
+                    break;
+                }
+            }
+            cur.bump();
+        }
+    } else {
+        scan_plain_string_body(cur);
+    }
+    TokKind::Str
+}
+
+/// Body of a `"…"` string, cursor past the opening quote.
+fn scan_plain_string_body(cur: &mut Cursor<'_>) {
+    while let Some(c) = cur.peek(0) {
+        match c {
+            b'\\' => cur.bump_n(2),
+            b'"' => {
+                cur.bump();
+                break;
+            }
+            _ => cur.bump(),
+        }
+    }
+}
+
+/// Body of a `'…'` char literal, cursor past the opening quote.
+fn scan_char_body(cur: &mut Cursor<'_>) {
+    while let Some(c) = cur.peek(0) {
+        match c {
+            b'\\' => cur.bump_n(2),
+            b'\'' | b'\n' => {
+                cur.bump();
+                break;
+            }
+            _ => cur.bump(),
+        }
+    }
+}
+
+fn scan_char_or_lifetime(cur: &mut Cursor<'_>) -> TokKind {
+    // `'` then: escape → char; ident-chars then `'` → char ('a', '日');
+    // ident-chars without closing quote → lifetime; any single byte
+    // followed by `'` → char (e.g. `' '`).
+    cur.bump(); // opening '
+    match cur.peek(0) {
+        Some(b'\\') => {
+            scan_char_body(cur);
+            TokKind::Char
+        }
+        Some(c) if is_ident_start(c) => {
+            let mut n = 0usize;
+            while cur.peek(n).is_some_and(is_ident_continue) {
+                n += 1;
+            }
+            if cur.peek(n) == Some(b'\'') {
+                cur.bump_n(n + 1);
+                TokKind::Char
+            } else {
+                cur.bump_n(n);
+                TokKind::Lifetime
+            }
+        }
+        Some(_) if cur.peek(1) == Some(b'\'') => {
+            cur.bump_n(2);
+            TokKind::Char
+        }
+        _ => TokKind::Punct,
+    }
+}
+
+fn scan_number(cur: &mut Cursor<'_>) {
+    // Digits, `_`, letters (hex digits and type suffixes), a single `.`
+    // when followed by a digit, and a signed exponent. Mis-lexing exotic
+    // numerics is harmless — no rule matches inside `Num` tokens.
+    let mut prev = 0u8;
+    while let Some(c) = cur.peek(0) {
+        let take = c.is_ascii_alphanumeric()
+            || c == b'_'
+            || (c == b'.' && cur.peek(1).is_some_and(|d| d.is_ascii_digit()))
+            || ((c == b'+' || c == b'-')
+                && matches!(prev, b'e' | b'E')
+                && cur.peek(1).is_some_and(|d| d.is_ascii_digit()));
+        if !take {
+            break;
+        }
+        prev = c;
+        cur.bump();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src).iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_not_code() {
+        let toks = kinds("// x.unwrap()\nlet s = \"y.unwrap()\"; /* z.unwrap() */");
+        let code_idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(code_idents, vec!["let", "s"]);
+    }
+
+    #[test]
+    fn raw_strings_and_nested_comments() {
+        let toks = kinds(r##"r#"a " b"# /* outer /* inner */ still */ x"##);
+        assert_eq!(toks.first().map(|t| t.0), Some(TokKind::Str));
+        assert_eq!(toks.get(1).map(|t| t.0), Some(TokKind::BlockComment));
+        assert_eq!(toks.get(2).map(|t| *t), Some((TokKind::Ident, "x")));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds("'a 'static 'x' '\\n' b'q'");
+        let ks: Vec<TokKind> = toks.iter().map(|t| t.0).collect();
+        assert_eq!(
+            ks,
+            vec![
+                TokKind::Lifetime,
+                TokKind::Lifetime,
+                TokKind::Char,
+                TokKind::Char,
+                TokKind::Char
+            ]
+        );
+    }
+
+    #[test]
+    fn str_content_strips_quotes() {
+        let src = r###"
+            "plain" r"raw" r#"ha"sh"# b"bytes"
+        "###;
+        let contents: Vec<String> = lex(src)
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.str_content().to_string())
+            .collect();
+        assert_eq!(contents, vec!["plain", "raw", "ha\"sh", "bytes"]);
+    }
+
+    #[test]
+    fn numbers_including_floats_and_ranges() {
+        let toks = kinds("1.5e-3 0..10 0xFF_u8");
+        assert_eq!(toks.first().map(|t| *t), Some((TokKind::Num, "1.5e-3")));
+        // `0..10` must lex as Num Punct Punct Num, not a malformed float.
+        assert_eq!(toks.get(1).map(|t| *t), Some((TokKind::Num, "0")));
+        assert_eq!(toks.get(2).map(|t| t.0), Some(TokKind::Punct));
+    }
+
+    #[test]
+    fn total_on_garbage() {
+        // Unterminated everything — must terminate without panicking.
+        for s in ["\"abc", "r#\"abc", "/* abc", "'", "b'", "'\\", "r#"] {
+            let _ = lex(s);
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! `deepcat-lint` — the workspace's in-repo static analysis gate.
+//!
+//! DeepCAT's headline numbers (Twin-Q skip savings, RDPER β-mix) are
+//! only reproducible if every seeded run is bit-for-bit deterministic
+//! and a bad config sample degrades into a low reward instead of a
+//! panic. This crate enforces those invariants lexically, with zero
+//! external dependencies, fast enough to run on every CI invocation:
+//!
+//! * a never-panicking Rust lexer ([`lexer`]),
+//! * four rule families ([`rules`]): determinism, panic-freedom,
+//!   numeric safety, telemetry naming,
+//! * a reasoned allowlist ([`allowlist`], `lint.toml`),
+//! * a telemetry name manifest ([`manifest`],
+//!   `crates/telemetry/events.toml`).
+//!
+//! Run locally with `cargo run -p deepcat-lint`; see DESIGN.md
+//! ("Static analysis & invariants") for the policy rationale.
+
+pub mod allowlist;
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+pub mod toml_lite;
+
+pub use allowlist::Allowlist;
+pub use manifest::Manifest;
+pub use rules::{lint_source, Finding, NamesSeen};
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// Result of linting the whole workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings that survived the allowlist, sorted by (path, line).
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by `lint.toml` entries.
+    pub suppressed: usize,
+    /// Allowlist entries that matched nothing (stale).
+    pub stale_allows: Vec<String>,
+    /// Files scanned.
+    pub files: usize,
+    /// Telemetry names seen at non-test call sites.
+    pub names: BTreeSet<String>,
+}
+
+/// Locate the repo root by walking up from `start` until a directory
+/// containing `lint.toml` or `Cargo.toml` with a `[workspace]` section.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join("lint.toml").is_file() {
+            return Some(d);
+        }
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(body) = std::fs::read_to_string(&manifest) {
+                if body.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// All `.rs` files under the lintable roots (`crates/*/src`,
+/// `tools/*/src`), sorted for deterministic reports.
+pub fn workspace_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for group in ["crates", "tools"] {
+        let Ok(members) = std::fs::read_dir(root.join(group)) else {
+            continue;
+        };
+        for member in members.flatten() {
+            collect_rs(&member.path().join("src"), &mut files);
+        }
+    }
+    files.sort();
+    files
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Repo-relative `/`-separated form of `path`.
+fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Lint `files` (or the whole workspace when empty) under `root`.
+pub fn run(root: &Path, explicit_files: &[PathBuf], use_allowlist: bool) -> Result<Report, String> {
+    let manifest_path = root.join("crates/telemetry/events.toml");
+    let manifest = match std::fs::read_to_string(&manifest_path) {
+        Ok(src) => Manifest::parse(&src)?,
+        Err(_) => Manifest::default(),
+    };
+    let mut allow = if use_allowlist {
+        match std::fs::read_to_string(root.join("lint.toml")) {
+            Ok(src) => Allowlist::parse(&src)?,
+            Err(_) => Allowlist::default(),
+        }
+    } else {
+        Allowlist::default()
+    };
+
+    let files = if explicit_files.is_empty() {
+        workspace_files(root)
+    } else {
+        explicit_files.to_vec()
+    };
+
+    let mut report = Report::default();
+    let mut seen = NamesSeen::default();
+    let mut all = Vec::new();
+    for file in &files {
+        let src = std::fs::read_to_string(file).map_err(|e| format!("{}: {e}", file.display()))?;
+        all.extend(lint_source(
+            &relative(root, file),
+            &src,
+            &manifest,
+            &mut seen,
+        ));
+        report.files += 1;
+    }
+    let (kept, suppressed) = allow.apply(all);
+    report.findings = kept;
+    report.suppressed = suppressed;
+    report.stale_allows = allow
+        .unused()
+        .map(|e| format!("{} / {} ({})", e.rule, e.path, e.reason))
+        .collect();
+    report.names = seen.names;
+    Ok(report)
+}
+
+/// Render findings for humans, grouped by file.
+pub fn render_text(report: &Report) -> String {
+    let mut out = String::new();
+    let mut last_path = "";
+    for f in &report.findings {
+        if f.path != last_path {
+            out.push_str(&f.path);
+            out.push('\n');
+            last_path = &f.path;
+        }
+        out.push_str(&format!(
+            "  {}:{} [{}] {}\n",
+            f.line, f.col, f.rule, f.message
+        ));
+        if let Some(s) = f.suggestion {
+            out.push_str(&format!("      suggestion: {s}\n"));
+        }
+    }
+    for stale in &report.stale_allows {
+        out.push_str(&format!(
+            "stale lint.toml entry (matched nothing): {stale}\n"
+        ));
+    }
+    out.push_str(&format!(
+        "{} file(s), {} finding(s), {} suppressed by lint.toml\n",
+        report.files,
+        report.findings.len(),
+        report.suppressed
+    ));
+    out
+}
+
+/// Machine-readable report (the `--json` contract): one object with a
+/// `findings` array carrying byte-exact locations and, where known, a
+/// mechanical `suggestion` — enough for an external `--fix` driver.
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\"findings\":[");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"path\":{},\"line\":{},\"col\":{},\"rule\":{},\"message\":{},\"suggestion\":{}}}",
+            json_str(&f.path),
+            f.line,
+            f.col,
+            json_str(f.rule),
+            json_str(&f.message),
+            f.suggestion.map_or("null".to_string(), json_str),
+        ));
+    }
+    out.push_str(&format!(
+        "],\"files\":{},\"suppressed\":{},\"stale_allows\":[",
+        report.files, report.suppressed
+    ));
+    for (i, s) in report.stale_allows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_str(s));
+    }
+    out.push_str("]}");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -1,0 +1,83 @@
+//! CLI for the workspace lint gate. Exit codes: 0 clean, 1 findings
+//! (or stale allowlist entries), 2 usage/configuration error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: deepcat-lint [--json] [--emit-manifest] [--no-allowlist] [--root DIR] [FILE...]\n\
+         \n\
+         Lints crates/*/src and tools/*/src against the DeepCAT invariants:\n\
+         determinism, panic-freedom, numeric safety, telemetry naming.\n\
+         Allowlist: lint.toml (repo root). Name schema: crates/telemetry/events.toml."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut emit_manifest = false;
+    let mut use_allowlist = true;
+    let mut root: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--emit-manifest" => emit_manifest = true,
+            "--no-allowlist" => use_allowlist = false,
+            "--root" => {
+                let Some(dir) = argv.next() else {
+                    return usage();
+                };
+                root = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => return usage(),
+            flag if flag.starts_with('-') => return usage(),
+            file => files.push(PathBuf::from(file)),
+        }
+    }
+
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let Some(root) = root.or_else(|| deepcat_lint::find_root(&cwd)) else {
+        eprintln!("deepcat-lint: cannot locate repo root (no lint.toml / workspace Cargo.toml)");
+        return ExitCode::from(2);
+    };
+
+    let report = match deepcat_lint::run(&root, &files, use_allowlist) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("deepcat-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if emit_manifest {
+        let existing = std::fs::read_to_string(root.join("crates/telemetry/events.toml"))
+            .ok()
+            .and_then(|src| deepcat_lint::Manifest::parse(&src).ok())
+            .unwrap_or_default();
+        print!(
+            "{}",
+            deepcat_lint::manifest::render_manifest(
+                report.names.iter().map(String::as_str),
+                &existing
+            )
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if json {
+        println!("{}", deepcat_lint::render_json(&report));
+    } else {
+        print!("{}", deepcat_lint::render_text(&report));
+    }
+
+    if report.findings.is_empty() && report.stale_allows.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

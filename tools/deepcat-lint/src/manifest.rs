@@ -1,0 +1,101 @@
+//! The telemetry event-name manifest (`crates/telemetry/events.toml`).
+//!
+//! Every metric/event family name used at a `telemetry::…` call site
+//! with a literal name must be registered here with a one-line `doc`.
+//! The linter cross-checks call sites against the manifest
+//! (`telemetry.manifest`) so a typo'd or undocumented event name fails
+//! CI instead of silently forking the event schema that
+//! `deepcat-tune report` consumes.
+
+use crate::toml_lite;
+use std::collections::BTreeMap;
+
+/// Parsed manifest: name → doc line.
+#[derive(Clone, Debug, Default)]
+pub struct Manifest {
+    pub events: BTreeMap<String, String>,
+}
+
+impl Manifest {
+    pub fn parse(src: &str) -> Result<Self, String> {
+        let mut events = BTreeMap::new();
+        for (table, entry) in toml_lite::parse(src)? {
+            if table != "event" {
+                return Err(format!("events.toml: unknown table [[{table}]]"));
+            }
+            let name = entry
+                .get("name")
+                .ok_or("events.toml: [[event]] missing `name`")?;
+            let doc = entry
+                .get("doc")
+                .ok_or_else(|| format!("events.toml: event \"{name}\" missing `doc`"))?;
+            if doc.trim().is_empty() {
+                return Err(format!("events.toml: event \"{name}\" has an empty doc"));
+            }
+            if events.insert(name.to_string(), doc.to_string()).is_some() {
+                return Err(format!("events.toml: duplicate event \"{name}\""));
+            }
+        }
+        Ok(Self { events })
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.events.contains_key(name)
+    }
+}
+
+/// Render a manifest skeleton for the given names (`--emit-manifest`),
+/// carrying over docs for names already in `existing`.
+pub fn render_manifest<'a>(
+    names: impl IntoIterator<Item = &'a str>,
+    existing: &Manifest,
+) -> String {
+    let mut out = String::from(
+        "# Telemetry event/metric name manifest — cross-checked by deepcat-lint.\n\
+         # Regenerate the skeleton with: cargo run -p deepcat-lint -- --emit-manifest\n\n",
+    );
+    let tables: Vec<(String, toml_lite::Entry)> = names
+        .into_iter()
+        .map(|name| {
+            let doc = existing
+                .events
+                .get(name)
+                .cloned()
+                .unwrap_or_else(|| "TODO: document this event".to_string());
+            (
+                "event".to_string(),
+                toml_lite::Entry {
+                    fields: vec![
+                        ("name".to_string(), name.to_string()),
+                        ("doc".to_string(), doc),
+                    ],
+                },
+            )
+        })
+        .collect();
+    out.push_str(&toml_lite::render(&tables));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_contains() {
+        let m = Manifest::parse(
+            "[[event]]\nname = \"a.b\"\ndoc = \"x\"\n[[event]]\nname = \"c.d\"\ndoc = \"y\"\n",
+        )
+        .expect("parses");
+        assert!(m.contains("a.b") && m.contains("c.d") && !m.contains("a.c"));
+    }
+
+    #[test]
+    fn rejects_duplicates_and_missing_doc() {
+        assert!(Manifest::parse("[[event]]\nname = \"a.b\"\n").is_err());
+        assert!(Manifest::parse(
+            "[[event]]\nname = \"a.b\"\ndoc = \"x\"\n[[event]]\nname = \"a.b\"\ndoc = \"y\"\n"
+        )
+        .is_err());
+    }
+}

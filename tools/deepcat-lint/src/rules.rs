@@ -1,0 +1,564 @@
+//! The lint rule engine: walks a file's token stream and reports
+//! invariant violations. Four families (see DESIGN.md "Static analysis
+//! & invariants"):
+//!
+//! * `determinism.*` — wall clocks, `thread_rng`, hash-ordered
+//!   collections in core crates;
+//! * `panic.*` — `unwrap`/`expect`/`panic!`/slice indexing in library
+//!   code;
+//! * `numeric.*` — NaN-unsafe `partial_cmp().unwrap()` and lossy `as`
+//!   casts in math kernels;
+//! * `telemetry.*` — metric/event names must be `family.snake_case`
+//!   and registered in `crates/telemetry/events.toml`;
+//!
+//! plus `safety.undocumented_unsafe` for `unsafe` without a
+//! `// SAFETY:` comment.
+//!
+//! Escape hatches are deliberate and auditable: a justified
+//! `// PANIC-SAFETY:` comment (for `expect`/explicit panics), a
+//! `// CAST-SAFETY:` comment (for lossy casts), a `// SAFETY:` comment
+//! (for `unsafe`), or a reasoned entry in `lint.toml`.
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::manifest::Manifest;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Crates whose results must be bit-reproducible under a fixed seed.
+/// `telemetry` is exempt (sinks own the sanctioned wall clock);
+/// `bench`/`deepcat-lint` are tooling.
+const CORE_CRATES: &[&str] = &["rl", "spark-sim", "surrogate", "tensor-nn", "deepcat"];
+
+/// Crates holding numeric kernels where lossy casts are flagged.
+const MATH_CRATES: &[&str] = &["surrogate", "tensor-nn", "rl"];
+
+/// Telemetry registration/emission functions whose first argument is a
+/// metric or event name literal.
+const TELEMETRY_FNS: &[&str] = &[
+    "inc",
+    "set_gauge",
+    "observe",
+    "observe_duration",
+    "counter",
+    "gauge",
+    "histogram",
+    "span",
+    "emit",
+];
+
+/// One lint violation.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Repo-relative path, `/`-separated.
+    pub path: String,
+    pub line: u32,
+    pub col: u32,
+    /// Rule id, `family.check`.
+    pub rule: &'static str,
+    pub message: String,
+    /// Mechanical replacement hint for `--json` consumers, when known.
+    pub suggestion: Option<&'static str>,
+}
+
+/// Everything the rule engine knows about the file being linted.
+struct FileCx<'a> {
+    path: &'a str,
+    krate: &'a str,
+    is_bin: bool,
+    code: Vec<Tok<'a>>,
+    /// Per-line comment text, for `SAFETY:`-style escape comments.
+    comments: BTreeMap<u32, String>,
+    /// `code`-index ranges lying inside `#[test]`/`#[cfg(test)]` items.
+    test_ranges: Vec<(usize, usize)>,
+    /// `code` indices inside attributes (`#[…]` / `#![…]`).
+    in_attr: Vec<bool>,
+}
+
+/// Names found at telemetry call sites, for the manifest cross-check
+/// and `--emit-manifest`.
+#[derive(Debug, Default)]
+pub struct NamesSeen {
+    pub names: BTreeSet<String>,
+}
+
+/// Lint one file. `rel_path` uses `/` separators and is relative to the
+/// repo root (e.g. `crates/rl/src/per.rs`).
+pub fn lint_source(
+    rel_path: &str,
+    src: &str,
+    manifest: &Manifest,
+    seen: &mut NamesSeen,
+) -> Vec<Finding> {
+    let toks = lex(src);
+    let cx = build_cx(rel_path, &toks);
+    let mut findings = Vec::new();
+    determinism_rules(&cx, &mut findings);
+    panic_rules(&cx, &mut findings);
+    numeric_rules(&cx, &mut findings);
+    safety_rules(&cx, &mut findings);
+    telemetry_rules(&cx, manifest, seen, &mut findings);
+    findings.sort();
+    findings.dedup();
+    findings
+}
+
+fn build_cx<'a>(rel_path: &'a str, toks: &[Tok<'a>]) -> FileCx<'a> {
+    let krate = rel_path
+        .strip_prefix("crates/")
+        .or_else(|| rel_path.strip_prefix("tools/"))
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("");
+    let is_bin = rel_path.contains("/src/bin/") || rel_path.ends_with("/main.rs");
+
+    let mut code = Vec::new();
+    let mut comments: BTreeMap<u32, String> = BTreeMap::new();
+    for t in toks {
+        match t.kind {
+            TokKind::LineComment | TokKind::BlockComment => {
+                let slot = comments.entry(t.line).or_default();
+                slot.push_str(t.text);
+                slot.push(' ');
+            }
+            _ => code.push(*t),
+        }
+    }
+
+    let in_attr = mark_attrs(&code);
+    let test_ranges = mark_test_ranges(&code, &in_attr);
+    FileCx {
+        path: rel_path,
+        krate,
+        is_bin,
+        code,
+        comments,
+        test_ranges,
+        in_attr,
+    }
+}
+
+/// Mark every code-token index that sits inside `#[…]` or `#![…]`.
+fn mark_attrs(code: &[Tok<'_>]) -> Vec<bool> {
+    let mut flags = vec![false; code.len()];
+    let mut i = 0usize;
+    while i < code.len() {
+        if is_punct(code.get(i), "#") {
+            let open = if is_punct(code.get(i + 1), "[") {
+                Some(i + 1)
+            } else if is_punct(code.get(i + 1), "!") && is_punct(code.get(i + 2), "[") {
+                Some(i + 2)
+            } else {
+                None
+            };
+            if let Some(open) = open {
+                let close = matching_bracket(code, open, "[", "]");
+                for flag in flags.iter_mut().take(close.min(code.len() - 1) + 1).skip(i) {
+                    *flag = true;
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    flags
+}
+
+/// Find code-index ranges belonging to `#[test]` / `#[cfg(test)]`
+/// items: the attribute plus the following item up to its closing
+/// brace. Anything in those ranges is test code, where panic rules do
+/// not apply (a failing assertion is the *point* of a test).
+fn mark_test_ranges(code: &[Tok<'_>], in_attr: &[bool]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if is_punct(code.get(i), "#") && is_punct(code.get(i + 1), "[") {
+            let close = matching_bracket(code, i + 1, "[", "]");
+            let has_test = code
+                .get(i..=close.min(code.len().saturating_sub(1)))
+                .unwrap_or(&[])
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && t.text == "test");
+            if has_test {
+                // Skip any further attributes, then the item header, to
+                // the item's opening brace; the range ends at its match.
+                let mut j = close + 1;
+                while is_punct(code.get(j), "#") && is_punct(code.get(j + 1), "[") {
+                    j = matching_bracket(code, j + 1, "[", "]") + 1;
+                }
+                while j < code.len() && !is_punct(code.get(j), "{") {
+                    // An item ending in `;` (e.g. `mod tests;`) has no body.
+                    if is_punct(code.get(j), ";") {
+                        break;
+                    }
+                    j += 1;
+                }
+                if is_punct(code.get(j), "{") {
+                    let end = matching_bracket(code, j, "{", "}");
+                    ranges.push((i, end));
+                    i = end + 1;
+                    continue;
+                }
+            }
+            i = close + 1;
+            continue;
+        }
+        let _ = in_attr;
+        i += 1;
+    }
+    ranges
+}
+
+/// Index of the bracket matching `code[open]`, or `code.len() - 1` if
+/// unbalanced (degrades gracefully on malformed input).
+fn matching_bracket(code: &[Tok<'_>], open: usize, lhs: &str, rhs: &str) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while let Some(t) = code.get(i) {
+        if t.kind == TokKind::Punct {
+            if t.text == lhs {
+                depth += 1;
+            } else if t.text == rhs {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i;
+                }
+            }
+        }
+        i += 1;
+    }
+    code.len().saturating_sub(1)
+}
+
+fn is_punct(t: Option<&Tok<'_>>, s: &str) -> bool {
+    t.is_some_and(|t| t.kind == TokKind::Punct && t.text == s)
+}
+
+fn is_ident(t: Option<&Tok<'_>>, s: &str) -> bool {
+    t.is_some_and(|t| t.kind == TokKind::Ident && t.text == s)
+}
+
+impl FileCx<'_> {
+    fn in_test(&self, idx: usize) -> bool {
+        self.test_ranges.iter().any(|&(a, b)| idx >= a && idx <= b)
+    }
+
+    /// Is there an escape comment containing `marker` on the token's
+    /// line or the two lines above (to cover multi-line call chains)?
+    fn escape_comment(&self, line: u32, marker: &str) -> bool {
+        (line.saturating_sub(2)..=line)
+            .any(|l| self.comments.get(&l).is_some_and(|c| c.contains(marker)))
+    }
+
+    fn finding(
+        &self,
+        t: &Tok<'_>,
+        rule: &'static str,
+        message: String,
+        suggestion: Option<&'static str>,
+    ) -> Finding {
+        Finding {
+            path: self.path.to_string(),
+            line: t.line,
+            col: t.col,
+            rule,
+            message,
+            suggestion,
+        }
+    }
+}
+
+// ---- determinism ------------------------------------------------------
+
+fn determinism_rules(cx: &FileCx<'_>, out: &mut Vec<Finding>) {
+    if !CORE_CRATES.contains(&cx.krate) {
+        return;
+    }
+    for (i, t) in cx.code.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text {
+            "thread_rng" => out.push(cx.finding(
+                t,
+                "determinism.thread_rng",
+                "OS-entropy RNG in a core crate; seed a StdRng and thread it through".into(),
+                Some("rand::rngs::StdRng::seed_from_u64"),
+            )),
+            "Instant" | "SystemTime" if follows_now(&cx.code, i) => out.push(cx.finding(
+                t,
+                "determinism.wall_clock",
+                format!(
+                    "{}::now() in a core crate leaks wall-clock time into results; \
+                     use telemetry::Stopwatch (freezable for reproducible runs)",
+                    t.text
+                ),
+                Some("telemetry::Stopwatch::start"),
+            )),
+            "HashMap" | "HashSet" if !cx.in_test(i) => out.push(cx.finding(
+                t,
+                "determinism.hash_collections",
+                format!(
+                    "{} iteration order is randomized per process; any traversal that \
+                     reaches results or logs diverges across runs",
+                    t.text
+                ),
+                Some("std::collections::BTreeMap / BTreeSet"),
+            )),
+            _ => {}
+        }
+    }
+}
+
+/// `Instant` / `SystemTime` followed by `::now` (possibly `::now()`).
+fn follows_now(code: &[Tok<'_>], i: usize) -> bool {
+    is_punct(code.get(i + 1), ":")
+        && is_punct(code.get(i + 2), ":")
+        && is_ident(code.get(i + 3), "now")
+}
+
+// ---- panic-freedom ----------------------------------------------------
+
+fn panic_rules(cx: &FileCx<'_>, out: &mut Vec<Finding>) {
+    if cx.is_bin {
+        // Binaries may exit loudly; the library invariant is what the
+        // tuning service depends on.
+        return;
+    }
+    for (i, t) in cx.code.iter().enumerate() {
+        if cx.in_test(i) {
+            continue;
+        }
+        match t.kind {
+            TokKind::Ident if t.text == "unwrap" => {
+                if is_punct(cx.code.get(i.wrapping_sub(1)), ".")
+                    && is_punct(cx.code.get(i + 1), "(")
+                    && is_punct(cx.code.get(i + 2), ")")
+                {
+                    out.push(
+                        cx.finding(
+                            t,
+                            "panic.unwrap",
+                            "unwrap() in library code turns a recoverable condition into a crash; \
+                         return a Result or use a justified expect"
+                                .into(),
+                            Some("expect(\"…\") with a // PANIC-SAFETY: comment, or `?`"),
+                        ),
+                    );
+                }
+            }
+            TokKind::Ident if t.text == "expect" => {
+                if is_punct(cx.code.get(i.wrapping_sub(1)), ".")
+                    && is_punct(cx.code.get(i + 1), "(")
+                    && !cx.escape_comment(t.line, "PANIC-SAFETY:")
+                {
+                    out.push(
+                        cx.finding(
+                            t,
+                            "panic.expect",
+                            "expect() without a `// PANIC-SAFETY:` comment stating why the value \
+                         is always present"
+                                .into(),
+                            None,
+                        ),
+                    );
+                }
+            }
+            TokKind::Ident
+                if matches!(t.text, "panic" | "unreachable" | "todo" | "unimplemented") =>
+            {
+                if is_punct(cx.code.get(i + 1), "!") && !cx.escape_comment(t.line, "PANIC-SAFETY:")
+                {
+                    out.push(cx.finding(
+                        t,
+                        "panic.explicit",
+                        format!(
+                            "{}! in library code without a `// PANIC-SAFETY:` justification",
+                            t.text
+                        ),
+                        None,
+                    ));
+                }
+            }
+            TokKind::Punct if t.text == "[" => {
+                let indexing = !cx.in_attr.get(i).copied().unwrap_or(false)
+                    && cx.code.get(i.wrapping_sub(1)).is_some_and(|p| {
+                        p.kind == TokKind::Ident && !is_keyword_before_bracket(p.text)
+                            || (p.kind == TokKind::Punct && (p.text == ")" || p.text == "]"))
+                    });
+                if indexing && !cx.escape_comment(t.line, "PANIC-SAFETY:") {
+                    out.push(
+                        cx.finding(
+                            t,
+                            "panic.index",
+                            "slice/array indexing panics on out-of-bounds; use get()/get_mut() or \
+                         justify with // PANIC-SAFETY: (math kernels are typically allowlisted \
+                         per file in lint.toml)"
+                                .into(),
+                            Some(".get(i)"),
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Keywords that may directly precede `[` without forming an index
+/// expression (`return [a, b]`, `break [x]`, `in [..]`, …).
+fn is_keyword_before_bracket(s: &str) -> bool {
+    matches!(
+        s,
+        "return" | "break" | "continue" | "in" | "else" | "match" | "if" | "while" | "loop" | "mut"
+    )
+}
+
+// ---- numeric safety ---------------------------------------------------
+
+fn numeric_rules(cx: &FileCx<'_>, out: &mut Vec<Finding>) {
+    for (i, t) in cx.code.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // NaN-unsafe comparison applies everywhere, tests included: one
+        // NaN candidate turns the sort into a panic.
+        if t.text == "partial_cmp" && is_punct(cx.code.get(i + 1), "(") {
+            let close = matching_bracket(&cx.code, i + 1, "(", ")");
+            let unwraps = is_punct(cx.code.get(close + 1), ".")
+                && cx.code.get(close + 2).is_some_and(|n| {
+                    n.kind == TokKind::Ident && (n.text == "unwrap" || n.text == "expect")
+                });
+            if unwraps {
+                out.push(
+                    cx.finding(
+                        t,
+                        "numeric.partial_cmp_unwrap",
+                        "partial_cmp().unwrap() panics on NaN — one bad config sample becomes a \
+                     crash instead of a low reward; compare with f64::total_cmp"
+                            .into(),
+                        Some("a.total_cmp(b)"),
+                    ),
+                );
+            }
+        }
+        if t.text == "as"
+            && MATH_CRATES.contains(&cx.krate)
+            && !cx.in_test(i)
+            && cx.code.get(i + 1).is_some_and(|n| {
+                n.kind == TokKind::Ident
+                    && matches!(n.text, "f32" | "i8" | "i16" | "i32" | "u8" | "u16" | "u32")
+            })
+            && !cx.escape_comment(t.line, "CAST-SAFETY:")
+        {
+            out.push(
+                cx.finding(
+                    t,
+                    "numeric.lossy_cast",
+                    "narrowing `as` cast in a math kernel silently truncates/saturates; use \
+                 try_from/checked conversion or justify with // CAST-SAFETY:"
+                        .into(),
+                    Some("TryFrom::try_from"),
+                ),
+            );
+        }
+    }
+}
+
+// ---- unsafe audit -----------------------------------------------------
+
+fn safety_rules(cx: &FileCx<'_>, out: &mut Vec<Finding>) {
+    for t in &cx.code {
+        if t.kind == TokKind::Ident && t.text == "unsafe" && !cx.escape_comment(t.line, "SAFETY:") {
+            out.push(
+                cx.finding(
+                    t,
+                    "safety.undocumented_unsafe",
+                    "unsafe without a `// SAFETY:` comment stating the invariant it relies on \
+                 (the workspace also sets forbid(unsafe_code) via [workspace.lints])"
+                        .into(),
+                    None,
+                ),
+            );
+        }
+    }
+}
+
+// ---- telemetry naming -------------------------------------------------
+
+fn telemetry_rules(
+    cx: &FileCx<'_>,
+    manifest: &Manifest,
+    seen: &mut NamesSeen,
+    out: &mut Vec<Finding>,
+) {
+    for (i, t) in cx.code.iter().enumerate() {
+        if !(t.kind == TokKind::Ident && t.text == "telemetry") {
+            continue;
+        }
+        if !(is_punct(cx.code.get(i + 1), ":") && is_punct(cx.code.get(i + 2), ":")) {
+            continue;
+        }
+        let Some(f) = cx.code.get(i + 3) else {
+            continue;
+        };
+        if f.kind != TokKind::Ident {
+            continue;
+        }
+        // `telemetry::fn("name", …)` or `telemetry::macro!("name", …)`.
+        let arg_at = if TELEMETRY_FNS.contains(&f.text) && is_punct(cx.code.get(i + 4), "(") {
+            i + 5
+        } else if matches!(f.text, "event" | "span")
+            && is_punct(cx.code.get(i + 4), "!")
+            && is_punct(cx.code.get(i + 5), "(")
+        {
+            i + 6
+        } else {
+            continue;
+        };
+        let Some(name_tok) = cx.code.get(arg_at) else {
+            continue;
+        };
+        if name_tok.kind != TokKind::Str {
+            // Name passed through a variable/const — out of lexical reach.
+            continue;
+        }
+        let name = name_tok.str_content().to_string();
+        let in_test = cx.in_test(i);
+        if !valid_metric_name(&name) {
+            out.push(cx.finding(
+                name_tok,
+                "telemetry.name_format",
+                format!("telemetry name \"{name}\" must be dotted `family.snake_case`"),
+                None,
+            ));
+            continue;
+        }
+        if in_test {
+            // Test-local scratch names stay out of the manifest.
+            continue;
+        }
+        seen.names.insert(name.clone());
+        if !manifest.contains(&name) {
+            out.push(cx.finding(
+                name_tok,
+                "telemetry.manifest",
+                format!(
+                    "telemetry name \"{name}\" is not registered in \
+                     crates/telemetry/events.toml (regenerate with --emit-manifest)"
+                ),
+                None,
+            ));
+        }
+    }
+}
+
+/// `family.snake_case` with at least two dotted segments, each
+/// `[a-z][a-z0-9_]*`.
+pub fn valid_metric_name(name: &str) -> bool {
+    let segs: Vec<&str> = name.split('.').collect();
+    segs.len() >= 2
+        && segs.iter().all(|s| {
+            let mut chars = s.chars();
+            chars.next().is_some_and(|c| c.is_ascii_lowercase())
+                && chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
+}

@@ -1,0 +1,153 @@
+//! A tiny TOML-subset reader — the linter is dependency-free by design,
+//! and its two config files (`lint.toml`, `crates/telemetry/events.toml`)
+//! only need one shape: arrays of tables with string values.
+//!
+//! Supported syntax:
+//!
+//! ```toml
+//! # comment
+//! [[entry]]
+//! key = "value"        # trailing comments allowed
+//! other = "with \" escape"
+//! ```
+//!
+//! Anything else (nested tables, non-string values, multi-line strings)
+//! is a parse error — better to fail loudly than to silently ignore an
+//! allowlist entry.
+
+/// One `[[name]]` table as a list of key/value pairs.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Entry {
+    pub fields: Vec<(String, String)>,
+}
+
+impl Entry {
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parse the file into `(table_name, entry)` pairs, in file order.
+pub fn parse(src: &str) -> Result<Vec<(String, Entry)>, String> {
+    let mut out: Vec<(String, Entry)> = Vec::new();
+    for (i, raw) in src.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("[[") {
+            let Some(name) = rest.strip_suffix("]]") else {
+                return Err(format!("line {lineno}: malformed table header `{line}`"));
+            };
+            out.push((name.trim().to_string(), Entry::default()));
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {lineno}: expected `key = \"value\"`"));
+        };
+        let key = key.trim();
+        if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(format!("line {lineno}: bad key `{key}`"));
+        }
+        let value = parse_string(value.trim())
+            .ok_or_else(|| format!("line {lineno}: value must be a \"quoted string\""))?;
+        match out.last_mut() {
+            Some((_, entry)) => entry.fields.push((key.to_string(), value)),
+            None => return Err(format!("line {lineno}: key/value before any [[table]]")),
+        }
+    }
+    Ok(out)
+}
+
+/// Parse a double-quoted string with `\"` and `\\` escapes; trailing
+/// `# comment` after the closing quote is ignored.
+fn parse_string(s: &str) -> Option<String> {
+    let rest = s.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    loop {
+        match chars.next()? {
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                other => {
+                    out.push('\\');
+                    out.push(other);
+                }
+            },
+            '"' => break,
+            c => out.push(c),
+        }
+    }
+    let tail = chars.as_str().trim();
+    if tail.is_empty() || tail.starts_with('#') {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+/// Serialize entries back out (used by `--emit-manifest`).
+pub fn render(tables: &[(String, Entry)]) -> String {
+    let mut out = String::new();
+    for (name, entry) in tables {
+        out.push_str("[[");
+        out.push_str(name);
+        out.push_str("]]\n");
+        for (k, v) in &entry.fields {
+            let escaped = v.replace('\\', "\\\\").replace('"', "\\\"");
+            out.push_str(k);
+            out.push_str(" = \"");
+            out.push_str(&escaped);
+            out.push_str("\"\n");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_in_order() {
+        let src = r#"
+# header comment
+[[allow]]
+rule = "panic.index"
+path = "crates/tensor-nn"
+reason = "dense kernels"  # trailing
+
+[[allow]]
+rule = "numeric.lossy_cast"
+path = "crates/surrogate/src/lasso.rs"
+reason = "powi exponent \"k\""
+"#;
+        let t = parse(src).expect("parses");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].1.get("rule"), Some("panic.index"));
+        assert_eq!(t[1].1.get("reason"), Some("powi exponent \"k\""));
+    }
+
+    #[test]
+    fn rejects_bad_syntax() {
+        assert!(parse("key = \"before table\"").is_err());
+        assert!(parse("[[allow]]\nkey = unquoted").is_err());
+        assert!(parse("[[allow\nkey = \"v\"").is_err());
+        assert!(parse("[[allow]]\nkey = \"v\" trailing").is_err());
+    }
+
+    #[test]
+    fn render_roundtrips() {
+        let src = "[[event]]\nname = \"a.b\"\ndoc = \"say \\\"hi\\\"\"\n\n";
+        let t = parse(src).expect("parses");
+        assert_eq!(render(&t), src);
+    }
+}

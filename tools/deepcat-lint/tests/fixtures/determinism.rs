@@ -1,0 +1,17 @@
+// Fixture: every determinism-family rule must fire on this file when it is
+// linted under a core-crate path (crates/rl/src/...).
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn bad_rng() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen::<f64>()
+}
+
+fn bad_clock() -> std::time::Instant {
+    Instant::now()
+}
+
+fn bad_map() -> HashMap<String, f64> {
+    HashMap::new()
+}

@@ -1,0 +1,20 @@
+// Fixture: numeric-family rules must fire on this file when it is linted
+// under a math-crate path (crates/tensor-nn/src/...).
+
+fn bad_partial_cmp(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+fn bad_lossy_cast(n: usize) -> f32 {
+    n as f32
+}
+
+fn fine_cast(n: usize) -> f32 {
+    // CAST-SAFETY: fixture demonstrating that the escape comment is
+    // honoured — this site must NOT be reported.
+    n as f32
+}
+
+fn fine_total_cmp(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}

@@ -1,0 +1,35 @@
+// Fixture: every panic-family rule must fire on this file when it is
+// linted under a library (non-bin, non-test) path.
+
+fn bad_unwrap(x: Option<f64>) -> f64 {
+    x.unwrap()
+}
+
+fn bad_expect(x: Option<f64>) -> f64 {
+    x.expect("present")
+}
+
+fn bad_explicit(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+}
+
+fn bad_index(xs: &[f64]) -> f64 {
+    xs[3]
+}
+
+fn fine_expect(x: Option<f64>) -> f64 {
+    // PANIC-SAFETY: fixture demonstrating that the escape comment is
+    // honoured — this site must NOT be reported.
+    x.expect("documented")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,15 @@
+// Fixture: telemetry-family rules must fire on this file. `BadName` breaks
+// the `family.snake_case` format; `ghost.event` is well-formed but absent
+// from the manifest the test supplies.
+
+fn bad_format() {
+    telemetry::event!("BadName", value = 1.0);
+}
+
+fn unregistered() {
+    telemetry::event!("ghost.event", value = 1.0);
+}
+
+fn registered() {
+    telemetry::event!("known.event", value = 1.0);
+}

@@ -1,0 +1,12 @@
+// Fixture: the safety family must flag an unsafe block with no
+// `// SAFETY:` comment and accept one that is documented.
+
+fn bad(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+fn fine(p: *const u8) -> u8 {
+    // SAFETY: fixture demonstrating the escape comment — callers pass a
+    // valid, aligned pointer.
+    unsafe { *p }
+}

@@ -1,0 +1,162 @@
+//! Each lint family must fire on its fixture file — and escape comments
+//! must be honoured. The fixtures live under `tests/fixtures/` (outside
+//! `src/`, so the workspace sweep itself never lints them).
+
+use deepcat_lint::{lint_source, Finding, Manifest, NamesSeen};
+
+fn lint_fixture(rel_path: &str, fixture: &str, manifest: &Manifest) -> Vec<Finding> {
+    let src = std::fs::read_to_string(format!(
+        "{}/tests/fixtures/{fixture}",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+    .expect("fixture readable");
+    lint_source(rel_path, &src, manifest, &mut NamesSeen::default())
+}
+
+fn rules(findings: &[Finding]) -> Vec<&str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn determinism_family_fires() {
+    let f = lint_fixture(
+        "crates/rl/src/fixture.rs",
+        "determinism.rs",
+        &Manifest::default(),
+    );
+    let r = rules(&f);
+    assert!(r.contains(&"determinism.thread_rng"), "{f:?}");
+    assert!(r.contains(&"determinism.wall_clock"), "{f:?}");
+    assert!(r.contains(&"determinism.hash_collections"), "{f:?}");
+}
+
+#[test]
+fn determinism_family_ignores_non_core_crates() {
+    let f = lint_fixture(
+        "crates/bench/src/fixture.rs",
+        "determinism.rs",
+        &Manifest::default(),
+    );
+    let r = rules(&f);
+    assert!(!r.contains(&"determinism.thread_rng"), "{f:?}");
+    assert!(!r.contains(&"determinism.hash_collections"), "{f:?}");
+}
+
+#[test]
+fn panic_family_fires() {
+    let f = lint_fixture(
+        "crates/spark-sim/src/fixture.rs",
+        "panics.rs",
+        &Manifest::default(),
+    );
+    let r = rules(&f);
+    assert!(r.contains(&"panic.unwrap"), "{f:?}");
+    assert!(r.contains(&"panic.expect"), "{f:?}");
+    assert!(r.contains(&"panic.explicit"), "{f:?}");
+    assert!(r.contains(&"panic.index"), "{f:?}");
+    // The PANIC-SAFETY-escaped expect and the #[cfg(test)] unwrap must
+    // not be reported: exactly one expect and one unwrap finding.
+    assert_eq!(
+        r.iter().filter(|r| **r == "panic.expect").count(),
+        1,
+        "{f:?}"
+    );
+    assert_eq!(
+        r.iter().filter(|r| **r == "panic.unwrap").count(),
+        1,
+        "{f:?}"
+    );
+}
+
+#[test]
+fn panic_family_exempts_bins() {
+    let f = lint_fixture(
+        "crates/spark-sim/src/bin/fixture.rs",
+        "panics.rs",
+        &Manifest::default(),
+    );
+    assert!(!rules(&f).iter().any(|r| r.starts_with("panic.")), "{f:?}");
+}
+
+#[test]
+fn numeric_family_fires() {
+    let f = lint_fixture(
+        "crates/tensor-nn/src/fixture.rs",
+        "numeric.rs",
+        &Manifest::default(),
+    );
+    let r = rules(&f);
+    assert!(r.contains(&"numeric.partial_cmp_unwrap"), "{f:?}");
+    // One lossy cast reported; the CAST-SAFETY-escaped one is not.
+    assert_eq!(
+        r.iter().filter(|r| **r == "numeric.lossy_cast").count(),
+        1,
+        "{f:?}"
+    );
+}
+
+#[test]
+fn lossy_cast_only_checked_in_math_crates() {
+    let f = lint_fixture(
+        "crates/telemetry/src/fixture.rs",
+        "numeric.rs",
+        &Manifest::default(),
+    );
+    assert!(!rules(&f).contains(&"numeric.lossy_cast"), "{f:?}");
+}
+
+#[test]
+fn telemetry_family_fires() {
+    let manifest =
+        Manifest::parse("[[event]]\nname = \"known.event\"\ndoc = \"registered fixture event\"\n")
+            .expect("manifest parses");
+    let f = lint_fixture("crates/rl/src/fixture.rs", "telemetry_names.rs", &manifest);
+    let r = rules(&f);
+    assert!(r.contains(&"telemetry.name_format"), "{f:?}");
+    // `ghost.event` is unregistered; `known.event` is registered, so
+    // exactly one manifest finding.
+    assert_eq!(
+        r.iter().filter(|r| **r == "telemetry.manifest").count(),
+        1,
+        "{f:?}"
+    );
+}
+
+#[test]
+fn safety_family_fires() {
+    let f = lint_fixture(
+        "crates/rl/src/fixture.rs",
+        "unsafe_block.rs",
+        &Manifest::default(),
+    );
+    let r = rules(&f);
+    // One undocumented unsafe block; the SAFETY-escaped one is clean.
+    assert_eq!(
+        r.iter()
+            .filter(|r| **r == "safety.undocumented_unsafe")
+            .count(),
+        1,
+        "{f:?}"
+    );
+}
+
+#[test]
+fn clean_core_source_has_no_findings() {
+    let manifest =
+        Manifest::parse("[[event]]\nname = \"core.tick\"\ndoc = \"fixture event\"\n").unwrap();
+    let src = r#"
+        use std::collections::BTreeMap;
+        pub fn tick(xs: &mut [f64]) -> BTreeMap<u64, f64> {
+            xs.sort_by(|a, b| a.total_cmp(b));
+            telemetry::event!("core.tick", n = xs.len());
+            BTreeMap::new()
+        }
+    "#;
+    let f = lint_source(
+        "crates/rl/src/fixture.rs",
+        src,
+        &manifest,
+        &mut NamesSeen::default(),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}

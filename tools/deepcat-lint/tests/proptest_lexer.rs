@@ -1,0 +1,47 @@
+//! The lexer and the full lint pass are total functions: arbitrary input —
+//! including invalid UTF-8 mangled through lossy conversion, unterminated
+//! strings, and deeply nested comments — must never panic.
+
+use deepcat_lint::lexer::lex;
+use deepcat_lint::{lint_source, Manifest, NamesSeen};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lexer_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(0u8..=255u8, 0..512)) {
+        let src = String::from_utf8_lossy(&bytes);
+        let toks = lex(&src);
+        // Every token must point back into the source line range.
+        for t in &toks {
+            prop_assert!(t.line >= 1);
+        }
+    }
+
+    #[test]
+    fn lint_pass_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(0u8..=255u8, 0..512)) {
+        let src = String::from_utf8_lossy(&bytes);
+        let _ = lint_source(
+            "crates/rl/src/fuzz.rs",
+            &src,
+            &Manifest::default(),
+            &mut NamesSeen::default(),
+        );
+    }
+
+    #[test]
+    fn lexer_handles_rusty_fragments(
+        idx in 0usize..12,
+        n in 0usize..40,
+    ) {
+        // Pathological but structured fragments, repeated and truncated.
+        let fragments = [
+            "\"unterminated", "r#\"raw", "/* nested /* deeper", "'a", "'x'",
+            "b\"bytes\"", "0..10", "1.5e-3", "#[cfg(test)]", "fn f() { x[0] }",
+            "//", "r\"",
+        ];
+        let src = fragments[idx].repeat(n);
+        let _ = lex(&src);
+    }
+}
