@@ -1,0 +1,354 @@
+//! `deepcat-bench` — perf-regression baselines for the tuning stack.
+//!
+//! ```text
+//! deepcat-bench baseline                      # run suite, write BENCH_3.json
+//! deepcat-bench baseline --out cur.json       # write elsewhere
+//! deepcat-bench compare --baseline BENCH_3.json --current cur.json
+//! deepcat-bench compare ... --tolerance 0.5   # allowed fractional slowdown
+//! ```
+//!
+//! `baseline` executes a pinned quick-profile workload suite (offline TD3
+//! training plus one Twin-Q online session on TeraSort-D1, seed 2022)
+//! under a capturing telemetry sink, aggregates per-phase self time with
+//! the [`telemetry::Profiler`], measures hot-path throughput with
+//! standalone micro-loops, and writes the result as JSON.
+//!
+//! `compare` diffs a fresh run against a committed baseline: any
+//! throughput metric that drops below `baseline * (1 - tolerance)` fails
+//! the comparison loudly, naming the regressed metric. Phase self-times
+//! are reported for context but never gate (they shift with machine load
+//! far more than the throughput ratios do).
+
+use deepcat::{online_tune_td3, train_td3, AgentConfig, OfflineConfig, OnlineConfig, TuningEnv};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl::{PrioritizedReplay, ReplayMemory, Transition};
+use serde::Serialize;
+use spark_sim::{Cluster, InputSize, SparkEnv, Workload, WorkloadKind};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+use telemetry::{Profiler, SpanRecord, TestSink};
+use tensor_nn::{Activation, Matrix, Mlp};
+
+/// Format version of the baseline file.
+const SCHEMA: &str = "deepcat-bench/1";
+/// Everything in the suite is pinned to the paper's seed.
+const SEED: u64 = 2022;
+/// Default allowed fractional slowdown before `compare` fails. Generous:
+/// the committed baseline and CI run on the same container class but not
+/// the same machine-load conditions.
+const DEFAULT_TOLERANCE: f64 = 0.6;
+
+#[derive(Serialize)]
+struct PhaseRow {
+    name: String,
+    count: u64,
+    total_s: f64,
+    self_s: f64,
+}
+
+#[derive(Serialize)]
+struct ThroughputRow {
+    metric: String,
+    ops_per_s: f64,
+}
+
+#[derive(Serialize)]
+struct Baseline {
+    schema: String,
+    suite: String,
+    seed: u64,
+    /// Fraction of instrumented wall time attributed to named spans.
+    coverage_pct: f64,
+    wall_s: f64,
+    phases: Vec<PhaseRow>,
+    throughput: Vec<ThroughputRow>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: deepcat-bench baseline [--out PATH]\n\
+         \x20      deepcat-bench compare --baseline PATH --current PATH \
+         [--tolerance FLOAT]"
+    );
+    ExitCode::from(2)
+}
+
+fn default_out() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_3.json")
+}
+
+/// Run the pinned quick-profile workload under a capturing sink and
+/// aggregate the span stream into a profile report.
+fn run_profile_suite() -> telemetry::ProfileReport {
+    let sink = Arc::new(TestSink::new());
+    telemetry::install(sink.clone());
+    let workload = Workload::new(WorkloadKind::TeraSort, InputSize::D1);
+    let mut env = TuningEnv::for_workload(Cluster::cluster_a(), workload, SEED);
+    let cfg = AgentConfig::for_dims(env.state_dim(), env.action_dim());
+    let (mut agent, _, _) = train_td3(&mut env, cfg, &OfflineConfig::deepcat(300, SEED), &[]);
+    let oc = OnlineConfig {
+        steps: 5,
+        ..OnlineConfig::deepcat(SEED)
+    };
+    let mut live_env = TuningEnv::for_workload(
+        Cluster::cluster_a().with_background_load(0.15),
+        workload,
+        SEED ^ 0xFACE,
+    );
+    let _ = online_tune_td3(&mut agent, &mut live_env, &oc, "DeepCAT");
+    telemetry::shutdown();
+
+    let mut profiler = Profiler::new();
+    profiler.add_all(sink.events().iter().filter_map(SpanRecord::from_event));
+    profiler.report()
+}
+
+/// Transitions sampled per second from a filled TD-error PER buffer.
+fn replay_samples_per_s() -> f64 {
+    let mut buffer = PrioritizedReplay::new(4096);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    for i in 0..2048u64 {
+        let x = (i % 97) as f64 / 97.0;
+        buffer.push(Transition::new(
+            vec![x; 9],
+            vec![1.0 - x; 8],
+            x - 0.5,
+            vec![x; 9],
+            i % 5 == 4,
+        ));
+    }
+    let batch = 64usize;
+    let iters = 2000usize;
+    let t0 = Instant::now();
+    let mut sampled = 0usize;
+    for _ in 0..iters {
+        if let Some(b) = buffer.sample(batch, &mut rng) {
+            sampled += b.len();
+        }
+    }
+    sampled as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Forward+backward passes per second through the paper-sized MLP.
+fn mlp_fwd_bwd_per_s() -> f64 {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let net = Mlp::new(
+        &[41, 64, 64, 1],
+        Activation::Relu,
+        Activation::Identity,
+        &mut rng,
+    );
+    let batch = Matrix::from_fn(64, 41, |r, c| ((r * 41 + c) % 31) as f64 / 31.0 - 0.5);
+    let grad = Matrix::full(64, 1, 1.0 / 64.0);
+    let iters = 300usize;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let cache = net.forward(&batch);
+        let _ = net.backward(&cache, &grad);
+    }
+    iters as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Simulated Spark application runs per second.
+fn sim_steps_per_s() -> f64 {
+    let workload = Workload::new(WorkloadKind::TeraSort, InputSize::D1);
+    let mut env = SparkEnv::new(Cluster::cluster_a(), workload, SEED);
+    let action = vec![0.5; env.action_dim()];
+    let iters = 200usize;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let _ = env.evaluate_action(&action);
+    }
+    iters as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn run_baseline(out: &PathBuf) -> Result<(), String> {
+    println!("running pinned quick-profile suite (TeraSort-D1, seed {SEED})...");
+    let report = run_profile_suite();
+    println!("{}", report.render());
+    println!("measuring hot-path throughput...");
+    let throughput = vec![
+        ThroughputRow {
+            metric: "replay_samples_per_s".to_string(),
+            ops_per_s: replay_samples_per_s(),
+        },
+        ThroughputRow {
+            metric: "mlp_fwd_bwd_per_s".to_string(),
+            ops_per_s: mlp_fwd_bwd_per_s(),
+        },
+        ThroughputRow {
+            metric: "sim_steps_per_s".to_string(),
+            ops_per_s: sim_steps_per_s(),
+        },
+    ];
+    for t in &throughput {
+        println!("  {:<24} {:>14.1} ops/s", t.metric, t.ops_per_s);
+    }
+    let baseline = Baseline {
+        schema: SCHEMA.to_string(),
+        suite: "quick-profile/terasort-d1".to_string(),
+        seed: SEED,
+        coverage_pct: report.coverage_pct(),
+        wall_s: report.total_wall_s,
+        phases: report
+            .rows
+            .iter()
+            .map(|r| PhaseRow {
+                name: r.name.clone(),
+                count: r.count,
+                total_s: r.total_s,
+                self_s: r.self_s,
+            })
+            .collect(),
+        throughput,
+    };
+    let body = serde_json::to_string_pretty(&baseline)
+        .map_err(|e| format!("serialize baseline: {e:?}"))?;
+    std::fs::write(out, body.as_bytes())
+        .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    println!("[saved {}]", out.display());
+    Ok(())
+}
+
+/// One parsed baseline file, reduced to what `compare` needs.
+struct Loaded {
+    throughput: Vec<(String, f64)>,
+    phases: Vec<(String, f64)>,
+}
+
+fn load_baseline(path: &PathBuf) -> Result<Loaded, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let value = serde_json::parse_value(&text)
+        .map_err(|e| format!("{}: invalid JSON: {e:?}", path.display()))?;
+    let schema = value.get("schema").and_then(|v| v.as_str()).unwrap_or("");
+    if schema != SCHEMA {
+        return Err(format!(
+            "{}: schema {schema:?}, expected {SCHEMA:?}",
+            path.display()
+        ));
+    }
+    let rows = |key: &str, field: &str| -> Vec<(String, f64)> {
+        value
+            .get(key)
+            .and_then(|v| v.as_seq())
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|row| {
+                let name = row
+                    .get("metric")
+                    .or_else(|| row.get("name"))
+                    .and_then(|v| v.as_str())?
+                    .to_string();
+                Some((name, row.get(field).and_then(|v| v.as_f64())?))
+            })
+            .collect()
+    };
+    Ok(Loaded {
+        throughput: rows("throughput", "ops_per_s"),
+        phases: rows("phases", "self_s"),
+    })
+}
+
+fn run_compare(baseline: &PathBuf, current: &PathBuf, tolerance: f64) -> Result<bool, String> {
+    let base = load_baseline(baseline)?;
+    let cur = load_baseline(current)?;
+    if base.throughput.is_empty() {
+        return Err(format!("{}: no throughput metrics", baseline.display()));
+    }
+    println!(
+        "== compare: {} vs {} (tolerance {:.0}%) ==",
+        current.display(),
+        baseline.display(),
+        tolerance * 100.0
+    );
+    let mut ok = true;
+    for (metric, base_v) in &base.throughput {
+        let Some((_, cur_v)) = cur.throughput.iter().find(|(m, _)| m == metric) else {
+            println!("REGRESSION {metric}: missing from current run");
+            ok = false;
+            continue;
+        };
+        let floor = base_v * (1.0 - tolerance);
+        let ratio = cur_v / base_v.max(1e-9);
+        if *cur_v < floor {
+            println!(
+                "REGRESSION {metric}: {cur_v:.1} ops/s vs baseline {base_v:.1} \
+                 ({ratio:.2}x, floor {floor:.1})"
+            );
+            ok = false;
+        } else {
+            println!("ok {metric}: {cur_v:.1} ops/s vs baseline {base_v:.1} ({ratio:.2}x)");
+        }
+    }
+    // Informational: where did the self-time shares move?
+    for (name, base_s) in &base.phases {
+        if let Some((_, cur_s)) = cur.phases.iter().find(|(n, _)| n == name) {
+            println!("   phase {name}: self {base_s:.4}s -> {cur_s:.4}s");
+        }
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else {
+        return usage();
+    };
+    let mut out = default_out();
+    let mut baseline = None;
+    let mut current = None;
+    let mut tolerance = DEFAULT_TOLERANCE;
+    while let Some(flag) = argv.next() {
+        let Some(value) = argv.next() else {
+            eprintln!("error: {flag} needs a value");
+            return usage();
+        };
+        match flag.as_str() {
+            "--out" => out = PathBuf::from(value),
+            "--baseline" => baseline = Some(PathBuf::from(value)),
+            "--current" => current = Some(PathBuf::from(value)),
+            "--tolerance" => match value.parse() {
+                Ok(t) => tolerance = t,
+                Err(e) => {
+                    eprintln!("error: --tolerance: {e}");
+                    return usage();
+                }
+            },
+            other => {
+                eprintln!("error: unknown flag {other}");
+                return usage();
+            }
+        }
+    }
+    match command.as_str() {
+        "baseline" => match run_baseline(&out) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "compare" => {
+            let (Some(baseline), Some(current)) = (baseline, current) else {
+                eprintln!("error: compare needs --baseline PATH and --current PATH");
+                return usage();
+            };
+            match run_compare(&baseline, &current, tolerance) {
+                Ok(true) => ExitCode::SUCCESS,
+                Ok(false) => {
+                    eprintln!("perf-regression check FAILED (see REGRESSION lines above)");
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -20,13 +20,21 @@ pub fn profile() -> ExperimentConfig {
     }
 }
 
-/// Directory where bench targets persist their JSON results.
+/// Directory where bench targets persist their JSON results:
+/// `DEEPCAT_RESULTS_DIR` when set, else `target/paper-results/`.
 pub fn results_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/paper-results");
+    let dir = resolve_results_dir(std::env::var_os("DEEPCAT_RESULTS_DIR"));
     // PANIC-SAFETY: bench harness — a result directory we cannot create
     // should abort the run loudly, not drop data silently.
     std::fs::create_dir_all(&dir).expect("create results dir");
     dir
+}
+
+fn resolve_results_dir(overridden: Option<std::ffi::OsString>) -> PathBuf {
+    match overridden {
+        Some(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/paper-results"),
+    }
 }
 
 /// Persist a serializable result next to the printed table.
@@ -96,6 +104,18 @@ mod tests {
         assert!(p.exists());
         let body = std::fs::read_to_string(p).unwrap();
         assert!(body.contains('1'));
+    }
+
+    #[test]
+    fn results_dir_honors_env_override() {
+        // Exercised through the internal resolver so the test does not
+        // mutate process-global env state (races with parallel tests).
+        let dflt = resolve_results_dir(None);
+        assert!(dflt.ends_with("target/paper-results"));
+        let over = resolve_results_dir(Some("/tmp/deepcat-results-x".into()));
+        assert_eq!(over, PathBuf::from("/tmp/deepcat-results-x"));
+        // Empty override falls back to the default.
+        assert_eq!(resolve_results_dir(Some("".into())), dflt);
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! deepcat-tune compare --workload TS --input D1           # 3 tuners
 //! deepcat-tune tune   ... --log run.jsonl                 # JSONL event log
 //! deepcat-tune report --log run.jsonl                     # summarize a log
+//! deepcat-tune report --log run.jsonl --trace out.json    # + Chrome trace
+//! deepcat-tune profile run.jsonl                          # self-time table
 //! ```
 //!
 //! Progress output goes through the telemetry [`ConsoleSink`] — one
@@ -36,14 +38,17 @@ struct Args {
     model: Option<PathBuf>,
     background_load: f64,
     log: Option<PathBuf>,
+    trace: Option<PathBuf>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: deepcat-tune <train|tune|run|compare|report> \
+        "usage: deepcat-tune <train|tune|run|compare|report|profile> \
          [--workload WC|TS|PR|KM|SO|AG] [--input D1|D2|D3] \
          [--iters N] [--steps N] [--seed N] [--model PATH] [--bg FLOAT] \
-         [--log PATH]"
+         [--log PATH] [--trace PATH]\n\
+         profile takes the JSONL log as a positional argument: \
+         deepcat-tune profile run.jsonl"
     );
     ExitCode::from(2)
 }
@@ -61,6 +66,7 @@ fn parse_args() -> Result<Args, String> {
         model: None,
         background_load: 0.15,
         log: None,
+        trace: None,
     };
     while let Some(flag) = argv.next() {
         let mut value = || argv.next().ok_or(format!("{flag} needs a value"));
@@ -90,6 +96,11 @@ fn parse_args() -> Result<Args, String> {
             "--model" => args.model = Some(PathBuf::from(value()?)),
             "--bg" => args.background_load = value()?.parse().map_err(|e| format!("--bg: {e}"))?,
             "--log" => args.log = Some(PathBuf::from(value()?)),
+            "--trace" => args.trace = Some(PathBuf::from(value()?)),
+            other if !other.starts_with('-') && args.log.is_none() => {
+                // Positional log path: `deepcat-tune profile run.jsonl`.
+                args.log = Some(PathBuf::from(other));
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -99,8 +110,17 @@ fn parse_args() -> Result<Args, String> {
 /// Console output for the interactive families only; the full event stream
 /// (including per-simulation `sim.*` events) still reaches the JSONL log.
 fn install_sinks(log: Option<&PathBuf>) -> Result<(), String> {
+    // `twinq.decision` only: the new `twinq.loop`/`twinq.rescore` spans
+    // fire dozens of times per step and belong in the JSONL log, not the
+    // console.
     let console = ConsoleSink::all().with_prefixes(vec![
-        "train.", "tune.", "run.", "compare.", "online.", "twinq.", "budget.",
+        "train.",
+        "tune.",
+        "run.",
+        "compare.",
+        "online.",
+        "twinq.decision",
+        "budget.",
     ]);
     let sink: Arc<dyn Sink> = match log {
         Some(path) => {
@@ -122,23 +142,61 @@ fn quantile(sorted: &[f64], p: f64) -> f64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
-/// Summarize a JSONL event log: evaluations paid vs skipped, the reward
-/// trajectory, and step-latency quantiles.
-fn report(path: &PathBuf) -> Result<(), String> {
+/// Parse every line of a JSONL event log into a JSON value.
+fn parse_log(path: &PathBuf) -> Result<Vec<serde::Value>, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    let mut paid = 0usize;
-    let mut skipped = 0u64;
-    let mut rewards: Vec<(u64, f64)> = Vec::new();
-    let mut latencies: Vec<f64> = Vec::new();
-    let mut spent_s: f64 = 0.0;
-    let mut sim_runs = 0usize;
+    let mut values = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
         let value: serde::Value = serde_json::from_str(line)
             .map_err(|e| format!("{}:{}: {e:?}", path.display(), lineno + 1))?;
+        values.push(value);
+    }
+    Ok(values)
+}
+
+/// Reconstruct the spans recorded in a JSONL log, in emission order.
+fn parse_spans(values: &[serde::Value]) -> Vec<telemetry::SpanRecord> {
+    values
+        .iter()
+        .filter_map(telemetry::SpanRecord::from_json_value)
+        .collect()
+}
+
+/// Self-time attribution table over the spans of a JSONL event log
+/// (`deepcat-tune profile run.jsonl`).
+fn profile(path: &PathBuf) -> Result<(), String> {
+    let values = parse_log(path)?;
+    let spans = parse_spans(&values);
+    if spans.is_empty() {
+        return Err(format!(
+            "{}: no span events found (was the log produced with this \
+             version's tracing enabled?)",
+            path.display()
+        ));
+    }
+    let mut profiler = telemetry::Profiler::new();
+    profiler.add_all(spans);
+    println!("== profile: {} ==", path.display());
+    print!("{}", profiler.report().render());
+    Ok(())
+}
+
+/// Summarize a JSONL event log: evaluations paid vs skipped, the reward
+/// trajectory, and step-latency quantiles. With `trace`, also export the
+/// log's spans as a Chrome Trace Event Format file.
+fn report(path: &PathBuf, trace: Option<&PathBuf>) -> Result<(), String> {
+    let values = parse_log(path)?;
+    let mut paid = 0usize;
+    let mut skipped = 0u64;
+    let mut rewards: Vec<(u64, f64)> = Vec::new();
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut spent_s: f64 = 0.0;
+    let mut sim_runs = 0usize;
+    for value in &values {
         let Some(event) = value.get("event").and_then(|v| v.as_str()) else {
             continue;
         };
@@ -197,6 +255,17 @@ fn report(path: &PathBuf) -> Result<(), String> {
     if spent_s > 0.0 {
         println!("tuning cost: {spent_s:.1}s");
     }
+    if let Some(trace_path) = trace {
+        let spans = parse_spans(&values);
+        let json = telemetry::chrome_trace_json(&spans);
+        std::fs::write(trace_path, json.as_bytes())
+            .map_err(|e| format!("cannot write {}: {e}", trace_path.display()))?;
+        println!(
+            "trace: {} spans -> {} (open in chrome://tracing or ui.perfetto.dev)",
+            spans.len(),
+            trace_path.display()
+        );
+    }
     Ok(())
 }
 
@@ -208,12 +277,17 @@ fn main() -> ExitCode {
             return usage();
         }
     };
-    if args.command == "report" {
+    if args.command == "report" || args.command == "profile" {
         let Some(path) = args.log else {
-            eprintln!("error: report needs --log PATH");
+            eprintln!("error: {} needs a JSONL log path", args.command);
             return usage();
         };
-        return match report(&path) {
+        let result = if args.command == "profile" {
+            profile(&path)
+        } else {
+            report(&path, args.trace.as_ref())
+        };
+        return match result {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");

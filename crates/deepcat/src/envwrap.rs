@@ -90,6 +90,9 @@ impl TuningEnv {
     /// Evaluate the configuration encoded by `action` and advance the
     /// episode.
     pub fn step(&mut self, action: &[f64]) -> StepOutcome {
+        // The costly operation the paper's cost model charges for; child
+        // of `offline.step` / `online.step`, parent of `sim.engine_step`.
+        let _span = telemetry::span!("env.eval");
         let result = self.env.evaluate_action(action);
         let reward = self.reward_fn.reward(result.exec_time_s);
         let next_state = self.env.observe(&result);

@@ -154,7 +154,10 @@ pub fn train_td3(
     let mut snaps = Vec::with_capacity(snapshots.len());
     let mut state = env.reset();
     let mut last_critic_loss = f64::NAN;
+    let mut episode: u64 = 0;
+    let mut episode_span = telemetry::span!("offline.episode", episode = episode);
     for iter in 0..cfg.iterations {
+        let step_span = telemetry::span!("offline.step", iter = iter);
         let action = if iter < agent_cfg.warmup_steps {
             (0..agent_cfg.action_dim)
                 .map(|_| rng.gen::<f64>())
@@ -209,7 +212,16 @@ pub fn train_td3(
         if snapshots.contains(&(iter + 1)) {
             snaps.push((iter + 1, agent.clone()));
         }
+        // Close the step span before an episode rollover: a new episode
+        // span started while the step guard is live would nest under it.
+        drop(step_span);
+        if out.done {
+            episode += 1;
+            drop(episode_span);
+            episode_span = telemetry::span!("offline.episode", episode = episode);
+        }
     }
+    drop(episode_span);
     (agent, log, snaps)
 }
 
@@ -224,7 +236,10 @@ pub fn train_ddpg(
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xABCD_EF01);
     let mut log = TrainLog::default();
     let mut state = env.reset();
+    let mut episode: u64 = 0;
+    let mut episode_span = telemetry::span!("offline.episode", episode = episode);
     for iter in 0..cfg.iterations {
+        let step_span = telemetry::span!("offline.step", iter = iter);
         let action = if iter < agent_cfg.warmup_steps {
             (0..agent_cfg.action_dim)
                 .map(|_| rng.gen::<f64>())
@@ -271,7 +286,14 @@ pub fn train_ddpg(
                 telemetry::set_gauge("offline.mean_min_q", stats.mean_q);
             }
         }
+        drop(step_span);
+        if out.done {
+            episode += 1;
+            drop(episode_span);
+            episode_span = telemetry::span!("offline.episode", episode = episode);
+        }
     }
+    drop(episode_span);
     (agent, log)
 }
 

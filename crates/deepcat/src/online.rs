@@ -140,6 +140,7 @@ pub fn online_tune_td3(
     let mut steps = Vec::with_capacity(cfg.steps);
     let mut state = env.reset();
     let mut spent_s = 0.0;
+    let session_span = telemetry::span!("online.request", tuner = tuner_name);
     for step in 0..cfg.steps {
         let mut span = telemetry::span!("online.step", step = step, tuner = tuner_name);
         let t0 = telemetry::Stopwatch::start();
@@ -196,6 +197,7 @@ pub fn online_tune_td3(
         });
         state = out.next_state;
     }
+    drop(session_span);
     finish_report(tuner_name, env, steps)
 }
 
@@ -212,6 +214,7 @@ pub fn online_tune_ddpg(
     let mut steps = Vec::with_capacity(cfg.steps);
     let mut state = env.reset();
     let mut spent_s = 0.0;
+    let session_span = telemetry::span!("online.request", tuner = tuner_name);
     for step in 0..cfg.steps {
         let mut span = telemetry::span!("online.step", step = step, tuner = tuner_name);
         let t0 = telemetry::Stopwatch::start();
@@ -259,6 +262,7 @@ pub fn online_tune_ddpg(
         });
         state = out.next_state;
     }
+    drop(session_span);
     finish_report(tuner_name, env, steps)
 }
 

@@ -192,6 +192,7 @@ impl Td3Agent {
         });
 
         // ---- critic updates ----
+        let critic_span = telemetry::span!("td3.critic_update");
         let sa = states.hconcat(&actions);
         let c1_cache = self.critic1.forward(&sa);
         let c2_cache = self.critic2.forward(&sa);
@@ -208,6 +209,7 @@ impl Td3Agent {
         c2_grads.clip_global_norm(10.0);
         self.critic1_opt.step(&mut self.critic1, &c1_grads);
         self.critic2_opt.step(&mut self.critic2, &c2_grads);
+        drop(critic_span);
 
         self.train_steps += 1;
         let mut stats = TrainStats {
@@ -219,6 +221,7 @@ impl Td3Agent {
 
         // ---- delayed policy + target updates ----
         if self.train_steps % self.cfg.policy_delay as u64 == 0 {
+            let _span = telemetry::span!("td3.actor_update");
             let a_cache = self.actor.forward(&states);
             let sa_pi = states.hconcat(&a_cache.output);
             let q_cache = self.critic1.forward(&sa_pi);

@@ -88,6 +88,7 @@ impl TwinQOptimizer {
         action: &[f64],
         rng: &mut impl rand::Rng,
     ) -> f64 {
+        let _span = telemetry::span!("twinq.rescore");
         let n = self.smoothing_samples.max(1);
         if n == 1 {
             return agent.min_q(state, action);
@@ -111,6 +112,7 @@ impl TwinQOptimizer {
         rng: &mut impl rand::Rng,
     ) -> TwinQResult {
         let noise = GaussianNoise::new(action.len(), self.sigma);
+        let loop_span = telemetry::span!("twinq.loop");
         let initial_q = self.smoothed_min_q(agent, state, &action, rng);
         let mut current = action;
         let mut current_q = initial_q;
@@ -125,6 +127,7 @@ impl TwinQOptimizer {
             }
             iterations += 1;
         }
+        drop(loop_span);
         let result = if current_q >= self.q_threshold {
             TwinQResult {
                 action: current,

@@ -58,6 +58,7 @@ impl ReplayMemory for PrioritizedReplay {
     }
 
     fn sample(&mut self, batch: usize, rng: &mut dyn rand::RngCore) -> Option<Batch> {
+        let _span = telemetry::span!("replay.sample");
         if self.len < batch || self.tree.total() <= 0.0 {
             return None;
         }

@@ -73,6 +73,7 @@ impl ReplayMemory for RankBasedReplay {
     }
 
     fn sample(&mut self, batch: usize, rng: &mut dyn rand::RngCore) -> Option<Batch> {
+        let _span = telemetry::span!("replay.sample");
         if self.data.len() < batch {
             return None;
         }

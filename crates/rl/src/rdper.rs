@@ -100,6 +100,7 @@ impl ReplayMemory for RdPer {
     }
 
     fn sample(&mut self, batch: usize, rng: &mut dyn rand::RngCore) -> Option<Batch> {
+        let _span = telemetry::span!("replay.sample");
         if self.len() < batch {
             return None;
         }

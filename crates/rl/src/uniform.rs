@@ -50,6 +50,7 @@ impl ReplayMemory for UniformReplay {
     }
 
     fn sample(&mut self, batch: usize, rng: &mut dyn rand::RngCore) -> Option<Batch> {
+        let _span = telemetry::span!("replay.sample");
         if self.data.len() < batch {
             return None;
         }

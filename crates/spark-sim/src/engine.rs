@@ -162,6 +162,7 @@ struct Accum {
 
 impl<'a> Engine<'a> {
     fn run(mut self) -> SimOutcome {
+        let _span = telemetry::span!("sim.engine_step");
         let mut acc = Accum {
             busy_core_s: vec![0.0; self.cluster.num_nodes()],
             io_core_s: vec![0.0; self.cluster.num_nodes()],

@@ -11,9 +11,28 @@
 //! rely on this).
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 static FROZEN: AtomicBool = AtomicBool::new(false);
+
+/// Lazily-pinned process epoch: the first call wins, and every later
+/// [`now_s`] reading is relative to it. Used as the time base for trace
+/// exports (Chrome Trace Event Format wants a shared monotonic origin).
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Seconds since the process trace epoch; `0.0` while the clock is
+/// frozen, so `--deterministic` trace exports carry stable timestamps.
+pub fn now_s() -> f64 {
+    if clock_frozen() {
+        0.0
+    } else {
+        epoch().elapsed().as_secs_f64()
+    }
+}
 
 /// Freeze the telemetry clock: every subsequently started [`Stopwatch`]
 /// (including span timers) reports an elapsed time of `0.0` seconds.

@@ -34,11 +34,15 @@ mod clock;
 mod metrics;
 mod sink;
 mod span;
+pub mod trace;
 
-pub use clock::{clock_frozen, freeze_clock, unfreeze_clock, Stopwatch};
+pub use clock::{clock_frozen, freeze_clock, now_s, unfreeze_clock, Stopwatch};
 pub use metrics::{Buckets, Counter, Gauge, Histogram, HistogramSnapshot};
 pub use sink::{ConsoleSink, Event, FieldValue, JsonlSink, MultiSink, NullSink, Sink, TestSink};
 pub use span::SpanGuard;
+pub use trace::{
+    chrome_trace_json, ChromeTraceSink, ProfileReport, ProfileRow, Profiler, SpanRecord,
+};
 
 use parking_lot::{Mutex, RwLock};
 use serde::Serialize;

@@ -1,19 +1,31 @@
-//! Lightweight spans: guard timers that, on drop, record their duration
+//! Hierarchical spans: guard timers that, on drop, record their duration
 //! into a histogram (`<name>.duration_s`) and emit a structured event
-//! (`<name>` with a `duration_s` field plus any attached fields).
+//! (`<name>` with `duration_s`, `ts_s` and `span_id`/`parent_span_id`/
+//! `trace_id` identity fields, plus any attached fields).
 
-use crate::clock::Stopwatch;
+use crate::clock::{self, Stopwatch};
 use crate::sink::FieldValue;
+use crate::trace::{self, SpanIds};
 
 /// A timed region of code. Create with [`crate::span`] or the
 /// [`crate::span!`] macro; the measurement happens when the guard drops.
+///
+/// Active guards participate in the trace hierarchy: each gets a
+/// process-unique monotonically-assigned id and a parent link to the
+/// span open on the same thread when it started (see [`crate::trace`]).
 /// Timing goes through [`Stopwatch`], so a frozen clock
-/// ([`crate::freeze_clock`]) makes every span report `duration_s = 0` —
-/// required for byte-reproducible event logs.
+/// ([`crate::freeze_clock`]) makes every span report `duration_s = 0`
+/// and `ts_s = 0` — required for byte-reproducible event logs and trace
+/// exports.
 #[must_use = "a span measures until it is dropped"]
 pub struct SpanGuard {
     /// `None` when telemetry is disabled — the guard is inert.
     start: Option<Stopwatch>,
+    /// `None` exactly when `start` is `None` (inert guards never touch
+    /// the per-thread span stack).
+    ids: Option<SpanIds>,
+    /// Start time, seconds since the process trace epoch.
+    ts_s: f64,
     name: &'static str,
     fields: Vec<(&'static str, FieldValue)>,
 }
@@ -22,6 +34,8 @@ impl SpanGuard {
     pub(crate) fn active(name: &'static str) -> Self {
         Self {
             start: Some(Stopwatch::start()),
+            ids: Some(trace::enter()),
+            ts_s: clock::now_s(),
             name,
             fields: Vec::new(),
         }
@@ -30,6 +44,8 @@ impl SpanGuard {
     pub(crate) fn inert(name: &'static str) -> Self {
         Self {
             start: None,
+            ids: None,
+            ts_s: 0.0,
             name,
             fields: Vec::new(),
         }
@@ -49,15 +65,42 @@ impl SpanGuard {
             self.fields.push((key, value.into()));
         }
     }
+
+    /// This span's id (0 for an inert guard).
+    pub fn span_id(&self) -> u64 {
+        self.ids.map_or(0, |i| i.span_id)
+    }
+
+    /// The enclosing span's id (0 for a root span or an inert guard).
+    pub fn parent_span_id(&self) -> u64 {
+        self.ids.map_or(0, |i| i.parent_id)
+    }
+
+    /// The root span's id of this chain (0 for an inert guard).
+    pub fn trace_id(&self) -> u64 {
+        self.ids.map_or(0, |i| i.trace_id)
+    }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
+        // Unwind the span stack even if telemetry was shut down while
+        // this guard was live — a stuck entry would mis-parent every
+        // later span on this thread.
+        if let Some(ids) = self.ids {
+            trace::exit(ids.span_id);
+        }
         let duration_s = start.elapsed_s();
         crate::observe_duration(self.name, duration_s);
         let mut fields = std::mem::take(&mut self.fields);
         fields.push(("duration_s", FieldValue::F64(duration_s)));
+        fields.push(("ts_s", FieldValue::F64(self.ts_s)));
+        if let Some(ids) = self.ids {
+            fields.push(("span_id", FieldValue::U64(ids.span_id)));
+            fields.push(("parent_span_id", FieldValue::U64(ids.parent_id)));
+            fields.push(("trace_id", FieldValue::U64(ids.trace_id)));
+        }
         crate::emit(self.name, fields);
     }
 }

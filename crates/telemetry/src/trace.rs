@@ -1,0 +1,432 @@
+//! Hierarchical tracing: span identity, the per-thread span stack, the
+//! Chrome Trace Event Format exporter, and the self-time profiler.
+//!
+//! Every active [`crate::SpanGuard`] is assigned a process-unique,
+//! monotonically increasing span id and linked to the span that was open
+//! on the same thread when it started (its parent). The chain up to the
+//! root span is one *trace*; the root's id doubles as the trace id. Ids
+//! come from a single atomic counter, so a single-threaded seeded run
+//! assigns the exact same ids on every execution — combined with the
+//! frozen clock ([`crate::freeze_clock`]), `--deterministic` trace
+//! exports are byte-identical across same-seed runs.
+//!
+//! Downstream consumers work on [`SpanRecord`]s (one per finished span,
+//! reconstructable from the span's emitted event):
+//!
+//! * [`chrome_trace_json`] renders records as a Chrome Trace Event
+//!   Format array — load it in `chrome://tracing` or Perfetto;
+//! * [`Profiler`] aggregates total vs. self time per span name into a
+//!   [`ProfileReport`] attribution table (`deepcat-tune profile`);
+//! * [`ChromeTraceSink`] captures span events live and writes the trace
+//!   file on flush, for runs that skip the JSONL intermediary.
+
+use crate::sink::{Event, Sink};
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identity of one active span: its own id plus its links.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanIds {
+    /// Process-unique id, assigned in start order (1, 2, 3, …).
+    pub span_id: u64,
+    /// Id of the span open on this thread when this one started; 0 for
+    /// a root span.
+    pub parent_id: u64,
+    /// Id of the root span of this chain (== `span_id` for roots).
+    pub trace_id: u64,
+}
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Stack of `(span_id, trace_id)` for the spans currently open on
+    /// this thread, in start order.
+    static STACK: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Assign the next span id and push it onto this thread's span stack.
+pub(crate) fn enter() -> SpanIds {
+    let span_id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        let (parent_id, trace_id) = stack.last().map_or((0, span_id), |&(pid, tid)| (pid, tid));
+        stack.push((span_id, trace_id));
+        SpanIds {
+            span_id,
+            parent_id,
+            trace_id,
+        }
+    })
+}
+
+/// Remove `span_id` from this thread's span stack. Searches from the top
+/// so out-of-order guard drops (`std::mem::drop` reordering, guards moved
+/// across scopes) unwind cleanly instead of panicking or mis-parenting
+/// later spans: parent links were fixed at [`enter`] time.
+pub(crate) fn exit(span_id: u64) {
+    STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        if let Some(pos) = stack.iter().rposition(|&(id, _)| id == span_id) {
+            stack.remove(pos);
+        }
+    });
+}
+
+/// Number of spans currently open on this thread (0 while telemetry is
+/// disabled — inert guards never touch the stack).
+pub fn stack_depth() -> usize {
+    STACK.with(|s| s.borrow().len())
+}
+
+/// Restart span-id assignment from 1. Test/run-boundary hook: lets two
+/// in-process runs produce identical id sequences for byte-comparison.
+/// Racing with live span creation only perturbs ids, never correctness.
+pub fn reset_ids() {
+    NEXT_SPAN_ID.store(1, Ordering::Relaxed);
+}
+
+/// One finished span, as reconstructed from its telemetry event.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct SpanRecord {
+    pub name: String,
+    pub span_id: u64,
+    pub parent_id: u64,
+    pub trace_id: u64,
+    /// Start time, seconds since the process trace epoch (0.0 frozen).
+    pub ts_s: f64,
+    pub duration_s: f64,
+}
+
+impl SpanRecord {
+    /// Reconstruct a span record from a span's end event. Returns `None`
+    /// for plain (non-span) events — those carry no `span_id`.
+    pub fn from_event(event: &Event) -> Option<Self> {
+        let span_id = event.u64("span_id")?;
+        Some(Self {
+            name: event.name.to_string(),
+            span_id,
+            parent_id: event.u64("parent_span_id").unwrap_or(0),
+            trace_id: event.u64("trace_id").unwrap_or(span_id),
+            ts_s: event.f64("ts_s").unwrap_or(0.0),
+            duration_s: event.f64("duration_s").unwrap_or(0.0),
+        })
+    }
+
+    /// Reconstruct a span record from one parsed JSONL log line (as
+    /// written by [`crate::JsonlSink`]). Returns `None` for lines that
+    /// are not span-end events (no `span_id` field).
+    pub fn from_json_value(value: &serde::Value) -> Option<Self> {
+        let name = value.get("event")?.as_str()?.to_string();
+        let span_id = value.get("span_id")?.as_u64()?;
+        Some(Self {
+            name,
+            span_id,
+            parent_id: value
+                .get("parent_span_id")
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0),
+            trace_id: value
+                .get("trace_id")
+                .and_then(|v| v.as_u64())
+                .unwrap_or(span_id),
+            ts_s: value.get("ts_s").and_then(|v| v.as_f64()).unwrap_or(0.0),
+            duration_s: value
+                .get("duration_s")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0),
+        })
+    }
+}
+
+/// Render span records as a Chrome Trace Event Format JSON array
+/// (complete `"ph":"X"` events, microsecond timestamps), viewable in
+/// `chrome://tracing` or <https://ui.perfetto.dev>. Output is rendered
+/// by hand with fixed-precision timestamps so identical inputs produce
+/// byte-identical text — the determinism smoke compares these bytes.
+pub fn chrome_trace_json(records: &[SpanRecord]) -> String {
+    let mut out = String::with_capacity(64 + records.len() * 160);
+    out.push_str("[\n");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"deepcat\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+             \"pid\":1,\"tid\":{},\"args\":{{\"span_id\":{},\"parent_span_id\":{}}}}}",
+            r.name,
+            r.ts_s * 1e6,
+            r.duration_s * 1e6,
+            r.trace_id,
+            r.span_id,
+            r.parent_id,
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Per-span-name aggregation row of a [`ProfileReport`].
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct ProfileRow {
+    pub name: String,
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Σ duration of those spans (includes child time).
+    pub total_s: f64,
+    /// Σ (duration − direct children's duration), clamped at 0 per span.
+    pub self_s: f64,
+}
+
+/// Self-time attribution over a set of span records.
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+pub struct ProfileReport {
+    /// Rows sorted by self time (descending), ties by name.
+    pub rows: Vec<ProfileRow>,
+    /// Σ duration of root spans — the wall time under instrumentation.
+    pub total_wall_s: f64,
+    /// Σ self time across every row; equals `total_wall_s` when every
+    /// span nests cleanly (self times partition their root's duration).
+    pub attributed_s: f64,
+}
+
+impl ProfileReport {
+    /// Fraction of instrumented wall time attributed to named spans,
+    /// in percent. 100.0 when there is no wall time at all (frozen
+    /// clock) — zero seconds are trivially fully attributed.
+    pub fn coverage_pct(&self) -> f64 {
+        if self.total_wall_s <= 0.0 {
+            100.0
+        } else {
+            100.0 * self.attributed_s / self.total_wall_s
+        }
+    }
+
+    /// Render as an aligned text table, largest self time first.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<24} {:>8} {:>12} {:>12} {:>7}\n",
+            "span", "count", "total_s", "self_s", "self%"
+        ));
+        let denom = if self.total_wall_s > 0.0 {
+            self.total_wall_s
+        } else {
+            1.0
+        };
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<24} {:>8} {:>12.6} {:>12.6} {:>6.1}%\n",
+                r.name,
+                r.count,
+                r.total_s,
+                r.self_s,
+                100.0 * r.self_s / denom
+            ));
+        }
+        out.push_str(&format!(
+            "wall {:.6}s, attributed {:.6}s ({:.1}%)\n",
+            self.total_wall_s,
+            self.attributed_s,
+            self.coverage_pct()
+        ));
+        out
+    }
+}
+
+/// Aggregates [`SpanRecord`]s into a [`ProfileReport`].
+#[derive(Debug, Default)]
+pub struct Profiler {
+    records: Vec<SpanRecord>,
+}
+
+impl Profiler {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add(&mut self, record: SpanRecord) {
+        self.records.push(record);
+    }
+
+    pub fn add_all(&mut self, records: impl IntoIterator<Item = SpanRecord>) {
+        self.records.extend(records);
+    }
+
+    /// Number of records accumulated so far.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Compute the attribution report. Self time of a span is its
+    /// duration minus the summed duration of its *direct* children
+    /// (clamped at 0 — overlapping guards from out-of-order drops must
+    /// not produce negative attribution).
+    pub fn report(&self) -> ProfileReport {
+        let mut child_time: BTreeMap<u64, f64> = BTreeMap::new();
+        for r in &self.records {
+            if r.parent_id != 0 {
+                *child_time.entry(r.parent_id).or_insert(0.0) += r.duration_s;
+            }
+        }
+        let mut by_name: BTreeMap<&str, ProfileRow> = BTreeMap::new();
+        let mut total_wall_s = 0.0;
+        let mut attributed_s = 0.0;
+        for r in &self.records {
+            let self_s =
+                (r.duration_s - child_time.get(&r.span_id).copied().unwrap_or(0.0)).max(0.0);
+            attributed_s += self_s;
+            if r.parent_id == 0 {
+                total_wall_s += r.duration_s;
+            }
+            let row = by_name
+                .entry(r.name.as_str())
+                .or_insert_with(|| ProfileRow {
+                    name: r.name.clone(),
+                    count: 0,
+                    total_s: 0.0,
+                    self_s: 0.0,
+                });
+            row.count += 1;
+            row.total_s += r.duration_s;
+            row.self_s += self_s;
+        }
+        let mut rows: Vec<ProfileRow> = by_name.into_values().collect();
+        rows.sort_by(|a, b| b.self_s.total_cmp(&a.self_s).then(a.name.cmp(&b.name)));
+        ProfileReport {
+            rows,
+            total_wall_s,
+            attributed_s,
+        }
+    }
+}
+
+/// A [`Sink`] that captures span events live and writes a Chrome Trace
+/// Event Format file when flushed (and again on drop, so a forgotten
+/// flush still produces the file). Non-span events pass through
+/// untouched; pair it with other sinks via [`crate::MultiSink`].
+pub struct ChromeTraceSink {
+    path: PathBuf,
+    records: Mutex<Vec<SpanRecord>>,
+}
+
+impl ChromeTraceSink {
+    pub fn create(path: impl AsRef<Path>) -> Self {
+        Self {
+            path: path.as_ref().to_path_buf(),
+            records: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Spans captured so far (snapshot, in emission order).
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.records.lock().clone()
+    }
+}
+
+impl Sink for ChromeTraceSink {
+    fn record(&self, event: &Event) {
+        if let Some(record) = SpanRecord::from_event(event) {
+            self.records.lock().push(record);
+        }
+    }
+
+    fn flush(&self) {
+        let json = chrome_trace_json(&self.records.lock());
+        // Ignore I/O errors: telemetry must never take down tuning.
+        let _ = std::fs::write(&self.path, json.as_bytes());
+    }
+}
+
+impl Drop for ChromeTraceSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(name: &str, id: u64, parent: u64, trace: u64, ts: f64, dur: f64) -> SpanRecord {
+        SpanRecord {
+            name: name.to_string(),
+            span_id: id,
+            parent_id: parent,
+            trace_id: trace,
+            ts_s: ts,
+            duration_s: dur,
+        }
+    }
+
+    #[test]
+    fn profiler_splits_self_and_child_time() {
+        let mut p = Profiler::new();
+        p.add(rec("child", 2, 1, 1, 0.1, 0.3));
+        p.add(rec("child", 3, 1, 1, 0.5, 0.2));
+        p.add(rec("root", 1, 0, 1, 0.0, 1.0));
+        let report = p.report();
+        assert_eq!(report.total_wall_s, 1.0);
+        let root = report.rows.iter().find(|r| r.name == "root").unwrap();
+        assert!((root.self_s - 0.5).abs() < 1e-12, "{root:?}");
+        let child = report.rows.iter().find(|r| r.name == "child").unwrap();
+        assert_eq!(child.count, 2);
+        assert!((child.self_s - 0.5).abs() < 1e-12);
+        assert!((report.attributed_s - 1.0).abs() < 1e-12);
+        assert!((report.coverage_pct() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_self_time_is_clamped() {
+        let mut p = Profiler::new();
+        // Child reported longer than its parent (drop reordering).
+        p.add(rec("child", 2, 1, 1, 0.0, 2.0));
+        p.add(rec("parent", 1, 0, 1, 0.0, 1.0));
+        let report = p.report();
+        let parent = report.rows.iter().find(|r| r.name == "parent").unwrap();
+        assert_eq!(parent.self_s, 0.0);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_and_deterministic() {
+        let records = vec![
+            rec("root", 1, 0, 1, 0.0, 1.5),
+            rec("child", 2, 1, 1, 0.25, 0.5),
+        ];
+        let a = chrome_trace_json(&records);
+        let b = chrome_trace_json(&records);
+        assert_eq!(a, b);
+        let parsed = serde_json::parse_value(&a).expect("valid JSON");
+        let seq = parsed.as_seq().expect("array");
+        assert_eq!(seq.len(), 2);
+        assert_eq!(seq[0].get("ph").and_then(|v| v.as_str()), Some("X"));
+        assert_eq!(seq[1].get("ts").and_then(|v| v.as_f64()), Some(250000.0));
+        assert_eq!(
+            seq[1]
+                .get("args")
+                .and_then(|a| a.get("parent_span_id"))
+                .and_then(|v| v.as_u64()),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn render_puts_hottest_self_time_first() {
+        let mut p = Profiler::new();
+        p.add(rec("cool", 1, 0, 1, 0.0, 0.1));
+        p.add(rec("hot", 2, 0, 2, 0.2, 0.9));
+        let report = p.report();
+        assert_eq!(report.rows[0].name, "hot");
+        let table = report.render();
+        let hot_at = table.find("hot").unwrap();
+        let cool_at = table.find("cool").unwrap();
+        assert!(hot_at < cool_at, "{table}");
+    }
+}

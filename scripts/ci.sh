@@ -26,3 +26,23 @@ cmp "$smoke_dir/a.jsonl" "$smoke_dir/b.jsonl" || {
     exit 1
 }
 echo "determinism smoke: OK ($(wc -l <"$smoke_dir/a.jsonl") events, byte-identical)"
+
+# Chrome-trace determinism: the trace exports derived from the two
+# deterministic logs must also be byte-identical (frozen clock + stable
+# span-id assignment).
+./target/release/deepcat-tune report --log "$smoke_dir/a.jsonl" \
+    --trace "$smoke_dir/a.trace.json" >/dev/null
+./target/release/deepcat-tune report --log "$smoke_dir/b.jsonl" \
+    --trace "$smoke_dir/b.trace.json" >/dev/null
+cmp "$smoke_dir/a.trace.json" "$smoke_dir/b.trace.json" || {
+    echo "trace determinism failed: chrome-trace exports diverged" >&2
+    exit 1
+}
+echo "trace determinism: OK (byte-identical chrome-trace export)"
+
+# Perf-regression gate: run the pinned quick-profile baseline suite and
+# compare hot-path throughput against the committed BENCH_3.json. Fails
+# loudly naming the regressed metric; tolerance absorbs machine noise.
+./target/release/deepcat-bench baseline --out "$smoke_dir/bench-current.json" >/dev/null
+./target/release/deepcat-bench compare --baseline BENCH_3.json \
+    --current "$smoke_dir/bench-current.json" --tolerance 0.6

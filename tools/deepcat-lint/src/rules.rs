@@ -514,40 +514,76 @@ fn telemetry_rules(
         } else {
             continue;
         };
-        let Some(name_tok) = cx.code.get(arg_at) else {
+        check_telemetry_name(cx, manifest, seen, out, i, arg_at);
+    }
+
+    // Bare `span!("name", …)` / `span("name", …)` call sites: the span
+    // macro is `#[macro_export]` and the guard constructor can be
+    // imported, so emission points need not mention `telemetry::`.
+    for (i, t) in cx.code.iter().enumerate() {
+        if !(t.kind == TokKind::Ident && t.text == "span") {
+            continue;
+        }
+        // Skip qualified paths (`telemetry::span`, handled above) and
+        // method calls (`guard.span(…)` is not a telemetry emission).
+        if i > 0 && (is_punct(cx.code.get(i - 1), ".") || is_punct(cx.code.get(i - 1), ":")) {
+            continue;
+        }
+        let arg_at = if is_punct(cx.code.get(i + 1), "!") && is_punct(cx.code.get(i + 2), "(") {
+            i + 3
+        } else if is_punct(cx.code.get(i + 1), "(") {
+            i + 2
+        } else {
             continue;
         };
-        if name_tok.kind != TokKind::Str {
-            // Name passed through a variable/const — out of lexical reach.
-            continue;
-        }
-        let name = name_tok.str_content().to_string();
-        let in_test = cx.in_test(i);
-        if !valid_metric_name(&name) {
-            out.push(cx.finding(
-                name_tok,
-                "telemetry.name_format",
-                format!("telemetry name \"{name}\" must be dotted `family.snake_case`"),
-                None,
-            ));
-            continue;
-        }
-        if in_test {
-            // Test-local scratch names stay out of the manifest.
-            continue;
-        }
-        seen.names.insert(name.clone());
-        if !manifest.contains(&name) {
-            out.push(cx.finding(
-                name_tok,
-                "telemetry.manifest",
-                format!(
-                    "telemetry name \"{name}\" is not registered in \
-                     crates/telemetry/events.toml (regenerate with --emit-manifest)"
-                ),
-                None,
-            ));
-        }
+        check_telemetry_name(cx, manifest, seen, out, i, arg_at);
+    }
+}
+
+/// Validate the string literal at `arg_at` (the first argument of the
+/// telemetry call starting at `call_idx`) against the name-format rule
+/// and the `events.toml` manifest.
+fn check_telemetry_name(
+    cx: &FileCx<'_>,
+    manifest: &Manifest,
+    seen: &mut NamesSeen,
+    out: &mut Vec<Finding>,
+    call_idx: usize,
+    arg_at: usize,
+) {
+    let Some(name_tok) = cx.code.get(arg_at) else {
+        return;
+    };
+    if name_tok.kind != TokKind::Str {
+        // Name passed through a variable/const — out of lexical reach.
+        return;
+    }
+    let name = name_tok.str_content().to_string();
+    let in_test = cx.in_test(call_idx);
+    if !valid_metric_name(&name) {
+        out.push(cx.finding(
+            name_tok,
+            "telemetry.name_format",
+            format!("telemetry name \"{name}\" must be dotted `family.snake_case`"),
+            None,
+        ));
+        return;
+    }
+    if in_test {
+        // Test-local scratch names stay out of the manifest.
+        return;
+    }
+    seen.names.insert(name.clone());
+    if !manifest.contains(&name) {
+        out.push(cx.finding(
+            name_tok,
+            "telemetry.manifest",
+            format!(
+                "telemetry name \"{name}\" is not registered in \
+                 crates/telemetry/events.toml (regenerate with --emit-manifest)"
+            ),
+            None,
+        ));
     }
 }
 

@@ -1,0 +1,26 @@
+// Fixture: the telemetry rule must also fire at *bare* `span!`/`span(`
+// call sites (no `telemetry::` prefix — the macro is `#[macro_export]`
+// and the constructor can be imported). `phantom.span` is well-formed
+// but unregistered; `NotASpan` breaks the name format; the method call
+// and the qualified registered name must stay clean.
+
+fn bare_macro_unregistered() {
+    let _guard = span!("phantom.span");
+}
+
+fn bare_fn_bad_format() {
+    let _guard = span("NotASpan");
+}
+
+fn bare_macro_registered() {
+    let _guard = span!("known.span", step = 1);
+}
+
+fn qualified_registered() {
+    let _guard = telemetry::span!("known.span");
+}
+
+fn method_call_is_not_emission(tracer: &Tracer) {
+    // `.span(…)` on some other type: not a telemetry call site.
+    tracer.span("Whatever Casing Goes");
+}

@@ -123,6 +123,34 @@ fn telemetry_family_fires() {
 }
 
 #[test]
+fn telemetry_family_fires_on_bare_span_call_sites() {
+    let manifest =
+        Manifest::parse("[[event]]\nname = \"known.span\"\ndoc = \"registered fixture span\"\n")
+            .expect("manifest parses");
+    let f = lint_fixture("crates/rl/src/fixture.rs", "telemetry_spans.rs", &manifest);
+    let r = rules(&f);
+    // Bare `span!("phantom.span")` is unregistered — exactly one manifest
+    // finding (the registered bare/qualified uses and the `.span(…)`
+    // method call must not report).
+    assert_eq!(
+        r.iter().filter(|r| **r == "telemetry.manifest").count(),
+        1,
+        "{f:?}"
+    );
+    assert!(
+        f.iter()
+            .any(|x| x.rule == "telemetry.manifest" && x.message.contains("phantom.span")),
+        "{f:?}"
+    );
+    // Bare `span("NotASpan")` breaks the name format.
+    assert_eq!(
+        r.iter().filter(|r| **r == "telemetry.name_format").count(),
+        1,
+        "{f:?}"
+    );
+}
+
+#[test]
 fn safety_family_fires() {
     let f = lint_fixture(
         "crates/rl/src/fixture.rs",
