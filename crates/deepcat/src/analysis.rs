@@ -140,7 +140,7 @@ pub fn to_markdown(summaries: &[SessionSummary]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::online::StepRecord;
+    use crate::online::{StepRecord, StepResilience};
 
     fn report(tuner: &str, best: f64, cost: f64, failed: bool) -> TuningReport {
         let step = StepRecord {
@@ -152,6 +152,7 @@ mod tests {
             q_estimate: None,
             twinq_iterations: 0,
             action: vec![0.5],
+            resilience: StepResilience::default(),
         };
         TuningReport {
             tuner: tuner.into(),

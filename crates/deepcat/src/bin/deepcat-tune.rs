@@ -19,10 +19,11 @@
 
 use deepcat::experiments::{compare_on, ExperimentConfig};
 use deepcat::{
-    load_td3, online_tune_td3, save_td3, train_td3, AgentConfig, OfflineConfig, OnlineConfig,
-    TuningEnv,
+    load_td3, online_tune_resilient, online_tune_td3, save_td3, train_td3, AgentConfig,
+    ChaosSessionConfig, OfflineConfig, OnlineConfig, ResiliencePolicy, ResilientEnv,
+    SessionOutcome, Td3Agent, TuningEnv, TuningReport,
 };
-use spark_sim::{Cluster, InputSize, Workload, WorkloadKind};
+use spark_sim::{Cluster, FaultPlan, InputSize, Workload, WorkloadKind, PLAN_NAMES};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -39,14 +40,21 @@ struct Args {
     background_load: f64,
     log: Option<PathBuf>,
     trace: Option<PathBuf>,
+    plan: String,
+    deterministic: bool,
+    checkpoint: Option<PathBuf>,
+    resume: bool,
+    kill_after: Option<usize>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: deepcat-tune <train|tune|run|compare|report|profile> \
+        "usage: deepcat-tune <train|tune|run|compare|chaos|report|profile> \
          [--workload WC|TS|PR|KM|SO|AG] [--input D1|D2|D3] \
          [--iters N] [--steps N] [--seed N] [--model PATH] [--bg FLOAT] \
          [--log PATH] [--trace PATH]\n\
+         chaos flags: [--plan none|mixed|flaky|stragglers|blackout] \
+         [--deterministic] [--checkpoint PATH] [--kill-after N] [--resume]\n\
          profile takes the JSONL log as a positional argument: \
          deepcat-tune profile run.jsonl"
     );
@@ -67,6 +75,11 @@ fn parse_args() -> Result<Args, String> {
         background_load: 0.15,
         log: None,
         trace: None,
+        plan: "mixed".to_string(),
+        deterministic: false,
+        checkpoint: None,
+        resume: false,
+        kill_after: None,
     };
     while let Some(flag) = argv.next() {
         let mut value = || argv.next().ok_or(format!("{flag} needs a value"));
@@ -97,6 +110,13 @@ fn parse_args() -> Result<Args, String> {
             "--bg" => args.background_load = value()?.parse().map_err(|e| format!("--bg: {e}"))?,
             "--log" => args.log = Some(PathBuf::from(value()?)),
             "--trace" => args.trace = Some(PathBuf::from(value()?)),
+            "--plan" => args.plan = value()?,
+            "--deterministic" => args.deterministic = true,
+            "--checkpoint" => args.checkpoint = Some(PathBuf::from(value()?)),
+            "--resume" => args.resume = true,
+            "--kill-after" => {
+                args.kill_after = Some(value()?.parse().map_err(|e| format!("--kill-after: {e}"))?)
+            }
             other if !other.starts_with('-') && args.log.is_none() => {
                 // Positional log path: `deepcat-tune profile run.jsonl`.
                 args.log = Some(PathBuf::from(other));
@@ -109,7 +129,7 @@ fn parse_args() -> Result<Args, String> {
 
 /// Console output for the interactive families only; the full event stream
 /// (including per-simulation `sim.*` events) still reaches the JSONL log.
-fn install_sinks(log: Option<&PathBuf>) -> Result<(), String> {
+fn install_sinks(log: Option<&PathBuf>, deterministic: bool) -> Result<(), String> {
     // `twinq.decision` only: the new `twinq.loop`/`twinq.rescore` spans
     // fire dozens of times per step and belong in the JSONL log, not the
     // console.
@@ -118,14 +138,22 @@ fn install_sinks(log: Option<&PathBuf>) -> Result<(), String> {
         "tune.",
         "run.",
         "compare.",
+        "chaos.",
         "online.",
         "twinq.decision",
         "budget.",
+        "retry.",
+        "recovery.",
     ]);
     let sink: Arc<dyn Sink> = match log {
         Some(path) => {
             let jsonl = JsonlSink::create(path)
                 .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+            let jsonl = if deterministic {
+                jsonl.without_timestamps()
+            } else {
+                jsonl
+            };
             Arc::new(MultiSink::new(vec![Box::new(console), Box::new(jsonl)]))
         }
         None => Arc::new(console),
@@ -191,7 +219,12 @@ fn profile(path: &PathBuf) -> Result<(), String> {
 fn report(path: &PathBuf, trace: Option<&PathBuf>) -> Result<(), String> {
     let values = parse_log(path)?;
     let mut paid = 0usize;
+    let mut failed = 0usize;
     let mut skipped = 0u64;
+    let mut retries = 0usize;
+    let mut fallbacks = 0usize;
+    let mut timeouts = 0usize;
+    let mut injected = 0usize;
     let mut rewards: Vec<(u64, f64)> = Vec::new();
     let mut latencies: Vec<f64> = Vec::new();
     let mut spent_s: f64 = 0.0;
@@ -203,6 +236,9 @@ fn report(path: &PathBuf, trace: Option<&PathBuf>) -> Result<(), String> {
         match event {
             "online.step" => {
                 paid += 1;
+                if value.get("failed").and_then(|v| v.as_bool()) == Some(true) {
+                    failed += 1;
+                }
                 let step = value.get("step").and_then(|v| v.as_u64()).unwrap_or(0);
                 if let Some(r) = value.get("reward").and_then(|v| v.as_f64()) {
                     rewards.push((step, r));
@@ -222,15 +258,26 @@ fn report(path: &PathBuf, trace: Option<&PathBuf>) -> Result<(), String> {
                     spent_s = spent_s.max(s);
                 }
             }
+            "retry.attempt" => retries += 1,
+            "recovery.fallback" => fallbacks += 1,
+            "recovery.timeout" => timeouts += 1,
+            "fault.injected" => injected += 1,
             "sim.run" => sim_runs += 1,
             _ => {}
         }
     }
     println!("== report: {} ==", path.display());
     println!(
-        "evaluations: {paid} paid, {skipped} skipped (Twin-Q critic filtering); \
+        "evaluations: {paid} paid ({failed} failed — paid for, never 'best'), \
+         {skipped} skipped (Twin-Q critic filtering); \
          {sim_runs} simulator runs total"
     );
+    if retries + fallbacks + timeouts + injected > 0 {
+        println!(
+            "resilience: {injected} faults injected, {retries} retries, \
+             {fallbacks} fallbacks, {timeouts} timeouts"
+        );
+    }
     if !rewards.is_empty() {
         let trajectory: Vec<String> = rewards
             .iter()
@@ -269,6 +316,158 @@ fn report(path: &PathBuf, trace: Option<&PathBuf>) -> Result<(), String> {
     Ok(())
 }
 
+/// Stable textual form of an action vector, so scripts (and the CI
+/// kill/resume check) can compare best configurations across runs.
+fn action_key(action: &[f64]) -> String {
+    action
+        .iter()
+        .map(|v| format!("{v:.6}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn emit_chaos_best(report: &TuningReport) {
+    telemetry::event!(
+        "chaos.best",
+        tuner = report.tuner.clone(),
+        best_s = report.best_exec_time_s,
+        action = action_key(&report.best_action),
+    );
+}
+
+/// `deepcat-tune chaos`: run the online stage under a named deterministic
+/// fault plan and report survival metrics. Without `--checkpoint`, runs
+/// DeepCAT and the no-TwinQ ablation under the plan plus a fault-free
+/// DeepCAT reference (for the extra-cost column). With `--checkpoint`
+/// (+ `--kill-after N` / `--resume`), runs the primary variant only and
+/// exercises the crash/recovery path.
+fn chaos(args: &Args, workload: Workload) -> Result<(), String> {
+    let plan = FaultPlan::named(&args.plan, args.seed).ok_or_else(|| {
+        format!(
+            "unknown fault plan '{}' (known: {})",
+            args.plan,
+            PLAN_NAMES.join(", ")
+        )
+    })?;
+    telemetry::event!(
+        "chaos.start",
+        plan = args.plan.clone(),
+        steps = args.steps,
+        seed = args.seed,
+    );
+
+    let base_agent: Td3Agent = match &args.model {
+        Some(path) => load_td3(path, args.seed).map_err(|e| format!("cannot load model: {e}"))?,
+        None => {
+            let mut env = TuningEnv::for_workload(Cluster::cluster_a(), workload, args.seed);
+            let cfg = AgentConfig::for_dims(env.state_dim(), env.action_dim());
+            let (agent, _, _) = train_td3(
+                &mut env,
+                cfg,
+                &OfflineConfig::deepcat(args.iters, args.seed),
+                &[],
+            );
+            agent
+        }
+    };
+    let live_env = || {
+        let live = Cluster::cluster_a().with_background_load(args.background_load);
+        TuningEnv::for_workload(live, workload, args.seed ^ 0xFACE)
+    };
+    let online_cfg = |use_twinq: bool| OnlineConfig {
+        steps: args.steps,
+        ..if use_twinq {
+            OnlineConfig::deepcat(args.seed)
+        } else {
+            OnlineConfig::without_twinq(args.seed)
+        }
+    };
+
+    // Crash/recovery mode: primary variant only.
+    if args.checkpoint.is_some() && (args.kill_after.is_some() || args.resume) {
+        let mut agent = base_agent;
+        let mut env = ResilientEnv::new(live_env(), ResiliencePolicy::default());
+        env.install_plan(plan);
+        let session = ChaosSessionConfig {
+            checkpoint: args.checkpoint.clone(),
+            resume: args.resume,
+            kill_after: args.kill_after,
+        };
+        let out =
+            online_tune_resilient(&mut agent, &mut env, &online_cfg(true), &session, "DeepCAT")
+                .map_err(|e| format!("chaos session: {e}"))?;
+        match out {
+            SessionOutcome::Killed { completed_steps } => {
+                telemetry::event!("chaos.killed", completed_steps = completed_steps);
+            }
+            SessionOutcome::Completed(report) => emit_chaos_best(&report),
+        }
+        return Ok(());
+    }
+
+    let variants: [(&str, bool, bool); 3] = [
+        ("DeepCAT", true, true),
+        ("TD3-noTwinQ", false, true),
+        ("DeepCAT-faultfree", true, false),
+    ];
+    let mut reports: Vec<(bool, TuningReport)> = Vec::new();
+    for (name, use_twinq, faulted) in variants {
+        let mut agent = base_agent.clone();
+        let mut env = ResilientEnv::new(live_env(), ResiliencePolicy::default());
+        if faulted {
+            env.install_plan(plan.clone());
+        }
+        let out = online_tune_resilient(
+            &mut agent,
+            &mut env,
+            &online_cfg(use_twinq),
+            &ChaosSessionConfig::default(),
+            name,
+        )
+        .map_err(|e| format!("chaos session: {e}"))?;
+        match out {
+            SessionOutcome::Completed(report) => reports.push((faulted, report)),
+            SessionOutcome::Killed { .. } => {
+                return Err("session killed without kill-after".to_string())
+            }
+        }
+    }
+    let reference_cost = reports
+        .iter()
+        .find(|(faulted, _)| !faulted)
+        .map(|(_, r)| r.total_cost_s());
+    for (faulted, report) in &reports {
+        telemetry::event!(
+            "chaos.row",
+            tuner = report.tuner.clone(),
+            plan = if *faulted { args.plan.as_str() } else { "none" },
+            completed_steps = report.steps.len(),
+            failed_steps = report.failed_steps(),
+            retries = report.total_retries(),
+            fallbacks = report.total_fallbacks(),
+            best_s = report.best_exec_time_s,
+            cost_s = report.total_cost_s(),
+        );
+    }
+    if let Some((_, primary)) = reports
+        .iter()
+        .find(|(faulted, r)| *faulted && r.tuner == "DeepCAT")
+    {
+        let extra_cost_s = reference_cost.map_or(0.0, |c| primary.total_cost_s() - c);
+        telemetry::event!(
+            "chaos.summary",
+            plan = args.plan.clone(),
+            completed_steps = primary.steps.len(),
+            survived = primary.steps.len() == args.steps && primary.failed_steps() < args.steps,
+            retries = primary.total_retries(),
+            fallbacks = primary.total_fallbacks(),
+            extra_cost_s = extra_cost_s,
+        );
+        emit_chaos_best(primary);
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -295,7 +494,13 @@ fn main() -> ExitCode {
             }
         };
     }
-    if let Err(e) = install_sinks(args.log.as_ref()) {
+    // --deterministic freezes telemetry stopwatches (duration fields read
+    // 0.0) and drops `ts_ms` from the JSONL log so two same-seed runs
+    // produce byte-identical output — the CI chaos smoke relies on it.
+    if args.deterministic {
+        telemetry::freeze_clock();
+    }
+    if let Err(e) = install_sinks(args.log.as_ref(), args.deterministic) {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }
@@ -375,6 +580,13 @@ fn main() -> ExitCode {
                 .normalize(&env.spark().space().default_config());
             let out = env.step(&dflt);
             telemetry::event!("run.fresh", exec_s = out.exec_time_s, reward = out.reward);
+        }
+        "chaos" => {
+            if let Err(e) = chaos(&args, workload) {
+                eprintln!("error: {e}");
+                telemetry::shutdown();
+                return ExitCode::FAILURE;
+            }
         }
         "compare" => {
             let cfg = ExperimentConfig {

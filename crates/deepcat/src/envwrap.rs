@@ -3,7 +3,7 @@
 //! few sequential configuration evaluations).
 
 use crate::reward::RewardFn;
-use spark_sim::{Cluster, RunMetrics, SparkEnv, Workload};
+use spark_sim::{Cluster, FailureKind, InjectionSummary, RunMetrics, SparkEnv, Workload};
 
 /// Result of one tuning step.
 #[derive(Clone, Debug)]
@@ -14,6 +14,12 @@ pub struct StepOutcome {
     /// Measured execution time charged for this evaluation (seconds).
     pub exec_time_s: f64,
     pub failed: bool,
+    /// Failure detail, when the evaluation failed. Transient environment
+    /// faults ([`FailureKind::is_transient`]) are retry candidates;
+    /// configuration-caused failures are not.
+    pub failure: Option<FailureKind>,
+    /// What the environment's fault plan injected into this evaluation.
+    pub injected: InjectionSummary,
     /// Internal run metrics (used by OtterTune-style workload mapping).
     pub metrics: RunMetrics,
 }
@@ -108,8 +114,29 @@ impl TuningEnv {
             done,
             exec_time_s: result.exec_time_s,
             failed: result.failed,
+            failure: result.failure,
+            injected: result.injected,
             metrics: result.metrics,
         }
+    }
+
+    /// Mutable access to the wrapped [`SparkEnv`] (fault-plan
+    /// installation, checkpoint restore).
+    pub fn spark_mut(&mut self) -> &mut SparkEnv {
+        &mut self.env
+    }
+
+    /// Episode position, for checkpointing.
+    pub fn step_in_episode(&self) -> usize {
+        self.step_in_episode
+    }
+
+    /// Restore episode state when resuming from a checkpoint: the
+    /// current observed state vector and position within the episode.
+    pub fn restore_episode(&mut self, state: Vec<f64>, step_in_episode: usize) {
+        assert_eq!(state.len(), self.env.state_dim());
+        self.state = state;
+        self.step_in_episode = step_in_episode % self.episode_len;
     }
 }
 

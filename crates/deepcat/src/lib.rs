@@ -53,6 +53,7 @@ pub mod offline;
 pub mod online;
 pub mod parallel;
 pub mod persist;
+pub mod resilience;
 pub mod reward;
 pub mod td3;
 pub mod tuners;
@@ -65,9 +66,17 @@ pub use config::AgentConfig;
 pub use ddpg::{DdpgAgent, DdpgStats};
 pub use envwrap::{StepOutcome, TuningEnv};
 pub use offline::{train_ddpg, train_td3, IterRecord, OfflineConfig, ReplayKind, TrainLog};
-pub use online::{online_tune_ddpg, online_tune_td3, OnlineConfig, StepRecord, TuningReport};
+pub use online::{
+    online_tune_ddpg, online_tune_td3, OnlineConfig, StepRecord, StepResilience, TuningReport,
+};
 pub use parallel::{train_td3_parallel, ParallelConfig, ParallelStats};
-pub use persist::{load_td3, save_td3};
+pub use persist::{
+    load_online_checkpoint, load_td3, save_online_checkpoint, save_td3, OnlineCheckpoint,
+};
+pub use resilience::{
+    online_tune_resilient, ChaosSessionConfig, ResiliencePolicy, ResilienceSnapshot, ResilientEnv,
+    ResilientOutcome, SessionOutcome,
+};
 pub use reward::{RewardFn, TARGET_SPEEDUP};
 pub use td3::{Td3Agent, Td3Checkpoint, TrainStats};
 pub use tuners::{build_repository, BestConfig, CdbTune, DeepCat, OtterTune, RandomSearch, Tuner};

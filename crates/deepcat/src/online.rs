@@ -53,11 +53,30 @@ impl OnlineConfig {
     }
 }
 
+/// Resilience accounting for one online step. All-zero on the fault-free
+/// fast path; populated by [`crate::resilience::ResilientEnv`] sessions.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct StepResilience {
+    /// Transient-failure retries performed before this step's result.
+    pub retries: u32,
+    /// Extra evaluation seconds charged beyond the final attempt: wasted
+    /// attempts, virtual backoff waits, abandoned-at-timeout time.
+    pub overhead_s: f64,
+    /// The evaluation hit the per-eval timeout and was abandoned.
+    pub timed_out: bool,
+    /// The step fell back to the last-known-good configuration.
+    pub fell_back: bool,
+    /// State entries imputed after lost uptime probes.
+    pub imputed_probes: u32,
+}
+
 /// One online tuning step's record.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct StepRecord {
     pub step: usize,
-    /// Execution time of the evaluated configuration (seconds).
+    /// Execution time of the evaluated configuration (seconds) — the
+    /// final (kept) attempt only; retry/backoff waste is in
+    /// [`StepResilience::overhead_s`].
     pub exec_time_s: f64,
     pub failed: bool,
     pub reward: f64,
@@ -70,6 +89,9 @@ pub struct StepRecord {
     pub twinq_iterations: usize,
     /// The evaluated normalized action.
     pub action: Vec<f64>,
+    /// Retry/timeout/fallback accounting (all-zero when the session ran
+    /// without a resilience wrapper or nothing went wrong).
+    pub resilience: StepResilience,
 }
 
 /// Result of one online tuning session.
@@ -78,7 +100,8 @@ pub struct TuningReport {
     pub tuner: String,
     pub workload: String,
     pub steps: Vec<StepRecord>,
-    /// Best (lowest) execution time observed across the session.
+    /// Best (lowest) execution time observed across the session —
+    /// successful evaluations only, unless every step failed.
     pub best_exec_time_s: f64,
     /// Action achieving the best execution time.
     pub best_action: Vec<f64>,
@@ -101,28 +124,49 @@ impl TuningReport {
         self.total_eval_s + self.total_rec_s
     }
 
-    /// Best-so-far execution time after each step.
+    /// Best-so-far execution time after each step. Failed evaluations are
+    /// paid for but never become the "best" configuration — a crashed run
+    /// is not a usable tuning result.
     pub fn best_so_far(&self) -> Vec<f64> {
         let mut best = f64::INFINITY;
         self.steps
             .iter()
             .map(|s| {
-                best = best.min(s.exec_time_s);
+                if !s.failed {
+                    best = best.min(s.exec_time_s);
+                }
                 best
             })
             .collect()
     }
 
-    /// Accumulated tuning cost after each step.
+    /// Accumulated tuning cost after each step (evaluation time +
+    /// resilience overhead + recommendation time).
     pub fn accumulated_cost(&self) -> Vec<f64> {
         let mut acc = 0.0;
         self.steps
             .iter()
             .map(|s| {
-                acc += s.exec_time_s + s.recommendation_s;
+                acc += s.exec_time_s + s.resilience.overhead_s + s.recommendation_s;
                 acc
             })
             .collect()
+    }
+
+    /// Steps whose kept evaluation failed (paid-but-failed; distinct from
+    /// the evaluations the Twin-Q Optimizer *skipped* for free).
+    pub fn failed_steps(&self) -> usize {
+        self.steps.iter().filter(|s| s.failed).count()
+    }
+
+    /// Total transient-failure retries across the session.
+    pub fn total_retries(&self) -> u32 {
+        self.steps.iter().map(|s| s.resilience.retries).sum()
+    }
+
+    /// Total fallbacks to the last-known-good configuration.
+    pub fn total_fallbacks(&self) -> usize {
+        self.steps.iter().filter(|s| s.resilience.fell_back).count()
     }
 }
 
@@ -194,6 +238,7 @@ pub fn online_tune_td3(
             q_estimate,
             twinq_iterations,
             action,
+            resilience: StepResilience::default(),
         });
         state = out.next_state;
     }
@@ -259,6 +304,7 @@ pub fn online_tune_ddpg(
             q_estimate,
             twinq_iterations: 0,
             action,
+            resilience: StepResilience::default(),
         });
         state = out.next_state;
     }
@@ -267,6 +313,12 @@ pub fn online_tune_ddpg(
 }
 
 /// Assemble a [`TuningReport`] from per-step records.
+///
+/// Failed evaluations are *paid* (their time counts toward
+/// `total_eval_s`) but never *win*: the best configuration is chosen
+/// among successful steps, falling back to the full set only if every
+/// single evaluation failed (so the report stays well-formed under total
+/// chaos).
 pub fn finish_report(tuner: &str, env: &TuningEnv, steps: Vec<StepRecord>) -> TuningReport {
     assert!(
         !steps.is_empty(),
@@ -274,7 +326,13 @@ pub fn finish_report(tuner: &str, env: &TuningEnv, steps: Vec<StepRecord>) -> Tu
     );
     let best = steps
         .iter()
+        .filter(|s| !s.failed)
         .min_by(|a, b| a.exec_time_s.total_cmp(&b.exec_time_s))
+        .or_else(|| {
+            steps
+                .iter()
+                .min_by(|a, b| a.exec_time_s.total_cmp(&b.exec_time_s))
+        })
         // PANIC-SAFETY: guarded by the non-empty assertion above.
         .expect("non-empty");
     TuningReport {
@@ -282,7 +340,10 @@ pub fn finish_report(tuner: &str, env: &TuningEnv, steps: Vec<StepRecord>) -> Tu
         workload: env.spark().label(),
         best_exec_time_s: best.exec_time_s,
         best_action: best.action.clone(),
-        total_eval_s: steps.iter().map(|s| s.exec_time_s).sum(),
+        total_eval_s: steps
+            .iter()
+            .map(|s| s.exec_time_s + s.resilience.overhead_s)
+            .sum(),
         total_rec_s: steps.iter().map(|s| s.recommendation_s).sum(),
         default_exec_time_s: env.default_exec_time(),
         steps,

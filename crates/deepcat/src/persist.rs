@@ -2,7 +2,11 @@
 //! a model trained offline once can serve many online tuning requests —
 //! the deployment split the paper's architecture (Fig. 1) assumes.
 
+use crate::online::StepRecord;
+use crate::resilience::ResilienceSnapshot;
 use crate::td3::{Td3Agent, Td3Checkpoint};
+use rl::Transition;
+use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::Path;
 
@@ -21,6 +25,44 @@ pub fn load_td3(path: &Path, seed: u64) -> io::Result<Td3Agent> {
     let cp: Td3Checkpoint =
         serde_json::from_str(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     Ok(Td3Agent::from_checkpoint(cp, seed))
+}
+
+/// Full state of an in-flight resilient online session, written after
+/// every completed step so a killed run resumes bit-identically: agent
+/// weights, both RNG streams (the agent's target-smoothing RNG and the
+/// session loop's exploration/sampling RNG, as 4 xoshiro words each),
+/// replay contents, per-step records, spent budget, the simulator's
+/// evaluation counter (fault schedules key off it), and the observed
+/// environment state.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OnlineCheckpoint {
+    pub tuner: String,
+    /// First step the resumed session should execute.
+    pub next_step: usize,
+    pub total_steps: usize,
+    pub agent: Td3Checkpoint,
+    pub agent_rng: Vec<u64>,
+    pub loop_rng: Vec<u64>,
+    pub replay: Vec<Transition>,
+    pub steps: Vec<StepRecord>,
+    pub spent_s: f64,
+    pub eval_count: u64,
+    pub env_state: Vec<f64>,
+    pub step_in_episode: usize,
+    pub resilience: ResilienceSnapshot,
+}
+
+/// Save an online-session checkpoint to `path` (JSON).
+pub fn save_online_checkpoint(cp: &OnlineCheckpoint, path: &Path) -> io::Result<()> {
+    let body =
+        serde_json::to_string(cp).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    std::fs::write(path, body)
+}
+
+/// Load an online-session checkpoint written by [`save_online_checkpoint`].
+pub fn load_online_checkpoint(path: &Path) -> io::Result<OnlineCheckpoint> {
+    let body = std::fs::read_to_string(path)?;
+    serde_json::from_str(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
 #[cfg(test)]

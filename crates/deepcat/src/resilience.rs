@@ -1,0 +1,730 @@
+//! Resilient online tuning: a fault-tolerant wrapper around
+//! [`TuningEnv`] plus a checkpointed session loop, so the online stage
+//! survives the transient failures, stragglers, and lost probes a real
+//! cluster produces (injected deterministically by
+//! [`spark_sim::FaultPlan`]).
+//!
+//! The wrapper enforces four policies, every one charged to the paper's
+//! tuning-cost model in *virtual* seconds (no wall-clock sleeping, so
+//! chaos runs stay deterministic):
+//!
+//! * **Bounded retries with exponential backoff** — only
+//!   [`FailureKind::is_transient`] failures are retried; a
+//!   configuration-caused failure (OOM, negotiation) is deterministic, so
+//!   retrying it would burn money for the same answer. Each retry charges
+//!   the wasted attempt plus the backoff wait to
+//!   [`StepResilience::overhead_s`].
+//! * **Per-evaluation timeout** — a run whose simulated duration exceeds
+//!   `eval_timeout_factor x default_exec_time` is abandoned: the step is
+//!   marked failed, only the elapsed-until-kill time is charged, and no
+//!   retry is attempted (timeouts are terminal).
+//! * **Fallback to last-known-good** — after `fallback_after`
+//!   consecutive failed steps, the failed recommendation is abandoned
+//!   (its cost moves to overhead) and the best previously successful
+//!   action is re-evaluated so the session keeps producing usable
+//!   measurements.
+//! * **Sanitization** — lost node probes surface as NaN state entries;
+//!   they are imputed from the last good observation before the state
+//!   reaches the agent or the replay buffer. Rewards are clamped to a
+//!   finite band, so no non-finite value can poison training.
+
+use crate::envwrap::{StepOutcome, TuningEnv};
+use crate::online::{finish_report, OnlineConfig, StepRecord, StepResilience, TuningReport};
+use crate::persist::{load_online_checkpoint, save_online_checkpoint, OnlineCheckpoint};
+use crate::td3::Td3Agent;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl::{GaussianNoise, ReplayMemory, Transition, UniformReplay};
+use serde::{Deserialize, Serialize};
+use spark_sim::FaultPlan;
+use std::io;
+use std::path::PathBuf;
+
+/// Knobs of the resilience layer. Defaults are deliberately conservative:
+/// they never trigger on a healthy run, so wrapping a fault-free
+/// environment leaves every cost figure unchanged.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ResiliencePolicy {
+    /// Maximum retries of a transient-failed evaluation (beyond the
+    /// first attempt).
+    pub max_retries: u32,
+    /// Backoff before the first retry (virtual seconds).
+    pub backoff_base_s: f64,
+    /// Multiplier applied to the backoff on each further retry.
+    pub backoff_factor: f64,
+    /// Upper bound on a single backoff wait (virtual seconds).
+    pub backoff_cap_s: f64,
+    /// An evaluation is abandoned once it exceeds this multiple of the
+    /// default configuration's execution time.
+    pub eval_timeout_factor: f64,
+    /// Consecutive failed steps before falling back to the
+    /// last-known-good configuration.
+    pub fallback_after: u32,
+    /// Rewards are clamped to `[-reward_clamp, reward_clamp]`;
+    /// non-finite rewards become `-reward_clamp`.
+    pub reward_clamp: f64,
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 2,
+            backoff_base_s: 5.0,
+            backoff_factor: 2.0,
+            backoff_cap_s: 60.0,
+            eval_timeout_factor: 8.0,
+            fallback_after: 2,
+            reward_clamp: 32.0,
+        }
+    }
+}
+
+impl ResiliencePolicy {
+    /// Backoff wait before retry number `retry` (0-based), capped.
+    pub fn backoff_s(&self, retry: u32) -> f64 {
+        let wait = self.backoff_base_s * self.backoff_factor.powi(retry as i32);
+        wait.min(self.backoff_cap_s)
+    }
+}
+
+/// Result of one resilient step: the sanitized outcome, the action that
+/// was actually measured (differs from the requested one after a
+/// fallback), and the retry/timeout accounting.
+#[derive(Clone, Debug)]
+pub struct ResilientOutcome {
+    pub outcome: StepOutcome,
+    pub evaluated_action: Vec<f64>,
+    pub accounting: StepResilience,
+}
+
+/// The mutable part of a [`ResilientEnv`], serialized into checkpoints.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ResilienceSnapshot {
+    pub last_good_action: Option<Vec<f64>>,
+    pub last_state: Vec<f64>,
+    pub consecutive_failures: u32,
+}
+
+/// Fault-tolerant wrapper around [`TuningEnv`]. Any tuner that steps
+/// through this instead of the bare environment gets retries, timeouts,
+/// fallback, and sanitization without code changes.
+#[derive(Clone, Debug)]
+pub struct ResilientEnv {
+    inner: TuningEnv,
+    policy: ResiliencePolicy,
+    last_good_action: Option<Vec<f64>>,
+    last_state: Vec<f64>,
+    consecutive_failures: u32,
+}
+
+impl ResilientEnv {
+    pub fn new(inner: TuningEnv, policy: ResiliencePolicy) -> Self {
+        let last_state = inner.state().to_vec();
+        Self {
+            inner,
+            policy,
+            last_good_action: None,
+            last_state,
+            consecutive_failures: 0,
+        }
+    }
+
+    /// Install a fault plan on the wrapped simulator.
+    pub fn install_plan(&mut self, plan: FaultPlan) {
+        self.inner.spark_mut().set_fault_plan(plan);
+    }
+
+    pub fn policy(&self) -> &ResiliencePolicy {
+        &self.policy
+    }
+
+    pub fn inner(&self) -> &TuningEnv {
+        &self.inner
+    }
+
+    pub fn inner_mut(&mut self) -> &mut TuningEnv {
+        &mut self.inner
+    }
+
+    pub fn state_dim(&self) -> usize {
+        self.inner.state_dim()
+    }
+
+    pub fn action_dim(&self) -> usize {
+        self.inner.action_dim()
+    }
+
+    pub fn default_exec_time(&self) -> f64 {
+        self.inner.default_exec_time()
+    }
+
+    pub fn eval_count(&self) -> u64 {
+        self.inner.eval_count()
+    }
+
+    /// Start a new episode.
+    pub fn reset(&mut self) -> Vec<f64> {
+        let s = self.inner.reset();
+        self.last_state = s.clone();
+        s
+    }
+
+    /// Capture the wrapper's mutable state for a checkpoint.
+    pub fn snapshot(&self) -> ResilienceSnapshot {
+        ResilienceSnapshot {
+            last_good_action: self.last_good_action.clone(),
+            last_state: self.last_state.clone(),
+            consecutive_failures: self.consecutive_failures,
+        }
+    }
+
+    /// Restore environment + wrapper state from a checkpoint: observed
+    /// state vector, episode position, the simulator's evaluation
+    /// counter (which fault schedules key off), and the wrapper's own
+    /// snapshot.
+    pub fn restore(
+        &mut self,
+        state: Vec<f64>,
+        step_in_episode: usize,
+        eval_count: u64,
+        snap: ResilienceSnapshot,
+    ) {
+        self.inner.spark_mut().restore_eval_count(eval_count);
+        self.inner.restore_episode(state, step_in_episode);
+        self.last_good_action = snap.last_good_action;
+        self.last_state = snap.last_state;
+        self.consecutive_failures = snap.consecutive_failures;
+    }
+
+    /// One attempt: evaluate and apply the timeout policy.
+    fn attempt(&mut self, action: &[f64], timeout_s: f64, acc: &mut StepResilience) -> StepOutcome {
+        let mut out = self.inner.step(action);
+        if out.exec_time_s > timeout_s {
+            // The operator kills the run at the deadline: only the
+            // elapsed-until-kill time is charged, and the measurement is
+            // useless. Timeouts are terminal — re-running a run that
+            // just blew the deadline would double the damage.
+            acc.timed_out = true;
+            out.failed = true;
+            out.exec_time_s = timeout_s;
+            out.reward = self.inner.reward_fn().reward(timeout_s);
+            telemetry::event!(
+                "recovery.timeout",
+                charged_s = timeout_s,
+                eval = self.inner.eval_count()
+            );
+        }
+        out
+    }
+
+    /// Evaluate `action` under the resilience policy. See the module
+    /// docs for the exact retry / timeout / fallback semantics.
+    pub fn step(&mut self, action: &[f64]) -> ResilientOutcome {
+        let timeout_s = self.policy.eval_timeout_factor * self.inner.default_exec_time();
+        let mut acc = StepResilience::default();
+        let mut evaluated_action = action.to_vec();
+        let mut out = self.attempt(&evaluated_action, timeout_s, &mut acc);
+
+        // Bounded retries, transient failures only.
+        while out.failed
+            && !acc.timed_out
+            && out.failure.as_ref().is_some_and(|f| f.is_transient())
+            && acc.retries < self.policy.max_retries
+        {
+            let wait = self.policy.backoff_s(acc.retries);
+            acc.overhead_s += out.exec_time_s + wait;
+            acc.retries += 1;
+            telemetry::event!(
+                "retry.attempt",
+                attempt = acc.retries,
+                backoff_s = wait,
+                eval = self.inner.eval_count()
+            );
+            out = self.attempt(&evaluated_action, timeout_s, &mut acc);
+        }
+        if out.failed && !acc.timed_out && out.failure.as_ref().is_some_and(|f| f.is_transient()) {
+            telemetry::event!("retry.exhausted", attempts = acc.retries);
+        }
+
+        if out.failed {
+            self.consecutive_failures += 1;
+        }
+
+        // Fall back to the last configuration that worked once failures
+        // repeat; the abandoned attempt's cost becomes overhead.
+        if out.failed && self.consecutive_failures >= self.policy.fallback_after {
+            if let Some(good) = self.last_good_action.clone() {
+                acc.fell_back = true;
+                acc.overhead_s += out.exec_time_s;
+                telemetry::event!(
+                    "recovery.fallback",
+                    after_failures = self.consecutive_failures
+                );
+                evaluated_action = good;
+                out = self.attempt(&evaluated_action, timeout_s, &mut acc);
+            }
+        }
+
+        if !out.failed {
+            self.consecutive_failures = 0;
+            self.last_good_action = Some(evaluated_action.clone());
+        }
+
+        // Impute lost-probe entries (NaN) from the last good observation.
+        let mut imputed = 0u32;
+        for (i, v) in out.next_state.iter_mut().enumerate() {
+            if !v.is_finite() {
+                *v = self
+                    .last_state
+                    .get(i)
+                    .copied()
+                    .filter(|x| x.is_finite())
+                    .unwrap_or(0.0);
+                imputed += 1;
+            }
+        }
+        if imputed > 0 {
+            acc.imputed_probes = imputed;
+            telemetry::event!("recovery.imputed_probes", count = imputed);
+        }
+        self.last_state = out.next_state.clone();
+
+        // Reward sanitization: nothing non-finite or absurd may reach a
+        // replay buffer.
+        if !out.reward.is_finite() {
+            out.reward = -self.policy.reward_clamp;
+        }
+        out.reward = out
+            .reward
+            .clamp(-self.policy.reward_clamp, self.policy.reward_clamp);
+
+        ResilientOutcome {
+            outcome: out,
+            evaluated_action,
+            accounting: acc,
+        }
+    }
+}
+
+/// Configuration of a checkpointed resilient online session.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosSessionConfig {
+    /// Write a checkpoint here after every completed step.
+    pub checkpoint: Option<PathBuf>,
+    /// Resume from the checkpoint instead of starting fresh
+    /// (requires `checkpoint`).
+    pub resume: bool,
+    /// Simulate a crash: return [`SessionOutcome::Killed`] after this
+    /// many completed steps (checkpoint already written).
+    pub kill_after: Option<usize>,
+}
+
+/// How a resilient session ended.
+#[derive(Clone, Debug)]
+pub enum SessionOutcome {
+    Completed(TuningReport),
+    /// The session was killed (via [`ChaosSessionConfig::kill_after`])
+    /// after writing a checkpoint; resume with
+    /// [`ChaosSessionConfig::resume`].
+    Killed {
+        completed_steps: usize,
+    },
+}
+
+fn rng_words(words: &[u64]) -> io::Result<[u64; 4]> {
+    words.try_into().map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("checkpoint RNG state has {} words, expected 4", words.len()),
+        )
+    })
+}
+
+/// The TD3 online loop of [`crate::online::online_tune_td3`], run through
+/// a [`ResilientEnv`] with optional per-step checkpointing. A session
+/// resumed from a mid-run checkpoint replays bit-identically (weights,
+/// both RNG streams, replay contents, and the simulator's evaluation
+/// counter are all restored), so a crash never changes the tuning result.
+pub fn online_tune_resilient(
+    agent: &mut Td3Agent,
+    env: &mut ResilientEnv,
+    cfg: &OnlineConfig,
+    session: &ChaosSessionConfig,
+    tuner_name: &str,
+) -> io::Result<SessionOutcome> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0417_11E5);
+    let noise = GaussianNoise::new(env.action_dim(), cfg.exploration_sigma);
+    let mut replay = UniformReplay::new(1024);
+    let mut steps: Vec<StepRecord> = Vec::with_capacity(cfg.steps);
+    let mut state = env.reset();
+    let mut spent_s = 0.0;
+    let mut start_step = 0;
+
+    if session.resume {
+        let path = session.checkpoint.as_ref().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "resume requires a checkpoint path",
+            )
+        })?;
+        let cp = load_online_checkpoint(path)?;
+        *agent = Td3Agent::from_checkpoint(cp.agent, cfg.seed);
+        agent.set_rng_state(rng_words(&cp.agent_rng)?);
+        rng = StdRng::from_state(rng_words(&cp.loop_rng)?);
+        for t in cp.replay {
+            replay.push(t);
+        }
+        steps = cp.steps;
+        spent_s = cp.spent_s;
+        start_step = cp.next_step;
+        state = cp.env_state.clone();
+        env.restore(
+            cp.env_state,
+            cp.step_in_episode,
+            cp.eval_count,
+            cp.resilience,
+        );
+        telemetry::event!("recovery.resume", step = start_step, tuner = tuner_name);
+    }
+
+    let session_span = telemetry::span!("online.request", tuner = tuner_name);
+    for step in start_step..cfg.steps {
+        let mut span = telemetry::span!("online.step", step = step, tuner = tuner_name);
+        let t0 = telemetry::Stopwatch::start();
+        let mut action = agent.select_action(&state);
+        if cfg.exploration_sigma > 0.0 {
+            action = noise.perturb(&action, &mut rng);
+        }
+        let mut twinq_iterations = 0;
+        if cfg.use_twinq {
+            let res = cfg.twinq.optimize(agent, &state, action, &mut rng);
+            twinq_iterations = res.iterations;
+            action = res.action;
+        }
+        let q_estimate = Some(agent.min_q(&state, &action));
+        let recommendation_s = t0.elapsed_s();
+
+        let res = env.step(&action);
+        let out = res.outcome;
+        // Episode bookkeeping inside the env is perturbed by retries;
+        // the session defines its own horizon.
+        let done = step + 1 == cfg.steps;
+        replay.push(Transition::new(
+            state.clone(),
+            res.evaluated_action.clone(),
+            out.reward,
+            out.next_state.clone(),
+            done,
+        ));
+        for _ in 0..cfg.fine_tune_steps {
+            let batch_size = replay.len().min(agent.cfg.batch_size);
+            if let Some(batch) = replay.sample(batch_size, &mut rng) {
+                agent.train_step(&batch);
+            }
+        }
+        telemetry::inc("online.steps", 1);
+        span.record("reward", out.reward);
+        span.record("exec_time_s", out.exec_time_s);
+        span.record("recommendation_s", recommendation_s);
+        span.record("failed", out.failed);
+        span.record("twinq_iterations", twinq_iterations);
+        span.record("retries", res.accounting.retries);
+        if let Some(q) = q_estimate {
+            span.record("q_estimate", q);
+        }
+        drop(span);
+        spent_s += out.exec_time_s + res.accounting.overhead_s + recommendation_s;
+        telemetry::set_gauge("budget.spent_s", spent_s);
+        telemetry::event!("budget.update", step = step, spent_s = spent_s);
+        steps.push(StepRecord {
+            step,
+            exec_time_s: out.exec_time_s,
+            failed: out.failed,
+            reward: out.reward,
+            recommendation_s,
+            q_estimate,
+            twinq_iterations,
+            action: res.evaluated_action,
+            resilience: res.accounting,
+        });
+        state = out.next_state;
+
+        if let Some(path) = &session.checkpoint {
+            let cp = OnlineCheckpoint {
+                tuner: tuner_name.to_string(),
+                next_step: step + 1,
+                total_steps: cfg.steps,
+                agent: agent.checkpoint(),
+                agent_rng: agent.rng_state().to_vec(),
+                loop_rng: rng.state().to_vec(),
+                replay: replay.iter().cloned().collect(),
+                steps: steps.clone(),
+                spent_s,
+                eval_count: env.eval_count(),
+                env_state: state.clone(),
+                step_in_episode: env.inner().step_in_episode(),
+                resilience: env.snapshot(),
+            };
+            save_online_checkpoint(&cp, path)?;
+            telemetry::event!("recovery.checkpoint", step = step);
+        }
+        if session.kill_after == Some(step + 1) && step + 1 < cfg.steps {
+            drop(session_span);
+            return Ok(SessionOutcome::Killed {
+                completed_steps: step + 1,
+            });
+        }
+    }
+    drop(session_span);
+    Ok(SessionOutcome::Completed(finish_report(
+        tuner_name,
+        env.inner(),
+        steps,
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AgentConfig;
+    use crate::offline::{train_td3, OfflineConfig};
+    use spark_sim::{Cluster, Fault, FaultEvent, InputSize, Workload, WorkloadKind};
+
+    fn env(seed: u64) -> TuningEnv {
+        TuningEnv::for_workload(
+            Cluster::cluster_a(),
+            Workload::new(WorkloadKind::TeraSort, InputSize::D1),
+            seed,
+        )
+    }
+
+    fn quick_agent(e: &mut TuningEnv) -> Td3Agent {
+        let mut c = AgentConfig::for_dims(e.state_dim(), e.action_dim());
+        c.hidden = vec![32, 32];
+        c.warmup_steps = 64;
+        c.batch_size = 32;
+        let (agent, _, _) = train_td3(e, c, &OfflineConfig::deepcat(600, 9), &[]);
+        agent
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = ResiliencePolicy::default();
+        assert_eq!(p.backoff_s(0), 5.0);
+        assert_eq!(p.backoff_s(1), 10.0);
+        assert_eq!(p.backoff_s(10), 60.0);
+    }
+
+    #[test]
+    fn transient_failure_is_retried_and_charged() {
+        let mut r = ResilientEnv::new(env(3), ResiliencePolicy::default());
+        r.install_plan(FaultPlan::custom(
+            3,
+            vec![FaultEvent {
+                at_eval: 1,
+                fault: Fault::Transient { progress: 0.5 },
+            }],
+        ));
+        let out = r.step(&vec![0.5; r.action_dim()]);
+        assert_eq!(
+            out.accounting.retries, 1,
+            "retried once, second attempt clean"
+        );
+        assert!(!out.outcome.failed, "retry should succeed");
+        // Overhead = wasted attempt + first backoff wait.
+        assert!(out.accounting.overhead_s > ResiliencePolicy::default().backoff_s(0));
+        assert!(out.outcome.reward.is_finite());
+    }
+
+    #[test]
+    fn config_caused_failure_is_not_retried() {
+        let mut r = ResilientEnv::new(env(3), ResiliencePolicy::default());
+        // Near-zero memory: deterministic config-caused failure.
+        let mut bad = vec![0.5; r.action_dim()];
+        bad[0] = 0.0;
+        bad[1] = 0.0;
+        bad[2] = 0.0;
+        bad[3] = 0.0;
+        let out = r.step(&bad);
+        if out.outcome.failed {
+            assert_eq!(
+                out.accounting.retries, 0,
+                "deterministic failures are terminal"
+            );
+        }
+    }
+
+    #[test]
+    fn timeout_abandons_and_charges_elapsed_only() {
+        let mut p = ResiliencePolicy::default();
+        p.eval_timeout_factor = 0.1; // everything times out
+        let mut r = ResilientEnv::new(env(3), p.clone());
+        let dflt = r.default_exec_time();
+        let out = r.step(&vec![0.5; r.action_dim()]);
+        assert!(out.accounting.timed_out);
+        assert!(out.outcome.failed);
+        assert!((out.outcome.exec_time_s - p.eval_timeout_factor * dflt).abs() < 1e-9);
+        assert_eq!(out.accounting.retries, 0, "timeouts are terminal");
+    }
+
+    #[test]
+    fn fallback_reevaluates_last_good_action() {
+        let mut p = ResiliencePolicy::default();
+        p.fallback_after = 1;
+        p.max_retries = 0;
+        let mut r = ResilientEnv::new(env(3), p);
+        let good = vec![0.5; r.action_dim()];
+        let first = r.step(&good);
+        assert!(!first.outcome.failed);
+        // Persistent transient faults: with retries off, the step fails
+        // and immediately falls back.
+        r.install_plan(FaultPlan::custom(
+            3,
+            vec![FaultEvent {
+                at_eval: 2,
+                fault: Fault::Transient { progress: 0.3 },
+            }],
+        ));
+        let second = r.step(&vec![0.9; r.action_dim()]);
+        assert!(second.accounting.fell_back);
+        assert_eq!(second.evaluated_action, good);
+        assert!(!second.outcome.failed, "fallback eval is fault-free");
+    }
+
+    #[test]
+    fn lost_probes_are_imputed_before_reaching_the_agent() {
+        let mut r = ResilientEnv::new(env(3), ResiliencePolicy::default());
+        r.install_plan(FaultPlan::custom(
+            3,
+            vec![FaultEvent {
+                at_eval: 1,
+                fault: Fault::ProbeLoss { node: 1 },
+            }],
+        ));
+        let out = r.step(&vec![0.5; r.action_dim()]);
+        assert!(out.accounting.imputed_probes > 0);
+        assert!(out.outcome.next_state.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn resilient_session_completes_under_mixed_plan() {
+        let mut e = env(21);
+        let mut agent = quick_agent(&mut e);
+        let mut r = ResilientEnv::new(e, ResiliencePolicy::default());
+        r.install_plan(FaultPlan::named("mixed", 7).expect("known plan"));
+        let cfg = OnlineConfig::deepcat(1);
+        let out = online_tune_resilient(
+            &mut agent,
+            &mut r,
+            &cfg,
+            &ChaosSessionConfig::default(),
+            "DeepCAT",
+        )
+        .expect("no checkpoint I/O involved");
+        let report = match out {
+            SessionOutcome::Completed(rep) => rep,
+            SessionOutcome::Killed { .. } => panic!("no kill requested"),
+        };
+        assert_eq!(report.steps.len(), 5);
+        assert!(report.steps.iter().all(|s| s.reward.is_finite()));
+        assert!(report
+            .steps
+            .iter()
+            .all(|s| s.exec_time_s.is_finite() && s.exec_time_s >= 0.0));
+    }
+
+    #[test]
+    fn kill_and_resume_reproduces_uninterrupted_session() {
+        let dir = std::env::temp_dir().join("deepcat-resilience-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("chaos-checkpoint.json");
+        let cfg = OnlineConfig::deepcat(1);
+
+        // Uninterrupted reference run.
+        let mut e = env(21);
+        let mut agent = quick_agent(&mut e);
+        let mut r = ResilientEnv::new(e, ResiliencePolicy::default());
+        r.install_plan(FaultPlan::named("mixed", 7).expect("known plan"));
+        let full = match online_tune_resilient(
+            &mut agent,
+            &mut r,
+            &cfg,
+            &ChaosSessionConfig::default(),
+            "DeepCAT",
+        )
+        .unwrap()
+        {
+            SessionOutcome::Completed(rep) => rep,
+            SessionOutcome::Killed { .. } => panic!("no kill requested"),
+        };
+
+        // Same run, killed after 2 steps...
+        let mut e2 = env(21);
+        let mut agent2 = quick_agent(&mut e2);
+        let mut r2 = ResilientEnv::new(e2, ResiliencePolicy::default());
+        r2.install_plan(FaultPlan::named("mixed", 7).expect("known plan"));
+        let killed = online_tune_resilient(
+            &mut agent2,
+            &mut r2,
+            &cfg,
+            &ChaosSessionConfig {
+                checkpoint: Some(path.clone()),
+                resume: false,
+                kill_after: Some(2),
+            },
+            "DeepCAT",
+        )
+        .unwrap();
+        assert!(matches!(
+            killed,
+            SessionOutcome::Killed { completed_steps: 2 }
+        ));
+
+        // ...then resumed in a fresh process (fresh env + agent shells).
+        let mut e3 = env(21);
+        let mut agent3 = quick_agent(&mut e3);
+        let mut r3 = ResilientEnv::new(e3, ResiliencePolicy::default());
+        r3.install_plan(FaultPlan::named("mixed", 7).expect("known plan"));
+        let resumed = match online_tune_resilient(
+            &mut agent3,
+            &mut r3,
+            &cfg,
+            &ChaosSessionConfig {
+                checkpoint: Some(path.clone()),
+                resume: true,
+                kill_after: None,
+            },
+            "DeepCAT",
+        )
+        .unwrap()
+        {
+            SessionOutcome::Completed(rep) => rep,
+            SessionOutcome::Killed { .. } => panic!("resume runs to completion"),
+        };
+
+        assert_eq!(resumed.steps.len(), full.steps.len());
+        assert_eq!(
+            resumed.best_action, full.best_action,
+            "bit-identical best action"
+        );
+        assert_eq!(resumed.best_exec_time_s, full.best_exec_time_s);
+        for (a, b) in full.steps.iter().zip(resumed.steps.iter()) {
+            assert_eq!(a.exec_time_s, b.exec_time_s, "step {}", a.step);
+            assert_eq!(a.reward, b.reward, "step {}", a.step);
+            assert_eq!(a.action, b.action, "step {}", a.step);
+        }
+    }
+
+    #[test]
+    fn fault_free_wrapper_matches_bare_environment_costs() {
+        // The wrapper with default policy must be a no-op on healthy runs.
+        let mut bare = env(11);
+        let a = vec![0.5; bare.action_dim()];
+        let direct = bare.step(&a);
+        let mut wrapped = ResilientEnv::new(env(11), ResiliencePolicy::default());
+        let res = wrapped.step(&a);
+        assert_eq!(res.outcome.exec_time_s, direct.exec_time_s);
+        assert_eq!(res.outcome.reward, direct.reward);
+        assert_eq!(res.accounting, StepResilience::default());
+    }
+}

@@ -113,6 +113,17 @@ impl Td3Agent {
         self.train_steps
     }
 
+    /// Snapshot the agent's internal RNG (target-policy smoothing noise)
+    /// so a resumed run continues the exact same random stream.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Restore an RNG snapshot taken with [`rng_state`](Self::rng_state).
+    pub fn set_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = StdRng::from_state(state);
+    }
+
     /// Deterministic policy action for `state`.
     pub fn select_action(&self, state: &[f64]) -> Vec<f64> {
         assert_eq!(state.len(), self.cfg.state_dim);

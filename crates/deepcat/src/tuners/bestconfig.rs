@@ -7,7 +7,7 @@
 
 use super::Tuner;
 use crate::envwrap::TuningEnv;
-use crate::online::{finish_report, StepRecord, TuningReport};
+use crate::online::{finish_report, StepRecord, StepResilience, TuningReport};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -102,6 +102,7 @@ impl Tuner for BestConfig {
                     q_estimate: None,
                     twinq_iterations: 0,
                     action,
+                    resilience: StepResilience::default(),
                 });
                 step += 1;
                 if step >= steps {

@@ -6,7 +6,7 @@
 
 use super::Tuner;
 use crate::envwrap::TuningEnv;
-use crate::online::{finish_report, StepRecord, TuningReport};
+use crate::online::{finish_report, StepRecord, StepResilience, TuningReport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use spark_sim::{Cluster, SparkEnv, Workload};
@@ -162,6 +162,7 @@ impl Tuner for OtterTune {
                 q_estimate: None,
                 twinq_iterations: 0,
                 action,
+                resilience: StepResilience::default(),
             });
         }
         finish_report("OtterTune", env, records)

@@ -5,7 +5,7 @@
 
 use super::Tuner;
 use crate::envwrap::TuningEnv;
-use crate::online::{finish_report, StepRecord, TuningReport};
+use crate::online::{finish_report, StepRecord, StepResilience, TuningReport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -66,6 +66,7 @@ impl Tuner for RandomSearch {
                 q_estimate: None,
                 twinq_iterations: 0,
                 action,
+                resilience: StepResilience::default(),
             });
         }
         finish_report("Random", env, records)

@@ -233,6 +233,7 @@ pub fn online_tune_whitebox(
             q_estimate,
             twinq_iterations,
             action,
+            resilience: crate::online::StepResilience::default(),
         });
         state = out.next_state;
     }

@@ -37,7 +37,7 @@ proptest! {
 #[test]
 fn verdict_is_antisymmetric_for_separated_means() {
     use deepcat::{compare, summarize};
-    use deepcat::{StepRecord, TuningReport};
+    use deepcat::{StepRecord, StepResilience, TuningReport};
     let mk = |tuner: &str, base: f64| -> TuningReport {
         let step = StepRecord {
             step: 0,
@@ -48,6 +48,7 @@ fn verdict_is_antisymmetric_for_separated_means() {
             q_estimate: None,
             twinq_iterations: 0,
             action: vec![0.5],
+            resilience: StepResilience::default(),
         };
         TuningReport {
             tuner: tuner.into(),

@@ -1,0 +1,117 @@
+//! Property tests of the resilience layer: for *arbitrary* fault
+//! schedules, [`deepcat::ResilientEnv`] must never emit a non-finite
+//! reward, state entry, or cost figure — and every sanitized transition
+//! must pass the replay buffer's own insertion-boundary check.
+
+use deepcat::{ResiliencePolicy, ResilientEnv, TuningEnv};
+use proptest::prelude::*;
+use rl::{ReplayMemory, Transition, UniformReplay};
+use spark_sim::{Cluster, Fault, FaultEvent, FaultPlan, InputSize, Workload, WorkloadKind};
+
+fn tuning_env(seed: u64) -> TuningEnv {
+    TuningEnv::for_workload(
+        Cluster::cluster_a(),
+        Workload::new(WorkloadKind::TeraSort, InputSize::D1),
+        seed,
+    )
+}
+
+/// Decode one (kind, position, parameter) triple into a fault. Parameters
+/// deliberately cover harsher ranges than the named plans use.
+fn fault_from(kind: usize, at: u64, p: f64) -> Fault {
+    match kind % 5 {
+        0 => Fault::Transient {
+            progress: 0.05 + 0.9 * p,
+        },
+        1 => Fault::Straggler {
+            node: (at as usize) % 3,
+            slowdown: 1.5 + 6.0 * p,
+        },
+        2 => Fault::ProbeLoss {
+            node: (at as usize) % 3,
+        },
+        3 => Fault::NoiseSpike {
+            magnitude: 10.0 * p,
+        },
+        _ => Fault::NodeCrash {
+            node: (at as usize) % 3,
+            evals: 1 + (p * 3.0) as u64,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn arbitrary_fault_schedules_never_poison_the_replay(
+        schedule in proptest::collection::vec(
+            (1u64..10, 0usize..5, 0.0f64..1.0), 0..6),
+        seed in 1u64..500,
+    ) {
+        let events: Vec<FaultEvent> = schedule
+            .iter()
+            .map(|&(at, kind, p)| FaultEvent {
+                at_eval: at,
+                fault: fault_from(kind, at, p),
+            })
+            .collect();
+        let policy = ResiliencePolicy::default();
+        let clamp = policy.reward_clamp;
+        let mut env = ResilientEnv::new(tuning_env(seed), policy);
+        env.install_plan(FaultPlan::custom(seed, events));
+        let mut replay = UniformReplay::new(64);
+        let mut state = env.reset();
+        let dims = env.action_dim();
+        for step in 0..4usize {
+            let action = vec![0.2 + 0.15 * step as f64; dims];
+            let res = env.step(&action);
+            prop_assert!(
+                res.outcome.reward.is_finite() && res.outcome.reward.abs() <= clamp,
+                "step {step}: reward {} escaped the clamp", res.outcome.reward
+            );
+            prop_assert!(
+                res.outcome.next_state.iter().all(|v| v.is_finite()),
+                "step {step}: non-finite state {:?}", res.outcome.next_state
+            );
+            prop_assert!(
+                res.outcome.exec_time_s.is_finite() && res.outcome.exec_time_s >= 0.0,
+                "step {step}: bad exec time {}", res.outcome.exec_time_s
+            );
+            prop_assert!(
+                res.accounting.overhead_s.is_finite() && res.accounting.overhead_s >= 0.0,
+                "step {step}: bad overhead {}", res.accounting.overhead_s
+            );
+            let before = replay.len();
+            replay.push(Transition::new(
+                state.clone(),
+                res.evaluated_action.clone(),
+                res.outcome.reward,
+                res.outcome.next_state.clone(),
+                false,
+            ));
+            prop_assert_eq!(
+                replay.len(),
+                before + 1,
+                "sanitized transition rejected at the replay boundary"
+            );
+            state = res.outcome.next_state;
+        }
+    }
+
+    #[test]
+    fn fault_free_wrapper_is_cost_transparent(seed in 1u64..200) {
+        // Without a plan, the wrapper must charge exactly what the bare
+        // environment charges (no hidden overhead).
+        let mut bare = tuning_env(seed);
+        let dims = bare.action_dim();
+        let action = vec![0.5; dims];
+        let direct = bare.step(&action);
+        let mut wrapped = ResilientEnv::new(tuning_env(seed), ResiliencePolicy::default());
+        let res = wrapped.step(&action);
+        prop_assert_eq!(res.outcome.exec_time_s, direct.exec_time_s);
+        prop_assert_eq!(res.outcome.reward, direct.reward);
+        prop_assert_eq!(res.accounting.overhead_s, 0.0);
+        prop_assert_eq!(res.accounting.retries, 0u32);
+    }
+}

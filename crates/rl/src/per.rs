@@ -48,6 +48,10 @@ impl PrioritizedReplay {
 
 impl ReplayMemory for PrioritizedReplay {
     fn push(&mut self, t: Transition) {
+        if !t.is_finite() {
+            telemetry::inc("replay.nonfinite_dropped", 1);
+            return;
+        }
         let slot = self.head;
         self.data[slot] = Some(t);
         // New transitions get the running max priority so each is replayed

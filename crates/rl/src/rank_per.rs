@@ -61,6 +61,10 @@ impl RankBasedReplay {
 
 impl ReplayMemory for RankBasedReplay {
     fn push(&mut self, t: Transition) {
+        if !t.is_finite() {
+            telemetry::inc("replay.nonfinite_dropped", 1);
+            return;
+        }
         if self.data.len() < self.capacity {
             self.data.push(t);
             self.priorities.push(self.max_priority);

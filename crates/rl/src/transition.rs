@@ -38,6 +38,16 @@ impl Transition {
     pub fn action_dim(&self) -> usize {
         self.action.len()
     }
+
+    /// True when every stored number is finite — the invariant the replay
+    /// buffers enforce at their insertion boundary (one NaN reward would
+    /// silently poison every later gradient step).
+    pub fn is_finite(&self) -> bool {
+        self.reward.is_finite()
+            && self.state.iter().all(|v| v.is_finite())
+            && self.action.iter().all(|v| v.is_finite())
+            && self.next_state.iter().all(|v| v.is_finite())
+    }
 }
 
 /// A batch sampled from a replay buffer: transitions plus the importance

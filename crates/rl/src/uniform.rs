@@ -41,6 +41,10 @@ impl UniformReplay {
 
 impl ReplayMemory for UniformReplay {
     fn push(&mut self, t: Transition) {
+        if !t.is_finite() {
+            telemetry::inc("replay.nonfinite_dropped", 1);
+            return;
+        }
         if self.data.len() < self.capacity {
             self.data.push(t);
         } else {
@@ -135,6 +139,23 @@ mod tests {
                 "index {i} sampled {c} times (mean {mean})"
             );
         }
+    }
+
+    #[test]
+    fn nonfinite_transitions_are_rejected_at_the_boundary() {
+        let mut buf = UniformReplay::new(10);
+        buf.push(t(f64::NAN));
+        buf.push(t(f64::INFINITY));
+        buf.push(Transition::new(
+            vec![f64::NAN],
+            vec![0.0],
+            0.5,
+            vec![0.0],
+            false,
+        ));
+        assert!(buf.is_empty(), "poisoned transitions must not be stored");
+        buf.push(t(1.0));
+        assert_eq!(buf.len(), 1);
     }
 
     #[test]

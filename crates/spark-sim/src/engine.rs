@@ -37,6 +37,18 @@ pub enum FailureKind {
     ExecutorOom,
     /// The driver ran out of memory.
     DriverOom,
+    /// A transient environment fault (lost heartbeat, AM restart) killed
+    /// the run — injected by a [`crate::faults::FaultPlan`], never
+    /// produced by the engine itself. Unlike the configuration-caused
+    /// kinds above, retrying the same configuration may succeed.
+    TransientEnv,
+}
+
+impl FailureKind {
+    /// True for failures an immediate same-configuration retry can fix.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, FailureKind::TransientEnv)
+    }
 }
 
 /// One scheduled task occurrence (produced when tracing is enabled).

@@ -10,6 +10,7 @@
 
 use crate::cluster::Cluster;
 use crate::engine::{simulate, FailureKind, SimOutcome};
+use crate::faults::FaultPlan;
 use crate::knobs::{Configuration, KnobSpace};
 use crate::metrics::RunMetrics;
 use crate::workloads::{JobSpec, Workload};
@@ -22,12 +23,17 @@ pub struct EvalResult {
     /// Execution time charged for this evaluation (seconds). For failed
     /// runs this includes the retry penalty.
     pub exec_time_s: f64,
-    /// Whether the run failed (OOM / infeasible).
+    /// Whether the run failed (OOM / infeasible / injected transient).
     pub failed: bool,
     /// Failure detail, if any.
     pub failure: Option<FailureKind>,
-    /// Run metrics (idle metrics for runs that never started).
+    /// Run metrics (idle metrics for runs that never started). Probe-loss
+    /// faults leave NaN load-average entries here — consumers must impute
+    /// before deriving agent state.
     pub metrics: RunMetrics,
+    /// What the active [`FaultPlan`] injected into this evaluation
+    /// (all-zero when no plan is installed or nothing was scheduled).
+    pub injected: crate::faults::InjectionSummary,
 }
 
 /// Multiplier applied to the default execution time to price a failed run
@@ -54,6 +60,8 @@ pub struct SparkEnv {
     seed: u64,
     evals: u64,
     default_time: f64,
+    /// Optional deterministic fault schedule applied to evaluations.
+    faults: Option<FaultPlan>,
 }
 
 impl SparkEnv {
@@ -88,6 +96,7 @@ impl SparkEnv {
             seed,
             evals: 0,
             default_time: 0.0,
+            faults: None,
         };
         let dflt = env.space.default_config();
         let mut total = 0.0;
@@ -138,6 +147,24 @@ impl SparkEnv {
         self.evals
     }
 
+    /// Restore the evaluation counter when resuming from a checkpoint, so
+    /// per-evaluation noise salts and fault schedules replay identically.
+    pub fn restore_eval_count(&mut self, evals: u64) {
+        self.evals = evals;
+    }
+
+    /// Install a deterministic fault schedule (replacing any previous
+    /// one). Faults key off the evaluation counter, so install the plan
+    /// before the first [`evaluate`](Self::evaluate) call.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// The installed fault schedule, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
     /// The action dimension (number of knobs).
     pub fn action_dim(&self) -> usize {
         self.space.len()
@@ -174,11 +201,39 @@ impl SparkEnv {
     /// actions.
     pub fn evaluate(&mut self, config: &Configuration) -> EvalResult {
         self.evals += 1;
-        let out = self.raw_run(config, self.evals);
-        let failed = out.failed.is_some();
+        let mut out = self.raw_run(config, self.evals);
+        let mut failed = out.failed.is_some();
+        let mut injected = crate::faults::InjectionSummary::default();
+        if let Some(plan) = &self.faults {
+            let mut transient = false;
+            injected = plan.apply(
+                self.evals,
+                &mut out.duration_s,
+                &mut out.metrics.load_avg,
+                &mut failed,
+                &mut transient,
+            );
+            out.metrics.duration_s = out.duration_s;
+            if transient {
+                out.failed = Some(FailureKind::TransientEnv);
+            }
+            if !injected.is_clean() {
+                telemetry::event!(
+                    "fault.injected",
+                    eval = self.evals,
+                    plan = plan.name.clone(),
+                    transient = injected.transient,
+                    stragglers = injected.stragglers as u64,
+                    probes_lost = injected.probes_lost as u64,
+                    noise_spikes = injected.noise_spikes as u64,
+                    crashed_nodes = injected.crashed_nodes as u64,
+                );
+            }
+        }
         let exec_time_s = if failed {
             // Diagnose-and-retry cost: the partial run plus a penalty
-            // proportional to the default execution time.
+            // proportional to the default execution time. Applied exactly
+            // once per failed evaluation, whatever the failure kind.
             out.duration_s + FAILURE_PENALTY_FACTOR * self.default_time
         } else {
             out.duration_s
@@ -188,6 +243,7 @@ impl SparkEnv {
             failed,
             failure: out.failed,
             metrics: out.metrics,
+            injected,
         }
     }
 
@@ -262,5 +318,101 @@ mod tests {
         let mut e = env();
         let r = e.evaluate(&e.space().default_config().clone());
         assert_eq!(e.observe(&r).len(), e.state_dim());
+    }
+
+    /// A failing action (giant executors vs tiny NodeManager memory →
+    /// negotiation failure with a fixed 20 s submission timeout).
+    fn failing_action() -> Vec<f64> {
+        let mut action = vec![0.5; 32];
+        action[crate::knobs::idx::EXECUTOR_MEMORY_MB] = 1.0;
+        action[crate::knobs::idx::NM_MEMORY_MB] = 0.0;
+        action[crate::knobs::idx::SCHED_MAX_ALLOC_MB] = 1.0;
+        action
+    }
+
+    #[test]
+    fn failure_penalty_is_applied_exactly_once() {
+        let mut e = env();
+        let r = e.evaluate_action(&failing_action());
+        assert!(r.failed);
+        // Negotiation failures abort after a fixed 20 s submission
+        // timeout, so the charge decomposes exactly: that partial time +
+        // one penalty term. Any double application would add another
+        // 2×default (hundreds of seconds) and fail the equality.
+        let expected = 20.0 + FAILURE_PENALTY_FACTOR * e.default_exec_time();
+        assert!(
+            (r.exec_time_s - expected).abs() < 1e-9,
+            "charged {} vs 20.0 + penalty {}",
+            r.exec_time_s,
+            FAILURE_PENALTY_FACTOR * e.default_exec_time()
+        );
+    }
+
+    #[test]
+    fn never_started_run_reports_idle_metrics() {
+        let mut e = env();
+        let r = e.evaluate_action(&failing_action());
+        assert!(r.failed, "negotiation must fail");
+        // The job never launched a task: metrics are the idle record
+        // (modulo the charged duration bookkeeping).
+        let idle = RunMetrics::idle(e.cluster().num_nodes());
+        assert_eq!(r.metrics.load_avg, idle.load_avg);
+        assert_eq!(r.metrics.tasks_launched, 0);
+        assert_eq!(r.metrics.cpu_util, 0.0);
+        assert_eq!(r.metrics.hdfs_read_mb, 0.0);
+        assert_eq!(r.metrics.container_kills, 0);
+    }
+
+    #[test]
+    fn injected_transient_fails_with_penalty_once() {
+        let mut e = env();
+        e.set_fault_plan(FaultPlan::custom(
+            3,
+            vec![crate::faults::FaultEvent {
+                at_eval: 1,
+                fault: crate::faults::Fault::Transient { progress: 0.5 },
+            }],
+        ));
+        let cfg = e.space().default_config();
+        let r1 = e.evaluate(&cfg);
+        assert!(r1.failed);
+        assert_eq!(r1.failure, Some(FailureKind::TransientEnv));
+        assert!(r1.injected.transient);
+        let expected = r1.metrics.duration_s + FAILURE_PENALTY_FACTOR * e.default_exec_time();
+        assert!((r1.exec_time_s - expected).abs() < 1e-9);
+        // The next evaluation (a "retry") is off the schedule → clean.
+        let r2 = e.evaluate(&cfg);
+        assert!(!r2.failed);
+        assert!(r2.injected.is_clean());
+    }
+
+    #[test]
+    fn probe_loss_propagates_nan_into_observed_state() {
+        let mut e = env();
+        e.set_fault_plan(FaultPlan::custom(
+            3,
+            vec![crate::faults::FaultEvent {
+                at_eval: 1,
+                fault: crate::faults::Fault::ProbeLoss { node: 1 },
+            }],
+        ));
+        let r = e.evaluate(&e.space().default_config().clone());
+        assert!(!r.failed);
+        let state = e.observe(&r);
+        assert!(state[3..6].iter().all(|v| v.is_nan()), "{state:?}");
+        assert!(state[0..3].iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn fault_plan_keeps_same_seed_runs_identical() {
+        let mk = || {
+            let mut e = env();
+            e.set_fault_plan(FaultPlan::named("mixed", 9).expect("mixed exists"));
+            let cfg = e.space().default_config();
+            (0..7)
+                .map(|_| e.evaluate(&cfg).exec_time_s)
+                .collect::<Vec<f64>>()
+        };
+        assert_eq!(mk(), mk());
     }
 }

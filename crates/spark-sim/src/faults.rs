@@ -1,0 +1,441 @@
+//! Deterministic fault injection for the tuning environment.
+//!
+//! Real Spark/YARN clusters exhibit stragglers, lost heartbeats, flaky AM
+//! restarts and dead NodeManagers; tuners that assume every evaluation
+//! succeeds exactly once abort or mislearn under that noise. A
+//! [`FaultPlan`] is a *schedule* of such faults keyed by the environment's
+//! evaluation counter: the same `(plan, seed)` pair perturbs a run in
+//! exactly the same way every time, so chaos experiments stay bit-for-bit
+//! reproducible under the frozen telemetry clock.
+//!
+//! Faults are injected at the [`crate::SparkEnv`] boundary (after the
+//! discrete-event engine finishes, before pricing), so *any* tuner — DRL
+//! or baseline — can be run under chaos without code changes.
+
+use serde::{Deserialize, Serialize};
+
+/// One injectable fault.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Fault {
+    /// A node dies and stays down for `evals` consecutive evaluations:
+    /// its work is redistributed (the job slows down by `n/(n-1)`) and its
+    /// uptime probe is lost (NaN load-average entries) while down.
+    NodeCrash { node: usize, evals: u64 },
+    /// One node runs `slowdown`× slower for a single evaluation; the
+    /// critical path stretches by its share of the work and the node's
+    /// reported load average spikes.
+    Straggler { node: usize, slowdown: f64 },
+    /// The job dies from a transient environment error (lost heartbeat,
+    /// AM restart) after completing a `progress` fraction of its run.
+    /// Unlike configuration-caused failures, an immediate retry of the
+    /// same configuration may succeed.
+    Transient { progress: f64 },
+    /// The uptime probe of one node is lost for a single evaluation: the
+    /// corresponding state entries come back NaN and must be imputed
+    /// before they reach a replay buffer.
+    ProbeLoss { node: usize },
+    /// A measurement-noise spike: the observed duration is multiplied by
+    /// a deterministic pseudo-random factor in `[1-m/2, 1+m/2]`.
+    NoiseSpike { magnitude: f64 },
+}
+
+impl Fault {
+    /// Stable lowercase label, used in `fault.injected` telemetry events.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Fault::NodeCrash { .. } => "node_crash",
+            Fault::Straggler { .. } => "straggler",
+            Fault::Transient { .. } => "transient",
+            Fault::ProbeLoss { .. } => "probe_loss",
+            Fault::NoiseSpike { .. } => "noise_spike",
+        }
+    }
+}
+
+/// A fault scheduled at a specific evaluation index (1-based: the first
+/// call to [`crate::SparkEnv::evaluate`] is eval 1).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    pub at_eval: u64,
+    pub fault: Fault,
+}
+
+/// What a plan injected into one evaluation (telemetry + tests).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct InjectionSummary {
+    /// The evaluation was killed by a transient environment fault.
+    pub transient: bool,
+    /// Straggler faults applied.
+    pub stragglers: u32,
+    /// Uptime probes lost (probe-loss faults plus down crashed nodes).
+    pub probes_lost: u32,
+    /// Noise spikes applied.
+    pub noise_spikes: u32,
+    /// Nodes down due to an active crash window.
+    pub crashed_nodes: u32,
+}
+
+impl InjectionSummary {
+    /// True when no fault touched the evaluation.
+    pub fn is_clean(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+/// A seeded, schedule-driven fault plan.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Display name (`mixed`, `flaky`, ... or `custom`).
+    pub name: String,
+    /// Seed for the plan's own pseudo-randomness (noise-spike draws).
+    pub seed: u64,
+    /// The schedule, keyed by evaluation index.
+    pub events: Vec<FaultEvent>,
+}
+
+/// Names accepted by [`FaultPlan::named`].
+pub const PLAN_NAMES: &[&str] = &["none", "mixed", "flaky", "stragglers", "blackout"];
+
+impl FaultPlan {
+    /// The empty plan: chaos harness plumbing with no faults.
+    pub fn none(seed: u64) -> Self {
+        Self {
+            name: "none".to_string(),
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// A custom plan built from an explicit schedule.
+    pub fn custom(seed: u64, events: Vec<FaultEvent>) -> Self {
+        Self {
+            name: "custom".to_string(),
+            seed,
+            events,
+        }
+    }
+
+    /// One of the built-in named plans, or `None` for an unknown name.
+    ///
+    /// `mixed` is the acceptance plan: within the first handful of
+    /// evaluations it injects at least one transient failure, one
+    /// straggler and one probe loss (plus a noise spike and a two-eval
+    /// node crash), so a 5-step online session exercises every resilience
+    /// path.
+    pub fn named(name: &str, seed: u64) -> Option<Self> {
+        let events = match name {
+            "none" => Vec::new(),
+            "mixed" => vec![
+                FaultEvent {
+                    at_eval: 2,
+                    fault: Fault::Transient { progress: 0.6 },
+                },
+                FaultEvent {
+                    at_eval: 4,
+                    fault: Fault::Straggler {
+                        node: 1,
+                        slowdown: 3.0,
+                    },
+                },
+                FaultEvent {
+                    at_eval: 5,
+                    fault: Fault::ProbeLoss { node: 2 },
+                },
+                FaultEvent {
+                    at_eval: 6,
+                    fault: Fault::NoiseSpike { magnitude: 0.5 },
+                },
+                FaultEvent {
+                    at_eval: 6,
+                    fault: Fault::NodeCrash { node: 0, evals: 2 },
+                },
+            ],
+            "flaky" => (0..4)
+                .map(|i| FaultEvent {
+                    at_eval: 2 + 2 * i,
+                    fault: Fault::Transient { progress: 0.5 },
+                })
+                .collect(),
+            "stragglers" => (0..6)
+                .map(|i| FaultEvent {
+                    at_eval: 2 + i,
+                    fault: Fault::Straggler {
+                        node: (i as usize) % 3,
+                        slowdown: 2.0 + 0.5 * i as f64,
+                    },
+                })
+                .collect(),
+            "blackout" => vec![
+                FaultEvent {
+                    at_eval: 2,
+                    fault: Fault::NodeCrash { node: 0, evals: 4 },
+                },
+                FaultEvent {
+                    at_eval: 3,
+                    fault: Fault::ProbeLoss { node: 1 },
+                },
+            ],
+            _ => return None,
+        };
+        Some(Self {
+            name: name.to_string(),
+            seed,
+            events,
+        })
+    }
+
+    /// The faults that hit evaluation `eval` (crash windows resolved).
+    pub fn active_at(&self, eval: u64) -> impl Iterator<Item = &Fault> {
+        self.events.iter().filter_map(move |e| match e.fault {
+            Fault::NodeCrash { evals, .. } => {
+                (e.at_eval <= eval && eval < e.at_eval.saturating_add(evals)).then_some(&e.fault)
+            }
+            _ => (e.at_eval == eval).then_some(&e.fault),
+        })
+    }
+
+    /// Last evaluation index at which any scheduled fault is still active.
+    pub fn horizon(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e.fault {
+                Fault::NodeCrash { evals, .. } => e.at_eval.saturating_add(evals.saturating_sub(1)),
+                _ => e.at_eval,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Deterministic noise draw in `[-0.5, 0.5]` for evaluation `eval`
+    /// (SplitMix64 over `(seed, eval)` — no RNG object, no shared state).
+    fn noise_draw(&self, eval: u64) -> f64 {
+        let mut x = self.seed ^ eval.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        // CAST-SAFETY: 53-bit mantissa fraction of a u64 hash; precision
+        // loss below 2^-53 is irrelevant for a noise draw.
+        (x >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    }
+
+    /// Apply every fault scheduled for evaluation `eval` to a raw engine
+    /// outcome, mutating duration, per-node load probes and failure
+    /// status in place. Returns what was injected.
+    pub fn apply(
+        &self,
+        eval: u64,
+        duration_s: &mut f64,
+        load_avg: &mut [[f64; 3]],
+        failed: &mut bool,
+        transient_failure: &mut bool,
+    ) -> InjectionSummary {
+        let mut summary = InjectionSummary::default();
+        let n = load_avg.len().max(1) as f64;
+        for fault in self.active_at(eval) {
+            match *fault {
+                Fault::NoiseSpike { magnitude } => {
+                    let factor = 1.0 + magnitude.max(0.0) * self.noise_draw(eval);
+                    *duration_s *= factor.max(0.05);
+                    summary.noise_spikes += 1;
+                }
+                Fault::Straggler { node, slowdown } => {
+                    let s = slowdown.max(1.0);
+                    // The slow node holds its 1/n share of the critical
+                    // path s× longer.
+                    *duration_s *= 1.0 + (s - 1.0) / n;
+                    if let Some(load) = load_avg.get_mut(node) {
+                        for l in load.iter_mut() {
+                            *l *= s;
+                        }
+                    }
+                    summary.stragglers += 1;
+                }
+                Fault::NodeCrash { node, .. } => {
+                    if let Some(load) = load_avg.get_mut(node) {
+                        // Work redistributed over the surviving nodes;
+                        // the dead node's probe is gone.
+                        if n > 1.0 {
+                            *duration_s *= n / (n - 1.0);
+                        }
+                        *load = [f64::NAN; 3];
+                        summary.crashed_nodes += 1;
+                        summary.probes_lost += 1;
+                    }
+                }
+                Fault::ProbeLoss { node } => {
+                    if let Some(load) = load_avg.get_mut(node) {
+                        *load = [f64::NAN; 3];
+                        summary.probes_lost += 1;
+                    }
+                }
+                Fault::Transient { progress } => {
+                    *duration_s *= progress.clamp(0.05, 0.95);
+                    *failed = true;
+                    *transient_failure = true;
+                    summary.transient = true;
+                }
+            }
+        }
+        summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loads(n: usize) -> Vec<[f64; 3]> {
+        vec![[1.0, 1.0, 1.0]; n]
+    }
+
+    #[test]
+    fn named_plans_resolve_and_unknown_does_not() {
+        for name in PLAN_NAMES {
+            assert!(FaultPlan::named(name, 7).is_some(), "{name}");
+        }
+        assert!(FaultPlan::named("earthquake", 7).is_none());
+    }
+
+    #[test]
+    fn mixed_plan_covers_acceptance_fault_classes() {
+        let plan = FaultPlan::named("mixed", 7).expect("mixed exists");
+        let labels: Vec<&str> = plan.events.iter().map(|e| e.fault.label()).collect();
+        assert!(labels.contains(&"transient"));
+        assert!(labels.contains(&"straggler"));
+        assert!(labels.contains(&"probe_loss"));
+    }
+
+    #[test]
+    fn crash_window_spans_multiple_evals() {
+        let plan = FaultPlan::custom(
+            0,
+            vec![FaultEvent {
+                at_eval: 3,
+                fault: Fault::NodeCrash { node: 0, evals: 2 },
+            }],
+        );
+        assert_eq!(plan.active_at(2).count(), 0);
+        assert_eq!(plan.active_at(3).count(), 1);
+        assert_eq!(plan.active_at(4).count(), 1);
+        assert_eq!(plan.active_at(5).count(), 0);
+        assert_eq!(plan.horizon(), 4);
+    }
+
+    #[test]
+    fn transient_marks_failure_and_shortens_run() {
+        let plan = FaultPlan::custom(
+            1,
+            vec![FaultEvent {
+                at_eval: 1,
+                fault: Fault::Transient { progress: 0.5 },
+            }],
+        );
+        let mut d = 100.0;
+        let mut load = loads(3);
+        let (mut failed, mut transient) = (false, false);
+        let s = plan.apply(1, &mut d, &mut load, &mut failed, &mut transient);
+        assert!(failed && transient && s.transient);
+        assert_eq!(d, 50.0);
+    }
+
+    #[test]
+    fn straggler_slows_job_and_spikes_node_load() {
+        let plan = FaultPlan::custom(
+            1,
+            vec![FaultEvent {
+                at_eval: 1,
+                fault: Fault::Straggler {
+                    node: 1,
+                    slowdown: 4.0,
+                },
+            }],
+        );
+        let mut d = 90.0;
+        let mut load = loads(3);
+        let (mut failed, mut transient) = (false, false);
+        let s = plan.apply(1, &mut d, &mut load, &mut failed, &mut transient);
+        assert_eq!(s.stragglers, 1);
+        assert!(!failed);
+        assert!((d - 180.0).abs() < 1e-9, "1 + 3/3 = 2x: {d}");
+        assert_eq!(load[1], [4.0, 4.0, 4.0]);
+        assert_eq!(load[0], [1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn probe_loss_yields_nan_probes() {
+        let plan = FaultPlan::custom(
+            1,
+            vec![FaultEvent {
+                at_eval: 1,
+                fault: Fault::ProbeLoss { node: 2 },
+            }],
+        );
+        let mut d = 10.0;
+        let mut load = loads(3);
+        let (mut failed, mut transient) = (false, false);
+        let s = plan.apply(1, &mut d, &mut load, &mut failed, &mut transient);
+        assert_eq!(s.probes_lost, 1);
+        assert!(load[2].iter().all(|v| v.is_nan()));
+        assert_eq!(d, 10.0);
+    }
+
+    #[test]
+    fn crash_redistributes_work_and_loses_probe() {
+        let plan = FaultPlan::custom(
+            1,
+            vec![FaultEvent {
+                at_eval: 1,
+                fault: Fault::NodeCrash { node: 0, evals: 1 },
+            }],
+        );
+        let mut d = 60.0;
+        let mut load = loads(3);
+        let (mut failed, mut transient) = (false, false);
+        let s = plan.apply(1, &mut d, &mut load, &mut failed, &mut transient);
+        assert_eq!(s.crashed_nodes, 1);
+        assert!((d - 90.0).abs() < 1e-9, "3/2 slowdown: {d}");
+        assert!(load[0].iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn out_of_range_node_is_ignored() {
+        let plan = FaultPlan::custom(
+            1,
+            vec![FaultEvent {
+                at_eval: 1,
+                fault: Fault::ProbeLoss { node: 99 },
+            }],
+        );
+        let mut d = 10.0;
+        let mut load = loads(3);
+        let (mut failed, mut transient) = (false, false);
+        let s = plan.apply(1, &mut d, &mut load, &mut failed, &mut transient);
+        assert!(s.is_clean());
+        assert!(load.iter().flatten().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn noise_spike_is_deterministic_per_seed_and_eval() {
+        let plan = FaultPlan::custom(
+            42,
+            vec![FaultEvent {
+                at_eval: 1,
+                fault: Fault::NoiseSpike { magnitude: 0.5 },
+            }],
+        );
+        let run = |p: &FaultPlan| {
+            let mut d = 100.0;
+            let mut load = loads(2);
+            let (mut f, mut t) = (false, false);
+            p.apply(1, &mut d, &mut load, &mut f, &mut t);
+            d
+        };
+        let d1 = run(&plan);
+        let d2 = run(&plan);
+        assert_eq!(d1, d2, "same plan, same draw");
+        assert!(d1 != 100.0, "magnitude 0.5 must perturb");
+        let mut other = plan.clone();
+        other.seed = 43;
+        assert!(run(&other) != d1, "different seed, different draw");
+    }
+}

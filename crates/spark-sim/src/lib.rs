@@ -28,6 +28,7 @@ pub mod effective;
 pub mod engine;
 pub mod env;
 pub mod export;
+pub mod faults;
 pub mod hdfs;
 pub mod knobs;
 pub mod metrics;
@@ -41,6 +42,7 @@ pub use effective::{Codec, Effective, Serializer};
 pub use engine::{simulate, simulate_traced, FailureKind, SimOutcome, TaskTrace};
 pub use env::{EvalResult, SparkEnv, FAILURE_PENALTY_FACTOR};
 pub use export::{export_bundle, to_hadoop_site_xml, to_spark_defaults, ConfigBundle};
+pub use faults::{Fault, FaultEvent, FaultPlan, InjectionSummary, PLAN_NAMES};
 pub use hdfs::{Hdfs, HdfsFile};
 pub use knobs::{idx, Component, Configuration, KnobDef, KnobKind, KnobSpace, KnobValue};
 pub use metrics::RunMetrics;

@@ -40,6 +40,39 @@ cmp "$smoke_dir/a.trace.json" "$smoke_dir/b.trace.json" || {
 }
 echo "trace determinism: OK (byte-identical chrome-trace export)"
 
+# Chaos smoke: the resilient online stage under a seeded fault plan must
+# be byte-for-byte reproducible, and a session killed after 2 steps then
+# resumed from its checkpoint must land on the same best configuration as
+# an uninterrupted run (the `chaos.best` event line carries the full
+# action vector).
+./target/release/deepcat-tune train --iters 500 --seed 2022 \
+    --model "$smoke_dir/chaos-model.json" >/dev/null
+./target/release/deepcat-tune chaos --plan mixed --deterministic \
+    --model "$smoke_dir/chaos-model.json" \
+    --log "$smoke_dir/chaos-a.jsonl" >/dev/null
+./target/release/deepcat-tune chaos --plan mixed --deterministic \
+    --model "$smoke_dir/chaos-model.json" \
+    --log "$smoke_dir/chaos-b.jsonl" >/dev/null
+cmp "$smoke_dir/chaos-a.jsonl" "$smoke_dir/chaos-b.jsonl" || {
+    echo "chaos determinism failed: same-plan runs diverged" >&2
+    exit 1
+}
+echo "chaos determinism: OK ($(wc -l <"$smoke_dir/chaos-a.jsonl") events, byte-identical)"
+./target/release/deepcat-tune chaos --plan mixed --deterministic \
+    --model "$smoke_dir/chaos-model.json" \
+    --checkpoint "$smoke_dir/chaos-cp.json" --kill-after 2 >/dev/null
+./target/release/deepcat-tune chaos --plan mixed --deterministic \
+    --model "$smoke_dir/chaos-model.json" \
+    --checkpoint "$smoke_dir/chaos-cp.json" --resume \
+    --log "$smoke_dir/chaos-resume.jsonl" >/dev/null
+grep '"chaos.best"' "$smoke_dir/chaos-a.jsonl" >"$smoke_dir/chaos-best-full.txt"
+grep '"chaos.best"' "$smoke_dir/chaos-resume.jsonl" >"$smoke_dir/chaos-best-resumed.txt"
+cmp "$smoke_dir/chaos-best-full.txt" "$smoke_dir/chaos-best-resumed.txt" || {
+    echo "chaos recovery failed: resumed session found a different best config" >&2
+    exit 1
+}
+echo "chaos recovery: OK (kill@2 + resume reproduces the best configuration)"
+
 # Perf-regression gate: run the pinned quick-profile baseline suite and
 # compare hot-path throughput against the committed BENCH_3.json. Fails
 # loudly naming the regressed metric; tolerance absorbs machine noise.

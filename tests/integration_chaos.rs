@@ -1,0 +1,135 @@
+//! End-to-end chaos: the resilient online session must survive named
+//! fault plans, stay deterministic under them, and recover from a
+//! mid-run kill via checkpoints — across the whole stack (simulator
+//! fault injection, resilient wrapper, TD3 fine-tuning, persistence).
+
+use deepcat::{
+    online_tune_resilient, train_td3, AgentConfig, ChaosSessionConfig, OfflineConfig, OnlineConfig,
+    ResiliencePolicy, ResilientEnv, SessionOutcome, Td3Agent, TuningEnv, TuningReport,
+};
+use spark_sim::{Cluster, FaultPlan, InputSize, Workload, WorkloadKind, PLAN_NAMES};
+
+fn live_env(seed: u64) -> TuningEnv {
+    TuningEnv::for_workload(
+        Cluster::cluster_a().with_background_load(0.15),
+        Workload::new(WorkloadKind::TeraSort, InputSize::D1),
+        seed,
+    )
+}
+
+fn trained_agent(seed: u64) -> Td3Agent {
+    let mut env = TuningEnv::for_workload(
+        Cluster::cluster_a(),
+        Workload::new(WorkloadKind::TeraSort, InputSize::D1),
+        seed,
+    );
+    let mut cfg = AgentConfig::for_dims(env.state_dim(), env.action_dim());
+    cfg.hidden = vec![32, 32];
+    cfg.warmup_steps = 64;
+    cfg.batch_size = 32;
+    let (agent, _, _) = train_td3(&mut env, cfg, &OfflineConfig::deepcat(500, seed), &[]);
+    agent
+}
+
+fn run_session(plan: Option<FaultPlan>, session: &ChaosSessionConfig) -> SessionOutcome {
+    let mut agent = trained_agent(33);
+    let mut env = ResilientEnv::new(live_env(34), ResiliencePolicy::default());
+    if let Some(p) = plan {
+        env.install_plan(p);
+    }
+    online_tune_resilient(
+        &mut agent,
+        &mut env,
+        &OnlineConfig::deepcat(7),
+        session,
+        "DeepCAT",
+    )
+    .expect("session I/O")
+}
+
+fn completed(out: SessionOutcome) -> TuningReport {
+    match out {
+        SessionOutcome::Completed(r) => r,
+        SessionOutcome::Killed { completed_steps } => {
+            panic!("unexpected kill after {completed_steps} steps")
+        }
+    }
+}
+
+#[test]
+fn every_named_plan_completes_all_steps() {
+    for name in PLAN_NAMES {
+        let plan = FaultPlan::named(name, 11).expect("known plan");
+        let report = completed(run_session(Some(plan), &ChaosSessionConfig::default()));
+        assert_eq!(report.steps.len(), 5, "plan {name}");
+        assert!(
+            report.steps.iter().all(|s| s.reward.is_finite()),
+            "plan {name}: non-finite reward escaped"
+        );
+        assert!(
+            report.best_exec_time_s.is_finite() && report.best_exec_time_s > 0.0,
+            "plan {name}"
+        );
+    }
+}
+
+#[test]
+fn chaos_sessions_are_deterministic() {
+    let plan = || FaultPlan::named("mixed", 11).expect("known plan");
+    let a = completed(run_session(Some(plan()), &ChaosSessionConfig::default()));
+    let b = completed(run_session(Some(plan()), &ChaosSessionConfig::default()));
+    assert_eq!(a.best_action, b.best_action);
+    assert_eq!(a.best_exec_time_s, b.best_exec_time_s);
+    for (x, y) in a.steps.iter().zip(b.steps.iter()) {
+        assert_eq!(x.exec_time_s, y.exec_time_s, "step {}", x.step);
+        assert_eq!(x.reward, y.reward, "step {}", x.step);
+        assert_eq!(x.resilience, y.resilience, "step {}", x.step);
+    }
+}
+
+#[test]
+fn faults_cost_more_than_fault_free() {
+    let plan = FaultPlan::named("mixed", 11).expect("known plan");
+    let faulted = completed(run_session(Some(plan), &ChaosSessionConfig::default()));
+    let clean = completed(run_session(None, &ChaosSessionConfig::default()));
+    assert!(
+        faulted.total_cost_s() > clean.total_cost_s(),
+        "chaos must not be free: {} vs {}",
+        faulted.total_cost_s(),
+        clean.total_cost_s()
+    );
+    assert_eq!(clean.total_retries(), 0);
+}
+
+#[test]
+fn killed_session_resumes_to_the_same_result() {
+    let dir = std::env::temp_dir().join("deepcat-integration-chaos");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("checkpoint.json");
+    let plan = || FaultPlan::named("flaky", 11).expect("known plan");
+
+    let full = completed(run_session(Some(plan()), &ChaosSessionConfig::default()));
+    let killed = run_session(
+        Some(plan()),
+        &ChaosSessionConfig {
+            checkpoint: Some(path.clone()),
+            resume: false,
+            kill_after: Some(3),
+        },
+    );
+    assert!(matches!(
+        killed,
+        SessionOutcome::Killed { completed_steps: 3 }
+    ));
+    let resumed = completed(run_session(
+        Some(plan()),
+        &ChaosSessionConfig {
+            checkpoint: Some(path),
+            resume: true,
+            kill_after: None,
+        },
+    ));
+    assert_eq!(resumed.best_action, full.best_action);
+    assert_eq!(resumed.best_exec_time_s, full.best_exec_time_s);
+    assert_eq!(resumed.steps.len(), full.steps.len());
+}

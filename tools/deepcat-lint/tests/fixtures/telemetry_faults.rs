@@ -1,0 +1,17 @@
+// Fixture: the fault/recovery telemetry families obey the same manifest
+// contract as every other family. `fault.phantom_kind` is well-formed but
+// unregistered — the resilience layer must not invent event names the
+// manifest does not declare. `fault.injected` and `retry.attempt` are
+// registered by the test's manifest and must stay clean.
+
+fn unregistered_fault_event() {
+    telemetry::event!("fault.phantom_kind", eval = 3, node = 1);
+}
+
+fn registered_fault_event() {
+    telemetry::event!("fault.injected", eval = 3, transient = 1);
+}
+
+fn registered_retry_event() {
+    telemetry::event!("retry.attempt", attempt = 1, backoff_s = 5.0);
+}

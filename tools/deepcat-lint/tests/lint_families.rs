@@ -123,6 +123,33 @@ fn telemetry_family_fires() {
 }
 
 #[test]
+fn unregistered_fault_events_fail_the_manifest_rule() {
+    let manifest = Manifest::parse(
+        "[[event]]\nname = \"fault.injected\"\ndoc = \"fault injected\"\n\n\
+         [[event]]\nname = \"retry.attempt\"\ndoc = \"retrying\"\n",
+    )
+    .expect("manifest parses");
+    let f = lint_fixture(
+        "crates/deepcat/src/fixture.rs",
+        "telemetry_faults.rs",
+        &manifest,
+    );
+    let r = rules(&f);
+    // `fault.phantom_kind` is the only unregistered name; the registered
+    // `fault.injected` / `retry.attempt` must not report.
+    assert_eq!(
+        r.iter().filter(|r| **r == "telemetry.manifest").count(),
+        1,
+        "{f:?}"
+    );
+    assert!(
+        f.iter()
+            .any(|x| x.rule == "telemetry.manifest" && x.message.contains("fault.phantom_kind")),
+        "{f:?}"
+    );
+}
+
+#[test]
 fn telemetry_family_fires_on_bare_span_call_sites() {
     let manifest =
         Manifest::parse("[[event]]\nname = \"known.span\"\ndoc = \"registered fixture span\"\n")

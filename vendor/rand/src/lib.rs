@@ -184,6 +184,21 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Snapshot the generator's internal state (checkpoint support —
+        /// not part of the real `rand` API, but this stand-in is the
+        /// workspace's only StdRng, so resumable runs snapshot it here).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from a [`state`](Self::state) snapshot.
+        /// The restored generator continues the exact same stream.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            Self { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
