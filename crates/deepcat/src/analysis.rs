@@ -140,7 +140,7 @@ pub fn to_markdown(summaries: &[SessionSummary]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::online::{StepRecord, StepResilience};
+    use crate::online::{StepGuardrail, StepRecord, StepResilience};
 
     fn report(tuner: &str, best: f64, cost: f64, failed: bool) -> TuningReport {
         let step = StepRecord {
@@ -153,6 +153,7 @@ mod tests {
             twinq_iterations: 0,
             action: vec![0.5],
             resilience: StepResilience::default(),
+            guardrail: StepGuardrail::default(),
         };
         TuningReport {
             tuner: tuner.into(),

@@ -20,8 +20,8 @@
 use deepcat::experiments::{compare_on, ExperimentConfig};
 use deepcat::{
     load_td3, online_tune_resilient, online_tune_td3, save_td3, train_td3, AgentConfig,
-    ChaosSessionConfig, OfflineConfig, OnlineConfig, ResiliencePolicy, ResilientEnv,
-    SessionOutcome, Td3Agent, TuningEnv, TuningReport,
+    ChaosSessionConfig, GuardrailPolicy, OfflineConfig, OnlineConfig, ResiliencePolicy,
+    ResilientEnv, SessionOutcome, Td3Agent, TuningEnv, TuningReport,
 };
 use spark_sim::{Cluster, FaultPlan, InputSize, Workload, WorkloadKind, PLAN_NAMES};
 use std::path::PathBuf;
@@ -45,16 +45,29 @@ struct Args {
     checkpoint: Option<PathBuf>,
     resume: bool,
     kill_after: Option<usize>,
+    guardrails: bool,
+}
+
+impl Args {
+    fn guardrail_policy(&self) -> GuardrailPolicy {
+        if self.guardrails {
+            GuardrailPolicy::on()
+        } else {
+            GuardrailPolicy::default()
+        }
+    }
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: deepcat-tune <train|tune|run|compare|chaos|report|profile> \
+        "usage: deepcat-tune <train|tune|run|compare|chaos|safety|report|profile> \
          [--workload WC|TS|PR|KM|SO|AG] [--input D1|D2|D3] \
          [--iters N] [--steps N] [--seed N] [--model PATH] [--bg FLOAT] \
-         [--log PATH] [--trace PATH]\n\
+         [--log PATH] [--trace PATH] [--guardrails on|off]\n\
          chaos flags: [--plan none|mixed|flaky|stragglers|blackout] \
          [--deterministic] [--checkpoint PATH] [--kill-after N] [--resume]\n\
+         safety runs the online stage with and without guardrails under \
+         --plan and reports the ablation\n\
          profile takes the JSONL log as a positional argument: \
          deepcat-tune profile run.jsonl"
     );
@@ -80,6 +93,7 @@ fn parse_args() -> Result<Args, String> {
         checkpoint: None,
         resume: false,
         kill_after: None,
+        guardrails: false,
     };
     while let Some(flag) = argv.next() {
         let mut value = || argv.next().ok_or(format!("{flag} needs a value"));
@@ -117,6 +131,13 @@ fn parse_args() -> Result<Args, String> {
             "--kill-after" => {
                 args.kill_after = Some(value()?.parse().map_err(|e| format!("--kill-after: {e}"))?)
             }
+            "--guardrails" => {
+                args.guardrails = match value()?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--guardrails takes on|off, got {other}")),
+                }
+            }
             other if !other.starts_with('-') && args.log.is_none() => {
                 // Positional log path: `deepcat-tune profile run.jsonl`.
                 args.log = Some(PathBuf::from(other));
@@ -144,6 +165,10 @@ fn install_sinks(log: Option<&PathBuf>, deterministic: bool) -> Result<(), Strin
         "budget.",
         "retry.",
         "recovery.",
+        "guardrail.",
+        "canary.",
+        "watchdog.",
+        "safety.",
     ]);
     let sink: Arc<dyn Sink> = match log {
         Some(path) => {
@@ -229,6 +254,13 @@ fn report(path: &PathBuf, trace: Option<&PathBuf>) -> Result<(), String> {
     let mut latencies: Vec<f64> = Vec::new();
     let mut spent_s: f64 = 0.0;
     let mut sim_runs = 0usize;
+    let mut vetoed = 0usize;
+    let mut repaired = 0usize;
+    let mut canary_aborts = 0usize;
+    let mut rollbacks = 0usize;
+    let mut watchdog_trips = 0usize;
+    let mut infeasible_evals = 0usize;
+    let mut canary_saved_s = 0.0f64;
     for value in &values {
         let Some(event) = value.get("event").and_then(|v| v.as_str()) else {
             continue;
@@ -263,6 +295,17 @@ fn report(path: &PathBuf, trace: Option<&PathBuf>) -> Result<(), String> {
             "recovery.timeout" => timeouts += 1,
             "fault.injected" => injected += 1,
             "sim.run" => sim_runs += 1,
+            "guardrail.veto" => vetoed += 1,
+            "guardrail.repaired" => repaired += 1,
+            "guardrail.rollback" => rollbacks += 1,
+            "guardrail.infeasible_eval" => infeasible_evals += 1,
+            "watchdog.triggered" => watchdog_trips += 1,
+            "canary.abort" => {
+                canary_aborts += 1;
+                if let Some(s) = value.get("saved_s").and_then(|v| v.as_f64()) {
+                    canary_saved_s += s;
+                }
+            }
             _ => {}
         }
     }
@@ -276,6 +319,14 @@ fn report(path: &PathBuf, trace: Option<&PathBuf>) -> Result<(), String> {
         println!(
             "resilience: {injected} faults injected, {retries} retries, \
              {fallbacks} fallbacks, {timeouts} timeouts"
+        );
+    }
+    if vetoed + repaired + canary_aborts + rollbacks + watchdog_trips + infeasible_evals > 0 {
+        println!(
+            "guardrails: {vetoed} vetoed, {repaired} repaired, \
+             {canary_aborts} canary-aborted (saved {canary_saved_s:.1}s), \
+             {watchdog_trips} watchdog trips, {rollbacks} rollbacks; \
+             {infeasible_evals} infeasible configs reached the simulator"
         );
     }
     if !rewards.is_empty() {
@@ -335,6 +386,105 @@ fn emit_chaos_best(report: &TuningReport) {
     );
 }
 
+/// Load the offline-trained agent from `--model`, or train one in place.
+fn offline_agent(args: &Args, workload: Workload) -> Result<Td3Agent, String> {
+    match &args.model {
+        Some(path) => load_td3(path, args.seed).map_err(|e| format!("cannot load model: {e}")),
+        None => {
+            let mut env = TuningEnv::for_workload(Cluster::cluster_a(), workload, args.seed);
+            let cfg = AgentConfig::for_dims(env.state_dim(), env.action_dim());
+            let (agent, _, _) = train_td3(
+                &mut env,
+                cfg,
+                &OfflineConfig::deepcat(args.iters, args.seed),
+                &[],
+            );
+            Ok(agent)
+        }
+    }
+}
+
+/// `deepcat-tune safety`: with/without-guardrails ablation. Runs the
+/// online stage twice under the same fault plan — once unguarded, once
+/// with the full guardrail stack — and reports, per variant, how many
+/// infeasible configurations reached the simulator, the guardrail
+/// activity counts, and the tuning cost the canary aborts saved.
+fn safety(args: &Args, workload: Workload) -> Result<(), String> {
+    let plan = FaultPlan::named(&args.plan, args.seed).ok_or_else(|| {
+        format!(
+            "unknown fault plan '{}' (known: {})",
+            args.plan,
+            PLAN_NAMES.join(", ")
+        )
+    })?;
+    telemetry::event!(
+        "safety.start",
+        plan = args.plan.clone(),
+        steps = args.steps,
+        seed = args.seed,
+    );
+    let base_agent = offline_agent(args, workload)?;
+    let online_cfg = OnlineConfig {
+        steps: args.steps,
+        ..OnlineConfig::deepcat(args.seed)
+    };
+    let mut rows: Vec<(bool, f64, u64)> = Vec::new();
+    for (name, guarded) in [("unguarded", false), ("guarded", true)] {
+        let mut agent = base_agent.clone();
+        let live = Cluster::cluster_a().with_background_load(args.background_load);
+        let mut env = ResilientEnv::new(
+            TuningEnv::for_workload(live, workload, args.seed ^ 0xFACE),
+            ResiliencePolicy::default(),
+        );
+        env.install_plan(plan.clone());
+        let session = ChaosSessionConfig {
+            guardrails: if guarded {
+                GuardrailPolicy::on()
+            } else {
+                GuardrailPolicy::default()
+            },
+            ..ChaosSessionConfig::default()
+        };
+        let out = online_tune_resilient(&mut agent, &mut env, &online_cfg, &session, name)
+            .map_err(|e| format!("safety session: {e}"))?;
+        let report = match out {
+            SessionOutcome::Completed(r) => r,
+            SessionOutcome::Killed { .. } => {
+                return Err("safety session killed without kill-after".to_string())
+            }
+        };
+        let infeasible = env.inner().spark().infeasible_eval_count();
+        telemetry::event!(
+            "safety.row",
+            variant = name,
+            infeasible_evals = infeasible,
+            vetoed = report.total_vetoed(),
+            repaired = report.total_repaired(),
+            canary_aborts = report.total_canary_aborts(),
+            rollbacks = report.total_rollbacks(),
+            saved_s = report.guardrail_saved_s(),
+            failed_steps = report.failed_steps(),
+            best_s = report.best_exec_time_s,
+            cost_s = report.total_cost_s(),
+        );
+        rows.push((guarded, report.total_cost_s(), infeasible));
+    }
+    let unguarded = rows.iter().find(|(g, _, _)| !g);
+    let guarded = rows.iter().find(|(g, _, _)| *g);
+    if let (Some((_, cost_off, inf_off)), Some((_, cost_on, inf_on))) = (unguarded, guarded) {
+        telemetry::event!(
+            "safety.summary",
+            plan = args.plan.clone(),
+            infeasible_without = *inf_off,
+            infeasible_with = *inf_on,
+            cost_without_s = *cost_off,
+            cost_with_s = *cost_on,
+            cost_delta_s = cost_on - cost_off,
+        );
+    }
+    Ok(())
+}
+
 /// `deepcat-tune chaos`: run the online stage under a named deterministic
 /// fault plan and report survival metrics. Without `--checkpoint`, runs
 /// DeepCAT and the no-TwinQ ablation under the plan plus a fault-free
@@ -356,20 +506,7 @@ fn chaos(args: &Args, workload: Workload) -> Result<(), String> {
         seed = args.seed,
     );
 
-    let base_agent: Td3Agent = match &args.model {
-        Some(path) => load_td3(path, args.seed).map_err(|e| format!("cannot load model: {e}"))?,
-        None => {
-            let mut env = TuningEnv::for_workload(Cluster::cluster_a(), workload, args.seed);
-            let cfg = AgentConfig::for_dims(env.state_dim(), env.action_dim());
-            let (agent, _, _) = train_td3(
-                &mut env,
-                cfg,
-                &OfflineConfig::deepcat(args.iters, args.seed),
-                &[],
-            );
-            agent
-        }
-    };
+    let base_agent = offline_agent(args, workload)?;
     let live_env = || {
         let live = Cluster::cluster_a().with_background_load(args.background_load);
         TuningEnv::for_workload(live, workload, args.seed ^ 0xFACE)
@@ -392,6 +529,7 @@ fn chaos(args: &Args, workload: Workload) -> Result<(), String> {
             checkpoint: args.checkpoint.clone(),
             resume: args.resume,
             kill_after: args.kill_after,
+            guardrails: args.guardrail_policy(),
         };
         let out =
             online_tune_resilient(&mut agent, &mut env, &online_cfg(true), &session, "DeepCAT")
@@ -417,14 +555,13 @@ fn chaos(args: &Args, workload: Workload) -> Result<(), String> {
         if faulted {
             env.install_plan(plan.clone());
         }
-        let out = online_tune_resilient(
-            &mut agent,
-            &mut env,
-            &online_cfg(use_twinq),
-            &ChaosSessionConfig::default(),
-            name,
-        )
-        .map_err(|e| format!("chaos session: {e}"))?;
+        let session = ChaosSessionConfig {
+            guardrails: args.guardrail_policy(),
+            ..ChaosSessionConfig::default()
+        };
+        let out =
+            online_tune_resilient(&mut agent, &mut env, &online_cfg(use_twinq), &session, name)
+                .map_err(|e| format!("chaos session: {e}"))?;
         match out {
             SessionOutcome::Completed(report) => reports.push((faulted, report)),
             SessionOutcome::Killed { .. } => {
@@ -447,6 +584,11 @@ fn chaos(args: &Args, workload: Workload) -> Result<(), String> {
             fallbacks = report.total_fallbacks(),
             best_s = report.best_exec_time_s,
             cost_s = report.total_cost_s(),
+            vetoed = report.total_vetoed(),
+            repaired = report.total_repaired(),
+            canary_aborts = report.total_canary_aborts(),
+            rollbacks = report.total_rollbacks(),
+            guardrail_saved_s = report.guardrail_saved_s(),
         );
     }
     if let Some((_, primary)) = reports
@@ -462,6 +604,11 @@ fn chaos(args: &Args, workload: Workload) -> Result<(), String> {
             retries = primary.total_retries(),
             fallbacks = primary.total_fallbacks(),
             extra_cost_s = extra_cost_s,
+            vetoed = primary.total_vetoed(),
+            repaired = primary.total_repaired(),
+            canary_aborts = primary.total_canary_aborts(),
+            rollbacks = primary.total_rollbacks(),
+            guardrail_saved_s = primary.guardrail_saved_s(),
         );
         emit_chaos_best(primary);
     }
@@ -558,7 +705,25 @@ fn main() -> ExitCode {
                 ..OnlineConfig::deepcat(args.seed)
             };
             // Per-step progress comes from the `online.step` span events.
-            let report = online_tune_td3(&mut agent, &mut env, &oc, "DeepCAT");
+            // With guardrails the session runs through the resilient loop
+            // (fault-free) so the screen/canary/watchdog stack is active.
+            let report = if args.guardrails {
+                let mut renv = ResilientEnv::new(env, ResiliencePolicy::default());
+                let session = ChaosSessionConfig {
+                    guardrails: GuardrailPolicy::on(),
+                    ..ChaosSessionConfig::default()
+                };
+                match online_tune_resilient(&mut agent, &mut renv, &oc, &session, "DeepCAT") {
+                    Ok(SessionOutcome::Completed(r)) => r,
+                    Ok(SessionOutcome::Killed { .. }) | Err(_) => {
+                        eprintln!("error: guarded tune session did not complete");
+                        telemetry::shutdown();
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                online_tune_td3(&mut agent, &mut env, &oc, "DeepCAT")
+            };
             telemetry::event!(
                 "tune.summary",
                 best_s = report.best_exec_time_s,
@@ -566,6 +731,16 @@ fn main() -> ExitCode {
                 default_s = report.default_exec_time_s,
                 total_cost_s = report.total_cost_s(),
             );
+            if args.guardrails {
+                telemetry::event!(
+                    "tune.guardrails",
+                    vetoed = report.total_vetoed(),
+                    repaired = report.total_repaired(),
+                    canary_aborts = report.total_canary_aborts(),
+                    rollbacks = report.total_rollbacks(),
+                    saved_s = report.guardrail_saved_s(),
+                );
+            }
         }
         "run" => {
             let mut env = TuningEnv::for_workload(Cluster::cluster_a(), workload, args.seed);
@@ -583,6 +758,13 @@ fn main() -> ExitCode {
         }
         "chaos" => {
             if let Err(e) = chaos(&args, workload) {
+                eprintln!("error: {e}");
+                telemetry::shutdown();
+                return ExitCode::FAILURE;
+            }
+        }
+        "safety" => {
+            if let Err(e) = safety(&args, workload) {
                 eprintln!("error: {e}");
                 telemetry::shutdown();
                 return ExitCode::FAILURE;

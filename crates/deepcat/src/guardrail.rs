@@ -1,0 +1,512 @@
+//! Safe-exploration guardrails: the state machine between an agent's
+//! recommendation and the paid evaluation.
+//!
+//! PR 4's resilience layer protects the tuner from the environment
+//! (transient faults, stragglers, lost probes). This module is the
+//! mirror image — it protects the environment from the tuner, in three
+//! screens applied to every online step:
+//!
+//! 1. **Feasibility** — the recommended action is checked against the
+//!    declarative constraint model ([`spark_sim::constraints`]). A
+//!    violating recommendation is vetoed (`guardrail.veto`) and replaced
+//!    by its repair projection (`guardrail.repaired`), so no infeasible
+//!    configuration ever reaches [`spark_sim::SparkEnv::evaluate`].
+//! 2. **Canary** — the evaluation doubles as a canary: if the measured
+//!    time exceeds `canary_factor x` the last-known-good time, the full
+//!    run is aborted at the `canary_fraction` mark. Only the canary
+//!    slice is charged to the budget (`canary.abort`, mirroring the
+//!    Twin-Q cost-skip accounting) and the session keeps its
+//!    last-known-good configuration; otherwise the canary *is* the full
+//!    run (`canary.pass`) and its full time is charged.
+//! 3. **Watchdog** — a windowed reward trend across steps. Sustained
+//!    degradation (`watchdog.triggered`) snaps the next recommendation
+//!    back to the best-seen action and tightens the exploration
+//!    envelope — the permitted per-knob distance from the last-known-
+//!    good action — which relaxes again after clean steps
+//!    (`watchdog.recovered`).
+//!
+//! Everything is deterministic and virtual-clock driven; the whole
+//! mutable state serializes into [`GuardrailSnapshot`] next to PR 4's
+//! `OnlineCheckpoint`, so a killed guarded session resumes
+//! bit-identically. With [`GuardrailPolicy::enabled`] false every hook
+//! is an exact no-op and the unguarded arithmetic is unchanged.
+
+use crate::online::StepGuardrail;
+use serde::{Deserialize, Serialize};
+use spark_sim::constraints;
+use spark_sim::KnobSpace;
+
+/// Tunables of the guardrail layer. [`Default`] is **disabled** — the
+/// no-guardrail path must stay arithmetically identical to PR 4.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GuardrailPolicy {
+    /// Master switch; when false every guardrail hook is a no-op.
+    pub enabled: bool,
+    /// Fraction of a run treated as the canary slice: an aborted run is
+    /// charged `canary_fraction x` its projected full time.
+    pub canary_fraction: f64,
+    /// Abort the full run when the canary projects worse than
+    /// `canary_factor x` the last-known-good execution time.
+    pub canary_factor: f64,
+    /// Steps in the watchdog's reward window.
+    pub watchdog_window: usize,
+    /// Reward slack below the best windowed mean before the watchdog
+    /// calls the trend a regression.
+    pub watchdog_tolerance: f64,
+    /// Envelope multiplier applied on a watchdog trigger (tightening).
+    pub envelope_shrink: f64,
+    /// Envelope floor — exploration is never squeezed below this
+    /// per-knob distance from the anchor.
+    pub min_envelope: f64,
+    /// Clean steps required before the envelope relaxes one notch.
+    pub recovery_steps: u32,
+}
+
+impl Default for GuardrailPolicy {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            canary_fraction: 0.25,
+            canary_factor: 1.5,
+            watchdog_window: 3,
+            watchdog_tolerance: 0.5,
+            envelope_shrink: 0.5,
+            min_envelope: 0.05,
+            recovery_steps: 2,
+        }
+    }
+}
+
+impl GuardrailPolicy {
+    /// The default policy with guardrails switched on.
+    pub fn on() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// Session-level guardrail counters, for `chaos.row` / report surfaces.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct GuardrailTotals {
+    /// Recommendations rejected for feasibility violations.
+    pub vetoed: u64,
+    /// Recommendations replaced by their repair projection.
+    pub repaired: u64,
+    /// Full runs aborted at the canary mark.
+    pub canary_aborts: u64,
+    /// Steps snapped back to the best-seen action by the watchdog.
+    pub rollbacks: u64,
+    /// Evaluation seconds saved by canary aborts (uncharged remainders).
+    pub saved_s: f64,
+}
+
+/// The complete mutable state of a [`Guardrail`], checkpointed alongside
+/// the online session so kill/resume reproduces guardrail behaviour
+/// bit-identically.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GuardrailSnapshot {
+    pub baseline_exec_s: f64,
+    pub best_reward: f64,
+    pub best_action: Option<Vec<f64>>,
+    pub anchor_action: Option<Vec<f64>>,
+    pub reward_window: Vec<f64>,
+    pub best_window_mean: f64,
+    pub envelope: f64,
+    pub recovery_left: u32,
+    pub rollback_pending: bool,
+    pub totals: GuardrailTotals,
+}
+
+/// What [`Guardrail::screen`] decided about one recommendation.
+#[derive(Clone, Debug)]
+pub struct Screened {
+    /// The action to actually evaluate.
+    pub action: Vec<f64>,
+    /// Per-step accounting so far (veto/repair/rollback flags).
+    pub record: StepGuardrail,
+}
+
+/// Verdict on the canary slice of one evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CanaryVerdict {
+    /// The canary passed; the evaluation is the full run, fully charged.
+    Pass,
+    /// The canary failed; the run was aborted at the canary mark.
+    Abort {
+        /// Seconds actually charged (the canary slice).
+        charged_s: f64,
+        /// Seconds saved by not finishing the run.
+        saved_s: f64,
+    },
+}
+
+/// Runtime guardrail state for one online session.
+#[derive(Clone, Debug)]
+pub struct Guardrail {
+    policy: GuardrailPolicy,
+    baseline_exec_s: f64,
+    best_reward: f64,
+    best_action: Option<Vec<f64>>,
+    anchor_action: Option<Vec<f64>>,
+    reward_window: Vec<f64>,
+    best_window_mean: f64,
+    envelope: f64,
+    recovery_left: u32,
+    rollback_pending: bool,
+    totals: GuardrailTotals,
+}
+
+impl Guardrail {
+    /// A fresh guardrail. `default_exec_s` seeds the canary baseline —
+    /// until a recommendation succeeds, "last-known-good" is the
+    /// framework default configuration.
+    pub fn new(policy: GuardrailPolicy, default_exec_s: f64) -> Self {
+        Self {
+            policy,
+            baseline_exec_s: default_exec_s,
+            best_reward: f64::NEG_INFINITY,
+            best_action: None,
+            anchor_action: None,
+            reward_window: Vec::new(),
+            best_window_mean: f64::NEG_INFINITY,
+            envelope: 1.0,
+            recovery_left: 0,
+            rollback_pending: false,
+            totals: GuardrailTotals::default(),
+        }
+    }
+
+    pub fn policy(&self) -> &GuardrailPolicy {
+        &self.policy
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.policy.enabled
+    }
+
+    /// Session-level counters accumulated so far.
+    pub fn totals(&self) -> &GuardrailTotals {
+        &self.totals
+    }
+
+    /// Serialize the mutable state for a checkpoint.
+    pub fn snapshot(&self) -> GuardrailSnapshot {
+        GuardrailSnapshot {
+            baseline_exec_s: self.baseline_exec_s,
+            best_reward: self.best_reward,
+            best_action: self.best_action.clone(),
+            anchor_action: self.anchor_action.clone(),
+            reward_window: self.reward_window.clone(),
+            best_window_mean: self.best_window_mean,
+            envelope: self.envelope,
+            recovery_left: self.recovery_left,
+            rollback_pending: self.rollback_pending,
+            totals: self.totals.clone(),
+        }
+    }
+
+    /// Restore the mutable state from a checkpoint.
+    pub fn restore(&mut self, snap: GuardrailSnapshot) {
+        self.baseline_exec_s = snap.baseline_exec_s;
+        self.best_reward = snap.best_reward;
+        self.best_action = snap.best_action;
+        self.anchor_action = snap.anchor_action;
+        self.reward_window = snap.reward_window;
+        self.best_window_mean = snap.best_window_mean;
+        self.envelope = snap.envelope;
+        self.recovery_left = snap.recovery_left;
+        self.rollback_pending = snap.rollback_pending;
+        self.totals = snap.totals;
+    }
+
+    /// Screen one recommendation before evaluation: watchdog rollback
+    /// substitution, envelope clamp, feasibility veto, repair — in that
+    /// order (repair runs last so the envelope can never clamp an action
+    /// back into infeasibility; safety outranks the envelope).
+    pub fn screen(&mut self, space: &KnobSpace, action: &[f64]) -> Screened {
+        let mut record = StepGuardrail::default();
+        if !self.policy.enabled {
+            return Screened {
+                action: action.to_vec(),
+                record,
+            };
+        }
+        let mut action = action.to_vec();
+
+        if self.rollback_pending {
+            if let Some(best) = &self.best_action {
+                action = best.clone();
+                record.rolled_back = true;
+                self.totals.rollbacks += 1;
+                telemetry::event!("guardrail.rollback", best_reward = self.best_reward);
+            }
+            self.rollback_pending = false;
+        }
+
+        if self.envelope < 1.0 && !record.rolled_back {
+            if let Some(anchor) = &self.anchor_action {
+                for (a, c) in action.iter_mut().zip(anchor) {
+                    let v = if a.is_finite() { *a } else { *c };
+                    *a = v.clamp((c - self.envelope).max(0.0), (c + self.envelope).min(1.0));
+                }
+            }
+        }
+
+        let violations = constraints::validate_action(space, &action);
+        if !violations.is_empty() {
+            record.vetoed = true;
+            self.totals.vetoed += 1;
+            let rules: Vec<&str> = violations.iter().map(|v| v.rule).collect();
+            telemetry::event!("guardrail.veto", rules = rules.join(","));
+        }
+        let repaired = constraints::repair(space, &action);
+        if repaired.changed() {
+            record.repaired = true;
+            record.rules = repaired.applied.iter().map(|r| r.to_string()).collect();
+            self.totals.repaired += 1;
+            telemetry::event!(
+                "guardrail.repaired",
+                rules = repaired.applied.join(","),
+                count = repaired.applied.len() as u64,
+            );
+        }
+        Screened {
+            action: repaired.action,
+            record,
+        }
+    }
+
+    /// Judge the evaluation as a canary against the last-known-good
+    /// baseline. On [`CanaryVerdict::Abort`] the caller charges only
+    /// `charged_s` and keeps its session state on the last-known-good
+    /// configuration; on pass (and success) the evaluated action becomes
+    /// the new last-known-good anchor.
+    pub fn judge_canary(
+        &mut self,
+        exec_time_s: f64,
+        failed: bool,
+        evaluated_action: &[f64],
+    ) -> CanaryVerdict {
+        if !self.policy.enabled {
+            return CanaryVerdict::Pass;
+        }
+        let threshold = self.policy.canary_factor * self.baseline_exec_s;
+        if exec_time_s > threshold && self.baseline_exec_s.is_finite() {
+            let charged_s = self.policy.canary_fraction * exec_time_s;
+            let saved_s = exec_time_s - charged_s;
+            self.totals.canary_aborts += 1;
+            self.totals.saved_s += saved_s;
+            telemetry::event!(
+                "canary.abort",
+                projected_s = exec_time_s,
+                charged_s = charged_s,
+                saved_s = saved_s,
+                threshold_s = threshold,
+            );
+            return CanaryVerdict::Abort { charged_s, saved_s };
+        }
+        telemetry::event!(
+            "canary.pass",
+            exec_time_s = exec_time_s,
+            threshold_s = threshold
+        );
+        if !failed {
+            self.baseline_exec_s = exec_time_s;
+            self.anchor_action = Some(evaluated_action.to_vec());
+        }
+        CanaryVerdict::Pass
+    }
+
+    /// Feed one completed step into the regression watchdog. Call after
+    /// the canary verdict, with the reward that went into the replay
+    /// buffer and the step's final flags.
+    pub fn observe_step(
+        &mut self,
+        reward: f64,
+        failed: bool,
+        canary_aborted: bool,
+        evaluated_action: &[f64],
+    ) {
+        if !self.policy.enabled {
+            return;
+        }
+        let healthy = !failed && !canary_aborted;
+        if healthy && reward > self.best_reward {
+            self.best_reward = reward;
+            self.best_action = Some(evaluated_action.to_vec());
+        }
+
+        self.reward_window.push(reward);
+        let w = self.policy.watchdog_window.max(1);
+        if self.reward_window.len() > w {
+            self.reward_window.remove(0);
+        }
+        let mut triggered = false;
+        if self.reward_window.len() == w {
+            let mean: f64 = self.reward_window.iter().sum::<f64>() / w as f64;
+            if mean < self.best_window_mean - self.policy.watchdog_tolerance {
+                triggered = true;
+                self.envelope =
+                    (self.envelope * self.policy.envelope_shrink).max(self.policy.min_envelope);
+                self.recovery_left = self.policy.recovery_steps;
+                self.rollback_pending = self.best_action.is_some();
+                self.reward_window.clear();
+                telemetry::event!(
+                    "watchdog.triggered",
+                    window_mean = mean,
+                    best_mean = self.best_window_mean,
+                    envelope = self.envelope,
+                );
+            } else if mean > self.best_window_mean {
+                self.best_window_mean = mean;
+            }
+        }
+
+        // Envelope recovery: after enough clean steps whose reward is
+        // back within tolerance of the best trend, relax one notch.
+        let recovered_step =
+            healthy && reward + self.policy.watchdog_tolerance >= self.best_window_mean;
+        if !triggered && self.envelope < 1.0 && recovered_step {
+            self.recovery_left = self.recovery_left.saturating_sub(1);
+            if self.recovery_left == 0 {
+                self.envelope = (self.envelope / self.policy.envelope_shrink).min(1.0);
+                telemetry::event!("watchdog.recovered", envelope = self.envelope);
+                if self.envelope < 1.0 {
+                    self.recovery_left = self.policy.recovery_steps;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spark_sim::knobs::idx;
+
+    fn space() -> KnobSpace {
+        KnobSpace::pipeline()
+    }
+
+    fn bad_action() -> Vec<f64> {
+        let mut a = vec![0.5; 32];
+        a[idx::EXECUTOR_MEMORY_MB] = 1.0;
+        a[idx::NM_MEMORY_MB] = 0.0;
+        a[idx::SCHED_MAX_ALLOC_MB] = 1.0;
+        a
+    }
+
+    #[test]
+    fn disabled_guardrail_is_a_no_op() {
+        let mut g = Guardrail::new(GuardrailPolicy::default(), 100.0);
+        let a = bad_action();
+        let s = g.screen(&space(), &a);
+        assert_eq!(s.action, a, "disabled screen must not touch the action");
+        assert_eq!(s.record, StepGuardrail::default());
+        assert_eq!(g.judge_canary(1e9, false, &a), CanaryVerdict::Pass);
+        g.observe_step(-30.0, true, false, &a);
+        assert_eq!(*g.totals(), GuardrailTotals::default());
+    }
+
+    #[test]
+    fn infeasible_recommendation_is_vetoed_and_repaired() {
+        let mut g = Guardrail::new(GuardrailPolicy::on(), 100.0);
+        let s = g.screen(&space(), &bad_action());
+        assert!(s.record.vetoed);
+        assert!(s.record.repaired);
+        assert!(!s.record.rules.is_empty());
+        assert!(constraints::validate_action(&space(), &s.action).is_empty());
+        assert_eq!(g.totals().vetoed, 1);
+        assert_eq!(g.totals().repaired, 1);
+    }
+
+    #[test]
+    fn feasible_recommendation_passes_untouched() {
+        let mut g = Guardrail::new(GuardrailPolicy::on(), 100.0);
+        let sp = space();
+        let a = sp.normalize(&sp.default_config());
+        let s = g.screen(&sp, &a);
+        assert_eq!(s.action, a);
+        assert!(!s.record.vetoed && !s.record.repaired);
+    }
+
+    #[test]
+    fn canary_aborts_and_charges_the_slice_only() {
+        let mut g = Guardrail::new(GuardrailPolicy::on(), 100.0);
+        let a = vec![0.5; 32];
+        // 100 s baseline, 1.5 factor → 400 s projection aborts.
+        match g.judge_canary(400.0, false, &a) {
+            CanaryVerdict::Abort { charged_s, saved_s } => {
+                assert_eq!(charged_s, 100.0, "25% canary slice");
+                assert_eq!(saved_s, 300.0);
+            }
+            CanaryVerdict::Pass => panic!("4x regression must abort"),
+        }
+        assert_eq!(g.totals().canary_aborts, 1);
+        assert_eq!(g.totals().saved_s, 300.0);
+        // A good run passes and becomes the new baseline.
+        assert_eq!(g.judge_canary(80.0, false, &a), CanaryVerdict::Pass);
+        match g.judge_canary(130.0, false, &a) {
+            CanaryVerdict::Abort { .. } => {}
+            CanaryVerdict::Pass => panic!("baseline moved to 80 s; 130 s > 1.5x"),
+        }
+    }
+
+    #[test]
+    fn watchdog_triggers_rolls_back_and_recovers() {
+        let mut p = GuardrailPolicy::on();
+        p.watchdog_window = 2;
+        p.recovery_steps = 1;
+        let mut g = Guardrail::new(p, 100.0);
+        let sp = space();
+        let good = sp.normalize(&sp.default_config());
+        // Two good steps establish the best window and best action.
+        g.observe_step(2.0, false, false, &good);
+        g.observe_step(2.0, false, false, &good);
+        assert_eq!(g.envelope, 1.0);
+        // Degradation: the window mean collapses below the best trend.
+        g.observe_step(-10.0, false, false, &good);
+        assert!(g.envelope < 1.0, "watchdog must tighten the envelope");
+        assert!(g.rollback_pending);
+        // The next screen substitutes the best-seen action.
+        let s = g.screen(&sp, &vec![0.9; 32]);
+        assert!(s.record.rolled_back);
+        assert_eq!(s.action, good, "rollback evaluates the best action");
+        assert_eq!(g.totals().rollbacks, 1);
+        // A clean recovered step relaxes the envelope back toward 1.0.
+        let tightened = g.envelope;
+        g.observe_step(2.0, false, false, &good);
+        assert!(g.envelope > tightened);
+    }
+
+    #[test]
+    fn envelope_clamps_exploration_around_the_anchor() {
+        let mut g = Guardrail::new(GuardrailPolicy::on(), 100.0);
+        let sp = space();
+        let anchor = sp.normalize(&sp.default_config());
+        g.judge_canary(90.0, false, &anchor); // sets the anchor
+        g.envelope = 0.1;
+        let s = g.screen(&sp, &vec![1.0; 32]);
+        for (v, c) in s.action.iter().zip(&anchor) {
+            assert!(
+                *v <= (c + 0.1).min(1.0) + 1e-12,
+                "coordinate {v} escaped the envelope around {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_identically() {
+        let mut g = Guardrail::new(GuardrailPolicy::on(), 100.0);
+        let sp = space();
+        g.screen(&sp, &bad_action());
+        g.judge_canary(400.0, false, &vec![0.5; 32]);
+        g.observe_step(-3.0, false, true, &vec![0.5; 32]);
+        let snap = g.snapshot();
+        let mut h = Guardrail::new(GuardrailPolicy::on(), 777.0);
+        h.restore(snap.clone());
+        assert_eq!(h.snapshot(), snap);
+    }
+}

@@ -49,6 +49,7 @@ pub mod config;
 pub mod ddpg;
 pub mod envwrap;
 pub mod experiments;
+pub mod guardrail;
 pub mod offline;
 pub mod online;
 pub mod parallel;
@@ -65,9 +66,13 @@ pub use budget::{BudgetReport, BudgetedTuning};
 pub use config::AgentConfig;
 pub use ddpg::{DdpgAgent, DdpgStats};
 pub use envwrap::{StepOutcome, TuningEnv};
+pub use guardrail::{
+    CanaryVerdict, Guardrail, GuardrailPolicy, GuardrailSnapshot, GuardrailTotals, Screened,
+};
 pub use offline::{train_ddpg, train_td3, IterRecord, OfflineConfig, ReplayKind, TrainLog};
 pub use online::{
-    online_tune_ddpg, online_tune_td3, OnlineConfig, StepRecord, StepResilience, TuningReport,
+    online_tune_ddpg, online_tune_td3, OnlineConfig, StepGuardrail, StepRecord, StepResilience,
+    TuningReport,
 };
 pub use parallel::{train_td3_parallel, ParallelConfig, ParallelStats};
 pub use persist::{

@@ -70,6 +70,28 @@ pub struct StepResilience {
     pub imputed_probes: u32,
 }
 
+/// Guardrail accounting for one online step. All-default on sessions run
+/// without guardrails; populated by [`crate::guardrail::Guardrail`].
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct StepGuardrail {
+    /// The raw recommendation violated a feasibility rule and was
+    /// rejected before evaluation.
+    pub vetoed: bool,
+    /// The repair projection rewrote the action onto the feasible region.
+    pub repaired: bool,
+    /// Names of the constraint rules whose repair fired, in rule order.
+    pub rules: Vec<String>,
+    /// The canary evaluation came in worse than `canary_factor x`
+    /// last-known-good; the full run was aborted and the session rolled
+    /// back to the last-known-good configuration.
+    pub canary_aborted: bool,
+    /// Evaluation seconds *not* charged thanks to the canary abort (the
+    /// skipped remainder of the full run).
+    pub saved_s: f64,
+    /// The watchdog snapped this step back to the best-seen action.
+    pub rolled_back: bool,
+}
+
 /// One online tuning step's record.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct StepRecord {
@@ -92,6 +114,20 @@ pub struct StepRecord {
     /// Retry/timeout/fallback accounting (all-zero when the session ran
     /// without a resilience wrapper or nothing went wrong).
     pub resilience: StepResilience,
+    /// Guardrail accounting (all-default without guardrails).
+    pub guardrail: StepGuardrail,
+}
+
+impl StepRecord {
+    /// May this step's measurement become the session's best result?
+    /// Failed evaluations are paid for but never win, and a
+    /// canary-aborted step never ran to completion, so its (projected)
+    /// time is not a usable tuning result either. This is the single
+    /// source of truth for "best" eligibility across `finish_report`,
+    /// `best_so_far`, and the chaos/report surfaces.
+    pub fn is_eligible_best(&self) -> bool {
+        !self.failed && !self.guardrail.canary_aborted
+    }
 }
 
 /// Result of one online tuning session.
@@ -124,15 +160,16 @@ impl TuningReport {
         self.total_eval_s + self.total_rec_s
     }
 
-    /// Best-so-far execution time after each step. Failed evaluations are
-    /// paid for but never become the "best" configuration — a crashed run
-    /// is not a usable tuning result.
+    /// Best-so-far execution time after each step. Only
+    /// [`StepRecord::is_eligible_best`] steps can become the "best"
+    /// configuration — a crashed or canary-aborted run is not a usable
+    /// tuning result.
     pub fn best_so_far(&self) -> Vec<f64> {
         let mut best = f64::INFINITY;
         self.steps
             .iter()
             .map(|s| {
-                if !s.failed {
+                if s.is_eligible_best() {
                     best = best.min(s.exec_time_s);
                 }
                 best
@@ -167,6 +204,39 @@ impl TuningReport {
     /// Total fallbacks to the last-known-good configuration.
     pub fn total_fallbacks(&self) -> usize {
         self.steps.iter().filter(|s| s.resilience.fell_back).count()
+    }
+
+    /// Steps whose recommended action violated a hard constraint (the
+    /// guardrail vetoed it before evaluation).
+    pub fn total_vetoed(&self) -> usize {
+        self.steps.iter().filter(|s| s.guardrail.vetoed).count()
+    }
+
+    /// Steps whose action the guardrail projected back to feasibility.
+    pub fn total_repaired(&self) -> usize {
+        self.steps.iter().filter(|s| s.guardrail.repaired).count()
+    }
+
+    /// Steps aborted at the canary stage (charged only the canary cost).
+    pub fn total_canary_aborts(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| s.guardrail.canary_aborted)
+            .count()
+    }
+
+    /// Steps where the watchdog rolled the session back to the best-seen
+    /// configuration.
+    pub fn total_rollbacks(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| s.guardrail.rolled_back)
+            .count()
+    }
+
+    /// Σ evaluation seconds the canary aborts avoided paying.
+    pub fn guardrail_saved_s(&self) -> f64 {
+        self.steps.iter().map(|s| s.guardrail.saved_s).sum()
     }
 }
 
@@ -239,6 +309,7 @@ pub fn online_tune_td3(
             twinq_iterations,
             action,
             resilience: StepResilience::default(),
+            guardrail: StepGuardrail::default(),
         });
         state = out.next_state;
     }
@@ -305,6 +376,7 @@ pub fn online_tune_ddpg(
             twinq_iterations: 0,
             action,
             resilience: StepResilience::default(),
+            guardrail: StepGuardrail::default(),
         });
         state = out.next_state;
     }
@@ -314,11 +386,11 @@ pub fn online_tune_ddpg(
 
 /// Assemble a [`TuningReport`] from per-step records.
 ///
-/// Failed evaluations are *paid* (their time counts toward
-/// `total_eval_s`) but never *win*: the best configuration is chosen
-/// among successful steps, falling back to the full set only if every
-/// single evaluation failed (so the report stays well-formed under total
-/// chaos).
+/// Failed and canary-aborted evaluations are *paid* (their charged time
+/// counts toward `total_eval_s`) but never *win*: the best configuration
+/// is chosen among [`StepRecord::is_eligible_best`] steps, falling back
+/// to the full set only if every single evaluation was ineligible (so
+/// the report stays well-formed under total chaos).
 pub fn finish_report(tuner: &str, env: &TuningEnv, steps: Vec<StepRecord>) -> TuningReport {
     assert!(
         !steps.is_empty(),
@@ -326,7 +398,7 @@ pub fn finish_report(tuner: &str, env: &TuningEnv, steps: Vec<StepRecord>) -> Tu
     );
     let best = steps
         .iter()
-        .filter(|s| !s.failed)
+        .filter(|s| s.is_eligible_best())
         .min_by(|a, b| a.exec_time_s.total_cmp(&b.exec_time_s))
         .or_else(|| {
             steps

@@ -2,6 +2,7 @@
 //! a model trained offline once can serve many online tuning requests —
 //! the deployment split the paper's architecture (Fig. 1) assumes.
 
+use crate::guardrail::GuardrailSnapshot;
 use crate::online::StepRecord;
 use crate::resilience::ResilienceSnapshot;
 use crate::td3::{Td3Agent, Td3Checkpoint};
@@ -50,6 +51,9 @@ pub struct OnlineCheckpoint {
     pub env_state: Vec<f64>,
     pub step_in_episode: usize,
     pub resilience: ResilienceSnapshot,
+    /// Guardrail state (canary baseline, watchdog window, envelope);
+    /// `None` when the session runs without guardrails.
+    pub guardrail: Option<GuardrailSnapshot>,
 }
 
 /// Save an online-session checkpoint to `path` (JSON).

@@ -29,6 +29,7 @@
 //!   finite band, so no non-finite value can poison training.
 
 use crate::envwrap::{StepOutcome, TuningEnv};
+use crate::guardrail::{CanaryVerdict, Guardrail, GuardrailPolicy};
 use crate::online::{finish_report, OnlineConfig, StepRecord, StepResilience, TuningReport};
 use crate::persist::{load_online_checkpoint, save_online_checkpoint, OnlineCheckpoint};
 use crate::td3::Td3Agent;
@@ -317,6 +318,18 @@ pub struct ChaosSessionConfig {
     /// Simulate a crash: return [`SessionOutcome::Killed`] after this
     /// many completed steps (checkpoint already written).
     pub kill_after: Option<usize>,
+    /// Safe-exploration guardrails (feasibility screen, canary rollout,
+    /// regression watchdog). Disabled by default — the unguarded path is
+    /// arithmetically unchanged.
+    pub guardrails: GuardrailPolicy,
+}
+
+impl ChaosSessionConfig {
+    /// This session config with guardrails switched on (default policy).
+    pub fn with_guardrails(mut self) -> Self {
+        self.guardrails = GuardrailPolicy::on();
+        self
+    }
 }
 
 /// How a resilient session ended.
@@ -359,6 +372,8 @@ pub fn online_tune_resilient(
     let mut state = env.reset();
     let mut spent_s = 0.0;
     let mut start_step = 0;
+    let space = env.inner().spark().space().clone();
+    let mut guard = Guardrail::new(session.guardrails.clone(), env.default_exec_time());
 
     if session.resume {
         let path = session.checkpoint.as_ref().ok_or_else(|| {
@@ -384,6 +399,9 @@ pub fn online_tune_resilient(
             cp.eval_count,
             cp.resilience,
         );
+        if let Some(snap) = cp.guardrail {
+            guard.restore(snap);
+        }
         telemetry::event!("recovery.resume", step = start_step, tuner = tuner_name);
     }
 
@@ -402,10 +420,29 @@ pub fn online_tune_resilient(
             action = res.action;
         }
         let q_estimate = Some(agent.min_q(&state, &action));
+        let screened = guard.screen(&space, &action);
+        let action = screened.action;
+        let mut grecord = screened.record;
         let recommendation_s = t0.elapsed_s();
 
         let res = env.step(&action);
-        let out = res.outcome;
+        let mut out = res.outcome;
+        if guard.enabled() {
+            match guard.judge_canary(out.exec_time_s, out.failed, &res.evaluated_action) {
+                CanaryVerdict::Pass => {}
+                CanaryVerdict::Abort { charged_s, saved_s } => {
+                    out.exec_time_s = charged_s;
+                    grecord.canary_aborted = true;
+                    grecord.saved_s = saved_s;
+                }
+            }
+            guard.observe_step(
+                out.reward,
+                out.failed,
+                grecord.canary_aborted,
+                &res.evaluated_action,
+            );
+        }
         // Episode bookkeeping inside the env is perturbed by retries;
         // the session defines its own horizon.
         let done = step + 1 == cfg.steps;
@@ -446,6 +483,7 @@ pub fn online_tune_resilient(
             twinq_iterations,
             action: res.evaluated_action,
             resilience: res.accounting,
+            guardrail: grecord,
         });
         state = out.next_state;
 
@@ -464,6 +502,7 @@ pub fn online_tune_resilient(
                 env_state: state.clone(),
                 step_in_episode: env.inner().step_in_episode(),
                 resilience: env.snapshot(),
+                guardrail: guard.enabled().then(|| guard.snapshot()),
             };
             save_online_checkpoint(&cp, path)?;
             telemetry::event!("recovery.checkpoint", step = step);
@@ -552,6 +591,46 @@ mod tests {
                 "deterministic failures are terminal"
             );
         }
+    }
+
+    #[test]
+    fn config_caused_failures_count_toward_fallback() {
+        // Regression guard: *config-caused* failures (not just transient
+        // ones) must advance the consecutive-failure counter, so a tuner
+        // stuck recommending broken configurations eventually falls back
+        // to the last-known-good action.
+        let mut p = ResiliencePolicy::default();
+        p.fallback_after = 2;
+        let mut r = ResilientEnv::new(env(3), p);
+        let good = vec![0.5; r.action_dim()];
+        let first = r.step(&good);
+        assert!(!first.outcome.failed);
+        assert_eq!(r.snapshot().consecutive_failures, 0);
+
+        // Oversized executor heap on a minimal NodeManager: YARN
+        // negotiation fails deterministically, no fault plan involved.
+        let mut bad = vec![0.5; r.action_dim()];
+        bad[spark_sim::knobs::idx::EXECUTOR_MEMORY_MB] = 1.0;
+        bad[spark_sim::knobs::idx::NM_MEMORY_MB] = 0.0;
+        bad[spark_sim::knobs::idx::SCHED_MAX_ALLOC_MB] = 1.0;
+
+        let second = r.step(&bad);
+        assert!(second.outcome.failed, "negotiation failure expected");
+        assert_eq!(second.accounting.retries, 0, "config-caused: no retry");
+        assert_eq!(
+            r.snapshot().consecutive_failures,
+            1,
+            "config-caused failure must advance the counter"
+        );
+
+        let third = r.step(&bad);
+        assert!(
+            third.accounting.fell_back,
+            "second consecutive config-caused failure must trigger fallback"
+        );
+        assert_eq!(third.evaluated_action, good);
+        assert!(!third.outcome.failed, "fallback re-evaluates a good config");
+        assert_eq!(r.snapshot().consecutive_failures, 0, "fallback resets");
     }
 
     #[test]
@@ -671,6 +750,7 @@ mod tests {
                 checkpoint: Some(path.clone()),
                 resume: false,
                 kill_after: Some(2),
+                guardrails: GuardrailPolicy::default(),
             },
             "DeepCAT",
         )
@@ -693,6 +773,7 @@ mod tests {
                 checkpoint: Some(path.clone()),
                 resume: true,
                 kill_after: None,
+                guardrails: GuardrailPolicy::default(),
             },
             "DeepCAT",
         )

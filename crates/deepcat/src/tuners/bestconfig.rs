@@ -7,7 +7,7 @@
 
 use super::Tuner;
 use crate::envwrap::TuningEnv;
-use crate::online::{finish_report, StepRecord, StepResilience, TuningReport};
+use crate::online::{finish_report, StepGuardrail, StepRecord, StepResilience, TuningReport};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -103,6 +103,7 @@ impl Tuner for BestConfig {
                     twinq_iterations: 0,
                     action,
                     resilience: StepResilience::default(),
+                    guardrail: StepGuardrail::default(),
                 });
                 step += 1;
                 if step >= steps {

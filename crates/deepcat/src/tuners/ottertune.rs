@@ -6,7 +6,7 @@
 
 use super::Tuner;
 use crate::envwrap::TuningEnv;
-use crate::online::{finish_report, StepRecord, StepResilience, TuningReport};
+use crate::online::{finish_report, StepGuardrail, StepRecord, StepResilience, TuningReport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use spark_sim::{Cluster, SparkEnv, Workload};
@@ -163,6 +163,7 @@ impl Tuner for OtterTune {
                 twinq_iterations: 0,
                 action,
                 resilience: StepResilience::default(),
+                guardrail: StepGuardrail::default(),
             });
         }
         finish_report("OtterTune", env, records)

@@ -5,7 +5,7 @@
 
 use super::Tuner;
 use crate::envwrap::TuningEnv;
-use crate::online::{finish_report, StepRecord, StepResilience, TuningReport};
+use crate::online::{finish_report, StepGuardrail, StepRecord, StepResilience, TuningReport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -67,6 +67,7 @@ impl Tuner for RandomSearch {
                 twinq_iterations: 0,
                 action,
                 resilience: StepResilience::default(),
+                guardrail: StepGuardrail::default(),
             });
         }
         finish_report("Random", env, records)

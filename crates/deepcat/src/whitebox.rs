@@ -234,6 +234,7 @@ pub fn online_tune_whitebox(
             twinq_iterations,
             action,
             resilience: crate::online::StepResilience::default(),
+            guardrail: crate::online::StepGuardrail::default(),
         });
         state = out.next_state;
     }

@@ -37,7 +37,7 @@ proptest! {
 #[test]
 fn verdict_is_antisymmetric_for_separated_means() {
     use deepcat::{compare, summarize};
-    use deepcat::{StepRecord, StepResilience, TuningReport};
+    use deepcat::{StepGuardrail, StepRecord, StepResilience, TuningReport};
     let mk = |tuner: &str, base: f64| -> TuningReport {
         let step = StepRecord {
             step: 0,
@@ -49,6 +49,7 @@ fn verdict_is_antisymmetric_for_separated_means() {
             twinq_iterations: 0,
             action: vec![0.5],
             resilience: StepResilience::default(),
+            guardrail: StepGuardrail::default(),
         };
         TuningReport {
             tuner: tuner.into(),

@@ -1,0 +1,119 @@
+//! Property tests of the guardrail layer: no matter what fault schedule
+//! is active and no matter what the policy network recommends, an action
+//! that has passed `Guardrail::screen` never reaches the simulator as an
+//! infeasible configuration.
+
+use deepcat::{Guardrail, GuardrailPolicy, ResiliencePolicy, ResilientEnv, TuningEnv};
+use proptest::prelude::*;
+use spark_sim::{
+    validate_action, Cluster, Fault, FaultEvent, FaultPlan, InputSize, KnobSpace, Workload,
+    WorkloadKind,
+};
+
+fn tuning_env(seed: u64) -> TuningEnv {
+    TuningEnv::for_workload(
+        Cluster::cluster_a(),
+        Workload::new(WorkloadKind::TeraSort, InputSize::D1),
+        seed,
+    )
+}
+
+/// Decode one (kind, position, parameter) triple into a fault, same
+/// shape as the resilience proptests.
+fn fault_from(kind: usize, at: u64, p: f64) -> Fault {
+    match kind % 5 {
+        0 => Fault::Transient {
+            progress: 0.05 + 0.9 * p,
+        },
+        1 => Fault::Straggler {
+            node: (at as usize) % 3,
+            slowdown: 1.5 + 6.0 * p,
+        },
+        2 => Fault::ProbeLoss {
+            node: (at as usize) % 3,
+        },
+        3 => Fault::NoiseSpike {
+            magnitude: 10.0 * p,
+        },
+        _ => Fault::NodeCrash {
+            node: (at as usize) % 3,
+            evals: 1 + (p * 3.0) as u64,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever the guardrail's internal state (anchor, envelope,
+    /// pending rollback — all driven here by arbitrary observations),
+    /// `screen` only ever emits feasible actions.
+    #[test]
+    fn screened_actions_are_always_feasible(
+        actions in proptest::collection::vec(
+            proptest::collection::vec(-0.5f64..1.5, 32), 1..8),
+        rewards in proptest::collection::vec(-20.0f64..5.0, 8),
+        exec_times in proptest::collection::vec(1.0f64..2000.0, 8),
+    ) {
+        let space = KnobSpace::pipeline();
+        let mut guard = Guardrail::new(GuardrailPolicy::on(), 300.0);
+        for (i, action) in actions.iter().enumerate() {
+            let screened = guard.screen(&space, action);
+            prop_assert!(
+                validate_action(&space, &screened.action).is_empty(),
+                "step {i}: screened action is infeasible"
+            );
+            let exec = exec_times[i % exec_times.len()];
+            let reward = rewards[i % rewards.len()];
+            let verdict = guard.judge_canary(exec, false, &screened.action);
+            let aborted = matches!(verdict, deepcat::CanaryVerdict::Abort { .. });
+            guard.observe_step(reward, false, aborted, &screened.action);
+        }
+    }
+
+    /// End to end at the environment level: arbitrary fault schedule,
+    /// arbitrary (screened) recommendations — the simulator's infeasible
+    /// evaluation counter stays at zero. This includes the resilience
+    /// layer's own fallback re-evaluations.
+    #[test]
+    fn guarded_steps_never_evaluate_infeasible_configs(
+        schedule in proptest::collection::vec(
+            (1u64..10, 0usize..5, 0.0f64..1.0), 0..5),
+        actions in proptest::collection::vec(
+            proptest::collection::vec(-0.5f64..1.5, 32), 1..5),
+        seed in 1u64..500,
+    ) {
+        let mut env = ResilientEnv::new(tuning_env(seed), ResiliencePolicy::default());
+        let events: Vec<FaultEvent> = schedule
+            .iter()
+            .map(|&(at, kind, p)| FaultEvent {
+                at_eval: at,
+                fault: fault_from(kind, at, p),
+            })
+            .collect();
+        env.install_plan(FaultPlan::custom(seed, events));
+        let space = env.inner().spark().space().clone();
+        let mut guard = Guardrail::new(GuardrailPolicy::on(), env.default_exec_time());
+        for action in &actions {
+            let screened = guard.screen(&space, action);
+            let res = env.step(&screened.action);
+            let verdict = guard.judge_canary(
+                res.outcome.exec_time_s,
+                res.outcome.failed,
+                &res.evaluated_action,
+            );
+            let aborted = matches!(verdict, deepcat::CanaryVerdict::Abort { .. });
+            guard.observe_step(
+                res.outcome.reward,
+                res.outcome.failed,
+                aborted,
+                &res.evaluated_action,
+            );
+        }
+        prop_assert_eq!(
+            env.inner().spark().infeasible_eval_count(),
+            0,
+            "an infeasible configuration reached the simulator"
+        );
+    }
+}

@@ -1,0 +1,416 @@
+//! Declarative feasibility constraints over the 32-knob space.
+//!
+//! The knob ranges in [`crate::knobs`] are per-knob boxes; feasibility is
+//! *cross-knob*. An action with every coordinate in range can still encode
+//! a configuration YARN refuses outright (executor container larger than
+//! the NodeManager offer, `spark.task.cpus` above the executor cores) or
+//! one that starves a daemon (DataNode handler threads × IO buffer blowing
+//! the DataNode heap budget). The simulator prices such runs as expensive
+//! failures; a production cluster prices them as outages.
+//!
+//! This module is the *model* half of the PR-5 guardrail layer: a fixed
+//! list of named rules ([`RULES`]), a [`validate`] pass reporting every
+//! violated rule, and a [`repair`] projection mapping an arbitrary action
+//! to a nearby feasible point of `[0,1]^32`. Repair is **total** (every
+//! input, even non-finite, yields a feasible output) and **idempotent**
+//! (`repair(repair(a)) == repair(a)`); both properties are enforced by
+//! proptests. The rules only ever *shrink* resource requests, so a
+//! feasible action passes through bit-unchanged.
+//!
+//! The rules mirror [`crate::yarn::negotiate`] arithmetic exactly
+//! (overhead, rounding to the increment allocation, minimum allocation),
+//! so "feasible" here means "the simulated resource managers will not
+//! reject or silently clip this configuration".
+
+use crate::knobs::{idx, Configuration, KnobKind, KnobSpace, KnobValue};
+use crate::yarn::{MIN_OVERHEAD_MB, OVERHEAD_FRACTION};
+use serde::{Deserialize, Serialize};
+
+/// DataNode heap budget shared by RPC handler IO buffers (KB). With
+/// `dfs.datanode.handler.count` handlers each holding an
+/// `io.file.buffer.size` buffer, the product must stay within a 64 MB
+/// slice of the DataNode daemon heap or the DataNode starts promoting
+/// full GCs under load.
+pub const DN_BUFFER_BUDGET_KB: u64 = 64 * 1024;
+
+/// Every rule name, in the order [`validate`] reports and [`repair`]
+/// applies them. The order matters for repair: executor cores are clamped
+/// before `task.cpus` is checked against them, and the NodeManager memory
+/// bound is restored before the scheduler max-allocation bound.
+pub const RULES: [&str; 6] = [
+    "cpu.cores_within_nm_vcores",
+    "cpu.task_cpus_within_cores",
+    "mem.executor_fits_nm",
+    "mem.executor_within_max_alloc",
+    "mem.driver_fits_nm",
+    "hdfs.datanode_buffer_budget",
+];
+
+/// One violated feasibility rule.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Name from [`RULES`].
+    pub rule: &'static str,
+    /// Deterministic human-readable detail (integer quantities only).
+    pub detail: String,
+}
+
+/// Result of projecting an action onto the feasible region.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Repair {
+    /// The feasible action: identical to the (clamped, sanitized) input
+    /// when no rule fired.
+    pub action: Vec<f64>,
+    /// Rules whose repair was applied, in [`RULES`] order.
+    pub applied: Vec<&'static str>,
+}
+
+impl Repair {
+    /// Did any feasibility rule rewrite the action?
+    pub fn changed(&self) -> bool {
+        !self.applied.is_empty()
+    }
+}
+
+/// YARN's overhead on top of a container heap — same arithmetic as
+/// [`crate::yarn::negotiate`].
+fn overhead(heap_mb: u64) -> u64 {
+    MIN_OVERHEAD_MB.max((heap_mb as f64 * OVERHEAD_FRACTION) as u64)
+}
+
+/// Container granted for a heap request: heap + overhead, rounded up to
+/// the increment allocation, at least the minimum allocation.
+fn container(heap_mb: u64, min_alloc: u64, inc_alloc: u64) -> u64 {
+    let inc = inc_alloc.max(1);
+    ((heap_mb + overhead(heap_mb)).div_ceil(inc) * inc).max(min_alloc)
+}
+
+fn as_u64(cfg: &Configuration, i: usize) -> u64 {
+    cfg.get(i).as_i64().max(0) as u64
+}
+
+/// Largest heap in `[lo, hi]` whose container fits within `target_mb`,
+/// found by binary search on the exact (monotone) container function.
+/// Returns `None` only when even `lo` does not fit — impossible for the
+/// pipeline knob ranges (see the `repair_is_total` proptest).
+fn max_heap_fitting(
+    target_mb: u64,
+    min_alloc: u64,
+    inc_alloc: u64,
+    lo: i64,
+    hi: i64,
+) -> Option<i64> {
+    if container(lo.max(0) as u64, min_alloc, inc_alloc) > target_mb {
+        return None;
+    }
+    let (mut lo, mut hi) = (lo, hi);
+    while lo < hi {
+        let mid = lo + (hi - lo + 1) / 2;
+        if container(mid.max(0) as u64, min_alloc, inc_alloc) <= target_mb {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    Some(lo)
+}
+
+/// The `[lo, hi]` range of an integer knob.
+fn int_range(space: &KnobSpace, i: usize) -> (i64, i64) {
+    match space.defs()[i].kind {
+        KnobKind::Int { lo, hi, .. } => (lo, hi),
+        // Every knob this module touches is Int by construction of
+        // `KnobSpace::pipeline`; a mismatch is a programming error.
+        // PANIC-SAFETY: failing loudly beats silently mis-repairing.
+        _ => panic!("constraint rule addresses non-integer knob {i}"),
+    }
+}
+
+/// Check every feasibility rule against a concrete configuration.
+/// Returns the violated rules in [`RULES`] order; an empty vector means
+/// the configuration is feasible.
+pub fn validate(config: &Configuration) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let cores = as_u64(config, idx::EXECUTOR_CORES);
+    let task_cpus = as_u64(config, idx::TASK_CPUS);
+    let heap = as_u64(config, idx::EXECUTOR_MEMORY_MB);
+    let driver = as_u64(config, idx::DRIVER_MEMORY_MB);
+    let nm_mem = as_u64(config, idx::NM_MEMORY_MB);
+    let nm_vcores = as_u64(config, idx::NM_VCORES);
+    let min_alloc = as_u64(config, idx::SCHED_MIN_ALLOC_MB);
+    let max_alloc = as_u64(config, idx::SCHED_MAX_ALLOC_MB);
+    let inc_alloc = as_u64(config, idx::SCHED_INC_ALLOC_MB);
+    let dn_handlers = as_u64(config, idx::DN_HANDLER_COUNT);
+    let io_buffer = as_u64(config, idx::IO_FILE_BUFFER_KB);
+
+    if cores > nm_vcores {
+        out.push(Violation {
+            rule: RULES[0],
+            detail: format!("executor cores {cores} > NodeManager vcores {nm_vcores}"),
+        });
+    }
+    // Task slots are checked against the cores YARN would actually grant
+    // (clipped to the NodeManager vcores), matching the negotiation.
+    let eff_cores = cores.min(nm_vcores).max(1);
+    if task_cpus > eff_cores {
+        out.push(Violation {
+            rule: RULES[1],
+            detail: format!("task cpus {task_cpus} > granted executor cores {eff_cores}"),
+        });
+    }
+    let exec_container = container(heap, min_alloc, inc_alloc);
+    if exec_container > nm_mem {
+        out.push(Violation {
+            rule: RULES[2],
+            detail: format!(
+                "executor container {exec_container} MB (heap {heap} + overhead, rounded) \
+                 > NodeManager memory {nm_mem} MB"
+            ),
+        });
+    }
+    if exec_container > max_alloc {
+        out.push(Violation {
+            rule: RULES[3],
+            detail: format!(
+                "executor container {exec_container} MB > scheduler max allocation {max_alloc} MB"
+            ),
+        });
+    }
+    let driver_container = container(driver, min_alloc, inc_alloc);
+    if driver_container > nm_mem {
+        out.push(Violation {
+            rule: RULES[4],
+            detail: format!(
+                "driver container {driver_container} MB > NodeManager memory {nm_mem} MB"
+            ),
+        });
+    }
+    if dn_handlers * io_buffer > DN_BUFFER_BUDGET_KB {
+        out.push(Violation {
+            rule: RULES[5],
+            detail: format!(
+                "DataNode handlers {dn_handlers} x {io_buffer} KB buffers = {} KB \
+                 > {DN_BUFFER_BUDGET_KB} KB heap budget",
+                dn_handlers * io_buffer
+            ),
+        });
+    }
+    out
+}
+
+/// [`validate`] for a normalized action (non-finite coordinates are
+/// treated as the range midpoint, as [`repair`] does).
+pub fn validate_action(space: &KnobSpace, action: &[f64]) -> Vec<Violation> {
+    validate(&space.denormalize(&sanitize(action)))
+}
+
+/// Is this configuration free of every feasibility violation?
+pub fn is_feasible(config: &Configuration) -> bool {
+    validate(config).is_empty()
+}
+
+fn sanitize(action: &[f64]) -> Vec<f64> {
+    action
+        .iter()
+        .map(|v| {
+            if v.is_finite() {
+                v.clamp(0.0, 1.0)
+            } else {
+                0.5
+            }
+        })
+        .collect()
+}
+
+/// Project an action onto the feasible region of `[0,1]^32`.
+///
+/// Coordinates untouched by any rule pass through (after clamping to
+/// `[0,1]` and replacing non-finite entries with `0.5`); repaired knobs
+/// move the minimal distance the violated rule allows — resource
+/// requests only ever shrink toward feasibility, never grow.
+pub fn repair(space: &KnobSpace, action: &[f64]) -> Repair {
+    let sanitized = sanitize(action);
+    let mut cfg = space.denormalize(&sanitized);
+    let mut applied: Vec<&'static str> = Vec::new();
+    let mut touched: Vec<usize> = Vec::new();
+    let mut fix = |cfg: &mut Configuration, i: usize, v: i64, rule: &'static str| {
+        cfg.values[i] = KnobValue::Int(v);
+        applied.push(rule);
+        touched.push(i);
+    };
+
+    let nm_mem = as_u64(&cfg, idx::NM_MEMORY_MB);
+    let nm_vcores = as_u64(&cfg, idx::NM_VCORES);
+    let min_alloc = as_u64(&cfg, idx::SCHED_MIN_ALLOC_MB);
+    let max_alloc = as_u64(&cfg, idx::SCHED_MAX_ALLOC_MB);
+    let inc_alloc = as_u64(&cfg, idx::SCHED_INC_ALLOC_MB);
+
+    // cpu.cores_within_nm_vcores — clamp cores to the NodeManager offer.
+    if as_u64(&cfg, idx::EXECUTOR_CORES) > nm_vcores {
+        fix(&mut cfg, idx::EXECUTOR_CORES, nm_vcores as i64, RULES[0]);
+    }
+    // cpu.task_cpus_within_cores — against the (possibly clamped) cores.
+    let cores = as_u64(&cfg, idx::EXECUTOR_CORES).min(nm_vcores).max(1);
+    if as_u64(&cfg, idx::TASK_CPUS) > cores {
+        fix(&mut cfg, idx::TASK_CPUS, cores as i64, RULES[1]);
+    }
+    // mem.executor_fits_nm, then mem.executor_within_max_alloc — shrink
+    // the heap until the rounded container fits each bound in turn.
+    let (heap_lo, heap_hi) = int_range(space, idx::EXECUTOR_MEMORY_MB);
+    for (bound, rule) in [(nm_mem, RULES[2]), (max_alloc, RULES[3])] {
+        let heap = as_u64(&cfg, idx::EXECUTOR_MEMORY_MB);
+        if container(heap, min_alloc, inc_alloc) > bound {
+            if let Some(h) = max_heap_fitting(bound, min_alloc, inc_alloc, heap_lo, heap_hi) {
+                fix(&mut cfg, idx::EXECUTOR_MEMORY_MB, h, rule);
+            }
+        }
+    }
+    // mem.driver_fits_nm — same projection for the driver AM container.
+    let driver = as_u64(&cfg, idx::DRIVER_MEMORY_MB);
+    if container(driver, min_alloc, inc_alloc) > nm_mem {
+        let (lo, hi) = int_range(space, idx::DRIVER_MEMORY_MB);
+        if let Some(h) = max_heap_fitting(nm_mem, min_alloc, inc_alloc, lo, hi) {
+            fix(&mut cfg, idx::DRIVER_MEMORY_MB, h, RULES[4]);
+        }
+    }
+    // hdfs.datanode_buffer_budget — shed handler threads, keep the
+    // buffer size (block-transfer throughput outranks RPC parallelism).
+    let io_buffer = as_u64(&cfg, idx::IO_FILE_BUFFER_KB).max(1);
+    if as_u64(&cfg, idx::DN_HANDLER_COUNT) * io_buffer > DN_BUFFER_BUDGET_KB {
+        let (lo, hi) = int_range(space, idx::DN_HANDLER_COUNT);
+        let dn = ((DN_BUFFER_BUDGET_KB / io_buffer) as i64).clamp(lo, hi);
+        fix(&mut cfg, idx::DN_HANDLER_COUNT, dn, RULES[5]);
+    }
+
+    if applied.is_empty() {
+        return Repair {
+            action: sanitized,
+            applied,
+        };
+    }
+    // Re-normalize only the repaired coordinates; integer knobs round-trip
+    // exactly through normalize → denormalize, which makes the projection
+    // idempotent.
+    let full = space.normalize(&cfg);
+    let mut action = sanitized;
+    for i in touched {
+        action[i] = full[i];
+    }
+    Repair { action, applied }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> KnobSpace {
+        KnobSpace::pipeline()
+    }
+
+    #[test]
+    fn default_config_is_feasible() {
+        assert_eq!(validate(&space().default_config()), Vec::new());
+    }
+
+    #[test]
+    fn feasible_action_passes_through_unchanged() {
+        let s = space();
+        let a = s.normalize(&s.default_config());
+        let r = repair(&s, &a);
+        assert!(!r.changed());
+        assert_eq!(r.action, a);
+    }
+
+    #[test]
+    fn oversized_executor_violates_and_repairs() {
+        let s = space();
+        // The known deterministic failing action: giant executors, tiny
+        // NodeManager memory.
+        let mut a = vec![0.5; 32];
+        a[idx::EXECUTOR_MEMORY_MB] = 1.0;
+        a[idx::NM_MEMORY_MB] = 0.0;
+        a[idx::SCHED_MAX_ALLOC_MB] = 1.0;
+        let violations = validate_action(&s, &a);
+        assert!(violations.iter().any(|v| v.rule == "mem.executor_fits_nm"));
+        let r = repair(&s, &a);
+        assert!(r.applied.contains(&"mem.executor_fits_nm"));
+        assert!(validate_action(&s, &r.action).is_empty());
+        // The repaired config negotiates successfully.
+        let cfg = s.denormalize(&r.action);
+        assert!(crate::yarn::negotiate(&cfg, &crate::Cluster::cluster_a()).is_ok());
+    }
+
+    #[test]
+    fn task_cpus_above_cores_is_repaired_after_core_clamp() {
+        let s = space();
+        let mut a = s.normalize(&s.default_config());
+        a[idx::EXECUTOR_CORES] = 1.0; // 8 cores
+        a[idx::NM_VCORES] = 0.0; // 4 vcores
+        a[idx::TASK_CPUS] = 1.0; // 4 task cpus → fits clamped cores exactly
+        let r = repair(&s, &a);
+        assert_eq!(r.applied, vec!["cpu.cores_within_nm_vcores"]);
+        let cfg = s.denormalize(&r.action);
+        assert_eq!(cfg.get(idx::EXECUTOR_CORES).as_i64(), 4);
+        assert!(validate(&cfg).is_empty());
+    }
+
+    #[test]
+    fn datanode_buffer_budget_sheds_handlers() {
+        let s = space();
+        let mut a = s.normalize(&s.default_config());
+        a[idx::DN_HANDLER_COUNT] = 1.0; // 128 handlers
+        a[idx::IO_FILE_BUFFER_KB] = 1.0; // 1024 KB buffers → 128 MB
+        let violations = validate_action(&s, &a);
+        assert!(violations
+            .iter()
+            .any(|v| v.rule == "hdfs.datanode_buffer_budget"));
+        let r = repair(&s, &a);
+        let cfg = s.denormalize(&r.action);
+        let dn = cfg.get(idx::DN_HANDLER_COUNT).as_i64() as u64;
+        let io = cfg.get(idx::IO_FILE_BUFFER_KB).as_i64() as u64;
+        assert!(dn * io <= DN_BUFFER_BUDGET_KB);
+        assert_eq!(io, 1024, "repair keeps the buffer size");
+    }
+
+    #[test]
+    fn repair_handles_non_finite_input() {
+        let s = space();
+        let mut a = vec![f64::NAN; 32];
+        a[3] = f64::INFINITY;
+        a[4] = -7.0;
+        let r = repair(&s, &a);
+        assert!(r.action.iter().all(|v| (0.0..=1.0).contains(v)));
+        assert!(validate_action(&s, &r.action).is_empty());
+    }
+
+    #[test]
+    fn repair_is_idempotent_on_known_bad_actions() {
+        let s = space();
+        for bad in [vec![0.0; 32], vec![1.0; 32], {
+            let mut a = vec![0.5; 32];
+            a[idx::EXECUTOR_MEMORY_MB] = 1.0;
+            a[idx::NM_MEMORY_MB] = 0.0;
+            a
+        }] {
+            let once = repair(&s, &bad);
+            let twice = repair(&s, &once.action);
+            assert_eq!(once.action, twice.action);
+            assert!(!twice.changed());
+        }
+    }
+
+    #[test]
+    fn violation_details_name_integers_only() {
+        let s = space();
+        let violations = validate_action(&s, &vec![1.0; 32]);
+        assert!(!violations.is_empty());
+        for v in violations {
+            assert!(RULES.contains(&v.rule));
+            assert!(
+                !v.detail.contains('.'),
+                "deterministic detail: {}",
+                v.detail
+            );
+        }
+    }
+}

@@ -59,6 +59,7 @@ pub struct SparkEnv {
     /// fresh run-to-run noise while the whole experiment stays reproducible.
     seed: u64,
     evals: u64,
+    infeasible_evals: u64,
     default_time: f64,
     /// Optional deterministic fault schedule applied to evaluations.
     faults: Option<FaultPlan>,
@@ -95,6 +96,7 @@ impl SparkEnv {
             source,
             seed,
             evals: 0,
+            infeasible_evals: 0,
             default_time: 0.0,
             faults: None,
         };
@@ -153,6 +155,13 @@ impl SparkEnv {
         self.evals = evals;
     }
 
+    /// How many evaluations violated the [`crate::constraints`] model —
+    /// the quantity the guardrail layer drives to zero. Guarded sessions
+    /// assert on this; unguarded ones use it to measure exposure.
+    pub fn infeasible_eval_count(&self) -> u64 {
+        self.infeasible_evals
+    }
+
     /// Install a deterministic fault schedule (replacing any previous
     /// one). Faults key off the evaluation counter, so install the plan
     /// before the first [`evaluate`](Self::evaluate) call.
@@ -201,6 +210,17 @@ impl SparkEnv {
     /// actions.
     pub fn evaluate(&mut self, config: &Configuration) -> EvalResult {
         self.evals += 1;
+        let violations = crate::constraints::validate(config);
+        if !violations.is_empty() {
+            self.infeasible_evals += 1;
+            let rules: Vec<&str> = violations.iter().map(|v| v.rule).collect();
+            telemetry::event!(
+                "guardrail.infeasible_eval",
+                eval = self.evals,
+                rules = rules.join(","),
+                count = violations.len() as u64,
+            );
+        }
         let mut out = self.raw_run(config, self.evals);
         let mut failed = out.failed.is_some();
         let mut injected = crate::faults::InjectionSummary::default();
@@ -328,6 +348,16 @@ mod tests {
         action[crate::knobs::idx::NM_MEMORY_MB] = 0.0;
         action[crate::knobs::idx::SCHED_MAX_ALLOC_MB] = 1.0;
         action
+    }
+
+    #[test]
+    fn infeasible_evaluations_are_counted() {
+        let mut e = env();
+        e.evaluate(&e.space().default_config().clone());
+        assert_eq!(e.infeasible_eval_count(), 0, "default config is feasible");
+        e.evaluate_action(&failing_action());
+        assert_eq!(e.infeasible_eval_count(), 1);
+        assert_eq!(e.eval_count(), 2);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! ```
 
 pub mod cluster;
+pub mod constraints;
 pub mod effective;
 pub mod engine;
 pub mod env;
@@ -38,6 +39,9 @@ pub mod workloads;
 pub mod yarn;
 
 pub use cluster::{Cluster, Node};
+pub use constraints::{
+    is_feasible, repair, validate, validate_action, Repair, Violation, DN_BUFFER_BUDGET_KB, RULES,
+};
 pub use effective::{Codec, Effective, Serializer};
 pub use engine::{simulate, simulate_traced, FailureKind, SimOutcome, TaskTrace};
 pub use env::{EvalResult, SparkEnv, FAILURE_PENALTY_FACTOR};

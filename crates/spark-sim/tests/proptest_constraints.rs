@@ -1,0 +1,79 @@
+//! Property tests of the constraint model (`spark_sim::constraints`):
+//! the repair projection must be *total* (defined for every input,
+//! including non-finite garbage), land in the feasible region, and be
+//! idempotent — `repair(repair(a)) == repair(a)`. These are the
+//! guarantees the guardrail layer's safety argument rests on.
+
+use proptest::prelude::*;
+use spark_sim::{repair, validate, KnobSpace};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// For arbitrary action vectors — in range, out of range, it does
+    /// not matter — `repair` returns a vector in `[0,1]^32` whose
+    /// denormalized configuration satisfies every constraint rule.
+    #[test]
+    fn repair_is_total_and_lands_feasible(
+        action in proptest::collection::vec(-0.5f64..1.5, 32)
+    ) {
+        let space = KnobSpace::pipeline();
+        let r = repair(&space, &action);
+        prop_assert_eq!(r.action.len(), 32);
+        prop_assert!(r.action.iter().all(|v| (0.0..=1.0).contains(v)));
+        let cfg = space.denormalize(&r.action);
+        let violations = validate(&cfg);
+        prop_assert!(violations.is_empty(), "still infeasible: {violations:?}");
+    }
+
+    /// `validate(repair(a))` holds and the projection is a fixed point:
+    /// repairing an already-repaired action changes nothing and applies
+    /// no rules.
+    #[test]
+    fn repair_is_idempotent(
+        action in proptest::collection::vec(0.0f64..1.0, 32)
+    ) {
+        let space = KnobSpace::pipeline();
+        let once = repair(&space, &action);
+        let twice = repair(&space, &once.action);
+        prop_assert!(twice.applied.is_empty(),
+            "second repair applied {:?}", twice.applied);
+        prop_assert_eq!(&twice.action, &once.action);
+    }
+
+    /// Non-finite coordinates (NaN, ±inf — e.g. from a diverged policy
+    /// network) are sanitized rather than propagated: the repaired
+    /// vector is still finite, in range, and feasible.
+    #[test]
+    fn repair_absorbs_non_finite_coordinates(
+        action in proptest::collection::vec(0.0f64..1.0, 32),
+        poison_at in 0usize..32,
+        poison_kind in 0usize..3,
+    ) {
+        let mut action = action;
+        action[poison_at] = match poison_kind {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            _ => f64::NEG_INFINITY,
+        };
+        let space = KnobSpace::pipeline();
+        let r = repair(&space, &action);
+        prop_assert!(r.action.iter().all(|v| v.is_finite()));
+        prop_assert!(r.action.iter().all(|v| (0.0..=1.0).contains(v)));
+        prop_assert!(validate(&space.denormalize(&r.action)).is_empty());
+    }
+
+    /// A feasible action passes through `repair` untouched (the guardrail
+    /// must not perturb recommendations that were already safe).
+    #[test]
+    fn feasible_actions_pass_through_unchanged(
+        action in proptest::collection::vec(0.0f64..1.0, 32)
+    ) {
+        let space = KnobSpace::pipeline();
+        if validate(&space.denormalize(&action)).is_empty() {
+            let r = repair(&space, &action);
+            prop_assert!(!r.changed());
+            prop_assert_eq!(&r.action, &action);
+        }
+    }
+}

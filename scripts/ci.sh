@@ -73,6 +73,26 @@ cmp "$smoke_dir/chaos-best-full.txt" "$smoke_dir/chaos-best-resumed.txt" || {
 }
 echo "chaos recovery: OK (kill@2 + resume reproduces the best configuration)"
 
+# Guardrail smoke: a guarded chaos run under the blackout plan must let
+# zero infeasible configurations reach the simulator (no
+# `guardrail.infeasible_eval` event in the log) and stay byte-for-byte
+# reproducible across two same-seed runs.
+./target/release/deepcat-tune chaos --plan blackout --deterministic \
+    --guardrails on --model "$smoke_dir/chaos-model.json" \
+    --log "$smoke_dir/guard-a.jsonl" >/dev/null
+./target/release/deepcat-tune chaos --plan blackout --deterministic \
+    --guardrails on --model "$smoke_dir/chaos-model.json" \
+    --log "$smoke_dir/guard-b.jsonl" >/dev/null
+cmp "$smoke_dir/guard-a.jsonl" "$smoke_dir/guard-b.jsonl" || {
+    echo "guardrail determinism failed: same-seed guarded runs diverged" >&2
+    exit 1
+}
+if grep -q '"guardrail.infeasible_eval"' "$smoke_dir/guard-a.jsonl"; then
+    echo "guardrail smoke failed: an infeasible config reached the simulator" >&2
+    exit 1
+fi
+echo "guardrail smoke: OK (zero infeasible evals, byte-identical)"
+
 # Perf-regression gate: run the pinned quick-profile baseline suite and
 # compare hot-path throughput against the committed BENCH_3.json. Fails
 # loudly naming the regressed metric; tolerance absorbs machine noise.

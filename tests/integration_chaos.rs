@@ -115,6 +115,7 @@ fn killed_session_resumes_to_the_same_result() {
             checkpoint: Some(path.clone()),
             resume: false,
             kill_after: Some(3),
+            ..ChaosSessionConfig::default()
         },
     );
     assert!(matches!(
@@ -127,6 +128,7 @@ fn killed_session_resumes_to_the_same_result() {
             checkpoint: Some(path),
             resume: true,
             kill_after: None,
+            ..ChaosSessionConfig::default()
         },
     ));
     assert_eq!(resumed.best_action, full.best_action);

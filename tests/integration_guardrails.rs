@@ -1,0 +1,164 @@
+//! End-to-end guardrails: with `--guardrails on` semantics (the
+//! [`deepcat::GuardrailPolicy::on`] policy), no infeasible configuration
+//! ever reaches the simulator under *any* named fault plan, guarded
+//! sessions stay deterministic and checkpoint/resume-safe, and the
+//! fault-free unguarded path is arithmetically unchanged by the
+//! guardrail layer being compiled in.
+
+use deepcat::{
+    online_tune_resilient, train_td3, AgentConfig, ChaosSessionConfig, GuardrailPolicy,
+    OfflineConfig, OnlineConfig, ResiliencePolicy, ResilientEnv, SessionOutcome, Td3Agent,
+    TuningEnv, TuningReport,
+};
+use spark_sim::{Cluster, FaultPlan, InputSize, Workload, WorkloadKind, PLAN_NAMES};
+
+fn live_env(seed: u64) -> TuningEnv {
+    TuningEnv::for_workload(
+        Cluster::cluster_a().with_background_load(0.15),
+        Workload::new(WorkloadKind::TeraSort, InputSize::D1),
+        seed,
+    )
+}
+
+fn trained_agent(seed: u64) -> Td3Agent {
+    let mut env = TuningEnv::for_workload(
+        Cluster::cluster_a(),
+        Workload::new(WorkloadKind::TeraSort, InputSize::D1),
+        seed,
+    );
+    let mut cfg = AgentConfig::for_dims(env.state_dim(), env.action_dim());
+    cfg.hidden = vec![32, 32];
+    cfg.warmup_steps = 64;
+    cfg.batch_size = 32;
+    let (agent, _, _) = train_td3(&mut env, cfg, &OfflineConfig::deepcat(500, seed), &[]);
+    agent
+}
+
+/// Run one session and also return how many infeasible configurations
+/// the simulator saw — the tripwire the guardrail must hold at zero.
+fn run_session(plan: Option<FaultPlan>, session: &ChaosSessionConfig) -> (SessionOutcome, u64) {
+    let mut agent = trained_agent(33);
+    let mut env = ResilientEnv::new(live_env(34), ResiliencePolicy::default());
+    if let Some(p) = plan {
+        env.install_plan(p);
+    }
+    let out = online_tune_resilient(
+        &mut agent,
+        &mut env,
+        &OnlineConfig::deepcat(7),
+        session,
+        "DeepCAT",
+    )
+    .expect("session I/O");
+    (out, env.inner().spark().infeasible_eval_count())
+}
+
+fn completed(out: SessionOutcome) -> TuningReport {
+    match out {
+        SessionOutcome::Completed(r) => r,
+        SessionOutcome::Killed { completed_steps } => {
+            panic!("unexpected kill after {completed_steps} steps")
+        }
+    }
+}
+
+fn guarded() -> ChaosSessionConfig {
+    ChaosSessionConfig {
+        guardrails: GuardrailPolicy::on(),
+        ..ChaosSessionConfig::default()
+    }
+}
+
+#[test]
+fn guarded_sessions_never_evaluate_infeasible_configs() {
+    for name in PLAN_NAMES {
+        let plan = FaultPlan::named(name, 11).expect("known plan");
+        let (out, infeasible) = run_session(Some(plan), &guarded());
+        let report = completed(out);
+        assert_eq!(report.steps.len(), 5, "plan {name}");
+        assert_eq!(
+            infeasible, 0,
+            "plan {name}: an infeasible configuration reached the simulator"
+        );
+        assert!(
+            report.steps.iter().all(|s| s.reward.is_finite()),
+            "plan {name}: non-finite reward escaped"
+        );
+    }
+}
+
+#[test]
+fn guarded_sessions_are_deterministic() {
+    let plan = || FaultPlan::named("blackout", 11).expect("known plan");
+    let (a, _) = run_session(Some(plan()), &guarded());
+    let (b, _) = run_session(Some(plan()), &guarded());
+    let (a, b) = (completed(a), completed(b));
+    assert_eq!(a.best_action, b.best_action);
+    assert_eq!(a.best_exec_time_s, b.best_exec_time_s);
+    for (x, y) in a.steps.iter().zip(b.steps.iter()) {
+        assert_eq!(x.exec_time_s, y.exec_time_s, "step {}", x.step);
+        assert_eq!(x.reward, y.reward, "step {}", x.step);
+        assert_eq!(x.guardrail, y.guardrail, "step {}", x.step);
+    }
+}
+
+#[test]
+fn killed_guarded_session_resumes_to_the_same_result() {
+    let dir = std::env::temp_dir().join("deepcat-integration-guardrails");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("checkpoint.json");
+    let plan = || FaultPlan::named("mixed", 11).expect("known plan");
+
+    let (full, _) = run_session(Some(plan()), &guarded());
+    let full = completed(full);
+    let (killed, _) = run_session(
+        Some(plan()),
+        &ChaosSessionConfig {
+            checkpoint: Some(path.clone()),
+            kill_after: Some(3),
+            ..guarded()
+        },
+    );
+    assert!(matches!(
+        killed,
+        SessionOutcome::Killed { completed_steps: 3 }
+    ));
+    let (resumed, infeasible) = run_session(
+        Some(plan()),
+        &ChaosSessionConfig {
+            checkpoint: Some(path),
+            resume: true,
+            ..guarded()
+        },
+    );
+    let resumed = completed(resumed);
+    assert_eq!(resumed.best_action, full.best_action);
+    assert_eq!(resumed.best_exec_time_s, full.best_exec_time_s);
+    assert_eq!(resumed.steps.len(), full.steps.len());
+    assert_eq!(infeasible, 0);
+    for (x, y) in resumed.steps.iter().zip(full.steps.iter()) {
+        assert_eq!(x.guardrail, y.guardrail, "step {}", x.step);
+    }
+}
+
+#[test]
+fn disabled_guardrails_change_nothing() {
+    // The default (disabled) policy must be an exact no-op: a session
+    // with `guardrails: GuardrailPolicy::default()` reproduces the
+    // pre-guardrail arithmetic bit for bit.
+    let plan = || FaultPlan::named("flaky", 11).expect("known plan");
+    let (unguarded, _) = run_session(Some(plan()), &ChaosSessionConfig::default());
+    let unguarded = completed(unguarded);
+    assert_eq!(unguarded.total_vetoed(), 0);
+    assert_eq!(unguarded.total_repaired(), 0);
+    assert_eq!(unguarded.total_canary_aborts(), 0);
+    assert_eq!(unguarded.total_rollbacks(), 0);
+    assert_eq!(unguarded.guardrail_saved_s(), 0.0);
+    // Guardrails on under a fault-free plan with a well-trained agent:
+    // cost accounting may differ (canary), but the session still
+    // completes every step with finite rewards.
+    let (guarded_run, infeasible) = run_session(None, &guarded());
+    let guarded_run = completed(guarded_run);
+    assert_eq!(guarded_run.steps.len(), 5);
+    assert_eq!(infeasible, 0);
+}

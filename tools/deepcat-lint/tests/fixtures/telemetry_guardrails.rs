@@ -1,0 +1,24 @@
+// Fixture: the guardrail/canary/watchdog telemetry families obey the
+// same manifest contract as every other family. `guardrail.phantom_rule`
+// is well-formed but unregistered — the guardrail layer must not invent
+// event names the manifest does not declare. The remaining names are
+// registered by the test's manifest and must stay clean.
+
+fn unregistered_guardrail_event() {
+    telemetry::event!("guardrail.phantom_rule", rule = "mem.bogus");
+}
+
+fn registered_guardrail_events() {
+    telemetry::event!("guardrail.veto", rules = "mem.executor_fits_nm");
+    telemetry::event!("guardrail.repaired", rules = "cpu.cores_within_nm_vcores", count = 1);
+}
+
+fn registered_canary_events() {
+    telemetry::event!("canary.abort", charged_s = 25.0, saved_s = 75.0);
+    telemetry::event!("canary.pass", exec_time_s = 80.0, threshold_s = 150.0);
+}
+
+fn registered_watchdog_events() {
+    telemetry::event!("watchdog.triggered", window_mean = -4.0, envelope = 0.5);
+    telemetry::event!("watchdog.recovered", envelope = 1.0);
+}

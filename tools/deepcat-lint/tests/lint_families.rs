@@ -178,6 +178,38 @@ fn telemetry_family_fires_on_bare_span_call_sites() {
 }
 
 #[test]
+fn unregistered_guardrail_events_fail_the_manifest_rule() {
+    let manifest = Manifest::parse(
+        "[[event]]\nname = \"guardrail.veto\"\ndoc = \"vetoed\"\n\n\
+         [[event]]\nname = \"guardrail.repaired\"\ndoc = \"repaired\"\n\n\
+         [[event]]\nname = \"canary.abort\"\ndoc = \"aborted\"\n\n\
+         [[event]]\nname = \"canary.pass\"\ndoc = \"passed\"\n\n\
+         [[event]]\nname = \"watchdog.triggered\"\ndoc = \"triggered\"\n\n\
+         [[event]]\nname = \"watchdog.recovered\"\ndoc = \"recovered\"\n",
+    )
+    .expect("manifest parses");
+    let f = lint_fixture(
+        "crates/deepcat/src/fixture.rs",
+        "telemetry_guardrails.rs",
+        &manifest,
+    );
+    let r = rules(&f);
+    // `guardrail.phantom_rule` is the only unregistered name; the six
+    // registered guardrail/canary/watchdog names must not report.
+    assert_eq!(
+        r.iter().filter(|r| **r == "telemetry.manifest").count(),
+        1,
+        "{f:?}"
+    );
+    assert!(
+        f.iter().any(
+            |x| x.rule == "telemetry.manifest" && x.message.contains("guardrail.phantom_rule")
+        ),
+        "{f:?}"
+    );
+}
+
+#[test]
 fn safety_family_fires() {
     let f = lint_fixture(
         "crates/rl/src/fixture.rs",
