@@ -46,6 +46,7 @@ struct Args {
     resume: bool,
     kill_after: Option<usize>,
     guardrails: bool,
+    by_session: bool,
 }
 
 impl Args {
@@ -68,6 +69,7 @@ fn usage() -> ExitCode {
          [--deterministic] [--checkpoint PATH] [--kill-after N] [--resume]\n\
          safety runs the online stage with and without guardrails under \
          --plan and reports the ablation\n\
+         report flags: [--by-session] adds a per-session rollup table\n\
          profile takes the JSONL log as a positional argument: \
          deepcat-tune profile run.jsonl"
     );
@@ -94,6 +96,7 @@ fn parse_args() -> Result<Args, String> {
         resume: false,
         kill_after: None,
         guardrails: false,
+        by_session: false,
     };
     while let Some(flag) = argv.next() {
         let mut value = || argv.next().ok_or(format!("{flag} needs a value"));
@@ -126,6 +129,7 @@ fn parse_args() -> Result<Args, String> {
             "--trace" => args.trace = Some(PathBuf::from(value()?)),
             "--plan" => args.plan = value()?,
             "--deterministic" => args.deterministic = true,
+            "--by-session" => args.by_session = true,
             "--checkpoint" => args.checkpoint = Some(PathBuf::from(value()?)),
             "--resume" => args.resume = true,
             "--kill-after" => {
@@ -169,6 +173,8 @@ fn install_sinks(log: Option<&PathBuf>, deterministic: bool) -> Result<(), Strin
         "canary.",
         "watchdog.",
         "safety.",
+        "session.",
+        "telemetry.",
     ]);
     let sink: Arc<dyn Sink> = match log {
         Some(path) => {
@@ -183,7 +189,16 @@ fn install_sinks(log: Option<&PathBuf>, deterministic: bool) -> Result<(), Strin
         }
         None => Arc::new(console),
     };
-    telemetry::install(sink);
+    // Deterministic runs keep the synchronous pipeline: every event reaches
+    // the sink in emission order, so two same-seed runs stay byte-identical.
+    // Everything else goes through the sharded pipeline — per-thread bounded
+    // buffers, no global lock on the hot path, drained at step boundaries
+    // and on shutdown.
+    if deterministic {
+        telemetry::install(sink);
+    } else {
+        telemetry::install_sharded(sink, telemetry::DEFAULT_SHARD_CAPACITY);
+    }
     Ok(())
 }
 
@@ -240,8 +255,10 @@ fn profile(path: &PathBuf) -> Result<(), String> {
 
 /// Summarize a JSONL event log: evaluations paid vs skipped, the reward
 /// trajectory, and step-latency quantiles. With `trace`, also export the
-/// log's spans as a Chrome Trace Event Format file.
-fn report(path: &PathBuf, trace: Option<&PathBuf>) -> Result<(), String> {
+/// log's spans as a Chrome Trace Event Format file. With `by_session`,
+/// fold the stream through the same [`telemetry::SessionAggregator`] the
+/// live pipeline uses and print the per-session rollup table.
+fn report(path: &PathBuf, trace: Option<&PathBuf>, by_session: bool) -> Result<(), String> {
     let values = parse_log(path)?;
     let mut paid = 0usize;
     let mut failed = 0usize;
@@ -261,7 +278,11 @@ fn report(path: &PathBuf, trace: Option<&PathBuf>) -> Result<(), String> {
     let mut watchdog_trips = 0usize;
     let mut infeasible_evals = 0usize;
     let mut canary_saved_s = 0.0f64;
+    let mut telemetry_dropped = 0u64;
+    let mut sink_errors = 0u64;
+    let mut sessions = telemetry::SessionAggregator::new();
     for value in &values {
+        sessions.observe_value(value);
         let Some(event) = value.get("event").and_then(|v| v.as_str()) else {
             continue;
         };
@@ -304,6 +325,16 @@ fn report(path: &PathBuf, trace: Option<&PathBuf>) -> Result<(), String> {
                 canary_aborts += 1;
                 if let Some(s) = value.get("saved_s").and_then(|v| v.as_f64()) {
                     canary_saved_s += s;
+                }
+            }
+            // The flush summary carries cumulative counters; keep the max
+            // so repeated flushes in one log don't double-count.
+            "telemetry.flush" => {
+                if let Some(d) = value.get("dropped").and_then(|v| v.as_u64()) {
+                    telemetry_dropped = telemetry_dropped.max(d);
+                }
+                if let Some(e) = value.get("sink_errors").and_then(|v| v.as_u64()) {
+                    sink_errors = sink_errors.max(e);
                 }
             }
             _ => {}
@@ -352,6 +383,15 @@ fn report(path: &PathBuf, trace: Option<&PathBuf>) -> Result<(), String> {
     }
     if spent_s > 0.0 {
         println!("tuning cost: {spent_s:.1}s");
+    }
+    if telemetry_dropped + sink_errors > 0 {
+        println!(
+            "telemetry health: {telemetry_dropped} events dropped by full \
+             shards, {sink_errors} sink errors"
+        );
+    }
+    if by_session {
+        print!("{}", sessions.report().render());
     }
     if let Some(trace_path) = trace {
         let spans = parse_spans(&values);
@@ -530,6 +570,7 @@ fn chaos(args: &Args, workload: Workload) -> Result<(), String> {
             resume: args.resume,
             kill_after: args.kill_after,
             guardrails: args.guardrail_policy(),
+            ..ChaosSessionConfig::default()
         };
         let out =
             online_tune_resilient(&mut agent, &mut env, &online_cfg(true), &session, "DeepCAT")
@@ -631,7 +672,7 @@ fn main() -> ExitCode {
         let result = if args.command == "profile" {
             profile(&path)
         } else {
-            report(&path, args.trace.as_ref())
+            report(&path, args.trace.as_ref(), args.by_session)
         };
         return match result {
             Ok(()) => ExitCode::SUCCESS,

@@ -254,6 +254,10 @@ pub fn online_tune_td3(
     let mut steps = Vec::with_capacity(cfg.steps);
     let mut state = env.reset();
     let mut spent_s = 0.0;
+    // Session scoping: reuse the caller's ambient session if one is
+    // open, otherwise open a fresh one for this tuning run so every
+    // event below carries a session_id.
+    let own_session = owned_session_scope(tuner_name, cfg.steps);
     let session_span = telemetry::span!("online.request", tuner = tuner_name);
     for step in 0..cfg.steps {
         let mut span = telemetry::span!("online.step", step = step, tuner = tuner_name);
@@ -299,6 +303,9 @@ pub fn online_tune_td3(
         spent_s += out.exec_time_s + recommendation_s;
         telemetry::set_gauge("budget.spent_s", spent_s);
         telemetry::event!("budget.update", step = step, spent_s = spent_s);
+        // Step boundary: flush sharded buffers so console progress and the
+        // live session rollup stay current (no-op in synchronous mode).
+        telemetry::drain();
         steps.push(StepRecord {
             step,
             exec_time_s: out.exec_time_s,
@@ -314,6 +321,9 @@ pub fn online_tune_td3(
         state = out.next_state;
     }
     drop(session_span);
+    if own_session.is_some() {
+        telemetry::event!("session.end", outcome = "completed", steps = cfg.steps);
+    }
     finish_report(tuner_name, env, steps)
 }
 
@@ -330,6 +340,7 @@ pub fn online_tune_ddpg(
     let mut steps = Vec::with_capacity(cfg.steps);
     let mut state = env.reset();
     let mut spent_s = 0.0;
+    let own_session = owned_session_scope(tuner_name, cfg.steps);
     let session_span = telemetry::span!("online.request", tuner = tuner_name);
     for step in 0..cfg.steps {
         let mut span = telemetry::span!("online.step", step = step, tuner = tuner_name);
@@ -366,6 +377,7 @@ pub fn online_tune_ddpg(
         spent_s += out.exec_time_s + recommendation_s;
         telemetry::set_gauge("budget.spent_s", spent_s);
         telemetry::event!("budget.update", step = step, spent_s = spent_s);
+        telemetry::drain();
         steps.push(StepRecord {
             step,
             exec_time_s: out.exec_time_s,
@@ -381,7 +393,28 @@ pub fn online_tune_ddpg(
         state = out.next_state;
     }
     drop(session_span);
+    if own_session.is_some() {
+        telemetry::event!("session.end", outcome = "completed", steps = cfg.steps);
+    }
     finish_report(tuner_name, env, steps)
+}
+
+/// Open a fresh ambient session scope labelled `tuner` — unless the
+/// caller already established one, in which case its scope (and id) is
+/// reused and `None` is returned. Emits `session.start` when it opens.
+fn owned_session_scope(tuner: &str, steps: usize) -> Option<telemetry::SessionScope> {
+    if !telemetry::enabled() || telemetry::current_session().is_some() {
+        return None;
+    }
+    let ctx = telemetry::SessionCtx::next(tuner);
+    let scope = telemetry::session_scope(&ctx);
+    telemetry::event!(
+        "session.start",
+        label = ctx.label(),
+        tuner = tuner,
+        steps = steps
+    );
+    Some(scope)
 }
 
 /// Assemble a [`TuningReport`] from per-step records.

@@ -40,6 +40,7 @@ use serde::{Deserialize, Serialize};
 use spark_sim::FaultPlan;
 use std::io;
 use std::path::PathBuf;
+use telemetry::SessionCtx;
 
 /// Knobs of the resilience layer. Defaults are deliberately conservative:
 /// they never trigger on a healthy run, so wrapping a fault-free
@@ -322,6 +323,12 @@ pub struct ChaosSessionConfig {
     /// regression watchdog). Disabled by default — the unguarded path is
     /// arithmetically unchanged.
     pub guardrails: GuardrailPolicy,
+    /// Telemetry session identity for this run. `None` (the default)
+    /// allocates the next process-unique [`SessionCtx`] labelled with
+    /// the tuner name; multi-tenant callers pass their own so every
+    /// event the session emits (steps, guardrail verdicts, recovery,
+    /// budget) carries their `session_id`.
+    pub session: Option<SessionCtx>,
 }
 
 impl ChaosSessionConfig {
@@ -374,6 +381,22 @@ pub fn online_tune_resilient(
     let mut start_step = 0;
     let space = env.inner().spark().space().clone();
     let mut guard = Guardrail::new(session.guardrails.clone(), env.default_exec_time());
+
+    // Session scoping: every event below — steps, guardrail verdicts,
+    // retries, budget, checkpoints — carries this session's id via the
+    // thread-local ambient scope, without per-call-site plumbing.
+    let ctx = session
+        .session
+        .clone()
+        .unwrap_or_else(|| SessionCtx::next(tuner_name));
+    let _session_scope = telemetry::session_scope(&ctx);
+    telemetry::event!(
+        "session.start",
+        label = ctx.label(),
+        tuner = tuner_name,
+        steps = cfg.steps,
+        resume = session.resume
+    );
 
     if session.resume {
         let path = session.checkpoint.as_ref().ok_or_else(|| {
@@ -473,6 +496,9 @@ pub fn online_tune_resilient(
         spent_s += out.exec_time_s + res.accounting.overhead_s + recommendation_s;
         telemetry::set_gauge("budget.spent_s", spent_s);
         telemetry::event!("budget.update", step = step, spent_s = spent_s);
+        // Step boundary: flush sharded buffers so console progress and the
+        // live session rollup stay current (no-op in synchronous mode).
+        telemetry::drain();
         steps.push(StepRecord {
             step,
             exec_time_s: out.exec_time_s,
@@ -509,12 +535,14 @@ pub fn online_tune_resilient(
         }
         if session.kill_after == Some(step + 1) && step + 1 < cfg.steps {
             drop(session_span);
+            telemetry::event!("session.end", outcome = "killed", steps = step + 1);
             return Ok(SessionOutcome::Killed {
                 completed_steps: step + 1,
             });
         }
     }
     drop(session_span);
+    telemetry::event!("session.end", outcome = "completed", steps = cfg.steps);
     Ok(SessionOutcome::Completed(finish_report(
         tuner_name,
         env.inner(),
@@ -750,7 +778,7 @@ mod tests {
                 checkpoint: Some(path.clone()),
                 resume: false,
                 kill_after: Some(2),
-                guardrails: GuardrailPolicy::default(),
+                ..ChaosSessionConfig::default()
             },
             "DeepCAT",
         )
@@ -773,7 +801,7 @@ mod tests {
                 checkpoint: Some(path.clone()),
                 resume: true,
                 kill_after: None,
-                guardrails: GuardrailPolicy::default(),
+                ..ChaosSessionConfig::default()
             },
             "DeepCAT",
         )

@@ -27,17 +27,38 @@
 //! * **spans** — `telemetry::span!("online.step", step = i)`; a guard that
 //!   on drop records its duration histogram and emits an event.
 //!
+//! # Pipelines and sessions
+//!
+//! [`install`] runs **synchronously**: every event goes straight to the
+//! sink under one lock, in emission order — the deterministic mode the
+//! byte-identical log comparisons rely on. [`install_sharded`] enables
+//! the concurrent pipeline: each emitting thread buffers into its own
+//! bounded SPSC shard (never blocking — overflow is *dropped and
+//! accounted*, see [`drain`]), and an explicit collector ([`drain`],
+//! also run by [`flush`]/[`shutdown`]) moves buffered events into the
+//! sink. Wrap per-tenant work in a session scope
+//! ([`with_session`]/[`session_scope`]) and every event it emits carries
+//! a `session_id` field; [`session_report`] folds the streams into
+//! per-session rollups live.
+//!
 //! Event families and their fields are documented in `README.md`
 //! ("Observability") and consumed by `deepcat-tune report`.
 
 mod clock;
 mod metrics;
+pub mod session;
+mod shard;
 mod sink;
 mod span;
 pub mod trace;
 
 pub use clock::{clock_frozen, freeze_clock, now_s, unfreeze_clock, Stopwatch};
 pub use metrics::{Buckets, Counter, Gauge, Histogram, HistogramSnapshot};
+pub use session::{
+    current_session, reset_session_ids, session_scope, with_session, MetricsSnapshot,
+    SessionAggregator, SessionCtx, SessionReport, SessionScope, SessionStats,
+};
+pub use shard::DEFAULT_SHARD_CAPACITY;
 pub use sink::{ConsoleSink, Event, FieldValue, JsonlSink, MultiSink, NullSink, Sink, TestSink};
 pub use span::SpanGuard;
 pub use trace::{
@@ -47,7 +68,7 @@ pub use trace::{
 use parking_lot::{Mutex, RwLock};
 use serde::Serialize;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Thread-safe registry of named metrics. Usually accessed through the
@@ -196,7 +217,17 @@ impl RegistrySnapshot {
 
 // ---- global state ----------------------------------------------------
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Pipeline mode. Off costs one relaxed atomic load per instrumentation
+/// point; Sync is the lock-per-event deterministic path; Sharded is the
+/// per-thread-buffer concurrent path.
+const MODE_OFF: u8 = 0;
+const MODE_SYNC: u8 = 1;
+const MODE_SHARDED: u8 = 2;
+
+static MODE: AtomicU8 = AtomicU8::new(MODE_OFF);
+/// Events accepted by [`emit`] since the last install (dropped-on-
+/// overflow events included — they entered the pipeline).
+static EVENTS_EMITTED: AtomicU64 = AtomicU64::new(0);
 
 fn global_registry() -> &'static MetricsRegistry {
     static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
@@ -208,32 +239,129 @@ fn global_sink() -> &'static Mutex<Arc<dyn Sink>> {
     SINK.get_or_init(|| Mutex::new(Arc::new(NullSink)))
 }
 
-/// Install a sink and enable telemetry (metrics, spans and events).
-pub fn install(sink: Arc<dyn Sink>) {
-    *global_sink().lock() = sink;
-    ENABLED.store(true, Ordering::Release);
+/// Live per-session rollups, fed by the sync emit path and the sharded
+/// collector; read via [`session_report`].
+fn live_sessions() -> &'static Mutex<SessionAggregator> {
+    static LIVE: OnceLock<Mutex<SessionAggregator>> = OnceLock::new();
+    LIVE.get_or_init(|| Mutex::new(SessionAggregator::new()))
 }
 
-/// Flush the current sink, restore the [`NullSink`] and disable telemetry.
+/// Install a sink and enable telemetry in **synchronous** mode: events
+/// reach the sink inline, in emission order, under one global lock. This
+/// is the deterministic mode (`--deterministic` logs byte-compare); for
+/// concurrent workloads prefer [`install_sharded`].
+pub fn install(sink: Arc<dyn Sink>) {
+    *global_sink().lock() = sink;
+    live_sessions().lock().reset();
+    EVENTS_EMITTED.store(0, Ordering::SeqCst);
+    MODE.store(MODE_SYNC, Ordering::Release);
+}
+
+/// Install a sink and enable telemetry in **sharded** mode: each
+/// emitting thread buffers into its own bounded SPSC queue
+/// (`shard_capacity` events; [`DEFAULT_SHARD_CAPACITY`] when unsure) and
+/// never takes a global lock or blocks — a full shard drops the event
+/// and accounts it (`telemetry.dropped` counter + `telemetry.shard_overflow`
+/// event at the next drain). Call [`drain`] periodically (or rely on
+/// [`flush`]/[`shutdown`]) to move buffered events into the sink.
+pub fn install_sharded(sink: Arc<dyn Sink>, shard_capacity: usize) {
+    *global_sink().lock() = sink;
+    live_sessions().lock().reset();
+    EVENTS_EMITTED.store(0, Ordering::SeqCst);
+    shard::configure(shard_capacity);
+    MODE.store(MODE_SHARDED, Ordering::Release);
+}
+
+/// Drain the sharded pipeline into the installed sink (no-op in sync or
+/// off mode). Returns the number of buffered events delivered.
+pub fn drain() -> u64 {
+    if MODE.load(Ordering::Acquire) != MODE_SHARDED {
+        return 0;
+    }
+    let sink = Arc::clone(&*global_sink().lock());
+    let mut agg = live_sessions().lock();
+    shard::drain_into(&*sink, |e| agg.observe_event(e))
+}
+
+/// Record the `telemetry.flush` summary event directly to `sink`
+/// (bypassing the pipeline — flushing must work even mid-teardown).
+fn record_flush_summary(sink: &dyn Sink) {
+    let event = Event::new(
+        "telemetry.flush",
+        vec![
+            (
+                "events",
+                FieldValue::U64(EVENTS_EMITTED.load(Ordering::SeqCst)),
+            ),
+            ("dropped", FieldValue::U64(shard::dropped_total())),
+            (
+                "sink_errors",
+                FieldValue::U64(global_registry().counter("telemetry.sink_error").get()),
+            ),
+            (
+                "sessions",
+                FieldValue::U64(live_sessions().lock().len() as u64),
+            ),
+        ],
+    );
+    sink.record(&event);
+}
+
+/// Drain (sharded mode), flush the current sink, restore the
+/// [`NullSink`] and disable telemetry. The sink receives a final
+/// `telemetry.flush` summary event before flushing.
 pub fn shutdown() {
-    ENABLED.store(false, Ordering::Release);
+    let was = MODE.swap(MODE_OFF, Ordering::SeqCst);
     let old = std::mem::replace(
         &mut *global_sink().lock(),
         Arc::new(NullSink) as Arc<dyn Sink>,
     );
+    if was != MODE_OFF {
+        if was == MODE_SHARDED {
+            let mut agg = live_sessions().lock();
+            shard::drain_into(&*old, |e| agg.observe_event(e));
+        }
+        record_flush_summary(&*old);
+    }
     old.flush();
 }
 
-/// Flush the installed sink without detaching it.
+/// Drain (sharded mode) and flush the installed sink without detaching
+/// it, recording a `telemetry.flush` summary event.
 pub fn flush() {
-    global_sink().lock().flush();
+    let mode = MODE.load(Ordering::SeqCst);
+    let sink = Arc::clone(&*global_sink().lock());
+    if mode == MODE_SHARDED {
+        let mut agg = live_sessions().lock();
+        shard::drain_into(&*sink, |e| agg.observe_event(e));
+    }
+    if mode != MODE_OFF {
+        record_flush_summary(&*sink);
+    }
+    sink.flush();
 }
 
 /// Whether telemetry is currently enabled. Instrumentation points check
 /// this first; while false they cost one relaxed atomic load.
 #[inline]
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    MODE.load(Ordering::Relaxed) != MODE_OFF
+}
+
+/// Live per-session rollups folded from the event stream so far. In
+/// sharded mode this drains first, so buffered events are included.
+pub fn session_report() -> SessionReport {
+    let _ = drain();
+    live_sessions().lock().report()
+}
+
+/// One coherent observation point: registry snapshot + live session
+/// rollups.
+pub fn metrics_snapshot() -> MetricsSnapshot {
+    MetricsSnapshot {
+        registry: registry_snapshot(),
+        sessions: session_report(),
+    }
 }
 
 /// Get or create a named counter (inert-but-valid handle while disabled).
@@ -313,14 +441,31 @@ pub fn reset_metrics() {
     global_registry().reset();
 }
 
-/// Emit a structured event to the installed sink.
+/// Emit a structured event. If a session scope is open on this thread
+/// ([`with_session`]/[`session_scope`]) a `session_id` field is attached
+/// (unless the caller already set one). Sync mode records to the sink
+/// inline; sharded mode buffers on this thread's shard without taking a
+/// global lock (see [`install_sharded`]).
 #[inline]
-pub fn emit(name: &'static str, fields: Vec<(&'static str, FieldValue)>) {
-    if !enabled() {
+pub fn emit(name: &'static str, mut fields: Vec<(&'static str, FieldValue)>) {
+    let mode = MODE.load(Ordering::Relaxed);
+    if mode == MODE_OFF {
         return;
     }
-    let sink = Arc::clone(&*global_sink().lock());
-    sink.record(&Event::new(name, fields));
+    if !fields.iter().any(|(k, _)| *k == "session_id") {
+        if let Some(id) = session::current_session_id() {
+            fields.push(("session_id", FieldValue::U64(id)));
+        }
+    }
+    EVENTS_EMITTED.fetch_add(1, Ordering::Relaxed);
+    let event = Event::new(name, fields);
+    if mode == MODE_SHARDED {
+        shard::push(event);
+    } else {
+        let sink = Arc::clone(&*global_sink().lock());
+        sink.record(&event);
+        live_sessions().lock().observe_event(&event);
+    }
 }
 
 /// Start a span; inert (no clock read) while telemetry is disabled.

@@ -1,0 +1,475 @@
+//! Session-scoped telemetry: cheap cloneable session contexts, an
+//! ambient thread-local scope that stamps every emitted event with a
+//! `session_id` field, and a live aggregator that folds per-session
+//! event streams into reward/cost/latency rollups.
+//!
+//! # Scoping model
+//!
+//! A [`SessionCtx`] is an id plus a human label. Entering a scope
+//! ([`session_scope`] guard or the [`with_session`] closure form) pushes
+//! the context onto a thread-local stack; while the scope is open, every
+//! event [`crate::emit`]ted from that thread — including span-end events
+//! — carries a `session_id` field. Scopes nest (innermost wins) and are
+//! per-thread, so two tuning sessions running on two threads partition
+//! one JSONL stream exactly.
+//!
+//! Session ids come from a process-global atomic counter
+//! ([`SessionCtx::next`]), so single-threaded seeded runs assign the
+//! same ids on every execution; [`reset_session_ids`] mirrors
+//! [`crate::trace::reset_ids`] for in-process back-to-back runs.
+
+use crate::sink::Event;
+use serde::{Serialize, Value};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identity of one tuning session: a process-unique id plus a label.
+/// Cloning is cheap (`Arc<str>` label) — hand copies to worker threads,
+/// replay buffers and checkpoints freely.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionCtx {
+    id: u64,
+    label: Arc<str>,
+}
+
+static NEXT_SESSION_ID: AtomicU64 = AtomicU64::new(1);
+
+impl SessionCtx {
+    /// A context with an explicit id (multi-process setups where ids are
+    /// assigned externally). Prefer [`SessionCtx::next`] in-process.
+    pub fn new(id: u64, label: impl Into<Arc<str>>) -> Self {
+        Self {
+            id,
+            label: label.into(),
+        }
+    }
+
+    /// A context with the next process-unique id (1, 2, 3, …).
+    pub fn next(label: impl Into<Arc<str>>) -> Self {
+        Self::new(NEXT_SESSION_ID.fetch_add(1, Ordering::Relaxed), label)
+    }
+
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Restart session-id assignment from 1. Run-boundary hook mirroring
+/// [`crate::trace::reset_ids`]: lets two in-process runs produce
+/// identical id sequences for byte-comparison.
+pub fn reset_session_ids() {
+    NEXT_SESSION_ID.store(1, Ordering::Relaxed);
+}
+
+thread_local! {
+    /// Stack of the session scopes open on this thread, innermost last.
+    static SCOPE: RefCell<Vec<SessionCtx>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Guard for an ambient session scope; the scope ends when it drops.
+/// Out-of-order drops unwind cleanly: each guard removes its own
+/// session's topmost entry, not blindly the top of the stack.
+#[must_use = "the session scope ends when this guard drops"]
+pub struct SessionScope {
+    id: u64,
+}
+
+/// Open an ambient session scope on this thread. Every event emitted
+/// until the returned guard drops carries `session_id = ctx.id()`.
+pub fn session_scope(ctx: &SessionCtx) -> SessionScope {
+    SCOPE.with(|s| s.borrow_mut().push(ctx.clone()));
+    SessionScope { id: ctx.id }
+}
+
+impl Drop for SessionScope {
+    fn drop(&mut self) {
+        SCOPE.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|c| c.id == self.id) {
+                stack.remove(pos);
+            }
+        });
+    }
+}
+
+/// Run `f` inside a session scope (closure form of [`session_scope`]).
+pub fn with_session<R>(ctx: &SessionCtx, f: impl FnOnce() -> R) -> R {
+    let _scope = session_scope(ctx);
+    f()
+}
+
+/// The innermost session scope open on this thread, if any.
+pub fn current_session() -> Option<SessionCtx> {
+    SCOPE.with(|s| s.borrow().last().cloned())
+}
+
+/// Fast-path id lookup for [`crate::emit`].
+pub(crate) fn current_session_id() -> Option<u64> {
+    SCOPE.with(|s| s.borrow().last().map(|c| c.id))
+}
+
+// ---- per-session aggregation -----------------------------------------
+
+/// Rollup of one session's event stream: reward, cost and latency.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct SessionStats {
+    pub session_id: u64,
+    /// Label from the session's `session.start` event (empty until seen).
+    pub label: String,
+    /// Events observed carrying this `session_id`.
+    pub events: u64,
+    /// `online.step` events (the tuning loop's unit of progress).
+    pub steps: u64,
+    /// Steps with `failed = true`.
+    pub failed_steps: u64,
+    /// Σ `reward` over steps.
+    pub reward_sum: f64,
+    /// Best (max) step reward; `None` until a step reports one.
+    pub best_reward: Option<f64>,
+    /// Σ `exec_time_s` over steps — the session's simulated eval cost.
+    pub eval_cost_s: f64,
+    /// Latest cumulative `spent_s` from `budget.update`.
+    pub budget_spent_s: f64,
+    /// Σ / max `duration_s` over steps — wall latency of the loop body.
+    pub step_latency_sum_s: f64,
+    pub step_latency_max_s: f64,
+}
+
+impl SessionStats {
+    fn new(session_id: u64) -> Self {
+        Self {
+            session_id,
+            label: String::new(),
+            events: 0,
+            steps: 0,
+            failed_steps: 0,
+            reward_sum: 0.0,
+            best_reward: None,
+            eval_cost_s: 0.0,
+            budget_spent_s: 0.0,
+            step_latency_sum_s: 0.0,
+            step_latency_max_s: 0.0,
+        }
+    }
+
+    /// Mean step reward (`None` before the first step).
+    pub fn mean_reward(&self) -> Option<f64> {
+        (self.steps > 0).then(|| self.reward_sum / self.steps as f64)
+    }
+
+    /// Mean step wall latency (`None` before the first step).
+    pub fn mean_step_latency_s(&self) -> Option<f64> {
+        (self.steps > 0).then(|| self.step_latency_sum_s / self.steps as f64)
+    }
+}
+
+/// Point-in-time per-session rollup table (see [`SessionAggregator`]).
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+pub struct SessionReport {
+    /// One row per session id, ascending.
+    pub sessions: Vec<SessionStats>,
+    /// Events seen with no `session_id` field.
+    pub unattributed_events: u64,
+}
+
+impl SessionReport {
+    pub fn get(&self, session_id: u64) -> Option<&SessionStats> {
+        self.sessions.iter().find(|s| s.session_id == session_id)
+    }
+
+    /// Render as an aligned text table, one session per row.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<8} {:<16} {:>7} {:>6} {:>7} {:>10} {:>10} {:>10} {:>10}\n",
+            "session",
+            "label",
+            "events",
+            "steps",
+            "failed",
+            "mean_rew",
+            "best_rew",
+            "cost_s",
+            "p_lat_ms"
+        ));
+        for s in &self.sessions {
+            let label = if s.label.is_empty() { "?" } else { &s.label };
+            out.push_str(&format!(
+                "{:<8} {:<16} {:>7} {:>6} {:>7} {:>10} {:>10} {:>10.1} {:>10.2}\n",
+                s.session_id,
+                label,
+                s.events,
+                s.steps,
+                s.failed_steps,
+                s.mean_reward()
+                    .map_or("-".to_string(), |r| format!("{r:.4}")),
+                s.best_reward.map_or("-".to_string(), |r| format!("{r:.4}")),
+                if s.budget_spent_s > 0.0 {
+                    s.budget_spent_s
+                } else {
+                    s.eval_cost_s
+                },
+                s.mean_step_latency_s().map_or(0.0, |l| l * 1e3),
+            ));
+        }
+        out.push_str(&format!(
+            "{} session(s), {} unattributed event(s)\n",
+            self.sessions.len(),
+            self.unattributed_events
+        ));
+        out
+    }
+}
+
+/// Streaming folder from events to [`SessionStats`]. Feed it live
+/// [`Event`]s ([`SessionAggregator::observe_event`]) or parsed JSONL
+/// lines ([`SessionAggregator::observe_value`]) — `deepcat-tune report
+/// --by-session` and the in-process [`crate::session_report`] share this
+/// exact fold, so offline and live rollups agree.
+#[derive(Debug, Default)]
+pub struct SessionAggregator {
+    sessions: BTreeMap<u64, SessionStats>,
+    unattributed: u64,
+}
+
+/// The field views the fold needs, abstracted over live events and
+/// parsed JSONL lines.
+struct EventView<'a> {
+    name: &'a str,
+    session_id: Option<u64>,
+    reward: Option<f64>,
+    exec_time_s: Option<f64>,
+    duration_s: Option<f64>,
+    spent_s: Option<f64>,
+    failed: Option<bool>,
+    label: Option<&'a str>,
+}
+
+impl SessionAggregator {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one live event in.
+    pub fn observe_event(&mut self, event: &Event) {
+        self.fold(EventView {
+            name: event.name,
+            session_id: event.u64("session_id"),
+            reward: event.f64("reward"),
+            exec_time_s: event.f64("exec_time_s"),
+            duration_s: event.f64("duration_s"),
+            spent_s: event.f64("spent_s"),
+            failed: event.bool("failed"),
+            label: event.str("label"),
+        });
+    }
+
+    /// Fold one parsed JSONL log line in (the `report` path). Lines that
+    /// are not event objects are ignored.
+    pub fn observe_value(&mut self, value: &Value) {
+        let Some(name) = value.get("event").and_then(Value::as_str) else {
+            return;
+        };
+        self.fold(EventView {
+            name,
+            session_id: value.get("session_id").and_then(Value::as_u64),
+            reward: value.get("reward").and_then(Value::as_f64),
+            exec_time_s: value.get("exec_time_s").and_then(Value::as_f64),
+            duration_s: value.get("duration_s").and_then(Value::as_f64),
+            spent_s: value.get("spent_s").and_then(Value::as_f64),
+            failed: value.get("failed").and_then(Value::as_bool),
+            label: value.get("label").and_then(Value::as_str),
+        });
+    }
+
+    fn fold(&mut self, view: EventView<'_>) {
+        // Pipeline meta-events (`telemetry.flush`, shard overflow
+        // reports, …) describe the pipeline itself, not session work;
+        // they are recorded straight to the sink and never reach the
+        // live fold, so the offline fold skips them too.
+        if view.name.starts_with("telemetry.") {
+            return;
+        }
+        let Some(id) = view.session_id else {
+            self.unattributed += 1;
+            return;
+        };
+        let stats = self
+            .sessions
+            .entry(id)
+            .or_insert_with(|| SessionStats::new(id));
+        stats.events += 1;
+        match view.name {
+            "session.start" => {
+                if let Some(label) = view.label {
+                    stats.label = label.to_string();
+                }
+            }
+            "online.step" => {
+                stats.steps += 1;
+                if view.failed == Some(true) {
+                    stats.failed_steps += 1;
+                }
+                if let Some(r) = view.reward {
+                    stats.reward_sum += r;
+                    stats.best_reward = Some(stats.best_reward.map_or(r, |b| b.max(r)));
+                }
+                if let Some(t) = view.exec_time_s {
+                    stats.eval_cost_s += t;
+                }
+                if let Some(d) = view.duration_s {
+                    stats.step_latency_sum_s += d;
+                    stats.step_latency_max_s = stats.step_latency_max_s.max(d);
+                }
+            }
+            "budget.update" => {
+                if let Some(s) = view.spent_s {
+                    stats.budget_spent_s = stats.budget_spent_s.max(s);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Snapshot the rollups accumulated so far.
+    pub fn report(&self) -> SessionReport {
+        SessionReport {
+            sessions: self.sessions.values().cloned().collect(),
+            unattributed_events: self.unattributed,
+        }
+    }
+
+    /// Sessions folded so far.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Drop all accumulated state (install boundaries).
+    pub fn reset(&mut self) {
+        self.sessions.clear();
+        self.unattributed = 0;
+    }
+}
+
+/// One coherent observation point: the metrics registry plus the live
+/// per-session rollups, taken together.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct MetricsSnapshot {
+    pub registry: crate::RegistrySnapshot,
+    pub sessions: SessionReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::FieldValue;
+
+    fn step_event(session: u64, reward: f64, failed: bool) -> Event {
+        Event::new(
+            "online.step",
+            vec![
+                ("reward", FieldValue::F64(reward)),
+                ("exec_time_s", FieldValue::F64(10.0)),
+                ("duration_s", FieldValue::F64(0.002)),
+                ("failed", FieldValue::Bool(failed)),
+                ("session_id", FieldValue::U64(session)),
+            ],
+        )
+    }
+
+    #[test]
+    fn scopes_nest_and_unwind() {
+        assert_eq!(current_session(), None);
+        let a = SessionCtx::new(7, "outer");
+        let b = SessionCtx::new(9, "inner");
+        let ga = session_scope(&a);
+        assert_eq!(current_session_id(), Some(7));
+        {
+            let _gb = session_scope(&b);
+            assert_eq!(current_session_id(), Some(9));
+        }
+        assert_eq!(current_session_id(), Some(7));
+        drop(ga);
+        assert_eq!(current_session(), None);
+    }
+
+    #[test]
+    fn out_of_order_drop_removes_the_right_entry() {
+        let a = SessionCtx::new(1, "a");
+        let b = SessionCtx::new(2, "b");
+        let ga = session_scope(&a);
+        let gb = session_scope(&b);
+        drop(ga); // drops the *outer* guard first
+        assert_eq!(current_session_id(), Some(2), "inner scope survives");
+        drop(gb);
+        assert_eq!(current_session(), None);
+    }
+
+    #[test]
+    fn with_session_restores_on_return() {
+        let ctx = SessionCtx::new(3, "w");
+        let id = with_session(&ctx, || current_session_id());
+        assert_eq!(id, Some(3));
+        assert_eq!(current_session(), None);
+    }
+
+    #[test]
+    fn aggregator_folds_steps_and_budget() {
+        let mut agg = SessionAggregator::new();
+        agg.observe_event(&Event::new(
+            "session.start",
+            vec![
+                ("label", FieldValue::Str("DeepCAT".into())),
+                ("session_id", FieldValue::U64(1)),
+            ],
+        ));
+        agg.observe_event(&step_event(1, -0.5, false));
+        agg.observe_event(&step_event(1, -0.1, true));
+        agg.observe_event(&step_event(2, -0.9, false));
+        agg.observe_event(&Event::new(
+            "budget.update",
+            vec![
+                ("spent_s", FieldValue::F64(42.0)),
+                ("session_id", FieldValue::U64(1)),
+            ],
+        ));
+        agg.observe_event(&Event::new("recovery.checkpoint", vec![]));
+        let report = agg.report();
+        assert_eq!(report.sessions.len(), 2);
+        assert_eq!(report.unattributed_events, 1);
+        let s1 = report.get(1).unwrap();
+        assert_eq!(s1.label, "DeepCAT");
+        assert_eq!(s1.steps, 2);
+        assert_eq!(s1.failed_steps, 1);
+        assert_eq!(s1.best_reward, Some(-0.1));
+        assert!((s1.mean_reward().unwrap() + 0.3).abs() < 1e-12);
+        assert_eq!(s1.eval_cost_s, 20.0);
+        assert_eq!(s1.budget_spent_s, 42.0);
+        let s2 = report.get(2).unwrap();
+        assert_eq!(s2.steps, 1);
+        assert_eq!(s2.label, "");
+        let table = report.render();
+        assert!(table.contains("DeepCAT"), "{table}");
+        assert!(table.contains("1 unattributed"), "{table}");
+    }
+
+    #[test]
+    fn observe_value_matches_observe_event() {
+        let ev = step_event(5, -0.25, false);
+        let mut live = SessionAggregator::new();
+        live.observe_event(&ev);
+        let mut offline = SessionAggregator::new();
+        offline.observe_value(&ev.to_json_value(None));
+        assert_eq!(live.report(), offline.report());
+    }
+}

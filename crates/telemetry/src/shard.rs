@@ -1,0 +1,155 @@
+//! Sharded emit path: per-thread bounded SPSC buffers drained into the
+//! installed sink by an explicit collector.
+//!
+//! In sharded mode ([`crate::install_sharded`]) an emitting thread never
+//! takes a process-global lock: it lazily registers a bounded channel
+//! (its *shard*) and `try_send`s events into it. A full shard **drops**
+//! the event instead of blocking — overflow is counted per shard and
+//! surfaced at the next drain as a `telemetry.dropped` counter increment
+//! plus a `telemetry.shard_overflow` event, so back-pressure can never
+//! stall a tuning step. [`drain_into`] (reached via [`crate::drain`],
+//! [`crate::flush`] and [`crate::shutdown`]) moves buffered events into
+//! the sink in shard-registration order, FIFO within each shard.
+//!
+//! Re-installing ([`configure`]) bumps an epoch that invalidates every
+//! thread's cached sender, so stale shards from a previous pipeline can
+//! never leak events into a new one.
+
+use crate::sink::{Event, FieldValue, Sink};
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Default per-shard buffer capacity (events) for
+/// [`crate::install_sharded`] callers that don't need tuning.
+pub const DEFAULT_SHARD_CAPACITY: usize = 1 << 14;
+
+/// Collector-side state for one producer thread's buffer.
+struct Shard {
+    rx: Receiver<Event>,
+    /// Producer-side overflow count (monotonic).
+    dropped: Arc<AtomicU64>,
+    /// Portion of `dropped` already surfaced via `telemetry.shard_overflow`.
+    reported: u64,
+    /// Registration-order index, for the overflow event's `shard` field.
+    index: usize,
+}
+
+/// Producer-side cached handle, one per thread (in TLS).
+struct LocalShard {
+    epoch: u64,
+    tx: Sender<Event>,
+    dropped: Arc<AtomicU64>,
+}
+
+/// Bumped on every [`configure`]; a thread whose cached epoch mismatches
+/// re-registers before sending.
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_SHARD_CAPACITY);
+/// Total drops ever surfaced (reset on [`configure`]); feeds the
+/// `telemetry.flush` summary.
+static TOTAL_DROPPED: AtomicU64 = AtomicU64::new(0);
+
+fn shards() -> &'static Mutex<Vec<Shard>> {
+    static SHARDS: OnceLock<Mutex<Vec<Shard>>> = OnceLock::new();
+    SHARDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<LocalShard>> = const { RefCell::new(None) };
+}
+
+/// Reset the pipeline for a fresh sharded install: set the per-shard
+/// capacity, invalidate every thread's cached sender and discard any
+/// shards (and buffered events) from the previous install.
+pub(crate) fn configure(capacity: usize) {
+    // `sync_channel(0)` is a rendezvous channel, which would block.
+    CAPACITY.store(capacity.max(1), Ordering::SeqCst);
+    TOTAL_DROPPED.store(0, Ordering::SeqCst);
+    EPOCH.fetch_add(1, Ordering::SeqCst);
+    shards().lock().clear();
+}
+
+fn register(epoch: u64) -> LocalShard {
+    let (tx, rx) = bounded(CAPACITY.load(Ordering::SeqCst));
+    let dropped = Arc::new(AtomicU64::new(0));
+    let mut reg = shards().lock();
+    let index = reg.len();
+    reg.push(Shard {
+        rx,
+        dropped: Arc::clone(&dropped),
+        reported: 0,
+        index,
+    });
+    LocalShard { epoch, tx, dropped }
+}
+
+/// Buffer `event` on this thread's shard; never blocks. Overflow (or a
+/// torn-down pipeline) increments the shard's drop count instead.
+pub(crate) fn push(event: Event) {
+    LOCAL.with(|cell| {
+        let mut local = cell.borrow_mut();
+        let epoch = EPOCH.load(Ordering::Acquire);
+        if local.as_ref().is_none_or(|l| l.epoch != epoch) {
+            *local = Some(register(epoch));
+        }
+        let Some(l) = local.as_ref() else { return };
+        if l.tx.try_send(event).is_err() {
+            // Full or disconnected: accounted, never blocking.
+            l.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+}
+
+/// Drain every shard into `sink`, FIFO per shard, in registration order.
+/// Newly observed overflow is surfaced as a `telemetry.dropped` counter
+/// increment and one `telemetry.shard_overflow` event per affected
+/// shard; shards whose thread has exited are drained fully, then
+/// removed. Each delivered event is also passed to `fold` (the live
+/// session aggregator). Returns the number of buffered events delivered.
+pub(crate) fn drain_into(sink: &dyn Sink, mut fold: impl FnMut(&Event)) -> u64 {
+    let mut reg = shards().lock();
+    let mut delivered = 0u64;
+    let mut overflow: Vec<(usize, u64)> = Vec::new();
+    reg.retain_mut(|shard| {
+        let live = loop {
+            match shard.rx.try_recv() {
+                Ok(ev) => {
+                    sink.record(&ev);
+                    fold(&ev);
+                    delivered += 1;
+                }
+                Err(TryRecvError::Empty) => break true,
+                Err(TryRecvError::Disconnected) => break false,
+            }
+        };
+        let total = shard.dropped.load(Ordering::Relaxed);
+        if total > shard.reported {
+            overflow.push((shard.index, total - shard.reported));
+            shard.reported = total;
+        }
+        live
+    });
+    drop(reg);
+    for (index, dropped) in overflow {
+        TOTAL_DROPPED.fetch_add(dropped, Ordering::Relaxed);
+        crate::counter("telemetry.dropped").add(dropped);
+        let ev = Event::new(
+            "telemetry.shard_overflow",
+            vec![
+                ("shard", FieldValue::U64(index as u64)),
+                ("dropped", FieldValue::U64(dropped)),
+            ],
+        );
+        sink.record(&ev);
+        fold(&ev);
+    }
+    delivered
+}
+
+/// Drops surfaced so far in this install (monotonic within an install).
+pub(crate) fn dropped_total() -> u64 {
+    TOTAL_DROPPED.load(Ordering::Relaxed)
+}

@@ -11,6 +11,7 @@ use std::fmt;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{SystemTime, UNIX_EPOCH};
 
 /// One field value of a structured event.
@@ -164,19 +165,55 @@ impl Sink for NullSink {
 }
 
 /// Buffers events in memory for test assertions.
+///
+/// Reads come in two flavours: [`TestSink::events`] clones the whole
+/// buffer (convenient, O(n) copy), while [`TestSink::take_events`] and
+/// [`TestSink::with_events`] move or borrow it without cloning — prefer
+/// those in loops and long property tests. [`TestSink::bounded`] caps
+/// the buffer so a runaway generator can't balloon memory; records past
+/// the cap are counted in [`TestSink::dropped`] instead of stored.
 #[derive(Debug, Default)]
 pub struct TestSink {
     events: Mutex<Vec<Event>>,
+    /// `usize::MAX` (unbounded) unless built with [`TestSink::bounded`].
+    limit: usize,
+    dropped: AtomicU64,
 }
 
 impl TestSink {
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            events: Mutex::new(Vec::new()),
+            limit: usize::MAX,
+            dropped: AtomicU64::new(0),
+        }
     }
 
-    /// All recorded events, in order.
+    /// A sink that stores at most `limit` events; later records are
+    /// dropped (and counted) rather than grown.
+    pub fn bounded(limit: usize) -> Self {
+        Self {
+            events: Mutex::new(Vec::new()),
+            limit,
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// All recorded events, in order (clones the buffer — prefer
+    /// [`TestSink::take_events`]/[`TestSink::with_events`] on hot paths).
     pub fn events(&self) -> Vec<Event> {
         self.events.lock().clone()
+    }
+
+    /// Move the recorded events out, leaving the buffer empty. The
+    /// clone-free snapshot for single-read consumers.
+    pub fn take_events(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock())
+    }
+
+    /// Run `f` over the recorded events in place, without cloning.
+    pub fn with_events<R>(&self, f: impl FnOnce(&[Event]) -> R) -> R {
+        f(&self.events.lock())
     }
 
     /// Recorded events with the given family name.
@@ -193,6 +230,20 @@ impl TestSink {
         self.events.lock().iter().filter(|e| e.name == name).count()
     }
 
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Records discarded because the buffer was at its bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
     pub fn clear(&self) {
         self.events.lock().clear();
     }
@@ -200,7 +251,12 @@ impl TestSink {
 
 impl Sink for TestSink {
     fn record(&self, event: &Event) {
-        self.events.lock().push(event.clone());
+        let mut events = self.events.lock();
+        if events.len() < self.limit {
+            events.push(event.clone());
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -237,15 +293,25 @@ impl Sink for JsonlSink {
                 .unwrap_or(0)
         });
         let value = event.to_json_value(ts);
-        if let Ok(line) = serde_json::to_string(&value) {
-            let mut w = self.writer.lock();
-            // Ignore I/O errors: telemetry must never take down tuning.
-            let _ = writeln!(w, "{line}");
+        match serde_json::to_string(&value) {
+            Ok(line) => {
+                let mut w = self.writer.lock();
+                // Swallow-but-count I/O errors: telemetry must never take
+                // down tuning, but a silently truncated log must show up
+                // in the `telemetry.sink_error` counter (surfaced by the
+                // `telemetry.flush` summary and `deepcat-tune report`).
+                if writeln!(w, "{line}").is_err() {
+                    crate::counter("telemetry.sink_error").inc();
+                }
+            }
+            Err(_) => crate::counter("telemetry.sink_error").inc(),
         }
     }
 
     fn flush(&self) {
-        let _ = self.writer.lock().flush();
+        if self.writer.lock().flush().is_err() {
+            crate::counter("telemetry.sink_error").inc();
+        }
     }
 }
 

@@ -197,12 +197,16 @@ impl ProfileReport {
     /// Fraction of instrumented wall time attributed to named spans,
     /// in percent. 100.0 when there is no wall time at all (frozen
     /// clock) — zero seconds are trivially fully attributed.
+    ///
+    /// Rounded to 9 decimal places and clamped to `[0, 100]`: self
+    /// times that partition their root exactly must report exactly
+    /// 100.0, not `99.9999999999999` of float-summation noise.
     pub fn coverage_pct(&self) -> f64 {
         if self.total_wall_s <= 0.0 {
-            100.0
-        } else {
-            100.0 * self.attributed_s / self.total_wall_s
+            return 100.0;
         }
+        let pct = 100.0 * self.attributed_s / self.total_wall_s;
+        ((pct * 1e9).round() / 1e9).clamp(0.0, 100.0)
     }
 
     /// Render as an aligned text table, largest self time first.
@@ -325,9 +329,23 @@ impl ChromeTraceSink {
         }
     }
 
-    /// Spans captured so far (snapshot, in emission order).
+    /// Spans captured so far (clones the buffer — prefer
+    /// [`ChromeTraceSink::take_records`]/[`ChromeTraceSink::with_records`]
+    /// for large traces).
     pub fn records(&self) -> Vec<SpanRecord> {
         self.records.lock().clone()
+    }
+
+    /// Move the captured spans out, leaving the buffer empty. Note that
+    /// a later [`Sink::flush`] then writes only spans captured after
+    /// the take.
+    pub fn take_records(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut *self.records.lock())
+    }
+
+    /// Run `f` over the captured spans in place, without cloning.
+    pub fn with_records<R>(&self, f: impl FnOnce(&[SpanRecord]) -> R) -> R {
+        f(&self.records.lock())
     }
 }
 
@@ -340,8 +358,11 @@ impl Sink for ChromeTraceSink {
 
     fn flush(&self) {
         let json = chrome_trace_json(&self.records.lock());
-        // Ignore I/O errors: telemetry must never take down tuning.
-        let _ = std::fs::write(&self.path, json.as_bytes());
+        // Swallow-but-count I/O errors: telemetry must never take down
+        // tuning, but a missing trace file must be observable.
+        if std::fs::write(&self.path, json.as_bytes()).is_err() {
+            crate::counter("telemetry.sink_error").inc();
+        }
     }
 }
 

@@ -1,0 +1,164 @@
+//! Concurrent emit-path invariants for the sharded pipeline: no events
+//! lost below the shard bound, overflow exactly accounted above it, and
+//! the synchronous (deterministic) mode byte-identical across two runs.
+//! One test fn: the pipeline mode, sink and id counters are process
+//! globals, so phases must run sequentially.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use telemetry::{Event, FieldValue, JsonlSink, SessionCtx, Sink, TestSink};
+
+const THREADS: usize = 8;
+const PER_THREAD: usize = 500;
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sharded-{tag}-{}.jsonl", std::process::id()))
+}
+
+#[test]
+fn sharded_pipeline_accounts_every_event() {
+    // ---- (a) N threads below the shard bound: nothing lost ----------
+    let sink = Arc::new(TestSink::new());
+    telemetry::install_sharded(sink.clone(), 4096);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            s.spawn(move || {
+                let ctx = SessionCtx::new(t as u64 + 1, format!("s{t}"));
+                let _scope = telemetry::session_scope(&ctx);
+                for i in 0..PER_THREAD {
+                    telemetry::event!("stress.emit", i = i, thread = t);
+                }
+            });
+        }
+    });
+    let delivered = telemetry::drain();
+    assert_eq!(delivered, (THREADS * PER_THREAD) as u64, "no event lost");
+    let events = sink.take_events();
+    let stress: Vec<&Event> = events.iter().filter(|e| e.name == "stress.emit").collect();
+    assert_eq!(stress.len(), THREADS * PER_THREAD);
+    for t in 0..THREADS as u64 {
+        let of_session: Vec<u64> = stress
+            .iter()
+            .filter(|e| e.u64("session_id") == Some(t + 1))
+            .map(|e| e.u64("i").expect("i field"))
+            .collect();
+        // Exactly one thread's events per session id, FIFO within the shard.
+        assert_eq!(of_session.len(), PER_THREAD, "session {}", t + 1);
+        assert!(
+            of_session.windows(2).all(|w| w[0] < w[1]),
+            "session {} events out of order",
+            t + 1
+        );
+    }
+    // The live aggregator saw every drained event.
+    let report = telemetry::session_report();
+    assert_eq!(report.sessions.len(), THREADS);
+    assert!(report
+        .sessions
+        .iter()
+        .all(|s| s.events == PER_THREAD as u64));
+    assert_eq!(
+        telemetry::registry_snapshot().counter("telemetry.dropped"),
+        0,
+        "below the bound nothing may drop"
+    );
+    telemetry::shutdown();
+    // Shutdown recorded the flush summary with exact accounting.
+    let tail = sink.take_events();
+    let flush = tail
+        .iter()
+        .find(|e| e.name == "telemetry.flush")
+        .expect("shutdown records telemetry.flush");
+    assert_eq!(flush.u64("events"), Some((THREADS * PER_THREAD) as u64));
+    assert_eq!(flush.u64("dropped"), Some(0));
+    assert_eq!(flush.u64("sessions"), Some(THREADS as u64));
+
+    // ---- (b) overflow above the bound is exactly accounted ----------
+    const CAPACITY: usize = 64;
+    const SENT: usize = 200;
+    let sink = Arc::new(TestSink::new());
+    telemetry::install_sharded(sink.clone(), CAPACITY);
+    for i in 0..SENT {
+        telemetry::event!("stress.overflow", i = i);
+    }
+    assert_eq!(telemetry::drain(), CAPACITY as u64);
+    telemetry::shutdown();
+    let events = sink.take_events();
+    let kept: Vec<u64> = events
+        .iter()
+        .filter(|e| e.name == "stress.overflow")
+        .map(|e| e.u64("i").expect("i field"))
+        .collect();
+    // The first CAPACITY events survive (drop-newest semantics), in order.
+    assert_eq!(kept, (0..CAPACITY as u64).collect::<Vec<u64>>());
+    let over = events
+        .iter()
+        .find(|e| e.name == "telemetry.shard_overflow")
+        .expect("overflow event surfaced");
+    assert_eq!(over.u64("dropped"), Some((SENT - CAPACITY) as u64));
+    assert_eq!(
+        telemetry::registry_snapshot().counter("telemetry.dropped"),
+        (SENT - CAPACITY) as u64
+    );
+    let flush = events
+        .iter()
+        .find(|e| e.name == "telemetry.flush")
+        .expect("flush summary");
+    assert_eq!(flush.u64("events"), Some(SENT as u64));
+    assert_eq!(flush.u64("dropped"), Some((SENT - CAPACITY) as u64));
+
+    // ---- (c) deterministic (sync) mode: two runs byte-identical -----
+    telemetry::freeze_clock();
+    let run = |tag: &str| -> String {
+        let path = temp_path(tag);
+        telemetry::reset_session_ids();
+        telemetry::trace::reset_ids();
+        let sink = JsonlSink::create(&path)
+            .expect("temp jsonl")
+            .without_timestamps();
+        telemetry::install(Arc::new(sink));
+        let ctx = SessionCtx::next("det");
+        telemetry::with_session(&ctx, || {
+            for i in 0..50_u64 {
+                let _span = telemetry::span!("det.step", step = i);
+                telemetry::event!("det.event", i = i);
+            }
+        });
+        telemetry::shutdown();
+        let text = std::fs::read_to_string(&path).expect("log readable");
+        let _ = std::fs::remove_file(&path);
+        text
+    };
+    let a = run("a");
+    let b = run("b");
+    telemetry::unfreeze_clock();
+    assert_eq!(a, b, "deterministic mode must be byte-identical");
+    assert!(a.contains("\"session_id\":1"), "{a}");
+    assert!(a.contains("\"event\":\"telemetry.flush\""), "{a}");
+
+    // ---- (d) sink I/O errors are counted, not swallowed -------------
+    if std::path::Path::new("/dev/full").exists() {
+        let before = telemetry::registry_snapshot().counter("telemetry.sink_error");
+        let sink = JsonlSink::create("/dev/full").expect("open /dev/full");
+        sink.record(&Event::new(
+            "stress.sinkerr",
+            vec![("i", FieldValue::U64(0))],
+        ));
+        sink.flush();
+        let after = telemetry::registry_snapshot().counter("telemetry.sink_error");
+        assert!(after > before, "ENOSPC must increment telemetry.sink_error");
+    }
+}
+
+#[test]
+fn bounded_test_sink_counts_drops() {
+    let sink = TestSink::bounded(10);
+    for i in 0..15_u64 {
+        sink.record(&Event::new("bound.check", vec![("i", FieldValue::U64(i))]));
+    }
+    assert_eq!(sink.len(), 10);
+    assert_eq!(sink.dropped(), 5);
+    let taken = sink.take_events();
+    assert_eq!(taken.len(), 10);
+    assert!(sink.is_empty());
+}

@@ -94,8 +94,20 @@ fi
 echo "guardrail smoke: OK (zero infeasible evals, byte-identical)"
 
 # Perf-regression gate: run the pinned quick-profile baseline suite and
-# compare hot-path throughput against the committed BENCH_3.json. Fails
+# compare hot-path throughput against the committed BENCH_6.json. Fails
 # loudly naming the regressed metric; tolerance absorbs machine noise.
 ./target/release/deepcat-bench baseline --out "$smoke_dir/bench-current.json" >/dev/null
-./target/release/deepcat-bench compare --baseline BENCH_3.json \
+./target/release/deepcat-bench compare --baseline BENCH_6.json \
     --current "$smoke_dir/bench-current.json" --tolerance 0.6
+
+# Telemetry-overhead gate: within the fresh baseline run, the sharded
+# emit hot path must beat the retired global-mutex path by >= 5x, and
+# the disabled path must stay effectively free. Machine-relative ratio,
+# so no cross-machine tolerance is needed.
+./target/release/deepcat-bench overhead --current "$smoke_dir/bench-current.json"
+
+# Session rollup smoke: the offline re-fold of a deterministic log must
+# render a per-session table without error.
+./target/release/deepcat-tune report --log "$smoke_dir/chaos-a.jsonl" \
+    --by-session >/dev/null
+echo "session report smoke: OK"

@@ -1,0 +1,165 @@
+//! Two tuning sessions running concurrently through the sharded
+//! telemetry pipeline must partition the JSONL event stream exactly:
+//! every event belongs to exactly one session (by `session_id`), events
+//! never leak across sessions (a tuner's events all carry its session's
+//! id), and the live per-session rollup agrees with an offline re-fold
+//! of the log.
+
+use deepcat::{
+    online_tune_resilient, train_td3, AgentConfig, ChaosSessionConfig, OfflineConfig, OnlineConfig,
+    ResiliencePolicy, ResilientEnv, SessionOutcome, Td3Agent, TuningEnv,
+};
+use spark_sim::{Cluster, InputSize, Workload, WorkloadKind};
+use std::path::PathBuf;
+use std::sync::Arc;
+use telemetry::{JsonlSink, SessionCtx};
+
+const ALPHA_ID: u64 = 101;
+const BETA_ID: u64 = 202;
+const STEPS: usize = 5;
+
+fn trained_agent(seed: u64) -> Td3Agent {
+    let mut env = TuningEnv::for_workload(
+        Cluster::cluster_a(),
+        Workload::new(WorkloadKind::TeraSort, InputSize::D1),
+        seed,
+    );
+    let mut cfg = AgentConfig::for_dims(env.state_dim(), env.action_dim());
+    cfg.hidden = vec![32, 32];
+    cfg.warmup_steps = 64;
+    cfg.batch_size = 32;
+    let (agent, _, _) = train_td3(&mut env, cfg, &OfflineConfig::deepcat(500, seed), &[]);
+    agent
+}
+
+fn run_session(mut agent: Td3Agent, env_seed: u64, ctx: SessionCtx, tuner: &str) {
+    // The ambient scope covers env construction too (its simulator probes
+    // belong to the session); the explicit `session:` field exercises the
+    // pinned-identity path inside the tuner as well.
+    telemetry::with_session(&ctx, || {
+        let mut env = ResilientEnv::new(
+            TuningEnv::for_workload(
+                Cluster::cluster_a().with_background_load(0.15),
+                Workload::new(WorkloadKind::TeraSort, InputSize::D1),
+                env_seed,
+            ),
+            ResiliencePolicy::default(),
+        );
+        let session = ChaosSessionConfig {
+            session: Some(ctx.clone()),
+            ..ChaosSessionConfig::default()
+        };
+        let out = online_tune_resilient(
+            &mut agent,
+            &mut env,
+            &OnlineConfig::deepcat(7),
+            &session,
+            tuner,
+        )
+        .expect("session I/O");
+        assert!(matches!(out, SessionOutcome::Completed(_)));
+    });
+}
+
+fn temp_log() -> PathBuf {
+    std::env::temp_dir().join(format!("sessions-{}.jsonl", std::process::id()))
+}
+
+#[test]
+fn interleaved_sessions_partition_the_jsonl_stream() {
+    // Train before installing telemetry: offline training is session-less
+    // and would otherwise flood the log with unattributed events.
+    let agent = trained_agent(33);
+    let path = temp_log();
+    let sink = JsonlSink::create(&path).expect("temp jsonl");
+    telemetry::install_sharded(Arc::new(sink), telemetry::DEFAULT_SHARD_CAPACITY);
+
+    std::thread::scope(|s| {
+        let alpha_agent = agent.clone();
+        s.spawn(move || {
+            run_session(
+                alpha_agent,
+                34,
+                SessionCtx::new(ALPHA_ID, "alpha"),
+                "alpha-tuner",
+            );
+        });
+        s.spawn(move || {
+            run_session(agent, 35, SessionCtx::new(BETA_ID, "beta"), "beta-tuner");
+        });
+    });
+
+    // The live aggregator (fed at every drain) saw both sessions fully.
+    let live = telemetry::session_report();
+    assert_eq!(live.sessions.len(), 2, "{live:?}");
+    for (id, label) in [(ALPHA_ID, "alpha"), (BETA_ID, "beta")] {
+        let s = live.get(id).expect("live session present");
+        assert_eq!(s.label, label);
+        assert_eq!(s.steps, STEPS as u64);
+    }
+    assert_eq!(live.unattributed_events, 0, "{live:?}");
+
+    telemetry::shutdown();
+    let text = std::fs::read_to_string(&path).expect("log readable");
+    let _ = std::fs::remove_file(&path);
+
+    let mut offline = telemetry::SessionAggregator::new();
+    let mut starts = (0u64, 0u64);
+    let mut ends = (0u64, 0u64);
+    let mut steps = (0u64, 0u64);
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let value: serde::Value = serde_json::from_str(line).expect("valid JSONL");
+        offline.observe_value(&value);
+        let event = value
+            .get("event")
+            .and_then(|v| v.as_str())
+            .expect("event name")
+            .to_string();
+        if event == "telemetry.flush" {
+            continue;
+        }
+        // Exact partition: every event belongs to exactly one session.
+        let sid = value
+            .get("session_id")
+            .and_then(|v| v.as_u64())
+            .unwrap_or_else(|| panic!("unattributed event in stream: {line}"));
+        assert!(sid == ALPHA_ID || sid == BETA_ID, "{line}");
+        // No leakage: a tuner's events carry its session's id only.
+        if let Some(tuner) = value.get("tuner").and_then(|v| v.as_str()) {
+            let expect = if tuner == "alpha-tuner" {
+                ALPHA_ID
+            } else {
+                assert_eq!(tuner, "beta-tuner", "{line}");
+                BETA_ID
+            };
+            assert_eq!(sid, expect, "cross-session leak: {line}");
+        }
+        let slot = |pair: &mut (u64, u64)| {
+            if sid == ALPHA_ID {
+                pair.0 += 1
+            } else {
+                pair.1 += 1
+            }
+        };
+        match event.as_str() {
+            "session.start" => slot(&mut starts),
+            "session.end" => slot(&mut ends),
+            "online.step" => slot(&mut steps),
+            _ => {}
+        }
+    }
+    assert_eq!(starts, (1, 1), "one session.start per session");
+    assert_eq!(ends, (1, 1), "one session.end per session");
+    assert_eq!(steps, (STEPS as u64, STEPS as u64));
+
+    // The offline re-fold of the stream agrees with the live rollup.
+    let report = offline.report();
+    assert_eq!(report.unattributed_events, 0, "{report:?}");
+    for (id, live_s) in [(ALPHA_ID, live.get(ALPHA_ID)), (BETA_ID, live.get(BETA_ID))] {
+        let off = report.get(id).expect("offline session present");
+        let live_s = live_s.expect("live session present");
+        assert_eq!(off.steps, live_s.steps);
+        assert_eq!(off.label, live_s.label);
+        assert!((off.reward_sum - live_s.reward_sum).abs() < 1e-9);
+    }
+}

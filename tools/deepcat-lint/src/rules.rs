@@ -9,7 +9,9 @@
 //! * `numeric.*` — NaN-unsafe `partial_cmp().unwrap()` and lossy `as`
 //!   casts in math kernels;
 //! * `telemetry.*` — metric/event names must be `family.snake_case`
-//!   and registered in `crates/telemetry/events.toml`;
+//!   and registered in `crates/telemetry/events.toml`; core-crate
+//!   functions handling a `SessionCtx` must open its scope before
+//!   emitting (`telemetry.session_scope`);
 //!
 //! plus `safety.undocumented_unsafe` for `unsafe` without a
 //! `// SAFETY:` comment.
@@ -17,7 +19,8 @@
 //! Escape hatches are deliberate and auditable: a justified
 //! `// PANIC-SAFETY:` comment (for `expect`/explicit panics), a
 //! `// CAST-SAFETY:` comment (for lossy casts), a `// SAFETY:` comment
-//! (for `unsafe`), or a reasoned entry in `lint.toml`.
+//! (for `unsafe`), a `// SESSION-SCOPE:` comment (for deliberately
+//! unscoped emits), or a reasoned entry in `lint.toml`.
 
 use crate::lexer::{lex, Tok, TokKind};
 use crate::manifest::Manifest;
@@ -96,6 +99,7 @@ pub fn lint_source(
     numeric_rules(&cx, &mut findings);
     safety_rules(&cx, &mut findings);
     telemetry_rules(&cx, manifest, seen, &mut findings);
+    session_rules(&cx, &mut findings);
     findings.sort();
     findings.dedup();
     findings
@@ -585,6 +589,105 @@ fn check_telemetry_name(
             None,
         ));
     }
+}
+
+// ---- session scoping --------------------------------------------------
+
+/// In core crates, a function that handles a [`SessionCtx`] is expected
+/// to open an ambient scope (`telemetry::session_scope` /
+/// `telemetry::with_session`) before emitting events — otherwise the
+/// events it emits lose their `session_id` attribution even though the
+/// session identity was right there. Flags every emission site in such a
+/// function; a justified `// SESSION-SCOPE:` comment on (or just above)
+/// the call line is the escape hatch.
+fn session_rules(cx: &FileCx<'_>, out: &mut Vec<Finding>) {
+    if cx.is_bin || !CORE_CRATES.contains(&cx.krate) {
+        return;
+    }
+    let mut i = 0usize;
+    while i < cx.code.len() {
+        if !is_ident(cx.code.get(i), "fn") || cx.in_attr.get(i).copied().unwrap_or(false) {
+            i += 1;
+            continue;
+        }
+        // Walk from the signature to the body's opening brace; a `;`
+        // first means a bodyless declaration (trait method, extern).
+        let mut j = i + 1;
+        while j < cx.code.len() && !is_punct(cx.code.get(j), "{") {
+            if is_punct(cx.code.get(j), ";") {
+                break;
+            }
+            j += 1;
+        }
+        if !is_punct(cx.code.get(j), "{") {
+            i = j + 1;
+            continue;
+        }
+        let end = matching_bracket(&cx.code, j, "{", "}");
+        let fn_toks = cx.code.get(i..=end.min(cx.code.len() - 1)).unwrap_or(&[]);
+        let has = |name: &str| {
+            fn_toks
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && t.text == name)
+        };
+        // The signature counts: `ctx: &SessionCtx` params are in scope.
+        if has("SessionCtx") && !has("session_scope") && !has("with_session") {
+            for k in i..=end.min(cx.code.len() - 1) {
+                let Some(site) = emission_site(cx, k) else {
+                    continue;
+                };
+                if cx.in_test(k) || cx.escape_comment(site.line, "SESSION-SCOPE:") {
+                    continue;
+                }
+                out.push(
+                    cx.finding(
+                        site,
+                        "telemetry.session_scope",
+                        "telemetry emitted in a function handling a SessionCtx without \
+                     opening its scope (`telemetry::session_scope`/`with_session`); \
+                     events lose session attribution — or justify with \
+                     `// SESSION-SCOPE:`"
+                            .into(),
+                        None,
+                    ),
+                );
+            }
+        }
+        // Nested fns are covered by the enclosing range; skip past it.
+        i = end + 1;
+    }
+}
+
+/// Is `cx.code[k]` the head of a telemetry emission (`telemetry::emit(`,
+/// `telemetry::<fn>(`, `telemetry::event!(`/`span!(`, or a bare
+/// `span!(`/`span(` call)? Returns the token to report on.
+fn emission_site<'a>(cx: &'a FileCx<'_>, k: usize) -> Option<&'a Tok<'a>> {
+    let t = cx.code.get(k)?;
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    if t.text == "telemetry"
+        && is_punct(cx.code.get(k + 1), ":")
+        && is_punct(cx.code.get(k + 2), ":")
+    {
+        let f = cx.code.get(k + 3)?;
+        if f.kind != TokKind::Ident {
+            return None;
+        }
+        let is_fn_call = TELEMETRY_FNS.contains(&f.text) && is_punct(cx.code.get(k + 4), "(");
+        let is_macro = matches!(f.text, "event" | "span")
+            && is_punct(cx.code.get(k + 4), "!")
+            && is_punct(cx.code.get(k + 5), "(");
+        return (is_fn_call || is_macro).then_some(f);
+    }
+    if t.text == "span"
+        && !(k > 0 && (is_punct(cx.code.get(k - 1), ".") || is_punct(cx.code.get(k - 1), ":")))
+        && ((is_punct(cx.code.get(k + 1), "!") && is_punct(cx.code.get(k + 2), "("))
+            || is_punct(cx.code.get(k + 1), "("))
+    {
+        return Some(t);
+    }
+    None
 }
 
 /// `family.snake_case` with at least two dotted segments, each

@@ -1,0 +1,48 @@
+//! Fixture for the `telemetry.session_scope` rule: functions handling a
+//! SessionCtx must open its scope before emitting telemetry.
+
+use telemetry::SessionCtx;
+
+/// BAD: a SessionCtx is in scope but the emits never open it — both the
+/// event! and the bare span! site must be flagged.
+pub fn unscoped_session_tune(ctx: &SessionCtx, steps: usize) {
+    telemetry::event!("tune.summary", label = ctx.label(), steps = steps);
+    let _span = span!("env.eval");
+}
+
+/// GOOD: the scope is opened before anything is emitted.
+pub fn scoped_session_tune(ctx: &SessionCtx, steps: usize) {
+    let _scope = telemetry::session_scope(ctx);
+    telemetry::event!("tune.summary", steps = steps);
+}
+
+/// GOOD: closure-style scoping counts too.
+pub fn closure_scoped_tune(ctx: &SessionCtx) {
+    telemetry::with_session(ctx, || {
+        telemetry::event!("tune.summary", steps = 1);
+    });
+}
+
+/// GOOD: no SessionCtx anywhere near — ambient scoping (or none) is the
+/// caller's business.
+pub fn plain_emit(steps: usize) {
+    telemetry::event!("tune.summary", steps = steps);
+}
+
+/// Escaped: the comment acknowledges the process-wide event on purpose.
+pub fn deliberate_unscoped(ctx: SessionCtx) {
+    drop(ctx);
+    // SESSION-SCOPE: process-wide lifecycle event, not session work.
+    telemetry::event!("tune.summary", steps = 0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_emits_are_exempt() {
+        let _ctx = SessionCtx::new(1, "t");
+        telemetry::event!("tune.summary", steps = 1);
+    }
+}

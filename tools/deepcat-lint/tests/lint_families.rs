@@ -210,6 +210,50 @@ fn unregistered_guardrail_events_fail_the_manifest_rule() {
 }
 
 #[test]
+fn session_scope_rule_fires_only_on_unscoped_emits() {
+    let manifest = Manifest::parse(
+        "[[event]]\nname = \"tune.summary\"\ndoc = \"summary\"\n\n\
+         [[event]]\nname = \"env.eval\"\ndoc = \"eval span\"\n",
+    )
+    .expect("manifest parses");
+    let f = lint_fixture(
+        "crates/deepcat/src/fixture.rs",
+        "telemetry_sessions.rs",
+        &manifest,
+    );
+    let r = rules(&f);
+    // `unscoped_session_tune` has two emission sites (event! + bare
+    // span!); the scoped, ctx-free, SESSION-SCOPE-escaped and test fns
+    // must stay clean.
+    assert_eq!(
+        r.iter()
+            .filter(|r| **r == "telemetry.session_scope")
+            .count(),
+        2,
+        "{f:?}"
+    );
+}
+
+#[test]
+fn session_scope_rule_ignores_non_core_crates_and_bins() {
+    let manifest = Manifest::parse(
+        "[[event]]\nname = \"tune.summary\"\ndoc = \"summary\"\n\n\
+         [[event]]\nname = \"env.eval\"\ndoc = \"eval span\"\n",
+    )
+    .expect("manifest parses");
+    for rel in [
+        "crates/bench/src/fixture.rs",
+        "crates/deepcat/src/bin/fixture.rs",
+    ] {
+        let f = lint_fixture(rel, "telemetry_sessions.rs", &manifest);
+        assert!(
+            !rules(&f).contains(&"telemetry.session_scope"),
+            "{rel}: {f:?}"
+        );
+    }
+}
+
+#[test]
 fn safety_family_fires() {
     let f = lint_fixture(
         "crates/rl/src/fixture.rs",

@@ -43,7 +43,7 @@ pub mod channel {
 
     use std::sync::mpsc;
 
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError, TrySendError};
 
     /// Sending half of a channel (clonable).
     pub struct Sender<T> {
@@ -71,6 +71,18 @@ pub mod channel {
             match &self.inner {
                 SenderKind::Bounded(s) => s.send(value),
                 SenderKind::Unbounded(s) => s.send(value),
+            }
+        }
+
+        /// Non-blocking send: `Err(TrySendError::Full)` when a bounded
+        /// channel is at capacity (unbounded channels are never full),
+        /// `Err(TrySendError::Disconnected)` when the receiver is gone.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match &self.inner {
+                SenderKind::Bounded(s) => s.try_send(value),
+                SenderKind::Unbounded(s) => s
+                    .send(value)
+                    .map_err(|SendError(v)| TrySendError::Disconnected(v)),
             }
         }
     }
@@ -128,6 +140,18 @@ mod tests {
         })
         .unwrap();
         assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        use super::channel::TrySendError;
+        let (tx, rx) = super::channel::bounded::<u32>(1);
+        tx.try_send(1).unwrap();
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+        assert_eq!(rx.try_recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        drop(rx);
+        assert!(matches!(tx.try_send(4), Err(TrySendError::Disconnected(4))));
     }
 
     #[test]
