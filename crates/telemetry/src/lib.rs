@@ -130,25 +130,32 @@ impl MetricsRegistry {
     /// Serializable snapshot of every metric, sorted by name (the
     /// `BTreeMap` registry iterates in key order already).
     pub fn snapshot(&self) -> RegistrySnapshot {
+        // Each map is read under its own statement-scoped guard so no
+        // two registry locks are ever held at once.
+        let counters = self
+            .counters
+            .read()
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            // LOCK-ORDER: `v.snapshot()` is Histogram::snapshot (a name
+            // collision with this method); it never locks the registry.
+            .read()
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.snapshot()))
+            .collect();
         RegistrySnapshot {
-            counters: self
-                .counters
-                .read()
-                .iter()
-                .map(|(k, v)| (k.to_string(), v.get()))
-                .collect(),
-            gauges: self
-                .gauges
-                .read()
-                .iter()
-                .map(|(k, v)| (k.to_string(), v.get()))
-                .collect(),
-            histograms: self
-                .histograms
-                .read()
-                .iter()
-                .map(|(k, v)| (k.to_string(), v.snapshot()))
-                .collect(),
+            counters,
+            gauges,
+            histograms,
         }
     }
 
@@ -280,6 +287,8 @@ pub fn drain() -> u64 {
     }
     let sink = Arc::clone(&*global_sink().lock());
     let mut agg = live_sessions().lock();
+    // GUARD-EMIT: emitters never take the aggregator lock (emit() only
+    // touches shard buffers), so sink re-entry cannot deadlock here.
     shard::drain_into(&*sink, |e| agg.observe_event(e))
 }
 
@@ -319,6 +328,8 @@ pub fn shutdown() {
     if was != MODE_OFF {
         if was == MODE_SHARDED {
             let mut agg = live_sessions().lock();
+            // GUARD-EMIT: teardown drain; emitters never take the live
+            // aggregator lock, so sink re-entry cannot deadlock on it.
             shard::drain_into(&*old, |e| agg.observe_event(e));
         }
         record_flush_summary(&*old);
@@ -333,6 +344,8 @@ pub fn flush() {
     let sink = Arc::clone(&*global_sink().lock());
     if mode == MODE_SHARDED {
         let mut agg = live_sessions().lock();
+        // GUARD-EMIT: flush-time drain; emitters never take the live
+        // aggregator lock, so sink re-entry cannot deadlock on it.
         shard::drain_into(&*sink, |e| agg.observe_event(e));
     }
     if mode != MODE_OFF {

@@ -117,6 +117,8 @@ pub(crate) fn drain_into(sink: &dyn Sink, mut fold: impl FnMut(&Event)) -> u64 {
         let live = loop {
             match shard.rx.try_recv() {
                 Ok(ev) => {
+                    // GUARD-EMIT: sinks only bump metrics-registry
+                    // counters, never the shard registry held here.
                     sink.record(&ev);
                     fold(&ev);
                     delivered += 1;
@@ -127,6 +129,8 @@ pub(crate) fn drain_into(sink: &dyn Sink, mut fold: impl FnMut(&Event)) -> u64 {
         };
         let total = shard.dropped.load(Ordering::Relaxed);
         if total > shard.reported {
+            // GUARD-EMIT: Vec::push (name-collides with the replay
+            // buffers' emitting `push`); a Vec never emits telemetry.
             overflow.push((shard.index, total - shard.reported));
             shard.reported = total;
         }

@@ -227,6 +227,8 @@ impl TestSink {
     }
 
     pub fn count(&self, name: &str) -> usize {
+        // LOCK-ORDER: the trailing `.count()` is Iterator::count (a name
+        // collision with this method); nothing re-locks under the guard.
         self.events.lock().iter().filter(|e| e.name == name).count()
     }
 
@@ -295,12 +297,17 @@ impl Sink for JsonlSink {
         let value = event.to_json_value(ts);
         match serde_json::to_string(&value) {
             Ok(line) => {
-                let mut w = self.writer.lock();
                 // Swallow-but-count I/O errors: telemetry must never take
                 // down tuning, but a silently truncated log must show up
                 // in the `telemetry.sink_error` counter (surfaced by the
                 // `telemetry.flush` summary and `deepcat-tune report`).
-                if writeln!(w, "{line}").is_err() {
+                // The guard is dropped before the counter bump so no lock
+                // is held while re-entering telemetry.
+                let failed = {
+                    let mut w = self.writer.lock();
+                    writeln!(w, "{line}").is_err()
+                };
+                if failed {
                     crate::counter("telemetry.sink_error").inc();
                 }
             }

@@ -8,9 +8,16 @@ cargo build --release
 cargo test -q
 cargo fmt --check
 
-# Static analysis: determinism, panic-freedom, numeric-safety, and
-# telemetry-naming invariants (see DESIGN.md and lint.toml). Fails on any
-# unsuppressed finding and on stale allowlist entries.
+# Static analysis: token families plus the AST/call-graph families
+# (concurrency.lock_order, concurrency.guard_across_emit,
+# panic.reachable, determinism.entropy_flow, telemetry.session_scope) —
+# see DESIGN.md "Static analysis v2" and lint.toml. Fails on any
+# unsuppressed finding across every family and on stale allowlist
+# entries. The SARIF artifact is written first (non-gating) so it is
+# available for upload even when the gate fails.
+mkdir -p target/ci-artifacts
+cargo run --release -q -p deepcat-lint -- --format sarif \
+    >target/ci-artifacts/deepcat-lint.sarif || true
 cargo run --release -q -p deepcat-lint
 
 # Determinism smoke: two same-seed runs of a single-threaded experiment

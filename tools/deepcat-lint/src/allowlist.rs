@@ -54,10 +54,12 @@ impl Allowlist {
         Ok(Self { entries })
     }
 
-    /// Split findings into (kept, suppressed-count), recording hits.
-    pub fn apply(&mut self, findings: Vec<Finding>) -> (Vec<Finding>, usize) {
+    /// Split findings into (kept, suppressed), recording hits. The
+    /// suppressed findings are returned (not just counted) so the
+    /// report can show per-rule totals including allowlisted sites.
+    pub fn apply(&mut self, findings: Vec<Finding>) -> (Vec<Finding>, Vec<Finding>) {
         let mut kept = Vec::new();
-        let mut suppressed = 0usize;
+        let mut suppressed = Vec::new();
         'next: for f in findings {
             for e in &mut self.entries {
                 let rule_match = f.rule == e.rule
@@ -66,7 +68,7 @@ impl Allowlist {
                         .is_some_and(|rest| rest.starts_with('.'));
                 if rule_match && f.path.starts_with(e.path.as_str()) {
                     e.hits += 1;
-                    suppressed += 1;
+                    suppressed.push(f);
                     continue 'next;
                 }
             }
@@ -110,7 +112,7 @@ mod tests {
             // `panic2.x` must not match the `panic` family prefix.
             finding("panic2.x", "crates/tensor-nn/src/matrix.rs"),
         ]);
-        assert_eq!(n, 2);
+        assert_eq!(n.len(), 2);
         assert_eq!(kept.len(), 2);
         assert!(a.unused().next().is_none());
     }

@@ -1,0 +1,205 @@
+//! A pragmatic AST for the deepcat-lint analyzer.
+//!
+//! This is not a faithful Rust grammar — it is the minimal shape the
+//! call-graph and dataflow passes need: items with names and spans,
+//! statements with `let`-binding structure, and expressions with
+//! call/method-call/field/path structure in **evaluation order**.
+//! Anything the parser cannot classify lands in [`Expr::Group`], a
+//! catch-all that preserves the evaluation order of its children so
+//! dataflow walks never lose a lock acquisition or an RNG use.
+//!
+//! Totality contract: the parser ([`crate::parse`]) always produces a
+//! `SourceFile` — possibly with [`Diag`]s, never a panic — for
+//! arbitrary byte input (property-tested in `tests/proptest_lexer.rs`).
+
+/// Parsed file: top-level items plus any parse diagnostics.
+#[derive(Debug, Default)]
+pub struct SourceFile {
+    pub items: Vec<Item>,
+    pub diags: Vec<Diag>,
+}
+
+/// A non-fatal parse diagnostic (the parser recovers and continues).
+#[derive(Debug, Clone)]
+pub struct Diag {
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+/// One item, possibly nested (inside `mod`/`impl`/`trait`).
+#[derive(Debug)]
+pub struct Item {
+    pub kind: ItemKind,
+    /// Item carries `#[test]`/`#[cfg(test)]` (directly or via parent).
+    pub is_test: bool,
+    pub line: u32,
+}
+
+#[derive(Debug)]
+pub enum ItemKind {
+    Fn(Func),
+    /// `impl`/`trait`/`mod` with nested items. `name` is the impl'd
+    /// type (last path segment before `{`/`for`), trait name, or module
+    /// name — enough for method-receiver resolution.
+    Container {
+        kind: ContainerKind,
+        name: String,
+        items: Vec<Item>,
+    },
+    /// Structs, enums, uses, consts, macros … — carried for spans only.
+    Other,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContainerKind {
+    Impl,
+    Trait,
+    Mod,
+}
+
+/// A function (free fn, method, or trait default method).
+#[derive(Debug)]
+pub struct Func {
+    pub name: String,
+    pub is_pub: bool,
+    pub has_self: bool,
+    pub params: Vec<Param>,
+    /// Flattened return-type text (`"Result < StdRng , E >"` style,
+    /// space-joined tokens); empty for `()`.
+    pub ret: String,
+    /// `None` for bodyless declarations (trait methods, extern fns).
+    pub body: Option<Block>,
+    pub line: u32,
+    pub col: u32,
+    /// Last line of the body (== `line` when bodyless) — used to map
+    /// token-level findings back to their enclosing function.
+    pub end_line: u32,
+}
+
+#[derive(Debug)]
+pub struct Param {
+    pub name: String,
+    /// Flattened type text, space-joined tokens.
+    pub ty: String,
+}
+
+#[derive(Debug, Default)]
+pub struct Block {
+    pub stmts: Vec<Stmt>,
+}
+
+#[derive(Debug)]
+pub enum Stmt {
+    /// `let <pat> = <init> else { … };` — `names` are the bound
+    /// identifiers (tuple/struct patterns flattened).
+    Let {
+        names: Vec<String>,
+        init: Option<Expr>,
+        else_block: Option<Block>,
+        line: u32,
+    },
+    Expr(Expr),
+    Item(Item),
+}
+
+/// Expressions, evaluation-ordered. Position info lives on the nodes
+/// the rules report on (calls, paths, macros).
+#[derive(Debug)]
+pub enum Expr {
+    /// `a::b::c` (turbofish stripped).
+    Path {
+        segs: Vec<String>,
+        line: u32,
+        col: u32,
+    },
+    Lit {
+        line: u32,
+    },
+    /// `callee(args…)` where callee is usually a `Path`.
+    Call {
+        callee: Box<Expr>,
+        args: Vec<Expr>,
+        line: u32,
+        col: u32,
+    },
+    /// `recv.method(args…)` (turbofish stripped).
+    MethodCall {
+        recv: Box<Expr>,
+        method: String,
+        args: Vec<Expr>,
+        line: u32,
+        col: u32,
+    },
+    /// `name!(…)` / `path::name!(…)`; args are best-effort parsed
+    /// comma-separated expressions.
+    MacroCall {
+        segs: Vec<String>,
+        args: Vec<Expr>,
+        line: u32,
+        col: u32,
+    },
+    Field {
+        recv: Box<Expr>,
+        name: String,
+    },
+    Index {
+        recv: Box<Expr>,
+        index: Box<Expr>,
+    },
+    Block(Block),
+    If {
+        cond: Box<Expr>,
+        then: Block,
+        alt: Option<Box<Expr>>,
+    },
+    Match {
+        scrutinee: Box<Expr>,
+        /// Arm bodies (patterns/guards folded into Group children when
+        /// they contain expressions worth walking).
+        arms: Vec<Expr>,
+    },
+    /// `loop`/`while`/`for`; `head` is the condition / iterator expr.
+    Loop {
+        head: Option<Box<Expr>>,
+        body: Block,
+    },
+    Closure {
+        body: Box<Expr>,
+        line: u32,
+    },
+    /// Evaluation-ordered catch-all: operators, tuples, references,
+    /// struct literals, casts … — children in source order.
+    Group(Vec<Expr>),
+}
+
+impl Expr {
+    /// Line of the expression's head token, best-effort.
+    pub fn line(&self) -> u32 {
+        match self {
+            Expr::Path { line, .. }
+            | Expr::Lit { line }
+            | Expr::Call { line, .. }
+            | Expr::MethodCall { line, .. }
+            | Expr::MacroCall { line, .. }
+            | Expr::Closure { line, .. } => *line,
+            Expr::Field { recv, .. } | Expr::Index { recv, .. } => recv.line(),
+            Expr::Block(b) => b.stmts.first().map_or(0, stmt_line),
+            Expr::If { cond, .. } => cond.line(),
+            Expr::Match { scrutinee, .. } => scrutinee.line(),
+            Expr::Loop { head, body } => head
+                .as_ref()
+                .map(|h| h.line())
+                .unwrap_or_else(|| body.stmts.first().map_or(0, stmt_line)),
+            Expr::Group(children) => children.first().map_or(0, Expr::line),
+        }
+    }
+}
+
+fn stmt_line(s: &Stmt) -> u32 {
+    match s {
+        Stmt::Let { line, .. } => *line,
+        Stmt::Expr(e) => e.line(),
+        Stmt::Item(i) => i.line,
+    }
+}

@@ -1,0 +1,686 @@
+//! Workspace symbol table, call graph, and the cross-function rule
+//! families built on [`crate::dataflow::FnFacts`]:
+//!
+//! * `concurrency.lock_order` — a global lock-acquisition-order graph;
+//!   any cycle (including a self-loop: re-acquiring a held lock) is an
+//!   error, because two threads interleaving the two orders deadlock.
+//! * `concurrency.guard_across_emit` — holding a guard across a call
+//!   that may (transitively) re-enter telemetry emission can deadlock
+//!   against the telemetry pipeline's own locks and stalls every other
+//!   emitter; flagged with a witness path.
+//! * `panic.reachable` — reverse propagation of *unsuppressed* token
+//!   `panic.*` findings (the leaf facts) over the call graph; a plain
+//!   `pub` fn in a core crate that can transitively panic is flagged,
+//!   with the panic site named.
+//! * `determinism.entropy_flow` (cross-fn half) — RNG-suspect helper
+//!   results (`let rng = make_rng(); rng.gen()`): consumption is a
+//!   finding iff some resolved callee can return an unseeded RNG.
+//!
+//! Name resolution is deliberately over-approximate (methods resolve by
+//! bare name workspace-wide; free fns by name + qualifier match): the
+//! rules stay sound for deadlock/panic *reachability* and the escape
+//! hatches (`// LOCK-ORDER:`, `// GUARD-EMIT:`, `// PANIC-SAFETY:`,
+//! `// ENTROPY-SAFETY:`, `lint.toml`) absorb deliberate exceptions.
+
+use crate::dataflow::{Callee, FnFacts};
+use crate::rules::{Finding, CORE_CRATES};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Functions in the telemetry crate that emit by definition — the seed
+/// set for the `may_emit` fixpoint (beyond direct emission sites).
+const EMIT_SEEDS: &[&str] = &[
+    "emit",
+    "drain",
+    "flush",
+    "shutdown",
+    "inc",
+    "set_gauge",
+    "observe",
+    "observe_duration",
+    "counter",
+    "gauge",
+    "histogram",
+    "span",
+    "session_report",
+    "metrics_snapshot",
+];
+
+/// The lock-order graph, for the text summary and tests.
+#[derive(Debug, Default)]
+pub struct LockSummary {
+    /// Every distinct lock identity acquired anywhere.
+    pub locks: BTreeSet<String>,
+    /// Acquisition-order edges `held -> acquired`.
+    pub edges: Vec<(String, String)>,
+    /// Non-trivial strongly connected components (sorted lock sets).
+    pub cycles: Vec<Vec<String>>,
+}
+
+/// Workspace call graph over per-function dataflow facts.
+pub struct CallGraph {
+    pub fns: Vec<FnFacts>,
+    /// `resolved[i][c]` — fn indices call site `c` of fn `i` may reach.
+    resolved: Vec<Vec<Vec<usize>>>,
+    may_emit: Vec<bool>,
+    /// For `may_emit` fns: next hop toward a direct emission, for
+    /// witness paths. `None` means this fn emits directly.
+    emit_via: Vec<Option<usize>>,
+    /// Locks a call into this fn may acquire (transitive, non-escaped).
+    acquires_trans: Vec<BTreeSet<String>>,
+    returns_unseeded: Vec<bool>,
+}
+
+impl CallGraph {
+    pub fn build(fns: Vec<FnFacts>) -> Self {
+        let n = fns.len();
+        let mut free_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut methods_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(&f.name).or_default().push(i);
+            if f.has_self {
+                methods_by_name.entry(&f.name).or_default().push(i);
+            } else {
+                free_by_name.entry(&f.name).or_default().push(i);
+            }
+        }
+
+        let resolve = |caller: &FnFacts, callee: &Callee| -> Vec<usize> {
+            match callee {
+                Callee::Method { name } => methods_by_name
+                    .get(name.as_str())
+                    .cloned()
+                    .unwrap_or_default(),
+                Callee::Free { qual: None, name } => free_by_name
+                    .get(name.as_str())
+                    .map(|c| {
+                        c.iter()
+                            .copied()
+                            .filter(|&j| fns[j].krate == caller.krate)
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+                Callee::Free {
+                    qual: Some(q),
+                    name,
+                } => by_name
+                    .get(name.as_str())
+                    .map(|c| {
+                        c.iter()
+                            .copied()
+                            .filter(|&j| {
+                                let f = &fns[j];
+                                if matches!(q.as_str(), "crate" | "self" | "super" | "Self") {
+                                    f.krate == caller.krate
+                                } else {
+                                    f.quals.iter().any(|fq| fq == q)
+                                }
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+            }
+        };
+
+        let mut resolved: Vec<Vec<Vec<usize>>> = Vec::with_capacity(n);
+        for f in &fns {
+            resolved.push(f.calls.iter().map(|c| resolve(f, &c.callee)).collect());
+        }
+
+        // -- may_emit fixpoint (with witness pointers) ------------------
+        let mut may_emit: Vec<bool> = fns
+            .iter()
+            .map(|f| {
+                (f.krate == "telemetry" && EMIT_SEEDS.contains(&f.name.as_str()))
+                    || f.calls.iter().any(|c| c.is_emit)
+            })
+            .collect();
+        let mut emit_via: Vec<Option<usize>> = vec![None; n];
+        loop {
+            let mut changed = false;
+            for i in 0..n {
+                if may_emit[i] {
+                    continue;
+                }
+                'sites: for targets in &resolved[i] {
+                    for &j in targets {
+                        if may_emit[j] {
+                            may_emit[i] = true;
+                            emit_via[i] = Some(j);
+                            changed = true;
+                            break 'sites;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // -- transitive acquisition sets --------------------------------
+        let mut acquires_trans: Vec<BTreeSet<String>> = fns
+            .iter()
+            .map(|f| {
+                f.acquires
+                    .iter()
+                    .filter(|a| !a.escaped)
+                    .map(|a| a.lock.clone())
+                    .collect()
+            })
+            .collect();
+        loop {
+            let mut changed = false;
+            for i in 0..n {
+                let mut add: Vec<String> = Vec::new();
+                for (c, site) in fns[i].calls.iter().enumerate() {
+                    if site.lock_escaped {
+                        continue;
+                    }
+                    for &j in resolved[i].get(c).map(Vec::as_slice).unwrap_or(&[]) {
+                        for l in &acquires_trans[j] {
+                            if !acquires_trans[i].contains(l) {
+                                add.push(l.clone());
+                            }
+                        }
+                    }
+                }
+                for l in add {
+                    changed |= acquires_trans[i].insert(l);
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // -- returns_unseeded fixpoint ----------------------------------
+        let mut returns_unseeded: Vec<bool> = fns
+            .iter()
+            .map(|f| f.returns_rng && f.constructs_unseeded)
+            .collect();
+        loop {
+            let mut changed = false;
+            for i in 0..n {
+                if returns_unseeded[i] || !fns[i].returns_rng {
+                    continue;
+                }
+                let launders = resolved[i].iter().any(|targets| {
+                    targets
+                        .iter()
+                        .any(|&j| fns[j].returns_rng && returns_unseeded[j])
+                });
+                if launders {
+                    returns_unseeded[i] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        CallGraph {
+            fns,
+            resolved,
+            may_emit,
+            emit_via,
+            acquires_trans,
+            returns_unseeded,
+        }
+    }
+
+    /// Witness path `a -> b -> c` from fn `j` to a direct emitter.
+    fn emit_path(&self, mut j: usize) -> String {
+        let mut names = Vec::new();
+        let mut hops = 0;
+        loop {
+            names.push(self.fns.get(j).map(|f| f.name.clone()).unwrap_or_default());
+            match self.emit_via.get(j).copied().flatten() {
+                Some(next) if hops < 8 => {
+                    j = next;
+                    hops += 1;
+                }
+                _ => break,
+            }
+        }
+        names.join(" -> ")
+    }
+
+    /// The workspace-level findings that need no allowlist context:
+    /// `concurrency.lock_order`, `concurrency.guard_across_emit`, and
+    /// the cross-fn half of `determinism.entropy_flow`.
+    pub fn workspace_findings(&self) -> (Vec<Finding>, LockSummary) {
+        let mut out = Vec::new();
+        let summary = self.lock_order(&mut out);
+        self.guard_across_emit(&mut out);
+        self.entropy_pending(&mut out);
+        out.sort();
+        out.dedup();
+        (out, summary)
+    }
+
+    // ---- concurrency.lock_order --------------------------------------
+
+    fn lock_order(&self, out: &mut Vec<Finding>) -> LockSummary {
+        // Edge (held -> acquired) with the first-seen site, in
+        // deterministic (file, line) order.
+        let mut edges: BTreeMap<(String, String), (String, u32, u32)> = BTreeMap::new();
+        let mut locks: BTreeSet<String> = BTreeSet::new();
+        for (i, f) in self.fns.iter().enumerate() {
+            if f.is_test {
+                // Test bodies hold locks across assertions freely; the
+                // ordering invariant is about production interleavings.
+                continue;
+            }
+            // A `// LOCK-ORDER:` escape at an *acquisition* opts that
+            // lock out of this fn's edge construction entirely (held
+            // sets included), so one comment covers a multi-line chain.
+            let opted_out: BTreeSet<&str> = f
+                .acquires
+                .iter()
+                .filter(|a| a.escaped)
+                .map(|a| a.lock.as_str())
+                .collect();
+            for a in &f.acquires {
+                if a.escaped {
+                    continue;
+                }
+                locks.insert(a.lock.clone());
+                for h in &a.held {
+                    if opted_out.contains(h.as_str()) {
+                        continue;
+                    }
+                    edges
+                        .entry((h.clone(), a.lock.clone()))
+                        .or_insert_with(|| (f.file.clone(), a.line, a.col));
+                }
+            }
+            for (c, site) in f.calls.iter().enumerate() {
+                if site.lock_escaped || site.held.is_empty() {
+                    continue;
+                }
+                for &j in self.resolved[i].get(c).map(Vec::as_slice).unwrap_or(&[]) {
+                    for m in &self.acquires_trans[j] {
+                        for h in &site.held {
+                            if opted_out.contains(h.as_str()) {
+                                continue;
+                            }
+                            edges
+                                .entry((h.clone(), m.clone()))
+                                .or_insert_with(|| (f.file.clone(), site.line, site.col));
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        for (a, b) in edges.keys() {
+            adj.entry(a.as_str()).or_default().insert(b.as_str());
+            adj.entry(b.as_str()).or_default();
+        }
+        let cycles = sccs_with_cycles(&adj);
+
+        for cycle in &cycles {
+            // Representative site: the lexicographically-first edge
+            // inside the cycle.
+            let in_cycle = |l: &String| cycle.iter().any(|c| c == l);
+            let Some(((a, b), (file, line, col))) =
+                edges.iter().find(|((a, b), _)| in_cycle(a) && in_cycle(b))
+            else {
+                continue;
+            };
+            out.push(Finding {
+                path: file.clone(),
+                line: *line,
+                col: *col,
+                rule: "concurrency.lock_order",
+                message: format!(
+                    "lock-order cycle across the workspace: {{{}}} (edge `{a}` -> `{b}` \
+                     closes it); two threads taking these locks in different orders \
+                     deadlock — impose a global order or justify with `// LOCK-ORDER:`",
+                    cycle.join(" -> "),
+                ),
+                suggestion: None,
+            });
+        }
+
+        LockSummary {
+            locks,
+            edges: edges.keys().cloned().collect(),
+            cycles,
+        }
+    }
+
+    // ---- concurrency.guard_across_emit --------------------------------
+
+    fn guard_across_emit(&self, out: &mut Vec<Finding>) {
+        for (i, f) in self.fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            for (c, site) in f.calls.iter().enumerate() {
+                if site.held.is_empty() || site.emit_escaped {
+                    continue;
+                }
+                let held = site.held.join(", ");
+                if site.is_emit {
+                    out.push(Finding {
+                        path: f.file.clone(),
+                        line: site.line,
+                        col: site.col,
+                        rule: "concurrency.guard_across_emit",
+                        message: format!(
+                            "telemetry emission while holding {{{held}}}; emission can \
+                             block on the pipeline's own locks (sink, shard registry) — \
+                             drop the guard first or justify with `// GUARD-EMIT:`"
+                        ),
+                        suggestion: None,
+                    });
+                    continue;
+                }
+                let reentrant = self.resolved[i]
+                    .get(c)
+                    .map(Vec::as_slice)
+                    .unwrap_or(&[])
+                    .iter()
+                    .copied()
+                    .find(|&j| self.may_emit[j]);
+                if let Some(j) = reentrant {
+                    out.push(Finding {
+                        path: f.file.clone(),
+                        line: site.line,
+                        col: site.col,
+                        rule: "concurrency.guard_across_emit",
+                        message: format!(
+                            "call to `{}` while holding {{{held}}} may re-enter telemetry \
+                             emission (via {}); drop the guard first or justify with \
+                             `// GUARD-EMIT:`",
+                            site.callee.name(),
+                            self.emit_path(j),
+                        ),
+                        suggestion: None,
+                    });
+                }
+            }
+        }
+    }
+
+    // ---- determinism.entropy_flow (cross-fn half) ---------------------
+
+    fn entropy_pending(&self, out: &mut Vec<Finding>) {
+        for (i, f) in self.fns.iter().enumerate() {
+            for p in &f.pending_rng {
+                // Re-resolve against the caller's context; a helper
+                // found unseeded makes every use a finding.
+                let unseeded = self
+                    .resolve_from(i, &p.callee)
+                    .into_iter()
+                    .find(|&j| self.returns_unseeded[j]);
+                let Some(j) = unseeded else {
+                    continue;
+                };
+                for u in &p.uses {
+                    if u.escaped {
+                        continue;
+                    }
+                    out.push(Finding {
+                        path: f.file.clone(),
+                        line: u.line,
+                        col: u.col,
+                        rule: "determinism.entropy_flow",
+                        message: format!(
+                            "RNG obtained from `{}` (which can return a fresh-entropy \
+                             RNG, see {}) is consumed here; core-crate randomness must \
+                             flow from a seeded StdRng — or justify with \
+                             `// ENTROPY-SAFETY:`",
+                            p.callee.name(),
+                            self.fns
+                                .get(j)
+                                .map(|g| format!("{}:{}", g.file, g.line))
+                                .unwrap_or_default(),
+                        ),
+                        suggestion: Some("rand::rngs::StdRng::seed_from_u64"),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Resolve `callee` as if called from fn `i` (same rules as build).
+    fn resolve_from(&self, i: usize, callee: &Callee) -> Vec<usize> {
+        let Some(caller) = self.fns.get(i) else {
+            return Vec::new();
+        };
+        match callee {
+            Callee::Method { name } => self
+                .fns
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.has_self && f.name == *name)
+                .map(|(j, _)| j)
+                .collect(),
+            Callee::Free { qual: None, name } => self
+                .fns
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| !f.has_self && f.name == *name && f.krate == caller.krate)
+                .map(|(j, _)| j)
+                .collect(),
+            Callee::Free {
+                qual: Some(q),
+                name,
+            } => self
+                .fns
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| {
+                    f.name == *name
+                        && if matches!(q.as_str(), "crate" | "self" | "super" | "Self") {
+                            f.krate == caller.krate
+                        } else {
+                            f.quals.iter().any(|fq| fq == q)
+                        }
+                })
+                .map(|(j, _)| j)
+                .collect(),
+        }
+    }
+
+    // ---- panic.reachable ----------------------------------------------
+
+    /// Propagate unsuppressed token-level `panic.*` `leaves` up the call
+    /// graph; flag plain-`pub` core-crate fns that can transitively
+    /// panic (excluding the leaf-containing fns themselves — their sites
+    /// are already reported).
+    pub fn panic_reachable(&self, leaves: &[Finding]) -> Vec<Finding> {
+        let n = self.fns.len();
+        let mut leaf_site: Vec<Option<(String, u32)>> = vec![None; n];
+        for leaf in leaves {
+            if !leaf.rule.starts_with("panic.") {
+                continue;
+            }
+            // Innermost enclosing fn: the candidate with the largest
+            // start line still containing the site.
+            let mut best: Option<usize> = None;
+            for (i, f) in self.fns.iter().enumerate() {
+                if f.file == leaf.path && f.line <= leaf.line && leaf.line <= f.end_line {
+                    let better = best
+                        .and_then(|b| self.fns.get(b))
+                        .is_none_or(|bf| f.line >= bf.line);
+                    if better {
+                        best = Some(i);
+                    }
+                }
+            }
+            if let Some(i) = best {
+                if leaf_site.get(i).is_some_and(Option::is_none) {
+                    if let Some(slot) = leaf_site.get_mut(i) {
+                        *slot = Some((leaf.path.clone(), leaf.line));
+                    }
+                }
+            }
+        }
+
+        let mut may_panic: Vec<bool> = leaf_site
+            .iter()
+            .enumerate()
+            .map(|(i, l)| l.is_some() && !self.fns[i].panic_escape)
+            .collect();
+        // `via[i]` — (callee fn, call line) that makes fn `i` panicky.
+        let mut via: Vec<Option<(usize, u32)>> = vec![None; n];
+        loop {
+            let mut changed = false;
+            for i in 0..n {
+                if may_panic[i] || self.fns[i].panic_escape {
+                    continue;
+                }
+                'sites: for (c, site) in self.fns[i].calls.iter().enumerate() {
+                    for &j in self.resolved[i].get(c).map(Vec::as_slice).unwrap_or(&[]) {
+                        if may_panic[j] {
+                            may_panic[i] = true;
+                            via[i] = Some((j, site.line));
+                            changed = true;
+                            break 'sites;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let mut out = Vec::new();
+        for (i, f) in self.fns.iter().enumerate() {
+            let flag = f.is_pub
+                && CORE_CRATES.contains(&f.krate.as_str())
+                && !f.is_test
+                && !f.is_bin
+                && may_panic[i]
+                && leaf_site[i].is_none();
+            if !flag {
+                continue;
+            }
+            // Reconstruct the witness chain down to the leaf.
+            let mut chain = vec![f.name.clone()];
+            let mut k = i;
+            let mut hops = 0;
+            while let Some((j, _)) = via.get(k).copied().flatten() {
+                chain.push(self.fns.get(j).map(|g| g.name.clone()).unwrap_or_default());
+                k = j;
+                hops += 1;
+                if hops >= 8 {
+                    break;
+                }
+            }
+            let site = leaf_site
+                .get(k)
+                .and_then(|s| s.as_ref())
+                .map(|(p, l)| format!("{p}:{l}"))
+                .unwrap_or_else(|| "?".to_string());
+            out.push(Finding {
+                path: f.file.clone(),
+                line: f.line,
+                col: f.col,
+                rule: "panic.reachable",
+                message: format!(
+                    "public API `{}` can transitively panic: {} (panic site {site}); \
+                     return a Result, contain the panic, or justify with \
+                     `// PANIC-SAFETY:` on the signature",
+                    f.name,
+                    chain.join(" -> "),
+                ),
+                suggestion: None,
+            });
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// Strongly connected components with ≥2 nodes, plus self-loop
+/// singletons — i.e. exactly the node sets lying on a cycle. Iterative
+/// Tarjan over a `BTreeMap` adjacency, so output order is deterministic.
+/// Each component is returned sorted.
+fn sccs_with_cycles(adj: &BTreeMap<&str, BTreeSet<&str>>) -> Vec<Vec<String>> {
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    let index_of: BTreeMap<&str, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let n = nodes.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![usize::MAX; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+
+    // Iterative Tarjan: frame = (node, neighbor iterator position).
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut ni)) = call.last_mut() {
+            if *ni == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            let neighbors: Vec<usize> = nodes
+                .get(v)
+                .and_then(|name| adj.get(name))
+                .map(|s| s.iter().filter_map(|t| index_of.get(t).copied()).collect())
+                .unwrap_or_default();
+            if let Some(&w) = neighbors.get(*ni) {
+                *ni += 1;
+                if index[w] == usize::MAX {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                // All neighbors done: close the frame.
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comps.push(comp);
+                }
+                call.pop();
+                if let Some(&mut (u, _)) = call.last_mut() {
+                    low[u] = low[u].min(low[v]);
+                }
+            }
+        }
+    }
+
+    let mut out: Vec<Vec<String>> = Vec::new();
+    for comp in comps {
+        let is_cycle = comp.len() > 1
+            || comp.first().is_some_and(|&v| {
+                nodes
+                    .get(v)
+                    .and_then(|name| adj.get(name))
+                    .is_some_and(|s| nodes.get(v).is_some_and(|n2| s.contains(n2)))
+            });
+        if is_cycle {
+            let mut names: Vec<String> = comp
+                .iter()
+                .filter_map(|&v| nodes.get(v).map(|s| s.to_string()))
+                .collect();
+            names.sort();
+            out.push(names);
+        }
+    }
+    out.sort();
+    out
+}

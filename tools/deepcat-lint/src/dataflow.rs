@@ -1,0 +1,1016 @@
+//! Intra-procedural dataflow over the [`crate::ast`]: walks every
+//! function body in evaluation order tracking two value kinds —
+//! **lock guards** (`Mutex`/`RwLock` `lock()`/`read()`/`write()`
+//! results, with Rust's temporary-scope rules: let-bound guards live
+//! to scope end or `drop(g)`, statement temporaries to the end of the
+//! statement, `if`/`while` condition temporaries only through the
+//! condition, `match` scrutinee temporaries through the whole match) —
+//! and **RNG values** (seeded parameters/constructions vs fresh
+//! entropy). The output is a [`FnFacts`] record per function: lock
+//! acquisitions and call sites annotated with the held-lock set, plus
+//! RNG taint facts. The cross-function rules live in
+//! [`crate::callgraph`]; the two purely file-local rules
+//! (`telemetry.session_scope`, direct `determinism.entropy_flow`) are
+//! emitted here.
+
+use crate::ast::{Block, ContainerKind, Expr, Func, Item, ItemKind, SourceFile, Stmt};
+use crate::rules::{Finding, CORE_CRATES, TELEMETRY_FNS};
+use std::collections::BTreeMap;
+
+/// How a call site names its callee.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Callee {
+    /// `name(…)` / `qual::name(…)` — `qual` is the segment directly
+    /// before the name, when present.
+    Free { qual: Option<String>, name: String },
+    /// `recv.name(…)`.
+    Method { name: String },
+}
+
+impl Callee {
+    pub fn name(&self) -> &str {
+        match self {
+            Callee::Free { name, .. } | Callee::Method { name } => name,
+        }
+    }
+}
+
+/// A call site, annotated with the locks held while it runs.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    pub callee: Callee,
+    pub line: u32,
+    pub col: u32,
+    pub held: Vec<String>,
+    /// The site is itself a telemetry emission (leaf fact for
+    /// `may_emit`, flagged directly by `concurrency.guard_across_emit`
+    /// when a guard is held).
+    pub is_emit: bool,
+    /// `// LOCK-ORDER:` escape on/above the line — excluded from the
+    /// lock-order graph.
+    pub lock_escaped: bool,
+    /// `// GUARD-EMIT:` escape — justified guard-across-emit.
+    pub emit_escaped: bool,
+}
+
+/// A lock acquisition site.
+#[derive(Clone, Debug)]
+pub struct Acq {
+    /// Stable lock identity, `krate/Owner.field`, `krate/accessor()`,
+    /// or `krate/fn.local`.
+    pub lock: String,
+    pub line: u32,
+    pub col: u32,
+    /// `// LOCK-ORDER:` escape.
+    pub escaped: bool,
+    /// Locks already held when this one is acquired (order edges).
+    pub held: Vec<String>,
+}
+
+/// One consumption of a (potentially unseeded) RNG value.
+#[derive(Clone, Debug)]
+pub struct RngUse {
+    pub line: u32,
+    pub col: u32,
+    pub escaped: bool,
+}
+
+/// RNG-looking value obtained from a helper call; whether it is
+/// actually unseeded is only known after the cross-function
+/// `returns_unseeded` fixpoint in [`crate::callgraph`].
+#[derive(Clone, Debug)]
+pub struct PendingRng {
+    pub callee: Callee,
+    pub uses: Vec<RngUse>,
+}
+
+/// Everything the cross-function passes need to know about one fn.
+#[derive(Debug)]
+pub struct FnFacts {
+    pub krate: String,
+    pub file: String,
+    /// Enclosing `impl`/`trait` name, for method/`Owner::fn` resolution.
+    pub owner: Option<String>,
+    /// Qualifiers that may precede this fn in a path: owner, file stem,
+    /// enclosing inline-mod names, normalized crate name.
+    pub quals: Vec<String>,
+    pub name: String,
+    pub is_pub: bool,
+    pub has_self: bool,
+    pub is_test: bool,
+    pub is_bin: bool,
+    pub line: u32,
+    pub col: u32,
+    pub end_line: u32,
+    pub acquires: Vec<Acq>,
+    pub calls: Vec<CallSite>,
+    /// `// PANIC-SAFETY:` on/above the signature line (escape for
+    /// `panic.reachable`).
+    pub panic_escape: bool,
+    /// Return type mentions an RNG type.
+    pub returns_rng: bool,
+    /// Body constructs an RNG from fresh entropy.
+    pub constructs_unseeded: bool,
+    pub pending_rng: Vec<PendingRng>,
+}
+
+/// RNG constructors that pull fresh OS entropy.
+const UNSEEDED_CTORS: &[&str] = &["from_entropy", "from_os_rng"];
+/// RNG constructors that derive from an explicit seed/state.
+const SEEDED_CTORS: &[&str] = &["seed_from_u64", "from_seed", "from_state"];
+
+/// Abstract value tracked through a function body.
+#[derive(Clone, Debug)]
+enum Value {
+    Plain,
+    /// A live lock guard for the named lock.
+    Guard(String),
+    /// An RNG value; `origin_line` is where fresh entropy entered.
+    Rng {
+        seeded: bool,
+        origin_line: u32,
+    },
+    /// Result of a call we cannot classify locally.
+    CallResult(Callee),
+    /// RNG-suspect helper result, index into `pending_rng`.
+    Pending(usize),
+}
+
+struct Held {
+    lock: String,
+    binding: Option<String>,
+    scope: u32,
+}
+
+struct Binding {
+    name: String,
+    value: Value,
+    scope: u32,
+}
+
+/// Analyze one parsed file: returns per-fn facts and pushes the
+/// file-local findings (`telemetry.session_scope`,
+/// direct `determinism.entropy_flow`) into `out`.
+pub fn analyze_file(
+    rel_path: &str,
+    krate: &str,
+    is_bin: bool,
+    file: &SourceFile,
+    comments: &BTreeMap<u32, String>,
+    out: &mut Vec<Finding>,
+) -> Vec<FnFacts> {
+    let module = std::path::Path::new(rel_path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().to_string())
+        .filter(|s| !matches!(s.as_str(), "lib" | "main" | "mod"));
+    let mut fns = Vec::new();
+    let cx = FileScope {
+        rel_path,
+        krate,
+        is_bin,
+        comments,
+        module,
+    };
+    collect_items(&cx, &file.items, None, &[], false, &mut fns, out);
+    fns
+}
+
+struct FileScope<'a> {
+    rel_path: &'a str,
+    krate: &'a str,
+    is_bin: bool,
+    comments: &'a BTreeMap<u32, String>,
+    module: Option<String>,
+}
+
+impl FileScope<'_> {
+    /// Escape comment containing `marker` on `line` or two lines above
+    /// (same window as the token rules).
+    fn escape(&self, line: u32, marker: &str) -> bool {
+        (line.saturating_sub(2)..=line)
+            .any(|l| self.comments.get(&l).is_some_and(|c| c.contains(marker)))
+    }
+}
+
+fn collect_items(
+    cx: &FileScope<'_>,
+    items: &[Item],
+    owner: Option<&str>,
+    mods: &[String],
+    parent_test: bool,
+    fns: &mut Vec<FnFacts>,
+    out: &mut Vec<Finding>,
+) {
+    for item in items {
+        let is_test = parent_test || item.is_test;
+        match &item.kind {
+            ItemKind::Fn(f) => {
+                analyze_fn(cx, f, owner, mods, is_test, fns, out);
+            }
+            ItemKind::Container { kind, name, items } => match kind {
+                ContainerKind::Impl | ContainerKind::Trait => {
+                    collect_items(cx, items, Some(name.as_str()), mods, is_test, fns, out);
+                }
+                ContainerKind::Mod => {
+                    let mut nested = mods.to_vec();
+                    nested.push(name.clone());
+                    collect_items(cx, items, owner, &nested, is_test, fns, out);
+                }
+            },
+            ItemKind::Other => {}
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn analyze_fn(
+    cx: &FileScope<'_>,
+    f: &Func,
+    owner: Option<&str>,
+    mods: &[String],
+    is_test: bool,
+    fns: &mut Vec<FnFacts>,
+    out: &mut Vec<Finding>,
+) {
+    let mut quals: Vec<String> = Vec::new();
+    if let Some(o) = owner {
+        quals.push(o.to_string());
+    }
+    if let Some(m) = &cx.module {
+        quals.push(m.clone());
+    }
+    quals.extend(mods.iter().cloned());
+    quals.push(cx.krate.replace('-', "_"));
+
+    let mut facts = FnFacts {
+        krate: cx.krate.to_string(),
+        file: cx.rel_path.to_string(),
+        owner: owner.map(str::to_string),
+        quals,
+        name: f.name.clone(),
+        is_pub: f.is_pub,
+        has_self: f.has_self,
+        is_test,
+        is_bin: cx.is_bin,
+        line: f.line,
+        col: f.col,
+        end_line: f.end_line,
+        acquires: Vec::new(),
+        calls: Vec::new(),
+        panic_escape: cx.escape(f.line, "PANIC-SAFETY:"),
+        returns_rng: f.ret.contains("Rng"),
+        constructs_unseeded: false,
+        pending_rng: Vec::new(),
+    };
+
+    let mut w = W {
+        cx,
+        owner,
+        fn_name: &f.name,
+        core: CORE_CRATES.contains(&cx.krate),
+        is_test,
+        facts: &mut facts,
+        held: Vec::new(),
+        bindings: Vec::new(),
+        scopes: vec![0],
+        next_scope: 0,
+        mentions_ctx: false,
+        opens_scope: false,
+        emission_sites: Vec::new(),
+        rng_uses: Vec::new(),
+        nested: Vec::new(),
+    };
+
+    // Parameters seed the environment: RNG-typed params are the
+    // sanctioned (seeded) way to receive randomness; a `SessionCtx`
+    // param is what the session-scope rule keys on.
+    for p in &f.params {
+        if p.ty.contains("SessionCtx") {
+            w.mentions_ctx = true;
+        }
+        let value = if p.ty.contains("Rng") {
+            Value::Rng {
+                seeded: true,
+                origin_line: f.line,
+            }
+        } else {
+            Value::Plain
+        };
+        w.bindings.push(Binding {
+            name: p.name.clone(),
+            value,
+            scope: 0,
+        });
+    }
+    if f.ret.contains("SessionCtx") {
+        w.mentions_ctx = true;
+    }
+
+    if let Some(body) = &f.body {
+        w.walk_block(body);
+    }
+
+    let mentions_ctx = w.mentions_ctx;
+    let opens_scope = w.opens_scope;
+    let emission_sites = std::mem::take(&mut w.emission_sites);
+    let rng_uses = std::mem::take(&mut w.rng_uses);
+    let nested: Vec<&Item> = std::mem::take(&mut w.nested);
+
+    // `telemetry.session_scope` (AST re-implementation of the retired
+    // token rule): a core-crate fn handling a SessionCtx must open its
+    // scope before emitting.
+    if w.core && !cx.is_bin && !is_test && mentions_ctx && !opens_scope {
+        for (line, col) in &emission_sites {
+            if cx.escape(*line, "SESSION-SCOPE:") {
+                continue;
+            }
+            out.push(Finding {
+                path: cx.rel_path.to_string(),
+                line: *line,
+                col: *col,
+                rule: "telemetry.session_scope",
+                message: "telemetry emitted in a function handling a SessionCtx without \
+                          opening its scope (`telemetry::session_scope`/`with_session`); \
+                          events lose session attribution — or justify with \
+                          `// SESSION-SCOPE:`"
+                    .into(),
+                suggestion: None,
+            });
+        }
+    }
+
+    // Direct `determinism.entropy_flow`: a fresh-entropy RNG value
+    // consumed in a core crate.
+    if w.core && !is_test {
+        for (u, origin) in &rng_uses {
+            if u.escaped {
+                continue;
+            }
+            out.push(Finding {
+                path: cx.rel_path.to_string(),
+                line: u.line,
+                col: u.col,
+                rule: "determinism.entropy_flow",
+                message: format!(
+                    "RNG value created from fresh entropy (line {origin}) is consumed \
+                     here; core-crate randomness must flow from a seeded StdRng \
+                     parameter or seed_from_u64/from_seed — or justify with \
+                     `// ENTROPY-SAFETY:`"
+                ),
+                suggestion: Some("rand::rngs::StdRng::seed_from_u64"),
+            });
+        }
+    }
+
+    drop(w);
+    fns.push(facts);
+
+    // Nested `fn` items found inside the body.
+    for item in nested {
+        collect_items(
+            cx,
+            std::slice::from_ref(item),
+            owner,
+            mods,
+            is_test,
+            fns,
+            out,
+        );
+    }
+}
+
+struct W<'a, 'b> {
+    cx: &'a FileScope<'a>,
+    owner: Option<&'a str>,
+    fn_name: &'a str,
+    core: bool,
+    is_test: bool,
+    facts: &'b mut FnFacts,
+    held: Vec<Held>,
+    bindings: Vec<Binding>,
+    scopes: Vec<u32>,
+    next_scope: u32,
+    mentions_ctx: bool,
+    opens_scope: bool,
+    /// Token-rule-equivalent telemetry emission sites (for the
+    /// session-scope rule).
+    emission_sites: Vec<(u32, u32)>,
+    /// Direct unseeded-RNG consumptions: (use, origin line).
+    rng_uses: Vec<(RngUse, u32)>,
+    /// Nested fn items deferred to the collector.
+    nested: Vec<&'a Item>,
+}
+
+impl<'a> W<'a, '_> {
+    fn enter(&mut self) -> u32 {
+        self.next_scope += 1;
+        self.scopes.push(self.next_scope);
+        self.next_scope
+    }
+
+    fn exit(&mut self, id: u32) {
+        while let Some(top) = self.scopes.pop() {
+            if top == id {
+                break;
+            }
+        }
+        if self.scopes.is_empty() {
+            self.scopes.push(0);
+        }
+        self.held.retain(|h| h.scope != id);
+        self.bindings.retain(|b| b.scope != id);
+    }
+
+    fn cur_scope(&self) -> u32 {
+        self.scopes.last().copied().unwrap_or(0)
+    }
+
+    fn held_ids(&self) -> Vec<String> {
+        let mut ids = Vec::new();
+        for h in &self.held {
+            if !ids.contains(&h.lock) {
+                ids.push(h.lock.clone());
+            }
+        }
+        ids
+    }
+
+    fn lookup(&self, name: &str) -> Option<Value> {
+        self.bindings
+            .iter()
+            .rev()
+            .find(|b| b.name == name)
+            .map(|b| b.value.clone())
+    }
+
+    fn bind(&mut self, name: &str, value: Value) {
+        let scope = self.cur_scope();
+        self.bindings.push(Binding {
+            name: name.to_string(),
+            value,
+            scope,
+        });
+    }
+
+    // ---- blocks & statements -----------------------------------------
+
+    fn walk_block(&mut self, b: &'a Block) {
+        let scope = self.enter();
+        for stmt in &b.stmts {
+            self.walk_stmt(stmt);
+        }
+        self.exit(scope);
+    }
+
+    fn walk_stmt(&mut self, s: &'a Stmt) {
+        match s {
+            Stmt::Let {
+                names,
+                init,
+                else_block,
+                ..
+            } => {
+                let temp = self.enter();
+                let val = match init {
+                    Some(e) => self.walk_expr(e),
+                    None => Value::Plain,
+                };
+                // A let-bound guard outlives the statement: re-home the
+                // held entry from the statement temp-scope to the
+                // enclosing block scope, keyed by the binding name.
+                if let (Value::Guard(lock), Some(name)) = (&val, names.first()) {
+                    let encl = self.scopes.iter().rev().nth(1).copied().unwrap_or(0);
+                    if let Some(h) = self
+                        .held
+                        .iter_mut()
+                        .rev()
+                        .find(|h| h.scope == temp && h.lock == *lock)
+                    {
+                        h.scope = encl;
+                        h.binding = Some(name.clone());
+                    }
+                }
+                self.exit(temp);
+                match (names.first(), names.len(), val) {
+                    (Some(name), 1, Value::CallResult(callee)) if self.core && !self.is_test => {
+                        let idx = self.facts.pending_rng.len();
+                        self.facts.pending_rng.push(PendingRng {
+                            callee,
+                            uses: Vec::new(),
+                        });
+                        self.bind(name, Value::Pending(idx));
+                    }
+                    (Some(name), 1, v) => self.bind(name, v),
+                    (_, _, _) => {
+                        for n in names {
+                            self.bind(n, Value::Plain);
+                        }
+                    }
+                }
+                if let Some(eb) = else_block {
+                    self.walk_block(eb);
+                }
+            }
+            Stmt::Expr(e) => {
+                let temp = self.enter();
+                self.walk_expr(e);
+                self.exit(temp);
+            }
+            Stmt::Item(item) => {
+                if matches!(item.kind, ItemKind::Fn(_) | ItemKind::Container { .. }) {
+                    self.nested.push(item);
+                }
+            }
+        }
+    }
+
+    // ---- expressions --------------------------------------------------
+
+    fn walk_expr(&mut self, e: &'a Expr) -> Value {
+        match e {
+            Expr::Lit { .. } => Value::Plain,
+            Expr::Path { segs, line, .. } => self.walk_path(segs, *line),
+            Expr::Field { recv, .. } => {
+                self.walk_expr(recv);
+                Value::Plain
+            }
+            Expr::Index { recv, index } => {
+                self.walk_expr(recv);
+                self.walk_expr(index);
+                Value::Plain
+            }
+            Expr::Group(children) => {
+                let mut last = Value::Plain;
+                let n = children.len();
+                for c in children {
+                    last = self.walk_expr(c);
+                }
+                if n == 1 {
+                    last
+                } else {
+                    Value::Plain
+                }
+            }
+            Expr::Block(b) => {
+                self.walk_block(b);
+                Value::Plain
+            }
+            Expr::If { cond, then, alt } => {
+                // Rust drops condition temporaries before the branch
+                // runs — scope them to the condition only.
+                let temp = self.enter();
+                self.walk_expr(cond);
+                self.exit(temp);
+                self.walk_block(then);
+                if let Some(a) = alt {
+                    self.walk_expr(a);
+                }
+                Value::Plain
+            }
+            Expr::Match { scrutinee, arms } => {
+                // Scrutinee temporaries live through the whole match.
+                let scope = self.enter();
+                self.walk_expr(scrutinee);
+                for arm in arms {
+                    let t = self.enter();
+                    self.walk_expr(arm);
+                    self.exit(t);
+                }
+                self.exit(scope);
+                Value::Plain
+            }
+            Expr::Loop { head, body } => {
+                if let Some(h) = head {
+                    let temp = self.enter();
+                    self.walk_expr(h);
+                    self.exit(temp);
+                }
+                self.walk_block(body);
+                Value::Plain
+            }
+            Expr::Closure { body, .. } => {
+                // Walked inline under the current guard set: scoped
+                // closures (crossbeam::scope, with_session) run while
+                // the creator's guards are live.
+                let t = self.enter();
+                self.walk_expr(body);
+                self.exit(t);
+                Value::Plain
+            }
+            Expr::MacroCall {
+                segs,
+                args,
+                line,
+                col,
+            } => self.walk_macro(segs, args, *line, *col),
+            Expr::Call {
+                callee,
+                args,
+                line,
+                col,
+            } => self.walk_call(callee, args, *line, *col),
+            Expr::MethodCall {
+                recv,
+                method,
+                args,
+                line,
+                col,
+            } => self.walk_method(recv, method, args, *line, *col),
+        }
+    }
+
+    fn walk_path(&mut self, segs: &[String], line: u32) -> Value {
+        if segs.iter().any(|s| s.contains("SessionCtx")) {
+            self.mentions_ctx = true;
+        }
+        let Some(last) = segs.last() else {
+            return Value::Plain;
+        };
+        if matches!(last.as_str(), "session_scope" | "with_session") {
+            self.opens_scope = true;
+        }
+        if last == "OsRng" {
+            self.facts.constructs_unseeded = true;
+            return Value::Rng {
+                seeded: false,
+                origin_line: line,
+            };
+        }
+        if segs.len() == 1 {
+            if let Some(v) = self.lookup(last) {
+                return v;
+            }
+        }
+        Value::Plain
+    }
+
+    /// Record entropy-relevant argument consumption.
+    fn check_arg_values(&mut self, vals: &[(Value, u32, u32)]) {
+        for (v, line, col) in vals {
+            match v {
+                Value::Rng {
+                    seeded: false,
+                    origin_line,
+                } => {
+                    let escaped = self.cx.escape(*line, "ENTROPY-SAFETY:");
+                    self.rng_uses.push((
+                        RngUse {
+                            line: *line,
+                            col: *col,
+                            escaped,
+                        },
+                        *origin_line,
+                    ));
+                }
+                Value::Pending(i) => {
+                    let escaped = self.cx.escape(*line, "ENTROPY-SAFETY:");
+                    if let Some(p) = self.facts.pending_rng.get_mut(*i) {
+                        p.uses.push(RngUse {
+                            line: *line,
+                            col: *col,
+                            escaped,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn walk_args(&mut self, args: &'a [Expr]) -> Vec<(Value, u32, u32)> {
+        args.iter()
+            .map(|a| {
+                let line = a.line();
+                (self.walk_expr(a), line, 0)
+            })
+            .collect()
+    }
+
+    fn walk_macro(&mut self, segs: &[String], args: &'a [Expr], line: u32, col: u32) -> Value {
+        let name = segs.last().map(String::as_str).unwrap_or("");
+        let qual_ok = segs.len() == 1
+            || segs
+                .first()
+                .is_some_and(|s| s == "telemetry" || s == "crate");
+        if matches!(name, "event" | "span") && qual_ok {
+            self.emission_sites.push((line, col));
+            self.facts.calls.push(CallSite {
+                callee: Callee::Free {
+                    qual: Some("telemetry".to_string()),
+                    name: name.to_string(),
+                },
+                line,
+                col,
+                held: self.held_ids(),
+                is_emit: true,
+                lock_escaped: self.cx.escape(line, "LOCK-ORDER:"),
+                emit_escaped: self.cx.escape(line, "GUARD-EMIT:"),
+            });
+        }
+        let vals = self.walk_args(args);
+        self.check_arg_values(&vals);
+        Value::Plain
+    }
+
+    fn walk_call(&mut self, callee: &'a Expr, args: &'a [Expr], line: u32, col: u32) -> Value {
+        let Expr::Path { segs, .. } = callee else {
+            // Calling a closure/field value: walk everything, classify
+            // nothing.
+            self.walk_expr(callee);
+            let vals = self.walk_args(args);
+            self.check_arg_values(&vals);
+            return Value::Plain;
+        };
+        if segs.iter().any(|s| s.contains("SessionCtx")) {
+            self.mentions_ctx = true;
+        }
+        let name = segs.last().map(String::as_str).unwrap_or("");
+        let qual = if segs.len() >= 2 {
+            segs.get(segs.len() - 2).cloned()
+        } else {
+            None
+        };
+
+        if matches!(name, "session_scope" | "with_session") {
+            self.opens_scope = true;
+        }
+
+        // RNG constructors / sources.
+        if UNSEEDED_CTORS.contains(&name) || name == "thread_rng" {
+            let vals = self.walk_args(args);
+            self.check_arg_values(&vals);
+            self.facts.constructs_unseeded = true;
+            return Value::Rng {
+                seeded: false,
+                origin_line: line,
+            };
+        }
+        if SEEDED_CTORS.contains(&name) {
+            let vals = self.walk_args(args);
+            self.check_arg_values(&vals);
+            return Value::Rng {
+                seeded: true,
+                origin_line: line,
+            };
+        }
+        if name == "random" && segs.iter().any(|s| s == "rand") {
+            // `rand::random()` consumes fresh entropy right here.
+            if self.core && !self.is_test {
+                let escaped = self.cx.escape(line, "ENTROPY-SAFETY:");
+                self.rng_uses.push((RngUse { line, col, escaped }, line));
+            }
+            let vals = self.walk_args(args);
+            self.check_arg_values(&vals);
+            return Value::Plain;
+        }
+
+        // `drop(g)` / `mem::drop(g)` releases a let-bound guard early.
+        if name == "drop" {
+            if let Some(Expr::Path { segs: aseg, .. }) = args.first() {
+                if aseg.len() == 1 {
+                    if let Some(b) = aseg.first() {
+                        self.held.retain(|h| h.binding.as_deref() != Some(b));
+                        let plain = Value::Plain;
+                        if let Some(slot) = self.bindings.iter_mut().rev().find(|x| x.name == *b) {
+                            slot.value = plain;
+                        }
+                        return Value::Plain;
+                    }
+                }
+            }
+            let vals = self.walk_args(args);
+            self.check_arg_values(&vals);
+            return Value::Plain;
+        }
+
+        // Telemetry emission site (token-rule-equivalent shapes).
+        let telemetry_qualified =
+            qual.as_deref() == Some("telemetry") && TELEMETRY_FNS.contains(&name);
+        let bare_span = segs.len() == 1 && name == "span";
+        let crate_internal = self.cx.krate == "telemetry"
+            && matches!(
+                qual.as_deref(),
+                Some("crate") | Some("self") | Some("super")
+            )
+            && TELEMETRY_FNS.contains(&name);
+        let is_emit = telemetry_qualified || bare_span || crate_internal;
+        if telemetry_qualified || bare_span {
+            self.emission_sites.push((line, col));
+        }
+
+        let vals = self.walk_args(args);
+        self.check_arg_values(&vals);
+
+        let callee = Callee::Free {
+            qual,
+            name: name.to_string(),
+        };
+        self.facts.calls.push(CallSite {
+            callee: callee.clone(),
+            line,
+            col,
+            held: self.held_ids(),
+            is_emit,
+            lock_escaped: self.cx.escape(line, "LOCK-ORDER:"),
+            emit_escaped: self.cx.escape(line, "GUARD-EMIT:"),
+        });
+        Value::CallResult(callee)
+    }
+
+    fn walk_method(
+        &mut self,
+        recv: &'a Expr,
+        method: &str,
+        args: &'a [Expr],
+        line: u32,
+        col: u32,
+    ) -> Value {
+        let recv_val = self.walk_expr(recv);
+
+        // Lock acquisition: `.lock()` / `.read()` / `.write()` with no
+        // arguments (io read/write take buffers, so they don't match).
+        if matches!(method, "lock" | "read" | "write")
+            && args.is_empty()
+            && !matches!(recv_val, Value::Guard(_))
+        {
+            let lock = self.lock_id(recv);
+            let escaped = self.cx.escape(line, "LOCK-ORDER:");
+            let held = self.held_ids();
+            self.facts.acquires.push(Acq {
+                lock: lock.clone(),
+                line,
+                col,
+                escaped,
+                held,
+            });
+            let scope = self.cur_scope();
+            self.held.push(Held {
+                lock: lock.clone(),
+                binding: None,
+                scope,
+            });
+            return Value::Guard(lock);
+        }
+
+        let vals = self.walk_args(args);
+        self.check_arg_values(&vals);
+
+        match recv_val {
+            Value::Guard(lock) => {
+                // `m.lock().expect("…")` (std Mutex) keeps the guard;
+                // any other method on a guard is opaque — we do not
+                // resolve it into the workspace (it usually targets
+                // the guarded *value*, e.g. `self.writer.lock().flush()`
+                // hits `io::Write`, not a workspace fn).
+                if matches!(method, "expect" | "unwrap") {
+                    Value::Guard(lock)
+                } else {
+                    Value::Plain
+                }
+            }
+            Value::Rng {
+                seeded: false,
+                origin_line,
+            } => {
+                if self.core && !self.is_test {
+                    let escaped = self.cx.escape(line, "ENTROPY-SAFETY:");
+                    self.rng_uses
+                        .push((RngUse { line, col, escaped }, origin_line));
+                }
+                if method == "clone" {
+                    Value::Rng {
+                        seeded: false,
+                        origin_line,
+                    }
+                } else {
+                    Value::Plain
+                }
+            }
+            Value::Rng {
+                seeded: true,
+                origin_line,
+            } => {
+                if method == "clone" {
+                    Value::Rng {
+                        seeded: true,
+                        origin_line,
+                    }
+                } else {
+                    Value::Plain
+                }
+            }
+            Value::Pending(idx) => {
+                if self.core && !self.is_test {
+                    let escaped = self.cx.escape(line, "ENTROPY-SAFETY:");
+                    if let Some(p) = self.facts.pending_rng.get_mut(idx) {
+                        p.uses.push(RngUse { line, col, escaped });
+                    }
+                }
+                if method == "clone" {
+                    Value::Pending(idx)
+                } else {
+                    Value::Plain
+                }
+            }
+            Value::Plain | Value::CallResult(_) => {
+                if let Value::CallResult(callee) = &recv_val {
+                    // `helper().gen()` — RNG-suspect chain; resolved
+                    // against `returns_unseeded` later.
+                    if self.core && !self.is_test {
+                        let escaped = self.cx.escape(line, "ENTROPY-SAFETY:");
+                        self.facts.pending_rng.push(PendingRng {
+                            callee: callee.clone(),
+                            uses: vec![RngUse { line, col, escaped }],
+                        });
+                    }
+                }
+                let callee = Callee::Method {
+                    name: method.to_string(),
+                };
+                self.facts.calls.push(CallSite {
+                    callee: callee.clone(),
+                    line,
+                    col,
+                    held: self.held_ids(),
+                    is_emit: false,
+                    lock_escaped: self.cx.escape(line, "LOCK-ORDER:"),
+                    emit_escaped: self.cx.escape(line, "GUARD-EMIT:"),
+                });
+                Value::CallResult(callee)
+            }
+        }
+    }
+
+    // ---- lock identity ------------------------------------------------
+
+    /// Stable identity for the lock behind `recv.lock()`. Field
+    /// accesses rooted at `self` name the owner type; results of
+    /// accessor calls name the accessor; locals fall back to
+    /// `fn.binding`. Indexing is transparent (`slots[i].lock()` is the
+    /// `slots` pool).
+    fn lock_id(&self, recv: &Expr) -> String {
+        let krate = self.cx.krate;
+        match lock_root(recv) {
+            Root::SelfField(f) => {
+                let owner = self.owner.unwrap_or("Self");
+                format!("{krate}/{owner}.{f}")
+            }
+            Root::Local(l) => format!("{krate}/{}.{l}", self.fn_name),
+            Root::Static(s) => format!("{krate}/{s}"),
+            Root::FnResult(f) => format!("{krate}/{f}()"),
+            Root::Opaque => format!("{krate}/{}.<expr>", self.fn_name),
+        }
+    }
+}
+
+enum Root {
+    SelfField(String),
+    Local(String),
+    Static(String),
+    FnResult(String),
+    Opaque,
+}
+
+fn lock_root(e: &Expr) -> Root {
+    match e {
+        Expr::Path { segs, .. } => match segs.len() {
+            0 => Root::Opaque,
+            1 => segs
+                .first()
+                .map_or(Root::Opaque, |s| Root::Local(s.clone())),
+            _ => segs
+                .last()
+                .map_or(Root::Opaque, |s| Root::Static(s.clone())),
+        },
+        Expr::Field { recv, name } => {
+            if is_self_rooted(recv) {
+                Root::SelfField(name.clone())
+            } else {
+                Root::Local(name.clone())
+            }
+        }
+        Expr::Index { recv, .. } => lock_root(recv),
+        Expr::MethodCall { recv, .. } => lock_root(recv),
+        Expr::Call { callee, .. } => match &**callee {
+            Expr::Path { segs, .. } => segs
+                .last()
+                .map_or(Root::Opaque, |s| Root::FnResult(s.clone())),
+            _ => Root::Opaque,
+        },
+        Expr::Group(children) if children.len() == 1 => {
+            children.first().map_or(Root::Opaque, lock_root)
+        }
+        _ => Root::Opaque,
+    }
+}
+
+fn is_self_rooted(e: &Expr) -> bool {
+    match e {
+        Expr::Path { segs, .. } => segs.len() == 1 && segs.first().is_some_and(|s| s == "self"),
+        Expr::Field { recv, .. } | Expr::Index { recv, .. } => is_self_rooted(recv),
+        Expr::Group(children) if children.len() == 1 => {
+            children.first().is_some_and(|c| is_self_rooted(c))
+        }
+        _ => false,
+    }
+}

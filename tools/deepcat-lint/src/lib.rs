@@ -3,30 +3,47 @@
 //! DeepCAT's headline numbers (Twin-Q skip savings, RDPER β-mix) are
 //! only reproducible if every seeded run is bit-for-bit deterministic
 //! and a bad config sample degrades into a low reward instead of a
-//! panic. This crate enforces those invariants lexically, with zero
-//! external dependencies, fast enough to run on every CI invocation:
+//! panic. This crate enforces those invariants with zero external
+//! dependencies, fast enough to run on every CI invocation:
 //!
-//! * a never-panicking Rust lexer ([`lexer`]),
-//! * four rule families ([`rules`]): determinism, panic-freedom,
-//!   numeric safety, telemetry naming,
+//! * a never-panicking Rust lexer ([`lexer`]) and a total
+//!   recursive-descent parser ([`parse`], [`ast`]) — arbitrary bytes in,
+//!   AST + diagnostics out, never a panic;
+//! * token rule families ([`rules`]): determinism, panic-freedom,
+//!   numeric safety, telemetry naming;
+//! * an intra-procedural dataflow pass ([`dataflow`]) tracking
+//!   lock-guard and RNG-value lifetimes per function;
+//! * a workspace call graph ([`callgraph`]) powering the
+//!   cross-function families: `concurrency.lock_order`,
+//!   `concurrency.guard_across_emit`, `panic.reachable`,
+//!   `determinism.entropy_flow`, and the AST-based
+//!   `telemetry.session_scope`;
 //! * a reasoned allowlist ([`allowlist`], `lint.toml`),
 //! * a telemetry name manifest ([`manifest`],
-//!   `crates/telemetry/events.toml`).
+//!   `crates/telemetry/events.toml`),
+//! * text, JSON, and SARIF 2.1.0 ([`sarif`]) output.
 //!
 //! Run locally with `cargo run -p deepcat-lint`; see DESIGN.md
-//! ("Static analysis & invariants") for the policy rationale.
+//! ("Static analysis v2") for the policy rationale.
 
 pub mod allowlist;
+pub mod ast;
+pub mod callgraph;
+pub mod dataflow;
 pub mod lexer;
 pub mod manifest;
+pub mod parse;
 pub mod rules;
+pub mod sarif;
 pub mod toml_lite;
 
 pub use allowlist::Allowlist;
 pub use manifest::Manifest;
-pub use rules::{lint_source, Finding, NamesSeen};
+pub use rules::{Finding, NamesSeen};
+pub use sarif::render_sarif;
 
-use std::collections::BTreeSet;
+use callgraph::{CallGraph, LockSummary};
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
 /// Result of linting the whole workspace.
@@ -42,6 +59,77 @@ pub struct Report {
     pub files: usize,
     /// Telemetry names seen at non-test call sites.
     pub names: BTreeSet<String>,
+    /// Per-rule totals: rule id -> (kept, suppressed).
+    pub rule_hits: BTreeMap<&'static str, (usize, usize)>,
+    /// The workspace lock-acquisition-order graph.
+    pub lock_summary: LockSummary,
+}
+
+/// Full analysis of a set of sources, before any allowlisting.
+pub struct Analysis {
+    /// Token + AST + workspace findings (everything except
+    /// `panic.reachable`, which depends on post-allowlist leaves).
+    pub findings: Vec<Finding>,
+    pub graph: CallGraph,
+    pub lock_summary: LockSummary,
+    pub files: usize,
+}
+
+/// Lex, parse, and analyze `sources` (`(repo-relative path, text)`
+/// pairs): token rules and per-file dataflow per source, then the
+/// cross-function passes over the combined call graph.
+pub fn analyze_sources(
+    sources: &[(String, String)],
+    manifest: &Manifest,
+    seen: &mut NamesSeen,
+) -> Analysis {
+    let mut findings = Vec::new();
+    let mut fns = Vec::new();
+    for (rel, src) in sources {
+        let toks = lexer::lex(src);
+        let cx = rules::build_cx(rel, &toks);
+        rules::token_rules(&cx, manifest, seen, &mut findings);
+        let parsed = parse::parse_file(&cx.code);
+        fns.extend(dataflow::analyze_file(
+            rel,
+            cx.krate,
+            cx.is_bin,
+            &parsed,
+            &cx.comments,
+            &mut findings,
+        ));
+    }
+    let graph = CallGraph::build(fns);
+    let (workspace, lock_summary) = graph.workspace_findings();
+    findings.extend(workspace);
+    findings.sort();
+    findings.dedup();
+    Analysis {
+        findings,
+        graph,
+        lock_summary,
+        files: sources.len(),
+    }
+}
+
+/// Lint one file in isolation — the fixture/test entry point. Runs the
+/// full pipeline (token rules, dataflow, single-file call graph,
+/// `panic.reachable` with every `panic.*` finding as a leaf) with no
+/// allowlist.
+pub fn lint_source(
+    rel_path: &str,
+    src: &str,
+    manifest: &Manifest,
+    seen: &mut NamesSeen,
+) -> Vec<Finding> {
+    let sources = vec![(rel_path.to_string(), src.to_string())];
+    let analysis = analyze_sources(&sources, manifest, seen);
+    let mut findings = analysis.findings;
+    let reachable = analysis.graph.panic_reachable(&findings);
+    findings.extend(reachable);
+    findings.sort();
+    findings.dedup();
+    findings
 }
 
 /// Locate the repo root by walking up from `start` until a directory
@@ -66,7 +154,8 @@ pub fn find_root(start: &Path) -> Option<PathBuf> {
 }
 
 /// All `.rs` files under the lintable roots (`crates/*/src`,
-/// `tools/*/src`), sorted for deterministic reports.
+/// `tools/*/src` — the linter sweeps itself), sorted for deterministic
+/// reports.
 pub fn workspace_files(root: &Path) -> Vec<PathBuf> {
     let mut files = Vec::new();
     for group in ["crates", "tools"] {
@@ -126,31 +215,48 @@ pub fn run(root: &Path, explicit_files: &[PathBuf], use_allowlist: bool) -> Resu
         explicit_files.to_vec()
     };
 
-    let mut report = Report::default();
     let mut seen = NamesSeen::default();
-    let mut all = Vec::new();
+    let mut sources = Vec::with_capacity(files.len());
     for file in &files {
         let src = std::fs::read_to_string(file).map_err(|e| format!("{}: {e}", file.display()))?;
-        all.extend(lint_source(
-            &relative(root, file),
-            &src,
-            &manifest,
-            &mut seen,
-        ));
-        report.files += 1;
+        sources.push((relative(root, file), src));
     }
-    let (kept, suppressed) = allow.apply(all);
+    let analysis = analyze_sources(&sources, &manifest, &mut seen);
+
+    // Allowlist pass 1, then `panic.reachable` over the *kept* panic
+    // leaves (an allowlisted panic site is a justified one — it does
+    // not poison its callers), then allowlist pass 2 for the new
+    // findings.
+    let (kept, suppressed) = allow.apply(analysis.findings);
+    let reachable = analysis.graph.panic_reachable(&kept);
+    let (kept2, suppressed2) = allow.apply(reachable);
+
+    let mut report = Report {
+        files: analysis.files,
+        lock_summary: analysis.lock_summary,
+        names: seen.names,
+        ..Report::default()
+    };
+    for f in kept.iter().chain(kept2.iter()) {
+        report.rule_hits.entry(f.rule).or_default().0 += 1;
+    }
+    for f in suppressed.iter().chain(suppressed2.iter()) {
+        report.rule_hits.entry(f.rule).or_default().1 += 1;
+    }
+    report.suppressed = suppressed.len() + suppressed2.len();
     report.findings = kept;
-    report.suppressed = suppressed;
+    report.findings.extend(kept2);
+    report.findings.sort();
+    report.findings.dedup();
     report.stale_allows = allow
         .unused()
         .map(|e| format!("{} / {} ({})", e.rule, e.path, e.reason))
         .collect();
-    report.names = seen.names;
     Ok(report)
 }
 
-/// Render findings for humans, grouped by file.
+/// Render findings for humans, grouped by file, with per-rule totals
+/// and the lock-order graph summary.
 pub fn render_text(report: &Report) -> String {
     let mut out = String::new();
     let mut last_path = "";
@@ -173,6 +279,23 @@ pub fn render_text(report: &Report) -> String {
             "stale lint.toml entry (matched nothing): {stale}\n"
         ));
     }
+    if !report.rule_hits.is_empty() {
+        out.push_str("rule hits (kept + suppressed):\n");
+        for (rule, (kept, suppressed)) in &report.rule_hits {
+            out.push_str(&format!("  {rule}: {kept} + {suppressed}\n"));
+        }
+    }
+    let cycles = report.lock_summary.cycles.len();
+    out.push_str(&format!(
+        "lock-order graph: {} lock(s), {} edge(s), {}\n",
+        report.lock_summary.locks.len(),
+        report.lock_summary.edges.len(),
+        if cycles == 0 {
+            "acyclic".to_string()
+        } else {
+            format!("{cycles} cycle(s)")
+        }
+    ));
     out.push_str(&format!(
         "{} file(s), {} finding(s), {} suppressed by lint.toml\n",
         report.files,
@@ -215,7 +338,7 @@ pub fn render_json(report: &Report) -> String {
     out
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

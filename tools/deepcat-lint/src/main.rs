@@ -6,17 +6,27 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: deepcat-lint [--json] [--emit-manifest] [--no-allowlist] [--root DIR] [FILE...]\n\
+        "usage: deepcat-lint [--format text|json|sarif] [--json] [--emit-manifest]\n\
+         \x20                 [--no-allowlist] [--root DIR] [FILE...]\n\
          \n\
          Lints crates/*/src and tools/*/src against the DeepCAT invariants:\n\
-         determinism, panic-freedom, numeric safety, telemetry naming.\n\
+         determinism (incl. entropy dataflow), panic-freedom (incl. call-graph\n\
+         reachability), numeric safety, telemetry naming/session scoping, and\n\
+         concurrency (lock ordering, guards held across telemetry emission).\n\
          Allowlist: lint.toml (repo root). Name schema: crates/telemetry/events.toml."
     );
     ExitCode::from(2)
 }
 
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 fn main() -> ExitCode {
-    let mut json = false;
+    let mut format = Format::Text;
     let mut emit_manifest = false;
     let mut use_allowlist = true;
     let mut root: Option<PathBuf> = None;
@@ -25,7 +35,15 @@ fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
-            "--json" => json = true,
+            "--json" => format = Format::Json,
+            "--format" => {
+                format = match argv.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    Some("sarif") => Format::Sarif,
+                    _ => return usage(),
+                };
+            }
             "--emit-manifest" => emit_manifest = true,
             "--no-allowlist" => use_allowlist = false,
             "--root" => {
@@ -69,10 +87,10 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    if json {
-        println!("{}", deepcat_lint::render_json(&report));
-    } else {
-        print!("{}", deepcat_lint::render_text(&report));
+    match format {
+        Format::Json => println!("{}", deepcat_lint::render_json(&report)),
+        Format::Sarif => println!("{}", deepcat_lint::render_sarif(&report)),
+        Format::Text => print!("{}", deepcat_lint::render_text(&report)),
     }
 
     if report.findings.is_empty() && report.stale_allows.is_empty() {

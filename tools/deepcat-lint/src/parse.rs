@@ -1,0 +1,1506 @@
+//! Total recursive-descent parser: code tokens → [`crate::ast`].
+//!
+//! Goals, in order: (1) **never panic or loop forever** on arbitrary
+//! input — every loop has a forward-progress guard, recursion is
+//! depth-capped, all indexing goes through `get`; (2) recover the
+//! structure the dataflow/call-graph passes need (items, `let`
+//! bindings, call/method-call chains in evaluation order); (3) degrade
+//! everything else into [`ast::Expr::Group`] rather than reject it.
+//! Precedence is deliberately ignored: `a + f(b)` parses as
+//! `Group([a, Call(f, [b])])`, which preserves evaluation order — all
+//! the analyses care about.
+
+use crate::ast::*;
+use crate::lexer::{Tok, TokKind};
+
+/// Recursion ceiling for blocks/expressions. Real workspace code nests
+/// ~15 deep; fuzzed `((((…))))` towers hit the cap and degrade into a
+/// diagnostic plus a skipped region.
+const MAX_DEPTH: u32 = 64;
+/// Diagnostics beyond this are dropped (the first few tell the story).
+const MAX_DIAGS: usize = 32;
+
+/// Parse `code` (comment tokens already stripped). Total: always
+/// returns a `SourceFile`, never panics.
+pub fn parse_file(code: &[Tok<'_>]) -> SourceFile {
+    let mut p = P {
+        toks: code,
+        pos: 0,
+        depth: 0,
+        diags: Vec::new(),
+    };
+    let items = p.parse_items(false, false);
+    SourceFile {
+        items,
+        diags: p.diags,
+    }
+}
+
+struct P<'a, 't> {
+    toks: &'a [Tok<'t>],
+    pos: usize,
+    depth: u32,
+    diags: Vec<Diag>,
+}
+
+impl<'a, 't> P<'a, 't> {
+    // ---- cursor primitives -------------------------------------------
+
+    fn peek(&self, n: usize) -> Option<&'a Tok<'t>> {
+        self.toks.get(self.pos + n)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn bump(&mut self) {
+        if self.pos < self.toks.len() {
+            self.pos += 1;
+        }
+    }
+
+    fn at_punct(&self, s: &str) -> bool {
+        self.peek(0)
+            .is_some_and(|t| t.kind == TokKind::Punct && t.text == s)
+    }
+
+    fn punct_at(&self, n: usize, s: &str) -> bool {
+        self.peek(n)
+            .is_some_and(|t| t.kind == TokKind::Punct && t.text == s)
+    }
+
+    fn at_ident(&self, s: &str) -> bool {
+        self.peek(0)
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text == s)
+    }
+
+    fn ident_at(&self, n: usize) -> Option<&'t str> {
+        self.peek(n)
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+    }
+
+    fn eat_punct(&mut self, s: &str) -> bool {
+        if self.at_punct(s) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn line_col(&self) -> (u32, u32) {
+        self.peek(0)
+            .or_else(|| self.toks.last())
+            .map_or((0, 0), |t| (t.line, t.col))
+    }
+
+    /// Line of the most recently consumed token.
+    fn last_line(&self) -> u32 {
+        self.toks
+            .get(self.pos.saturating_sub(1))
+            .map_or(0, |t| t.line)
+    }
+
+    fn diag(&mut self, message: &str) {
+        if self.diags.len() < MAX_DIAGS {
+            let (line, col) = self.line_col();
+            self.diags.push(Diag {
+                line,
+                col,
+                message: message.to_string(),
+            });
+        }
+    }
+
+    /// Is the current token `::` (two adjacent `:` puncts)?
+    fn at_path_sep(&self) -> bool {
+        self.at_punct(":") && self.punct_at(1, ":")
+    }
+
+    // ---- skipping helpers --------------------------------------------
+
+    /// Cursor on an opening delimiter: consume through its match.
+    /// Tracks all three bracket kinds together so mismatched input
+    /// still terminates.
+    fn skip_balanced(&mut self) {
+        let mut depth = 0usize;
+        while let Some(t) = self.peek(0) {
+            if t.kind == TokKind::Punct {
+                match t.text {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            self.bump();
+                            return;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Cursor on `<`: consume a balanced generic-argument list. `>`
+    /// preceded by `-` (the `->` arrow) does not close; `;` or EOF
+    /// bails out so malformed input cannot swallow the file.
+    fn skip_angles(&mut self) {
+        let mut depth = 0i32;
+        let mut prev = "";
+        while let Some(t) = self.peek(0) {
+            if t.kind == TokKind::Punct {
+                match t.text {
+                    "<" => depth += 1,
+                    ">" if prev != "-" => {
+                        depth -= 1;
+                        if depth <= 0 {
+                            self.bump();
+                            return;
+                        }
+                    }
+                    "(" | "[" | "{" => {
+                        self.skip_balanced();
+                        prev = "";
+                        continue;
+                    }
+                    ";" => return,
+                    _ => {}
+                }
+                prev = t.text;
+            } else {
+                prev = "";
+            }
+            self.bump();
+        }
+    }
+
+    /// Cursor on `#`: skip one `#[…]` / `#![…]` attribute. Returns true
+    /// if the attribute mentions the ident `test` (`#[test]`,
+    /// `#[cfg(test)]` — same heuristic as the token rules).
+    fn skip_attr(&mut self) -> bool {
+        let open = if self.punct_at(1, "[") {
+            1
+        } else if self.punct_at(1, "!") && self.punct_at(2, "[") {
+            2
+        } else {
+            self.bump();
+            return false;
+        };
+        self.pos += open; // now on `[`
+        let before = self.pos;
+        self.skip_balanced();
+        self.toks
+            .get(before..self.pos)
+            .unwrap_or(&[])
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "test")
+    }
+
+    /// Consume to the end of an item we do not model: a top-level `;`,
+    /// or a top-level `{…}` body. Always consumes at least one token.
+    fn skip_to_item_end(&mut self) {
+        let start = self.pos;
+        while let Some(t) = self.peek(0) {
+            if t.kind == TokKind::Punct {
+                match t.text {
+                    ";" => {
+                        self.bump();
+                        return;
+                    }
+                    "{" => {
+                        self.skip_balanced();
+                        return;
+                    }
+                    "(" | "[" => {
+                        self.skip_balanced();
+                        continue;
+                    }
+                    "}" | ")" | "]" => {
+                        // Stray closer belongs to our caller.
+                        if self.pos == start {
+                            self.bump();
+                        }
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Flattened source text of `toks[a..b]`, space-joined.
+    fn flatten(&self, a: usize, b: usize) -> String {
+        self.toks
+            .get(a..b.min(self.toks.len()))
+            .unwrap_or(&[])
+            .iter()
+            .map(|t| t.text)
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    // ---- items --------------------------------------------------------
+
+    fn parse_items(&mut self, in_braces: bool, parent_test: bool) -> Vec<Item> {
+        let mut items = Vec::new();
+        while !self.at_end() {
+            if in_braces && self.at_punct("}") {
+                break;
+            }
+            let before = self.pos;
+            if let Some(item) = self.parse_item_one(parent_test) {
+                items.push(item);
+            }
+            if self.pos == before {
+                self.bump(); // forward progress on anything unmodeled
+            }
+        }
+        items
+    }
+
+    fn parse_item_one(&mut self, parent_test: bool) -> Option<Item> {
+        let mut is_test = parent_test;
+        while self.at_punct("#") {
+            is_test |= self.skip_attr();
+        }
+        let (line, _) = self.line_col();
+
+        // Visibility + modifiers.
+        let mut is_pub = false;
+        if self.at_ident("pub") {
+            self.bump();
+            if self.at_punct("(") {
+                // pub(crate)/pub(in …) is not public API surface.
+                self.skip_balanced();
+            } else {
+                is_pub = true;
+            }
+        }
+        loop {
+            if self.at_ident("const") && self.ident_at(1) == Some("fn") {
+                self.bump();
+            } else if self.at_ident("async") || self.at_ident("default") {
+                self.bump();
+            } else if self.at_ident("unsafe") && !self.punct_at(1, "{") {
+                self.bump();
+            } else if self.at_ident("extern") {
+                if self.ident_at(1) == Some("crate") {
+                    self.skip_to_item_end();
+                    return Some(Item {
+                        kind: ItemKind::Other,
+                        is_test,
+                        line,
+                    });
+                }
+                self.bump();
+                if self.peek(0).is_some_and(|t| t.kind == TokKind::Str) {
+                    self.bump();
+                }
+                if self.at_punct("{") {
+                    self.skip_balanced(); // extern "C" { … } foreign block
+                    return Some(Item {
+                        kind: ItemKind::Other,
+                        is_test,
+                        line,
+                    });
+                }
+            } else {
+                break;
+            }
+        }
+
+        let head = self.ident_at(0)?;
+        match head {
+            "fn" => Some(self.parse_fn(is_pub, is_test, line)),
+            "impl" => Some(self.parse_impl(is_test, line)),
+            "trait" => Some(self.parse_trait(is_test, line)),
+            "mod" => Some(self.parse_mod(is_test, line)),
+            "macro_rules" => {
+                // macro_rules ! name { … }
+                self.bump();
+                self.eat_punct("!");
+                if self.ident_at(0).is_some() {
+                    self.bump();
+                }
+                if self.at_punct("{") || self.at_punct("(") || self.at_punct("[") {
+                    self.skip_balanced();
+                    self.eat_punct(";");
+                }
+                Some(Item {
+                    kind: ItemKind::Other,
+                    is_test,
+                    line,
+                })
+            }
+            "use" | "static" | "const" | "type" | "struct" | "enum" | "union" => {
+                self.skip_to_item_end();
+                Some(Item {
+                    kind: ItemKind::Other,
+                    is_test,
+                    line,
+                })
+            }
+            _ => {
+                // Item-position macro invocation (`thread_local! { … }`)
+                // or anything else: consume one item's worth of tokens.
+                self.skip_to_item_end();
+                Some(Item {
+                    kind: ItemKind::Other,
+                    is_test,
+                    line,
+                })
+            }
+        }
+    }
+
+    fn parse_fn(&mut self, is_pub: bool, is_test: bool, line: u32) -> Item {
+        self.bump(); // `fn`
+        let (_, col) = self.line_col();
+        let name = match self.ident_at(0) {
+            Some(n) => {
+                self.bump();
+                n.to_string()
+            }
+            None => {
+                self.diag("fn without a name");
+                String::new()
+            }
+        };
+        if self.at_punct("<") {
+            self.skip_angles();
+        }
+        let (has_self, params) = if self.at_punct("(") {
+            self.parse_params()
+        } else {
+            self.diag("fn without a parameter list");
+            (false, Vec::new())
+        };
+
+        // Return type: `-> …` up to `{` / `;` / `where`, angle-aware.
+        let mut ret = String::new();
+        if self.at_punct("-") && self.punct_at(1, ">") {
+            self.bump();
+            self.bump();
+            let start = self.pos;
+            while let Some(t) = self.peek(0) {
+                if t.kind == TokKind::Punct {
+                    match t.text {
+                        "{" | ";" => break,
+                        "<" => {
+                            self.skip_angles();
+                            continue;
+                        }
+                        "(" | "[" => {
+                            self.skip_balanced();
+                            continue;
+                        }
+                        _ => {}
+                    }
+                } else if t.kind == TokKind::Ident && t.text == "where" {
+                    break;
+                }
+                self.bump();
+            }
+            ret = self.flatten(start, self.pos);
+        }
+        if self.at_ident("where") {
+            while let Some(t) = self.peek(0) {
+                if t.kind == TokKind::Punct {
+                    match t.text {
+                        "{" | ";" => break,
+                        "<" => {
+                            self.skip_angles();
+                            continue;
+                        }
+                        "(" | "[" => {
+                            self.skip_balanced();
+                            continue;
+                        }
+                        _ => {}
+                    }
+                }
+                self.bump();
+            }
+        }
+
+        let (body, end_line) = if self.at_punct("{") {
+            let b = self.parse_block();
+            (Some(b), self.last_line())
+        } else {
+            self.eat_punct(";");
+            (None, line)
+        };
+
+        Item {
+            kind: ItemKind::Fn(Func {
+                name,
+                is_pub,
+                has_self,
+                params,
+                ret,
+                body,
+                line,
+                col,
+                end_line: end_line.max(line),
+            }),
+            is_test,
+            line,
+        }
+    }
+
+    /// Cursor on `(`. Returns (has_self, params).
+    fn parse_params(&mut self) -> (bool, Vec<Param>) {
+        self.bump(); // `(`
+        let mut has_self = false;
+        let mut params = Vec::new();
+        while !self.at_end() && !self.at_punct(")") {
+            while self.at_punct("#") {
+                self.skip_attr();
+            }
+            let start = self.pos;
+            // One parameter: tokens to the next top-level `,` or `)`.
+            let mut colon_at: Option<usize> = None;
+            let mut angle = 0i32;
+            let mut prev = "";
+            while let Some(t) = self.peek(0) {
+                if t.kind == TokKind::Punct {
+                    match t.text {
+                        "," if angle <= 0 => break,
+                        ")" if angle <= 0 => break,
+                        "(" | "[" | "{" => {
+                            self.skip_balanced();
+                            prev = "";
+                            continue;
+                        }
+                        "<" => angle += 1,
+                        ">" if prev != "-" => angle -= 1,
+                        ":" if angle <= 0 && colon_at.is_none() && !self.punct_at(1, ":") => {
+                            colon_at = Some(self.pos);
+                        }
+                        _ => {}
+                    }
+                    prev = t.text;
+                } else {
+                    prev = "";
+                }
+                self.bump();
+            }
+            let end = self.pos;
+            let pat_end = colon_at.unwrap_or(end);
+            let self_param = self
+                .toks
+                .get(start..pat_end)
+                .unwrap_or(&[])
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && t.text == "self");
+            if self_param && params.is_empty() {
+                has_self = true;
+            }
+            let name = self
+                .toks
+                .get(start..pat_end)
+                .unwrap_or(&[])
+                .iter()
+                .find(|t| {
+                    t.kind == TokKind::Ident && !matches!(t.text, "mut" | "ref" | "_" | "self")
+                })
+                .map_or_else(|| "_".to_string(), |t| t.text.to_string());
+            let ty = match colon_at {
+                Some(c) => self.flatten(c + 1, end),
+                None => self.flatten(start, end),
+            };
+            if start < end {
+                params.push(Param { name, ty });
+            }
+            self.eat_punct(",");
+            if self.pos == start {
+                self.bump();
+            }
+        }
+        self.eat_punct(")");
+        (has_self, params)
+    }
+
+    fn parse_impl(&mut self, is_test: bool, line: u32) -> Item {
+        self.bump(); // `impl`
+        if self.at_punct("<") {
+            self.skip_angles();
+        }
+        // Scan to the body brace; the impl'd type is the last plain
+        // ident seen (`for` resets nothing: `impl Trait for Type` ends
+        // on `Type`; `where` stops name collection).
+        let mut name = String::new();
+        let mut in_where = false;
+        while let Some(t) = self.peek(0) {
+            match t.kind {
+                TokKind::Punct => match t.text {
+                    "{" => break,
+                    ";" => {
+                        self.bump();
+                        return Item {
+                            kind: ItemKind::Other,
+                            is_test,
+                            line,
+                        };
+                    }
+                    "<" => {
+                        self.skip_angles();
+                        continue;
+                    }
+                    "(" | "[" => {
+                        self.skip_balanced();
+                        continue;
+                    }
+                    _ => {}
+                },
+                TokKind::Ident => {
+                    if t.text == "where" {
+                        in_where = true;
+                    } else if !in_where
+                        && !matches!(t.text, "for" | "dyn" | "mut" | "const" | "unsafe")
+                    {
+                        name = t.text.to_string();
+                    }
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+        let items = if self.at_punct("{") {
+            self.bump();
+            let items = self.parse_items(true, is_test);
+            self.eat_punct("}");
+            items
+        } else {
+            Vec::new()
+        };
+        Item {
+            kind: ItemKind::Container {
+                kind: ContainerKind::Impl,
+                name,
+                items,
+            },
+            is_test,
+            line,
+        }
+    }
+
+    fn parse_trait(&mut self, is_test: bool, line: u32) -> Item {
+        self.bump(); // `trait`
+        let name = self.ident_at(0).unwrap_or("").to_string();
+        if !name.is_empty() {
+            self.bump();
+        }
+        while let Some(t) = self.peek(0) {
+            if t.kind == TokKind::Punct {
+                match t.text {
+                    "{" | ";" => break,
+                    "<" => {
+                        self.skip_angles();
+                        continue;
+                    }
+                    "(" | "[" => {
+                        self.skip_balanced();
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            self.bump();
+        }
+        let items = if self.at_punct("{") {
+            self.bump();
+            let items = self.parse_items(true, is_test);
+            self.eat_punct("}");
+            items
+        } else {
+            self.eat_punct(";");
+            Vec::new()
+        };
+        Item {
+            kind: ItemKind::Container {
+                kind: ContainerKind::Trait,
+                name,
+                items,
+            },
+            is_test,
+            line,
+        }
+    }
+
+    fn parse_mod(&mut self, is_test: bool, line: u32) -> Item {
+        self.bump(); // `mod`
+        let name = self.ident_at(0).unwrap_or("").to_string();
+        if !name.is_empty() {
+            self.bump();
+        }
+        if self.at_punct("{") {
+            self.bump();
+            let items = self.parse_items(true, is_test);
+            self.eat_punct("}");
+            Item {
+                kind: ItemKind::Container {
+                    kind: ContainerKind::Mod,
+                    name,
+                    items,
+                },
+                is_test,
+                line,
+            }
+        } else {
+            self.eat_punct(";");
+            Item {
+                kind: ItemKind::Other,
+                is_test,
+                line,
+            }
+        }
+    }
+
+    // ---- statements ---------------------------------------------------
+
+    /// Cursor on `{`. Consumes through the matching `}`.
+    fn parse_block(&mut self) -> Block {
+        if self.depth >= MAX_DEPTH {
+            self.diag("nesting too deep; skipping block");
+            self.skip_balanced();
+            return Block::default();
+        }
+        self.depth += 1;
+        self.bump(); // `{`
+        let mut stmts = Vec::new();
+        while !self.at_end() && !self.at_punct("}") {
+            let before = self.pos;
+            if let Some(s) = self.parse_stmt() {
+                stmts.push(s);
+            }
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        self.eat_punct("}");
+        self.depth = self.depth.saturating_sub(1);
+        Block { stmts }
+    }
+
+    fn parse_stmt(&mut self) -> Option<Stmt> {
+        while self.at_punct("#") && (self.punct_at(1, "[") || self.punct_at(2, "[")) {
+            self.skip_attr();
+        }
+        if self.eat_punct(";") {
+            return None;
+        }
+        if self.at_ident("let") {
+            return Some(self.parse_let());
+        }
+        // Item statements (nested fn / mod / use / struct …).
+        let item_start = matches!(
+            self.ident_at(0),
+            Some(
+                "fn" | "pub"
+                    | "impl"
+                    | "mod"
+                    | "struct"
+                    | "enum"
+                    | "union"
+                    | "use"
+                    | "static"
+                    | "trait"
+                    | "type"
+                    | "macro_rules"
+            )
+        ) || (self.at_ident("const") && self.ident_at(1) != Some("fn"))
+            || (self.at_ident("extern") && self.ident_at(1) == Some("crate"));
+        if item_start {
+            return self.parse_item_one(false).map(Stmt::Item);
+        }
+        let e = self.parse_expr(true);
+        self.eat_punct(";");
+        Some(Stmt::Expr(e))
+    }
+
+    fn parse_let(&mut self) -> Stmt {
+        let (line, _) = self.line_col();
+        self.bump(); // `let`
+        let names = self.scan_pattern_names(&[":", "=", ";"]);
+        if self.at_punct(":") && !self.punct_at(1, ":") {
+            self.bump();
+            // Type annotation: to `=` / `;`, angle- and bracket-aware.
+            while let Some(t) = self.peek(0) {
+                if t.kind == TokKind::Punct {
+                    match t.text {
+                        "=" | ";" => break,
+                        "<" => {
+                            self.skip_angles();
+                            continue;
+                        }
+                        "(" | "[" | "{" => {
+                            self.skip_balanced();
+                            continue;
+                        }
+                        _ => {}
+                    }
+                }
+                self.bump();
+            }
+        }
+        let init = if self.at_punct("=") && !self.punct_at(1, "=") {
+            self.bump();
+            Some(self.parse_expr(true))
+        } else {
+            None
+        };
+        let else_block = if self.at_ident("else") && self.punct_at(1, "{") {
+            self.bump();
+            Some(self.parse_block())
+        } else {
+            None
+        };
+        self.eat_punct(";");
+        Stmt::Let {
+            names,
+            init,
+            else_block,
+            line,
+        }
+    }
+
+    /// Consume pattern tokens until one of `stops` (single-byte puncts,
+    /// matched at bracket depth 0; `:` only when not `::`) or `else`
+    /// (let-else) — collecting plausible binding names: idents that are
+    /// not path segments (`Foo::`), not constructors (`Some(`,
+    /// `Point {`), and not `mut`/`ref`/`_`.
+    fn scan_pattern_names(&mut self, stops: &[&str]) -> Vec<String> {
+        let mut names = Vec::new();
+        let mut prev_was_sep = false;
+        while let Some(t) = self.peek(0) {
+            if t.kind == TokKind::Punct {
+                if stops.contains(&t.text) {
+                    if t.text == ":" && self.punct_at(1, ":") {
+                        self.bump();
+                        self.bump();
+                        prev_was_sep = true;
+                        continue;
+                    }
+                    if t.text == "=" && self.punct_at(1, "=") {
+                        // `==` cannot appear in a pattern; treat as stop.
+                        break;
+                    }
+                    break;
+                }
+                match t.text {
+                    "(" | "[" | "{" => {
+                        // Recurse one level into sub-patterns so
+                        // `let (a, b) = …` and `Some(x)` still bind.
+                        self.bump();
+                        continue;
+                    }
+                    ")" | "]" | "}" => {
+                        self.bump();
+                        continue;
+                    }
+                    _ => {}
+                }
+                prev_was_sep = false;
+            } else if t.kind == TokKind::Ident {
+                let is_ctor = self.punct_at(1, "(")
+                    || self.punct_at(1, "{")
+                    || (self.punct_at(1, ":") && self.punct_at(2, ":"));
+                if !prev_was_sep
+                    && !is_ctor
+                    && !matches!(t.text, "mut" | "ref" | "_" | "in" | "if" | "else")
+                {
+                    names.push(t.text.to_string());
+                }
+                if matches!(t.text, "in" | "if" | "else") {
+                    break;
+                }
+                prev_was_sep = false;
+            }
+            self.bump();
+        }
+        names
+    }
+
+    /// Consume pattern tokens until `=>` (match arm) at depth 0, or a
+    /// stray `}` that ends the arm list.
+    fn skip_arm_pattern(&mut self) {
+        let mut depth = 0usize;
+        while let Some(t) = self.peek(0) {
+            if t.kind == TokKind::Punct {
+                match t.text {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" => depth = depth.saturating_sub(1),
+                    "}" => {
+                        if depth == 0 {
+                            return; // malformed; `}` closes the match
+                        }
+                        depth = depth.saturating_sub(1);
+                    }
+                    "=" if depth == 0 && self.punct_at(1, ">") => {
+                        self.bump();
+                        self.bump();
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Consume a `let`-pattern up to its `=` (for `if let` / `while
+    /// let` / `let`-chains), including the `=` itself.
+    fn skip_let_pattern(&mut self) {
+        self.scan_pattern_names(&["=", ";", "{"]);
+        if self.at_punct("=") && !self.punct_at(1, "=") {
+            self.bump();
+        }
+    }
+
+    // ---- expressions --------------------------------------------------
+
+    /// `allow_struct`: whether `Path { … }` may be a struct literal
+    /// here (false in `if`/`while`/`for`/`match` heads).
+    fn parse_expr(&mut self, allow_struct: bool) -> Expr {
+        let (line, _) = self.line_col();
+        if self.depth >= MAX_DEPTH {
+            self.diag("expression nesting too deep");
+            return Expr::Lit { line };
+        }
+        self.depth += 1;
+        let mut operands = vec![self.parse_unary(allow_struct)];
+        loop {
+            if self.at_ident("as") {
+                self.bump();
+                self.skip_type_tokens();
+                continue;
+            }
+            if !self.eat_binary_op() {
+                break;
+            }
+            // Open-ended ranges (`a..`) have no right operand.
+            if self.rhs_can_start() {
+                operands.push(self.parse_unary(allow_struct));
+            } else {
+                break;
+            }
+        }
+        self.depth = self.depth.saturating_sub(1);
+        if operands.len() == 1 {
+            if let Some(e) = operands.pop() {
+                return e;
+            }
+        }
+        Expr::Group(operands)
+    }
+
+    fn rhs_can_start(&self) -> bool {
+        match self.peek(0) {
+            None => false,
+            Some(t) => {
+                !(t.kind == TokKind::Punct && matches!(t.text, ")" | "]" | "}" | "," | ";" | "="))
+            }
+        }
+    }
+
+    /// Consume one binary operator if present. `=>` and a lone `.` are
+    /// not operators (arm arrow / postfix, handled elsewhere).
+    fn eat_binary_op(&mut self) -> bool {
+        let Some(t) = self.peek(0) else {
+            return false;
+        };
+        if t.kind != TokKind::Punct {
+            return false;
+        }
+        match t.text {
+            "+" | "-" | "*" | "/" | "%" | "^" => {
+                self.bump();
+                self.eat_punct("=");
+                true
+            }
+            "&" | "|" => {
+                let two = self.punct_at(1, t.text);
+                self.bump();
+                if two {
+                    self.bump();
+                }
+                self.eat_punct("=");
+                true
+            }
+            "<" | ">" => {
+                let two = self.punct_at(1, t.text);
+                self.bump();
+                if two {
+                    self.bump();
+                }
+                self.eat_punct("=");
+                true
+            }
+            "=" => {
+                if self.punct_at(1, ">") {
+                    return false; // `=>`
+                }
+                self.bump();
+                self.eat_punct("=");
+                true
+            }
+            "!" if self.punct_at(1, "=") => {
+                self.bump();
+                self.bump();
+                true
+            }
+            "." if self.punct_at(1, ".") => {
+                self.bump();
+                self.bump();
+                self.eat_punct("=");
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// After `as`: consume the target type (idents, `::`, angles).
+    fn skip_type_tokens(&mut self) {
+        loop {
+            if self.at_path_sep() {
+                self.bump();
+                self.bump();
+            } else if self.at_punct("<") {
+                self.skip_angles();
+            } else if self
+                .peek(0)
+                .is_some_and(|t| t.kind == TokKind::Ident && t.text != "as")
+            {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn parse_unary(&mut self, allow_struct: bool) -> Expr {
+        // Transparent prefixes: the analyses care about the operand.
+        loop {
+            if self.at_punct("-") || self.at_punct("!") || self.at_punct("*") {
+                self.bump();
+            } else if self.at_punct("&") {
+                self.bump();
+                if self.at_punct("&") {
+                    self.bump();
+                }
+                if self.at_ident("mut") {
+                    self.bump();
+                }
+            } else {
+                break;
+            }
+        }
+        // Closures.
+        if self.at_punct("|") || (self.at_ident("move") && self.punct_at(1, "|")) {
+            let (line, _) = self.line_col();
+            if self.at_ident("move") {
+                self.bump();
+            }
+            self.bump(); // first `|`
+            if !self.eat_punct("|") {
+                // Non-empty parameter list: skip to the closing `|`.
+                let mut depth = 0usize;
+                while let Some(t) = self.peek(0) {
+                    if t.kind == TokKind::Punct {
+                        match t.text {
+                            "(" | "[" | "{" => depth += 1,
+                            ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                            "|" if depth == 0 => {
+                                self.bump();
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                    self.bump();
+                }
+            }
+            if self.at_punct("-") && self.punct_at(1, ">") {
+                self.bump();
+                self.bump();
+                while let Some(t) = self.peek(0) {
+                    if t.kind == TokKind::Punct && matches!(t.text, "{" | "," | ";" | ")") {
+                        break;
+                    }
+                    if t.kind == TokKind::Punct && t.text == "<" {
+                        self.skip_angles();
+                        continue;
+                    }
+                    self.bump();
+                }
+            }
+            let body = self.parse_expr(allow_struct);
+            return Expr::Closure {
+                body: Box::new(body),
+                line,
+            };
+        }
+        self.parse_postfix(allow_struct)
+    }
+
+    fn parse_postfix(&mut self, allow_struct: bool) -> Expr {
+        let mut e = self.parse_primary(allow_struct);
+        loop {
+            if self.at_punct(".") {
+                if let Some(name) = self.ident_at(1) {
+                    if name == "await" {
+                        self.bump();
+                        self.bump();
+                        continue;
+                    }
+                    let (line, col) = self.peek(1).map_or((0, 0), |t| (t.line, t.col));
+                    self.bump(); // `.`
+                    self.bump(); // name
+                    if self.at_path_sep() && self.punct_at(2, "<") {
+                        self.bump();
+                        self.bump();
+                        self.skip_angles(); // turbofish
+                    }
+                    if self.at_punct("(") {
+                        let args = self.parse_call_args("(", ")");
+                        e = Expr::MethodCall {
+                            recv: Box::new(e),
+                            method: name.to_string(),
+                            args,
+                            line,
+                            col,
+                        };
+                    } else {
+                        e = Expr::Field {
+                            recv: Box::new(e),
+                            name: name.to_string(),
+                        };
+                    }
+                    continue;
+                }
+                if self.peek(1).is_some_and(|t| t.kind == TokKind::Num) {
+                    let name = self.peek(1).map_or("", |t| t.text).to_string();
+                    self.bump();
+                    self.bump();
+                    e = Expr::Field {
+                        recv: Box::new(e),
+                        name,
+                    };
+                    continue;
+                }
+                break; // `..` range or stray dot — binary layer's problem
+            }
+            if self.at_punct("(") {
+                let (paren_line, col) = self.line_col();
+                let head_line = e.line();
+                let args = self.parse_call_args("(", ")");
+                e = Expr::Call {
+                    callee: Box::new(e),
+                    args,
+                    line: if head_line > 0 { head_line } else { paren_line },
+                    col,
+                };
+                continue;
+            }
+            if self.at_punct("[") {
+                self.bump();
+                let idx = self.parse_expr(true);
+                self.close_delim("]");
+                e = Expr::Index {
+                    recv: Box::new(e),
+                    index: Box::new(idx),
+                };
+                continue;
+            }
+            if self.at_punct("?") {
+                self.bump();
+                continue;
+            }
+            break;
+        }
+        e
+    }
+
+    /// Consume the expected closing delimiter, skipping stray tokens
+    /// (bracket-balanced) to reach it.
+    fn close_delim(&mut self, close: &str) {
+        if self.eat_punct(close) {
+            return;
+        }
+        let mut depth = 0usize;
+        while let Some(t) = self.peek(0) {
+            if t.kind == TokKind::Punct {
+                match t.text {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => {
+                        if depth == 0 {
+                            if t.text == close {
+                                self.bump();
+                            }
+                            return;
+                        }
+                        depth = depth.saturating_sub(1);
+                    }
+                    ";" if depth == 0 => return,
+                    _ => {}
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Cursor on `open`: parse comma-separated argument expressions.
+    fn parse_call_args(&mut self, open: &str, close: &str) -> Vec<Expr> {
+        let mut args = Vec::new();
+        if !self.eat_punct(open) {
+            return args;
+        }
+        while !self.at_end() && !self.at_punct(close) {
+            let before = self.pos;
+            args.push(self.parse_expr(true));
+            self.eat_punct(",");
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        self.eat_punct(close);
+        args
+    }
+
+    fn parse_primary(&mut self, allow_struct: bool) -> Expr {
+        let (line, col) = self.line_col();
+        let Some(t) = self.peek(0) else {
+            return Expr::Lit { line };
+        };
+        match t.kind {
+            TokKind::Num | TokKind::Str | TokKind::Char => {
+                self.bump();
+                Expr::Lit { line }
+            }
+            TokKind::Lifetime => {
+                self.bump();
+                if self.at_punct(":") && !self.punct_at(1, ":") {
+                    self.bump();
+                    return self.parse_primary(allow_struct); // labeled loop
+                }
+                Expr::Lit { line }
+            }
+            TokKind::Punct => match t.text {
+                "(" => {
+                    let mut exprs = Vec::new();
+                    self.bump();
+                    while !self.at_end() && !self.at_punct(")") {
+                        let before = self.pos;
+                        exprs.push(self.parse_expr(true));
+                        self.eat_punct(",");
+                        if self.pos == before {
+                            self.bump();
+                        }
+                    }
+                    self.eat_punct(")");
+                    if exprs.len() == 1 {
+                        if let Some(e) = exprs.pop() {
+                            return e;
+                        }
+                    }
+                    Expr::Group(exprs)
+                }
+                "[" => {
+                    let mut exprs = Vec::new();
+                    self.bump();
+                    while !self.at_end() && !self.at_punct("]") {
+                        let before = self.pos;
+                        exprs.push(self.parse_expr(true));
+                        if !self.eat_punct(",") {
+                            self.eat_punct(";"); // `[elem; len]`
+                        }
+                        if self.pos == before {
+                            self.bump();
+                        }
+                    }
+                    self.eat_punct("]");
+                    Expr::Group(exprs)
+                }
+                "{" => Expr::Block(self.parse_block()),
+                "#" => {
+                    self.skip_attr();
+                    self.parse_primary(allow_struct)
+                }
+                "<" => {
+                    // Qualified path `<T as Trait>::assoc(…)` — the
+                    // qualifier is out of lexical reach; keep the tail.
+                    self.skip_angles();
+                    if self.at_path_sep() {
+                        self.bump();
+                        self.bump();
+                    }
+                    self.parse_primary(allow_struct)
+                }
+                _ => {
+                    self.diag("unexpected token in expression");
+                    Expr::Lit { line }
+                }
+            },
+            TokKind::Ident => match t.text {
+                "if" => self.parse_if(),
+                "match" => {
+                    self.bump();
+                    let scrutinee = self.parse_expr(false);
+                    let mut arms = Vec::new();
+                    if self.at_punct("{") {
+                        self.bump();
+                        while !self.at_end() && !self.at_punct("}") {
+                            let before = self.pos;
+                            while self.at_punct("#") {
+                                self.skip_attr();
+                            }
+                            self.skip_arm_pattern();
+                            if !self.at_punct("}") {
+                                arms.push(self.parse_expr(true));
+                            }
+                            self.eat_punct(",");
+                            if self.pos == before {
+                                self.bump();
+                            }
+                        }
+                        self.eat_punct("}");
+                    }
+                    Expr::Match {
+                        scrutinee: Box::new(scrutinee),
+                        arms,
+                    }
+                }
+                "while" => {
+                    self.bump();
+                    if self.at_ident("let") {
+                        self.bump();
+                        self.skip_let_pattern();
+                    }
+                    let head = self.parse_expr(false);
+                    let body = if self.at_punct("{") {
+                        self.parse_block()
+                    } else {
+                        Block::default()
+                    };
+                    Expr::Loop {
+                        head: Some(Box::new(head)),
+                        body,
+                    }
+                }
+                "for" => {
+                    self.bump();
+                    self.scan_pattern_names(&["{", ";"]); // stops at `in`
+                    let head = self.parse_expr(false);
+                    let body = if self.at_punct("{") {
+                        self.parse_block()
+                    } else {
+                        Block::default()
+                    };
+                    Expr::Loop {
+                        head: Some(Box::new(head)),
+                        body,
+                    }
+                }
+                "loop" => {
+                    self.bump();
+                    let body = if self.at_punct("{") {
+                        self.parse_block()
+                    } else {
+                        Block::default()
+                    };
+                    Expr::Loop { head: None, body }
+                }
+                "unsafe" | "async" => {
+                    self.bump();
+                    if self.at_ident("move") {
+                        self.bump();
+                    }
+                    if self.at_punct("{") {
+                        Expr::Block(self.parse_block())
+                    } else {
+                        self.parse_unary(allow_struct)
+                    }
+                }
+                "return" | "break" | "continue" | "yield" => {
+                    self.bump();
+                    if self.peek(0).is_some_and(|t| t.kind == TokKind::Lifetime) {
+                        self.bump(); // loop label
+                    }
+                    if self.rhs_can_start() && !self.at_punct("}") {
+                        Expr::Group(vec![self.parse_expr(allow_struct)])
+                    } else {
+                        Expr::Lit { line }
+                    }
+                }
+                "let" => {
+                    // Let-chain operand: `… && let P = e`.
+                    self.bump();
+                    self.skip_let_pattern();
+                    self.parse_expr(false)
+                }
+                "move" => {
+                    self.bump();
+                    self.parse_unary(allow_struct)
+                }
+                _ => self.parse_path_expr(allow_struct, line, col),
+            },
+            _ => {
+                self.bump();
+                Expr::Lit { line }
+            }
+        }
+    }
+
+    fn parse_path_expr(&mut self, allow_struct: bool, line: u32, col: u32) -> Expr {
+        let mut segs = Vec::new();
+        if let Some(first) = self.ident_at(0) {
+            segs.push(first.to_string());
+            self.bump();
+        }
+        while self.at_path_sep() {
+            if self.punct_at(2, "<") {
+                self.bump();
+                self.bump();
+                self.skip_angles(); // turbofish
+                continue;
+            }
+            if let Some(seg) = self.ident_at(2) {
+                segs.push(seg.to_string());
+                self.bump();
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+                self.bump();
+                break;
+            }
+        }
+        // Macro invocation.
+        if self.at_punct("!") {
+            let delim = self.peek(1).map_or("", |t| t.text);
+            match delim {
+                "(" => {
+                    self.bump();
+                    let args = self.parse_call_args("(", ")");
+                    return Expr::MacroCall {
+                        segs,
+                        args,
+                        line,
+                        col,
+                    };
+                }
+                "[" => {
+                    self.bump();
+                    let args = self.parse_call_args("[", "]");
+                    return Expr::MacroCall {
+                        segs,
+                        args,
+                        line,
+                        col,
+                    };
+                }
+                "{" => {
+                    self.bump();
+                    self.skip_balanced();
+                    return Expr::MacroCall {
+                        segs,
+                        args: Vec::new(),
+                        line,
+                        col,
+                    };
+                }
+                _ => {} // `!=` or prefix-not already consumed elsewhere
+            }
+        }
+        // Struct literal.
+        if allow_struct && self.at_punct("{") && self.looks_like_struct_lit() {
+            self.bump(); // `{`
+            let mut children = vec![Expr::Path { segs, line, col }];
+            while !self.at_end() && !self.at_punct("}") {
+                let before = self.pos;
+                while self.at_punct("#") {
+                    self.skip_attr();
+                }
+                if self.at_punct(".") && self.punct_at(1, ".") {
+                    self.bump();
+                    self.bump();
+                    children.push(self.parse_expr(true)); // `..base`
+                } else {
+                    if self.ident_at(0).is_some() {
+                        self.bump(); // field name
+                    }
+                    if self.at_punct(":") && !self.punct_at(1, ":") {
+                        self.bump();
+                        children.push(self.parse_expr(true));
+                    }
+                }
+                self.eat_punct(",");
+                if self.pos == before {
+                    self.bump();
+                }
+            }
+            self.eat_punct("}");
+            return Expr::Group(children);
+        }
+        Expr::Path { segs, line, col }
+    }
+
+    /// Lookahead: does `{ …` after a path open a struct literal rather
+    /// than a block? (`Path { ident: …`, `Path { ident, …`,
+    /// `Path { ident }`, `Path { ..base }`, `Path {}`.)
+    fn looks_like_struct_lit(&self) -> bool {
+        if self.punct_at(1, "}") {
+            return true;
+        }
+        if self.punct_at(1, ".") && self.punct_at(2, ".") {
+            return true;
+        }
+        if self.ident_at(1).is_some() {
+            // `ident:` (not `::`), `ident,`, `ident }`.
+            if self.punct_at(2, ":") && !self.punct_at(3, ":") {
+                return true;
+            }
+            if self.punct_at(2, ",") || self.punct_at(2, "}") {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn parse_if(&mut self) -> Expr {
+        self.bump(); // `if`
+        if self.at_ident("let") {
+            self.bump();
+            self.skip_let_pattern();
+        }
+        let cond = self.parse_expr(false);
+        let then = if self.at_punct("{") {
+            self.parse_block()
+        } else {
+            self.diag("if without a block");
+            Block::default()
+        };
+        let alt = if self.at_ident("else") {
+            self.bump();
+            if self.at_ident("if") {
+                Some(Box::new(self.parse_if()))
+            } else if self.at_punct("{") {
+                Some(Box::new(Expr::Block(self.parse_block())))
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        Expr::If {
+            cond: Box::new(cond),
+            then,
+            alt,
+        }
+    }
+}

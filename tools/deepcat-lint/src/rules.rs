@@ -9,12 +9,15 @@
 //! * `numeric.*` — NaN-unsafe `partial_cmp().unwrap()` and lossy `as`
 //!   casts in math kernels;
 //! * `telemetry.*` — metric/event names must be `family.snake_case`
-//!   and registered in `crates/telemetry/events.toml`; core-crate
-//!   functions handling a `SessionCtx` must open its scope before
-//!   emitting (`telemetry.session_scope`);
+//!   and registered in `crates/telemetry/events.toml`;
 //!
 //! plus `safety.undocumented_unsafe` for `unsafe` without a
 //! `// SAFETY:` comment.
+//!
+//! The AST/call-graph families (`concurrency.*`, `panic.reachable`,
+//! `determinism.entropy_flow`, `telemetry.session_scope`) live in
+//! [`crate::dataflow`] and [`crate::callgraph`]; this module's
+//! [`FileCx`] (comment map, test ranges) is shared with them.
 //!
 //! Escape hatches are deliberate and auditable: a justified
 //! `// PANIC-SAFETY:` comment (for `expect`/explicit panics), a
@@ -22,21 +25,21 @@
 //! (for `unsafe`), a `// SESSION-SCOPE:` comment (for deliberately
 //! unscoped emits), or a reasoned entry in `lint.toml`.
 
-use crate::lexer::{lex, Tok, TokKind};
+use crate::lexer::{Tok, TokKind};
 use crate::manifest::Manifest;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Crates whose results must be bit-reproducible under a fixed seed.
 /// `telemetry` is exempt (sinks own the sanctioned wall clock);
 /// `bench`/`deepcat-lint` are tooling.
-const CORE_CRATES: &[&str] = &["rl", "spark-sim", "surrogate", "tensor-nn", "deepcat"];
+pub(crate) const CORE_CRATES: &[&str] = &["rl", "spark-sim", "surrogate", "tensor-nn", "deepcat"];
 
 /// Crates holding numeric kernels where lossy casts are flagged.
 const MATH_CRATES: &[&str] = &["surrogate", "tensor-nn", "rl"];
 
 /// Telemetry registration/emission functions whose first argument is a
 /// metric or event name literal.
-const TELEMETRY_FNS: &[&str] = &[
+pub(crate) const TELEMETRY_FNS: &[&str] = &[
     "inc",
     "set_gauge",
     "observe",
@@ -63,17 +66,17 @@ pub struct Finding {
 }
 
 /// Everything the rule engine knows about the file being linted.
-struct FileCx<'a> {
-    path: &'a str,
-    krate: &'a str,
-    is_bin: bool,
-    code: Vec<Tok<'a>>,
+pub(crate) struct FileCx<'a> {
+    pub(crate) path: &'a str,
+    pub(crate) krate: &'a str,
+    pub(crate) is_bin: bool,
+    pub(crate) code: Vec<Tok<'a>>,
     /// Per-line comment text, for `SAFETY:`-style escape comments.
-    comments: BTreeMap<u32, String>,
+    pub(crate) comments: BTreeMap<u32, String>,
     /// `code`-index ranges lying inside `#[test]`/`#[cfg(test)]` items.
-    test_ranges: Vec<(usize, usize)>,
+    pub(crate) test_ranges: Vec<(usize, usize)>,
     /// `code` indices inside attributes (`#[…]` / `#![…]`).
-    in_attr: Vec<bool>,
+    pub(crate) in_attr: Vec<bool>,
 }
 
 /// Names found at telemetry call sites, for the manifest cross-check
@@ -83,29 +86,23 @@ pub struct NamesSeen {
     pub names: BTreeSet<String>,
 }
 
-/// Lint one file. `rel_path` uses `/` separators and is relative to the
-/// repo root (e.g. `crates/rl/src/per.rs`).
-pub fn lint_source(
-    rel_path: &str,
-    src: &str,
+/// Run the token-level rule families over a prepared [`FileCx`]. The
+/// AST-level families run separately (see [`crate::lint_source`] for
+/// the combined per-file entry point).
+pub(crate) fn token_rules(
+    cx: &FileCx<'_>,
     manifest: &Manifest,
     seen: &mut NamesSeen,
-) -> Vec<Finding> {
-    let toks = lex(src);
-    let cx = build_cx(rel_path, &toks);
-    let mut findings = Vec::new();
-    determinism_rules(&cx, &mut findings);
-    panic_rules(&cx, &mut findings);
-    numeric_rules(&cx, &mut findings);
-    safety_rules(&cx, &mut findings);
-    telemetry_rules(&cx, manifest, seen, &mut findings);
-    session_rules(&cx, &mut findings);
-    findings.sort();
-    findings.dedup();
-    findings
+    out: &mut Vec<Finding>,
+) {
+    determinism_rules(cx, out);
+    panic_rules(cx, out);
+    numeric_rules(cx, out);
+    safety_rules(cx, out);
+    telemetry_rules(cx, manifest, seen, out);
 }
 
-fn build_cx<'a>(rel_path: &'a str, toks: &[Tok<'a>]) -> FileCx<'a> {
+pub(crate) fn build_cx<'a>(rel_path: &'a str, toks: &[Tok<'a>]) -> FileCx<'a> {
     let krate = rel_path
         .strip_prefix("crates/")
         .or_else(|| rel_path.strip_prefix("tools/"))
@@ -241,13 +238,13 @@ fn is_ident(t: Option<&Tok<'_>>, s: &str) -> bool {
 }
 
 impl FileCx<'_> {
-    fn in_test(&self, idx: usize) -> bool {
+    pub(crate) fn in_test(&self, idx: usize) -> bool {
         self.test_ranges.iter().any(|&(a, b)| idx >= a && idx <= b)
     }
 
     /// Is there an escape comment containing `marker` on the token's
     /// line or the two lines above (to cover multi-line call chains)?
-    fn escape_comment(&self, line: u32, marker: &str) -> bool {
+    pub(crate) fn escape_comment(&self, line: u32, marker: &str) -> bool {
         (line.saturating_sub(2)..=line)
             .any(|l| self.comments.get(&l).is_some_and(|c| c.contains(marker)))
     }
@@ -589,105 +586,6 @@ fn check_telemetry_name(
             None,
         ));
     }
-}
-
-// ---- session scoping --------------------------------------------------
-
-/// In core crates, a function that handles a [`SessionCtx`] is expected
-/// to open an ambient scope (`telemetry::session_scope` /
-/// `telemetry::with_session`) before emitting events — otherwise the
-/// events it emits lose their `session_id` attribution even though the
-/// session identity was right there. Flags every emission site in such a
-/// function; a justified `// SESSION-SCOPE:` comment on (or just above)
-/// the call line is the escape hatch.
-fn session_rules(cx: &FileCx<'_>, out: &mut Vec<Finding>) {
-    if cx.is_bin || !CORE_CRATES.contains(&cx.krate) {
-        return;
-    }
-    let mut i = 0usize;
-    while i < cx.code.len() {
-        if !is_ident(cx.code.get(i), "fn") || cx.in_attr.get(i).copied().unwrap_or(false) {
-            i += 1;
-            continue;
-        }
-        // Walk from the signature to the body's opening brace; a `;`
-        // first means a bodyless declaration (trait method, extern).
-        let mut j = i + 1;
-        while j < cx.code.len() && !is_punct(cx.code.get(j), "{") {
-            if is_punct(cx.code.get(j), ";") {
-                break;
-            }
-            j += 1;
-        }
-        if !is_punct(cx.code.get(j), "{") {
-            i = j + 1;
-            continue;
-        }
-        let end = matching_bracket(&cx.code, j, "{", "}");
-        let fn_toks = cx.code.get(i..=end.min(cx.code.len() - 1)).unwrap_or(&[]);
-        let has = |name: &str| {
-            fn_toks
-                .iter()
-                .any(|t| t.kind == TokKind::Ident && t.text == name)
-        };
-        // The signature counts: `ctx: &SessionCtx` params are in scope.
-        if has("SessionCtx") && !has("session_scope") && !has("with_session") {
-            for k in i..=end.min(cx.code.len() - 1) {
-                let Some(site) = emission_site(cx, k) else {
-                    continue;
-                };
-                if cx.in_test(k) || cx.escape_comment(site.line, "SESSION-SCOPE:") {
-                    continue;
-                }
-                out.push(
-                    cx.finding(
-                        site,
-                        "telemetry.session_scope",
-                        "telemetry emitted in a function handling a SessionCtx without \
-                     opening its scope (`telemetry::session_scope`/`with_session`); \
-                     events lose session attribution — or justify with \
-                     `// SESSION-SCOPE:`"
-                            .into(),
-                        None,
-                    ),
-                );
-            }
-        }
-        // Nested fns are covered by the enclosing range; skip past it.
-        i = end + 1;
-    }
-}
-
-/// Is `cx.code[k]` the head of a telemetry emission (`telemetry::emit(`,
-/// `telemetry::<fn>(`, `telemetry::event!(`/`span!(`, or a bare
-/// `span!(`/`span(` call)? Returns the token to report on.
-fn emission_site<'a>(cx: &'a FileCx<'_>, k: usize) -> Option<&'a Tok<'a>> {
-    let t = cx.code.get(k)?;
-    if t.kind != TokKind::Ident {
-        return None;
-    }
-    if t.text == "telemetry"
-        && is_punct(cx.code.get(k + 1), ":")
-        && is_punct(cx.code.get(k + 2), ":")
-    {
-        let f = cx.code.get(k + 3)?;
-        if f.kind != TokKind::Ident {
-            return None;
-        }
-        let is_fn_call = TELEMETRY_FNS.contains(&f.text) && is_punct(cx.code.get(k + 4), "(");
-        let is_macro = matches!(f.text, "event" | "span")
-            && is_punct(cx.code.get(k + 4), "!")
-            && is_punct(cx.code.get(k + 5), "(");
-        return (is_fn_call || is_macro).then_some(f);
-    }
-    if t.text == "span"
-        && !(k > 0 && (is_punct(cx.code.get(k - 1), ".") || is_punct(cx.code.get(k - 1), ":")))
-        && ((is_punct(cx.code.get(k + 1), "!") && is_punct(cx.code.get(k + 2), "("))
-            || is_punct(cx.code.get(k + 1), "("))
-    {
-        return Some(t);
-    }
-    None
 }
 
 /// `family.snake_case` with at least two dotted segments, each

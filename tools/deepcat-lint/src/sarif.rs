@@ -1,0 +1,52 @@
+//! SARIF 2.1.0 output (`--format sarif`) — the minimal static-analysis
+//! interchange subset: one run, one driver, rule metadata derived from
+//! the findings, one result per finding with a physical location.
+//! Emitted deterministically (findings are already sorted) so the CI
+//! artifact is byte-stable for identical inputs.
+
+use crate::{json_str, Report};
+use std::collections::BTreeSet;
+
+pub fn render_sarif(report: &Report) -> String {
+    let rules: BTreeSet<&str> = report.findings.iter().map(|f| f.rule).collect();
+
+    let mut out = String::from(
+        "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\
+         \"name\":\"deepcat-lint\",\
+         \"informationUri\":\"https://example.invalid/deepcat-lint\",\
+         \"rules\":[",
+    );
+    for (i, rule) in rules.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":{},\"defaultConfiguration\":{{\"level\":\"error\"}}}}",
+            json_str(rule)
+        ));
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let text = match f.suggestion {
+            Some(s) => format!("{} (suggestion: {s})", f.message),
+            None => f.message.clone(),
+        };
+        out.push_str(&format!(
+            "{{\"ruleId\":{},\"level\":\"error\",\"message\":{{\"text\":{}}},\
+             \"locations\":[{{\"physicalLocation\":{{\
+             \"artifactLocation\":{{\"uri\":{}}},\
+             \"region\":{{\"startLine\":{},\"startColumn\":{}}}}}}}]}}",
+            json_str(f.rule),
+            json_str(&text),
+            json_str(&f.path),
+            f.line.max(1),
+            f.col.max(1),
+        ));
+    }
+    out.push_str("]}]}");
+    out
+}

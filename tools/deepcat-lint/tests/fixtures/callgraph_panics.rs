@@ -1,0 +1,27 @@
+//! Fixture for `panic.reachable` (never compiled, only linted). The
+//! private `leaf` carries a token-level `panic.index` leaf fact; it
+//! propagates through private `middle` to the public `api`, which must
+//! be flagged. `escaped_api` carries a PANIC-SAFETY justification on
+//! its signature; `clean_api` reaches no panic at all.
+
+fn leaf(xs: &[f64]) -> f64 {
+    xs[0]
+}
+
+fn middle(xs: &[f64]) -> f64 {
+    leaf(xs) * 2.0
+}
+
+pub fn api(xs: &[f64]) -> f64 {
+    middle(xs)
+}
+
+// PANIC-SAFETY: fixture-sanctioned transitive panic (escape hatch
+// under test); callers guarantee a non-empty slice.
+pub fn escaped_api(xs: &[f64]) -> f64 {
+    middle(xs)
+}
+
+pub fn clean_api(x: f64) -> f64 {
+    x + 1.0
+}

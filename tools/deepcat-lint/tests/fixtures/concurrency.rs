@@ -1,0 +1,83 @@
+//! Fixture for the `concurrency.*` families (never compiled, only
+//! linted). Positive cases: a two-lock ordering cycle, a direct
+//! emission under a guard, and a transitive re-entry under a guard.
+//! Negative cases: a LOCK-ORDER-escaped reverse acquisition, a guard
+//! dropped before emitting, and a GUARD-EMIT-escaped site.
+
+use parking_lot::Mutex;
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u64 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *ga + *gb
+    }
+
+    // Opposite order: closes the a -> b -> a cycle.
+    pub fn backward(&self) -> u64 {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        *ga + *gb
+    }
+}
+
+pub struct EscapedPair {
+    c: Mutex<u64>,
+    d: Mutex<u64>,
+}
+
+impl EscapedPair {
+    pub fn forward(&self) -> u64 {
+        let gc = self.c.lock();
+        let gd = self.d.lock();
+        *gc + *gd
+    }
+
+    pub fn backward(&self) -> u64 {
+        let gd = self.d.lock();
+        // LOCK-ORDER: fixture-sanctioned reverse acquisition (escape
+        // hatch under test); the cycle must not be reported.
+        let gc = self.c.lock();
+        *gc + *gd
+    }
+}
+
+pub struct Emitter {
+    state: Mutex<u64>,
+}
+
+impl Emitter {
+    pub fn bad_emit(&self) {
+        let g = self.state.lock();
+        telemetry::event!("fixture.bad_emit", v = *g);
+    }
+
+    pub fn good_emit(&self) {
+        let g = self.state.lock();
+        let v = *g;
+        drop(g);
+        telemetry::event!("fixture.good_emit", v = v);
+    }
+
+    pub fn escaped_emit(&self) {
+        let g = self.state.lock();
+        // GUARD-EMIT: fixture-sanctioned emission under a guard (escape
+        // hatch under test); must not be reported.
+        telemetry::event!("fixture.escaped_emit", v = *g);
+    }
+}
+
+fn helper_emits(v: u64) {
+    telemetry::counter("fixture.events").inc();
+    let _ = v;
+}
+
+pub fn bad_transitive(m: &Mutex<u64>) {
+    let g = m.lock();
+    helper_emits(*g);
+}

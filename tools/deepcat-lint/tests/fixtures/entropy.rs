@@ -1,0 +1,38 @@
+//! Fixture for `determinism.entropy_flow` (never compiled, only
+//! linted). Positive cases: a fresh-entropy RNG consumed directly, and
+//! one laundered through a helper (`make_unseeded`). Negative cases:
+//! seeded construction, an RNG-typed parameter (the sanctioned way to
+//! receive randomness), and an ENTROPY-SAFETY-escaped consumption.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub fn fresh_direct() -> f64 {
+    let mut rng = StdRng::from_entropy();
+    rng.gen::<f64>()
+}
+
+fn make_unseeded() -> StdRng {
+    StdRng::from_entropy()
+}
+
+pub fn laundered() -> f64 {
+    let mut rng = make_unseeded();
+    rng.gen::<f64>()
+}
+
+pub fn seeded_ok(seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.gen::<f64>()
+}
+
+pub fn param_ok(rng: &mut StdRng) -> f64 {
+    rng.gen::<f64>()
+}
+
+pub fn escaped_fresh() -> f64 {
+    let mut rng = StdRng::from_entropy();
+    // ENTROPY-SAFETY: fixture-sanctioned fresh entropy (escape hatch
+    // under test); must not be reported.
+    rng.gen::<f64>()
+}

@@ -2,7 +2,8 @@
 //! including invalid UTF-8 mangled through lossy conversion, unterminated
 //! strings, and deeply nested comments — must never panic.
 
-use deepcat_lint::lexer::lex;
+use deepcat_lint::lexer::{lex, TokKind};
+use deepcat_lint::parse::parse_file;
 use deepcat_lint::{lint_source, Manifest, NamesSeen};
 use proptest::prelude::*;
 
@@ -22,6 +23,49 @@ proptest! {
     #[test]
     fn lint_pass_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(0u8..=255u8, 0..512)) {
         let src = String::from_utf8_lossy(&bytes);
+        let _ = lint_source(
+            "crates/rl/src/fuzz.rs",
+            &src,
+            &Manifest::default(),
+            &mut NamesSeen::default(),
+        );
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(0u8..=255u8, 0..512)) {
+        // The parser's totality contract: any token stream in, an AST
+        // (plus bounded diagnostics) out — never a panic, never a hang.
+        let src = String::from_utf8_lossy(&bytes);
+        let toks = lex(&src);
+        let code: Vec<_> = toks
+            .iter()
+            .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .cloned()
+            .collect();
+        let parsed = parse_file(&code);
+        prop_assert!(parsed.diags.len() <= 32);
+    }
+
+    #[test]
+    fn parser_handles_rusty_fragments(
+        idx in 0usize..10,
+        n in 1usize..20,
+    ) {
+        // Structured-but-degenerate Rust: nesting, guards, closures,
+        // truncated items — the shapes the dataflow walker leans on.
+        let fragments = [
+            "impl T { fn f(&self) { let g = self.a.lock(); } }",
+            "fn f(m: &Mutex<u64>) { if let Some(g) = m.try_lock() { g; } }",
+            "fn f() { match x { Some(y) => y, None => return } }",
+            "fn f() { let c = || inner.lock(); c(); }",
+            "pub fn f(xs: &[f64]) -> f64 { xs[0] + xs[1] }",
+            "fn f() { loop { break } } trait T { fn g(&self); }",
+            "fn f() -> StdRng { StdRng::from_entropy() }",
+            "fn f( { ) } ]", // mismatched delimiters
+            "fn",            // truncated item
+            "impl { fn fn fn",
+        ];
+        let src = fragments[idx].repeat(n);
         let _ = lint_source(
             "crates/rl/src/fuzz.rs",
             &src,
