@@ -1,10 +1,11 @@
 //! `deepcat-bench` — perf-regression baselines for the tuning stack.
 //!
 //! ```text
-//! deepcat-bench baseline                      # run suite, write BENCH_6.json
+//! deepcat-bench baseline                      # run suite, write BENCH_8.json
 //! deepcat-bench baseline --out cur.json       # write elsewhere
-//! deepcat-bench compare --baseline BENCH_6.json --current cur.json
+//! deepcat-bench compare --baseline BENCH_8.json --current cur.json
 //! deepcat-bench compare ... --tolerance 0.5   # allowed fractional slowdown
+//! deepcat-bench compare ... --metric NAME     # gate one metric only
 //! deepcat-bench overhead --current cur.json   # sharded-vs-mutex gate (>= 5x)
 //! ```
 //!
@@ -90,14 +91,14 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: deepcat-bench baseline [--out PATH]\n\
          \x20      deepcat-bench compare --baseline PATH --current PATH \
-         [--tolerance FLOAT]\n\
+         [--tolerance FLOAT] [--metric NAME]\n\
          \x20      deepcat-bench overhead --current PATH [--min-ratio FLOAT]"
     );
     ExitCode::from(2)
 }
 
 fn default_out() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_6.json")
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_8.json")
 }
 
 /// Run the pinned quick-profile workload under a capturing sink and
@@ -305,6 +306,30 @@ fn telemetry_throughput_rows() -> Result<Vec<ThroughputRow>, String> {
     ])
 }
 
+/// Concurrent inserts per second into the striped quantile sketch — the
+/// per-step `observe_sketch` hot path behind the live p50/p95/p99
+/// rollups. Oversubscribed like the emit suites, so stripe contention
+/// (not single-lock serialization) is what gets measured.
+fn sketch_inserts_per_s() -> f64 {
+    let sketch = telemetry::ConcurrentSketch::new(telemetry::DEFAULT_SKETCH_ALPHA);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..EMIT_THREADS {
+            let sketch = &sketch;
+            s.spawn(move || {
+                for i in 0..EMIT_PER_THREAD {
+                    // Spread values over several orders of magnitude so
+                    // inserts touch many buckets, as real latencies do.
+                    sketch.insert(1e-4 * (1.0 + ((i * 7919 + t) % 10_000) as f64));
+                }
+            });
+        }
+    });
+    let total = (EMIT_THREADS * EMIT_PER_THREAD) as u64;
+    assert_eq!(sketch.count(), total, "sketch suite must not lose inserts");
+    total as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+}
+
 /// Simulated Spark application runs per second.
 fn sim_steps_per_s() -> f64 {
     let workload = Workload::new(WorkloadKind::TeraSort, InputSize::D1);
@@ -335,6 +360,10 @@ fn run_baseline(out: &PathBuf) -> Result<(), String> {
         ThroughputRow {
             metric: "sim_steps_per_s".to_string(),
             ops_per_s: sim_steps_per_s(),
+        },
+        ThroughputRow {
+            metric: "sketch_inserts_per_s".to_string(),
+            ops_per_s: best_of_3(sketch_inserts_per_s),
         },
     ];
     println!(
@@ -411,9 +440,26 @@ fn load_baseline(path: &PathBuf) -> Result<Loaded, String> {
     })
 }
 
-fn run_compare(baseline: &PathBuf, current: &PathBuf, tolerance: f64) -> Result<bool, String> {
-    let base = load_baseline(baseline)?;
+fn run_compare(
+    baseline: &PathBuf,
+    current: &PathBuf,
+    tolerance: f64,
+    metric_filter: Option<&str>,
+) -> Result<bool, String> {
+    let mut base = load_baseline(baseline)?;
     let cur = load_baseline(current)?;
+    if let Some(filter) = metric_filter {
+        base.throughput.retain(|(m, _)| m == filter);
+        if base.throughput.is_empty() {
+            return Err(format!(
+                "{}: no metric named {filter:?} to gate on",
+                baseline.display()
+            ));
+        }
+        // A single-metric gate compares files from different schema
+        // generations; the phase rows are noise there.
+        base.phases.clear();
+    }
     if base.throughput.is_empty() {
         return Err(format!("{}: no throughput metrics", baseline.display()));
     }
@@ -493,6 +539,7 @@ fn main() -> ExitCode {
     let mut current = None;
     let mut tolerance = DEFAULT_TOLERANCE;
     let mut min_ratio = DEFAULT_MIN_RATIO;
+    let mut metric_filter: Option<String> = None;
     while let Some(flag) = argv.next() {
         let Some(value) = argv.next() else {
             eprintln!("error: {flag} needs a value");
@@ -509,6 +556,7 @@ fn main() -> ExitCode {
                     return usage();
                 }
             },
+            "--metric" => metric_filter = Some(value),
             "--min-ratio" => match value.parse() {
                 Ok(r) => min_ratio = r,
                 Err(e) => {
@@ -535,7 +583,7 @@ fn main() -> ExitCode {
                 eprintln!("error: compare needs --baseline PATH and --current PATH");
                 return usage();
             };
-            match run_compare(&baseline, &current, tolerance) {
+            match run_compare(&baseline, &current, tolerance, metric_filter.as_deref()) {
                 Ok(true) => ExitCode::SUCCESS,
                 Ok(false) => {
                     eprintln!("perf-regression check FAILED (see REGRESSION lines above)");

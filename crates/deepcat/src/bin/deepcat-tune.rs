@@ -10,6 +10,9 @@
 //! deepcat-tune report --log run.jsonl                     # summarize a log
 //! deepcat-tune report --log run.jsonl --trace out.json    # + Chrome trace
 //! deepcat-tune profile run.jsonl                          # self-time table
+//! deepcat-tune top run.jsonl [--once]                     # live dashboard
+//! deepcat-tune tune ... --metrics-addr 127.0.0.1:9185     # Prometheus scrape
+//! deepcat-tune tune ... --alerts alerts.toml              # SLO alert engine
 //! ```
 //!
 //! Progress output goes through the telemetry [`ConsoleSink`] — one
@@ -24,6 +27,7 @@ use deepcat::{
     ResilientEnv, SessionOutcome, Td3Agent, TuningEnv, TuningReport,
 };
 use spark_sim::{Cluster, FaultPlan, InputSize, Workload, WorkloadKind, PLAN_NAMES};
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -47,6 +51,12 @@ struct Args {
     kill_after: Option<usize>,
     guardrails: bool,
     by_session: bool,
+    metrics_addr: Option<String>,
+    metrics_out: Option<PathBuf>,
+    alerts: Option<PathBuf>,
+    strict_telemetry: bool,
+    once: bool,
+    refresh_s: f64,
 }
 
 impl Args {
@@ -61,7 +71,7 @@ impl Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: deepcat-tune <train|tune|run|compare|chaos|safety|report|profile> \
+        "usage: deepcat-tune <train|tune|run|compare|chaos|safety|report|top|profile> \
          [--workload WC|TS|PR|KM|SO|AG] [--input D1|D2|D3] \
          [--iters N] [--steps N] [--seed N] [--model PATH] [--bg FLOAT] \
          [--log PATH] [--trace PATH] [--guardrails on|off]\n\
@@ -69,7 +79,13 @@ fn usage() -> ExitCode {
          [--deterministic] [--checkpoint PATH] [--kill-after N] [--resume]\n\
          safety runs the online stage with and without guardrails under \
          --plan and reports the ablation\n\
-         report flags: [--by-session] adds a per-session rollup table\n\
+         observability: [--metrics-addr HOST:PORT] serves Prometheus \
+         scrapes, [--metrics-out PATH] writes an exposition snapshot at \
+         exit, [--alerts PATH] installs SLO rules from a TOML file\n\
+         report flags: [--by-session] adds a per-session rollup table, \
+         [--strict-telemetry] exits non-zero on telemetry loss\n\
+         top follows a JSONL log as a live dashboard: \
+         deepcat-tune top run.jsonl [--refresh SECONDS] [--once]\n\
          profile takes the JSONL log as a positional argument: \
          deepcat-tune profile run.jsonl"
     );
@@ -97,6 +113,12 @@ fn parse_args() -> Result<Args, String> {
         kill_after: None,
         guardrails: false,
         by_session: false,
+        metrics_addr: None,
+        metrics_out: None,
+        alerts: None,
+        strict_telemetry: false,
+        once: false,
+        refresh_s: 2.0,
     };
     while let Some(flag) = argv.next() {
         let mut value = || argv.next().ok_or(format!("{flag} needs a value"));
@@ -141,6 +163,14 @@ fn parse_args() -> Result<Args, String> {
                     "off" => false,
                     other => return Err(format!("--guardrails takes on|off, got {other}")),
                 }
+            }
+            "--metrics-addr" => args.metrics_addr = Some(value()?),
+            "--metrics-out" => args.metrics_out = Some(PathBuf::from(value()?)),
+            "--alerts" => args.alerts = Some(PathBuf::from(value()?)),
+            "--strict-telemetry" => args.strict_telemetry = true,
+            "--once" => args.once = true,
+            "--refresh" => {
+                args.refresh_s = value()?.parse().map_err(|e| format!("--refresh: {e}"))?
             }
             other if !other.starts_with('-') && args.log.is_none() => {
                 // Positional log path: `deepcat-tune profile run.jsonl`.
@@ -202,14 +232,6 @@ fn install_sinks(log: Option<&PathBuf>, deterministic: bool) -> Result<(), Strin
     Ok(())
 }
 
-fn quantile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return f64::NAN;
-    }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
-}
-
 /// Parse every line of a JSONL event log into a JSON value.
 fn parse_log(path: &PathBuf) -> Result<Vec<serde::Value>, String> {
     let text = std::fs::read_to_string(path)
@@ -258,7 +280,12 @@ fn profile(path: &PathBuf) -> Result<(), String> {
 /// log's spans as a Chrome Trace Event Format file. With `by_session`,
 /// fold the stream through the same [`telemetry::SessionAggregator`] the
 /// live pipeline uses and print the per-session rollup table.
-fn report(path: &PathBuf, trace: Option<&PathBuf>, by_session: bool) -> Result<(), String> {
+fn report(
+    path: &PathBuf,
+    trace: Option<&PathBuf>,
+    by_session: bool,
+    strict: bool,
+) -> Result<(), String> {
     let values = parse_log(path)?;
     let mut paid = 0usize;
     let mut failed = 0usize;
@@ -268,7 +295,7 @@ fn report(path: &PathBuf, trace: Option<&PathBuf>, by_session: bool) -> Result<(
     let mut timeouts = 0usize;
     let mut injected = 0usize;
     let mut rewards: Vec<(u64, f64)> = Vec::new();
-    let mut latencies: Vec<f64> = Vec::new();
+    let mut latencies = telemetry::Sketch::new(telemetry::DEFAULT_SKETCH_ALPHA);
     let mut spent_s: f64 = 0.0;
     let mut sim_runs = 0usize;
     let mut vetoed = 0usize;
@@ -280,6 +307,9 @@ fn report(path: &PathBuf, trace: Option<&PathBuf>, by_session: bool) -> Result<(
     let mut canary_saved_s = 0.0f64;
     let mut telemetry_dropped = 0u64;
     let mut sink_errors = 0u64;
+    let mut alerts_raised = 0usize;
+    let mut alerts_resolved = 0usize;
+    let mut active_alerts: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
     let mut sessions = telemetry::SessionAggregator::new();
     for value in &values {
         sessions.observe_value(value);
@@ -297,7 +327,7 @@ fn report(path: &PathBuf, trace: Option<&PathBuf>, by_session: bool) -> Result<(
                     rewards.push((step, r));
                 }
                 if let Some(d) = value.get("duration_s").and_then(|v| v.as_f64()) {
-                    latencies.push(d);
+                    latencies.insert(d);
                 }
             }
             "twinq.decision" => {
@@ -325,6 +355,18 @@ fn report(path: &PathBuf, trace: Option<&PathBuf>, by_session: bool) -> Result<(
                 canary_aborts += 1;
                 if let Some(s) = value.get("saved_s").and_then(|v| v.as_f64()) {
                     canary_saved_s += s;
+                }
+            }
+            "alert.raised" => {
+                alerts_raised += 1;
+                if let Some(rule) = value.get("rule").and_then(|v| v.as_str()) {
+                    active_alerts.insert(rule.to_string());
+                }
+            }
+            "alert.resolved" => {
+                alerts_resolved += 1;
+                if let Some(rule) = value.get("rule").and_then(|v| v.as_str()) {
+                    active_alerts.remove(rule);
                 }
             }
             // The flush summary carries cumulative counters; keep the max
@@ -372,26 +414,45 @@ fn report(path: &PathBuf, trace: Option<&PathBuf>, by_session: bool) -> Result<(
             .fold(f64::NEG_INFINITY, f64::max);
         println!("best reward: {best:+.3}");
     }
-    if !latencies.is_empty() {
-        latencies.sort_by(|a, b| a.total_cmp(b));
+    if latencies.count() > 0 {
+        // Quantiles come from the same mergeable sketch the live pipeline
+        // uses, so `report` and `top` agree to within the sketch's
+        // relative-error bound instead of bucket-interpolation drift.
+        let q = |p| latencies.quantile(p).unwrap_or(f64::NAN);
         println!(
-            "step latency: p50 {:.4}s, p95 {:.4}s (n={})",
-            quantile(&latencies, 0.5),
-            quantile(&latencies, 0.95),
-            latencies.len()
+            "step latency: p50 {:.4}s, p95 {:.4}s, p99 {:.4}s (n={}, sketch α={})",
+            q(0.5),
+            q(0.95),
+            q(0.99),
+            latencies.count(),
+            telemetry::DEFAULT_SKETCH_ALPHA,
         );
     }
     if spent_s > 0.0 {
         println!("tuning cost: {spent_s:.1}s");
     }
-    if telemetry_dropped + sink_errors > 0 {
+    if alerts_raised + alerts_resolved > 0 {
+        let active: Vec<&str> = active_alerts.iter().map(String::as_str).collect();
+        println!(
+            "alerts: {alerts_raised} raised, {alerts_resolved} resolved; active: {}",
+            if active.is_empty() {
+                "none".to_string()
+            } else {
+                active.join(", ")
+            }
+        );
+    }
+    let session_report = sessions.report();
+    let unattributed = session_report.unattributed_events;
+    if telemetry_dropped + sink_errors + unattributed > 0 {
         println!(
             "telemetry health: {telemetry_dropped} events dropped by full \
-             shards, {sink_errors} sink errors"
+             shards, {sink_errors} sink errors, {unattributed} unattributed \
+             events"
         );
     }
     if by_session {
-        print!("{}", sessions.report().render());
+        print!("{}", session_report.render());
     }
     if let Some(trace_path) = trace {
         let spans = parse_spans(&values);
@@ -404,7 +465,256 @@ fn report(path: &PathBuf, trace: Option<&PathBuf>, by_session: bool) -> Result<(
             trace_path.display()
         );
     }
+    if strict && telemetry_dropped + sink_errors > 0 {
+        return Err(format!(
+            "strict telemetry check failed: {telemetry_dropped} dropped \
+             event(s), {sink_errors} sink error(s) in {}",
+            path.display()
+        ));
+    }
     Ok(())
+}
+
+/// One folded frame of the `top` dashboard: the session table plus the
+/// fleet-level counters that head it.
+struct TopFrame {
+    report: telemetry::SessionReport,
+    events: usize,
+    skipped_lines: usize,
+    dropped: u64,
+    sink_errors: u64,
+    /// Per-session (first, last) `ts_ms` over `online.step` events, for
+    /// the step-rate column. Absent under `--deterministic` logs.
+    step_ts: BTreeMap<u64, (u64, u64)>,
+    /// Per-session (previous, last) step reward, for the trend column.
+    rewards: BTreeMap<u64, (Option<f64>, f64)>,
+    /// Active alerts: rule -> (severity, value, threshold).
+    active_alerts: BTreeMap<String, (String, f64, f64)>,
+    alerts_raised: u64,
+    alerts_resolved: u64,
+}
+
+/// Fold a JSONL event log into a [`TopFrame`]. Tolerant by design: a
+/// live writer may leave a partial trailing line mid-append, so lines
+/// that fail to parse are counted and skipped rather than fatal.
+fn fold_top_frame(path: &PathBuf) -> Result<TopFrame, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut sessions = telemetry::SessionAggregator::new();
+    let mut frame = TopFrame {
+        report: telemetry::SessionReport::default(),
+        events: 0,
+        skipped_lines: 0,
+        dropped: 0,
+        sink_errors: 0,
+        step_ts: BTreeMap::new(),
+        rewards: BTreeMap::new(),
+        active_alerts: BTreeMap::new(),
+        alerts_raised: 0,
+        alerts_resolved: 0,
+    };
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(value) = serde_json::from_str::<serde::Value>(line) else {
+            frame.skipped_lines += 1;
+            continue;
+        };
+        frame.events += 1;
+        sessions.observe_value(&value);
+        let session_id = value.get("session_id").and_then(|v| v.as_u64());
+        match value.get("event").and_then(|v| v.as_str()) {
+            Some("online.step") => {
+                if let (Some(sid), Some(ts)) =
+                    (session_id, value.get("ts_ms").and_then(|v| v.as_u64()))
+                {
+                    let span = frame.step_ts.entry(sid).or_insert((ts, ts));
+                    span.0 = span.0.min(ts);
+                    span.1 = span.1.max(ts);
+                }
+                if let (Some(sid), Some(r)) =
+                    (session_id, value.get("reward").and_then(|v| v.as_f64()))
+                {
+                    let slot = frame.rewards.entry(sid).or_insert((None, r));
+                    *slot = (Some(slot.1), r);
+                }
+            }
+            Some("telemetry.flush") => {
+                if let Some(d) = value.get("dropped").and_then(|v| v.as_u64()) {
+                    frame.dropped = frame.dropped.max(d);
+                }
+                if let Some(e) = value.get("sink_errors").and_then(|v| v.as_u64()) {
+                    frame.sink_errors = frame.sink_errors.max(e);
+                }
+            }
+            Some("alert.raised") => {
+                frame.alerts_raised += 1;
+                if let Some(rule) = value.get("rule").and_then(|v| v.as_str()) {
+                    let severity = value
+                        .get("severity")
+                        .and_then(|v| v.as_str())
+                        .unwrap_or("warn")
+                        .to_string();
+                    let val = value.get("value").and_then(|v| v.as_f64()).unwrap_or(0.0);
+                    let thr = value
+                        .get("threshold")
+                        .and_then(|v| v.as_f64())
+                        .unwrap_or(0.0);
+                    frame
+                        .active_alerts
+                        .insert(rule.to_string(), (severity, val, thr));
+                }
+            }
+            Some("alert.resolved") => {
+                frame.alerts_resolved += 1;
+                if let Some(rule) = value.get("rule").and_then(|v| v.as_str()) {
+                    frame.active_alerts.remove(rule);
+                }
+            }
+            _ => {}
+        }
+    }
+    frame.report = sessions.report();
+    Ok(frame)
+}
+
+/// Render a [`TopFrame`] as the dashboard text. Pure function of the
+/// frame, so two folds of the same deterministic log render
+/// byte-identically (`top --once`).
+fn render_top(path: &PathBuf, frame: &TopFrame) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== deepcat top == {} | {} event(s), {} session(s)",
+        path.display(),
+        frame.events,
+        frame.report.sessions.len()
+    );
+    let health = if frame.dropped + frame.sink_errors + frame.report.unattributed_events > 0 {
+        "DEGRADED"
+    } else {
+        "ok"
+    };
+    let _ = writeln!(
+        out,
+        "telemetry: {} | dropped {} | sink errors {} | unattributed {} | skipped lines {}",
+        health,
+        frame.dropped,
+        frame.sink_errors,
+        frame.report.unattributed_events,
+        frame.skipped_lines
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:<16} {:>6} {:>7} {:>8} {:>9} {:>5} {:>9} {:>9} {:>9} {:>5} {:>5}",
+        "session",
+        "label",
+        "steps",
+        "rate/s",
+        "last_rew",
+        "best_rew",
+        "trend",
+        "p50_ms",
+        "p95_ms",
+        "cost_s",
+        "guard",
+        "roll"
+    );
+    for s in &frame.report.sessions {
+        let label = if s.label.is_empty() { "?" } else { &s.label };
+        let rate = frame
+            .step_ts
+            .get(&s.session_id)
+            .and_then(|(first, last)| {
+                let span_s = last.saturating_sub(*first) as f64 / 1e3;
+                (span_s > 0.0 && s.steps > 1).then(|| (s.steps - 1) as f64 / span_s)
+            })
+            .map_or("-".to_string(), |r| format!("{r:.2}"));
+        let (last_rew, trend) = frame.rewards.get(&s.session_id).map_or_else(
+            || ("-".to_string(), "-"),
+            |(prev, last)| {
+                let trend = match prev {
+                    Some(p) if last > p => "+",
+                    Some(p) if last < p => "-",
+                    Some(_) => "=",
+                    None => "-",
+                };
+                (format!("{last:.4}"), trend)
+            },
+        );
+        let _ = writeln!(
+            out,
+            "{:<8} {:<16} {:>6} {:>7} {:>8} {:>9} {:>5} {:>9} {:>9} {:>9} {:>5} {:>5}",
+            s.session_id,
+            label,
+            s.steps,
+            rate,
+            last_rew,
+            s.best_reward.map_or("-".to_string(), |r| format!("{r:.4}")),
+            trend,
+            s.latency_quantile_s(0.5)
+                .map_or("-".to_string(), |l| format!("{:.2}", l * 1e3)),
+            s.latency_quantile_s(0.95)
+                .map_or("-".to_string(), |l| format!("{:.2}", l * 1e3)),
+            format!(
+                "{:.1}",
+                if s.budget_spent_s > 0.0 {
+                    s.budget_spent_s
+                } else {
+                    s.eval_cost_s
+                }
+            ),
+            s.guardrail_activity(),
+            s.max_consecutive_rollbacks,
+        );
+    }
+    if frame.active_alerts.is_empty() {
+        let _ = writeln!(
+            out,
+            "alerts: none active ({} raised, {} resolved)",
+            frame.alerts_raised, frame.alerts_resolved
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "alerts: {} active ({} raised, {} resolved)",
+            frame.active_alerts.len(),
+            frame.alerts_raised,
+            frame.alerts_resolved
+        );
+        for (rule, (severity, value, threshold)) in &frame.active_alerts {
+            let _ = writeln!(
+                out,
+                "  [{severity}] {rule}: value {value} vs threshold {threshold}"
+            );
+        }
+    }
+    out
+}
+
+/// `deepcat-tune top run.jsonl`: live fleet dashboard. Re-reads and
+/// re-folds the log every `refresh_s` seconds through the same
+/// [`telemetry::SessionAggregator`] the in-process pipeline uses; with
+/// `--once`, folds exactly once and prints a plain (ANSI-free)
+/// deterministic snapshot.
+fn top(path: &PathBuf, once: bool, refresh_s: f64) -> Result<(), String> {
+    if once {
+        let frame = fold_top_frame(path)?;
+        print!("{}", render_top(path, &frame));
+        return Ok(());
+    }
+    let refresh = std::time::Duration::from_secs_f64(refresh_s.max(0.1));
+    loop {
+        let frame = fold_top_frame(path)?;
+        // ANSI clear-screen + home, then the frame, then a footer.
+        print!("\x1b[2J\x1b[H{}", render_top(path, &frame));
+        println!("refreshing every {refresh_s:.1}s — ctrl-c to exit");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(refresh);
+    }
 }
 
 /// Stable textual form of an action vector, so scripts (and the CI
@@ -664,15 +974,20 @@ fn main() -> ExitCode {
             return usage();
         }
     };
-    if args.command == "report" || args.command == "profile" {
+    if args.command == "report" || args.command == "profile" || args.command == "top" {
         let Some(path) = args.log else {
             eprintln!("error: {} needs a JSONL log path", args.command);
             return usage();
         };
-        let result = if args.command == "profile" {
-            profile(&path)
-        } else {
-            report(&path, args.trace.as_ref(), args.by_session)
+        let result = match args.command.as_str() {
+            "profile" => profile(&path),
+            "top" => top(&path, args.once, args.refresh_s),
+            _ => report(
+                &path,
+                args.trace.as_ref(),
+                args.by_session,
+                args.strict_telemetry,
+            ),
         };
         return match result {
             Ok(()) => ExitCode::SUCCESS,
@@ -692,6 +1007,37 @@ fn main() -> ExitCode {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }
+    // SLO alert rules evaluate at step boundaries (`telemetry::alerts_tick`
+    // in the online loops) against the live metrics snapshot.
+    if let Some(rules_path) = &args.alerts {
+        let engine = std::fs::read_to_string(rules_path)
+            .map_err(|e| format!("cannot read {}: {e}", rules_path.display()))
+            .and_then(|text| telemetry::AlertEngine::from_toml_str(&text));
+        match engine {
+            Ok(engine) => telemetry::install_alerts(engine),
+            Err(e) => {
+                eprintln!("error: --alerts: {e}");
+                telemetry::shutdown();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    // Prometheus exposition endpoint; lives for the duration of the run
+    // and shuts down (joining its thread) when dropped at return.
+    let metrics_server = match &args.metrics_addr {
+        Some(addr) => match telemetry::MetricsServer::bind(addr) {
+            Ok(server) => {
+                eprintln!("metrics: serving on http://{}/metrics", server.local_addr());
+                Some(server)
+            }
+            Err(e) => {
+                eprintln!("error: --metrics-addr: {e}");
+                telemetry::shutdown();
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     let workload = Workload::new(args.workload, args.input);
     match args.command.as_str() {
         "train" => {
@@ -833,6 +1179,20 @@ fn main() -> ExitCode {
             return usage();
         }
     }
+    // Final exposition snapshot: drain shards first so the rendered text
+    // reflects every event, then write before tearing the pipeline down.
+    if let Some(out) = &args.metrics_out {
+        telemetry::flush();
+        if let Err(e) = telemetry::write_prometheus_snapshot(out) {
+            eprintln!("error: --metrics-out: {e}");
+            telemetry::shutdown();
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(server) = metrics_server {
+        server.shutdown();
+    }
+    telemetry::clear_alerts();
     telemetry::shutdown();
     ExitCode::SUCCESS
 }

@@ -300,12 +300,17 @@ pub fn online_tune_td3(
             span.record("q_estimate", q);
         }
         drop(span);
+        telemetry::observe_sketch("online.step_latency_s", t0.elapsed_s());
+        telemetry::observe_sketch("online.step_reward", out.reward);
+        telemetry::observe_sketch("online.step_cost_s", out.exec_time_s);
         spent_s += out.exec_time_s + recommendation_s;
         telemetry::set_gauge("budget.spent_s", spent_s);
         telemetry::event!("budget.update", step = step, spent_s = spent_s);
         // Step boundary: flush sharded buffers so console progress and the
-        // live session rollup stay current (no-op in synchronous mode).
+        // live session rollup stay current (no-op in synchronous mode),
+        // then evaluate any installed SLO alert rules on fresh rollups.
         telemetry::drain();
+        telemetry::alerts_tick();
         steps.push(StepRecord {
             step,
             exec_time_s: out.exec_time_s,
@@ -374,10 +379,14 @@ pub fn online_tune_ddpg(
             span.record("q_estimate", q);
         }
         drop(span);
+        telemetry::observe_sketch("online.step_latency_s", t0.elapsed_s());
+        telemetry::observe_sketch("online.step_reward", out.reward);
+        telemetry::observe_sketch("online.step_cost_s", out.exec_time_s);
         spent_s += out.exec_time_s + recommendation_s;
         telemetry::set_gauge("budget.spent_s", spent_s);
         telemetry::event!("budget.update", step = step, spent_s = spent_s);
         telemetry::drain();
+        telemetry::alerts_tick();
         steps.push(StepRecord {
             step,
             exec_time_s: out.exec_time_s,

@@ -1,0 +1,374 @@
+//! Prometheus-text-format exposition of the metrics registry and the
+//! live per-session rollups.
+//!
+//! [`render_prometheus`] is a pure function from a [`MetricsSnapshot`]
+//! to the text format (version 0.0.4): counters (`_total`), gauges,
+//! fixed-bucket histograms (`_bucket{le=…}` / `_sum` / `_count`) and
+//! quantile sketches rendered as summaries (`{quantile="…"}`), followed
+//! by labelled per-session series. Registry snapshots iterate in sorted
+//! name order and sessions ascend by id, so two snapshots of identical
+//! state render byte-identically — the `--deterministic` snapshot mode
+//! and the CI exposition cmp rely on exactly that.
+//!
+//! [`MetricsServer`] is a std-only `TcpListener` scrape endpoint (no
+//! HTTP stack: it answers every request with the current snapshot and
+//! closes). [`write_prometheus_snapshot`] is the file/stdout mode.
+
+use crate::session::{MetricsSnapshot, SessionStats};
+use crate::sink::FieldValue;
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Quantiles rendered for every sketch (summary-style series).
+const SKETCH_QUANTILES: [(&str, f64); 4] =
+    [("0.5", 0.5), ("0.9", 0.9), ("0.95", 0.95), ("0.99", 0.99)];
+
+/// Mangle a dotted metric name into the Prometheus grammar
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+fn mangle(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Escape a label value (backslash, quote, newline).
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an f64 the Prometheus way (`+Inf` / `-Inf` / `NaN` spellings).
+fn fmt_f64(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn session_labels(s: &SessionStats) -> String {
+    format!(
+        "session=\"{}\",label=\"{}\"",
+        s.session_id,
+        escape_label(&s.label)
+    )
+}
+
+/// Render a full snapshot in Prometheus text format. Pure and
+/// deterministic: identical snapshots render to identical bytes.
+pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.registry.counters {
+        let m = mangle(name);
+        let _ = writeln!(out, "# TYPE {m} counter");
+        let _ = writeln!(out, "{m}_total {v}");
+    }
+    for (name, v) in &snap.registry.gauges {
+        let m = mangle(name);
+        let _ = writeln!(out, "# TYPE {m} gauge");
+        let _ = writeln!(out, "{m} {}", fmt_f64(*v));
+    }
+    for (name, h) in &snap.registry.histograms {
+        let m = mangle(name);
+        let _ = writeln!(out, "# TYPE {m} histogram");
+        let mut cum = 0u64;
+        for (bound, count) in h.bounds.iter().zip(&h.counts) {
+            cum += count;
+            let _ = writeln!(out, "{m}_bucket{{le=\"{}\"}} {cum}", fmt_f64(*bound));
+        }
+        let _ = writeln!(out, "{m}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{m}_sum {}", fmt_f64(h.sum));
+        let _ = writeln!(out, "{m}_count {}", h.count);
+    }
+    for (name, s) in &snap.registry.sketches {
+        let m = mangle(name);
+        let _ = writeln!(out, "# TYPE {m} summary");
+        let sk = s.to_sketch();
+        for (label, p) in SKETCH_QUANTILES {
+            if let Some(q) = sk.quantile(p) {
+                let _ = writeln!(out, "{m}{{quantile=\"{label}\"}} {}", fmt_f64(q));
+            }
+        }
+        let _ = writeln!(out, "{m}_sum {}", fmt_f64(s.sum));
+        let _ = writeln!(out, "{m}_count {}", s.count);
+    }
+
+    // Per-session labelled series, ascending session id.
+    let sessions = &snap.sessions.sessions;
+    if !sessions.is_empty() {
+        let _ = writeln!(out, "# TYPE deepcat_session_steps counter");
+        for s in sessions {
+            let _ = writeln!(
+                out,
+                "deepcat_session_steps_total{{{}}} {}",
+                session_labels(s),
+                s.steps
+            );
+        }
+        let _ = writeln!(out, "# TYPE deepcat_session_failed_steps counter");
+        for s in sessions {
+            let _ = writeln!(
+                out,
+                "deepcat_session_failed_steps_total{{{}}} {}",
+                session_labels(s),
+                s.failed_steps
+            );
+        }
+        let _ = writeln!(out, "# TYPE deepcat_session_reward_mean gauge");
+        for s in sessions {
+            if let Some(r) = s.mean_reward() {
+                let _ = writeln!(
+                    out,
+                    "deepcat_session_reward_mean{{{}}} {}",
+                    session_labels(s),
+                    fmt_f64(r)
+                );
+            }
+        }
+        let _ = writeln!(out, "# TYPE deepcat_session_reward_best gauge");
+        for s in sessions {
+            if let Some(r) = s.best_reward {
+                let _ = writeln!(
+                    out,
+                    "deepcat_session_reward_best{{{}}} {}",
+                    session_labels(s),
+                    fmt_f64(r)
+                );
+            }
+        }
+        let _ = writeln!(out, "# TYPE deepcat_session_cost_seconds gauge");
+        for s in sessions {
+            let cost = if s.budget_spent_s > 0.0 {
+                s.budget_spent_s
+            } else {
+                s.eval_cost_s
+            };
+            let _ = writeln!(
+                out,
+                "deepcat_session_cost_seconds{{{}}} {}",
+                session_labels(s),
+                fmt_f64(cost)
+            );
+        }
+        let _ = writeln!(out, "# TYPE deepcat_session_step_latency_seconds summary");
+        for s in sessions {
+            for (label, p) in SKETCH_QUANTILES {
+                if let Some(q) = s.latency_quantile_s(p) {
+                    let _ = writeln!(
+                        out,
+                        "deepcat_session_step_latency_seconds{{{},quantile=\"{label}\"}} {}",
+                        session_labels(s),
+                        fmt_f64(q)
+                    );
+                }
+            }
+        }
+        let _ = writeln!(out, "# TYPE deepcat_session_guardrail_activity counter");
+        for s in sessions {
+            let _ = writeln!(
+                out,
+                "deepcat_session_guardrail_activity_total{{{}}} {}",
+                session_labels(s),
+                s.guardrail_activity()
+            );
+        }
+        let _ = writeln!(out, "# TYPE deepcat_session_consecutive_rollbacks gauge");
+        for s in sessions {
+            let _ = writeln!(
+                out,
+                "deepcat_session_consecutive_rollbacks{{{}}} {}",
+                session_labels(s),
+                s.consecutive_rollbacks
+            );
+        }
+    }
+    let _ = writeln!(out, "# TYPE deepcat_unattributed_events counter");
+    let _ = writeln!(
+        out,
+        "deepcat_unattributed_events_total {}",
+        snap.sessions.unattributed_events
+    );
+    out
+}
+
+/// Render the current global snapshot and write it to `path` — the
+/// `--metrics-out` file mode. Emits a `telemetry.expose` event.
+pub fn write_prometheus_snapshot(path: impl AsRef<Path>) -> std::io::Result<()> {
+    let body = render_prometheus(&crate::metrics_snapshot());
+    std::fs::write(path.as_ref(), body.as_bytes())?;
+    crate::emit(
+        "telemetry.expose",
+        vec![
+            ("mode", FieldValue::Str("snapshot".to_string())),
+            ("bytes", FieldValue::U64(body.len() as u64)),
+        ],
+    );
+    Ok(())
+}
+
+/// Minimal scrape endpoint: a std `TcpListener` on a background thread
+/// that answers every request with the current snapshot. Stops (and
+/// joins) on [`MetricsServer::shutdown`] or drop.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9185`; port 0 picks a free port)
+    /// and start serving scrapes.
+    pub fn bind(addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("deepcat-metrics".to_string())
+            .spawn(move || serve_loop(listener, stop_flag))?;
+        Ok(Self {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and join the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn serve_loop(listener: TcpListener, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => serve_one(stream),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Answer one scrape: drain the request bytes (best-effort), write the
+/// snapshot, close. Telemetry must never panic, so every error is
+/// swallowed after being counted.
+fn serve_one(mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut buf = [0u8; 1024];
+    let _ = stream.read(&mut buf);
+    let body = render_prometheus(&crate::metrics_snapshot());
+    let response = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; \
+         charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    if stream.write_all(response.as_bytes()).is_err() {
+        crate::counter("telemetry.sink_error").inc();
+        return;
+    }
+    crate::emit(
+        "telemetry.expose",
+        vec![
+            ("mode", FieldValue::Str("scrape".to_string())),
+            ("bytes", FieldValue::U64(body.len() as u64)),
+        ],
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::SessionAggregator;
+    use crate::sink::{Event, FieldValue};
+    use crate::MetricsRegistry;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let registry = MetricsRegistry::new();
+        registry.counter("telemetry.dropped").add(3);
+        registry.gauge("budget.spent_s").set(12.5);
+        registry.sketch("online.step_latency_s").insert(0.004);
+        registry.sketch("online.step_latency_s").insert(0.006);
+        let mut agg = SessionAggregator::new();
+        agg.observe_event(&Event::new(
+            "online.step",
+            vec![
+                ("reward", FieldValue::F64(-0.25)),
+                ("duration_s", FieldValue::F64(0.002)),
+                ("exec_time_s", FieldValue::F64(9.0)),
+                ("session_id", FieldValue::U64(1)),
+            ],
+        ));
+        MetricsSnapshot {
+            registry: registry.snapshot(),
+            sessions: agg.report(),
+        }
+    }
+
+    #[test]
+    fn render_is_deterministic_and_well_formed() {
+        let snap = sample_snapshot();
+        let a = render_prometheus(&snap);
+        let b = render_prometheus(&snap.clone());
+        assert_eq!(a, b, "two renders of one snapshot must be identical");
+        assert!(a.contains("telemetry_dropped_total 3"), "{a}");
+        assert!(a.contains("# TYPE budget_spent_s gauge"), "{a}");
+        assert!(a.contains("online_step_latency_s{quantile=\"0.5\"}"), "{a}");
+        assert!(
+            a.contains("deepcat_session_steps_total{session=\"1\""),
+            "{a}"
+        );
+        assert!(a.contains("deepcat_unattributed_events_total 0"), "{a}");
+    }
+
+    #[test]
+    fn label_escaping_and_mangling() {
+        assert_eq!(mangle("online.step_latency_s"), "online_step_latency_s");
+        assert_eq!(mangle("9lives"), "_9lives");
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

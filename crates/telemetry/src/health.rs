@@ -1,0 +1,568 @@
+//! Declarative SLO / alert rules evaluated over live metric snapshots.
+//!
+//! Rules are written in a small TOML subset (`alerts.toml`):
+//!
+//! ```toml
+//! [[rule]]
+//! name = "telemetry-loss"
+//! metric = "counter:telemetry.dropped"
+//! op = "gt"
+//! threshold = 0
+//! for_ticks = 1
+//! severity = "page"
+//! ```
+//!
+//! A [`MetricSelector`] reads one number out of a [`MetricsSnapshot`]
+//! (counter, gauge, sketch quantile, session maximum, or the
+//! unattributed-event count); the rule breaches when `value <op>
+//! threshold` holds. After `for_ticks` consecutive breaching
+//! evaluations the engine raises the alert (one `alert.raised` event);
+//! the first non-breaching evaluation of an active alert resolves it
+//! (`alert.resolved`). Both `deepcat-tune top` and `report` fold these
+//! events, so the same rule file drives the live dashboard and the
+//! post-hoc summary.
+//!
+//! The three online tuning loops call [`alerts_tick`] once per step.
+//! The tick is a single relaxed atomic load while no engine is
+//! installed; with one installed it snapshots the metrics *before*
+//! taking the engine lock and emits transitions *after* releasing it,
+//! so no lock is ever held across sink re-entry.
+
+use crate::session::MetricsSnapshot;
+use crate::sink::FieldValue;
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// How urgent a raised alert is (ordering: info < warn < page).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Info,
+    Warn,
+    Page,
+}
+
+impl Severity {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "info" => Ok(Self::Info),
+            "warn" => Ok(Self::Warn),
+            "page" => Ok(Self::Page),
+            other => Err(format!("unknown severity '{other}' (info|warn|page)")),
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Info => write!(f, "info"),
+            Self::Warn => write!(f, "warn"),
+            Self::Page => write!(f, "page"),
+        }
+    }
+}
+
+/// Which number a rule watches.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricSelector {
+    /// `counter:NAME` — a registry counter (0 while unregistered).
+    Counter(String),
+    /// `gauge:NAME` — a registry gauge (no value while unregistered).
+    Gauge(String),
+    /// `quantile:NAME:P` — the `P`-quantile of a registry sketch.
+    Quantile(String, f64),
+    /// `unattributed` — events seen without a `session_id`.
+    Unattributed,
+    /// `session_max:FIELD` — the maximum of a per-session statistic
+    /// (`consecutive_rollbacks`, `failed_steps`, `latency_p95_s`).
+    SessionMax(SessionField),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionField {
+    ConsecutiveRollbacks,
+    FailedSteps,
+    LatencyP95S,
+}
+
+impl MetricSelector {
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        if spec == "unattributed" {
+            return Ok(Self::Unattributed);
+        }
+        let (kind, rest) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("bad metric selector '{spec}'"))?;
+        match kind {
+            "counter" => Ok(Self::Counter(rest.to_string())),
+            "gauge" => Ok(Self::Gauge(rest.to_string())),
+            "quantile" => {
+                let (name, p) = rest
+                    .rsplit_once(':')
+                    .ok_or_else(|| format!("quantile selector needs NAME:P, got '{rest}'"))?;
+                let p: f64 = p
+                    .parse()
+                    .map_err(|e| format!("bad quantile '{p}' in '{spec}': {e}"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("quantile {p} out of [0, 1] in '{spec}'"));
+                }
+                Ok(Self::Quantile(name.to_string(), p))
+            }
+            "session_max" => match rest {
+                "consecutive_rollbacks" => Ok(Self::SessionMax(SessionField::ConsecutiveRollbacks)),
+                "failed_steps" => Ok(Self::SessionMax(SessionField::FailedSteps)),
+                "latency_p95_s" => Ok(Self::SessionMax(SessionField::LatencyP95S)),
+                other => Err(format!("unknown session_max field '{other}'")),
+            },
+            other => Err(format!("unknown selector kind '{other}' in '{spec}'")),
+        }
+    }
+
+    /// Read the selected value out of a snapshot. `None` means "no data
+    /// yet", which never breaches (and resolves an active alert).
+    pub fn eval(&self, snap: &MetricsSnapshot) -> Option<f64> {
+        match self {
+            Self::Counter(name) => Some(snap.registry.counter(name) as f64),
+            Self::Gauge(name) => snap.registry.gauge(name),
+            Self::Quantile(name, p) => snap.registry.sketch(name)?.quantile(*p),
+            Self::Unattributed => Some(snap.sessions.unattributed_events as f64),
+            Self::SessionMax(field) => snap
+                .sessions
+                .sessions
+                .iter()
+                .filter_map(|s| match field {
+                    SessionField::ConsecutiveRollbacks => Some(s.consecutive_rollbacks as f64),
+                    SessionField::FailedSteps => Some(s.failed_steps as f64),
+                    SessionField::LatencyP95S => s.latency_quantile_s(0.95),
+                })
+                .fold(None, |acc: Option<f64>, v| {
+                    Some(acc.map_or(v, |a| a.max(v)))
+                }),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    Gt,
+    Ge,
+    Lt,
+    Le,
+}
+
+impl CmpOp {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "gt" | ">" => Ok(Self::Gt),
+            "ge" | ">=" => Ok(Self::Ge),
+            "lt" | "<" => Ok(Self::Lt),
+            "le" | "<=" => Ok(Self::Le),
+            other => Err(format!("unknown op '{other}' (gt|ge|lt|le)")),
+        }
+    }
+
+    fn holds(self, value: f64, threshold: f64) -> bool {
+        match self {
+            Self::Gt => value > threshold,
+            Self::Ge => value >= threshold,
+            Self::Lt => value < threshold,
+            Self::Le => value <= threshold,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Gt => write!(f, ">"),
+            Self::Ge => write!(f, ">="),
+            Self::Lt => write!(f, "<"),
+            Self::Le => write!(f, "<="),
+        }
+    }
+}
+
+/// One declarative SLO rule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AlertRule {
+    pub name: String,
+    pub metric: MetricSelector,
+    pub op: CmpOp,
+    pub threshold: f64,
+    /// Consecutive breaching ticks before the alert raises (≥ 1).
+    pub for_ticks: u64,
+    pub severity: Severity,
+}
+
+/// One raise/resolve edge produced by [`AlertEngine::evaluate`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct AlertTransition {
+    pub rule: String,
+    pub severity: Severity,
+    /// `true` for `alert.raised`, `false` for `alert.resolved`.
+    pub raised: bool,
+    /// The observed value at the transition tick.
+    pub value: f64,
+    pub threshold: f64,
+}
+
+#[derive(Clone, Debug, Default)]
+struct RuleState {
+    breach_ticks: u64,
+    active: bool,
+}
+
+/// Evaluates a fixed rule set against successive snapshots, tracking
+/// per-rule breach streaks and active state.
+#[derive(Debug)]
+pub struct AlertEngine {
+    rules: Vec<AlertRule>,
+    state: Vec<RuleState>,
+}
+
+impl AlertEngine {
+    pub fn new(rules: Vec<AlertRule>) -> Self {
+        let state = vec![RuleState::default(); rules.len()];
+        Self { rules, state }
+    }
+
+    /// Parse an `alerts.toml` rule file (see module docs for the
+    /// accepted subset).
+    pub fn from_toml_str(text: &str) -> Result<Self, String> {
+        Ok(Self::new(parse_rules(text)?))
+    }
+
+    pub fn rules(&self) -> &[AlertRule] {
+        &self.rules
+    }
+
+    /// Names of the currently active (raised, unresolved) alerts.
+    pub fn active(&self) -> Vec<String> {
+        self.rules
+            .iter()
+            .zip(&self.state)
+            .filter(|(_, s)| s.active)
+            .map(|(r, _)| r.name.clone())
+            .collect()
+    }
+
+    /// Evaluate every rule against `snap`; returns the raise/resolve
+    /// edges this tick (steady states produce nothing).
+    pub fn evaluate(&mut self, snap: &MetricsSnapshot) -> Vec<AlertTransition> {
+        let mut transitions = Vec::new();
+        for (rule, state) in self.rules.iter().zip(self.state.iter_mut()) {
+            let value = rule.metric.eval(snap);
+            let breaching = value.is_some_and(|v| rule.op.holds(v, rule.threshold));
+            if breaching {
+                state.breach_ticks += 1;
+                if !state.active && state.breach_ticks >= rule.for_ticks {
+                    state.active = true;
+                    transitions.push(AlertTransition {
+                        rule: rule.name.clone(),
+                        severity: rule.severity,
+                        raised: true,
+                        value: value.unwrap_or(f64::NAN),
+                        threshold: rule.threshold,
+                    });
+                }
+            } else {
+                state.breach_ticks = 0;
+                if state.active {
+                    state.active = false;
+                    transitions.push(AlertTransition {
+                        rule: rule.name.clone(),
+                        severity: rule.severity,
+                        raised: false,
+                        value: value.unwrap_or(f64::NAN),
+                        threshold: rule.threshold,
+                    });
+                }
+            }
+        }
+        transitions
+    }
+}
+
+/// Parse the `[[rule]]` TOML subset: table-array headers, `key = value`
+/// lines with quoted strings or bare numbers, `#` comments.
+fn parse_rules(text: &str) -> Result<Vec<AlertRule>, String> {
+    struct Partial {
+        name: Option<String>,
+        metric: Option<MetricSelector>,
+        op: Option<CmpOp>,
+        threshold: Option<f64>,
+        for_ticks: u64,
+        severity: Severity,
+    }
+    impl Partial {
+        fn new() -> Self {
+            Self {
+                name: None,
+                metric: None,
+                op: None,
+                threshold: None,
+                for_ticks: 1,
+                severity: Severity::Warn,
+            }
+        }
+        fn finish(self, lineno: usize) -> Result<AlertRule, String> {
+            let name = self
+                .name
+                .ok_or(format!("rule before line {lineno}: missing 'name'"))?;
+            Ok(AlertRule {
+                metric: self
+                    .metric
+                    .ok_or(format!("rule '{name}': missing 'metric'"))?,
+                op: self.op.ok_or(format!("rule '{name}': missing 'op'"))?,
+                threshold: self
+                    .threshold
+                    .ok_or(format!("rule '{name}': missing 'threshold'"))?,
+                for_ticks: self.for_ticks.max(1),
+                severity: self.severity,
+                name,
+            })
+        }
+    }
+
+    let mut rules = Vec::new();
+    let mut current: Option<Partial> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[rule]]" {
+            if let Some(partial) = current.take() {
+                rules.push(partial.finish(lineno)?);
+            }
+            current = Some(Partial::new());
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("alerts.toml:{lineno}: expected 'key = value'"));
+        };
+        let Some(partial) = current.as_mut() else {
+            return Err(format!(
+                "alerts.toml:{lineno}: key outside a [[rule]] table"
+            ));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        let unquote = |v: &str| -> Result<String, String> {
+            let stripped = v
+                .strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .ok_or(format!(
+                    "alerts.toml:{lineno}: '{key}' wants a quoted string"
+                ))?;
+            Ok(stripped.to_string())
+        };
+        match key {
+            "name" => partial.name = Some(unquote(value)?),
+            "metric" => partial.metric = Some(MetricSelector::parse(&unquote(value)?)?),
+            "op" => partial.op = Some(CmpOp::parse(&unquote(value)?)?),
+            "threshold" => {
+                partial.threshold = Some(
+                    value
+                        .parse()
+                        .map_err(|e| format!("alerts.toml:{lineno}: threshold: {e}"))?,
+                )
+            }
+            "for_ticks" => {
+                partial.for_ticks = value
+                    .parse()
+                    .map_err(|e| format!("alerts.toml:{lineno}: for_ticks: {e}"))?
+            }
+            "severity" => partial.severity = Severity::parse(&unquote(value)?)?,
+            other => return Err(format!("alerts.toml:{lineno}: unknown key '{other}'")),
+        }
+    }
+    if let Some(partial) = current.take() {
+        rules.push(partial.finish(text.lines().count())?);
+    }
+    Ok(rules)
+}
+
+// ---- global engine ----------------------------------------------------
+
+/// Fast-path flag: [`alerts_tick`] is one relaxed load while false.
+static ALERTS_ON: AtomicBool = AtomicBool::new(false);
+
+fn global_engine() -> &'static Mutex<Option<AlertEngine>> {
+    static ENGINE: OnceLock<Mutex<Option<AlertEngine>>> = OnceLock::new();
+    ENGINE.get_or_init(|| Mutex::new(None))
+}
+
+/// Install an alert engine; subsequent [`alerts_tick`] calls evaluate
+/// it. Replaces any previous engine (state resets).
+pub fn install_alerts(engine: AlertEngine) {
+    *global_engine().lock() = Some(engine);
+    ALERTS_ON.store(true, Ordering::Release);
+}
+
+/// Remove the installed engine; ticks go back to a single atomic load.
+pub fn clear_alerts() {
+    ALERTS_ON.store(false, Ordering::Release);
+    *global_engine().lock() = None;
+}
+
+/// Names of the currently active alerts (empty without an engine).
+pub fn active_alerts() -> Vec<String> {
+    if !ALERTS_ON.load(Ordering::Acquire) {
+        return Vec::new();
+    }
+    global_engine()
+        .lock()
+        .as_ref()
+        .map_or_else(Vec::new, |e| e.active())
+}
+
+/// Evaluate the installed rules against the current metrics and emit
+/// `alert.raised` / `alert.resolved` events for any edges. Called by
+/// the online loops at step boundaries; near-free while no engine is
+/// installed or telemetry is off.
+pub fn alerts_tick() {
+    if !ALERTS_ON.load(Ordering::Relaxed) || !crate::enabled() {
+        return;
+    }
+    // Snapshot before taking the engine lock: metrics_snapshot() drains
+    // the sharded pipeline and locks the registry/aggregator, none of
+    // which may nest under the engine lock.
+    let snap = crate::metrics_snapshot();
+    let transitions = {
+        let mut guard = global_engine().lock();
+        match guard.as_mut() {
+            // LOCK-ORDER: evaluate() is pure rule arithmetic over the
+            // GUARD-EMIT: pre-taken snapshot — no locks, no emission.
+            Some(engine) => engine.evaluate(&snap),
+            None => return,
+        }
+    };
+    // Engine lock released: emitting may re-enter sinks freely.
+    for t in transitions {
+        let name = if t.raised {
+            "alert.raised"
+        } else {
+            "alert.resolved"
+        };
+        crate::emit(
+            name,
+            vec![
+                ("rule", FieldValue::Str(t.rule)),
+                ("severity", FieldValue::Str(t.severity.to_string())),
+                ("value", FieldValue::F64(t.value)),
+                ("threshold", FieldValue::F64(t.threshold)),
+            ],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::SessionAggregator;
+    use crate::MetricsRegistry;
+
+    fn snap_with(counter: &'static str, n: u64) -> MetricsSnapshot {
+        let registry = MetricsRegistry::new();
+        if n > 0 {
+            registry.counter(counter).add(n);
+        }
+        MetricsSnapshot {
+            registry: registry.snapshot(),
+            sessions: SessionAggregator::new().report(),
+        }
+    }
+
+    const RULES: &str = r#"
+# loss of telemetry is always page-worthy
+[[rule]]
+name = "telemetry-loss"
+metric = "counter:telemetry.dropped"
+op = "gt"
+threshold = 0
+for_ticks = 2
+severity = "page"
+
+[[rule]]
+name = "latency-p95"
+metric = "quantile:online.step_latency_s:0.95"
+op = "gt"
+threshold = 0.5
+severity = "warn"
+"#;
+
+    #[test]
+    fn parses_rules_with_defaults() {
+        let engine = AlertEngine::from_toml_str(RULES).unwrap();
+        assert_eq!(engine.rules().len(), 2);
+        assert_eq!(engine.rules()[0].for_ticks, 2);
+        assert_eq!(engine.rules()[0].severity, Severity::Page);
+        assert_eq!(engine.rules()[1].for_ticks, 1, "for_ticks defaults to 1");
+        assert_eq!(engine.rules()[1].severity, Severity::Warn);
+        assert_eq!(
+            engine.rules()[1].metric,
+            MetricSelector::Quantile("online.step_latency_s".to_string(), 0.95)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_rules() {
+        assert!(AlertEngine::from_toml_str("name = \"orphan\"").is_err());
+        assert!(AlertEngine::from_toml_str("[[rule]]\nname = \"x\"").is_err());
+        assert!(AlertEngine::from_toml_str(
+            "[[rule]]\nname = \"x\"\nmetric = \"bogus:y\"\nop = \"gt\"\nthreshold = 1"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn for_ticks_gates_raise_and_resolve_is_immediate() {
+        let mut engine = AlertEngine::from_toml_str(RULES).unwrap();
+        let quiet = snap_with("telemetry.dropped", 0);
+        let noisy = snap_with("telemetry.dropped", 5);
+        assert!(engine.evaluate(&quiet).is_empty());
+        // First breaching tick: streak 1 < for_ticks 2 — no raise yet.
+        assert!(engine.evaluate(&noisy).is_empty());
+        let raised = engine.evaluate(&noisy);
+        assert_eq!(raised.len(), 1);
+        assert!(raised[0].raised);
+        assert_eq!(raised[0].rule, "telemetry-loss");
+        assert_eq!(engine.active(), vec!["telemetry-loss".to_string()]);
+        // Steady breach: no new edges.
+        assert!(engine.evaluate(&noisy).is_empty());
+        let resolved = engine.evaluate(&quiet);
+        assert_eq!(resolved.len(), 1);
+        assert!(!resolved[0].raised);
+        assert!(engine.active().is_empty());
+    }
+
+    #[test]
+    fn quantile_selector_reads_sketches() {
+        let registry = MetricsRegistry::new();
+        for i in 0..100 {
+            registry
+                .sketch("online.step_latency_s")
+                .insert(0.6 + i as f64 * 1e-3);
+        }
+        let snap = MetricsSnapshot {
+            registry: registry.snapshot(),
+            sessions: SessionAggregator::new().report(),
+        };
+        let mut engine = AlertEngine::from_toml_str(RULES).unwrap();
+        let edges = engine.evaluate(&snap);
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].rule, "latency-p95");
+        assert!(edges[0].value > 0.5);
+    }
+
+    #[test]
+    fn session_max_selector() {
+        let sel = MetricSelector::parse("session_max:consecutive_rollbacks").unwrap();
+        let snap = snap_with("x.y", 0);
+        assert_eq!(sel.eval(&snap), None, "no sessions -> no data");
+    }
+}

@@ -45,14 +45,22 @@
 //! ("Observability") and consumed by `deepcat-tune report`.
 
 mod clock;
+pub mod expose;
+pub mod health;
 mod metrics;
 pub mod session;
 mod shard;
 mod sink;
+pub mod sketch;
 mod span;
 pub mod trace;
 
 pub use clock::{clock_frozen, freeze_clock, now_s, unfreeze_clock, Stopwatch};
+pub use expose::{render_prometheus, write_prometheus_snapshot, MetricsServer};
+pub use health::{
+    active_alerts, alerts_tick, clear_alerts, install_alerts, AlertEngine, AlertRule,
+    AlertTransition,
+};
 pub use metrics::{Buckets, Counter, Gauge, Histogram, HistogramSnapshot};
 pub use session::{
     current_session, reset_session_ids, session_scope, with_session, MetricsSnapshot,
@@ -60,6 +68,7 @@ pub use session::{
 };
 pub use shard::DEFAULT_SHARD_CAPACITY;
 pub use sink::{ConsoleSink, Event, FieldValue, JsonlSink, MultiSink, NullSink, Sink, TestSink};
+pub use sketch::{ConcurrentSketch, Sketch, SketchSnapshot, DEFAULT_SKETCH_ALPHA};
 pub use span::SpanGuard;
 pub use trace::{
     chrome_trace_json, ChromeTraceSink, ProfileReport, ProfileRow, Profiler, SpanRecord,
@@ -83,6 +92,7 @@ pub struct MetricsRegistry {
     counters: RwLock<BTreeMap<&'static str, Arc<Counter>>>,
     gauges: RwLock<BTreeMap<&'static str, Arc<Gauge>>>,
     histograms: RwLock<BTreeMap<&'static str, Arc<Histogram>>>,
+    sketches: RwLock<BTreeMap<&'static str, Arc<ConcurrentSketch>>>,
 }
 
 impl MetricsRegistry {
@@ -127,6 +137,20 @@ impl MetricsRegistry {
         )
     }
 
+    /// Get or create a quantile sketch ([`DEFAULT_SKETCH_ALPHA`] relative
+    /// accuracy; the α applies only on first creation).
+    pub fn sketch(&self, name: &'static str) -> Arc<ConcurrentSketch> {
+        if let Some(s) = self.sketches.read().get(name) {
+            return Arc::clone(s);
+        }
+        Arc::clone(
+            self.sketches
+                .write()
+                .entry(name)
+                .or_insert_with(|| Arc::new(ConcurrentSketch::new(DEFAULT_SKETCH_ALPHA))),
+        )
+    }
+
     /// Serializable snapshot of every metric, sorted by name (the
     /// `BTreeMap` registry iterates in key order already).
     pub fn snapshot(&self) -> RegistrySnapshot {
@@ -146,16 +170,25 @@ impl MetricsRegistry {
             .collect();
         let histograms = self
             .histograms
-            // LOCK-ORDER: `v.snapshot()` is Histogram::snapshot (a name
-            // collision with this method); it never locks the registry.
             .read()
             .iter()
+            // LOCK-ORDER: `v.snapshot()` is Histogram::snapshot (a name
+            // GUARD-EMIT: collision); it never locks the registry or emits.
+            .map(|(k, v)| (k.to_string(), v.snapshot()))
+            .collect();
+        let sketches = self
+            .sketches
+            .read()
+            .iter()
+            // GUARD-EMIT: `v.snapshot()` never emits; it locks only its own
+            // LOCK-ORDER: stripe mutexes, nested strictly inside this lock.
             .map(|(k, v)| (k.to_string(), v.snapshot()))
             .collect();
         RegistrySnapshot {
             counters,
             gauges,
             histograms,
+            sketches,
         }
     }
 
@@ -164,6 +197,7 @@ impl MetricsRegistry {
         self.counters.write().clear();
         self.gauges.write().clear();
         self.histograms.write().clear();
+        self.sketches.write().clear();
     }
 }
 
@@ -173,6 +207,7 @@ pub struct RegistrySnapshot {
     pub counters: Vec<(String, u64)>,
     pub gauges: Vec<(String, f64)>,
     pub histograms: Vec<(String, HistogramSnapshot)>,
+    pub sketches: Vec<(String, SketchSnapshot)>,
 }
 
 impl RegistrySnapshot {
@@ -190,6 +225,13 @@ impl RegistrySnapshot {
 
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    pub fn sketch(&self, name: &str) -> Option<&SketchSnapshot> {
+        self.sketches
             .iter()
             .find(|(k, _)| k == name)
             .map(|(_, v)| v)
@@ -219,6 +261,13 @@ impl RegistrySnapshot {
             }
         }
         self.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, s) in &other.sketches {
+            match self.sketches.iter_mut().find(|(k, _)| k == name) {
+                Some((_, mine)) => mine.merge(s),
+                None => self.sketches.push((name.clone(), s.clone())),
+            }
+        }
+        self.sketches.sort_by(|a, b| a.0.cmp(&b.0));
     }
 }
 
@@ -388,6 +437,22 @@ pub fn gauge(name: &'static str) -> Arc<Gauge> {
 
 pub fn histogram(name: &'static str, buckets: Buckets) -> Arc<Histogram> {
     global_registry().histogram(name, buckets)
+}
+
+/// Get or create a named quantile sketch (inert-but-valid handle while
+/// disabled).
+pub fn sketch(name: &'static str) -> Arc<ConcurrentSketch> {
+    global_registry().sketch(name)
+}
+
+/// Observe a value into a quantile sketch if telemetry is enabled. The
+/// insert touches only this thread's stripe, so the sharded hot path
+/// never contends on a shared lock.
+#[inline]
+pub fn observe_sketch(name: &'static str, v: f64) {
+    if enabled() {
+        global_registry().sketch(name).insert(v);
+    }
 }
 
 /// Increment a counter by `n` if telemetry is enabled.

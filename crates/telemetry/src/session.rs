@@ -19,6 +19,7 @@
 //! [`crate::trace::reset_ids`] for in-process back-to-back runs.
 
 use crate::sink::Event;
+use crate::sketch::{Sketch, DEFAULT_SKETCH_ALPHA};
 use serde::{Serialize, Value};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -139,6 +140,28 @@ pub struct SessionStats {
     /// Σ / max `duration_s` over steps — wall latency of the loop body.
     pub step_latency_sum_s: f64,
     pub step_latency_max_s: f64,
+    /// Quantile sketch over step `duration_s` — live p50/p95/p99 latency.
+    pub latency_sketch: Sketch,
+    /// Quantile sketch over step `reward`.
+    pub reward_sketch: Sketch,
+    /// Quantile sketch over step `exec_time_s` (per-step eval cost).
+    pub cost_sketch: Sketch,
+    /// Guardrail activity folded from `guardrail.*` / `canary.*` /
+    /// `watchdog.*` events.
+    pub guardrail_vetoes: u64,
+    pub guardrail_repairs: u64,
+    pub rollbacks: u64,
+    pub canary_aborts: u64,
+    pub watchdog_trips: u64,
+    /// Current / longest streak of steps that each carried a rollback.
+    pub consecutive_rollbacks: u64,
+    pub max_consecutive_rollbacks: u64,
+    /// `alert.raised` / `alert.resolved` events attributed to the session.
+    pub alerts_raised: u64,
+    pub alerts_resolved: u64,
+    /// A rollback was observed since the previous `online.step` (streak
+    /// bookkeeping for `consecutive_rollbacks`).
+    rollback_since_last_step: bool,
 }
 
 impl SessionStats {
@@ -155,6 +178,19 @@ impl SessionStats {
             budget_spent_s: 0.0,
             step_latency_sum_s: 0.0,
             step_latency_max_s: 0.0,
+            latency_sketch: Sketch::new(DEFAULT_SKETCH_ALPHA),
+            reward_sketch: Sketch::new(DEFAULT_SKETCH_ALPHA),
+            cost_sketch: Sketch::new(DEFAULT_SKETCH_ALPHA),
+            guardrail_vetoes: 0,
+            guardrail_repairs: 0,
+            rollbacks: 0,
+            canary_aborts: 0,
+            watchdog_trips: 0,
+            consecutive_rollbacks: 0,
+            max_consecutive_rollbacks: 0,
+            alerts_raised: 0,
+            alerts_resolved: 0,
+            rollback_since_last_step: false,
         }
     }
 
@@ -166,6 +202,32 @@ impl SessionStats {
     /// Mean step wall latency (`None` before the first step).
     pub fn mean_step_latency_s(&self) -> Option<f64> {
         (self.steps > 0).then(|| self.step_latency_sum_s / self.steps as f64)
+    }
+
+    /// Sketch-backed step-latency quantile (`None` before the first
+    /// step with a recorded duration).
+    pub fn latency_quantile_s(&self, p: f64) -> Option<f64> {
+        self.latency_sketch.quantile(p)
+    }
+
+    /// Sketch-backed step-reward quantile.
+    pub fn reward_quantile(&self, p: f64) -> Option<f64> {
+        self.reward_sketch.quantile(p)
+    }
+
+    /// Sketch-backed per-step eval-cost quantile.
+    pub fn cost_quantile_s(&self, p: f64) -> Option<f64> {
+        self.cost_sketch.quantile(p)
+    }
+
+    /// Total guardrail interventions (vetoes, repairs, rollbacks,
+    /// canary aborts, watchdog trips) — the `top` guardrail column.
+    pub fn guardrail_activity(&self) -> u64 {
+        self.guardrail_vetoes
+            + self.guardrail_repairs
+            + self.rollbacks
+            + self.canary_aborts
+            + self.watchdog_trips
     }
 }
 
@@ -187,7 +249,7 @@ impl SessionReport {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<8} {:<16} {:>7} {:>6} {:>7} {:>10} {:>10} {:>10} {:>10}\n",
+            "{:<8} {:<16} {:>7} {:>6} {:>7} {:>10} {:>10} {:>10} {:>9} {:>9} {:>6}\n",
             "session",
             "label",
             "events",
@@ -196,12 +258,14 @@ impl SessionReport {
             "mean_rew",
             "best_rew",
             "cost_s",
-            "p_lat_ms"
+            "p50_ms",
+            "p95_ms",
+            "guard"
         ));
         for s in &self.sessions {
             let label = if s.label.is_empty() { "?" } else { &s.label };
             out.push_str(&format!(
-                "{:<8} {:<16} {:>7} {:>6} {:>7} {:>10} {:>10} {:>10.1} {:>10.2}\n",
+                "{:<8} {:<16} {:>7} {:>6} {:>7} {:>10} {:>10} {:>10.1} {:>9} {:>9} {:>6}\n",
                 s.session_id,
                 label,
                 s.events,
@@ -215,7 +279,11 @@ impl SessionReport {
                 } else {
                     s.eval_cost_s
                 },
-                s.mean_step_latency_s().map_or(0.0, |l| l * 1e3),
+                s.latency_quantile_s(0.5)
+                    .map_or("-".to_string(), |l| format!("{:.2}", l * 1e3)),
+                s.latency_quantile_s(0.95)
+                    .map_or("-".to_string(), |l| format!("{:.2}", l * 1e3)),
+                s.guardrail_activity(),
             ));
         }
         out.push_str(&format!(
@@ -319,20 +387,44 @@ impl SessionAggregator {
                 if let Some(r) = view.reward {
                     stats.reward_sum += r;
                     stats.best_reward = Some(stats.best_reward.map_or(r, |b| b.max(r)));
+                    stats.reward_sketch.insert(r);
                 }
                 if let Some(t) = view.exec_time_s {
                     stats.eval_cost_s += t;
+                    stats.cost_sketch.insert(t);
                 }
                 if let Some(d) = view.duration_s {
                     stats.step_latency_sum_s += d;
                     stats.step_latency_max_s = stats.step_latency_max_s.max(d);
+                    stats.latency_sketch.insert(d);
                 }
+                // A step that carried a rollback extends the streak; a
+                // clean step breaks it.
+                if stats.rollback_since_last_step {
+                    stats.consecutive_rollbacks += 1;
+                    stats.max_consecutive_rollbacks = stats
+                        .max_consecutive_rollbacks
+                        .max(stats.consecutive_rollbacks);
+                } else {
+                    stats.consecutive_rollbacks = 0;
+                }
+                stats.rollback_since_last_step = false;
             }
             "budget.update" => {
                 if let Some(s) = view.spent_s {
                     stats.budget_spent_s = stats.budget_spent_s.max(s);
                 }
             }
+            "guardrail.veto" => stats.guardrail_vetoes += 1,
+            "guardrail.repaired" => stats.guardrail_repairs += 1,
+            "guardrail.rollback" => {
+                stats.rollbacks += 1;
+                stats.rollback_since_last_step = true;
+            }
+            "canary.abort" => stats.canary_aborts += 1,
+            "watchdog.triggered" => stats.watchdog_trips += 1,
+            "alert.raised" => stats.alerts_raised += 1,
+            "alert.resolved" => stats.alerts_resolved += 1,
             _ => {}
         }
     }

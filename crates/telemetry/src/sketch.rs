@@ -1,0 +1,541 @@
+//! Mergeable relative-error quantile sketches (DDSketch-style).
+//!
+//! The fixed-bucket [`crate::Histogram`] answers "how many samples fell
+//! in each predeclared range" exactly, but its quantiles are linear
+//! interpolations inside whatever bucket the rank lands in — useless in
+//! the tail unless the layout was guessed right up front. [`Sketch`]
+//! instead uses logarithmic buckets derived from a configured relative
+//! accuracy `α`: every quantile estimate `q̂` satisfies
+//! `|q̂ − q| ≤ α·|q|` for the true rank value `q`, at any scale, with no
+//! layout to pick.
+//!
+//! # Determinism and merge invariants
+//!
+//! * Bucket keys are a pure function of the value and `α`
+//!   (`key(v) = ⌈ln|v| / ln γ⌉` with `γ = (1+α)/(1−α)`), so two
+//!   sketches fed the same multiset of values are equal regardless of
+//!   insertion order.
+//! * [`Sketch::merge`] adds per-key counts: while both operands are
+//!   within their bucket budget it is exactly associative and
+//!   commutative, which is what lets per-shard and per-session sketches
+//!   fold into one fleet view without coordination.
+//! * Memory is bounded: each store keeps at most `max_buckets` buckets;
+//!   past that the smallest-magnitude buckets collapse into the lowest
+//!   retained one (tail accuracy — the interesting end — is preserved).
+//! * Non-finite samples are rejected and counted, never stored —
+//!   mirroring the repo-wide non-finite-rejection invariant.
+//!
+//! [`ConcurrentSketch`] wraps a small fixed set of striped sketches so
+//! concurrent writers in the sharded pipeline never contend on one lock;
+//! a snapshot merges the stripes, which by the invariants above yields
+//! the same sketch a single-threaded run would have produced.
+
+use parking_lot::Mutex;
+use serde::{Serialize, Value};
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default relative accuracy: 1% relative error on any quantile.
+pub const DEFAULT_SKETCH_ALPHA: f64 = 0.01;
+
+/// Default per-store bucket budget. With α = 1% one store spans ~40
+/// orders of magnitude before any collapse.
+pub const DEFAULT_SKETCH_MAX_BUCKETS: usize = 4096;
+
+/// A deterministic, bounded-memory quantile sketch with relative-error
+/// guarantee `α` (see module docs).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sketch {
+    alpha: f64,
+    gamma: f64,
+    ln_gamma: f64,
+    max_buckets: usize,
+    /// Buckets for positive values, keyed by `⌈ln v / ln γ⌉`.
+    pos: BTreeMap<i32, u64>,
+    /// Buckets for negative values, keyed on the magnitude `|v|`.
+    neg: BTreeMap<i32, u64>,
+    zero: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    /// NaN / ±inf samples rejected (counted, never stored).
+    rejected_non_finite: u64,
+    /// Collapse operations performed (0 ⇒ merge was exact so far).
+    collapses: u64,
+}
+
+impl Sketch {
+    /// A sketch with relative accuracy `alpha` (must be in `(0, 1)`).
+    pub fn new(alpha: f64) -> Self {
+        Self::with_max_buckets(alpha, DEFAULT_SKETCH_MAX_BUCKETS)
+    }
+
+    /// A sketch with an explicit per-store bucket budget.
+    pub fn with_max_buckets(alpha: f64, max_buckets: usize) -> Self {
+        assert!(alpha > 0.0 && alpha < 1.0, "sketch alpha must be in (0, 1)");
+        assert!(max_buckets >= 2, "sketch needs at least two buckets");
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        Self {
+            alpha,
+            gamma,
+            ln_gamma: gamma.ln(),
+            max_buckets,
+            pos: BTreeMap::new(),
+            neg: BTreeMap::new(),
+            zero: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            rejected_non_finite: 0,
+            collapses: 0,
+        }
+    }
+
+    /// Bucket key for a strictly positive magnitude.
+    fn key_for(&self, magnitude: f64) -> i32 {
+        let k = (magnitude.ln() / self.ln_gamma).ceil();
+        if k < i32::MIN as f64 {
+            i32::MIN
+        } else if k > i32::MAX as f64 {
+            i32::MAX
+        } else {
+            k as i32
+        }
+    }
+
+    /// Insert one sample. Non-finite values are rejected and counted.
+    pub fn insert(&mut self, v: f64) {
+        if !v.is_finite() {
+            self.rejected_non_finite += 1;
+            return;
+        }
+        self.count += 1;
+        self.sum += v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        if v == 0.0 {
+            self.zero += 1;
+        } else if v > 0.0 {
+            let k = self.key_for(v);
+            *self.pos.entry(k).or_insert(0) += 1;
+            Self::collapse(&mut self.pos, self.max_buckets, &mut self.collapses);
+        } else {
+            let k = self.key_for(-v);
+            *self.neg.entry(k).or_insert(0) += 1;
+            Self::collapse(&mut self.neg, self.max_buckets, &mut self.collapses);
+        }
+    }
+
+    /// Fold the smallest-magnitude buckets into the lowest retained key
+    /// until the store is back within budget.
+    fn collapse(store: &mut BTreeMap<i32, u64>, max_buckets: usize, collapses: &mut u64) {
+        while store.len() > max_buckets {
+            let Some((&lowest, _)) = store.iter().next() else {
+                return;
+            };
+            let Some(n) = store.remove(&lowest) else {
+                return;
+            };
+            if let Some((_, dst)) = store.iter_mut().next() {
+                *dst += n;
+                *collapses += 1;
+            }
+        }
+    }
+
+    /// Merge another sketch of the **same α** into this one. Bucket
+    /// counts, extrema and totals merge exactly associatively and
+    /// commutatively while both stores stay within budget; the tracked
+    /// f64 `sum` agrees only up to addition-order rounding.
+    pub fn merge(&mut self, other: &Sketch) {
+        assert!(
+            self.alpha == other.alpha,
+            "cannot merge sketches with different alpha"
+        );
+        for (&k, &n) in &other.pos {
+            *self.pos.entry(k).or_insert(0) += n;
+        }
+        Self::collapse(&mut self.pos, self.max_buckets, &mut self.collapses);
+        for (&k, &n) in &other.neg {
+            *self.neg.entry(k).or_insert(0) += n;
+        }
+        Self::collapse(&mut self.neg, self.max_buckets, &mut self.collapses);
+        self.zero += other.zero;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.rejected_non_finite += other.rejected_non_finite;
+        self.collapses += other.collapses;
+    }
+
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Buckets currently held across both stores.
+    pub fn bucket_count(&self) -> usize {
+        self.pos.len() + self.neg.len()
+    }
+
+    pub fn rejected_non_finite(&self) -> u64 {
+        self.rejected_non_finite
+    }
+
+    /// Midpoint estimate for a bucket key; within `α` relative error of
+    /// every magnitude the bucket covers.
+    fn estimate(&self, key: i32) -> f64 {
+        (key as f64 * self.ln_gamma).exp() * 2.0 / (self.gamma + 1.0)
+    }
+
+    /// Estimate the `p`-quantile. `None` while empty; `p ≤ 0` yields the
+    /// exact min, `p ≥ 1` the exact max; estimates are clamped into
+    /// `[min, max]` (which only tightens the relative-error bound).
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if p <= 0.0 {
+            return Some(self.min);
+        }
+        if p >= 1.0 {
+            return Some(self.max);
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        // Ascending value order: most-negative first (descending key over
+        // the magnitude-keyed negative store), then zeros, then positives.
+        for (&k, &n) in self.neg.iter().rev() {
+            cum += n;
+            if cum >= rank {
+                return Some((-self.estimate(k)).clamp(self.min, self.max));
+            }
+        }
+        cum += self.zero;
+        if cum >= rank {
+            return Some(0.0f64.clamp(self.min, self.max));
+        }
+        for (&k, &n) in self.pos.iter() {
+            cum += n;
+            if cum >= rank {
+                return Some(self.estimate(k).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Serializable point-in-time copy.
+    pub fn snapshot(&self) -> SketchSnapshot {
+        SketchSnapshot {
+            alpha: self.alpha,
+            count: self.count,
+            zero: self.zero,
+            sum: self.sum,
+            min: if self.count > 0 { self.min } else { 0.0 },
+            max: if self.count > 0 { self.max } else { 0.0 },
+            rejected_non_finite: self.rejected_non_finite,
+            collapses: self.collapses,
+            neg: self.neg.iter().map(|(&k, &n)| (k, n)).collect(),
+            pos: self.pos.iter().map(|(&k, &n)| (k, n)).collect(),
+        }
+    }
+}
+
+impl Serialize for Sketch {
+    fn serialize(&self) -> Value {
+        self.snapshot().serialize()
+    }
+}
+
+/// Point-in-time copy of a [`Sketch`]; the bucket stores are sorted
+/// `(key, count)` pairs. Snapshots of equal-α sketches can be merged.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct SketchSnapshot {
+    pub alpha: f64,
+    pub count: u64,
+    pub zero: u64,
+    pub sum: f64,
+    /// Exact observed min/max (0.0 while empty).
+    pub min: f64,
+    pub max: f64,
+    pub rejected_non_finite: u64,
+    pub collapses: u64,
+    pub neg: Vec<(i32, u64)>,
+    pub pos: Vec<(i32, u64)>,
+}
+
+impl SketchSnapshot {
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Rebuild a live sketch from this snapshot (for folding and
+    /// quantile queries on merged data).
+    pub fn to_sketch(&self) -> Sketch {
+        let mut s = Sketch::new(self.alpha);
+        s.zero = self.zero;
+        s.count = self.count;
+        s.sum = self.sum;
+        s.min = if self.count > 0 {
+            self.min
+        } else {
+            f64::INFINITY
+        };
+        s.max = if self.count > 0 {
+            self.max
+        } else {
+            f64::NEG_INFINITY
+        };
+        s.rejected_non_finite = self.rejected_non_finite;
+        s.collapses = self.collapses;
+        s.neg = self.neg.iter().copied().collect();
+        s.pos = self.pos.iter().copied().collect();
+        s
+    }
+
+    /// Estimate the `p`-quantile (see [`Sketch::quantile`]).
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        self.to_sketch().quantile(p)
+    }
+
+    /// Merge another snapshot of the same α into this one.
+    pub fn merge(&mut self, other: &SketchSnapshot) {
+        let mut s = self.to_sketch();
+        s.merge(&other.to_sketch());
+        *self = s.snapshot();
+    }
+}
+
+// ---- concurrent wrapper ----------------------------------------------
+
+/// Stripes per [`ConcurrentSketch`]; power of two so a stripe index is a
+/// mask away.
+const STRIPES: usize = 16;
+
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's assigned stripe (`usize::MAX` = unassigned).
+    static STRIPE: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// Round-robin stripe assignment, fixed per thread on first use.
+fn stripe_index() -> usize {
+    STRIPE.with(|c| {
+        let cached = c.get();
+        if cached != usize::MAX {
+            return cached;
+        }
+        let idx = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) & (STRIPES - 1);
+        c.set(idx);
+        idx
+    })
+}
+
+/// A sketch writable from many threads without a shared lock: each
+/// thread inserts into its own stripe (an uncontended mutex), and
+/// [`ConcurrentSketch::snapshot`] merges the stripes. Because sketch
+/// merge is order-independent, the snapshot equals what one sequential
+/// sketch over the same samples would hold.
+pub struct ConcurrentSketch {
+    alpha: f64,
+    stripes: Vec<Mutex<Sketch>>,
+}
+
+impl ConcurrentSketch {
+    pub fn new(alpha: f64) -> Self {
+        Self {
+            alpha,
+            stripes: (0..STRIPES)
+                .map(|_| Mutex::new(Sketch::new(alpha)))
+                .collect(),
+        }
+    }
+
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Insert one sample into this thread's stripe.
+    pub fn insert(&self, v: f64) {
+        if let Some(stripe) = self.stripes.get(stripe_index()) {
+            stripe.lock().insert(v);
+        }
+    }
+
+    /// Total samples across stripes (locks each stripe briefly).
+    pub fn count(&self) -> u64 {
+        self.stripes.iter().map(|s| s.lock().count()).sum()
+    }
+
+    /// Merge every stripe into one sketch, in stripe order.
+    pub fn merged(&self) -> Sketch {
+        let mut out = Sketch::new(self.alpha);
+        for stripe in &self.stripes {
+            let guard = stripe.lock();
+            // GUARD-EMIT: merge folds bucket maps into the local `out` —
+            // LOCK-ORDER: no emission, no locks; one stripe held at a time.
+            out.merge(&guard);
+        }
+        out
+    }
+
+    /// Serializable snapshot of the merged stripes.
+    pub fn snapshot(&self) -> SketchSnapshot {
+        self.merged().snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_track_exact_ranks_within_alpha() {
+        let mut s = Sketch::new(0.01);
+        let mut vals: Vec<f64> = (1..=1000).map(|i| i as f64 * 0.37).collect();
+        for &v in &vals {
+            s.insert(v);
+        }
+        vals.sort_by(|a, b| a.total_cmp(b));
+        for &p in &[0.01, 0.25, 0.5, 0.75, 0.95, 0.99] {
+            let rank = ((p * vals.len() as f64).ceil() as usize).clamp(1, vals.len());
+            let exact = vals[rank - 1];
+            let est = s.quantile(p).unwrap();
+            assert!(
+                (est - exact).abs() <= 0.01 * exact.abs() + 1e-12,
+                "p={p}: est {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_and_zero_samples_order_correctly() {
+        let mut s = Sketch::new(0.01);
+        for v in [-10.0, -1.0, 0.0, 1.0, 10.0] {
+            s.insert(v);
+        }
+        assert_eq!(s.count(), 5);
+        let p10 = s.quantile(0.1).unwrap();
+        assert!((p10 + 10.0).abs() <= 0.1 + 1e-9, "{p10}");
+        let med = s.quantile(0.5).unwrap();
+        assert_eq!(med, 0.0);
+        assert_eq!(s.quantile(1.0), Some(10.0));
+        assert_eq!(s.quantile(0.0), Some(-10.0));
+    }
+
+    #[test]
+    fn non_finite_rejected_and_counted() {
+        let mut s = Sketch::new(0.05);
+        s.insert(f64::NAN);
+        s.insert(f64::INFINITY);
+        s.insert(f64::NEG_INFINITY);
+        s.insert(1.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.rejected_non_finite(), 3);
+        assert_eq!(s.quantile(0.5), Some(1.0));
+    }
+
+    #[test]
+    fn merge_equals_sequential_insertion() {
+        let mut all = Sketch::new(0.02);
+        let mut a = Sketch::new(0.02);
+        let mut b = Sketch::new(0.02);
+        for i in 0..500 {
+            let v = (i as f64 - 250.0) * 1.3;
+            all.insert(v);
+            if i % 2 == 0 {
+                a.insert(v);
+            } else {
+                b.insert(v);
+            }
+        }
+        a.merge(&b);
+        // Bucket stores, counts and extrema merge exactly; the f64 sum
+        // only agrees up to addition-order rounding.
+        let mut merged = a.snapshot();
+        let mut sequential = all.snapshot();
+        assert!((merged.sum - sequential.sum).abs() <= 1e-9 * sequential.sum.abs().max(1.0));
+        merged.sum = 0.0;
+        sequential.sum = 0.0;
+        assert_eq!(merged, sequential);
+    }
+
+    #[test]
+    fn collapse_bounds_memory() {
+        let mut s = Sketch::with_max_buckets(0.01, 8);
+        for i in 0..60 {
+            s.insert(2.0f64.powi(i));
+        }
+        assert!(s.bucket_count() <= 8, "got {}", s.bucket_count());
+        assert_eq!(s.count(), 60);
+        // Tail accuracy survives the collapse of the small buckets.
+        let est = s.quantile(0.99).unwrap();
+        let exact = 2.0f64.powi(59);
+        assert!((est - exact).abs() <= 0.01 * exact + 1e-6);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_and_merge() {
+        let mut a = Sketch::new(0.01);
+        let mut b = Sketch::new(0.01);
+        for i in 1..=100 {
+            a.insert(i as f64);
+            b.insert(-(i as f64));
+        }
+        let mut sa = a.snapshot();
+        let sb = b.snapshot();
+        sa.merge(&sb);
+        a.merge(&b);
+        assert_eq!(sa, a.snapshot());
+        assert_eq!(sa.quantile(0.5), a.quantile(0.5));
+    }
+
+    #[test]
+    fn concurrent_sketch_matches_sequential() {
+        let cs = ConcurrentSketch::new(0.01);
+        let mut seq = Sketch::new(0.01);
+        for i in 1..=200 {
+            let v = i as f64 * 0.5;
+            cs.insert(v);
+            seq.insert(v);
+        }
+        assert_eq!(cs.snapshot(), seq.snapshot());
+        assert_eq!(cs.count(), 200);
+    }
+}

@@ -1,0 +1,111 @@
+//! End-to-end tests of the Prometheus exposition plane: byte-identical
+//! rendering of equal state, and a real TCP scrape against the
+//! [`telemetry::MetricsServer`].
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+use telemetry::{
+    render_prometheus, Event, FieldValue, MetricsRegistry, MetricsSnapshot, SessionAggregator,
+};
+
+/// Build the same logical state twice through different code paths (two
+/// independent registries/aggregators fed identically) — the renders
+/// must agree byte for byte.
+fn build_snapshot() -> MetricsSnapshot {
+    let registry = MetricsRegistry::new();
+    registry.counter("online.steps").add(7);
+    registry.counter("telemetry.dropped").add(2);
+    registry.gauge("budget.spent_s").set(321.5);
+    for i in 0..50 {
+        registry
+            .sketch("online.step_latency_s")
+            .insert(0.001 * (1.0 + i as f64));
+        registry
+            .sketch("online.step_reward")
+            .insert(-0.5 + i as f64 * 0.02);
+    }
+    let mut agg = SessionAggregator::new();
+    for (sid, reward) in [(1u64, 0.25), (1, -0.5), (2, 0.125)] {
+        agg.observe_event(&Event::new(
+            "online.step",
+            vec![
+                ("reward", FieldValue::F64(reward)),
+                ("duration_s", FieldValue::F64(0.004)),
+                ("exec_time_s", FieldValue::F64(40.0)),
+                ("session_id", FieldValue::U64(sid)),
+            ],
+        ));
+    }
+    agg.observe_event(&Event::new("budget.update", vec![]));
+    MetricsSnapshot {
+        registry: registry.snapshot(),
+        sessions: agg.report(),
+    }
+}
+
+#[test]
+fn equal_state_renders_byte_identically() {
+    let a = render_prometheus(&build_snapshot());
+    let b = render_prometheus(&build_snapshot());
+    assert_eq!(a, b, "equal state must render to identical bytes");
+    // Spot-check every exposition section is present.
+    assert!(a.contains("online_steps_total 7"), "{a}");
+    assert!(a.contains("budget_spent_s 321.5"), "{a}");
+    assert!(
+        a.contains("online_step_latency_s{quantile=\"0.95\"}"),
+        "{a}"
+    );
+    assert!(a.contains("online_step_reward_count 50"), "{a}");
+    assert!(
+        a.contains("deepcat_session_steps_total{session=\"2\""),
+        "{a}"
+    );
+    assert!(a.contains("deepcat_unattributed_events_total 1"), "{a}");
+}
+
+#[test]
+fn render_survives_merged_snapshots() {
+    // Merging a snapshot into itself doubles counters/sketch counts but
+    // must keep the render well-formed and deterministic.
+    let mut snap = build_snapshot();
+    let other = build_snapshot();
+    snap.registry.merge(&other.registry);
+    let a = render_prometheus(&snap);
+    let b = render_prometheus(&snap);
+    assert_eq!(a, b);
+    assert!(a.contains("online_steps_total 14"), "{a}");
+    assert!(a.contains("online_step_latency_s_count 100"), "{a}");
+}
+
+#[test]
+fn tcp_scrape_returns_the_current_snapshot() {
+    telemetry::counter("telemetry.dropped").add(5);
+    let server = telemetry::MetricsServer::bind("127.0.0.1:0").expect("bind port 0");
+    let addr = server.local_addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect to metrics server");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("set read timeout");
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n")
+        .expect("send scrape request");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("read scrape response");
+    server.shutdown();
+
+    assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+    assert!(
+        response.contains("Content-Type: text/plain; version=0.0.4"),
+        "{response}"
+    );
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or_default();
+    assert!(body.contains("telemetry_dropped_total"), "{body}");
+    assert!(body.contains("deepcat_unattributed_events_total"), "{body}");
+}

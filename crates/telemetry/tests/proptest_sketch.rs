@@ -1,0 +1,176 @@
+//! Property-based tests of the mergeable quantile sketch — the math the
+//! fleet observability plane leans on. Three invariants matter:
+//!
+//! 1. **Merge is a lattice join on the bucket structure.** Bucket
+//!    counts, extrema and totals merge exactly associatively and
+//!    commutatively; only the tracked f64 `sum` is allowed to differ by
+//!    addition-order rounding, so the tests compare it with a relative
+//!    tolerance and compare everything else exactly.
+//! 2. **Merging shards equals sequential insertion.** Splitting a
+//!    stream across sketches and merging must land on the same buckets
+//!    as feeding one sketch — this is what makes per-shard/per-session
+//!    folding honest.
+//! 3. **Relative error stays within α.** For any finite stream, the
+//!    reported quantile is within `α·|x|` of the exact rank statistic
+//!    `x` (rank `⌈p·n⌉` over the sorted stream).
+
+use proptest::prelude::*;
+use telemetry::{Sketch, SketchSnapshot};
+
+const ALPHA: f64 = 0.01;
+
+/// Decode the generated `(selector, unit)` pairs into a value stream
+/// mixing magnitudes (±1e6, ±1, ±1e-4) with exact zeros, so bucket keys
+/// far apart, adjacent, and the zero store all get exercised.
+fn decode(pairs: &[(u8, f64)]) -> Vec<f64> {
+    pairs
+        .iter()
+        .map(|(sel, x)| match sel % 4 {
+            0 => x * 1e6,
+            1 => *x,
+            2 => x * 1e-4,
+            _ => 0.0,
+        })
+        .collect()
+}
+
+fn sketch_of(values: &[f64]) -> Sketch {
+    let mut s = Sketch::new(ALPHA);
+    for &v in values {
+        s.insert(v);
+    }
+    s
+}
+
+/// Snapshot with the addition-order-sensitive `sum` zeroed out, leaving
+/// only the exactly-mergeable state (buckets, counts, extrema).
+fn buckets_only(s: &Sketch) -> SketchSnapshot {
+    let mut snap = s.snapshot();
+    snap.sum = 0.0;
+    snap
+}
+
+fn assert_sums_close(a: f64, b: f64) {
+    assert!(
+        (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs())),
+        "sums diverged beyond rounding: {a} vs {b}"
+    );
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(
+        xs in proptest::collection::vec((0u8..4, -1.0f64..1.0), 0..100),
+        ys in proptest::collection::vec((0u8..4, -1.0f64..1.0), 0..100),
+    ) {
+        let (xs, ys) = (decode(&xs), decode(&ys));
+        let mut ab = sketch_of(&xs);
+        ab.merge(&sketch_of(&ys));
+        let mut ba = sketch_of(&ys);
+        ba.merge(&sketch_of(&xs));
+        prop_assert_eq!(buckets_only(&ab), buckets_only(&ba));
+        assert_sums_close(ab.snapshot().sum, ba.snapshot().sum);
+    }
+
+    #[test]
+    fn merge_is_associative(
+        xs in proptest::collection::vec((0u8..4, -1.0f64..1.0), 0..80),
+        ys in proptest::collection::vec((0u8..4, -1.0f64..1.0), 0..80),
+        zs in proptest::collection::vec((0u8..4, -1.0f64..1.0), 0..80),
+    ) {
+        let (xs, ys, zs) = (decode(&xs), decode(&ys), decode(&zs));
+        // (x ∪ y) ∪ z
+        let mut left = sketch_of(&xs);
+        left.merge(&sketch_of(&ys));
+        left.merge(&sketch_of(&zs));
+        // x ∪ (y ∪ z)
+        let mut yz = sketch_of(&ys);
+        yz.merge(&sketch_of(&zs));
+        let mut right = sketch_of(&xs);
+        right.merge(&yz);
+        prop_assert_eq!(buckets_only(&left), buckets_only(&right));
+        assert_sums_close(left.snapshot().sum, right.snapshot().sum);
+    }
+
+    #[test]
+    fn merged_shards_equal_sequential_insertion(
+        xs in proptest::collection::vec((0u8..4, -1.0f64..1.0), 1..150),
+        shards in 1usize..8,
+    ) {
+        let xs = decode(&xs);
+        // Round-robin the stream over `shards` sketches, as per-thread
+        // shards and per-session folds do, then merge in shard order.
+        let mut parts: Vec<Sketch> = (0..shards).map(|_| Sketch::new(ALPHA)).collect();
+        for (i, &v) in xs.iter().enumerate() {
+            if let Some(part) = parts.get_mut(i % shards) {
+                part.insert(v);
+            }
+        }
+        let mut merged = Sketch::new(ALPHA);
+        for part in &parts {
+            merged.merge(part);
+        }
+        let sequential = sketch_of(&xs);
+        prop_assert_eq!(buckets_only(&merged), buckets_only(&sequential));
+        assert_sums_close(merged.snapshot().sum, sequential.snapshot().sum);
+        // And the quantiles read back identically, not just the buckets.
+        for p in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(p), sequential.quantile(p));
+        }
+    }
+
+    #[test]
+    fn quantiles_stay_within_alpha_of_exact_rank(
+        xs in proptest::collection::vec((0u8..4, -1.0f64..1.0), 1..200),
+        p in 0.0f64..=1.0,
+    ) {
+        let xs = decode(&xs);
+        let sketch = sketch_of(&xs);
+        let mut sorted = xs.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted.get(rank - 1).copied().unwrap_or(0.0);
+        let est = sketch.quantile(p).expect("non-empty sketch has quantiles");
+        prop_assert!(
+            (est - exact).abs() <= ALPHA * exact.abs() + 1e-12,
+            "q({p}) = {est} strayed from exact rank statistic {exact}"
+        );
+    }
+
+    #[test]
+    fn collapse_keeps_stores_bounded_and_quantiles_ordered(
+        xs in proptest::collection::vec((0u8..4, -1.0f64..1.0), 1..200),
+    ) {
+        let xs = decode(&xs);
+        let mut sketch = Sketch::with_max_buckets(ALPHA, 8);
+        for &v in &xs {
+            sketch.insert(v);
+        }
+        let snap = sketch.snapshot();
+        prop_assert!(snap.pos.len() <= 8, "pos store grew to {}", snap.pos.len());
+        prop_assert!(snap.neg.len() <= 8, "neg store grew to {}", snap.neg.len());
+        prop_assert_eq!(snap.count, xs.len() as u64);
+        // Even under collapse, quantiles stay monotone and clamped to
+        // the exact extrema.
+        let qs: Vec<f64> = [0.0, 0.25, 0.5, 0.75, 1.0]
+            .iter()
+            .filter_map(|&p| sketch.quantile(p))
+            .collect();
+        prop_assert!(qs.windows(2).all(|w| w[0] <= w[1]), "quantiles not monotone: {qs:?}");
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(qs.iter().all(|&q| q >= min && q <= max));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_quantiles(
+        xs in proptest::collection::vec((0u8..4, -1.0f64..1.0), 1..120),
+    ) {
+        let xs = decode(&xs);
+        let sketch = sketch_of(&xs);
+        let revived = sketch.snapshot().to_sketch();
+        for p in [0.0, 0.1, 0.5, 0.95, 1.0] {
+            prop_assert_eq!(sketch.quantile(p), revived.quantile(p));
+        }
+    }
+}

@@ -56,15 +56,39 @@ echo "trace determinism: OK (byte-identical chrome-trace export)"
     --model "$smoke_dir/chaos-model.json" >/dev/null
 ./target/release/deepcat-tune chaos --plan mixed --deterministic \
     --model "$smoke_dir/chaos-model.json" \
+    --alerts alerts.toml --metrics-out "$smoke_dir/chaos-a.prom" \
     --log "$smoke_dir/chaos-a.jsonl" >/dev/null
 ./target/release/deepcat-tune chaos --plan mixed --deterministic \
     --model "$smoke_dir/chaos-model.json" \
+    --alerts alerts.toml --metrics-out "$smoke_dir/chaos-b.prom" \
     --log "$smoke_dir/chaos-b.jsonl" >/dev/null
 cmp "$smoke_dir/chaos-a.jsonl" "$smoke_dir/chaos-b.jsonl" || {
     echo "chaos determinism failed: same-plan runs diverged" >&2
     exit 1
 }
 echo "chaos determinism: OK ($(wc -l <"$smoke_dir/chaos-a.jsonl") events, byte-identical)"
+
+# Exposition determinism: the Prometheus snapshots written at the end of
+# the two deterministic chaos runs must be byte-identical (sorted
+# registry iteration + frozen clocks + stable session ids).
+cmp "$smoke_dir/chaos-a.prom" "$smoke_dir/chaos-b.prom" || {
+    echo "exposition determinism failed: Prometheus snapshots diverged" >&2
+    exit 1
+}
+echo "exposition determinism: OK ($(wc -l <"$smoke_dir/chaos-a.prom") series lines, byte-identical)"
+
+# Top determinism: `top --once` is a pure fold of the log, so the two
+# deterministic logs must render identical dashboards (the header names
+# the log path, so normalize it first).
+./target/release/deepcat-tune top "$smoke_dir/chaos-a.jsonl" --once \
+    | sed 's|chaos-a\.jsonl|LOG|' >"$smoke_dir/top-a.txt"
+./target/release/deepcat-tune top "$smoke_dir/chaos-b.jsonl" --once \
+    | sed 's|chaos-b\.jsonl|LOG|' >"$smoke_dir/top-b.txt"
+cmp "$smoke_dir/top-a.txt" "$smoke_dir/top-b.txt" || {
+    echo "top determinism failed: dashboard snapshots diverged" >&2
+    exit 1
+}
+echo "top determinism: OK (byte-identical --once dashboards)"
 ./target/release/deepcat-tune chaos --plan mixed --deterministic \
     --model "$smoke_dir/chaos-model.json" \
     --checkpoint "$smoke_dir/chaos-cp.json" --kill-after 2 >/dev/null
@@ -101,11 +125,18 @@ fi
 echo "guardrail smoke: OK (zero infeasible evals, byte-identical)"
 
 # Perf-regression gate: run the pinned quick-profile baseline suite and
-# compare hot-path throughput against the committed BENCH_6.json. Fails
+# compare hot-path throughput against the committed BENCH_8.json. Fails
 # loudly naming the regressed metric; tolerance absorbs machine noise.
 ./target/release/deepcat-bench baseline --out "$smoke_dir/bench-current.json" >/dev/null
-./target/release/deepcat-bench compare --baseline BENCH_6.json \
+./target/release/deepcat-bench compare --baseline BENCH_8.json \
     --current "$smoke_dir/bench-current.json" --tolerance 0.6
+
+# Observability-plane non-regression: the committed BENCH_8 numbers must
+# keep the sharded emit hot path within 10% of the pre-sketch BENCH_6
+# baseline — a static file-vs-file gate, so it costs nothing per run.
+./target/release/deepcat-bench compare --baseline BENCH_6.json \
+    --current BENCH_8.json --tolerance 0.10 \
+    --metric telemetry_events_per_s_enabled
 
 # Telemetry-overhead gate: within the fresh baseline run, the sharded
 # emit hot path must beat the retired global-mutex path by >= 5x, and
@@ -114,7 +145,11 @@ echo "guardrail smoke: OK (zero infeasible evals, byte-identical)"
 ./target/release/deepcat-bench overhead --current "$smoke_dir/bench-current.json"
 
 # Session rollup smoke: the offline re-fold of a deterministic log must
-# render a per-session table without error.
+# render a per-session table without error. --strict-telemetry turns any
+# dropped event or sink error in the chaos/guardrail logs into a CI
+# failure (both logs come from lossless deterministic pipelines).
 ./target/release/deepcat-tune report --log "$smoke_dir/chaos-a.jsonl" \
-    --by-session >/dev/null
-echo "session report smoke: OK"
+    --by-session --strict-telemetry >/dev/null
+./target/release/deepcat-tune report --log "$smoke_dir/guard-a.jsonl" \
+    --strict-telemetry >/dev/null
+echo "session report smoke: OK (strict telemetry clean)"

@@ -47,6 +47,8 @@ pub(crate) const TELEMETRY_FNS: &[&str] = &[
     "counter",
     "gauge",
     "histogram",
+    "sketch",
+    "observe_sketch",
     "span",
     "emit",
 ];

@@ -1,0 +1,26 @@
+// Fixture: the observability-plane families (alert engine, exposition,
+// quantile sketches) obey the same manifest contract as every other
+// family. `alert.phantom_rule_fired` is well-formed but unregistered —
+// the alert engine must not invent event names the manifest does not
+// declare. The remaining names are registered by the test's manifest
+// and must stay clean, including sketch registrations through both the
+// registry method (`sketch(...)`) and the free helper
+// (`observe_sketch(...)`).
+
+fn unregistered_alert_event() {
+    telemetry::event!("alert.phantom_rule_fired", rule = "latency-p42");
+}
+
+fn registered_alert_events() {
+    telemetry::event!("alert.raised", rule = "latency-p95", severity = "warn");
+    telemetry::event!("alert.resolved", rule = "latency-p95", severity = "warn");
+}
+
+fn registered_exposition_event(bytes: usize) {
+    telemetry::event!("telemetry.expose", mode = "scrape", bytes = bytes);
+}
+
+fn registered_sketch_observations(latency_s: f64) {
+    telemetry::observe_sketch("online.step_latency_s", latency_s);
+    telemetry::sketch("online.step_reward").insert(0.25);
+}

@@ -210,6 +210,38 @@ fn unregistered_guardrail_events_fail_the_manifest_rule() {
 }
 
 #[test]
+fn unregistered_alert_events_fail_the_manifest_rule() {
+    let manifest = Manifest::parse(
+        "[[event]]\nname = \"alert.raised\"\ndoc = \"raised\"\n\n\
+         [[event]]\nname = \"alert.resolved\"\ndoc = \"resolved\"\n\n\
+         [[event]]\nname = \"telemetry.expose\"\ndoc = \"exposed\"\n\n\
+         [[event]]\nname = \"online.step_latency_s\"\ndoc = \"latency sketch\"\n\n\
+         [[event]]\nname = \"online.step_reward\"\ndoc = \"reward sketch\"\n",
+    )
+    .expect("manifest parses");
+    let f = lint_fixture(
+        "crates/telemetry/src/fixture.rs",
+        "telemetry_alerts.rs",
+        &manifest,
+    );
+    let r = rules(&f);
+    // `alert.phantom_rule_fired` is the only unregistered name; the
+    // registered alert/expose names and the sketch registrations (via
+    // both `sketch(...)` and `observe_sketch(...)`) must not report.
+    assert_eq!(
+        r.iter().filter(|r| **r == "telemetry.manifest").count(),
+        1,
+        "{f:?}"
+    );
+    assert!(
+        f.iter()
+            .any(|x| x.rule == "telemetry.manifest"
+                && x.message.contains("alert.phantom_rule_fired")),
+        "{f:?}"
+    );
+}
+
+#[test]
 fn session_scope_rule_fires_only_on_unscoped_emits() {
     let manifest = Manifest::parse(
         "[[event]]\nname = \"tune.summary\"\ndoc = \"summary\"\n\n\
