@@ -1,9 +1,9 @@
 //! `deepcat-bench` — perf-regression baselines for the tuning stack.
 //!
 //! ```text
-//! deepcat-bench baseline                      # run suite, write BENCH_8.json
+//! deepcat-bench baseline                      # run suite, write BENCH_9.json
 //! deepcat-bench baseline --out cur.json       # write elsewhere
-//! deepcat-bench compare --baseline BENCH_8.json --current cur.json
+//! deepcat-bench compare --baseline BENCH_9.json --current cur.json
 //! deepcat-bench compare ... --tolerance 0.5   # allowed fractional slowdown
 //! deepcat-bench compare ... --metric NAME     # gate one metric only
 //! deepcat-bench overhead --current cur.json   # sharded-vs-mutex gate (>= 5x)
@@ -31,7 +31,11 @@
 //! global-mutex replica's rate, proving emits no longer serialize on one
 //! lock.
 
-use deepcat::{online_tune_td3, train_td3, AgentConfig, OfflineConfig, OnlineConfig, TuningEnv};
+use deepcat::{
+    online_tune_td3, shared_storage, train_td3, AgentConfig, Commitlog, CommitlogPolicy,
+    MemStorage, OfflineConfig, OnlineCheckpoint, OnlineConfig, ResilienceSnapshot, StepDelta,
+    StepRecord, Td3Agent, TuningEnv,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rl::{PrioritizedReplay, ReplayMemory, Transition};
@@ -98,7 +102,7 @@ fn usage() -> ExitCode {
 }
 
 fn default_out() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_8.json")
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_9.json")
 }
 
 /// Run the pinned quick-profile workload under a capturing sink and
@@ -330,6 +334,76 @@ fn sketch_inserts_per_s() -> f64 {
     total as f64 / t0.elapsed().as_secs_f64().max(1e-9)
 }
 
+/// Step-delta appends (frame + CRC + fsync discipline) per second into a
+/// memory-backed commitlog — the per-step durability cost the resilient
+/// online session pays. MemStorage keeps the metric about the framing,
+/// checksumming, and serialization hot path rather than disk latency.
+fn commitlog_appends_per_s() -> f64 {
+    let mut cfg = AgentConfig::for_dims(2, 3);
+    cfg.hidden = vec![4, 4];
+    let agent = Td3Agent::new(cfg, SEED);
+    let checkpoint = OnlineCheckpoint {
+        tuner: "bench".to_string(),
+        next_step: 0,
+        total_steps: 4096,
+        agent: agent.checkpoint(),
+        agent_rng: agent.rng_state().to_vec(),
+        loop_rng: vec![1, 2, 3, 4],
+        replay: Vec::new(),
+        steps: Vec::new(),
+        spent_s: 0.0,
+        eval_count: 0,
+        env_state: vec![0.1, 0.2],
+        step_in_episode: 0,
+        resilience: ResilienceSnapshot {
+            last_good_action: None,
+            last_state: vec![0.1, 0.2],
+            consecutive_failures: 0,
+        },
+        guardrail: None,
+    };
+    let storage = shared_storage(MemStorage::new());
+    let dir = PathBuf::from("/bench/commitlog");
+    let mut log = Commitlog::create(&dir, storage, CommitlogPolicy::default())
+        .expect("bench commitlog create");
+    log.snapshot(&checkpoint).expect("bench initial snapshot");
+    let delta = |seq: u64| StepDelta {
+        seq,
+        record: StepRecord {
+            step: seq as usize,
+            exec_time_s: 120.0,
+            failed: false,
+            reward: 0.5,
+            recommendation_s: 0.0,
+            q_estimate: Some(0.4),
+            twinq_iterations: 3,
+            action: vec![0.5; 32],
+            resilience: Default::default(),
+            guardrail: Default::default(),
+        },
+        transition: Transition::new(vec![0.1; 9], vec![0.5; 32], 0.5, vec![0.1; 9], true),
+        loop_rng_pre_train: vec![seq, 1, 2, 3],
+        loop_rng_post: vec![seq, 2, 3, 4],
+        agent_rng_post: vec![seq, 3, 4, 5],
+        spent_s: seq as f64,
+        eval_count: seq,
+        env_state: vec![0.1; 9],
+        step_in_episode: seq as usize,
+        resilience: ResilienceSnapshot {
+            last_good_action: Some(vec![0.5; 32]),
+            last_state: vec![0.1; 9],
+            consecutive_failures: 0,
+        },
+        guardrail: None,
+    };
+    let iters = 2000u64;
+    let t0 = Instant::now();
+    for seq in 0..iters {
+        log.append(&delta(seq)).expect("bench append");
+    }
+    iters as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+}
+
 /// Simulated Spark application runs per second.
 fn sim_steps_per_s() -> f64 {
     let workload = Workload::new(WorkloadKind::TeraSort, InputSize::D1);
@@ -364,6 +438,10 @@ fn run_baseline(out: &PathBuf) -> Result<(), String> {
         ThroughputRow {
             metric: "sketch_inserts_per_s".to_string(),
             ops_per_s: best_of_3(sketch_inserts_per_s),
+        },
+        ThroughputRow {
+            metric: "commitlog_appends_per_s".to_string(),
+            ops_per_s: best_of_3(commitlog_appends_per_s),
         },
     ];
     println!(

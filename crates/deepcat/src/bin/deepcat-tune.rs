@@ -22,9 +22,10 @@
 
 use deepcat::experiments::{compare_on, ExperimentConfig};
 use deepcat::{
-    load_td3, online_tune_resilient, online_tune_td3, save_td3, train_td3, AgentConfig,
-    ChaosSessionConfig, GuardrailPolicy, OfflineConfig, OnlineConfig, ResiliencePolicy,
-    ResilientEnv, SessionOutcome, Td3Agent, TuningEnv, TuningReport,
+    load_td3, online_tune_resilient, online_tune_td3, save_td3, shared_storage, train_td3,
+    AgentConfig, ChaosSessionConfig, CommitlogPolicy, FaultyStorage, GuardrailPolicy,
+    OfflineConfig, OnlineConfig, RealStorage, ResiliencePolicy, ResilientEnv, SessionOutcome,
+    StepRecord, StoragePlan, Td3Agent, TuningEnv, TuningReport,
 };
 use spark_sim::{Cluster, FaultPlan, InputSize, Workload, WorkloadKind, PLAN_NAMES};
 use std::collections::BTreeMap;
@@ -57,6 +58,9 @@ struct Args {
     strict_telemetry: bool,
     once: bool,
     refresh_s: f64,
+    sessions: usize,
+    kill_at: u64,
+    out_dir: Option<PathBuf>,
 }
 
 impl Args {
@@ -71,7 +75,7 @@ impl Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: deepcat-tune <train|tune|run|compare|chaos|safety|report|top|profile> \
+        "usage: deepcat-tune <train|tune|run|compare|chaos|safety|fleet|report|top|profile> \
          [--workload WC|TS|PR|KM|SO|AG] [--input D1|D2|D3] \
          [--iters N] [--steps N] [--seed N] [--model PATH] [--bg FLOAT] \
          [--log PATH] [--trace PATH] [--guardrails on|off]\n\
@@ -79,6 +83,10 @@ fn usage() -> ExitCode {
          [--deterministic] [--checkpoint PATH] [--kill-after N] [--resume]\n\
          safety runs the online stage with and without guardrails under \
          --plan and reports the ablation\n\
+         fleet runs N concurrent durable sessions, each crashed mid-append \
+         by an injected storage fault and resumed from its commitlog: \
+         [--sessions N] [--kill-at OP] [--out-dir DIR] \
+         (writes session-<i>-reference.jsonl / -recovered.jsonl step records)\n\
          observability: [--metrics-addr HOST:PORT] serves Prometheus \
          scrapes, [--metrics-out PATH] writes an exposition snapshot at \
          exit, [--alerts PATH] installs SLO rules from a TOML file\n\
@@ -119,6 +127,9 @@ fn parse_args() -> Result<Args, String> {
         strict_telemetry: false,
         once: false,
         refresh_s: 2.0,
+        sessions: 8,
+        kill_at: 3,
+        out_dir: None,
     };
     while let Some(flag) = argv.next() {
         let mut value = || argv.next().ok_or(format!("{flag} needs a value"));
@@ -167,6 +178,13 @@ fn parse_args() -> Result<Args, String> {
             "--metrics-addr" => args.metrics_addr = Some(value()?),
             "--metrics-out" => args.metrics_out = Some(PathBuf::from(value()?)),
             "--alerts" => args.alerts = Some(PathBuf::from(value()?)),
+            "--sessions" => {
+                args.sessions = value()?.parse().map_err(|e| format!("--sessions: {e}"))?
+            }
+            "--kill-at" => {
+                args.kill_at = value()?.parse().map_err(|e| format!("--kill-at: {e}"))?
+            }
+            "--out-dir" => args.out_dir = Some(PathBuf::from(value()?)),
             "--strict-telemetry" => args.strict_telemetry = true,
             "--once" => args.once = true,
             "--refresh" => {
@@ -194,6 +212,7 @@ fn install_sinks(log: Option<&PathBuf>, deterministic: bool) -> Result<(), Strin
         "run.",
         "compare.",
         "chaos.",
+        "fleet.",
         "online.",
         "twinq.decision",
         "budget.",
@@ -799,8 +818,8 @@ fn safety(args: &Args, workload: Workload) -> Result<(), String> {
             .map_err(|e| format!("safety session: {e}"))?;
         let report = match out {
             SessionOutcome::Completed(r) => r,
-            SessionOutcome::Killed { .. } => {
-                return Err("safety session killed without kill-after".to_string())
+            SessionOutcome::Killed { .. } | SessionOutcome::Crashed { .. } => {
+                return Err("safety session died without a fault harness".to_string())
             }
         };
         let infeasible = env.inner().spark().infeasible_eval_count();
@@ -889,6 +908,9 @@ fn chaos(args: &Args, workload: Workload) -> Result<(), String> {
             SessionOutcome::Killed { completed_steps } => {
                 telemetry::event!("chaos.killed", completed_steps = completed_steps);
             }
+            SessionOutcome::Crashed { completed_steps } => {
+                telemetry::event!("chaos.crashed", completed_steps = completed_steps);
+            }
             SessionOutcome::Completed(report) => emit_chaos_best(&report),
         }
         return Ok(());
@@ -915,8 +937,8 @@ fn chaos(args: &Args, workload: Workload) -> Result<(), String> {
                 .map_err(|e| format!("chaos session: {e}"))?;
         match out {
             SessionOutcome::Completed(report) => reports.push((faulted, report)),
-            SessionOutcome::Killed { .. } => {
-                return Err("session killed without kill-after".to_string())
+            SessionOutcome::Killed { .. } | SessionOutcome::Crashed { .. } => {
+                return Err("session died without kill-after".to_string())
             }
         }
     }
@@ -962,6 +984,259 @@ fn chaos(args: &Args, workload: Workload) -> Result<(), String> {
             guardrail_saved_s = primary.guardrail_saved_s(),
         );
         emit_chaos_best(primary);
+    }
+    Ok(())
+}
+
+/// Outcome of one fleet session: the uninterrupted reference run and the
+/// crashed-then-recovered run, plus how hard the recovery was earned.
+struct FleetRow {
+    session: usize,
+    crashes: usize,
+    attempts: usize,
+    fault: String,
+    reference: TuningReport,
+    recovered: TuningReport,
+}
+
+/// The per-step fields that must survive a crash bit for bit. Everything
+/// here is pure tuning arithmetic — wall-clock fields
+/// (`recommendation_s`, resilience overhead) are excluded so the check
+/// also holds without `--deterministic`.
+fn steps_diverge(a: &StepRecord, b: &StepRecord) -> bool {
+    a.step != b.step
+        || a.exec_time_s != b.exec_time_s
+        || a.failed != b.failed
+        || a.reward != b.reward
+        || a.q_estimate != b.q_estimate
+        || a.twinq_iterations != b.twinq_iterations
+        || a.action != b.action
+}
+
+/// One fleet member: run the uninterrupted reference session, then the
+/// same session against a fault-injecting storage device that kills the
+/// process mid-append, resuming from the commitlog until it completes.
+fn fleet_session(
+    args: &Args,
+    workload: Workload,
+    base_agent: &Td3Agent,
+    out_dir: &std::path::Path,
+    session_idx: usize,
+) -> Result<FleetRow, String> {
+    let seed = args.seed ^ ((session_idx as u64 + 1).wrapping_mul(0x9E37_79B9));
+    let online_cfg = OnlineConfig {
+        steps: args.steps,
+        ..OnlineConfig::deepcat(seed)
+    };
+    let make_env = || {
+        let live = Cluster::cluster_a().with_background_load(args.background_load);
+        ResilientEnv::new(
+            TuningEnv::for_workload(live, workload, seed ^ 0xFACE),
+            ResiliencePolicy::default(),
+        )
+    };
+    let fail = |msg: String| format!("fleet session {session_idx}: {msg}");
+
+    // Reference: same seeds, no durability, never interrupted.
+    let mut agent = base_agent.clone();
+    let reference = match online_tune_resilient(
+        &mut agent,
+        &mut make_env(),
+        &online_cfg,
+        &ChaosSessionConfig::default(),
+        "fleet-reference",
+    )
+    .map_err(|e| fail(format!("reference run: {e}")))?
+    {
+        SessionOutcome::Completed(r) => r,
+        other => return Err(fail(format!("reference run did not complete: {other:?}"))),
+    };
+
+    // The faulted run: one fault-injecting device shared across every
+    // simulated process incarnation — its op counter keeps counting, so
+    // the scheduled fault fires exactly once, mid-append or mid-snapshot.
+    let log_dir = out_dir
+        .join(format!("session-{session_idx}"))
+        .join("commitlog");
+    let plan = StoragePlan::kill_at(
+        args.kill_at.max(1) + (session_idx % 3) as u64,
+        seed.wrapping_add(session_idx as u64),
+    );
+    let fault = plan.name.clone();
+    let storage = shared_storage(FaultyStorage::new(RealStorage::new(), plan));
+    // Aggressive snapshot/segment cadence so even short fleet sessions
+    // exercise segment rolls and compaction, not just tail appends.
+    let policy = CommitlogPolicy {
+        snapshot_every: 2,
+        segment_max_records: 2,
+    };
+    let mut crashes = 0usize;
+    let mut attempts = 0usize;
+    let recovered = loop {
+        attempts += 1;
+        if attempts > 8 {
+            return Err(fail(format!("still not complete after {crashes} crashes")));
+        }
+        let session = ChaosSessionConfig {
+            checkpoint: Some(log_dir.clone()),
+            resume: attempts > 1,
+            storage: Some(storage.clone()),
+            commitlog: policy.clone(),
+            ..ChaosSessionConfig::default()
+        };
+        let mut agent = base_agent.clone();
+        match online_tune_resilient(&mut agent, &mut make_env(), &online_cfg, &session, "fleet")
+            .map_err(|e| fail(format!("attempt {attempts}: {e}")))?
+        {
+            SessionOutcome::Completed(r) => break r,
+            SessionOutcome::Crashed { completed_steps } => {
+                crashes += 1;
+                telemetry::event!(
+                    "fleet.crash",
+                    session = session_idx,
+                    attempt = attempts,
+                    fault = fault.clone(),
+                    completed_steps = completed_steps,
+                );
+            }
+            SessionOutcome::Killed { .. } => {
+                return Err(fail("unexpected kill (no --kill-after set)".to_string()))
+            }
+        }
+    };
+
+    if crashes == 0 {
+        return Err(fail(format!(
+            "injected storage fault '{fault}' never fired"
+        )));
+    }
+    if recovered.steps.len() != reference.steps.len() {
+        return Err(fail(format!(
+            "recovered session ran {} steps, reference ran {}",
+            recovered.steps.len(),
+            reference.steps.len()
+        )));
+    }
+    for (a, b) in reference.steps.iter().zip(recovered.steps.iter()) {
+        if steps_diverge(a, b) {
+            return Err(fail(format!(
+                "step {} diverged after crash recovery (fault '{fault}')",
+                a.step
+            )));
+        }
+    }
+    if recovered.best_action != reference.best_action
+        || recovered.best_exec_time_s != reference.best_exec_time_s
+    {
+        return Err(fail(format!(
+            "best configuration diverged after crash recovery (fault '{fault}')"
+        )));
+    }
+    Ok(FleetRow {
+        session: session_idx,
+        crashes,
+        attempts,
+        fault,
+        reference,
+        recovered,
+    })
+}
+
+/// Serialize a report's step records as JSONL, one record per line —
+/// under `--deterministic` the reference and recovered files of a fleet
+/// session are byte-identical, which the CI smoke checks with `cmp`.
+fn write_steps_jsonl(path: &std::path::Path, report: &TuningReport) -> Result<(), String> {
+    let mut body = String::new();
+    for step in &report.steps {
+        let line = serde_json::to_string(step)
+            .map_err(|e| format!("cannot serialize step record: {e:?}"))?;
+        body.push_str(&line);
+        body.push('\n');
+    }
+    std::fs::write(path, body.as_bytes())
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+/// `deepcat-tune fleet`: N concurrent durable sessions, each killed at an
+/// arbitrary point (mid-append included, via the storage fault shim) and
+/// recovered, asserting all N resume byte-identically with reference
+/// runs that were never interrupted.
+fn fleet(args: &Args, workload: Workload) -> Result<(), String> {
+    let sessions = args.sessions.max(1);
+    let out_dir = args.out_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("deepcat-fleet-{}", std::process::id()))
+    });
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+    telemetry::event!(
+        "fleet.start",
+        sessions = sessions,
+        kill_at = args.kill_at,
+        steps = args.steps,
+        seed = args.seed,
+        out_dir = out_dir.display().to_string(),
+    );
+    let base_agent = offline_agent(args, workload)?;
+
+    let results: Vec<Result<FleetRow, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..sessions)
+            .map(|i| {
+                let base_agent = &base_agent;
+                let out_dir = &out_dir;
+                scope.spawn(move || fleet_session(args, workload, base_agent, out_dir, i))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("fleet session thread panicked".to_string()))
+            })
+            .collect()
+    });
+
+    let mut rows = Vec::new();
+    let mut errors = Vec::new();
+    for result in results {
+        match result {
+            Ok(row) => rows.push(row),
+            Err(e) => errors.push(e),
+        }
+    }
+    let mut total_crashes = 0usize;
+    for row in &rows {
+        write_steps_jsonl(
+            &out_dir.join(format!("session-{}-reference.jsonl", row.session)),
+            &row.reference,
+        )?;
+        write_steps_jsonl(
+            &out_dir.join(format!("session-{}-recovered.jsonl", row.session)),
+            &row.recovered,
+        )?;
+        total_crashes += row.crashes;
+        telemetry::event!(
+            "fleet.session",
+            session = row.session,
+            crashes = row.crashes,
+            attempts = row.attempts,
+            fault = row.fault.clone(),
+            steps = row.recovered.steps.len(),
+            best_s = row.recovered.best_exec_time_s,
+            matched = true,
+        );
+    }
+    telemetry::event!(
+        "fleet.summary",
+        sessions = sessions,
+        recovered = rows.len(),
+        failed = errors.len(),
+        crashes = total_crashes,
+    );
+    if let Some(first) = errors.first() {
+        return Err(format!(
+            "{} of {sessions} fleet session(s) failed: {first}",
+            errors.len()
+        ));
     }
     Ok(())
 }
@@ -1102,7 +1377,9 @@ fn main() -> ExitCode {
                 };
                 match online_tune_resilient(&mut agent, &mut renv, &oc, &session, "DeepCAT") {
                     Ok(SessionOutcome::Completed(r)) => r,
-                    Ok(SessionOutcome::Killed { .. }) | Err(_) => {
+                    Ok(SessionOutcome::Killed { .. })
+                    | Ok(SessionOutcome::Crashed { .. })
+                    | Err(_) => {
                         eprintln!("error: guarded tune session did not complete");
                         telemetry::shutdown();
                         return ExitCode::FAILURE;
@@ -1152,6 +1429,13 @@ fn main() -> ExitCode {
         }
         "safety" => {
             if let Err(e) = safety(&args, workload) {
+                eprintln!("error: {e}");
+                telemetry::shutdown();
+                return ExitCode::FAILURE;
+            }
+        }
+        "fleet" => {
+            if let Err(e) = fleet(&args, workload) {
                 eprintln!("error: {e}");
                 telemetry::shutdown();
                 return ExitCode::FAILURE;

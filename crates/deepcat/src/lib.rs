@@ -45,6 +45,7 @@
 
 pub mod analysis;
 pub mod budget;
+pub mod commitlog;
 pub mod config;
 pub mod ddpg;
 pub mod envwrap;
@@ -56,6 +57,7 @@ pub mod parallel;
 pub mod persist;
 pub mod resilience;
 pub mod reward;
+pub mod storage;
 pub mod td3;
 pub mod tuners;
 pub mod twinq;
@@ -63,6 +65,7 @@ pub mod whitebox;
 
 pub use analysis::{compare, summarize, to_markdown, SessionSummary, Stat, Verdict};
 pub use budget::{BudgetReport, BudgetedTuning};
+pub use commitlog::{Commitlog, CommitlogPolicy, Recovered, StepDelta};
 pub use config::AgentConfig;
 pub use ddpg::{DdpgAgent, DdpgStats};
 pub use envwrap::{StepOutcome, TuningEnv};
@@ -83,6 +86,10 @@ pub use resilience::{
     ResilientOutcome, SessionOutcome,
 };
 pub use reward::{RewardFn, TARGET_SPEEDUP};
+pub use storage::{
+    shared_storage, FaultyStorage, MemStorage, RealStorage, SharedStorage, Storage, StorageError,
+    StorageFault, StorageFaultEvent, StoragePlan, STORAGE_PLAN_NAMES,
+};
 pub use td3::{Td3Agent, Td3Checkpoint, TrainStats};
 pub use tuners::{build_repository, BestConfig, CdbTune, DeepCat, OtterTune, RandomSearch, Tuner};
 pub use twinq::{TwinQOptimizer, TwinQResult};

@@ -8,15 +8,37 @@ use crate::resilience::ResilienceSnapshot;
 use crate::td3::{Td3Agent, Td3Checkpoint};
 use rl::Transition;
 use serde::{Deserialize, Serialize};
-use std::io;
+use std::io::{self, Write};
 use std::path::Path;
 
-/// Save a TD3 agent's checkpoint to `path` (pretty JSON).
+/// Crash-safe file replacement: write to a temp file *in the target
+/// directory* (rename is only atomic within a filesystem), fsync the
+/// data, atomically rename over `path`, then fsync the directory so the
+/// rename itself is durable. A crash at any point leaves either the old
+/// complete file or the new complete file — never a torn mix.
+fn atomic_write(path: &Path, body: &[u8]) -> io::Result<()> {
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(body)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = dir {
+        std::fs::File::open(dir)?.sync_all()?;
+    }
+    Ok(())
+}
+
+/// Save a TD3 agent's checkpoint to `path` (JSON, atomic replace).
 pub fn save_td3(agent: &Td3Agent, path: &Path) -> io::Result<()> {
     let cp = agent.checkpoint();
     let body =
         serde_json::to_string(&cp).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    std::fs::write(path, body)
+    atomic_write(path, body.as_bytes())
 }
 
 /// Load a TD3 agent from a checkpoint written by [`save_td3`].
@@ -56,11 +78,12 @@ pub struct OnlineCheckpoint {
     pub guardrail: Option<GuardrailSnapshot>,
 }
 
-/// Save an online-session checkpoint to `path` (JSON).
+/// Save an online-session checkpoint to `path` (JSON, atomic replace —
+/// a crash mid-write must never corrupt the only copy).
 pub fn save_online_checkpoint(cp: &OnlineCheckpoint, path: &Path) -> io::Result<()> {
     let body =
         serde_json::to_string(cp).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    std::fs::write(path, body)
+    atomic_write(path, body.as_bytes())
 }
 
 /// Load an online-session checkpoint written by [`save_online_checkpoint`].
@@ -74,6 +97,35 @@ mod tests {
     use super::*;
     use crate::config::AgentConfig;
     use rl::{Batch, Transition};
+
+    /// Unique per-test scratch directory (pid + per-process counter, so
+    /// concurrent `cargo test` invocations never collide), removed on
+    /// drop.
+    struct TestDir(std::path::PathBuf);
+
+    impl TestDir {
+        fn new(tag: &str) -> Self {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static NEXT: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "deepcat-persist-test-{tag}-{}-{}",
+                std::process::id(),
+                NEXT.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            TestDir(dir)
+        }
+
+        fn join(&self, name: &str) -> std::path::PathBuf {
+            self.0.join(name)
+        }
+    }
+
+    impl Drop for TestDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
 
     fn trained() -> Td3Agent {
         let mut cfg = AgentConfig::for_dims(2, 3);
@@ -100,8 +152,7 @@ mod tests {
     #[test]
     fn round_trip_preserves_policy_and_critics() {
         let agent = trained();
-        let dir = std::env::temp_dir().join("deepcat-persist-test");
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = TestDir::new("round-trip");
         let path = dir.join("agent.json");
         save_td3(&agent, &path).unwrap();
         let loaded = load_td3(&path, 99).unwrap();
@@ -115,8 +166,7 @@ mod tests {
     #[test]
     fn loaded_agent_continues_training() {
         let agent = trained();
-        let dir = std::env::temp_dir().join("deepcat-persist-test2");
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = TestDir::new("continue");
         let path = dir.join("agent.json");
         save_td3(&agent, &path).unwrap();
         let mut loaded = load_td3(&path, 5).unwrap();
@@ -144,5 +194,23 @@ mod tests {
     #[test]
     fn load_missing_file_errors() {
         assert!(load_td3(Path::new("/nonexistent/agent.json"), 0).is_err());
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_tmp() {
+        let agent = trained();
+        let dir = TestDir::new("atomic");
+        let path = dir.join("agent.json");
+        save_td3(&agent, &path).unwrap();
+        // Overwrite the existing checkpoint: still loadable, and the
+        // temp file used for the atomic replace must be gone.
+        save_td3(&agent, &path).unwrap();
+        assert!(load_td3(&path, 1).is_ok());
+        let leftovers: Vec<_> = std::fs::read_dir(&dir.0)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp file survived: {leftovers:?}");
     }
 }

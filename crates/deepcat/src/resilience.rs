@@ -28,10 +28,12 @@
 //!   reaches the agent or the replay buffer. Rewards are clamped to a
 //!   finite band, so no non-finite value can poison training.
 
+use crate::commitlog::{Commitlog, CommitlogPolicy, StepDelta};
 use crate::envwrap::{StepOutcome, TuningEnv};
 use crate::guardrail::{CanaryVerdict, Guardrail, GuardrailPolicy};
 use crate::online::{finish_report, OnlineConfig, StepRecord, StepResilience, TuningReport};
-use crate::persist::{load_online_checkpoint, save_online_checkpoint, OnlineCheckpoint};
+use crate::persist::OnlineCheckpoint;
+use crate::storage::{shared_storage, RealStorage, SharedStorage};
 use crate::td3::Td3Agent;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -311,10 +313,15 @@ impl ResilientEnv {
 /// Configuration of a checkpointed resilient online session.
 #[derive(Clone, Debug, Default)]
 pub struct ChaosSessionConfig {
-    /// Write a checkpoint here after every completed step.
+    /// Durable-session directory: a segmented commitlog
+    /// ([`crate::commitlog::Commitlog`]) holding an initial snapshot plus
+    /// one fsynced [`StepDelta`] record per completed step, compacted
+    /// into fresh snapshots per [`ChaosSessionConfig::commitlog`].
     pub checkpoint: Option<PathBuf>,
-    /// Resume from the checkpoint instead of starting fresh
-    /// (requires `checkpoint`).
+    /// Resume from the commitlog instead of starting fresh
+    /// (requires `checkpoint`). If nothing durable exists in the
+    /// directory (the process died before the first snapshot landed),
+    /// the session transparently starts from scratch.
     pub resume: bool,
     /// Simulate a crash: return [`SessionOutcome::Killed`] after this
     /// many completed steps (checkpoint already written).
@@ -329,6 +336,13 @@ pub struct ChaosSessionConfig {
     /// event the session emits (steps, guardrail verdicts, recovery,
     /// budget) carries their `session_id`.
     pub session: Option<SessionCtx>,
+    /// Storage backend for the commitlog. `None` uses the real
+    /// filesystem; chaos harnesses pass a shared
+    /// [`crate::storage::FaultyStorage`] so the same (fault-injecting)
+    /// device persists across simulated process incarnations.
+    pub storage: Option<SharedStorage>,
+    /// Commitlog snapshot/segmentation policy.
+    pub commitlog: CommitlogPolicy,
 }
 
 impl ChaosSessionConfig {
@@ -349,6 +363,13 @@ pub enum SessionOutcome {
     Killed {
         completed_steps: usize,
     },
+    /// The process died on an injected storage fault (torn write, failed
+    /// fsync, ENOSPC) while persisting a step. `completed_steps` counts
+    /// the steps completed *in memory*; what survived on disk is decided
+    /// by recovery on the next [`ChaosSessionConfig::resume`].
+    Crashed {
+        completed_steps: usize,
+    },
 }
 
 fn rng_words(words: &[u64]) -> io::Result<[u64; 4]> {
@@ -358,6 +379,40 @@ fn rng_words(words: &[u64]) -> io::Result<[u64; 4]> {
             format!("checkpoint RNG state has {} words, expected 4", words.len()),
         )
     })
+}
+
+/// Capture the complete session state as an [`OnlineCheckpoint`] — the
+/// commitlog's snapshot payload.
+#[allow(clippy::too_many_arguments)]
+fn build_checkpoint(
+    tuner_name: &str,
+    next_step: usize,
+    cfg: &OnlineConfig,
+    agent: &Td3Agent,
+    rng: &StdRng,
+    replay: &UniformReplay,
+    steps: &[StepRecord],
+    spent_s: f64,
+    state: &[f64],
+    env: &ResilientEnv,
+    guard: &Guardrail,
+) -> OnlineCheckpoint {
+    OnlineCheckpoint {
+        tuner: tuner_name.to_string(),
+        next_step,
+        total_steps: cfg.steps,
+        agent: agent.checkpoint(),
+        agent_rng: agent.rng_state().to_vec(),
+        loop_rng: rng.state().to_vec(),
+        replay: replay.iter().cloned().collect(),
+        steps: steps.to_vec(),
+        spent_s,
+        eval_count: env.eval_count(),
+        env_state: state.to_vec(),
+        step_in_episode: env.inner().step_in_episode(),
+        resilience: env.snapshot(),
+        guardrail: guard.enabled().then(|| guard.snapshot()),
+    }
 }
 
 /// The TD3 online loop of [`crate::online::online_tune_td3`], run through
@@ -398,34 +453,120 @@ pub fn online_tune_resilient(
         resume = session.resume
     );
 
-    if session.resume {
-        let path = session.checkpoint.as_ref().ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::InvalidInput,
-                "resume requires a checkpoint path",
-            )
-        })?;
-        let cp = load_online_checkpoint(path)?;
-        *agent = Td3Agent::from_checkpoint(cp.agent, cfg.seed);
-        agent.set_rng_state(rng_words(&cp.agent_rng)?);
-        rng = StdRng::from_state(rng_words(&cp.loop_rng)?);
-        for t in cp.replay {
-            replay.push(t);
+    // Durable session store: open/create the commitlog and, on resume,
+    // rebuild the exact in-memory state from snapshot + tail replay.
+    let mut log: Option<Commitlog> = None;
+    let mut needs_initial_snapshot = false;
+    if let Some(dir) = &session.checkpoint {
+        let storage = session
+            .storage
+            .clone()
+            .unwrap_or_else(|| shared_storage(RealStorage::new()));
+        if session.resume {
+            let (l, recovered) = match Commitlog::open(dir, storage, session.commitlog.clone()) {
+                Ok(opened) => opened,
+                Err(e) if e.is_simulated_death() => {
+                    telemetry::event!("session.end", outcome = "crashed", steps = 0usize);
+                    return Ok(SessionOutcome::Crashed { completed_steps: 0 });
+                }
+                Err(e) => return Err(e.into_io()),
+            };
+            log = Some(l);
+            match recovered {
+                Some(rec) => {
+                    let cp = rec.checkpoint;
+                    *agent = Td3Agent::from_checkpoint(cp.agent, cfg.seed);
+                    agent.set_rng_state(rng_words(&cp.agent_rng)?);
+                    rng = StdRng::from_state(rng_words(&cp.loop_rng)?);
+                    for t in cp.replay {
+                        replay.push(t);
+                    }
+                    steps = cp.steps;
+                    spent_s = cp.spent_s;
+                    start_step = cp.next_step;
+                    state = cp.env_state.clone();
+                    let mut env_restore = (
+                        cp.env_state,
+                        cp.step_in_episode,
+                        cp.eval_count,
+                        cp.resilience,
+                    );
+                    let mut guard_snap = cp.guardrail;
+
+                    // Tail replay: each delta re-runs the deterministic
+                    // fine-tune loop on top of the restored weights, then
+                    // proves it landed exactly where the original run was
+                    // by comparing both RNG streams.
+                    for delta in rec.tail {
+                        replay.push(delta.transition);
+                        rng = StdRng::from_state(rng_words(&delta.loop_rng_pre_train)?);
+                        for _ in 0..cfg.fine_tune_steps {
+                            let batch_size = replay.len().min(agent.cfg.batch_size);
+                            if let Some(batch) = replay.sample(batch_size, &mut rng) {
+                                agent.train_step(&batch);
+                            }
+                        }
+                        if rng.state().to_vec() != delta.loop_rng_post
+                            || agent.rng_state().to_vec() != delta.agent_rng_post
+                        {
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!("commitlog tail replay diverged at seq {}", delta.seq),
+                            ));
+                        }
+                        spent_s = delta.spent_s;
+                        start_step = delta.seq as usize + 1;
+                        state = delta.env_state.clone();
+                        env_restore = (
+                            delta.env_state,
+                            delta.step_in_episode,
+                            delta.eval_count,
+                            delta.resilience,
+                        );
+                        guard_snap = delta.guardrail;
+                        steps.push(delta.record);
+                    }
+                    env.restore(env_restore.0, env_restore.1, env_restore.2, env_restore.3);
+                    if let Some(snap) = guard_snap {
+                        guard.restore(snap);
+                    }
+                    telemetry::event!("recovery.resume", step = start_step, tuner = tuner_name);
+                }
+                None => {
+                    // Nothing durable survived (the process died before
+                    // the first snapshot landed): start from scratch.
+                    needs_initial_snapshot = true;
+                }
+            }
+        } else {
+            match Commitlog::create(dir, storage, session.commitlog.clone()) {
+                Ok(l) => log = Some(l),
+                Err(e) if e.is_simulated_death() => {
+                    telemetry::event!("session.end", outcome = "crashed", steps = 0usize);
+                    return Ok(SessionOutcome::Crashed { completed_steps: 0 });
+                }
+                Err(e) => return Err(e.into_io()),
+            }
+            needs_initial_snapshot = true;
         }
-        steps = cp.steps;
-        spent_s = cp.spent_s;
-        start_step = cp.next_step;
-        state = cp.env_state.clone();
-        env.restore(
-            cp.env_state,
-            cp.step_in_episode,
-            cp.eval_count,
-            cp.resilience,
-        );
-        if let Some(snap) = cp.guardrail {
-            guard.restore(snap);
+    }
+    if needs_initial_snapshot {
+        if let Some(log) = log.as_mut() {
+            // The recovery anchor: without a durable snapshot at step 0
+            // there is nothing to replay the tail onto.
+            let cp = build_checkpoint(
+                tuner_name, start_step, cfg, agent, &rng, &replay, &steps, spent_s, &state, env,
+                &guard,
+            );
+            match log.snapshot(&cp) {
+                Ok(()) => {}
+                Err(e) if e.is_simulated_death() => {
+                    telemetry::event!("session.end", outcome = "crashed", steps = 0usize);
+                    return Ok(SessionOutcome::Crashed { completed_steps: 0 });
+                }
+                Err(e) => return Err(e.into_io()),
+            }
         }
-        telemetry::event!("recovery.resume", step = start_step, tuner = tuner_name);
     }
 
     let session_span = telemetry::span!("online.request", tuner = tuner_name);
@@ -469,13 +610,18 @@ pub fn online_tune_resilient(
         // Episode bookkeeping inside the env is perturbed by retries;
         // the session defines its own horizon.
         let done = step + 1 == cfg.steps;
-        replay.push(Transition::new(
+        let transition = Transition::new(
             state.clone(),
             res.evaluated_action.clone(),
             out.reward,
             out.next_state.clone(),
             done,
-        ));
+        );
+        replay.push(transition.clone());
+        // Commitlog replay anchors here: a recovered session restores
+        // this exact RNG state, re-runs the fine-tune loop, and must land
+        // on the recorded post-states.
+        let loop_rng_pre_train = rng.state();
         for _ in 0..cfg.fine_tune_steps {
             let batch_size = replay.len().min(agent.cfg.batch_size);
             if let Some(batch) = replay.sample(batch_size, &mut rng) {
@@ -518,16 +664,16 @@ pub fn online_tune_resilient(
         });
         state = out.next_state;
 
-        if let Some(path) = &session.checkpoint {
-            let cp = OnlineCheckpoint {
-                tuner: tuner_name.to_string(),
-                next_step: step + 1,
-                total_steps: cfg.steps,
-                agent: agent.checkpoint(),
-                agent_rng: agent.rng_state().to_vec(),
-                loop_rng: rng.state().to_vec(),
-                replay: replay.iter().cloned().collect(),
-                steps: steps.clone(),
+        if let Some(log) = log.as_mut() {
+            let delta = StepDelta {
+                seq: step as u64,
+                // PANIC-SAFETY: the record for this step was pushed just
+                // above, so `steps` is non-empty.
+                record: steps.last().expect("step record just pushed").clone(),
+                transition,
+                loop_rng_pre_train: loop_rng_pre_train.to_vec(),
+                loop_rng_post: rng.state().to_vec(),
+                agent_rng_post: agent.rng_state().to_vec(),
                 spent_s,
                 eval_count: env.eval_count(),
                 env_state: state.clone(),
@@ -535,8 +681,48 @@ pub fn online_tune_resilient(
                 resilience: env.snapshot(),
                 guardrail: guard.enabled().then(|| guard.snapshot()),
             };
-            save_online_checkpoint(&cp, path)?;
+            match log.append(&delta) {
+                Ok(()) => {}
+                Err(e) if e.is_simulated_death() => {
+                    drop(session_span);
+                    telemetry::event!("session.end", outcome = "crashed", steps = step + 1);
+                    return Ok(SessionOutcome::Crashed {
+                        completed_steps: step + 1,
+                    });
+                }
+                Err(e) => return Err(e.into_io()),
+            }
             telemetry::event!("recovery.checkpoint", step = step);
+
+            // Periodic compaction: fold everything so far into a fresh
+            // snapshot and drop the replayed-over segments.
+            let every = session.commitlog.snapshot_every;
+            if every > 0 && (step + 1) % every == 0 && step + 1 < cfg.steps {
+                let cp = build_checkpoint(
+                    tuner_name,
+                    step + 1,
+                    cfg,
+                    agent,
+                    &rng,
+                    &replay,
+                    &steps,
+                    spent_s,
+                    &state,
+                    env,
+                    &guard,
+                );
+                match log.snapshot(&cp) {
+                    Ok(()) => {}
+                    Err(e) if e.is_simulated_death() => {
+                        drop(session_span);
+                        telemetry::event!("session.end", outcome = "crashed", steps = step + 1);
+                        return Ok(SessionOutcome::Crashed {
+                            completed_steps: step + 1,
+                        });
+                    }
+                    Err(e) => return Err(e.into_io()),
+                }
+            }
         }
         if session.kill_after == Some(step + 1) && step + 1 < cfg.steps {
             drop(session_span);
@@ -735,7 +921,9 @@ mod tests {
         .expect("no checkpoint I/O involved");
         let report = match out {
             SessionOutcome::Completed(rep) => rep,
-            SessionOutcome::Killed { .. } => panic!("no kill requested"),
+            SessionOutcome::Killed { .. } | SessionOutcome::Crashed { .. } => {
+                panic!("no kill requested")
+            }
         };
         assert_eq!(report.steps.len(), 5);
         assert!(report.steps.iter().all(|s| s.reward.is_finite()));
@@ -745,11 +933,32 @@ mod tests {
             .all(|s| s.exec_time_s.is_finite() && s.exec_time_s >= 0.0));
     }
 
+    /// Unique per-test scratch dir (pid-qualified so concurrent `cargo
+    /// test` invocations never collide), removed on drop.
+    struct TestDir(std::path::PathBuf);
+
+    impl TestDir {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir().join(format!(
+                "deepcat-resilience-test-{tag}-{}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            TestDir(dir)
+        }
+    }
+
+    impl Drop for TestDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
     #[test]
     fn kill_and_resume_reproduces_uninterrupted_session() {
-        let dir = std::env::temp_dir().join("deepcat-resilience-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("chaos-checkpoint.json");
+        let dir = TestDir::new("kill-resume");
+        let path = dir.0.join("chaos-checkpoint.json");
         let cfg = OnlineConfig::deepcat(1);
 
         // Uninterrupted reference run.
@@ -767,7 +976,9 @@ mod tests {
         .unwrap()
         {
             SessionOutcome::Completed(rep) => rep,
-            SessionOutcome::Killed { .. } => panic!("no kill requested"),
+            SessionOutcome::Killed { .. } | SessionOutcome::Crashed { .. } => {
+                panic!("no kill requested")
+            }
         };
 
         // Same run, killed after 2 steps...
@@ -813,7 +1024,9 @@ mod tests {
         .unwrap()
         {
             SessionOutcome::Completed(rep) => rep,
-            SessionOutcome::Killed { .. } => panic!("resume runs to completion"),
+            SessionOutcome::Killed { .. } | SessionOutcome::Crashed { .. } => {
+                panic!("resume runs to completion")
+            }
         };
 
         assert_eq!(resumed.steps.len(), full.steps.len());

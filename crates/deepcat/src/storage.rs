@@ -1,0 +1,825 @@
+//! Storage abstraction for the durable commitlog (DESIGN.md §15).
+//!
+//! All commitlog I/O goes through the [`Storage`] trait so that every
+//! durability claim can be *proven* under injected faults rather than
+//! assumed. Three implementations:
+//!
+//! * [`RealStorage`] — thin wrapper over `std::fs` with explicit
+//!   fsync / directory-sync operations.
+//! * [`MemStorage`] — a `BTreeMap`-backed in-memory filesystem for fast
+//!   property tests (thousands of cases without touching disk).
+//! * [`FaultyStorage`] — wraps any inner storage and injects seeded,
+//!   deterministic faults (torn writes, short writes, ENOSPC, fsync
+//!   failure, bit-flips) according to a [`StoragePlan`], in the same
+//!   spirit as `spark-sim/src/faults.rs` injects runtime faults.
+//!
+//! The fault schedule is keyed by a 1-based counter over *mutating write
+//! operations* (record appends and snapshot writes). The counter lives in
+//! the storage instance, which the fleet driver shares across simulated
+//! process incarnations via [`SharedStorage`]; a crash fault therefore
+//! fires exactly once and the recovered incarnation keeps writing through
+//! the same (now quiet) device, modeling a persistent disk that survives
+//! one power loss.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Error surface for storage operations. Injected faults are
+/// distinguished from genuine I/O errors so the session driver can treat
+/// a simulated crash as "the process died here" rather than as a bug.
+#[derive(Debug)]
+pub enum StorageError {
+    /// A simulated crash: the process is considered dead at this point.
+    /// Everything not yet durable may be lost.
+    Crash {
+        /// Stable label of the fault that fired (see [`StorageFault::label`]).
+        fault: &'static str,
+    },
+    /// Simulated `ENOSPC`: the write did not (fully) land.
+    NoSpace,
+    /// A genuine I/O error from the underlying filesystem.
+    Io(io::Error),
+}
+
+impl StorageError {
+    /// True when the error models process death (crash or disk-full),
+    /// i.e. the session should stop and later resume via recovery.
+    pub fn is_simulated_death(&self) -> bool {
+        matches!(self, StorageError::Crash { .. } | StorageError::NoSpace)
+    }
+
+    /// Convert into a plain `io::Error` for APIs that speak `io::Result`.
+    pub fn into_io(self) -> io::Error {
+        match self {
+            StorageError::Crash { fault } => io::Error::new(
+                io::ErrorKind::Interrupted,
+                format!("simulated crash fault: {fault}"),
+            ),
+            StorageError::NoSpace => io::Error::new(io::ErrorKind::Other, "simulated ENOSPC"),
+            StorageError::Io(e) => e,
+        }
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Crash { fault } => write!(f, "simulated crash fault: {fault}"),
+            StorageError::NoSpace => write!(f, "simulated ENOSPC"),
+            StorageError::Io(e) => write!(f, "storage i/o error: {e}"),
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Record of one injected fault, accumulated inside the storage shim and
+/// drained by the commitlog with [`Storage::take_injected`] so telemetry
+/// is emitted *after* the storage lock is released (see the
+/// `concurrency.guard_across_emit` lint family).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InjectedStorageFault {
+    /// 1-based write-op index at which the fault fired.
+    pub at_op: u64,
+    /// Stable fault label (`torn_write`, `fsync_fail`, ...).
+    pub label: &'static str,
+    /// File the fault was applied to.
+    pub file: String,
+}
+
+/// Minimal filesystem surface used by the commitlog. Implementations must
+/// be deterministic given the same call sequence (`list` returns sorted
+/// names) so recovery is reproducible.
+pub trait Storage: Send + fmt::Debug {
+    fn create_dir_all(&mut self, dir: &Path) -> Result<(), StorageError>;
+    /// Sorted file names (not paths) directly under `dir`. A missing
+    /// directory yields an empty list.
+    fn list(&mut self, dir: &Path) -> Result<Vec<String>, StorageError>;
+    fn read(&mut self, path: &Path) -> Result<Vec<u8>, StorageError>;
+    /// Append `bytes` to `path`, creating the file if needed.
+    fn append(&mut self, path: &Path, bytes: &[u8]) -> Result<(), StorageError>;
+    /// Replace the full contents of `path` (creating it if needed).
+    fn write_all(&mut self, path: &Path, bytes: &[u8]) -> Result<(), StorageError>;
+    /// Flush file contents + metadata to stable storage.
+    fn fsync(&mut self, path: &Path) -> Result<(), StorageError>;
+    /// Flush directory entries (needed after rename/create for the new
+    /// name itself to be durable).
+    fn sync_dir(&mut self, dir: &Path) -> Result<(), StorageError>;
+    fn rename(&mut self, from: &Path, to: &Path) -> Result<(), StorageError>;
+    fn remove(&mut self, path: &Path) -> Result<(), StorageError>;
+    /// Truncate `path` to `len` bytes (used by recovery to cut a torn
+    /// tail, and by the fault shim to model lost unsynced writes).
+    fn truncate(&mut self, path: &Path, len: u64) -> Result<(), StorageError>;
+    /// Drain the list of faults injected since the last call. Default:
+    /// none (real/in-memory storage never injects).
+    fn take_injected(&mut self) -> Vec<InjectedStorageFault> {
+        Vec::new()
+    }
+}
+
+/// Shared handle to a storage backend. The fleet driver hands the *same*
+/// handle to every incarnation of a session so the fault shim's write-op
+/// counter survives simulated process death.
+pub type SharedStorage = Arc<parking_lot::Mutex<Box<dyn Storage>>>;
+
+/// Wrap a concrete storage in a [`SharedStorage`] handle.
+pub fn shared_storage(storage: impl Storage + 'static) -> SharedStorage {
+    let boxed: Box<dyn Storage> = Box::new(storage);
+    Arc::new(parking_lot::Mutex::new(boxed))
+}
+
+// ---------------------------------------------------------------------------
+// RealStorage
+// ---------------------------------------------------------------------------
+
+/// `std::fs`-backed storage with explicit fsync discipline.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealStorage;
+
+impl RealStorage {
+    pub fn new() -> Self {
+        RealStorage
+    }
+}
+
+impl Storage for RealStorage {
+    fn create_dir_all(&mut self, dir: &Path) -> Result<(), StorageError> {
+        fs::create_dir_all(dir)?;
+        Ok(())
+    }
+
+    fn list(&mut self, dir: &Path) -> Result<Vec<String>, StorageError> {
+        let mut names = Vec::new();
+        let entries = match fs::read_dir(dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(names),
+            Err(e) => return Err(e.into()),
+        };
+        for entry in entries {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                if let Some(name) = entry.file_name().to_str() {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn read(&mut self, path: &Path) -> Result<Vec<u8>, StorageError> {
+        Ok(fs::read(path)?)
+    }
+
+    fn append(&mut self, path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        f.write_all(bytes)?;
+        Ok(())
+    }
+
+    fn write_all(&mut self, path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
+        fs::write(path, bytes)?;
+        Ok(())
+    }
+
+    fn fsync(&mut self, path: &Path) -> Result<(), StorageError> {
+        let f = fs::File::open(path)?;
+        f.sync_all()?;
+        Ok(())
+    }
+
+    fn sync_dir(&mut self, dir: &Path) -> Result<(), StorageError> {
+        // Opening a directory read-only and calling sync_all is the
+        // portable-on-unix way to fsync directory entries.
+        let f = fs::File::open(dir)?;
+        f.sync_all()?;
+        Ok(())
+    }
+
+    fn rename(&mut self, from: &Path, to: &Path) -> Result<(), StorageError> {
+        fs::rename(from, to)?;
+        Ok(())
+    }
+
+    fn remove(&mut self, path: &Path) -> Result<(), StorageError> {
+        fs::remove_file(path)?;
+        Ok(())
+    }
+
+    fn truncate(&mut self, path: &Path, len: u64) -> Result<(), StorageError> {
+        let f = fs::OpenOptions::new().write(true).open(path)?;
+        f.set_len(len)?;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MemStorage
+// ---------------------------------------------------------------------------
+
+/// In-memory storage for property tests: a sorted map from absolute path
+/// to file bytes. Deterministic listing comes for free from `BTreeMap`.
+#[derive(Debug, Default)]
+pub struct MemStorage {
+    files: BTreeMap<PathBuf, Vec<u8>>,
+    dirs: BTreeSet<PathBuf>,
+}
+
+impl MemStorage {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Direct read access for tests (no fault accounting).
+    pub fn file(&self, path: &Path) -> Option<&Vec<u8>> {
+        self.files.get(path)
+    }
+
+    /// Direct mutable access for tests that corrupt bytes in place.
+    pub fn file_mut(&mut self, path: &Path) -> Option<&mut Vec<u8>> {
+        self.files.get_mut(path)
+    }
+
+    fn missing(path: &Path) -> StorageError {
+        StorageError::Io(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("no such file: {}", path.display()),
+        ))
+    }
+}
+
+impl Storage for MemStorage {
+    fn create_dir_all(&mut self, dir: &Path) -> Result<(), StorageError> {
+        self.dirs.insert(dir.to_path_buf());
+        Ok(())
+    }
+
+    fn list(&mut self, dir: &Path) -> Result<Vec<String>, StorageError> {
+        let mut names = Vec::new();
+        for path in self.files.keys() {
+            if path.parent() == Some(dir) {
+                if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        Ok(names)
+    }
+
+    fn read(&mut self, path: &Path) -> Result<Vec<u8>, StorageError> {
+        self.files
+            .get(path)
+            .cloned()
+            .ok_or_else(|| Self::missing(path))
+    }
+
+    fn append(&mut self, path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
+        self.files
+            .entry(path.to_path_buf())
+            .or_default()
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn write_all(&mut self, path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
+        self.files.insert(path.to_path_buf(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn fsync(&mut self, _path: &Path) -> Result<(), StorageError> {
+        Ok(())
+    }
+
+    fn sync_dir(&mut self, _dir: &Path) -> Result<(), StorageError> {
+        Ok(())
+    }
+
+    fn rename(&mut self, from: &Path, to: &Path) -> Result<(), StorageError> {
+        match self.files.remove(from) {
+            Some(bytes) => {
+                self.files.insert(to.to_path_buf(), bytes);
+                Ok(())
+            }
+            None => Err(Self::missing(from)),
+        }
+    }
+
+    fn remove(&mut self, path: &Path) -> Result<(), StorageError> {
+        match self.files.remove(path) {
+            Some(_) => Ok(()),
+            None => Err(Self::missing(path)),
+        }
+    }
+
+    fn truncate(&mut self, path: &Path, len: u64) -> Result<(), StorageError> {
+        match self.files.get_mut(path) {
+            Some(bytes) => {
+                bytes.truncate(len as usize);
+                Ok(())
+            }
+            None => Err(Self::missing(path)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault plans
+// ---------------------------------------------------------------------------
+
+/// One storage fault, applied at a scheduled write op.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum StorageFault {
+    /// The process dies mid-write: only a prefix of the buffer lands,
+    /// then the op fails with a crash.
+    TornWrite {
+        /// Fraction of the buffer that reaches the device (clamped 0..1).
+        keep_fraction: f64,
+    },
+    /// The write syscall writes fewer bytes than asked and the device
+    /// then reports full; the session dies with `NoSpace`.
+    ShortWrite {
+        /// Number of leading bytes that land before the device fills.
+        keep_bytes: u64,
+    },
+    /// The device is full before any byte lands.
+    Enospc,
+    /// The write itself "succeeds" but the following fsync of that file
+    /// fails and everything not yet synced is lost (truncated back to
+    /// the last synced length), then the process dies.
+    FsyncFail,
+    /// Silent media corruption: one bit of the written buffer is flipped
+    /// and the op reports success. Latent — pair with a later crash so
+    /// recovery actually rescans the corrupt record.
+    BitFlip {
+        /// Byte offset into the written buffer (taken modulo its length).
+        byte: u64,
+        /// Bit index 0..8 within that byte.
+        bit: u8,
+    },
+}
+
+impl StorageFault {
+    /// Stable label used in telemetry events and docs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StorageFault::TornWrite { .. } => "torn_write",
+            StorageFault::ShortWrite { .. } => "short_write",
+            StorageFault::Enospc => "enospc",
+            StorageFault::FsyncFail => "fsync_fail",
+            StorageFault::BitFlip { .. } => "bit_flip",
+        }
+    }
+}
+
+/// A fault scheduled at a specific write op.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StorageFaultEvent {
+    /// 1-based index over mutating write ops (appends + snapshot writes).
+    pub at_op: u64,
+    pub fault: StorageFault,
+}
+
+/// Deterministic storage-fault schedule, mirroring `spark-sim`'s
+/// `FaultPlan` for runtime faults.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StoragePlan {
+    pub name: String,
+    pub seed: u64,
+    pub events: Vec<StorageFaultEvent>,
+}
+
+/// Names accepted by [`StoragePlan::named`].
+pub const STORAGE_PLAN_NAMES: &[&str] = &["clean", "torn", "short", "enospc", "fsync", "bitflip"];
+
+impl StoragePlan {
+    /// No faults at all.
+    pub fn clean() -> Self {
+        StoragePlan {
+            name: "clean".to_string(),
+            seed: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// A canned single-fault plan by name, firing at write op `at_op`.
+    /// Unknown names fall back to `clean`.
+    pub fn named(name: &str, at_op: u64, seed: u64) -> Self {
+        let events = match name {
+            "torn" => vec![StorageFaultEvent {
+                at_op,
+                fault: StorageFault::TornWrite {
+                    keep_fraction: 0.25 + (seed % 3) as f64 * 0.25,
+                },
+            }],
+            "short" => vec![StorageFaultEvent {
+                at_op,
+                fault: StorageFault::ShortWrite {
+                    keep_bytes: 1 + seed % 11,
+                },
+            }],
+            "enospc" => vec![StorageFaultEvent {
+                at_op,
+                fault: StorageFault::Enospc,
+            }],
+            "fsync" => vec![StorageFaultEvent {
+                at_op,
+                fault: StorageFault::FsyncFail,
+            }],
+            // A bit flip alone is latent; pair it with a torn write on the
+            // next op so recovery observes (and truncates at) the corrupt
+            // record.
+            "bitflip" => vec![
+                StorageFaultEvent {
+                    at_op,
+                    fault: StorageFault::BitFlip {
+                        byte: 16 + seed % 8,
+                        bit: (seed % 8) as u8,
+                    },
+                },
+                StorageFaultEvent {
+                    at_op: at_op + 1,
+                    fault: StorageFault::TornWrite { keep_fraction: 0.5 },
+                },
+            ],
+            _ => Vec::new(),
+        };
+        let name = if events.is_empty() { "clean" } else { name };
+        StoragePlan {
+            name: name.to_string(),
+            seed,
+            events,
+        }
+    }
+
+    /// A crash scheduled at write op `at_op`, with the fault flavor
+    /// rotating deterministically by `seed`. Every flavor kills the
+    /// process at (or one op after, for the latent bit-flip) `at_op`.
+    pub fn kill_at(at_op: u64, seed: u64) -> Self {
+        // PANIC-SAFETY: index is seed % len with a non-empty literal array.
+        let flavor = ["torn", "short", "fsync", "bitflip", "torn"][(seed % 5) as usize];
+        let mut plan = Self::named(flavor, at_op, seed);
+        plan.name = format!("kill_at_{at_op}_{flavor}");
+        plan
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FaultyStorage
+// ---------------------------------------------------------------------------
+
+/// Storage wrapper that injects the faults of a [`StoragePlan`].
+///
+/// Bookkeeping: `lens` tracks the current byte length of every file
+/// written through the shim and `synced` the length known to be durable;
+/// `FsyncFail` rolls the file back to its synced length, which is exactly
+/// the guarantee a real disk gives you when an fsync fails after a crash.
+#[derive(Debug)]
+pub struct FaultyStorage<S: Storage> {
+    inner: S,
+    plan: StoragePlan,
+    ops: u64,
+    lens: BTreeMap<PathBuf, u64>,
+    synced: BTreeMap<PathBuf, u64>,
+    /// Files whose next fsync must fail (armed by `FsyncFail`).
+    fsync_poisoned: BTreeSet<PathBuf>,
+    injected: Vec<InjectedStorageFault>,
+}
+
+impl<S: Storage> FaultyStorage<S> {
+    pub fn new(inner: S, plan: StoragePlan) -> Self {
+        FaultyStorage {
+            inner,
+            plan,
+            ops: 0,
+            lens: BTreeMap::new(),
+            synced: BTreeMap::new(),
+            fsync_poisoned: BTreeSet::new(),
+            injected: Vec::new(),
+        }
+    }
+
+    /// Number of mutating write ops seen so far.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    fn fault_at(&self, op: u64) -> Option<StorageFault> {
+        self.plan
+            .events
+            .iter()
+            .find(|e| e.at_op == op)
+            .map(|e| e.fault.clone())
+    }
+
+    fn len_of(&mut self, path: &Path) -> Result<u64, StorageError> {
+        if let Some(len) = self.lens.get(path) {
+            return Ok(*len);
+        }
+        let len = match self.inner.read(path) {
+            Ok(bytes) => bytes.len() as u64,
+            Err(_) => 0,
+        };
+        self.lens.insert(path.to_path_buf(), len);
+        self.synced.entry(path.to_path_buf()).or_insert(len);
+        Ok(len)
+    }
+
+    fn record(&mut self, op: u64, label: &'static str, path: &Path) {
+        self.injected.push(InjectedStorageFault {
+            at_op: op,
+            label,
+            file: path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or("?")
+                .to_string(),
+        });
+    }
+
+    /// Perform a (possibly faulted) write of `bytes`. `replace` selects
+    /// `write_all` over `append` semantics on the inner storage.
+    fn write_op(&mut self, path: &Path, bytes: &[u8], replace: bool) -> Result<(), StorageError> {
+        self.ops += 1;
+        let op = self.ops;
+        let base = if replace {
+            if let Err(e) = self.len_of(path) {
+                return Err(e);
+            }
+            self.lens.insert(path.to_path_buf(), 0);
+            // Rewrites start from scratch: nothing of the new content is
+            // synced yet.
+            self.synced.insert(path.to_path_buf(), 0);
+            if self.inner.read(path).is_ok() {
+                self.inner.truncate(path, 0)?;
+            }
+            0
+        } else {
+            self.len_of(path)?
+        };
+        let fault = self.fault_at(op);
+        match fault {
+            None => {
+                self.inner.append(path, bytes)?;
+                self.lens
+                    .insert(path.to_path_buf(), base + bytes.len() as u64);
+                Ok(())
+            }
+            Some(StorageFault::TornWrite { keep_fraction }) => {
+                let frac = keep_fraction.clamp(0.0, 1.0);
+                let keep = ((bytes.len() as f64) * frac) as usize;
+                let keep = keep.min(bytes.len());
+                if keep > 0 {
+                    // PANIC-SAFETY: keep is clamped to bytes.len() above.
+                    self.inner.append(path, &bytes[..keep])?;
+                }
+                self.lens.insert(path.to_path_buf(), base + keep as u64);
+                self.record(op, "torn_write", path);
+                Err(StorageError::Crash {
+                    fault: "torn_write",
+                })
+            }
+            Some(StorageFault::ShortWrite { keep_bytes }) => {
+                let keep = (keep_bytes as usize).min(bytes.len());
+                if keep > 0 {
+                    // PANIC-SAFETY: keep is clamped to bytes.len() above.
+                    self.inner.append(path, &bytes[..keep])?;
+                }
+                self.lens.insert(path.to_path_buf(), base + keep as u64);
+                self.record(op, "short_write", path);
+                Err(StorageError::NoSpace)
+            }
+            Some(StorageFault::Enospc) => {
+                self.record(op, "enospc", path);
+                Err(StorageError::NoSpace)
+            }
+            Some(StorageFault::FsyncFail) => {
+                // The write itself lands; the *next* fsync of this file
+                // fails and rolls back to the synced length.
+                self.inner.append(path, bytes)?;
+                self.lens
+                    .insert(path.to_path_buf(), base + bytes.len() as u64);
+                self.fsync_poisoned.insert(path.to_path_buf());
+                Ok(())
+            }
+            Some(StorageFault::BitFlip { byte, bit }) => {
+                let mut corrupted = bytes.to_vec();
+                if !corrupted.is_empty() {
+                    let idx = (byte % corrupted.len() as u64) as usize;
+                    // PANIC-SAFETY: idx is reduced modulo the non-empty
+                    // buffer length.
+                    corrupted[idx] ^= 1u8 << (bit % 8);
+                }
+                self.inner.append(path, &corrupted)?;
+                self.lens
+                    .insert(path.to_path_buf(), base + corrupted.len() as u64);
+                self.record(op, "bit_flip", path);
+                Ok(())
+            }
+        }
+    }
+}
+
+impl<S: Storage> Storage for FaultyStorage<S> {
+    fn create_dir_all(&mut self, dir: &Path) -> Result<(), StorageError> {
+        self.inner.create_dir_all(dir)
+    }
+
+    fn list(&mut self, dir: &Path) -> Result<Vec<String>, StorageError> {
+        self.inner.list(dir)
+    }
+
+    fn read(&mut self, path: &Path) -> Result<Vec<u8>, StorageError> {
+        self.inner.read(path)
+    }
+
+    fn append(&mut self, path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
+        self.write_op(path, bytes, false)
+    }
+
+    fn write_all(&mut self, path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
+        self.write_op(path, bytes, true)
+    }
+
+    fn fsync(&mut self, path: &Path) -> Result<(), StorageError> {
+        if self.fsync_poisoned.remove(path) {
+            let synced = self.synced.get(path).copied().unwrap_or(0);
+            // Unsynced bytes are lost: roll the file back to its durable
+            // prefix, exactly as a crash after a failed fsync would.
+            self.inner.truncate(path, synced)?;
+            self.lens.insert(path.to_path_buf(), synced);
+            let op = self.ops;
+            self.record(op, "fsync_fail", path);
+            return Err(StorageError::Crash {
+                fault: "fsync_fail",
+            });
+        }
+        self.inner.fsync(path)?;
+        let len = self.len_of(path)?;
+        self.synced.insert(path.to_path_buf(), len);
+        Ok(())
+    }
+
+    fn sync_dir(&mut self, dir: &Path) -> Result<(), StorageError> {
+        self.inner.sync_dir(dir)
+    }
+
+    fn rename(&mut self, from: &Path, to: &Path) -> Result<(), StorageError> {
+        self.inner.rename(from, to)?;
+        if let Some(len) = self.lens.remove(from) {
+            self.lens.insert(to.to_path_buf(), len);
+        }
+        if let Some(len) = self.synced.remove(from) {
+            self.synced.insert(to.to_path_buf(), len);
+        }
+        if self.fsync_poisoned.remove(from) {
+            self.fsync_poisoned.insert(to.to_path_buf());
+        }
+        Ok(())
+    }
+
+    fn remove(&mut self, path: &Path) -> Result<(), StorageError> {
+        self.inner.remove(path)?;
+        self.lens.remove(path);
+        self.synced.remove(path);
+        self.fsync_poisoned.remove(path);
+        Ok(())
+    }
+
+    fn truncate(&mut self, path: &Path, len: u64) -> Result<(), StorageError> {
+        self.inner.truncate(path, len)?;
+        self.lens.insert(path.to_path_buf(), len);
+        if let Some(s) = self.synced.get_mut(path) {
+            if *s > len {
+                *s = len;
+            }
+        }
+        Ok(())
+    }
+
+    fn take_injected(&mut self) -> Vec<InjectedStorageFault> {
+        std::mem::take(&mut self.injected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> PathBuf {
+        PathBuf::from(s)
+    }
+
+    #[test]
+    fn mem_storage_round_trip() {
+        let mut s = MemStorage::new();
+        s.create_dir_all(&p("/log")).expect("mkdir");
+        s.append(&p("/log/a"), b"hello ").expect("append");
+        s.append(&p("/log/a"), b"world").expect("append");
+        assert_eq!(s.read(&p("/log/a")).expect("read"), b"hello world");
+        s.write_all(&p("/log/b"), b"x").expect("write");
+        assert_eq!(s.list(&p("/log")).expect("list"), vec!["a", "b"]);
+        s.rename(&p("/log/b"), &p("/log/c")).expect("rename");
+        s.truncate(&p("/log/a"), 5).expect("truncate");
+        assert_eq!(s.read(&p("/log/a")).expect("read"), b"hello");
+        s.remove(&p("/log/c")).expect("remove");
+        assert_eq!(s.list(&p("/log")).expect("list"), vec!["a"]);
+    }
+
+    #[test]
+    fn torn_write_keeps_prefix_and_crashes() {
+        let plan = StoragePlan {
+            name: "t".into(),
+            seed: 0,
+            events: vec![StorageFaultEvent {
+                at_op: 2,
+                fault: StorageFault::TornWrite { keep_fraction: 0.5 },
+            }],
+        };
+        let mut s = FaultyStorage::new(MemStorage::new(), plan);
+        s.append(&p("/f"), b"aaaa").expect("clean append");
+        let err = s.append(&p("/f"), b"bbbb").expect_err("must crash");
+        assert!(err.is_simulated_death());
+        assert_eq!(s.read(&p("/f")).expect("read"), b"aaaabb");
+        // The device survives the crash: later ops succeed.
+        s.append(&p("/f"), b"cc").expect("post-crash append");
+        assert_eq!(s.read(&p("/f")).expect("read"), b"aaaabbcc");
+        let injected = s.take_injected();
+        assert_eq!(injected.len(), 1);
+        assert_eq!(injected.first().map(|f| f.label), Some("torn_write"));
+        assert!(s.take_injected().is_empty());
+    }
+
+    #[test]
+    fn fsync_fail_rolls_back_to_synced_length() {
+        let plan = StoragePlan {
+            name: "f".into(),
+            seed: 0,
+            events: vec![StorageFaultEvent {
+                at_op: 2,
+                fault: StorageFault::FsyncFail,
+            }],
+        };
+        let mut s = FaultyStorage::new(MemStorage::new(), plan);
+        s.append(&p("/f"), b"durable|").expect("append");
+        s.fsync(&p("/f")).expect("fsync");
+        s.append(&p("/f"), b"lost")
+            .expect("poisoned append succeeds");
+        let err = s.fsync(&p("/f")).expect_err("fsync must fail");
+        assert!(err.is_simulated_death());
+        assert_eq!(s.read(&p("/f")).expect("read"), b"durable|");
+    }
+
+    #[test]
+    fn bit_flip_corrupts_silently() {
+        let plan = StoragePlan {
+            name: "b".into(),
+            seed: 0,
+            events: vec![StorageFaultEvent {
+                at_op: 1,
+                fault: StorageFault::BitFlip { byte: 1, bit: 0 },
+            }],
+        };
+        let mut s = FaultyStorage::new(MemStorage::new(), plan);
+        s.append(&p("/f"), &[0u8, 0, 0]).expect("append succeeds");
+        assert_eq!(s.read(&p("/f")).expect("read"), vec![0u8, 1, 0]);
+    }
+
+    #[test]
+    fn enospc_writes_nothing() {
+        let plan = StoragePlan::named("enospc", 1, 7);
+        let mut s = FaultyStorage::new(MemStorage::new(), plan);
+        let err = s.append(&p("/f"), b"xx").expect_err("enospc");
+        assert!(matches!(err, StorageError::NoSpace));
+        assert!(s.read(&p("/f")).is_err());
+    }
+
+    #[test]
+    fn kill_at_plans_always_crash() {
+        for seed in 0..10u64 {
+            let plan = StoragePlan::kill_at(3, seed);
+            assert!(!plan.events.is_empty(), "plan {} has no events", plan.name);
+            let crashes = plan.events.iter().any(|e| {
+                matches!(
+                    e.fault,
+                    StorageFault::TornWrite { .. }
+                        | StorageFault::ShortWrite { .. }
+                        | StorageFault::Enospc
+                        | StorageFault::FsyncFail
+                )
+            });
+            assert!(crashes, "plan {} never kills the process", plan.name);
+        }
+    }
+}

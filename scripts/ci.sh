@@ -104,6 +104,26 @@ cmp "$smoke_dir/chaos-best-full.txt" "$smoke_dir/chaos-best-resumed.txt" || {
 }
 echo "chaos recovery: OK (kill@2 + resume reproduces the best configuration)"
 
+# Crash-recovery fleet smoke: 8 concurrent durable sessions, each killed
+# mid-append by an injected storage fault (torn write, short write,
+# failed fsync, ENOSPC, latent bit flip — flavor rotates per session) and
+# resumed from its commitlog. Every recovered session's step records must
+# be byte-identical to its uninterrupted reference run's.
+./target/release/deepcat-tune fleet --sessions 8 --steps 4 --iters 500 \
+    --kill-at 3 --deterministic --seed 2022 \
+    --model "$smoke_dir/chaos-model.json" \
+    --out-dir "$smoke_dir/fleet" >/dev/null
+fleet_crashes=0
+for i in 0 1 2 3 4 5 6 7; do
+    cmp "$smoke_dir/fleet/session-$i-reference.jsonl" \
+        "$smoke_dir/fleet/session-$i-recovered.jsonl" || {
+        echo "fleet recovery failed: session $i diverged from its reference" >&2
+        exit 1
+    }
+    fleet_crashes=$((fleet_crashes + 1))
+done
+echo "fleet recovery: OK ($fleet_crashes/8 crashed sessions resumed byte-identically)"
+
 # Guardrail smoke: a guarded chaos run under the blackout plan must let
 # zero infeasible configurations reach the simulator (no
 # `guardrail.infeasible_eval` event in the log) and stay byte-for-byte
@@ -125,17 +145,17 @@ fi
 echo "guardrail smoke: OK (zero infeasible evals, byte-identical)"
 
 # Perf-regression gate: run the pinned quick-profile baseline suite and
-# compare hot-path throughput against the committed BENCH_8.json. Fails
+# compare hot-path throughput against the committed BENCH_9.json. Fails
 # loudly naming the regressed metric; tolerance absorbs machine noise.
 ./target/release/deepcat-bench baseline --out "$smoke_dir/bench-current.json" >/dev/null
-./target/release/deepcat-bench compare --baseline BENCH_8.json \
+./target/release/deepcat-bench compare --baseline BENCH_9.json \
     --current "$smoke_dir/bench-current.json" --tolerance 0.6
 
-# Observability-plane non-regression: the committed BENCH_8 numbers must
-# keep the sharded emit hot path within 10% of the pre-sketch BENCH_6
+# Observability-plane non-regression: the committed BENCH_9 numbers must
+# keep the sharded emit hot path within 10% of the pre-commitlog BENCH_8
 # baseline — a static file-vs-file gate, so it costs nothing per run.
-./target/release/deepcat-bench compare --baseline BENCH_6.json \
-    --current BENCH_8.json --tolerance 0.10 \
+./target/release/deepcat-bench compare --baseline BENCH_8.json \
+    --current BENCH_9.json --tolerance 0.10 \
     --metric telemetry_events_per_s_enabled
 
 # Telemetry-overhead gate: within the fresh baseline run, the sharded

@@ -50,8 +50,9 @@ fn run_session(plan: Option<FaultPlan>, session: &ChaosSessionConfig) -> Session
 fn completed(out: SessionOutcome) -> TuningReport {
     match out {
         SessionOutcome::Completed(r) => r,
-        SessionOutcome::Killed { completed_steps } => {
-            panic!("unexpected kill after {completed_steps} steps")
+        SessionOutcome::Killed { completed_steps }
+        | SessionOutcome::Crashed { completed_steps } => {
+            panic!("unexpected death after {completed_steps} steps")
         }
     }
 }
@@ -103,9 +104,11 @@ fn faults_cost_more_than_fault_free() {
 
 #[test]
 fn killed_session_resumes_to_the_same_result() {
-    let dir = std::env::temp_dir().join("deepcat-integration-chaos");
+    let dir =
+        std::env::temp_dir().join(format!("deepcat-integration-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
-    let path = dir.join("checkpoint.json");
+    let path = dir.join("commitlog");
     let plan = || FaultPlan::named("flaky", 11).expect("known plan");
 
     let full = completed(run_session(Some(plan()), &ChaosSessionConfig::default()));

@@ -56,8 +56,9 @@ fn run_session(plan: Option<FaultPlan>, session: &ChaosSessionConfig) -> (Sessio
 fn completed(out: SessionOutcome) -> TuningReport {
     match out {
         SessionOutcome::Completed(r) => r,
-        SessionOutcome::Killed { completed_steps } => {
-            panic!("unexpected kill after {completed_steps} steps")
+        SessionOutcome::Killed { completed_steps }
+        | SessionOutcome::Crashed { completed_steps } => {
+            panic!("unexpected death after {completed_steps} steps")
         }
     }
 }
@@ -104,9 +105,13 @@ fn guarded_sessions_are_deterministic() {
 
 #[test]
 fn killed_guarded_session_resumes_to_the_same_result() {
-    let dir = std::env::temp_dir().join("deepcat-integration-guardrails");
+    let dir = std::env::temp_dir().join(format!(
+        "deepcat-integration-guardrails-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
-    let path = dir.join("checkpoint.json");
+    let path = dir.join("commitlog");
     let plan = || FaultPlan::named("mixed", 11).expect("known plan");
 
     let (full, _) = run_session(Some(plan()), &guarded());

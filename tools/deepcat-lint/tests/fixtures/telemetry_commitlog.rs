@@ -1,0 +1,30 @@
+// Fixture: the commitlog durability telemetry family obeys the manifest
+// contract. `commitlog.phantom_op` is well-formed but unregistered — the
+// durable-session store must not invent event names the manifest does not
+// declare. The registered append/recovery/fault names must stay clean,
+// including the counter path (`telemetry::inc`).
+
+fn unregistered_commitlog_event() {
+    telemetry::event!("commitlog.phantom_op", seq = 7, bytes = 128);
+}
+
+fn registered_append_event() {
+    telemetry::event!("commitlog.append", seq = 7, bytes = 128);
+}
+
+fn registered_recovery_event() {
+    telemetry::event!(
+        "commitlog.recovery",
+        snapshot_step = 4,
+        tail_records = 2,
+        truncated = 1,
+    );
+}
+
+fn registered_fault_event() {
+    telemetry::event!("commitlog.fault_injected", at_op = 3, fault = "torn_write");
+}
+
+fn registered_truncation_counter() {
+    telemetry::inc("commitlog.truncated_records", 1);
+}

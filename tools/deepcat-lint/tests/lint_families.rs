@@ -123,6 +123,35 @@ fn telemetry_family_fires() {
 }
 
 #[test]
+fn unregistered_commitlog_events_fail_the_manifest_rule() {
+    let manifest = Manifest::parse(
+        "[[event]]\nname = \"commitlog.append\"\ndoc = \"append\"\n\n\
+         [[event]]\nname = \"commitlog.recovery\"\ndoc = \"recovery\"\n\n\
+         [[event]]\nname = \"commitlog.fault_injected\"\ndoc = \"fault\"\n\n\
+         [[event]]\nname = \"commitlog.truncated_records\"\ndoc = \"truncated\"\n",
+    )
+    .expect("manifest parses");
+    let f = lint_fixture(
+        "crates/deepcat/src/fixture.rs",
+        "telemetry_commitlog.rs",
+        &manifest,
+    );
+    let r = rules(&f);
+    // `commitlog.phantom_op` is the only unregistered name; the four
+    // registered names (event! and inc paths) must not report.
+    assert_eq!(
+        r.iter().filter(|r| **r == "telemetry.manifest").count(),
+        1,
+        "{f:?}"
+    );
+    assert!(
+        f.iter()
+            .any(|x| x.rule == "telemetry.manifest" && x.message.contains("commitlog.phantom_op")),
+        "{f:?}"
+    );
+}
+
+#[test]
 fn unregistered_fault_events_fail_the_manifest_rule() {
     let manifest = Manifest::parse(
         "[[event]]\nname = \"fault.injected\"\ndoc = \"fault injected\"\n\n\
