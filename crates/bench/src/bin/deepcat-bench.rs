@@ -1,9 +1,9 @@
 //! `deepcat-bench` — perf-regression baselines for the tuning stack.
 //!
 //! ```text
-//! deepcat-bench baseline                      # run suite, write BENCH_9.json
+//! deepcat-bench baseline                      # run suite, write BENCH_10.json
 //! deepcat-bench baseline --out cur.json       # write elsewhere
-//! deepcat-bench compare --baseline BENCH_9.json --current cur.json
+//! deepcat-bench compare --baseline BENCH_10.json --current cur.json
 //! deepcat-bench compare ... --tolerance 0.5   # allowed fractional slowdown
 //! deepcat-bench compare ... --metric NAME     # gate one metric only
 //! deepcat-bench overhead --current cur.json   # sharded-vs-mutex gate (>= 5x)
@@ -32,9 +32,10 @@
 //! lock.
 
 use deepcat::{
-    online_tune_td3, shared_storage, train_td3, AgentConfig, Commitlog, CommitlogPolicy,
-    MemStorage, OfflineConfig, OnlineCheckpoint, OnlineConfig, ResilienceSnapshot, StepDelta,
-    StepRecord, Td3Agent, TuningEnv,
+    online_tune_td3, shared_storage, train_td3, AgentConfig, ChaosSessionConfig, Commitlog,
+    CommitlogPolicy, MemStorage, OfflineConfig, OnlineCheckpoint, OnlineConfig, ResiliencePolicy,
+    ResilienceSnapshot, ResilientEnv, ServiceConfig, SessionSpec, StepDelta, StepRecord, Td3Agent,
+    TuningEnv, TuningService,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -102,7 +103,7 @@ fn usage() -> ExitCode {
 }
 
 fn default_out() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_9.json")
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_10.json")
 }
 
 /// Run the pinned quick-profile workload under a capturing sink and
@@ -417,6 +418,58 @@ fn sim_steps_per_s() -> f64 {
     iters as f64 / t0.elapsed().as_secs_f64().max(1e-9)
 }
 
+/// Engine steps per second driven through the multi-tenant
+/// [`TuningService`]: several small sessions multiplexed over a sharded
+/// worker pool, so actor dispatch, mailbox handling, and supervisor
+/// bookkeeping are all on the measured path — not just the engine.
+fn service_steps_per_s() -> f64 {
+    const SESSIONS: usize = 4;
+    const STEPS: usize = 6;
+    let service = TuningService::new(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    for i in 0..SESSIONS {
+        let seed = SEED + i as u64;
+        let env = ResilientEnv::new(
+            TuningEnv::for_workload(
+                Cluster::cluster_a(),
+                Workload::new(WorkloadKind::TeraSort, InputSize::D1),
+                seed,
+            ),
+            ResiliencePolicy::default(),
+        );
+        let mut agent_cfg = AgentConfig::for_dims(env.state_dim(), env.action_dim());
+        agent_cfg.hidden = vec![8, 8];
+        agent_cfg.warmup_steps = 4;
+        agent_cfg.batch_size = 4;
+        let mut cfg = OnlineConfig::deepcat(seed);
+        cfg.steps = STEPS;
+        cfg.use_twinq = false;
+        cfg.fine_tune_steps = 1;
+        service
+            .admit(SessionSpec {
+                name: format!("bench-{i}"),
+                agent: Td3Agent::new(agent_cfg, seed),
+                env,
+                cfg,
+                session: ChaosSessionConfig::default(),
+                tuner_name: "bench".to_string(),
+            })
+            .expect("bench admission");
+    }
+    let t0 = Instant::now();
+    service.run();
+    let elapsed = t0.elapsed().as_secs_f64().max(1e-9);
+    let steps: usize = service
+        .take_results()
+        .iter()
+        .map(|r| r.completed_steps)
+        .sum();
+    assert_eq!(steps, SESSIONS * STEPS, "bench service lost steps");
+    steps as f64 / elapsed
+}
+
 fn run_baseline(out: &PathBuf) -> Result<(), String> {
     println!("running pinned quick-profile suite (TeraSort-D1, seed {SEED})...");
     let report = run_profile_suite();
@@ -442,6 +495,10 @@ fn run_baseline(out: &PathBuf) -> Result<(), String> {
         ThroughputRow {
             metric: "commitlog_appends_per_s".to_string(),
             ops_per_s: best_of_3(commitlog_appends_per_s),
+        },
+        ThroughputRow {
+            metric: "service_steps_per_s".to_string(),
+            ops_per_s: best_of_3(service_steps_per_s),
         },
     ];
     println!(

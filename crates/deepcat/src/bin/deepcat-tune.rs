@@ -24,8 +24,9 @@ use deepcat::experiments::{compare_on, ExperimentConfig};
 use deepcat::{
     load_td3, online_tune_resilient, online_tune_td3, save_td3, shared_storage, train_td3,
     AgentConfig, ChaosSessionConfig, CommitlogPolicy, FaultyStorage, GuardrailPolicy,
-    OfflineConfig, OnlineConfig, RealStorage, ResiliencePolicy, ResilientEnv, SessionOutcome,
-    StepRecord, StoragePlan, Td3Agent, TuningEnv, TuningReport,
+    OfflineConfig, OnlineConfig, RealStorage, ResiliencePolicy, ResilientEnv, RestartPolicy,
+    ServiceConfig, ServiceFault, ServiceFaultPlan, SessionOutcome, SessionPhase, SessionSpec,
+    StepRecord, StoragePlan, Td3Agent, TuningEnv, TuningReport, TuningService, SERVICE_PLAN_NAMES,
 };
 use spark_sim::{Cluster, FaultPlan, InputSize, Workload, WorkloadKind, PLAN_NAMES};
 use std::collections::BTreeMap;
@@ -61,6 +62,9 @@ struct Args {
     sessions: usize,
     kill_at: u64,
     out_dir: Option<PathBuf>,
+    faults: String,
+    workers: usize,
+    extract: Option<usize>,
 }
 
 impl Args {
@@ -75,7 +79,7 @@ impl Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: deepcat-tune <train|tune|run|compare|chaos|safety|fleet|report|top|profile> \
+        "usage: deepcat-tune <train|tune|run|compare|chaos|safety|serve|fleet|report|top|profile> \
          [--workload WC|TS|PR|KM|SO|AG] [--input D1|D2|D3] \
          [--iters N] [--steps N] [--seed N] [--model PATH] [--bg FLOAT] \
          [--log PATH] [--trace PATH] [--guardrails on|off]\n\
@@ -83,9 +87,14 @@ fn usage() -> ExitCode {
          [--deterministic] [--checkpoint PATH] [--kill-after N] [--resume]\n\
          safety runs the online stage with and without guardrails under \
          --plan and reports the ablation\n\
-         fleet runs N concurrent durable sessions, each crashed mid-append \
-         by an injected storage fault and resumed from its commitlog: \
-         [--sessions N] [--kill-at OP] [--out-dir DIR] \
+         serve multiplexes N supervised sessions through the TuningService: \
+         [--sessions N] [--workers W] [--faults none|panic3|storm|disk] \
+         [--out-dir DIR] (writes session-<i>-steps.jsonl per completed \
+         session); [--extract I] instead replays session I solo and writes \
+         extract-<I>-steps.jsonl for byte-compare against the service run\n\
+         fleet runs N concurrent durable sessions through the service, each \
+         crashed mid-append by an injected storage fault and resumed from \
+         its commitlog: [--sessions N] [--kill-at OP] [--out-dir DIR] \
          (writes session-<i>-reference.jsonl / -recovered.jsonl step records)\n\
          observability: [--metrics-addr HOST:PORT] serves Prometheus \
          scrapes, [--metrics-out PATH] writes an exposition snapshot at \
@@ -130,6 +139,9 @@ fn parse_args() -> Result<Args, String> {
         sessions: 8,
         kill_at: 3,
         out_dir: None,
+        faults: "none".to_string(),
+        workers: 4,
+        extract: None,
     };
     while let Some(flag) = argv.next() {
         let mut value = || argv.next().ok_or(format!("{flag} needs a value"));
@@ -185,6 +197,13 @@ fn parse_args() -> Result<Args, String> {
                 args.kill_at = value()?.parse().map_err(|e| format!("--kill-at: {e}"))?
             }
             "--out-dir" => args.out_dir = Some(PathBuf::from(value()?)),
+            "--faults" => args.faults = value()?,
+            "--workers" => {
+                args.workers = value()?.parse().map_err(|e| format!("--workers: {e}"))?
+            }
+            "--extract" => {
+                args.extract = Some(value()?.parse().map_err(|e| format!("--extract: {e}"))?)
+            }
             "--strict-telemetry" => args.strict_telemetry = true,
             "--once" => args.once = true,
             "--refresh" => {
@@ -213,6 +232,10 @@ fn install_sinks(log: Option<&PathBuf>, deterministic: bool) -> Result<(), Strin
         "compare.",
         "chaos.",
         "fleet.",
+        "serve.",
+        "service.",
+        "supervisor.",
+        "mailbox.",
         "online.",
         "twinq.decision",
         "budget.",
@@ -627,7 +650,7 @@ fn render_top(path: &PathBuf, frame: &TopFrame) -> String {
     );
     let _ = writeln!(
         out,
-        "{:<8} {:<16} {:>6} {:>7} {:>8} {:>9} {:>5} {:>9} {:>9} {:>9} {:>5} {:>5}",
+        "{:<8} {:<16} {:>6} {:>7} {:>8} {:>9} {:>5} {:>9} {:>9} {:>9} {:>5} {:>5} {:>4} {:>5} {:>4} {:>8}",
         "session",
         "label",
         "steps",
@@ -639,7 +662,11 @@ fn render_top(path: &PathBuf, frame: &TopFrame) -> String {
         "p95_ms",
         "cost_s",
         "guard",
-        "roll"
+        "roll",
+        "rst",
+        "quar",
+        "rej",
+        "drain_ms"
     );
     for s in &frame.report.sessions {
         let label = if s.label.is_empty() { "?" } else { &s.label };
@@ -665,7 +692,7 @@ fn render_top(path: &PathBuf, frame: &TopFrame) -> String {
         );
         let _ = writeln!(
             out,
-            "{:<8} {:<16} {:>6} {:>7} {:>8} {:>9} {:>5} {:>9} {:>9} {:>9} {:>5} {:>5}",
+            "{:<8} {:<16} {:>6} {:>7} {:>8} {:>9} {:>5} {:>9} {:>9} {:>9} {:>5} {:>5} {:>4} {:>5} {:>4} {:>8}",
             s.session_id,
             label,
             s.steps,
@@ -687,6 +714,10 @@ fn render_top(path: &PathBuf, frame: &TopFrame) -> String {
             ),
             s.guardrail_activity(),
             s.max_consecutive_rollbacks,
+            s.restarts,
+            if s.quarantined { "yes" } else { "-" },
+            s.mailbox_rejections,
+            s.drain_ms.map_or("-".to_string(), |d| format!("{d:.0}")),
         );
     }
     if frame.active_alerts.is_empty() {
@@ -988,17 +1019,6 @@ fn chaos(args: &Args, workload: Workload) -> Result<(), String> {
     Ok(())
 }
 
-/// Outcome of one fleet session: the uninterrupted reference run and the
-/// crashed-then-recovered run, plus how hard the recovery was earned.
-struct FleetRow {
-    session: usize,
-    crashes: usize,
-    attempts: usize,
-    fault: String,
-    reference: TuningReport,
-    recovered: TuningReport,
-}
-
 /// The per-step fields that must survive a crash bit for bit. Everything
 /// here is pure tuning arithmetic — wall-clock fields
 /// (`recommendation_s`, resilience overhead) are excluded so the check
@@ -1011,135 +1031,6 @@ fn steps_diverge(a: &StepRecord, b: &StepRecord) -> bool {
         || a.q_estimate != b.q_estimate
         || a.twinq_iterations != b.twinq_iterations
         || a.action != b.action
-}
-
-/// One fleet member: run the uninterrupted reference session, then the
-/// same session against a fault-injecting storage device that kills the
-/// process mid-append, resuming from the commitlog until it completes.
-fn fleet_session(
-    args: &Args,
-    workload: Workload,
-    base_agent: &Td3Agent,
-    out_dir: &std::path::Path,
-    session_idx: usize,
-) -> Result<FleetRow, String> {
-    let seed = args.seed ^ ((session_idx as u64 + 1).wrapping_mul(0x9E37_79B9));
-    let online_cfg = OnlineConfig {
-        steps: args.steps,
-        ..OnlineConfig::deepcat(seed)
-    };
-    let make_env = || {
-        let live = Cluster::cluster_a().with_background_load(args.background_load);
-        ResilientEnv::new(
-            TuningEnv::for_workload(live, workload, seed ^ 0xFACE),
-            ResiliencePolicy::default(),
-        )
-    };
-    let fail = |msg: String| format!("fleet session {session_idx}: {msg}");
-
-    // Reference: same seeds, no durability, never interrupted.
-    let mut agent = base_agent.clone();
-    let reference = match online_tune_resilient(
-        &mut agent,
-        &mut make_env(),
-        &online_cfg,
-        &ChaosSessionConfig::default(),
-        "fleet-reference",
-    )
-    .map_err(|e| fail(format!("reference run: {e}")))?
-    {
-        SessionOutcome::Completed(r) => r,
-        other => return Err(fail(format!("reference run did not complete: {other:?}"))),
-    };
-
-    // The faulted run: one fault-injecting device shared across every
-    // simulated process incarnation — its op counter keeps counting, so
-    // the scheduled fault fires exactly once, mid-append or mid-snapshot.
-    let log_dir = out_dir
-        .join(format!("session-{session_idx}"))
-        .join("commitlog");
-    let plan = StoragePlan::kill_at(
-        args.kill_at.max(1) + (session_idx % 3) as u64,
-        seed.wrapping_add(session_idx as u64),
-    );
-    let fault = plan.name.clone();
-    let storage = shared_storage(FaultyStorage::new(RealStorage::new(), plan));
-    // Aggressive snapshot/segment cadence so even short fleet sessions
-    // exercise segment rolls and compaction, not just tail appends.
-    let policy = CommitlogPolicy {
-        snapshot_every: 2,
-        segment_max_records: 2,
-    };
-    let mut crashes = 0usize;
-    let mut attempts = 0usize;
-    let recovered = loop {
-        attempts += 1;
-        if attempts > 8 {
-            return Err(fail(format!("still not complete after {crashes} crashes")));
-        }
-        let session = ChaosSessionConfig {
-            checkpoint: Some(log_dir.clone()),
-            resume: attempts > 1,
-            storage: Some(storage.clone()),
-            commitlog: policy.clone(),
-            ..ChaosSessionConfig::default()
-        };
-        let mut agent = base_agent.clone();
-        match online_tune_resilient(&mut agent, &mut make_env(), &online_cfg, &session, "fleet")
-            .map_err(|e| fail(format!("attempt {attempts}: {e}")))?
-        {
-            SessionOutcome::Completed(r) => break r,
-            SessionOutcome::Crashed { completed_steps } => {
-                crashes += 1;
-                telemetry::event!(
-                    "fleet.crash",
-                    session = session_idx,
-                    attempt = attempts,
-                    fault = fault.clone(),
-                    completed_steps = completed_steps,
-                );
-            }
-            SessionOutcome::Killed { .. } => {
-                return Err(fail("unexpected kill (no --kill-after set)".to_string()))
-            }
-        }
-    };
-
-    if crashes == 0 {
-        return Err(fail(format!(
-            "injected storage fault '{fault}' never fired"
-        )));
-    }
-    if recovered.steps.len() != reference.steps.len() {
-        return Err(fail(format!(
-            "recovered session ran {} steps, reference ran {}",
-            recovered.steps.len(),
-            reference.steps.len()
-        )));
-    }
-    for (a, b) in reference.steps.iter().zip(recovered.steps.iter()) {
-        if steps_diverge(a, b) {
-            return Err(fail(format!(
-                "step {} diverged after crash recovery (fault '{fault}')",
-                a.step
-            )));
-        }
-    }
-    if recovered.best_action != reference.best_action
-        || recovered.best_exec_time_s != reference.best_exec_time_s
-    {
-        return Err(fail(format!(
-            "best configuration diverged after crash recovery (fault '{fault}')"
-        )));
-    }
-    Ok(FleetRow {
-        session: session_idx,
-        crashes,
-        attempts,
-        fault,
-        reference,
-        recovered,
-    })
 }
 
 /// Serialize a report's step records as JSONL, one record per line —
@@ -1157,10 +1048,19 @@ fn write_steps_jsonl(path: &std::path::Path, report: &TuningReport) -> Result<()
         .map_err(|e| format!("cannot write {}: {e}", path.display()))
 }
 
+/// Per-session seed, shared by `serve`, `fleet`, and `--extract` — the
+/// solo replay must be built from byte-identical ingredients.
+fn session_seed(base: u64, session_idx: usize) -> u64 {
+    base ^ ((session_idx as u64 + 1).wrapping_mul(0x9E37_79B9))
+}
+
 /// `deepcat-tune fleet`: N concurrent durable sessions, each killed at an
 /// arbitrary point (mid-append included, via the storage fault shim) and
 /// recovered, asserting all N resume byte-identically with reference
-/// runs that were never interrupted.
+/// runs that were never interrupted. Since PR 10 this is a thin alias
+/// over the supervised [`TuningService`]: one service hosts N reference
+/// actors plus N faulted actors, and the per-session supervisors (not a
+/// hand-rolled resume loop) restart the victims through their commitlogs.
 fn fleet(args: &Args, workload: Workload) -> Result<(), String> {
     let sessions = args.sessions.max(1);
     let out_dir = args.out_dir.clone().unwrap_or_else(|| {
@@ -1177,58 +1077,163 @@ fn fleet(args: &Args, workload: Workload) -> Result<(), String> {
         out_dir = out_dir.display().to_string(),
     );
     let base_agent = offline_agent(args, workload)?;
+    let make_env = |seed: u64| {
+        let live = Cluster::cluster_a().with_background_load(args.background_load);
+        ResilientEnv::new(
+            TuningEnv::for_workload(live, workload, seed ^ 0xFACE),
+            ResiliencePolicy::default(),
+        )
+    };
+    let make_cfg = |seed: u64| OnlineConfig {
+        steps: args.steps,
+        ..OnlineConfig::deepcat(seed)
+    };
 
-    let results: Vec<Result<FleetRow, String>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..sessions)
-            .map(|i| {
-                let base_agent = &base_agent;
-                let out_dir = &out_dir;
-                scope.spawn(move || fleet_session(args, workload, base_agent, out_dir, i))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| {
-                h.join()
-                    .unwrap_or_else(|_| Err("fleet session thread panicked".to_string()))
-            })
-            .collect()
+    let service = TuningService::new(ServiceConfig {
+        workers: args.workers.max(1),
+        max_sessions: sessions * 2,
+        restart: RestartPolicy {
+            max_restarts: 8,
+            ..RestartPolicy::default()
+        },
+        ..ServiceConfig::default()
     });
-
-    let mut rows = Vec::new();
-    let mut errors = Vec::new();
-    for result in results {
-        match result {
-            Ok(row) => rows.push(row),
-            Err(e) => errors.push(e),
-        }
+    // References: same seeds, no durability, never interrupted.
+    for i in 0..sessions {
+        let seed = session_seed(args.seed, i);
+        service
+            .admit(SessionSpec {
+                name: format!("fleet-ref-{i}"),
+                agent: base_agent.clone(),
+                env: make_env(seed),
+                cfg: make_cfg(seed),
+                session: ChaosSessionConfig::default(),
+                tuner_name: "fleet-reference".to_string(),
+            })
+            .map_err(|e| format!("admit fleet reference {i}: {e}"))?;
     }
+    // Victims: one fault-injecting storage device per session, shared
+    // across every simulated process incarnation — its op counter keeps
+    // counting, so the scheduled fault fires exactly once, mid-append or
+    // mid-snapshot, and the supervisor's restart resumes the session from
+    // whatever the commitlog durably holds.
+    let mut fault_names = Vec::with_capacity(sessions);
+    for i in 0..sessions {
+        let seed = session_seed(args.seed, i);
+        let plan = StoragePlan::kill_at(
+            args.kill_at.max(1) + (i % 3) as u64,
+            seed.wrapping_add(i as u64),
+        );
+        fault_names.push(plan.name.clone());
+        let storage = shared_storage(FaultyStorage::new(RealStorage::new(), plan));
+        let log_dir = out_dir.join(format!("session-{i}")).join("commitlog");
+        service
+            .admit(SessionSpec {
+                name: format!("fleet-{i}"),
+                agent: base_agent.clone(),
+                env: make_env(seed),
+                cfg: make_cfg(seed),
+                session: ChaosSessionConfig {
+                    checkpoint: Some(log_dir),
+                    storage: Some(storage),
+                    // Aggressive snapshot/segment cadence so even short
+                    // fleet sessions exercise segment rolls and compaction,
+                    // not just tail appends.
+                    commitlog: CommitlogPolicy {
+                        snapshot_every: 2,
+                        segment_max_records: 2,
+                    },
+                    ..ChaosSessionConfig::default()
+                },
+                tuner_name: "fleet".to_string(),
+            })
+            .map_err(|e| format!("admit fleet session {i}: {e}"))?;
+    }
+    service.run();
+    let mut results = service.take_results();
+    let faulted = results.split_off(sessions);
+    let references = results;
+
+    let mut matched = 0usize;
     let mut total_crashes = 0usize;
-    for row in &rows {
+    let mut errors: Vec<String> = Vec::new();
+    for i in 0..sessions {
+        let fail = |msg: String| format!("fleet session {i}: {msg}");
+        let fault = fault_names[i].as_str();
+        let Some(SessionOutcome::Completed(reference)) = &references[i].outcome else {
+            errors.push(fail(format!(
+                "reference run did not complete (phase {})",
+                references[i].phase
+            )));
+            continue;
+        };
+        let Some(SessionOutcome::Completed(recovered)) = &faulted[i].outcome else {
+            errors.push(fail(format!(
+                "recovered run did not complete (phase {})",
+                faulted[i].phase
+            )));
+            continue;
+        };
+        let crashes = faulted[i].restarts as usize;
+        if crashes == 0 {
+            errors.push(fail(format!(
+                "injected storage fault '{fault}' never fired"
+            )));
+            continue;
+        }
+        if recovered.steps.len() != reference.steps.len() {
+            errors.push(fail(format!(
+                "recovered session ran {} steps, reference ran {}",
+                recovered.steps.len(),
+                reference.steps.len()
+            )));
+            continue;
+        }
+        if let Some(step) = reference
+            .steps
+            .iter()
+            .zip(recovered.steps.iter())
+            .find(|(a, b)| steps_diverge(a, b))
+        {
+            errors.push(fail(format!(
+                "step {} diverged after crash recovery (fault '{fault}')",
+                step.0.step
+            )));
+            continue;
+        }
+        if recovered.best_action != reference.best_action
+            || recovered.best_exec_time_s != reference.best_exec_time_s
+        {
+            errors.push(fail(format!(
+                "best configuration diverged after crash recovery (fault '{fault}')"
+            )));
+            continue;
+        }
         write_steps_jsonl(
-            &out_dir.join(format!("session-{}-reference.jsonl", row.session)),
-            &row.reference,
+            &out_dir.join(format!("session-{i}-reference.jsonl")),
+            reference,
         )?;
         write_steps_jsonl(
-            &out_dir.join(format!("session-{}-recovered.jsonl", row.session)),
-            &row.recovered,
+            &out_dir.join(format!("session-{i}-recovered.jsonl")),
+            recovered,
         )?;
-        total_crashes += row.crashes;
+        matched += 1;
+        total_crashes += crashes;
         telemetry::event!(
             "fleet.session",
-            session = row.session,
-            crashes = row.crashes,
-            attempts = row.attempts,
-            fault = row.fault.clone(),
-            steps = row.recovered.steps.len(),
-            best_s = row.recovered.best_exec_time_s,
+            session = i,
+            crashes = crashes,
+            attempts = crashes + 1,
+            fault = fault,
+            steps = recovered.steps.len(),
+            best_s = recovered.best_exec_time_s,
             matched = true,
         );
     }
     telemetry::event!(
         "fleet.summary",
         sessions = sessions,
-        recovered = rows.len(),
+        recovered = matched,
         failed = errors.len(),
         crashes = total_crashes,
     );
@@ -1236,6 +1241,184 @@ fn fleet(args: &Args, workload: Workload) -> Result<(), String> {
         return Err(format!(
             "{} of {sessions} fleet session(s) failed: {first}",
             errors.len()
+        ));
+    }
+    Ok(())
+}
+
+/// `deepcat-tune serve`: N supervised sessions multiplexed through the
+/// [`TuningService`], optionally under a named [`ServiceFaultPlan`]
+/// (`--faults`). Writes each completed session's step records to
+/// `session-<i>-steps.jsonl`; under `--deterministic` two runs of the
+/// same invocation are byte-identical, and sessions untouched by the
+/// fault plan are byte-identical to a `--faults none` run. With
+/// `--extract I` it instead replays session I solo (no service, no
+/// faults, no commitlog) and writes `extract-<I>-steps.jsonl`, which must
+/// byte-match the service run's file for the same session.
+fn serve(args: &Args, workload: Workload) -> Result<(), String> {
+    let sessions = args.sessions.max(1);
+    let out_dir = args.out_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("deepcat-serve-{}", std::process::id()))
+    });
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+    let base_agent = offline_agent(args, workload)?;
+    let make_spec = |i: usize| -> Result<SessionSpec, String> {
+        let seed = session_seed(args.seed, i);
+        let live = Cluster::cluster_a().with_background_load(args.background_load);
+        let mut env = ResilientEnv::new(
+            TuningEnv::for_workload(live, workload, seed ^ 0xFACE),
+            ResiliencePolicy::default(),
+        );
+        // Each session gets its own deterministic slice of the simulator
+        // fault plan, so multiplexed sessions see distinct (but
+        // reproducible) cluster weather.
+        let plan = FaultPlan::for_session(&args.plan, args.seed, i).ok_or_else(|| {
+            format!(
+                "unknown fault plan '{}' (known: {})",
+                args.plan,
+                PLAN_NAMES.join(", ")
+            )
+        })?;
+        env.install_plan(plan);
+        Ok(SessionSpec {
+            name: format!("serve-{i}"),
+            agent: base_agent.clone(),
+            env,
+            cfg: OnlineConfig {
+                steps: args.steps,
+                ..OnlineConfig::deepcat(seed)
+            },
+            session: ChaosSessionConfig {
+                guardrails: args.guardrail_policy(),
+                ..ChaosSessionConfig::default()
+            },
+            tuner_name: "serve".to_string(),
+        })
+    };
+
+    // --extract I: the solo reference replay of one session, bit-for-bit
+    // the same ingredients minus the service (and minus durability, which
+    // PR 9 proved does not change a single step record).
+    if let Some(idx) = args.extract {
+        if idx >= sessions {
+            return Err(format!("--extract {idx} out of range (0..{sessions})"));
+        }
+        let spec = make_spec(idx)?;
+        telemetry::event!("serve.extract", session = idx, seed = spec.cfg.seed);
+        let mut agent = spec.agent.clone();
+        let mut env = spec.env.clone();
+        let report = match online_tune_resilient(
+            &mut agent,
+            &mut env,
+            &spec.cfg,
+            &spec.session,
+            &spec.tuner_name,
+        )
+        .map_err(|e| format!("extract session {idx}: {e}"))?
+        {
+            SessionOutcome::Completed(r) => r,
+            other => return Err(format!("extract session {idx} did not complete: {other:?}")),
+        };
+        return write_steps_jsonl(&out_dir.join(format!("extract-{idx}-steps.jsonl")), &report);
+    }
+
+    let faults = ServiceFaultPlan::named(&args.faults, args.seed, sessions, args.steps)
+        .ok_or_else(|| {
+            format!(
+                "unknown service fault plan '{}' (known: {})",
+                args.faults,
+                SERVICE_PLAN_NAMES.join(", ")
+            )
+        })?;
+    let storm = faults
+        .events
+        .iter()
+        .any(|e| matches!(e.fault, ServiceFault::PanicLoop));
+    let has_faults = !faults.events.is_empty();
+    telemetry::event!(
+        "serve.start",
+        sessions = sessions,
+        workers = args.workers.max(1),
+        steps = args.steps,
+        seed = args.seed,
+        faults = args.faults.as_str(),
+        out_dir = out_dir.display().to_string(),
+    );
+    let service = TuningService::with_faults(
+        ServiceConfig {
+            workers: args.workers.max(1),
+            max_sessions: sessions,
+            restart: RestartPolicy {
+                max_restarts: 8,
+                ..RestartPolicy::default()
+            },
+            ..ServiceConfig::default()
+        },
+        faults,
+    );
+    for i in 0..sessions {
+        let mut spec = make_spec(i)?;
+        spec.session.checkpoint = Some(out_dir.join(format!("session-{i}")).join("commitlog"));
+        spec.session.commitlog = CommitlogPolicy {
+            snapshot_every: 2,
+            segment_max_records: 2,
+        };
+        service
+            .admit(spec)
+            .map_err(|e| format!("admit session {i}: {e}"))?;
+    }
+    service.run();
+
+    let mut completed = 0usize;
+    let mut quarantined = 0usize;
+    let mut total_restarts = 0u64;
+    for (i, r) in service.take_results().iter().enumerate() {
+        total_restarts += r.restarts as u64;
+        match (r.phase, &r.outcome) {
+            (SessionPhase::Completed, Some(SessionOutcome::Completed(report))) => {
+                completed += 1;
+                write_steps_jsonl(&out_dir.join(format!("session-{i}-steps.jsonl")), report)?;
+                telemetry::event!(
+                    "serve.session",
+                    session = i,
+                    outcome = "completed",
+                    restarts = r.restarts,
+                    resumed = r.resumed,
+                    steps = report.steps.len(),
+                    best_s = report.best_exec_time_s,
+                );
+            }
+            (SessionPhase::Quarantined, _) => {
+                quarantined += 1;
+                telemetry::event!(
+                    "serve.session",
+                    session = i,
+                    outcome = "quarantined",
+                    restarts = r.restarts,
+                    completed_steps = r.completed_steps,
+                );
+            }
+            (phase, _) => {
+                return Err(format!("session {i} ended in unexpected phase '{phase}'"));
+            }
+        }
+    }
+    telemetry::event!(
+        "serve.summary",
+        sessions = sessions,
+        completed = completed,
+        quarantined = quarantined,
+        restarts = total_restarts,
+        faults = args.faults.as_str(),
+    );
+    if has_faults && total_restarts == 0 && quarantined == 0 {
+        return Err(format!("service fault plan '{}' never fired", args.faults));
+    }
+    if quarantined > 0 && !storm {
+        return Err(format!(
+            "{quarantined} session(s) quarantined under plan '{}' (expected full recovery)",
+            args.faults
         ));
     }
     Ok(())
@@ -1436,6 +1619,13 @@ fn main() -> ExitCode {
         }
         "fleet" => {
             if let Err(e) = fleet(&args, workload) {
+                eprintln!("error: {e}");
+                telemetry::shutdown();
+                return ExitCode::FAILURE;
+            }
+        }
+        "serve" => {
+            if let Err(e) = serve(&args, workload) {
                 eprintln!("error: {e}");
                 telemetry::shutdown();
                 return ExitCode::FAILURE;

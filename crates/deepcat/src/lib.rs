@@ -57,7 +57,10 @@ pub mod parallel;
 pub mod persist;
 pub mod resilience;
 pub mod reward;
+pub mod scheduler;
+pub mod service;
 pub mod storage;
+pub mod supervisor;
 pub mod td3;
 pub mod tuners;
 pub mod twinq;
@@ -82,14 +85,20 @@ pub use persist::{
     load_online_checkpoint, load_td3, save_online_checkpoint, save_td3, OnlineCheckpoint,
 };
 pub use resilience::{
-    online_tune_resilient, ChaosSessionConfig, ResiliencePolicy, ResilienceSnapshot, ResilientEnv,
-    ResilientOutcome, SessionOutcome,
+    online_tune_resilient, ChaosSessionConfig, EngineInit, EngineStep, ResiliencePolicy,
+    ResilienceSnapshot, ResilientEnv, ResilientOutcome, SessionEngine, SessionOutcome,
 };
 pub use reward::{RewardFn, TARGET_SPEEDUP};
+pub use scheduler::{Scheduler, VirtualClock};
+pub use service::{
+    AdmitError, PostError, ServiceConfig, ServiceFault, ServiceFaultEvent, ServiceFaultPlan,
+    SessionMsg, SessionResult, SessionSpec, TuningService, SERVICE_PLAN_NAMES,
+};
 pub use storage::{
     shared_storage, FaultyStorage, MemStorage, RealStorage, SharedStorage, Storage, StorageError,
     StorageFault, StorageFaultEvent, StoragePlan, STORAGE_PLAN_NAMES,
 };
+pub use supervisor::{RestartPolicy, SessionPhase, Supervisor, SupervisorVerdict};
 pub use td3::{Td3Agent, Td3Checkpoint, TrainStats};
 pub use tuners::{build_repository, BestConfig, CdbTune, DeepCat, OtterTune, RandomSearch, Tuner};
 pub use twinq::{TwinQOptimizer, TwinQResult};

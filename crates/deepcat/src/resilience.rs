@@ -415,184 +415,349 @@ fn build_checkpoint(
     }
 }
 
+/// Result of [`SessionEngine::create`]: either a live engine ready to
+/// step, or a session that died on an injected storage fault before its
+/// first step (already reported via `session.end`).
+pub enum EngineInit {
+    Ready(Box<SessionEngine>),
+    Dead(SessionOutcome),
+}
+
+/// What one [`SessionEngine::step_once`] call did.
+#[derive(Debug)]
+pub enum EngineStep {
+    /// The step completed and the session has more steps to run.
+    Running,
+    /// The session reached a terminal state (completed, killed, or
+    /// crashed on an injected storage fault).
+    Finished(SessionOutcome),
+}
+
 /// The TD3 online loop of [`crate::online::online_tune_td3`], run through
-/// a [`ResilientEnv`] with optional per-step checkpointing. A session
-/// resumed from a mid-run checkpoint replays bit-identically (weights,
-/// both RNG streams, replay contents, and the simulator's evaluation
-/// counter are all restored), so a crash never changes the tuning result.
-pub fn online_tune_resilient(
-    agent: &mut Td3Agent,
-    env: &mut ResilientEnv,
-    cfg: &OnlineConfig,
-    session: &ChaosSessionConfig,
-    tuner_name: &str,
-) -> io::Result<SessionOutcome> {
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0417_11E5);
-    let noise = GaussianNoise::new(env.action_dim(), cfg.exploration_sigma);
-    let mut replay = UniformReplay::new(1024);
-    let mut steps: Vec<StepRecord> = Vec::with_capacity(cfg.steps);
-    let mut state = env.reset();
-    let mut spent_s = 0.0;
-    let mut start_step = 0;
-    let space = env.inner().spark().space().clone();
-    let mut guard = Guardrail::new(session.guardrails.clone(), env.default_exec_time());
+/// a [`ResilientEnv`] with optional per-step commitlog durability, pulled
+/// apart into an explicit state machine: [`SessionEngine::create`] builds
+/// (or recovers) the session state, [`SessionEngine::step_once`] runs
+/// exactly one online step. [`online_tune_resilient`] drives the engine
+/// to completion on the calling thread; the multi-tenant
+/// [`crate::service::TuningService`] interleaves many engines across a
+/// worker pool, one `step_once` dispatch at a time, with each call inside
+/// a panic-containment boundary.
+///
+/// Every method re-opens the session's ambient telemetry scope on entry,
+/// so events stay attributed to the right session no matter which worker
+/// thread runs the step.
+pub struct SessionEngine {
+    agent: Td3Agent,
+    env: ResilientEnv,
+    cfg: OnlineConfig,
+    session: ChaosSessionConfig,
+    tuner_name: String,
+    ctx: SessionCtx,
+    rng: StdRng,
+    noise: GaussianNoise,
+    replay: UniformReplay,
+    steps: Vec<StepRecord>,
+    state: Vec<f64>,
+    spent_s: f64,
+    next_step: usize,
+    space: spark_sim::KnobSpace,
+    guard: Guardrail,
+    log: Option<Commitlog>,
+}
 
-    // Session scoping: every event below — steps, guardrail verdicts,
-    // retries, budget, checkpoints — carries this session's id via the
-    // thread-local ambient scope, without per-call-site plumbing.
-    let ctx = session
-        .session
-        .clone()
-        .unwrap_or_else(|| SessionCtx::next(tuner_name));
-    let _session_scope = telemetry::session_scope(&ctx);
-    telemetry::event!(
-        "session.start",
-        label = ctx.label(),
-        tuner = tuner_name,
-        steps = cfg.steps,
-        resume = session.resume
-    );
+impl SessionEngine {
+    /// Build a session engine, opening (and on `resume` recovering from)
+    /// the commitlog. A session that dies on an injected storage fault
+    /// during open/create/initial-snapshot returns
+    /// [`EngineInit::Dead`] with [`SessionOutcome::Crashed`], exactly as
+    /// the monolithic loop used to.
+    pub fn create(
+        mut agent: Td3Agent,
+        mut env: ResilientEnv,
+        cfg: OnlineConfig,
+        session: ChaosSessionConfig,
+        tuner_name: &str,
+    ) -> io::Result<EngineInit> {
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0417_11E5);
+        let noise = GaussianNoise::new(env.action_dim(), cfg.exploration_sigma);
+        let mut replay = UniformReplay::new(1024);
+        let mut steps: Vec<StepRecord> = Vec::with_capacity(cfg.steps);
+        let mut state = env.reset();
+        let mut spent_s = 0.0;
+        let mut start_step = 0;
+        let space = env.inner().spark().space().clone();
+        let mut guard = Guardrail::new(session.guardrails.clone(), env.default_exec_time());
 
-    // Durable session store: open/create the commitlog and, on resume,
-    // rebuild the exact in-memory state from snapshot + tail replay.
-    let mut log: Option<Commitlog> = None;
-    let mut needs_initial_snapshot = false;
-    if let Some(dir) = &session.checkpoint {
-        let storage = session
-            .storage
+        // Session scoping: every event below — steps, guardrail verdicts,
+        // retries, budget, checkpoints — carries this session's id via the
+        // thread-local ambient scope, without per-call-site plumbing.
+        let ctx = session
+            .session
             .clone()
-            .unwrap_or_else(|| shared_storage(RealStorage::new()));
-        if session.resume {
-            let (l, recovered) = match Commitlog::open(dir, storage, session.commitlog.clone()) {
-                Ok(opened) => opened,
-                Err(e) if e.is_simulated_death() => {
-                    telemetry::event!("session.end", outcome = "crashed", steps = 0usize);
-                    return Ok(SessionOutcome::Crashed { completed_steps: 0 });
-                }
-                Err(e) => return Err(e.into_io()),
-            };
-            log = Some(l);
-            match recovered {
-                Some(rec) => {
-                    let cp = rec.checkpoint;
-                    *agent = Td3Agent::from_checkpoint(cp.agent, cfg.seed);
-                    agent.set_rng_state(rng_words(&cp.agent_rng)?);
-                    rng = StdRng::from_state(rng_words(&cp.loop_rng)?);
-                    for t in cp.replay {
-                        replay.push(t);
-                    }
-                    steps = cp.steps;
-                    spent_s = cp.spent_s;
-                    start_step = cp.next_step;
-                    state = cp.env_state.clone();
-                    let mut env_restore = (
-                        cp.env_state,
-                        cp.step_in_episode,
-                        cp.eval_count,
-                        cp.resilience,
-                    );
-                    let mut guard_snap = cp.guardrail;
+            .unwrap_or_else(|| SessionCtx::next(tuner_name));
+        let _session_scope = telemetry::session_scope(&ctx);
+        telemetry::event!(
+            "session.start",
+            label = ctx.label(),
+            tuner = tuner_name,
+            steps = cfg.steps,
+            resume = session.resume
+        );
 
-                    // Tail replay: each delta re-runs the deterministic
-                    // fine-tune loop on top of the restored weights, then
-                    // proves it landed exactly where the original run was
-                    // by comparing both RNG streams.
-                    for delta in rec.tail {
-                        replay.push(delta.transition);
-                        rng = StdRng::from_state(rng_words(&delta.loop_rng_pre_train)?);
-                        for _ in 0..cfg.fine_tune_steps {
-                            let batch_size = replay.len().min(agent.cfg.batch_size);
-                            if let Some(batch) = replay.sample(batch_size, &mut rng) {
-                                agent.train_step(&batch);
-                            }
+        // Durable session store: open/create the commitlog and, on resume,
+        // rebuild the exact in-memory state from snapshot + tail replay.
+        let mut log: Option<Commitlog> = None;
+        let mut needs_initial_snapshot = false;
+        if let Some(dir) = &session.checkpoint {
+            let storage = session
+                .storage
+                .clone()
+                .unwrap_or_else(|| shared_storage(RealStorage::new()));
+            if session.resume {
+                let (l, recovered) = match Commitlog::open(dir, storage, session.commitlog.clone())
+                {
+                    Ok(opened) => opened,
+                    Err(e) if e.is_simulated_death() => {
+                        telemetry::event!("session.end", outcome = "crashed", steps = 0usize);
+                        return Ok(EngineInit::Dead(SessionOutcome::Crashed {
+                            completed_steps: 0,
+                        }));
+                    }
+                    Err(e) => return Err(e.into_io()),
+                };
+                log = Some(l);
+                match recovered {
+                    Some(rec) => {
+                        let cp = rec.checkpoint;
+                        agent = Td3Agent::from_checkpoint(cp.agent, cfg.seed);
+                        agent.set_rng_state(rng_words(&cp.agent_rng)?);
+                        rng = StdRng::from_state(rng_words(&cp.loop_rng)?);
+                        for t in cp.replay {
+                            replay.push(t);
                         }
-                        if rng.state().to_vec() != delta.loop_rng_post
-                            || agent.rng_state().to_vec() != delta.agent_rng_post
-                        {
-                            return Err(io::Error::new(
-                                io::ErrorKind::InvalidData,
-                                format!("commitlog tail replay diverged at seq {}", delta.seq),
-                            ));
-                        }
-                        spent_s = delta.spent_s;
-                        start_step = delta.seq as usize + 1;
-                        state = delta.env_state.clone();
-                        env_restore = (
-                            delta.env_state,
-                            delta.step_in_episode,
-                            delta.eval_count,
-                            delta.resilience,
+                        steps = cp.steps;
+                        spent_s = cp.spent_s;
+                        start_step = cp.next_step;
+                        state = cp.env_state.clone();
+                        let mut env_restore = (
+                            cp.env_state,
+                            cp.step_in_episode,
+                            cp.eval_count,
+                            cp.resilience,
                         );
-                        guard_snap = delta.guardrail;
-                        steps.push(delta.record);
+                        let mut guard_snap = cp.guardrail;
+
+                        // Tail replay: each delta re-runs the deterministic
+                        // fine-tune loop on top of the restored weights, then
+                        // proves it landed exactly where the original run was
+                        // by comparing both RNG streams.
+                        for delta in rec.tail {
+                            replay.push(delta.transition);
+                            rng = StdRng::from_state(rng_words(&delta.loop_rng_pre_train)?);
+                            for _ in 0..cfg.fine_tune_steps {
+                                let batch_size = replay.len().min(agent.cfg.batch_size);
+                                if let Some(batch) = replay.sample(batch_size, &mut rng) {
+                                    agent.train_step(&batch);
+                                }
+                            }
+                            if rng.state().to_vec() != delta.loop_rng_post
+                                || agent.rng_state().to_vec() != delta.agent_rng_post
+                            {
+                                return Err(io::Error::new(
+                                    io::ErrorKind::InvalidData,
+                                    format!("commitlog tail replay diverged at seq {}", delta.seq),
+                                ));
+                            }
+                            spent_s = delta.spent_s;
+                            start_step = delta.seq as usize + 1;
+                            state = delta.env_state.clone();
+                            env_restore = (
+                                delta.env_state,
+                                delta.step_in_episode,
+                                delta.eval_count,
+                                delta.resilience,
+                            );
+                            guard_snap = delta.guardrail;
+                            steps.push(delta.record);
+                        }
+                        env.restore(env_restore.0, env_restore.1, env_restore.2, env_restore.3);
+                        if let Some(snap) = guard_snap {
+                            guard.restore(snap);
+                        }
+                        telemetry::event!("recovery.resume", step = start_step, tuner = tuner_name);
                     }
-                    env.restore(env_restore.0, env_restore.1, env_restore.2, env_restore.3);
-                    if let Some(snap) = guard_snap {
-                        guard.restore(snap);
+                    None => {
+                        // Nothing durable survived (the process died before
+                        // the first snapshot landed): start from scratch.
+                        needs_initial_snapshot = true;
                     }
-                    telemetry::event!("recovery.resume", step = start_step, tuner = tuner_name);
                 }
-                None => {
-                    // Nothing durable survived (the process died before
-                    // the first snapshot landed): start from scratch.
-                    needs_initial_snapshot = true;
+            } else {
+                match Commitlog::create(dir, storage, session.commitlog.clone()) {
+                    Ok(l) => log = Some(l),
+                    Err(e) if e.is_simulated_death() => {
+                        telemetry::event!("session.end", outcome = "crashed", steps = 0usize);
+                        return Ok(EngineInit::Dead(SessionOutcome::Crashed {
+                            completed_steps: 0,
+                        }));
+                    }
+                    Err(e) => return Err(e.into_io()),
                 }
+                needs_initial_snapshot = true;
             }
-        } else {
-            match Commitlog::create(dir, storage, session.commitlog.clone()) {
-                Ok(l) => log = Some(l),
-                Err(e) if e.is_simulated_death() => {
-                    telemetry::event!("session.end", outcome = "crashed", steps = 0usize);
-                    return Ok(SessionOutcome::Crashed { completed_steps: 0 });
-                }
-                Err(e) => return Err(e.into_io()),
-            }
-            needs_initial_snapshot = true;
         }
-    }
-    if needs_initial_snapshot {
-        if let Some(log) = log.as_mut() {
-            // The recovery anchor: without a durable snapshot at step 0
-            // there is nothing to replay the tail onto.
-            let cp = build_checkpoint(
-                tuner_name, start_step, cfg, agent, &rng, &replay, &steps, spent_s, &state, env,
-                &guard,
-            );
-            match log.snapshot(&cp) {
-                Ok(()) => {}
-                Err(e) if e.is_simulated_death() => {
-                    telemetry::event!("session.end", outcome = "crashed", steps = 0usize);
-                    return Ok(SessionOutcome::Crashed { completed_steps: 0 });
+        if needs_initial_snapshot {
+            if let Some(log) = log.as_mut() {
+                // The recovery anchor: without a durable snapshot at step 0
+                // there is nothing to replay the tail onto.
+                let cp = build_checkpoint(
+                    tuner_name, start_step, &cfg, &agent, &rng, &replay, &steps, spent_s, &state,
+                    &env, &guard,
+                );
+                match log.snapshot(&cp) {
+                    Ok(()) => {}
+                    Err(e) if e.is_simulated_death() => {
+                        telemetry::event!("session.end", outcome = "crashed", steps = 0usize);
+                        return Ok(EngineInit::Dead(SessionOutcome::Crashed {
+                            completed_steps: 0,
+                        }));
+                    }
+                    Err(e) => return Err(e.into_io()),
                 }
-                Err(e) => return Err(e.into_io()),
             }
+        }
+
+        Ok(EngineInit::Ready(Box::new(SessionEngine {
+            agent,
+            env,
+            cfg,
+            session,
+            tuner_name: tuner_name.to_string(),
+            ctx,
+            rng,
+            noise,
+            replay,
+            steps,
+            state,
+            spent_s,
+            next_step: start_step,
+            space,
+            guard,
+            log,
+        })))
+    }
+
+    /// The session's pinned telemetry identity.
+    pub fn ctx(&self) -> &SessionCtx {
+        &self.ctx
+    }
+
+    /// Index of the next step to run (== completed steps so far).
+    pub fn next_step(&self) -> usize {
+        self.next_step
+    }
+
+    /// Total steps this session will run.
+    pub fn total_steps(&self) -> usize {
+        self.cfg.steps
+    }
+
+    /// Virtual seconds of tuning budget spent so far.
+    pub fn spent_s(&self) -> f64 {
+        self.spent_s
+    }
+
+    /// Step records accumulated so far.
+    pub fn steps(&self) -> &[StepRecord] {
+        &self.steps
+    }
+
+    /// Give the owned agent + environment back (solo-wrapper copy-out).
+    pub fn into_parts(self: Box<Self>) -> (Td3Agent, ResilientEnv) {
+        (self.agent, self.env)
+    }
+
+    fn finish_completed(&mut self) -> SessionOutcome {
+        telemetry::event!("session.end", outcome = "completed", steps = self.cfg.steps);
+        SessionOutcome::Completed(finish_report(
+            &self.tuner_name,
+            self.env.inner(),
+            std::mem::take(&mut self.steps),
+        ))
+    }
+
+    /// Force a durable snapshot of the full session state right now (the
+    /// service drain path: checkpoint everything, then stop). Returns
+    /// `Ok(true)` when the snapshot landed (or the session has no
+    /// commitlog, so there is nothing to persist), `Ok(false)` when the
+    /// storage simulated a process death — the caller treats the session
+    /// as crashed and recovery decides what survived.
+    pub fn checkpoint_now(&mut self) -> io::Result<bool> {
+        let _scope = telemetry::session_scope(&self.ctx);
+        let cp = build_checkpoint(
+            &self.tuner_name,
+            self.next_step,
+            &self.cfg,
+            &self.agent,
+            &self.rng,
+            &self.replay,
+            &self.steps,
+            self.spent_s,
+            &self.state,
+            &self.env,
+            &self.guard,
+        );
+        let Some(log) = self.log.as_mut() else {
+            return Ok(true);
+        };
+        match log.snapshot(&cp) {
+            Ok(()) => Ok(true),
+            Err(e) if e.is_simulated_death() => Ok(false),
+            Err(e) => Err(e.into_io()),
         }
     }
 
-    let session_span = telemetry::span!("online.request", tuner = tuner_name);
-    for step in start_step..cfg.steps {
-        let mut span = telemetry::span!("online.step", step = step, tuner = tuner_name);
+    /// Run exactly one online step: recommend, screen, evaluate, train,
+    /// persist. Returns [`EngineStep::Finished`] on the terminal step
+    /// (completion, `kill_after`, or a storage crash), after emitting the
+    /// same `session.end` event the monolithic loop emitted.
+    pub fn step_once(&mut self) -> io::Result<EngineStep> {
+        let _scope = telemetry::session_scope(&self.ctx);
+        if self.next_step >= self.cfg.steps {
+            // Zero-step sessions, or a resume that recovered a fully
+            // completed log: nothing left to run.
+            return Ok(EngineStep::Finished(self.finish_completed()));
+        }
+        let step = self.next_step;
+        let mut span =
+            telemetry::span!("online.step", step = step, tuner = self.tuner_name.as_str());
         let t0 = telemetry::Stopwatch::start();
-        let mut action = agent.select_action(&state);
-        if cfg.exploration_sigma > 0.0 {
-            action = noise.perturb(&action, &mut rng);
+        let mut action = self.agent.select_action(&self.state);
+        if self.cfg.exploration_sigma > 0.0 {
+            action = self.noise.perturb(&action, &mut self.rng);
         }
         let mut twinq_iterations = 0;
-        if cfg.use_twinq {
-            let res = cfg.twinq.optimize(agent, &state, action, &mut rng);
+        if self.cfg.use_twinq {
+            let res = self
+                .cfg
+                .twinq
+                .optimize(&mut self.agent, &self.state, action, &mut self.rng);
             twinq_iterations = res.iterations;
             action = res.action;
         }
-        let q_estimate = Some(agent.min_q(&state, &action));
-        let screened = guard.screen(&space, &action);
+        let q_estimate = Some(self.agent.min_q(&self.state, &action));
+        let screened = self.guard.screen(&self.space, &action);
         let action = screened.action;
         let mut grecord = screened.record;
         let recommendation_s = t0.elapsed_s();
 
-        let res = env.step(&action);
+        let res = self.env.step(&action);
         let mut out = res.outcome;
-        if guard.enabled() {
-            match guard.judge_canary(out.exec_time_s, out.failed, &res.evaluated_action) {
+        if self.guard.enabled() {
+            match self
+                .guard
+                .judge_canary(out.exec_time_s, out.failed, &res.evaluated_action)
+            {
                 CanaryVerdict::Pass => {}
                 CanaryVerdict::Abort { charged_s, saved_s } => {
                     out.exec_time_s = charged_s;
@@ -600,7 +765,7 @@ pub fn online_tune_resilient(
                     grecord.saved_s = saved_s;
                 }
             }
-            guard.observe_step(
+            self.guard.observe_step(
                 out.reward,
                 out.failed,
                 grecord.canary_aborted,
@@ -609,23 +774,23 @@ pub fn online_tune_resilient(
         }
         // Episode bookkeeping inside the env is perturbed by retries;
         // the session defines its own horizon.
-        let done = step + 1 == cfg.steps;
+        let done = step + 1 == self.cfg.steps;
         let transition = Transition::new(
-            state.clone(),
+            self.state.clone(),
             res.evaluated_action.clone(),
             out.reward,
             out.next_state.clone(),
             done,
         );
-        replay.push(transition.clone());
+        self.replay.push(transition.clone());
         // Commitlog replay anchors here: a recovered session restores
         // this exact RNG state, re-runs the fine-tune loop, and must land
         // on the recorded post-states.
-        let loop_rng_pre_train = rng.state();
-        for _ in 0..cfg.fine_tune_steps {
-            let batch_size = replay.len().min(agent.cfg.batch_size);
-            if let Some(batch) = replay.sample(batch_size, &mut rng) {
-                agent.train_step(&batch);
+        let loop_rng_pre_train = self.rng.state();
+        for _ in 0..self.cfg.fine_tune_steps {
+            let batch_size = self.replay.len().min(self.agent.cfg.batch_size);
+            if let Some(batch) = self.replay.sample(batch_size, &mut self.rng) {
+                self.agent.train_step(&batch);
             }
         }
         telemetry::inc("online.steps", 1);
@@ -642,15 +807,15 @@ pub fn online_tune_resilient(
         telemetry::observe_sketch("online.step_latency_s", t0.elapsed_s());
         telemetry::observe_sketch("online.step_reward", out.reward);
         telemetry::observe_sketch("online.step_cost_s", out.exec_time_s);
-        spent_s += out.exec_time_s + res.accounting.overhead_s + recommendation_s;
-        telemetry::set_gauge("budget.spent_s", spent_s);
-        telemetry::event!("budget.update", step = step, spent_s = spent_s);
+        self.spent_s += out.exec_time_s + res.accounting.overhead_s + recommendation_s;
+        telemetry::set_gauge("budget.spent_s", self.spent_s);
+        telemetry::event!("budget.update", step = step, spent_s = self.spent_s);
         // Step boundary: flush sharded buffers so console progress and the
         // live session rollup stay current (no-op in synchronous mode),
         // then evaluate any installed SLO alert rules on fresh rollups.
         telemetry::drain();
         telemetry::alerts_tick();
-        steps.push(StepRecord {
+        self.steps.push(StepRecord {
             step,
             exec_time_s: out.exec_time_s,
             failed: out.failed,
@@ -662,33 +827,35 @@ pub fn online_tune_resilient(
             resilience: res.accounting,
             guardrail: grecord,
         });
-        state = out.next_state;
+        self.state = out.next_state;
+        self.next_step = step + 1;
 
-        if let Some(log) = log.as_mut() {
+        if self.log.is_some() {
             let delta = StepDelta {
                 seq: step as u64,
                 // PANIC-SAFETY: the record for this step was pushed just
                 // above, so `steps` is non-empty.
-                record: steps.last().expect("step record just pushed").clone(),
+                record: self.steps.last().expect("step record just pushed").clone(),
                 transition,
                 loop_rng_pre_train: loop_rng_pre_train.to_vec(),
-                loop_rng_post: rng.state().to_vec(),
-                agent_rng_post: agent.rng_state().to_vec(),
-                spent_s,
-                eval_count: env.eval_count(),
-                env_state: state.clone(),
-                step_in_episode: env.inner().step_in_episode(),
-                resilience: env.snapshot(),
-                guardrail: guard.enabled().then(|| guard.snapshot()),
+                loop_rng_post: self.rng.state().to_vec(),
+                agent_rng_post: self.agent.rng_state().to_vec(),
+                spent_s: self.spent_s,
+                eval_count: self.env.eval_count(),
+                env_state: self.state.clone(),
+                step_in_episode: self.env.inner().step_in_episode(),
+                resilience: self.env.snapshot(),
+                guardrail: self.guard.enabled().then(|| self.guard.snapshot()),
             };
+            // PANIC-SAFETY: guarded by the `is_some` check above.
+            let log = self.log.as_mut().expect("commitlog present");
             match log.append(&delta) {
                 Ok(()) => {}
                 Err(e) if e.is_simulated_death() => {
-                    drop(session_span);
                     telemetry::event!("session.end", outcome = "crashed", steps = step + 1);
-                    return Ok(SessionOutcome::Crashed {
+                    return Ok(EngineStep::Finished(SessionOutcome::Crashed {
                         completed_steps: step + 1,
-                    });
+                    }));
                 }
                 Err(e) => return Err(e.into_io()),
             }
@@ -696,49 +863,85 @@ pub fn online_tune_resilient(
 
             // Periodic compaction: fold everything so far into a fresh
             // snapshot and drop the replayed-over segments.
-            let every = session.commitlog.snapshot_every;
-            if every > 0 && (step + 1) % every == 0 && step + 1 < cfg.steps {
+            let every = self.session.commitlog.snapshot_every;
+            if every > 0 && (step + 1) % every == 0 && step + 1 < self.cfg.steps {
                 let cp = build_checkpoint(
-                    tuner_name,
+                    &self.tuner_name,
                     step + 1,
-                    cfg,
-                    agent,
-                    &rng,
-                    &replay,
-                    &steps,
-                    spent_s,
-                    &state,
-                    env,
-                    &guard,
+                    &self.cfg,
+                    &self.agent,
+                    &self.rng,
+                    &self.replay,
+                    &self.steps,
+                    self.spent_s,
+                    &self.state,
+                    &self.env,
+                    &self.guard,
                 );
+                // PANIC-SAFETY: same `is_some`-guarded access as above.
+                let log = self.log.as_mut().expect("commitlog present");
                 match log.snapshot(&cp) {
                     Ok(()) => {}
                     Err(e) if e.is_simulated_death() => {
-                        drop(session_span);
                         telemetry::event!("session.end", outcome = "crashed", steps = step + 1);
-                        return Ok(SessionOutcome::Crashed {
+                        return Ok(EngineStep::Finished(SessionOutcome::Crashed {
                             completed_steps: step + 1,
-                        });
+                        }));
                     }
                     Err(e) => return Err(e.into_io()),
                 }
             }
         }
-        if session.kill_after == Some(step + 1) && step + 1 < cfg.steps {
-            drop(session_span);
+        if self.session.kill_after == Some(step + 1) && step + 1 < self.cfg.steps {
             telemetry::event!("session.end", outcome = "killed", steps = step + 1);
-            return Ok(SessionOutcome::Killed {
+            return Ok(EngineStep::Finished(SessionOutcome::Killed {
                 completed_steps: step + 1,
-            });
+            }));
         }
+        if step + 1 == self.cfg.steps {
+            return Ok(EngineStep::Finished(self.finish_completed()));
+        }
+        Ok(EngineStep::Running)
     }
-    drop(session_span);
-    telemetry::event!("session.end", outcome = "completed", steps = cfg.steps);
-    Ok(SessionOutcome::Completed(finish_report(
+}
+
+/// The resilient online loop, driven to completion on the calling
+/// thread: a thin wrapper over [`SessionEngine`]. A session resumed from
+/// a mid-run checkpoint replays bit-identically (weights, both RNG
+/// streams, replay contents, and the simulator's evaluation counter are
+/// all restored), so a crash never changes the tuning result.
+pub fn online_tune_resilient(
+    agent: &mut Td3Agent,
+    env: &mut ResilientEnv,
+    cfg: &OnlineConfig,
+    session: &ChaosSessionConfig,
+    tuner_name: &str,
+) -> io::Result<SessionOutcome> {
+    let init = SessionEngine::create(
+        agent.clone(),
+        env.clone(),
+        cfg.clone(),
+        session.clone(),
         tuner_name,
-        env.inner(),
-        steps,
-    )))
+    )?;
+    let mut engine = match init {
+        EngineInit::Dead(outcome) => return Ok(outcome),
+        EngineInit::Ready(engine) => engine,
+    };
+    let ctx = engine.ctx().clone();
+    let _session_scope = telemetry::session_scope(&ctx);
+    let session_span = telemetry::span!("online.request", tuner = tuner_name);
+    let outcome = loop {
+        match engine.step_once()? {
+            EngineStep::Running => {}
+            EngineStep::Finished(outcome) => break outcome,
+        }
+    };
+    drop(session_span);
+    let (final_agent, final_env) = engine.into_parts();
+    *agent = final_agent;
+    *env = final_env;
+    Ok(outcome)
 }
 
 #[cfg(test)]

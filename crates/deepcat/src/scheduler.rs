@@ -1,0 +1,240 @@
+//! Sharded work-stealing scheduler for the multi-tenant
+//! [`crate::service::TuningService`], plus the virtual clock that keeps
+//! multiplexed runs deterministic.
+//!
+//! Design constraints, in order:
+//!
+//! * **Determinism-compatible.** The scheduler never consults wall time.
+//!   Backoff waits and stall charges advance a [`VirtualClock`] (atomic
+//!   milliseconds), and a fully idle service fast-forwards the clock to
+//!   the earliest parked wake-up instead of sleeping — so a run with
+//!   injected faults finishes as fast as a fault-free one and produces
+//!   the same virtual timeline on every run.
+//! * **No nested locks.** Every method takes at most one internal lock
+//!   at a time (a single shard, or the parked list), and nothing is
+//!   emitted or computed while a lock is held. The lock-order graph the
+//!   lint builds over this file is trivially acyclic.
+//! * **Work stealing, not work sharing.** A session is submitted to the
+//!   shard derived from its id; an idle worker drains its own shard
+//!   first, then scans the others. Steal order rotates with the worker
+//!   index so two idle workers don't contend on the same victim.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Monotonic virtual time in milliseconds, shared by the service, its
+/// supervisors, and every injected stall. Purely logical: advancing it
+/// costs an atomic add, never a sleep.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    ticks_ms: AtomicU64,
+}
+
+impl VirtualClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.ticks_ms.load(Ordering::Acquire)
+    }
+
+    /// Advance the clock by `delta_ms` and return the new time.
+    pub fn advance_ms(&self, delta_ms: u64) -> u64 {
+        self.ticks_ms.fetch_add(delta_ms, Ordering::AcqRel) + delta_ms
+    }
+
+    /// Jump the clock forward to `target_ms` if it is still behind it
+    /// (CAS max — concurrent fast-forwards and advances compose safely).
+    pub fn fast_forward(&self, target_ms: u64) {
+        let mut cur = self.ticks_ms.load(Ordering::Acquire);
+        while cur < target_ms {
+            match self.ticks_ms.compare_exchange_weak(
+                cur,
+                target_ms,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+/// Sharded run queue of session ids plus a virtual-time park list.
+///
+/// The queue holds *ready* sessions; a session waiting out a supervisor
+/// backoff is parked with a virtual wake-up time and re-submitted by
+/// [`Scheduler::unpark_due`] once the clock passes it.
+#[derive(Debug)]
+pub struct Scheduler {
+    shards: Vec<Mutex<VecDeque<u64>>>,
+    parked: Mutex<Vec<(u64, u64)>>, // (wake_ms, session_id)
+    queued: AtomicUsize,
+    dispatches: AtomicU64,
+}
+
+impl Scheduler {
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(VecDeque::new())).collect(),
+            parked: Mutex::new(Vec::new()),
+            queued: AtomicUsize::new(0),
+            dispatches: AtomicU64::new(0),
+        }
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, session_id: u64) -> usize {
+        (session_id as usize) % self.shards.len()
+    }
+
+    /// Number of ready sessions currently queued across all shards.
+    pub fn queued(&self) -> usize {
+        self.queued.load(Ordering::Acquire)
+    }
+
+    /// Total dispatches handed out so far (the global dispatch sequence
+    /// number used for the fairness bound).
+    pub fn dispatches(&self) -> u64 {
+        self.dispatches.load(Ordering::Acquire)
+    }
+
+    /// Enqueue a ready session on its home shard.
+    pub fn submit(&self, session_id: u64) {
+        self.queued.fetch_add(1, Ordering::AcqRel);
+        // PANIC-SAFETY: shard_of computes index % len, in-bounds by
+        // construction (new() guarantees at least one shard).
+        let mut shard = self.shards[self.shard_of(session_id)].lock();
+        shard.push_back(session_id);
+    }
+
+    /// Park a session until virtual time `wake_ms` (supervisor backoff).
+    pub fn park(&self, session_id: u64, wake_ms: u64) {
+        let mut parked = self.parked.lock();
+        parked.push((wake_ms, session_id));
+    }
+
+    /// Move every parked session whose wake time has passed back onto the
+    /// run queue. Returns how many woke. The due list is collected under
+    /// the parked lock, then submitted after it is released (no nested
+    /// shard+parked locking).
+    pub fn unpark_due(&self, now_ms: u64) -> usize {
+        let due: Vec<u64> = {
+            let mut parked = self.parked.lock();
+            let mut due = Vec::new();
+            parked.retain(|&(wake_ms, id)| {
+                if wake_ms <= now_ms {
+                    due.push(id);
+                    false
+                } else {
+                    true
+                }
+            });
+            due
+        };
+        let woke = due.len();
+        for id in due {
+            self.submit(id);
+        }
+        woke
+    }
+
+    /// Earliest parked wake-up time, if any session is parked.
+    pub fn next_wake_ms(&self) -> Option<u64> {
+        let parked = self.parked.lock();
+        parked.iter().map(|&(wake_ms, _)| wake_ms).min()
+    }
+
+    /// Number of parked sessions.
+    pub fn parked_len(&self) -> usize {
+        self.parked.lock().len()
+    }
+
+    /// Pop the next ready session for `worker`: its home shard first,
+    /// then steal from the others in rotating order. Returns the session
+    /// id and this dispatch's global sequence number.
+    pub fn try_next(&self, worker: usize) -> Option<(u64, u64)> {
+        let n = self.shards.len();
+        for probe in 0..n {
+            let shard_idx = (worker + probe) % n;
+            let popped = {
+                // PANIC-SAFETY: shard_idx is taken % n = shards.len().
+                let mut shard = self.shards[shard_idx].lock();
+                shard.pop_front()
+            };
+            if let Some(id) = popped {
+                self.queued.fetch_sub(1, Ordering::AcqRel);
+                let seq = self.dispatches.fetch_add(1, Ordering::AcqRel);
+                return Some((id, seq));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_and_fast_forwards_monotonically() {
+        let clock = VirtualClock::new();
+        assert_eq!(clock.now_ms(), 0);
+        assert_eq!(clock.advance_ms(5), 5);
+        clock.fast_forward(3); // behind: no-op
+        assert_eq!(clock.now_ms(), 5);
+        clock.fast_forward(40);
+        assert_eq!(clock.now_ms(), 40);
+    }
+
+    #[test]
+    fn submit_and_steal_covers_all_shards() {
+        let sched = Scheduler::new(4);
+        for id in 0..8u64 {
+            sched.submit(id);
+        }
+        assert_eq!(sched.queued(), 8);
+        // A single worker must drain every shard via stealing.
+        let mut seen = Vec::new();
+        while let Some((id, _seq)) = sched.try_next(1) {
+            seen.push(id);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..8u64).collect::<Vec<_>>());
+        assert_eq!(sched.queued(), 0);
+    }
+
+    #[test]
+    fn parked_sessions_wake_only_when_due() {
+        let sched = Scheduler::new(2);
+        sched.park(7, 100);
+        sched.park(9, 50);
+        assert_eq!(sched.next_wake_ms(), Some(50));
+        assert_eq!(sched.unpark_due(49), 0);
+        assert_eq!(sched.unpark_due(50), 1);
+        assert_eq!(sched.queued(), 1);
+        assert_eq!(sched.try_next(0).map(|(id, _)| id), Some(9));
+        assert_eq!(sched.unpark_due(1000), 1);
+        assert_eq!(sched.try_next(0).map(|(id, _)| id), Some(7));
+        assert_eq!(sched.parked_len(), 0);
+    }
+
+    #[test]
+    fn dispatch_sequence_is_global_and_monotonic() {
+        let sched = Scheduler::new(3);
+        sched.submit(1);
+        sched.submit(2);
+        let (_, s0) = sched.try_next(0).unwrap();
+        let (_, s1) = sched.try_next(2).unwrap();
+        assert!(s1 > s0);
+        assert_eq!(sched.dispatches(), 2);
+    }
+}

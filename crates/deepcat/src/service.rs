@@ -1,0 +1,1364 @@
+//! Multi-tenant `TuningService`: N independent tuning sessions
+//! multiplexed as message-driven session actors over the sharded
+//! work-stealing [`crate::scheduler::Scheduler`], with robustness as the
+//! headline contract (ROADMAP item 2).
+//!
+//! Each actor runs its [`SessionEngine`] steps inside a panic boundary
+//! (`std::panic::catch_unwind` — safe code only), so a panicking or
+//! deadline-blown session is *contained*: it is marked crashed and handed
+//! to its per-session [`Supervisor`], which grants bounded restarts with
+//! virtual-clock exponential backoff and quarantines restart storms.
+//! Recovery goes through the session's PR 9 [`crate::commitlog::Commitlog`]
+//! — a restarted actor re-creates its engine with `resume = true` and the
+//! durable snapshot + tail replay rebuild the exact pre-crash state, so a
+//! contained crash never changes a session's tuning result, and sibling
+//! sessions are provably unperturbed (their step streams stay
+//! byte-identical to a fault-free run).
+//!
+//! The service also provides:
+//!
+//! * **Admission control** — a capacity bound and a drain flag; both
+//!   reject with a reason ([`AdmitError`]) instead of queueing unbounded
+//!   work.
+//! * **Bounded mailboxes with backpressure** — control messages
+//!   ([`SessionMsg`]) beyond the per-session cap are rejected with
+//!   [`PostError::MailboxFull`] and counted, never buffered unbounded.
+//! * **Per-step deadlines** — an injected (or real, once engines do wall
+//!   work) stall that exceeds [`ServiceConfig::step_deadline_s`] crashes
+//!   the session; the stall is charged to the service's virtual clock and
+//!   the session's `deadline_charged_s`, *not* into the engine's step
+//!   records — which is exactly why the survivors' streams stay
+//!   byte-identical.
+//! * **Graceful drain** — [`TuningService::begin_drain`] stops intake;
+//!   workers finish in-flight steps, checkpoint every live session to its
+//!   commitlog, flush telemetry, and stop.
+//! * **Deterministic fault injection** — a seeded [`ServiceFaultPlan`]
+//!   injects panics, stalls, and storage faults at the scheduler boundary
+//!   (never mid-step), so the whole supervision path is testable and
+//!   every run of a plan produces the same virtual timeline.
+
+use crate::online::OnlineConfig;
+use crate::resilience::{
+    ChaosSessionConfig, EngineInit, EngineStep, ResilientEnv, SessionEngine, SessionOutcome,
+};
+use crate::scheduler::{Scheduler, VirtualClock};
+use crate::storage::{shared_storage, FaultyStorage, RealStorage, StoragePlan};
+use crate::supervisor::{RestartPolicy, SessionPhase, Supervisor, SupervisorVerdict};
+use crate::td3::Td3Agent;
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Once};
+use telemetry::SessionCtx;
+
+/// Service-wide knobs.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Admission cap: at most this many sessions, ever.
+    pub max_sessions: usize,
+    /// Bounded per-session mailbox capacity.
+    pub mailbox_cap: usize,
+    /// Restart budget + backoff for every session's supervisor.
+    pub restart: RestartPolicy,
+    /// A single step (including any injected stall) must finish within
+    /// this many virtual seconds, or the session is crashed and resumed
+    /// from its commitlog.
+    pub step_deadline_s: f64,
+    /// Worker threads stepping sessions.
+    pub workers: usize,
+    /// Run-queue shards (defaults to `workers`).
+    pub shards: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            max_sessions: 64,
+            mailbox_cap: 8,
+            restart: RestartPolicy::default(),
+            step_deadline_s: 120.0,
+            workers: 4,
+            shards: 0,
+        }
+    }
+}
+
+/// Control message for one session actor. Stepping needs no explicit
+/// messages — a live session is perpetually scheduled and each dispatch
+/// runs one step (an implicit `Step`); the mailbox carries the rarer
+/// control-plane requests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionMsg {
+    /// Run one online step (the implicit default).
+    Step,
+    /// Force a durable snapshot now.
+    Checkpoint,
+    /// Checkpoint and stop this session (per-session drain).
+    Stop,
+}
+
+/// Why admission was refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The service is draining: no new intake.
+    Draining,
+    /// The admission cap is reached.
+    Full { cap: usize },
+}
+
+impl fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmitError::Draining => write!(f, "service is draining"),
+            AdmitError::Full { cap } => write!(f, "service is full (cap {cap})"),
+        }
+    }
+}
+
+/// Why a posted message was refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PostError {
+    /// No such session id.
+    UnknownSession,
+    /// The session already reached a terminal phase.
+    Terminal,
+    /// The bounded mailbox is full — backpressure, not buffering.
+    MailboxFull { cap: usize },
+}
+
+impl fmt::Display for PostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PostError::UnknownSession => write!(f, "unknown session"),
+            PostError::Terminal => write!(f, "session is terminal"),
+            PostError::MailboxFull { cap } => write!(f, "mailbox full (cap {cap})"),
+        }
+    }
+}
+
+/// Everything needed to (re)create a session's engine. The spec is
+/// immutable after admission; a restart clones it, flips `resume` on,
+/// and lets the commitlog rebuild the state.
+#[derive(Clone, Debug)]
+pub struct SessionSpec {
+    /// Human-readable session name (becomes the telemetry label when the
+    /// spec does not carry an explicit [`SessionCtx`]).
+    pub name: String,
+    pub agent: Td3Agent,
+    pub env: ResilientEnv,
+    pub cfg: OnlineConfig,
+    pub session: ChaosSessionConfig,
+    pub tuner_name: String,
+}
+
+/// One injected fault, applied at the scheduler boundary (before a step
+/// runs), so the engine's own state is never corrupted mid-step and a
+/// commitlog resume replays the interrupted step cleanly.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ServiceFault {
+    /// Panic the dispatch (contained by `catch_unwind`); fires once.
+    Panic,
+    /// Stall the dispatch for this many virtual seconds before the step;
+    /// a stall beyond the step deadline crashes the session. Fires once.
+    Stall { stall_s: f64 },
+    /// Panic on *every* dispatch of this session from the trigger step on
+    /// — a restart storm that must end in quarantine.
+    PanicLoop,
+    /// Wrap the session's commitlog storage in a [`FaultyStorage`] that
+    /// simulates a process death at the `at_op`-th storage operation
+    /// (applied at admission; fires once across incarnations).
+    Storage { at_op: u64 },
+}
+
+/// A fault bound to one session (by admission order) and one step.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServiceFaultEvent {
+    /// Admission-order index of the target session (0-based).
+    pub session: usize,
+    /// The fault triggers when the session is about to run this step.
+    pub step: usize,
+    pub fault: ServiceFault,
+}
+
+/// Seeded, deterministic fault schedule for a whole service run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ServiceFaultPlan {
+    pub name: String,
+    pub seed: u64,
+    pub events: Vec<ServiceFaultEvent>,
+}
+
+/// Named service fault plans accepted by `deepcat-tune serve --faults`.
+pub const SERVICE_PLAN_NAMES: &[&str] = &["none", "panic3", "storm", "disk"];
+
+impl ServiceFaultPlan {
+    /// The empty plan.
+    pub fn none() -> Self {
+        Self {
+            name: "none".into(),
+            seed: 0,
+            events: Vec::new(),
+        }
+    }
+
+    fn derived_step(seed: u64, idx: u64, steps: usize) -> usize {
+        if steps < 2 {
+            return 0;
+        }
+        // Mid-run: step in [1, steps-1], derived from the seed so two
+        // runs of the same plan fault at the same point.
+        let h =
+            (seed ^ idx.wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        1 + (h % (steps as u64 - 1)) as usize
+    }
+
+    /// Build one of the named plans, scaled to `sessions` sessions each
+    /// running `steps` steps. Returns `None` for an unknown name.
+    pub fn named(name: &str, seed: u64, sessions: usize, steps: usize) -> Option<Self> {
+        let sessions = sessions.max(1);
+        let events = match name {
+            "none" => Vec::new(),
+            // The ci.sh containment proof: panic two sessions and stall a
+            // third past the deadline, all mid-run. With 8 sessions this
+            // touches sessions 2, 5, and 7 and leaves 5 untouched.
+            "panic3" => vec![
+                ServiceFaultEvent {
+                    session: 2 % sessions,
+                    step: Self::derived_step(seed, 0, steps),
+                    fault: ServiceFault::Panic,
+                },
+                ServiceFaultEvent {
+                    session: 5 % sessions,
+                    step: Self::derived_step(seed, 1, steps),
+                    fault: ServiceFault::Stall { stall_s: 1.0e6 },
+                },
+                ServiceFaultEvent {
+                    session: 7 % sessions,
+                    step: Self::derived_step(seed, 2, steps),
+                    fault: ServiceFault::Panic,
+                },
+            ],
+            // A restart storm: one session panics on every dispatch and
+            // must end quarantined after the restart budget.
+            "storm" => vec![ServiceFaultEvent {
+                session: 1 % sessions,
+                step: Self::derived_step(seed, 0, steps),
+                fault: ServiceFault::PanicLoop,
+            }],
+            // A storage device that dies once mid-run; the session
+            // resumes from the surviving commitlog prefix.
+            "disk" => vec![ServiceFaultEvent {
+                session: 3 % sessions,
+                step: 0,
+                fault: ServiceFault::Storage {
+                    at_op: 6 + seed % 4,
+                },
+            }],
+            _ => return None,
+        };
+        Some(Self {
+            name: name.into(),
+            seed,
+            events,
+        })
+    }
+}
+
+/// Mutable per-session state, guarded by one mutex per session. A
+/// session id is in the run queue at most once, so at most one worker
+/// touches a slot at a time; the mutex exists for the control plane
+/// (post/summaries) racing the data plane.
+struct SlotState {
+    phase: SessionPhase,
+    engine: Option<Box<SessionEngine>>,
+    mailbox: VecDeque<SessionMsg>,
+    supervisor: Supervisor,
+    outcome: Option<SessionOutcome>,
+    mailbox_rejections: u64,
+    deadline_charged_s: f64,
+    drain_ms: u64,
+    completed_steps: usize,
+    resumed: bool,
+    last_dispatch_seq: u64,
+}
+
+struct SessionSlot {
+    id: u64,
+    admit_index: usize,
+    ctx: SessionCtx,
+    spec: SessionSpec,
+    state: Mutex<SlotState>,
+}
+
+/// Final per-session accounting returned by
+/// [`TuningService::take_results`].
+#[derive(Debug)]
+pub struct SessionResult {
+    pub id: u64,
+    pub name: String,
+    pub phase: SessionPhase,
+    /// Terminal outcome; `None` for drained/quarantined-before-outcome
+    /// sessions.
+    pub outcome: Option<SessionOutcome>,
+    pub restarts: u32,
+    pub resumed: bool,
+    pub mailbox_rejections: u64,
+    pub deadline_charged_s: f64,
+    pub drain_ms: u64,
+    pub completed_steps: usize,
+}
+
+/// What `dispatch` decided to do after releasing the slot lock.
+enum StepPlan {
+    /// Session already terminal (or mid-backoff): nothing to do.
+    Skip,
+    /// (Re)create the engine; `resume` selects commitlog recovery.
+    Create { resume: bool },
+    /// Run the popped control message against the live engine.
+    Run {
+        engine: Box<SessionEngine>,
+        msg: SessionMsg,
+    },
+    /// Drain: checkpoint (if an engine exists) and stop.
+    Drain { engine: Option<Box<SessionEngine>> },
+}
+
+/// The multi-tenant tuning service. See the module docs for the
+/// robustness contract.
+pub struct TuningService {
+    cfg: ServiceConfig,
+    sched: Scheduler,
+    clock: VirtualClock,
+    slots: RwLock<BTreeMap<u64, Arc<SessionSlot>>>,
+    faults: ServiceFaultPlan,
+    fired: Mutex<BTreeSet<usize>>,
+    next_id: AtomicU64,
+    draining: AtomicBool,
+    drain_start_ms: AtomicU64,
+    live: AtomicUsize,
+    inflight: AtomicUsize,
+    max_gap: AtomicU64,
+}
+
+static PANIC_HOOK: Once = Once::new();
+
+/// Worker threads are named with this prefix; the process panic hook
+/// stays silent for them (their panics are injected or contained), while
+/// panics anywhere else keep the default backtrace.
+const WORKER_THREAD_PREFIX: &str = "deepcat-svc-";
+
+fn install_contained_panic_hook() {
+    PANIC_HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let contained = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with(WORKER_THREAD_PREFIX));
+            if !contained {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Best-effort extraction of a panic payload for the
+/// `supervisor.panic_contained` event.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+fn injected_panic(session: u64, step: usize) -> ! {
+    // PANIC-SAFETY: deliberate fault injection; every dispatch runs
+    // inside the service's catch_unwind boundary, always contained.
+    panic!("injected fault: session {session} panicked before step {step}")
+}
+
+impl TuningService {
+    pub fn new(cfg: ServiceConfig) -> Self {
+        Self::with_faults(cfg, ServiceFaultPlan::none())
+    }
+
+    /// A service with a seeded fault schedule applied at the scheduler
+    /// boundary.
+    pub fn with_faults(cfg: ServiceConfig, faults: ServiceFaultPlan) -> Self {
+        install_contained_panic_hook();
+        let shards = if cfg.shards == 0 {
+            cfg.workers.max(1)
+        } else {
+            cfg.shards
+        };
+        Self {
+            sched: Scheduler::new(shards),
+            clock: VirtualClock::new(),
+            slots: RwLock::new(BTreeMap::new()),
+            faults,
+            fired: Mutex::new(BTreeSet::new()),
+            next_id: AtomicU64::new(1),
+            draining: AtomicBool::new(false),
+            drain_start_ms: AtomicU64::new(0),
+            live: AtomicUsize::new(0),
+            inflight: AtomicUsize::new(0),
+            max_gap: AtomicU64::new(0),
+            cfg,
+        }
+    }
+
+    /// The service's virtual clock (milliseconds).
+    pub fn now_ms(&self) -> u64 {
+        self.clock.now_ms()
+    }
+
+    /// Largest observed gap, in global dispatch sequence numbers, between
+    /// two consecutive dispatches of the same live session — the fairness
+    /// bound the proptests assert on. Backoff parks reset the baseline
+    /// (a deliberately parked session is not being starved).
+    pub fn max_dispatch_gap(&self) -> u64 {
+        self.max_gap.load(Ordering::Acquire)
+    }
+
+    /// Sessions not yet in a terminal phase.
+    pub fn live_sessions(&self) -> usize {
+        self.live.load(Ordering::Acquire)
+    }
+
+    /// Admit a new session. Applies any admission-time storage fault from
+    /// the plan, pins the session's telemetry identity, and enqueues it.
+    pub fn admit(&self, mut spec: SessionSpec) -> Result<u64, AdmitError> {
+        if self.draining.load(Ordering::Acquire) {
+            // SESSION-SCOPE: rejected before a session identity exists;
+            // deliberately process-wide.
+            telemetry::event!(
+                "service.rejected",
+                name = spec.name.as_str(),
+                reason = "draining"
+            );
+            return Err(AdmitError::Draining);
+        }
+        let admit_index = {
+            let slots = self.slots.read();
+            if slots.len() >= self.cfg.max_sessions {
+                drop(slots);
+                // SESSION-SCOPE: rejected before a session identity
+                // exists; deliberately process-wide.
+                telemetry::event!(
+                    "service.rejected",
+                    name = spec.name.as_str(),
+                    reason = "full"
+                );
+                return Err(AdmitError::Full {
+                    cap: self.cfg.max_sessions,
+                });
+            }
+            slots.len()
+        };
+        let id = self.next_id.fetch_add(1, Ordering::AcqRel);
+        let ctx = spec
+            .session
+            .session
+            .clone()
+            .unwrap_or_else(|| SessionCtx::new(id, spec.name.as_str()));
+        spec.session.session = Some(ctx.clone());
+
+        // Admission-time storage fault: wrap the commitlog device so it
+        // dies at the planned operation. The wrapped device lives in the
+        // spec, so restarts keep talking to the *same* (already-dead-once)
+        // device — `StoragePlan::kill_at` fires exactly once across
+        // incarnations.
+        for ev in &self.faults.events {
+            if ev.session != admit_index {
+                continue;
+            }
+            if let ServiceFault::Storage { at_op } = ev.fault {
+                if spec.session.checkpoint.is_some() && spec.session.storage.is_none() {
+                    spec.session.storage = Some(shared_storage(FaultyStorage::new(
+                        RealStorage::new(),
+                        StoragePlan::kill_at(at_op, self.faults.seed ^ admit_index as u64),
+                    )));
+                }
+            }
+        }
+
+        let slot = Arc::new(SessionSlot {
+            id,
+            admit_index,
+            ctx: ctx.clone(),
+            spec,
+            state: Mutex::new(SlotState {
+                phase: SessionPhase::Admitted,
+                engine: None,
+                mailbox: VecDeque::new(),
+                supervisor: Supervisor::new(self.cfg.restart.clone()),
+                outcome: None,
+                mailbox_rejections: 0,
+                deadline_charged_s: 0.0,
+                drain_ms: 0,
+                completed_steps: 0,
+                resumed: false,
+                last_dispatch_seq: u64::MAX,
+            }),
+        });
+        {
+            let mut slots = self.slots.write();
+            slots.insert(id, slot);
+        }
+        self.live.fetch_add(1, Ordering::AcqRel);
+        self.sched.submit(id);
+        let _scope = telemetry::session_scope(&ctx);
+        telemetry::event!("service.admitted", session = id, label = ctx.label());
+        Ok(id)
+    }
+
+    /// Post a control message to a session's bounded mailbox.
+    pub fn post(&self, id: u64, msg: SessionMsg) -> Result<(), PostError> {
+        let slot = {
+            let slots = self.slots.read();
+            slots.get(&id).cloned()
+        };
+        let Some(slot) = slot else {
+            return Err(PostError::UnknownSession);
+        };
+        let verdict = {
+            let mut st = slot.state.lock();
+            if st.phase.is_terminal() {
+                Err(PostError::Terminal)
+            } else if st.mailbox.len() >= self.cfg.mailbox_cap {
+                st.mailbox_rejections += 1;
+                Err(PostError::MailboxFull {
+                    cap: self.cfg.mailbox_cap,
+                })
+            } else {
+                st.mailbox.push_back(msg);
+                Ok(())
+            }
+        };
+        if matches!(verdict, Err(PostError::MailboxFull { .. })) {
+            let _scope = telemetry::session_scope(&slot.ctx);
+            telemetry::event!(
+                "mailbox.rejected",
+                session = slot.id,
+                cap = self.cfg.mailbox_cap
+            );
+        }
+        verdict
+    }
+
+    /// Begin a graceful drain: stop intake now; every live session is
+    /// checkpointed and stopped at its next dispatch.
+    pub fn begin_drain(&self) {
+        if self.draining.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.drain_start_ms
+            .store(self.clock.now_ms(), Ordering::Release);
+        // SESSION-SCOPE: a service-wide lifecycle event, deliberately
+        // unattributed.
+        telemetry::event!(
+            "service.drain_start",
+            live = self.live.load(Ordering::Acquire)
+        );
+    }
+
+    /// Run every admitted session to a terminal phase. Blocks the calling
+    /// thread; spawns [`ServiceConfig::workers`] scoped worker threads.
+    pub fn run(&self) {
+        // SESSION-SCOPE: a service-wide lifecycle event, deliberately
+        // unattributed.
+        telemetry::event!(
+            "service.start",
+            sessions = self.live.load(Ordering::Acquire),
+            workers = self.cfg.workers,
+            shards = self.sched.shard_count(),
+            faults = self.faults.name.as_str()
+        );
+        let workers = self.cfg.workers.max(1);
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let builder =
+                    std::thread::Builder::new().name(format!("{WORKER_THREAD_PREFIX}{w}"));
+                builder
+                    .spawn_scoped(scope, move || self.worker_loop(w))
+                    // PANIC-SAFETY: thread spawning only fails on OS
+                    // resource exhaustion; nothing to tune here.
+                    .expect("spawn service worker");
+            }
+        });
+        let drained = self.draining.load(Ordering::Acquire);
+        if drained {
+            // SESSION-SCOPE: a service-wide lifecycle event, deliberately
+            // unattributed.
+            telemetry::event!(
+                "service.drain_complete",
+                elapsed_ms = self
+                    .clock
+                    .now_ms()
+                    .saturating_sub(self.drain_start_ms.load(Ordering::Acquire))
+            );
+        }
+        telemetry::drain();
+    }
+
+    fn worker_loop(&self, worker: usize) {
+        loop {
+            if self.live.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            self.sched.unpark_due(self.clock.now_ms());
+            if let Some((id, seq)) = self.sched.try_next(worker) {
+                self.inflight.fetch_add(1, Ordering::AcqRel);
+                self.dispatch(id, seq);
+                self.inflight.fetch_sub(1, Ordering::AcqRel);
+                continue;
+            }
+            // Fully idle with sessions parked in backoff: fast-forward the
+            // virtual clock to the earliest wake-up instead of sleeping.
+            // The inflight check keeps the jump conservative — a racing
+            // worker may still be about to resubmit; a missed jump just
+            // means another loop iteration.
+            if self.sched.queued() == 0 && self.inflight.load(Ordering::Acquire) == 0 {
+                if let Some(wake) = self.sched.next_wake_ms() {
+                    self.clock.fast_forward(wake);
+                    continue;
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Look up an unfired scheduler-boundary fault for this session/step.
+    /// `PanicLoop` is never marked fired — it keeps panicking from its
+    /// trigger step on, which is what drives a restart storm into
+    /// quarantine.
+    fn pending_fault(&self, admit_index: usize, step: usize) -> Option<ServiceFault> {
+        for (i, ev) in self.faults.events.iter().enumerate() {
+            if ev.session != admit_index {
+                continue;
+            }
+            match ev.fault {
+                ServiceFault::Panic | ServiceFault::Stall { .. } => {
+                    if ev.step != step {
+                        continue;
+                    }
+                    let mut fired = self.fired.lock();
+                    if fired.insert(i) {
+                        return Some(ev.fault);
+                    }
+                }
+                ServiceFault::PanicLoop => {
+                    if step >= ev.step {
+                        return Some(ev.fault);
+                    }
+                }
+                ServiceFault::Storage { .. } => {} // applied at admission
+            }
+        }
+        None
+    }
+
+    /// Flip a session to a terminal phase exactly once, decrementing the
+    /// live count. Returns false if it already was terminal.
+    fn finish(&self, st: &mut SlotState, phase: SessionPhase, outcome: Option<SessionOutcome>) {
+        debug_assert!(phase.is_terminal());
+        if st.phase.is_terminal() {
+            return;
+        }
+        st.phase = phase;
+        if outcome.is_some() {
+            st.outcome = outcome;
+        }
+        self.live.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    fn dispatch(&self, id: u64, seq: u64) {
+        let slot = {
+            let slots = self.slots.read();
+            slots.get(&id).cloned()
+        };
+        let Some(slot) = slot else {
+            return;
+        };
+        let _scope = telemetry::session_scope(&slot.ctx);
+
+        let plan = {
+            let mut st = slot.state.lock();
+            if st.last_dispatch_seq != u64::MAX {
+                let gap = seq.saturating_sub(st.last_dispatch_seq);
+                self.max_gap.fetch_max(gap, Ordering::AcqRel);
+            }
+            st.last_dispatch_seq = seq;
+            if st.phase.is_terminal() {
+                StepPlan::Skip
+            } else if self.draining.load(Ordering::Acquire) {
+                StepPlan::Drain {
+                    engine: st.engine.take(),
+                }
+            } else {
+                match st.phase {
+                    SessionPhase::Admitted => StepPlan::Create { resume: false },
+                    SessionPhase::Backoff | SessionPhase::Restarting => {
+                        st.phase = SessionPhase::Restarting;
+                        StepPlan::Create {
+                            resume: slot.spec.session.checkpoint.is_some(),
+                        }
+                    }
+                    SessionPhase::Running => match st.engine.take() {
+                        Some(engine) => StepPlan::Run {
+                            engine,
+                            msg: st.mailbox.pop_front().unwrap_or(SessionMsg::Step),
+                        },
+                        // An engine-less Running slot is unreachable (the
+                        // id is queued at most once); treat as a restart.
+                        None => StepPlan::Create {
+                            resume: slot.spec.session.checkpoint.is_some(),
+                        },
+                    },
+                    // Terminal phases handled above.
+                    _ => StepPlan::Skip,
+                }
+            }
+        };
+
+        match plan {
+            StepPlan::Skip => {}
+            StepPlan::Create { resume } => self.create_engine(&slot, resume),
+            StepPlan::Run { engine, msg } => self.run_engine(&slot, engine, msg),
+            StepPlan::Drain { engine } => self.drain_session(&slot, engine),
+        }
+    }
+
+    fn create_engine(&self, slot: &Arc<SessionSlot>, resume: bool) {
+        let mut session = slot.spec.session.clone();
+        session.resume = resume;
+        let spec = &slot.spec;
+        let created = panic::catch_unwind(AssertUnwindSafe(|| {
+            SessionEngine::create(
+                spec.agent.clone(),
+                spec.env.clone(),
+                spec.cfg.clone(),
+                session,
+                &spec.tuner_name,
+            )
+        }));
+        match created {
+            Ok(Ok(EngineInit::Ready(engine))) => {
+                {
+                    let mut st = slot.state.lock();
+                    st.phase = SessionPhase::Running;
+                    st.completed_steps = engine.next_step();
+                    st.resumed = resume && engine.next_step() > 0;
+                    st.engine = Some(engine);
+                }
+                self.sched.submit(slot.id);
+            }
+            // The engine already reported the crash (storage death during
+            // open/create/initial-snapshot); the supervisor rules next.
+            Ok(Ok(EngineInit::Dead(outcome))) => {
+                {
+                    let mut st = slot.state.lock();
+                    if let SessionOutcome::Crashed { completed_steps }
+                    | SessionOutcome::Killed { completed_steps } = outcome
+                    {
+                        st.completed_steps = st.completed_steps.max(completed_steps);
+                    }
+                }
+                self.handle_crash(slot, "storage death during engine creation");
+            }
+            Ok(Err(err)) => {
+                let reason = format!("engine creation failed: {err}");
+                self.handle_crash(slot, &reason);
+            }
+            Err(payload) => {
+                let msg = panic_message(payload.as_ref());
+                telemetry::event!(
+                    "supervisor.panic_contained",
+                    session = slot.id,
+                    at = "create",
+                    message = msg.as_str()
+                );
+                self.handle_crash(slot, "panic during engine creation");
+            }
+        }
+    }
+
+    fn run_engine(&self, slot: &Arc<SessionSlot>, mut engine: Box<SessionEngine>, msg: SessionMsg) {
+        let step = engine.next_step();
+
+        // Scheduler-boundary fault injection, before the step runs: the
+        // engine's durable state is still exactly the post-(step-1) state,
+        // so a commitlog resume replays the interrupted step cleanly.
+        if msg == SessionMsg::Step {
+            match self.pending_fault(slot.admit_index, step) {
+                Some(ServiceFault::Panic) | Some(ServiceFault::PanicLoop) => {
+                    drop(engine); // discarded: recovery goes through the commitlog
+                    let outcome =
+                        panic::catch_unwind(AssertUnwindSafe(|| injected_panic(slot.id, step)));
+                    // PANIC-SAFETY: injected_panic diverges, so the Ok arm
+                    // is unreachable; unwrap_err documents that.
+                    let payload = outcome.unwrap_err();
+                    let msg = panic_message(payload.as_ref());
+                    telemetry::event!(
+                        "supervisor.panic_contained",
+                        session = slot.id,
+                        at = "step",
+                        step = step,
+                        message = msg.as_str()
+                    );
+                    self.handle_crash(slot, "injected panic");
+                    return;
+                }
+                Some(ServiceFault::Stall { stall_s }) => {
+                    self.clock.advance_ms((stall_s * 1000.0).round() as u64);
+                    telemetry::event!(
+                        "service.stall_injected",
+                        session = slot.id,
+                        step = step,
+                        stall_s = stall_s
+                    );
+                    if stall_s > self.cfg.step_deadline_s {
+                        // The stall is charged to the *service* (virtual
+                        // clock + per-session deadline account), never into
+                        // the engine's step records — that is what keeps a
+                        // recovered session's stream byte-identical.
+                        {
+                            let mut st = slot.state.lock();
+                            st.deadline_charged_s += stall_s;
+                        }
+                        telemetry::event!(
+                            "supervisor.deadline_blown",
+                            session = slot.id,
+                            step = step,
+                            stall_s = stall_s,
+                            deadline_s = self.cfg.step_deadline_s
+                        );
+                        drop(engine); // wedged: recovery goes through the commitlog
+                        self.handle_crash(slot, "step deadline blown");
+                        return;
+                    }
+                    {
+                        let mut st = slot.state.lock();
+                        st.deadline_charged_s += stall_s;
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        match msg {
+            SessionMsg::Checkpoint => {
+                let res = engine.checkpoint_now();
+                match res {
+                    Ok(true) => {
+                        {
+                            let mut st = slot.state.lock();
+                            st.engine = Some(engine);
+                        }
+                        self.sched.submit(slot.id);
+                    }
+                    Ok(false) => {
+                        drop(engine);
+                        self.handle_crash(slot, "storage death during checkpoint");
+                    }
+                    Err(err) => {
+                        drop(engine);
+                        let reason = format!("checkpoint failed: {err}");
+                        self.handle_crash(slot, &reason);
+                    }
+                }
+            }
+            SessionMsg::Stop => {
+                // Per-session drain: checkpoint, then stop scheduling.
+                let _ = engine.checkpoint_now();
+                let completed = engine.next_step();
+                drop(engine);
+                {
+                    let mut st = slot.state.lock();
+                    st.completed_steps = completed;
+                    // GUARD-EMIT: finish only mutates the slot; it never emits.
+                    self.finish(&mut st, SessionPhase::Drained, None);
+                }
+                telemetry::event!(
+                    "service.session_done",
+                    session = slot.id,
+                    outcome = "stopped"
+                );
+            }
+            SessionMsg::Step => {
+                let stepped = panic::catch_unwind(AssertUnwindSafe(|| engine.step_once()));
+                match stepped {
+                    Ok(Ok(EngineStep::Running)) => {
+                        self.clock.advance_ms(1);
+                        {
+                            let mut st = slot.state.lock();
+                            st.completed_steps = engine.next_step();
+                            st.engine = Some(engine);
+                        }
+                        self.sched.submit(slot.id);
+                    }
+                    Ok(Ok(EngineStep::Finished(outcome))) => {
+                        self.clock.advance_ms(1);
+                        drop(engine);
+                        match outcome {
+                            SessionOutcome::Completed(report) => {
+                                {
+                                    let mut st = slot.state.lock();
+                                    st.completed_steps = report.steps.len().max(st.completed_steps);
+                                    // GUARD-EMIT: finish only mutates the slot; it never emits.
+                                    self.finish(
+                                        &mut st,
+                                        SessionPhase::Completed,
+                                        Some(SessionOutcome::Completed(report)),
+                                    );
+                                }
+                                telemetry::event!(
+                                    "service.session_done",
+                                    session = slot.id,
+                                    outcome = "completed"
+                                );
+                            }
+                            SessionOutcome::Killed { completed_steps }
+                            | SessionOutcome::Crashed { completed_steps } => {
+                                {
+                                    let mut st = slot.state.lock();
+                                    st.completed_steps = st.completed_steps.max(completed_steps);
+                                }
+                                self.handle_crash(slot, "session crashed mid-step");
+                            }
+                        }
+                    }
+                    Ok(Err(err)) => {
+                        drop(engine);
+                        let reason = format!("step failed: {err}");
+                        self.handle_crash(slot, &reason);
+                    }
+                    Err(payload) => {
+                        // A panic mid-step leaves the engine untrusted:
+                        // discard it and resume from the durable state.
+                        drop(engine);
+                        let msg = panic_message(payload.as_ref());
+                        telemetry::event!(
+                            "supervisor.panic_contained",
+                            session = slot.id,
+                            at = "step",
+                            step = step,
+                            message = msg.as_str()
+                        );
+                        self.handle_crash(slot, "panic during step");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Supervisor ruling after a contained crash: bounded restart with
+    /// virtual-clock backoff, or quarantine.
+    fn handle_crash(&self, slot: &Arc<SessionSlot>, reason: &str) {
+        let verdict = {
+            let mut st = slot.state.lock();
+            st.engine = None;
+            let verdict = st.supervisor.on_crash();
+            match verdict {
+                SupervisorVerdict::Restart { .. } => {
+                    st.phase = SessionPhase::Backoff;
+                    // A parked session is deliberately idle; don't count
+                    // the backoff window against the fairness bound.
+                    st.last_dispatch_seq = u64::MAX;
+                }
+                SupervisorVerdict::Quarantine { .. } => {
+                    let completed_steps = st.completed_steps;
+                    // GUARD-EMIT: finish only mutates the slot; it never emits.
+                    self.finish(
+                        &mut st,
+                        SessionPhase::Quarantined,
+                        Some(SessionOutcome::Crashed { completed_steps }),
+                    );
+                }
+            }
+            verdict
+        };
+        match verdict {
+            SupervisorVerdict::Restart {
+                attempt,
+                backoff_ms,
+            } => {
+                let wake = self.clock.now_ms() + backoff_ms;
+                telemetry::event!(
+                    "supervisor.restart",
+                    session = slot.id,
+                    attempt = attempt,
+                    backoff_ms = backoff_ms,
+                    reason = reason
+                );
+                self.sched.park(slot.id, wake);
+            }
+            SupervisorVerdict::Quarantine { restarts } => {
+                telemetry::event!(
+                    "supervisor.quarantined",
+                    session = slot.id,
+                    restarts = restarts,
+                    reason = reason
+                );
+                telemetry::event!(
+                    "service.session_done",
+                    session = slot.id,
+                    outcome = "quarantined"
+                );
+            }
+        }
+    }
+
+    /// Drain one session: checkpoint whatever is live, mark it Drained.
+    fn drain_session(&self, slot: &Arc<SessionSlot>, engine: Option<Box<SessionEngine>>) {
+        let mut completed = None;
+        if let Some(mut engine) = engine {
+            // Best-effort: a storage death here still drains the session;
+            // whatever the commitlog holds is what a later resume gets.
+            let _ = engine.checkpoint_now();
+            completed = Some(engine.next_step());
+        }
+        let drain_ms = self
+            .clock
+            .now_ms()
+            .saturating_sub(self.drain_start_ms.load(Ordering::Acquire));
+        {
+            let mut st = slot.state.lock();
+            if let Some(completed) = completed {
+                st.completed_steps = completed;
+            }
+            st.drain_ms = drain_ms;
+            // GUARD-EMIT: finish only mutates the slot; it never emits.
+            self.finish(&mut st, SessionPhase::Drained, None);
+        }
+        telemetry::event!("supervisor.drained", session = slot.id, drain_ms = drain_ms);
+    }
+
+    /// Take the per-session results (outcomes are moved out; calling
+    /// twice yields summaries without outcomes).
+    pub fn take_results(&self) -> Vec<SessionResult> {
+        let slots: Vec<Arc<SessionSlot>> = {
+            let slots = self.slots.read();
+            slots.values().cloned().collect()
+        };
+        let mut out = Vec::with_capacity(slots.len());
+        for slot in slots {
+            let mut st = slot.state.lock();
+            out.push(SessionResult {
+                id: slot.id,
+                name: slot.spec.name.clone(),
+                phase: st.phase,
+                outcome: st.outcome.take(),
+                restarts: st.supervisor.restarts(),
+                resumed: st.resumed,
+                mailbox_rejections: st.mailbox_rejections,
+                deadline_charged_s: st.deadline_charged_s,
+                drain_ms: st.drain_ms,
+                completed_steps: st.completed_steps,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AgentConfig;
+    use crate::envwrap::TuningEnv;
+    use crate::resilience::ResiliencePolicy;
+    use spark_sim::{Cluster, InputSize, Workload, WorkloadKind};
+
+    /// Unique per-test scratch dir (pid-qualified so concurrent `cargo
+    /// test` invocations never collide), removed on drop.
+    struct TestDir(std::path::PathBuf);
+
+    impl TestDir {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir()
+                .join(format!("deepcat-service-test-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            TestDir(dir)
+        }
+    }
+
+    impl Drop for TestDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn tiny_env(seed: u64) -> ResilientEnv {
+        let inner = TuningEnv::for_workload(
+            Cluster::cluster_a(),
+            Workload::new(WorkloadKind::TeraSort, InputSize::D1),
+            seed,
+        );
+        ResilientEnv::new(inner, ResiliencePolicy::default())
+    }
+
+    fn tiny_agent(seed: u64) -> Td3Agent {
+        let env = tiny_env(seed);
+        let mut cfg = AgentConfig::for_dims(env.state_dim(), env.action_dim());
+        cfg.hidden = vec![8, 8];
+        cfg.warmup_steps = 4;
+        cfg.batch_size = 4;
+        Td3Agent::new(cfg, seed)
+    }
+
+    fn tiny_spec(name: &str, seed: u64, steps: usize) -> SessionSpec {
+        let mut cfg = OnlineConfig::deepcat(seed);
+        cfg.steps = steps;
+        cfg.use_twinq = false;
+        cfg.fine_tune_steps = 1;
+        SessionSpec {
+            name: name.to_string(),
+            agent: tiny_agent(seed),
+            env: tiny_env(seed),
+            cfg,
+            session: ChaosSessionConfig::default(),
+            tuner_name: "svc-test".to_string(),
+        }
+    }
+
+    fn svc_cfg(workers: usize) -> ServiceConfig {
+        ServiceConfig {
+            workers,
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn sessions_run_to_completion_and_match_solo() {
+        let service = TuningService::new(svc_cfg(2));
+        for i in 0..3u64 {
+            service
+                .admit(tiny_spec(&format!("s{i}"), 100 + i, 3))
+                .unwrap();
+        }
+        service.run();
+        let results = service.take_results();
+        assert_eq!(results.len(), 3);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.phase, SessionPhase::Completed, "session {i}");
+            let Some(SessionOutcome::Completed(report)) = &r.outcome else {
+                panic!("session {i} has no completed outcome");
+            };
+            // Multiplexed result == solo result, bit for bit.
+            let spec = tiny_spec(&format!("s{i}"), 100 + i as u64, 3);
+            let mut agent = spec.agent.clone();
+            let mut env = spec.env.clone();
+            let solo = crate::resilience::online_tune_resilient(
+                &mut agent,
+                &mut env,
+                &spec.cfg,
+                &spec.session,
+                &spec.tuner_name,
+            )
+            .unwrap();
+            let SessionOutcome::Completed(solo) = solo else {
+                panic!("solo run did not complete");
+            };
+            assert_eq!(report.steps.len(), solo.steps.len());
+            for (a, b) in report.steps.iter().zip(solo.steps.iter()) {
+                assert_eq!(a.reward, b.reward, "session {i}");
+                assert_eq!(a.exec_time_s, b.exec_time_s, "session {i}");
+                assert_eq!(a.action, b.action, "session {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn admission_is_bounded_and_drain_stops_intake() {
+        let service = TuningService::new(ServiceConfig {
+            max_sessions: 1,
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        service.admit(tiny_spec("a", 1, 2)).unwrap();
+        assert_eq!(
+            service.admit(tiny_spec("b", 2, 2)).unwrap_err(),
+            AdmitError::Full { cap: 1 }
+        );
+        let service2 = TuningService::new(svc_cfg(1));
+        service2.begin_drain();
+        assert_eq!(
+            service2.admit(tiny_spec("c", 3, 2)).unwrap_err(),
+            AdmitError::Draining
+        );
+    }
+
+    #[test]
+    fn mailbox_backpressure_rejects_with_reason() {
+        let service = TuningService::new(ServiceConfig {
+            mailbox_cap: 2,
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let id = service.admit(tiny_spec("bp", 7, 2)).unwrap();
+        service.post(id, SessionMsg::Checkpoint).unwrap();
+        service.post(id, SessionMsg::Checkpoint).unwrap();
+        assert_eq!(
+            service.post(id, SessionMsg::Checkpoint),
+            Err(PostError::MailboxFull { cap: 2 })
+        );
+        assert_eq!(
+            service.post(999, SessionMsg::Step),
+            Err(PostError::UnknownSession)
+        );
+        service.run();
+        let results = service.take_results();
+        assert_eq!(results[0].mailbox_rejections, 1);
+        assert_eq!(results[0].phase, SessionPhase::Completed);
+    }
+
+    #[test]
+    fn injected_panic_is_contained_and_siblings_unperturbed() {
+        let dir = TestDir::new("panic-contained");
+        let plan = ServiceFaultPlan {
+            name: "test".into(),
+            seed: 9,
+            events: vec![ServiceFaultEvent {
+                session: 0,
+                step: 1,
+                fault: ServiceFault::Panic,
+            }],
+        };
+        let service = TuningService::with_faults(svc_cfg(2), plan);
+        let mut spec0 = tiny_spec("victim", 41, 3);
+        spec0.session.checkpoint = Some(dir.0.join("victim"));
+        service.admit(spec0).unwrap();
+        service.admit(tiny_spec("sibling", 42, 3)).unwrap();
+        service.run();
+        let results = service.take_results();
+        // The victim crashed once, restarted via its commitlog, completed.
+        assert_eq!(results[0].restarts, 1);
+        assert_eq!(results[0].phase, SessionPhase::Completed);
+        assert!(results[0].resumed);
+        // The sibling never noticed.
+        assert_eq!(results[1].restarts, 0);
+        assert_eq!(results[1].phase, SessionPhase::Completed);
+        let Some(SessionOutcome::Completed(victim)) = &results[0].outcome else {
+            panic!("victim has no outcome");
+        };
+        // And the victim's result equals its solo run: the crash cost
+        // virtual time, not correctness.
+        let solo_spec = tiny_spec("victim", 41, 3);
+        let mut agent = solo_spec.agent.clone();
+        let mut env = solo_spec.env.clone();
+        let solo = crate::resilience::online_tune_resilient(
+            &mut agent,
+            &mut env,
+            &solo_spec.cfg,
+            &solo_spec.session,
+            &solo_spec.tuner_name,
+        )
+        .unwrap();
+        let SessionOutcome::Completed(solo) = solo else {
+            panic!("solo run did not complete");
+        };
+        for (a, b) in victim.steps.iter().zip(solo.steps.iter()) {
+            assert_eq!(a.reward, b.reward);
+            assert_eq!(a.action, b.action);
+        }
+    }
+
+    #[test]
+    fn restart_storm_ends_in_quarantine() {
+        let plan = ServiceFaultPlan {
+            name: "test-storm".into(),
+            seed: 5,
+            events: vec![ServiceFaultEvent {
+                session: 0,
+                step: 1,
+                fault: ServiceFault::PanicLoop,
+            }],
+        };
+        let service = TuningService::with_faults(
+            ServiceConfig {
+                workers: 2,
+                restart: RestartPolicy {
+                    max_restarts: 2,
+                    ..RestartPolicy::default()
+                },
+                ..ServiceConfig::default()
+            },
+            plan,
+        );
+        service.admit(tiny_spec("stormy", 11, 3)).unwrap();
+        service.admit(tiny_spec("calm", 12, 3)).unwrap();
+        service.run();
+        let results = service.take_results();
+        assert_eq!(results[0].phase, SessionPhase::Quarantined);
+        assert_eq!(results[0].restarts, 2);
+        assert!(matches!(
+            results[0].outcome,
+            Some(SessionOutcome::Crashed { .. })
+        ));
+        assert_eq!(results[1].phase, SessionPhase::Completed);
+    }
+
+    #[test]
+    fn deadline_blown_stall_crashes_and_recovers() {
+        let dir = TestDir::new("stall-recovers");
+        let plan = ServiceFaultPlan {
+            name: "test-stall".into(),
+            seed: 3,
+            events: vec![ServiceFaultEvent {
+                session: 0,
+                step: 1,
+                fault: ServiceFault::Stall { stall_s: 1.0e6 },
+            }],
+        };
+        let service = TuningService::with_faults(svc_cfg(1), plan);
+        let mut spec = tiny_spec("wedged", 21, 3);
+        spec.session.checkpoint = Some(dir.0.join("wedged"));
+        service.admit(spec).unwrap();
+        service.run();
+        let results = service.take_results();
+        assert_eq!(results[0].phase, SessionPhase::Completed);
+        assert_eq!(results[0].restarts, 1);
+        assert!(results[0].deadline_charged_s >= 1.0e6);
+        // The stall advanced the virtual clock, not the wall clock.
+        assert!(service.now_ms() >= 1_000_000_000);
+    }
+
+    #[test]
+    fn drain_checkpoints_and_stops_every_session() {
+        let dir = TestDir::new("drain");
+        let service = TuningService::new(svc_cfg(1));
+        let mut spec = tiny_spec("drained", 31, 50);
+        spec.session.checkpoint = Some(dir.0.join("drained"));
+        let id = service.admit(spec).unwrap();
+        // Drain immediately: the session must stop long before 50 steps.
+        service.begin_drain();
+        service.run();
+        let results = service.take_results();
+        assert_eq!(results[0].id, id);
+        assert_eq!(results[0].phase, SessionPhase::Drained);
+        assert!(results[0].completed_steps < 50);
+    }
+
+    #[test]
+    fn named_plans_are_deterministic_and_cover_the_names() {
+        for name in SERVICE_PLAN_NAMES {
+            let a = ServiceFaultPlan::named(name, 2022, 8, 4).unwrap();
+            let b = ServiceFaultPlan::named(name, 2022, 8, 4).unwrap();
+            assert_eq!(a.events, b.events, "plan {name} not deterministic");
+        }
+        assert!(ServiceFaultPlan::named("bogus", 1, 8, 4).is_none());
+        // panic3 touches exactly 3 distinct sessions out of 8, mid-run.
+        let plan = ServiceFaultPlan::named("panic3", 2022, 8, 4).unwrap();
+        let sessions: BTreeSet<usize> = plan.events.iter().map(|e| e.session).collect();
+        assert_eq!(sessions.len(), 3);
+        for ev in &plan.events {
+            assert!(ev.step >= 1 && ev.step < 4);
+        }
+    }
+}

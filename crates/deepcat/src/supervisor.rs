@@ -1,0 +1,222 @@
+//! Per-session supervision for the multi-tenant
+//! [`crate::service::TuningService`]: bounded restarts with exponential
+//! backoff on the service's virtual clock, and quarantine once the
+//! restart budget is exhausted.
+//!
+//! The supervisor is deliberately dumb — it never touches the session's
+//! engine or commitlog. It only answers one question after a contained
+//! crash: *restart (after how long) or quarantine?* Recovery itself is
+//! the commitlog's job ([`crate::commitlog::Commitlog`]); the service
+//! re-creates the engine with `resume = true` and the durable state does
+//! the rest.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Restart budget and backoff schedule for one supervised session.
+///
+/// Backoff is charged in *virtual* milliseconds against the service's
+/// [`crate::scheduler::VirtualClock`], so a restart storm never makes a
+/// deterministic run slower in wall time.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RestartPolicy {
+    /// Maximum restarts before the session is quarantined.
+    pub max_restarts: u32,
+    /// Backoff before the first restart (virtual seconds).
+    pub backoff_base_s: f64,
+    /// Multiplier applied to the backoff on each further restart.
+    pub backoff_factor: f64,
+    /// Upper bound on a single backoff wait (virtual seconds).
+    pub backoff_cap_s: f64,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        Self {
+            max_restarts: 3,
+            backoff_base_s: 2.0,
+            backoff_factor: 2.0,
+            backoff_cap_s: 30.0,
+        }
+    }
+}
+
+impl RestartPolicy {
+    /// Backoff wait before restart number `restart` (0-based), capped.
+    pub fn backoff_s(&self, restart: u32) -> f64 {
+        let wait = self.backoff_base_s * self.backoff_factor.powi(restart as i32);
+        wait.min(self.backoff_cap_s)
+    }
+}
+
+/// Lifecycle of a supervised session actor (DESIGN §16):
+///
+/// ```text
+/// Admitted → Running → Completed
+///               │
+///               ├─ crash/deadline → Backoff → Restarting → Running
+///               │                     (budget exhausted) → Quarantined
+///               └─ drain → Drained
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SessionPhase {
+    /// Admitted, engine not yet constructed.
+    Admitted,
+    /// Engine live, stepping (or queued to step).
+    Running,
+    /// Crashed; parked until the supervisor's backoff elapses.
+    Backoff,
+    /// Backoff elapsed; the next dispatch re-creates the engine from the
+    /// commitlog.
+    Restarting,
+    /// Ran every step to completion.
+    Completed,
+    /// Terminal crash with no restart attempted (admission-time storage
+    /// death, or a `kill_after` session the service does not resurrect).
+    Crashed,
+    /// Restart budget exhausted; the session is isolated and will not be
+    /// scheduled again.
+    Quarantined,
+    /// Checkpointed and stopped by a graceful drain.
+    Drained,
+}
+
+impl SessionPhase {
+    /// A terminal phase is never scheduled again.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            SessionPhase::Completed
+                | SessionPhase::Crashed
+                | SessionPhase::Quarantined
+                | SessionPhase::Drained
+        )
+    }
+}
+
+impl fmt::Display for SessionPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SessionPhase::Admitted => "admitted",
+            SessionPhase::Running => "running",
+            SessionPhase::Backoff => "backoff",
+            SessionPhase::Restarting => "restarting",
+            SessionPhase::Completed => "completed",
+            SessionPhase::Crashed => "crashed",
+            SessionPhase::Quarantined => "quarantined",
+            SessionPhase::Drained => "drained",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The supervisor's ruling on a contained crash.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SupervisorVerdict {
+    /// Restart attempt `attempt` (1-based) after `backoff_ms` of virtual
+    /// time.
+    Restart { attempt: u32, backoff_ms: u64 },
+    /// Budget exhausted after `restarts` restarts: quarantine.
+    Quarantine { restarts: u32 },
+}
+
+/// Restart accounting for one session.
+#[derive(Clone, Debug)]
+pub struct Supervisor {
+    policy: RestartPolicy,
+    restarts: u32,
+}
+
+impl Supervisor {
+    pub fn new(policy: RestartPolicy) -> Self {
+        Self {
+            policy,
+            restarts: 0,
+        }
+    }
+
+    /// Restarts granted so far.
+    pub fn restarts(&self) -> u32 {
+        self.restarts
+    }
+
+    /// Rule on a contained crash: grant a restart (consuming budget) or
+    /// quarantine.
+    pub fn on_crash(&mut self) -> SupervisorVerdict {
+        if self.restarts >= self.policy.max_restarts {
+            return SupervisorVerdict::Quarantine {
+                restarts: self.restarts,
+            };
+        }
+        let backoff_ms = (self.policy.backoff_s(self.restarts) * 1000.0).round() as u64;
+        self.restarts += 1;
+        SupervisorVerdict::Restart {
+            attempt: self.restarts,
+            backoff_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let policy = RestartPolicy::default();
+        assert!((policy.backoff_s(0) - 2.0).abs() < 1e-12);
+        assert!((policy.backoff_s(1) - 4.0).abs() < 1e-12);
+        assert!((policy.backoff_s(10) - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_exhaustion_quarantines() {
+        let mut sup = Supervisor::new(RestartPolicy {
+            max_restarts: 2,
+            ..RestartPolicy::default()
+        });
+        assert_eq!(
+            sup.on_crash(),
+            SupervisorVerdict::Restart {
+                attempt: 1,
+                backoff_ms: 2000
+            }
+        );
+        assert_eq!(
+            sup.on_crash(),
+            SupervisorVerdict::Restart {
+                attempt: 2,
+                backoff_ms: 4000
+            }
+        );
+        assert_eq!(
+            sup.on_crash(),
+            SupervisorVerdict::Quarantine { restarts: 2 }
+        );
+        // Quarantine is sticky.
+        assert_eq!(
+            sup.on_crash(),
+            SupervisorVerdict::Quarantine { restarts: 2 }
+        );
+    }
+
+    #[test]
+    fn terminal_phases_are_exactly_the_unschedulable_ones() {
+        for phase in [
+            SessionPhase::Admitted,
+            SessionPhase::Running,
+            SessionPhase::Backoff,
+            SessionPhase::Restarting,
+        ] {
+            assert!(!phase.is_terminal(), "{phase} should be schedulable");
+        }
+        for phase in [
+            SessionPhase::Completed,
+            SessionPhase::Crashed,
+            SessionPhase::Quarantined,
+            SessionPhase::Drained,
+        ] {
+            assert!(phase.is_terminal(), "{phase} should be terminal");
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Regression: the pre-service `deepcat-tune fleet` invocation (PR 9
+//! flags, unchanged) must keep working now that `fleet` is a thin alias
+//! over the multi-tenant `TuningService` path — same flags, same output
+//! files, same reference-vs-recovered byte-identity contract.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+struct TestDir(PathBuf);
+
+impl TestDir {
+    fn new() -> Self {
+        let dir = std::env::temp_dir().join(format!("deepcat-cli-fleet-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        TestDir(dir)
+    }
+}
+
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn old_fleet_invocation_still_works_on_the_service_path() {
+    let dir = TestDir::new();
+    let out_dir = dir.0.join("fleet");
+    let output = Command::new(env!("CARGO_BIN_EXE_deepcat-tune"))
+        .args([
+            "fleet",
+            "--sessions",
+            "2",
+            "--steps",
+            "3",
+            "--iters",
+            "40",
+            "--kill-at",
+            "1",
+            "--deterministic",
+            "--seed",
+            "2022",
+            "--out-dir",
+        ])
+        .arg(&out_dir)
+        .output()
+        .expect("spawn deepcat-tune");
+    assert!(
+        output.status.success(),
+        "fleet exited with {:?}\nstderr:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    // The PR 9 contract: per-session reference/recovered step logs are
+    // written and byte-identical after the injected crash + resume.
+    for i in 0..2 {
+        let reference = std::fs::read(out_dir.join(format!("session-{i}-reference.jsonl")))
+            .expect("reference log exists");
+        let recovered = std::fs::read(out_dir.join(format!("session-{i}-recovered.jsonl")))
+            .expect("recovered log exists");
+        assert!(!reference.is_empty(), "session {i} reference log is empty");
+        assert_eq!(
+            reference, recovered,
+            "session {i} recovered log diverged from its reference"
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! Property tests of the multi-tenant [`deepcat::TuningService`]: for
+//! *arbitrary* combinations of session count, worker count, and injected
+//! scheduler-boundary faults (panics, deadline-blowing stalls, at any
+//! step of any session), the service must
+//!
+//! * drive every admitted session to a terminal phase (no starvation —
+//!   the max dispatch gap between consecutive turns of a live session
+//!   stays within a fairness bound),
+//! * never lose a step record (every completed session reports exactly
+//!   its configured steps, contiguous from 0), and
+//! * stay extraction-faithful: any single session replayed solo, from
+//!   the same spec with no service and no faults, is bit-identical to
+//!   what the multiplexed run produced for it — crashed-and-resumed
+//!   sessions included.
+
+use deepcat::{
+    AgentConfig, ChaosSessionConfig, CommitlogPolicy, OnlineConfig, ResiliencePolicy, ResilientEnv,
+    RestartPolicy, ServiceConfig, ServiceFault, ServiceFaultEvent, ServiceFaultPlan,
+    SessionOutcome, SessionPhase, SessionSpec, Td3Agent, TuningEnv, TuningService,
+};
+use proptest::prelude::*;
+use spark_sim::{Cluster, InputSize, Workload, WorkloadKind};
+
+/// Unique per-case scratch dir for commitlogs, removed on drop.
+struct TestDir(std::path::PathBuf);
+
+impl TestDir {
+    fn new(tag: u64) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "deepcat-proptest-service-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        TestDir(dir)
+    }
+}
+
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn tiny_env(seed: u64) -> ResilientEnv {
+    let inner = TuningEnv::for_workload(
+        Cluster::cluster_a(),
+        Workload::new(WorkloadKind::TeraSort, InputSize::D1),
+        seed,
+    );
+    ResilientEnv::new(inner, ResiliencePolicy::default())
+}
+
+fn tiny_spec(name: &str, seed: u64, steps: usize) -> SessionSpec {
+    let env = tiny_env(seed);
+    let mut agent_cfg = AgentConfig::for_dims(env.state_dim(), env.action_dim());
+    agent_cfg.hidden = vec![8, 8];
+    agent_cfg.warmup_steps = 4;
+    agent_cfg.batch_size = 4;
+    let mut cfg = OnlineConfig::deepcat(seed);
+    cfg.steps = steps;
+    cfg.use_twinq = false;
+    cfg.fine_tune_steps = 1;
+    SessionSpec {
+        name: name.to_string(),
+        agent: Td3Agent::new(agent_cfg, seed),
+        env,
+        cfg,
+        session: ChaosSessionConfig::default(),
+        tuner_name: "svc-prop".to_string(),
+    }
+}
+
+fn solo_steps(spec: &SessionSpec) -> Vec<deepcat::StepRecord> {
+    let mut agent = spec.agent.clone();
+    let mut env = spec.env.clone();
+    let outcome = deepcat::online_tune_resilient(
+        &mut agent,
+        &mut env,
+        &spec.cfg,
+        &spec.session,
+        &spec.tuner_name,
+    )
+    .expect("solo run is io-fault free");
+    let SessionOutcome::Completed(report) = outcome else {
+        panic!("solo run did not complete");
+    };
+    report.steps
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn arbitrary_faulted_interleavings_terminate_fairly_without_losing_steps(
+        sessions in 1usize..=4,
+        steps in 2usize..=4,
+        workers in 1usize..=3,
+        // 0 = no fault, 1 = panic, 2 = deadline-blowing stall
+        fault_kind in 0usize..3,
+        fault_target in 0usize..4,
+        fault_step in 1usize..4,
+        seed in 1u64..500,
+    ) {
+        let dir = TestDir::new(seed ^ (sessions as u64) << 8);
+        let fault_target = fault_target % sessions;
+        let events = match fault_kind {
+            0 => Vec::new(),
+            1 => vec![ServiceFaultEvent {
+                session: fault_target,
+                step: fault_step,
+                fault: ServiceFault::Panic,
+            }],
+            _ => vec![ServiceFaultEvent {
+                session: fault_target,
+                step: fault_step,
+                fault: ServiceFault::Stall { stall_s: 1.0e6 },
+            }],
+        };
+        let service = TuningService::with_faults(
+            ServiceConfig {
+                workers,
+                restart: RestartPolicy { max_restarts: 8, ..RestartPolicy::default() },
+                ..ServiceConfig::default()
+            },
+            ServiceFaultPlan { name: "prop".into(), seed, events },
+        );
+        for i in 0..sessions {
+            let mut spec = tiny_spec(&format!("p{i}"), seed + i as u64, steps);
+            spec.session.checkpoint = Some(dir.0.join(format!("session-{i}")));
+            spec.session.commitlog = CommitlogPolicy { snapshot_every: 2, segment_max_records: 2 };
+            service.admit(spec).unwrap();
+        }
+        service.run();
+        let results = service.take_results();
+        prop_assert_eq!(results.len(), sessions);
+
+        // Termination: with a generous restart budget, every session —
+        // including the faulted one — must complete.
+        for (i, r) in results.iter().enumerate() {
+            prop_assert!(r.phase.is_terminal(), "session {i} ended in {}", r.phase);
+            prop_assert_eq!(r.phase, SessionPhase::Completed, "session {i}");
+            let Some(SessionOutcome::Completed(report)) = &r.outcome else {
+                panic!("session {i} has no outcome");
+            };
+            // No lost step records: exactly `steps`, contiguous from 0.
+            prop_assert_eq!(report.steps.len(), steps, "session {i}");
+            for (k, record) in report.steps.iter().enumerate() {
+                prop_assert_eq!(record.step, k, "session {i} lost a step record");
+            }
+        }
+
+        // Fairness: between two consecutive dispatches of a live session,
+        // at most a bounded number of other dispatches may be granted
+        // (backoff-parked sessions are deliberately excluded). Each
+        // dispatched session is re-queued behind the others, so the gap
+        // is O(sessions); the bound leaves slack for worker interleaving.
+        let bound = (4 * sessions + 8) as u64;
+        prop_assert!(
+            service.max_dispatch_gap() <= bound,
+            "dispatch gap {} exceeds fairness bound {bound}",
+            service.max_dispatch_gap()
+        );
+
+        // Extraction fidelity: the faulted session replayed solo (no
+        // service, no faults, no commitlog) matches the multiplexed run
+        // bit for bit.
+        let spec = tiny_spec(&format!("p{fault_target}"), seed + fault_target as u64, steps);
+        let solo = solo_steps(&spec);
+        let Some(SessionOutcome::Completed(report)) = &results[fault_target].outcome else {
+            panic!("faulted session has no outcome");
+        };
+        prop_assert_eq!(solo.len(), report.steps.len());
+        for (a, b) in solo.iter().zip(report.steps.iter()) {
+            prop_assert_eq!(a.step, b.step);
+            prop_assert_eq!(a.reward, b.reward);
+            prop_assert_eq!(a.exec_time_s, b.exec_time_s);
+            prop_assert_eq!(a.failed, b.failed);
+            prop_assert_eq!(&a.action, &b.action);
+        }
+    }
+}

@@ -184,6 +184,17 @@ impl FaultPlan {
         })
     }
 
+    /// The named plan `name` re-seeded for one session of a multiplexed
+    /// run: same fault schedule, but the noise stream is derived from
+    /// `(seed, session_idx)` so concurrent sessions see distinct —
+    /// still reproducible — cluster weather. Session 0 with `seed` is
+    /// NOT the same as `named(name, seed)`; callers who extract a single
+    /// session for solo replay must go through this constructor too.
+    pub fn for_session(name: &str, seed: u64, session_idx: usize) -> Option<Self> {
+        let session_seed = seed ^ (session_idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Self::named(name, session_seed)
+    }
+
     /// The faults that hit evaluation `eval` (crash windows resolved).
     pub fn active_at(&self, eval: u64) -> impl Iterator<Item = &Fault> {
         self.events.iter().filter_map(move |e| match e.fault {

@@ -76,7 +76,8 @@ pub enum MetricSelector {
     /// `unattributed` — events seen without a `session_id`.
     Unattributed,
     /// `session_max:FIELD` — the maximum of a per-session statistic
-    /// (`consecutive_rollbacks`, `failed_steps`, `latency_p95_s`).
+    /// (`consecutive_rollbacks`, `failed_steps`, `latency_p95_s`,
+    /// `restarts`).
     SessionMax(SessionField),
 }
 
@@ -85,6 +86,7 @@ pub enum SessionField {
     ConsecutiveRollbacks,
     FailedSteps,
     LatencyP95S,
+    Restarts,
 }
 
 impl MetricSelector {
@@ -114,6 +116,7 @@ impl MetricSelector {
                 "consecutive_rollbacks" => Ok(Self::SessionMax(SessionField::ConsecutiveRollbacks)),
                 "failed_steps" => Ok(Self::SessionMax(SessionField::FailedSteps)),
                 "latency_p95_s" => Ok(Self::SessionMax(SessionField::LatencyP95S)),
+                "restarts" => Ok(Self::SessionMax(SessionField::Restarts)),
                 other => Err(format!("unknown session_max field '{other}'")),
             },
             other => Err(format!("unknown selector kind '{other}' in '{spec}'")),
@@ -136,6 +139,7 @@ impl MetricSelector {
                     SessionField::ConsecutiveRollbacks => Some(s.consecutive_rollbacks as f64),
                     SessionField::FailedSteps => Some(s.failed_steps as f64),
                     SessionField::LatencyP95S => s.latency_quantile_s(0.95),
+                    SessionField::Restarts => Some(s.restarts as f64),
                 })
                 .fold(None, |acc: Option<f64>, v| {
                     Some(acc.map_or(v, |a| a.max(v)))
@@ -564,5 +568,15 @@ severity = "warn"
         let sel = MetricSelector::parse("session_max:consecutive_rollbacks").unwrap();
         let snap = snap_with("x.y", 0);
         assert_eq!(sel.eval(&snap), None, "no sessions -> no data");
+        assert_eq!(
+            MetricSelector::parse("session_max:restarts").unwrap(),
+            MetricSelector::SessionMax(SessionField::Restarts)
+        );
+        assert_eq!(
+            MetricSelector::parse("session_max:restarts")
+                .unwrap()
+                .eval(&snap),
+            None
+        );
     }
 }

@@ -159,6 +159,16 @@ pub struct SessionStats {
     /// `alert.raised` / `alert.resolved` events attributed to the session.
     pub alerts_raised: u64,
     pub alerts_resolved: u64,
+    /// Supervisor restarts granted to this session (`supervisor.restart`).
+    pub restarts: u64,
+    /// The supervisor quarantined this session (`supervisor.quarantined`).
+    pub quarantined: bool,
+    /// Control messages bounced off the session's bounded mailbox
+    /// (`mailbox.rejected`).
+    pub mailbox_rejections: u64,
+    /// Virtual time from drain start to this session's checkpoint-and-stop
+    /// (`supervisor.drained`); `None` if the session was never drained.
+    pub drain_ms: Option<f64>,
     /// A rollback was observed since the previous `online.step` (streak
     /// bookkeeping for `consecutive_rollbacks`).
     rollback_since_last_step: bool,
@@ -190,6 +200,10 @@ impl SessionStats {
             max_consecutive_rollbacks: 0,
             alerts_raised: 0,
             alerts_resolved: 0,
+            restarts: 0,
+            quarantined: false,
+            mailbox_rejections: 0,
+            drain_ms: None,
             rollback_since_last_step: false,
         }
     }
@@ -249,7 +263,7 @@ impl SessionReport {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<8} {:<16} {:>7} {:>6} {:>7} {:>10} {:>10} {:>10} {:>9} {:>9} {:>6}\n",
+            "{:<8} {:<16} {:>7} {:>6} {:>7} {:>10} {:>10} {:>10} {:>9} {:>9} {:>6} {:>4} {:>5} {:>4} {:>8}\n",
             "session",
             "label",
             "events",
@@ -260,12 +274,16 @@ impl SessionReport {
             "cost_s",
             "p50_ms",
             "p95_ms",
-            "guard"
+            "guard",
+            "rst",
+            "quar",
+            "rej",
+            "drain_ms"
         ));
         for s in &self.sessions {
             let label = if s.label.is_empty() { "?" } else { &s.label };
             out.push_str(&format!(
-                "{:<8} {:<16} {:>7} {:>6} {:>7} {:>10} {:>10} {:>10.1} {:>9} {:>9} {:>6}\n",
+                "{:<8} {:<16} {:>7} {:>6} {:>7} {:>10} {:>10} {:>10.1} {:>9} {:>9} {:>6} {:>4} {:>5} {:>4} {:>8}\n",
                 s.session_id,
                 label,
                 s.events,
@@ -284,6 +302,10 @@ impl SessionReport {
                 s.latency_quantile_s(0.95)
                     .map_or("-".to_string(), |l| format!("{:.2}", l * 1e3)),
                 s.guardrail_activity(),
+                s.restarts,
+                if s.quarantined { "yes" } else { "-" },
+                s.mailbox_rejections,
+                s.drain_ms.map_or("-".to_string(), |d| format!("{d:.0}")),
             ));
         }
         out.push_str(&format!(
@@ -317,6 +339,7 @@ struct EventView<'a> {
     spent_s: Option<f64>,
     failed: Option<bool>,
     label: Option<&'a str>,
+    drain_ms: Option<f64>,
 }
 
 impl SessionAggregator {
@@ -335,6 +358,7 @@ impl SessionAggregator {
             spent_s: event.f64("spent_s"),
             failed: event.bool("failed"),
             label: event.str("label"),
+            drain_ms: event.f64("drain_ms"),
         });
     }
 
@@ -353,6 +377,7 @@ impl SessionAggregator {
             spent_s: value.get("spent_s").and_then(Value::as_f64),
             failed: value.get("failed").and_then(Value::as_bool),
             label: value.get("label").and_then(Value::as_str),
+            drain_ms: value.get("drain_ms").and_then(Value::as_f64),
         });
     }
 
@@ -425,6 +450,14 @@ impl SessionAggregator {
             "watchdog.triggered" => stats.watchdog_trips += 1,
             "alert.raised" => stats.alerts_raised += 1,
             "alert.resolved" => stats.alerts_resolved += 1,
+            "supervisor.restart" => stats.restarts += 1,
+            "supervisor.quarantined" => stats.quarantined = true,
+            "mailbox.rejected" => stats.mailbox_rejections += 1,
+            "supervisor.drained" => {
+                if let Some(d) = view.drain_ms {
+                    stats.drain_ms = Some(d);
+                }
+            }
             _ => {}
         }
     }
@@ -553,6 +586,55 @@ mod tests {
         let table = report.render();
         assert!(table.contains("DeepCAT"), "{table}");
         assert!(table.contains("1 unattributed"), "{table}");
+    }
+
+    #[test]
+    fn aggregator_folds_supervisor_events() {
+        let mut agg = SessionAggregator::new();
+        agg.observe_event(&Event::new(
+            "supervisor.restart",
+            vec![
+                ("attempt", FieldValue::U64(1)),
+                ("backoff_ms", FieldValue::U64(2000)),
+                ("session_id", FieldValue::U64(4)),
+            ],
+        ));
+        agg.observe_event(&Event::new(
+            "supervisor.restart",
+            vec![("session_id", FieldValue::U64(4))],
+        ));
+        agg.observe_event(&Event::new(
+            "mailbox.rejected",
+            vec![
+                ("cap", FieldValue::U64(8)),
+                ("session_id", FieldValue::U64(4)),
+            ],
+        ));
+        agg.observe_event(&Event::new(
+            "supervisor.quarantined",
+            vec![
+                ("restarts", FieldValue::U64(3)),
+                ("session_id", FieldValue::U64(4)),
+            ],
+        ));
+        agg.observe_event(&Event::new(
+            "supervisor.drained",
+            vec![
+                ("drain_ms", FieldValue::U64(12)),
+                ("session_id", FieldValue::U64(5)),
+            ],
+        ));
+        let report = agg.report();
+        let s4 = report.get(4).unwrap();
+        assert_eq!(s4.restarts, 2);
+        assert!(s4.quarantined);
+        assert_eq!(s4.mailbox_rejections, 1);
+        assert_eq!(s4.drain_ms, None);
+        let s5 = report.get(5).unwrap();
+        assert_eq!(s5.drain_ms, Some(12.0));
+        assert!(!s5.quarantined);
+        let table = report.render();
+        assert!(table.contains("yes"), "{table}");
     }
 
     #[test]

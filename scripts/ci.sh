@@ -124,6 +124,60 @@ for i in 0 1 2 3 4 5 6 7; do
 done
 echo "fleet recovery: OK ($fleet_crashes/8 crashed sessions resumed byte-identically)"
 
+# Multi-tenant service smoke: 8 sessions multiplexed through the
+# supervised TuningService under the panic3 plan (two injected panics
+# plus one deadline-blowing stall, all mid-run, at the scheduler
+# boundary). The process must survive and every session must complete —
+# crashed ones by resuming from their commitlog. Containment proof:
+#   * two same-seed faulted runs produce byte-identical per-session logs,
+#   * every session's step log — survivors AND crashed-then-recovered —
+#     is byte-identical to the fault-free run's,
+#   * --extract replays one session solo (no service, no faults) and
+#     matches its multiplexed stream byte for byte.
+./target/release/deepcat-tune serve --sessions 8 --steps 4 --iters 500 \
+    --faults panic3 --deterministic --seed 2022 \
+    --model "$smoke_dir/chaos-model.json" \
+    --log "$smoke_dir/serve-a.jsonl" \
+    --out-dir "$smoke_dir/serve-a" >/dev/null
+./target/release/deepcat-tune serve --sessions 8 --steps 4 --iters 500 \
+    --faults panic3 --deterministic --seed 2022 \
+    --model "$smoke_dir/chaos-model.json" \
+    --out-dir "$smoke_dir/serve-b" >/dev/null
+./target/release/deepcat-tune serve --sessions 8 --steps 4 --iters 500 \
+    --faults none --deterministic --seed 2022 \
+    --model "$smoke_dir/chaos-model.json" \
+    --out-dir "$smoke_dir/serve-clean" >/dev/null
+for i in 0 1 2 3 4 5 6 7; do
+    cmp "$smoke_dir/serve-a/session-$i-steps.jsonl" \
+        "$smoke_dir/serve-b/session-$i-steps.jsonl" || {
+        echo "service determinism failed: session $i diverged across runs" >&2
+        exit 1
+    }
+    cmp "$smoke_dir/serve-a/session-$i-steps.jsonl" \
+        "$smoke_dir/serve-clean/session-$i-steps.jsonl" || {
+        echo "service containment failed: faults perturbed session $i" >&2
+        exit 1
+    }
+done
+grep -q '"supervisor.panic_contained"' "$smoke_dir/serve-a.jsonl" || {
+    echo "service smoke failed: no panic was contained" >&2
+    exit 1
+}
+grep -q '"supervisor.restart"' "$smoke_dir/serve-a.jsonl" || {
+    echo "service smoke failed: no crashed session was restarted" >&2
+    exit 1
+}
+./target/release/deepcat-tune serve --sessions 8 --steps 4 --iters 500 \
+    --deterministic --seed 2022 --extract 2 \
+    --model "$smoke_dir/chaos-model.json" \
+    --out-dir "$smoke_dir/serve-extract" >/dev/null
+cmp "$smoke_dir/serve-extract/extract-2-steps.jsonl" \
+    "$smoke_dir/serve-a/session-2-steps.jsonl" || {
+    echo "service extraction failed: solo replay diverged from multiplexed run" >&2
+    exit 1
+}
+echo "service smoke: OK (8 sessions under panic3: contained, recovered, extractable)"
+
 # Guardrail smoke: a guarded chaos run under the blackout plan must let
 # zero infeasible configurations reach the simulator (no
 # `guardrail.infeasible_eval` event in the log) and stay byte-for-byte
@@ -145,17 +199,17 @@ fi
 echo "guardrail smoke: OK (zero infeasible evals, byte-identical)"
 
 # Perf-regression gate: run the pinned quick-profile baseline suite and
-# compare hot-path throughput against the committed BENCH_9.json. Fails
+# compare hot-path throughput against the committed BENCH_10.json. Fails
 # loudly naming the regressed metric; tolerance absorbs machine noise.
 ./target/release/deepcat-bench baseline --out "$smoke_dir/bench-current.json" >/dev/null
-./target/release/deepcat-bench compare --baseline BENCH_9.json \
+./target/release/deepcat-bench compare --baseline BENCH_10.json \
     --current "$smoke_dir/bench-current.json" --tolerance 0.6
 
-# Observability-plane non-regression: the committed BENCH_9 numbers must
-# keep the sharded emit hot path within 10% of the pre-commitlog BENCH_8
+# Observability-plane non-regression: the committed BENCH_10 numbers must
+# keep the sharded emit hot path within 10% of the pre-service BENCH_9
 # baseline — a static file-vs-file gate, so it costs nothing per run.
-./target/release/deepcat-bench compare --baseline BENCH_8.json \
-    --current BENCH_9.json --tolerance 0.10 \
+./target/release/deepcat-bench compare --baseline BENCH_9.json \
+    --current BENCH_10.json --tolerance 0.10 \
     --metric telemetry_events_per_s_enabled
 
 # Telemetry-overhead gate: within the fresh baseline run, the sharded

@@ -1,0 +1,35 @@
+// Fixture: the multi-tenant tuning-service telemetry family obeys the
+// manifest contract. `service.phantom_state` is well-formed but
+// unregistered — the service/supervisor/mailbox planes must not invent
+// event names the manifest does not declare. The registered lifecycle,
+// supervision and backpressure names must stay clean.
+
+fn unregistered_service_event() {
+    telemetry::event!("service.phantom_state", session = 3, state = "limbo");
+}
+
+fn registered_admission_event() {
+    telemetry::event!("service.admitted", session = 3, label = "serve-3");
+}
+
+fn registered_session_done_event() {
+    telemetry::event!("service.session_done", session = 3, outcome = "completed");
+}
+
+fn registered_restart_event() {
+    telemetry::event!(
+        "supervisor.restart",
+        session = 3,
+        attempt = 1,
+        backoff_ms = 2000,
+        reason = "injected panic",
+    );
+}
+
+fn registered_quarantine_event() {
+    telemetry::event!("supervisor.quarantined", session = 3, restarts = 3);
+}
+
+fn registered_backpressure_event() {
+    telemetry::event!("mailbox.rejected", session = 3, cap = 8);
+}

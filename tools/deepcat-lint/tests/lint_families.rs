@@ -271,6 +271,36 @@ fn unregistered_alert_events_fail_the_manifest_rule() {
 }
 
 #[test]
+fn unregistered_service_events_fail_the_manifest_rule() {
+    let manifest = Manifest::parse(
+        "[[event]]\nname = \"service.admitted\"\ndoc = \"admitted\"\n\n\
+         [[event]]\nname = \"service.session_done\"\ndoc = \"done\"\n\n\
+         [[event]]\nname = \"supervisor.restart\"\ndoc = \"restart\"\n\n\
+         [[event]]\nname = \"supervisor.quarantined\"\ndoc = \"quarantined\"\n\n\
+         [[event]]\nname = \"mailbox.rejected\"\ndoc = \"backpressure\"\n",
+    )
+    .expect("manifest parses");
+    let f = lint_fixture(
+        "crates/deepcat/src/fixture.rs",
+        "telemetry_service.rs",
+        &manifest,
+    );
+    let r = rules(&f);
+    // `service.phantom_state` is the only unregistered name; the five
+    // registered service/supervisor/mailbox names must not report.
+    assert_eq!(
+        r.iter().filter(|r| **r == "telemetry.manifest").count(),
+        1,
+        "{f:?}"
+    );
+    assert!(
+        f.iter()
+            .any(|x| x.rule == "telemetry.manifest" && x.message.contains("service.phantom_state")),
+        "{f:?}"
+    );
+}
+
+#[test]
 fn session_scope_rule_fires_only_on_unscoped_emits() {
     let manifest = Manifest::parse(
         "[[event]]\nname = \"tune.summary\"\ndoc = \"summary\"\n\n\
